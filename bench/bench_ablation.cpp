@@ -1,0 +1,299 @@
+// Ablations of the design choices DESIGN.md calls out (§3.3 of the paper):
+//   1. DE backend choice      — exchange propagation on apiserver vs redis
+//   2. UDF push-down          — client-side pass vs DE-side function
+//   3. Zero-copy exchange     — bytes moved per read: deep copy vs shared
+//   4. Operator consolidation — fused vs per-operator Sync passes
+//   5. Watch-driven vs polling reconciliation — propagation delay vs work
+// All latency numbers are virtual-clock milliseconds (deterministic).
+#include <cstdio>
+
+#include "apps/retail_fleet.h"
+#include "core/cast.h"
+#include "core/sync.h"
+#include "de/log.h"
+#include "de/object.h"
+#include "sim/clock.h"
+
+namespace {
+
+using knactor::common::Value;
+using knactor::sim::SimTime;
+using knactor::sim::to_ms;
+
+Value payload(int fields) {
+  Value v = Value::object();
+  for (int i = 0; i < fields; ++i) {
+    v.set("field" + std::to_string(i), Value("value-" + std::to_string(i)));
+  }
+  return v;
+}
+
+constexpr const char* kCopySpec =
+    "Input:\n  A: src\n  B: dst\nDXG:\n  B:\n    copied: A.value\n";
+
+/// Measures one exchange's propagation latency for a profile and mode.
+double exchange_latency(const knactor::de::ObjectDeProfile& profile,
+                        bool pushdown, knactor::sim::SimTime poll_interval,
+                        std::uint64_t seed) {
+  using namespace knactor;
+  sim::VirtualClock clock;
+  de::ObjectDe de(clock, profile, seed);
+  de::ObjectStore& src = de.create_store("src-store");
+  de::ObjectStore& dst = de.create_store("dst-store");
+  auto dxg = core::Dxg::parse(kCopySpec);
+  core::CastIntegrator::Options options;
+  options.compute = sim::LatencyModel::constant_ms(0.05);
+  options.poll_interval = poll_interval;
+  core::CastIntegrator cast("ab", de, dxg.take(),
+                            {{"A", &src}, {"B", &dst}}, options);
+  if (pushdown) {
+    if (!cast.enable_pushdown().ok()) return -1;
+  }
+  if (!cast.start().ok()) return -1;
+  clock.run_until(clock.now() + knactor::sim::from_ms(1));
+
+  SimTime t0 = clock.now();
+  src.put("svc", "state", Value::object({{"value", 42}}),
+          [](knactor::common::Result<std::uint64_t>) {});
+  // Drive until the destination holds the value (bounded for polling).
+  SimTime deadline = t0 + 10 * sim::kSecond;
+  while (clock.now() < deadline) {
+    const de::StateObject* obj = dst.peek("state");
+    if (obj != nullptr && obj->data && obj->data->get("copied") != nullptr) {
+      break;
+    }
+    if (!clock.step()) {
+      if (poll_interval == 0) break;
+      clock.advance(poll_interval);
+    }
+  }
+  const de::StateObject* obj = dst.peek("state");
+  if (obj == nullptr || !obj->data || obj->data->get("copied") == nullptr) {
+    return -1;
+  }
+  double latency = to_ms(obj->updated_at - t0);
+  cast.stop();
+  cast.disable_pushdown();
+  return latency;
+}
+
+void ablation_backend_and_pushdown() {
+  using namespace knactor;
+  std::printf("1+2. DE backend & push-down: exchange propagation (ms)\n");
+  std::printf("   %-28s %10s\n", "configuration", "latency");
+  double apiserver =
+      exchange_latency(de::ObjectDeProfile::apiserver(), false, 0, 1);
+  double redis = exchange_latency(de::ObjectDeProfile::redis(), false, 0, 1);
+  double redis_udf =
+      exchange_latency(de::ObjectDeProfile::redis(), true, 0, 1);
+  std::printf("   %-28s %10.2f\n", "apiserver, watch-driven", apiserver);
+  std::printf("   %-28s %10.2f\n", "redis, watch-driven", redis);
+  std::printf("   %-28s %10.2f\n", "redis, push-down (UDF)", redis_udf);
+  std::printf("   -> in-memory DE: %.1fx faster; push-down: another %.1fx\n\n",
+              apiserver / redis, redis / redis_udf);
+}
+
+void ablation_zero_copy() {
+  using namespace knactor;
+  std::printf("3. Zero-copy exchange: bytes materialized per read\n");
+  std::printf("   %-12s %14s %14s\n", "object size", "deep copy", "shared");
+  for (int fields : {8, 64, 512}) {
+    sim::VirtualClock clock;
+    de::ObjectDe de(clock, de::ObjectDeProfile::instant());
+    de::ObjectStore& store = de.create_store("s");
+    (void)store.put_sync("b", "k", payload(fields));
+
+    auto copied = store.get_sync("b", "k");
+    std::size_t deep_bytes = copied.value().data_copy().deep_size_bytes();
+
+    knactor::common::SharedValue shared;
+    store.get_shared("b", "k",
+                     [&](knactor::common::Result<knactor::common::SharedValue> r) {
+                       shared = r.take();
+                     });
+    clock.run_all();
+    // The shared path moves a handle, not the buffer.
+    std::size_t shared_bytes = sizeof(knactor::common::SharedValue);
+    std::printf("   %-12d %12zu B %12zu B\n", fields, deep_bytes,
+                shared_bytes);
+  }
+  std::printf("\n");
+}
+
+void ablation_consolidation() {
+  using namespace knactor;
+  std::printf("4. Operator consolidation: Sync round time (ms)\n");
+  std::printf("   %-10s %12s %12s %8s\n", "records", "per-op", "fused",
+              "speedup");
+  for (int n : {100, 1000, 10000}) {
+    auto run = [&](bool consolidate) -> double {
+      sim::VirtualClock clock;
+      de::LogDe de(clock, de::LogDeProfile::zed());
+      de::LogPool& src = de.create_pool("src");
+      de::LogPool& dst = de.create_pool("dst");
+      std::vector<Value> batch;
+      for (int i = 0; i < n; ++i) {
+        Value v = Value::object();
+        v.set("kwh", Value(0.01 * i));
+        v.set("device", Value(i % 2 == 0 ? "lamp" : "heater"));
+        batch.push_back(std::move(v));
+      }
+      (void)src.append_batch_sync("b", std::move(batch));
+      core::SyncIntegrator::Options options;
+      options.consolidate = consolidate;
+      core::SyncIntegrator sync("ab", de, options);
+      core::SyncRoute route;
+      route.name = "r";
+      route.source = &src;
+      route.target = &dst;
+      route.pipeline.push_back(de::LogOp::filter("kwh > 0.1").value());
+      route.pipeline.push_back(de::LogOp::rename({{"kwh", "energy"}}));
+      route.pipeline.push_back(de::LogOp::map("e2", "energy * 2").value());
+      route.pipeline.push_back(de::LogOp::project({"device", "e2"}));
+      (void)sync.add_route(std::move(route));
+      SimTime t0 = clock.now();
+      (void)sync.run_round_sync();
+      return to_ms(clock.now() - t0);
+    };
+    double per_op = run(false);
+    double fused = run(true);
+    std::printf("   %-10d %12.2f %12.2f %7.2fx\n", n, per_op, fused,
+                per_op / fused);
+  }
+  std::printf("\n");
+}
+
+void ablation_watch_vs_poll() {
+  using namespace knactor;
+  std::printf("5. Watch-driven vs polling: propagation delay (ms)\n");
+  std::printf("   %-24s %12s\n", "mode", "latency");
+  double watch = exchange_latency(de::ObjectDeProfile::redis(), false, 0, 2);
+  std::printf("   %-24s %12.2f\n", "watch-driven", watch);
+  for (double poll_ms : {10.0, 100.0, 1000.0}) {
+    double poll = exchange_latency(de::ObjectDeProfile::redis(), false,
+                                   sim::from_ms(poll_ms), 2);
+    char label[32];
+    std::snprintf(label, sizeof(label), "poll every %.0f ms", poll_ms);
+    std::printf("   %-24s %12.2f\n", label, poll);
+  }
+  std::printf("   -> watches propagate immediately; polling adds up to one\n"
+              "      interval of staleness per hop.\n\n");
+}
+
+void ablation_chain_depth() {
+  using namespace knactor;
+  // One integrator resolves an N-deep dependency chain in a single pass
+  // (mappings see earlier writes within the pass). The interesting scaling
+  // is N *independent* integrators — different teams each owning one hop —
+  // where each hop pays a full exchange.
+  std::printf("6. Composition chain depth (one integrator per hop):\n");
+  std::printf("   end-to-end propagation (ms)\n");
+  std::printf("   %-10s %10s %10s %14s\n", "hops", "apiserver", "redis",
+              "single-cast");
+  for (int depth : {1, 2, 4, 8}) {
+    auto run = [&](const de::ObjectDeProfile& profile,
+                   bool single_integrator) -> double {
+      sim::VirtualClock clock;
+      de::ObjectDe de(clock, profile, 3);
+      std::vector<de::ObjectStore*> stores;
+      for (int i = 0; i <= depth; ++i) {
+        stores.push_back(&de.create_store("store-" + std::to_string(i)));
+      }
+      std::vector<std::unique_ptr<core::CastIntegrator>> casts;
+      core::CastIntegrator::Options options;
+      options.compute = sim::LatencyModel::constant_ms(0.05);
+      options.max_rounds_per_event = depth + 2;
+      if (single_integrator) {
+        std::map<std::string, de::ObjectStore*> bindings;
+        std::string spec = "Input:\n";
+        for (int i = 0; i <= depth; ++i) {
+          bindings["S" + std::to_string(i)] = stores[static_cast<size_t>(i)];
+          spec += "  S" + std::to_string(i) + ": store-" +
+                  std::to_string(i) + "\n";
+        }
+        spec += "DXG:\n";
+        for (int i = 1; i <= depth; ++i) {
+          spec += "  S" + std::to_string(i) + ":\n    v: S" +
+                  std::to_string(i - 1) + ".v + 1\n";
+        }
+        auto dxg = core::Dxg::parse(spec);
+        casts.push_back(std::make_unique<core::CastIntegrator>(
+            "chain", de, dxg.take(), bindings, options));
+      } else {
+        for (int i = 1; i <= depth; ++i) {
+          std::string spec = "Input:\n  A: store-" + std::to_string(i - 1) +
+                             "\n  B: store-" + std::to_string(i) +
+                             "\nDXG:\n  B:\n    v: A.v + 1\n";
+          auto dxg = core::Dxg::parse(spec);
+          casts.push_back(std::make_unique<core::CastIntegrator>(
+              "hop-" + std::to_string(i), de, dxg.take(),
+              std::map<std::string, de::ObjectStore*>{
+                  {"A", stores[static_cast<size_t>(i - 1)]},
+                  {"B", stores[static_cast<size_t>(i)]}},
+              options));
+        }
+      }
+      for (auto& cast : casts) {
+        if (!cast->start().ok()) return -1;
+      }
+      clock.run_all();
+      SimTime t0 = clock.now();
+      stores[0]->put("svc", "state", Value::object({{"v", 0}}),
+                     [](knactor::common::Result<std::uint64_t>) {});
+      clock.run_all();
+      const de::StateObject* last = stores[static_cast<size_t>(depth)]->peek("state");
+      if (last == nullptr || !last->data ||
+          last->data->get("v") == nullptr ||
+          last->data->get("v")->as_int() != depth) {
+        return -1;
+      }
+      return to_ms(last->updated_at - t0);
+    };
+    std::printf("   %-10d %10.1f %10.1f %14.1f\n", depth,
+                run(de::ObjectDeProfile::apiserver(), false),
+                run(de::ObjectDeProfile::redis(), false),
+                run(de::ObjectDeProfile::redis(), true));
+  }
+  std::printf("   -> per-hop cost is one exchange; a consolidated DXG\n"
+              "      (one integrator, last column) resolves the whole chain\n"
+              "      in a single pass (§3.3 \"consolidate the state\n"
+              "      processing logic\").\n\n");
+}
+
+void ablation_fleet_throughput() {
+  using namespace knactor;
+  std::printf("7. Fan-out composition: N concurrent orders, end-to-end (ms)\n");
+  std::printf("   %-10s %12s %14s\n", "orders", "makespan", "ms/order");
+  for (int n : {1, 4, 16, 64}) {
+    core::Runtime runtime;
+    apps::RetailFleetOptions options;
+    options.shipment_processing = sim::LatencyModel::normal_ms(446.0, 4.0);
+    auto app = apps::build_retail_fleet_app(runtime, options);
+    sim::SimTime t0 = runtime.clock().now();
+    auto orders = app.place_orders_sync(n);
+    if (!orders.ok()) {
+      std::fprintf(stderr, "fleet run failed: %s\n",
+                   orders.error().to_string().c_str());
+      continue;
+    }
+    double makespan = to_ms(runtime.clock().now() - t0);
+    std::printf("   %-10d %12.0f %14.1f\n", n, makespan,
+                makespan / static_cast<double>(n));
+  }
+  std::printf("   -> orders move through the exchange concurrently: the\n"
+              "      makespan stays near one shipment time (~450 ms), so\n"
+              "      per-order cost amortizes toward zero.\n\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Design-choice ablations (virtual-clock ms; see DESIGN.md §6)\n\n");
+  ablation_backend_and_pushdown();
+  ablation_zero_copy();
+  ablation_consolidation();
+  ablation_watch_vs_poll();
+  ablation_chain_depth();
+  ablation_fleet_throughput();
+  return 0;
+}

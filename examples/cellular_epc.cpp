@@ -1,0 +1,55 @@
+// Cellular EPC (§5 applicability): a simplified LTE attach across five
+// network functions — Session/MME, Subscriber/HSS, Policy/PCRF,
+// Bearer/SGW, Address/PGW — composed data-centrically. The authorization
+// gate is a one-line conditional mapping in the DXG; blocked subscribers'
+// state simply never reaches the bearer function.
+#include <cstdio>
+
+#include "apps/epc.h"
+#include "common/json.h"
+
+using namespace knactor;
+using common::Value;
+
+int main() {
+  std::printf("== data-centric EPC: attach procedure ==\n");
+  for (const std::string& imsi : apps::epc_known_imsis()) {
+    core::Runtime runtime;
+    auto app = apps::build_epc_knactor_app(runtime);
+    sim::SimTime t0 = runtime.clock().now();
+    auto attach = app.attach_sync(imsi);
+    if (!attach.ok()) {
+      std::fprintf(stderr, "attach failed: %s\n",
+                   attach.error().to_string().c_str());
+      return 1;
+    }
+    double ms = sim::to_ms(runtime.clock().now() - t0);
+    std::printf("  imsi %s -> %-9s (%.1f ms)  %s\n", imsi.c_str(),
+                attach.value().get("state")->as_string().c_str(), ms,
+                common::to_json(attach.value()).c_str());
+  }
+
+  std::printf("\n== RPC baseline: same attaches through call chains ==\n");
+  for (const std::string& imsi : apps::epc_known_imsis()) {
+    sim::VirtualClock clock;
+    apps::EpcRpcApp rpc(clock);
+    sim::SimTime t0 = clock.now();
+    auto attach = rpc.attach_sync(imsi);
+    double ms = sim::to_ms(clock.now() - t0);
+    if (attach.ok()) {
+      std::printf("  imsi %s -> attached  (%.1f ms)  %s\n", imsi.c_str(), ms,
+                  common::to_json(attach.value()).c_str());
+    } else {
+      std::printf("  imsi %s -> rejected  (%.1f ms)  %s\n", imsi.c_str(), ms,
+                  attach.error().message.c_str());
+    }
+  }
+
+  std::printf(
+      "\nThe RPC form compiles the attach procedure into the MME handler\n"
+      "(HSS -> PCRF -> SGW -> PGW call chain); the Knactor form expresses\n"
+      "it as a data exchange graph, so changing the procedure — say,\n"
+      "inserting a charging function — is an integrator reconfiguration,\n"
+      "not an MME rebuild.\n");
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Ecosystem demo (§5): a marketplace where knactors and integrators from
+// different vendors are published, discovered by schema, compatibility-
+// checked, and then installed into a running deployment — composition as a
+// supply chain of state schemas rather than API contracts.
+#include <cstdio>
+
+#include "apps/retail_specs.h"
+#include "core/marketplace.h"
+#include "core/runtime.h"
+
+using namespace knactor;
+using common::Value;
+
+int main() {
+  core::Marketplace market;
+
+  // Vendors publish their knactors (schemas are the product description).
+  core::Package checkout;
+  checkout.name = "knactor-checkout";
+  checkout.version = "1.4.0";
+  checkout.kind = core::Package::Kind::kKnactor;
+  checkout.description = "order lifecycle for online retail";
+  checkout.publisher = "retail-co";
+  checkout.schema_yamls = {apps::kCheckoutSchema};
+  (void)market.publish(checkout);
+
+  core::Package shipping;
+  shipping.name = "knactor-shipping";
+  shipping.version = "2.0.1";
+  shipping.kind = core::Package::Kind::kKnactor;
+  shipping.description = "multi-carrier shipping adapter";
+  shipping.publisher = "shipfast-inc";
+  shipping.schema_yamls = {apps::kShippingSchema};
+  (void)market.publish(shipping);
+
+  core::Package payment;
+  payment.name = "knactor-payment";
+  payment.version = "3.2.0";
+  payment.kind = core::Package::Kind::kKnactor;
+  payment.description = "card + wallet charging";
+  payment.publisher = "paymint-llc";
+  payment.schema_yamls = {apps::kPaymentSchema};
+  (void)market.publish(payment);
+
+  // A fourth party publishes the *composition* as a product of its own.
+  core::Package integrator;
+  integrator.name = "retail-integrator";
+  integrator.version = "1.0.0";
+  integrator.kind = core::Package::Kind::kIntegrator;
+  integrator.description =
+      "composes checkout+shipping+payment (Fig. 6 exchange)";
+  integrator.publisher = "glue-works";
+  integrator.dxg_yaml =
+      "Input:\n"
+      "  C: OnlineRetail/v1/Checkout/Order\n"
+      "  S: OnlineRetail/v1/Shipping/Shipment\n"
+      "  P: OnlineRetail/v1/Payment/Charge\n"
+      "DXG:\n"
+      "  C.order:\n"
+      "    shippingCost: currency_convert(S.quote.price, S.quote.currency, "
+      "this.currency)\n"
+      "    paymentID: P.id\n"
+      "    trackingID: S.id\n"
+      "  P:\n"
+      "    amount: C.order.totalCost\n"
+      "    currency: C.order.currency\n"
+      "  S:\n"
+      "    items: '[item.name for item in C.order.items]'\n"
+      "    addr: C.order.address\n"
+      "    method: '\"air\" if C.order.cost > 1000 else \"ground\"'\n";
+  auto published = market.publish(integrator);
+  if (!published.ok()) {
+    std::fprintf(stderr, "publish failed: %s\n",
+                 published.error().to_string().c_str());
+    return 1;
+  }
+
+  std::printf("== marketplace catalog ==\n");
+  for (const core::Package* p : market.search("")) {
+    std::printf("  %-20s %-8s %-11s by %-12s %s\n", p->name.c_str(),
+                p->version.c_str(),
+                p->kind == core::Package::Kind::kKnactor ? "knactor"
+                                                         : "integrator",
+                p->publisher.c_str(), p->description.c_str());
+  }
+
+  std::printf("\n== composition shopping ==\n");
+  std::printf("  who fills Checkout's shippingCost?\n");
+  for (const core::Package* p :
+       market.integrators_for("OnlineRetail/v1/Checkout/Order",
+                              "shippingCost")) {
+    std::printf("    -> %s@%s\n", p->name.c_str(), p->version.c_str());
+  }
+  std::printf("  who provides the Shipping schema?\n");
+  for (const core::Package* p :
+       market.providers_of("OnlineRetail/v1/Shipping/Shipment")) {
+    std::printf("    -> %s@%s\n", p->name.c_str(), p->version.c_str());
+  }
+
+  std::printf("\n== compatibility check before install ==\n");
+  auto missing = market.missing_requirements("retail-integrator");
+  if (missing.empty()) {
+    std::printf("  retail-integrator: all requirements satisfied\n");
+  } else {
+    for (const auto& m : missing) std::printf("  missing: %s\n", m.c_str());
+  }
+
+  // Install: instantiate the purchased DXG against a live deployment.
+  std::printf("\n== install into a running deployment ==\n");
+  core::Runtime runtime;
+  de::ObjectDe& de = runtime.add_object_de("object",
+                                           de::ObjectDeProfile::redis());
+  de::ObjectStore& c = de.create_store("knactor-checkout");
+  de::ObjectStore& s = de.create_store("knactor-shipping");
+  de::ObjectStore& p = de.create_store("knactor-payment");
+  const core::Package* pkg = market.find("retail-integrator");
+  auto dxg = core::Dxg::parse(pkg->dxg_yaml);
+  if (!dxg.ok()) return 1;
+  core::CastIntegrator cast("installed", de, dxg.take(),
+                            {{"C", &c}, {"S", &s}, {"P", &p}});
+  if (!cast.start().ok()) return 1;
+
+  // Drive one exchange to show the purchased composition working.
+  Value order = Value::object();
+  Value::Array items;
+  Value line = Value::object();
+  line.set("name", Value("keyboard"));
+  line.set("qty", Value(1));
+  items.push_back(std::move(line));
+  order.set("items", Value(std::move(items)));
+  order.set("address", Value("1 Market St"));
+  order.set("cost", Value(1500.0));
+  order.set("currency", Value("USD"));
+  order.set("totalCost", Value(1500.0));
+  (void)c.put_sync("knactor:checkout", "order", std::move(order));
+  runtime.run_until_idle();
+
+  const de::StateObject* shipment = s.peek("state");
+  if (shipment != nullptr && shipment->data) {
+    const Value* method = shipment->data->get("method");
+    std::printf("  exchange ran: shipping method = %s (cost 1500 > 1000)\n",
+                method != nullptr ? method->as_string().c_str() : "(none)");
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Fleet composition: many orders at once through fan-out DXG nodes
+// (`S.* / $for: C order/`). The same three-service exchange as Fig. 6, but
+// set-to-set — every `order/<id>` object in Checkout drives its own
+// shipment and charge, concurrently.
+#include <cstdio>
+
+#include "apps/retail_fleet.h"
+#include "common/json.h"
+
+using namespace knactor;
+
+int main() {
+  core::Runtime runtime;
+  apps::RetailFleetApp app = apps::build_retail_fleet_app(runtime);
+  if (app.integrator == nullptr) return 1;
+
+  const int kOrders = 12;
+  std::printf("placing %d orders at once...\n", kOrders);
+  sim::SimTime t0 = runtime.clock().now();
+  auto orders = app.place_orders_sync(kOrders);
+  if (!orders.ok()) {
+    std::fprintf(stderr, "fleet failed: %s\n",
+                 orders.error().to_string().c_str());
+    return 1;
+  }
+  double makespan = sim::to_ms(runtime.clock().now() - t0);
+
+  std::printf("%-10s %-8s %-8s %-12s %-10s\n", "order", "status", "method",
+              "tracking", "payment");
+  for (int i = 1; i <= kOrders; ++i) {
+    const de::StateObject* order =
+        app.checkout_store->peek("order/" + std::to_string(i));
+    const de::StateObject* shipment =
+        app.shipping_store->peek("order/" + std::to_string(i));
+    std::printf("%-10s %-8s %-8s %-12s %-10s\n",
+                ("order/" + std::to_string(i)).c_str(),
+                order->data->get("status")->as_string().c_str(),
+                shipment->data->get("method")->as_string().c_str(),
+                order->data->get("trackingID")->as_string().c_str(),
+                order->data->get("paymentID")->as_string().c_str());
+  }
+  std::printf("\nall %d orders shipped in %.0f ms of simulated time —\n"
+              "about one shipment's worth (%0.f ms/order amortized).\n",
+              kOrders, makespan, makespan / kOrders);
+  std::printf("integrator passes: %llu, fields written: %llu\n",
+              static_cast<unsigned long long>(app.integrator->stats().passes),
+              static_cast<unsigned long long>(
+                  app.integrator->stats().fields_written));
+  return 0;
+}

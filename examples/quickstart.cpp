@@ -1,0 +1,122 @@
+// Quickstart: the Knactor pattern in ~100 lines.
+//
+// Two services — a Greeter that wants a name, and a Directory that knows
+// one — are composed without either knowing the other exists. Each
+// externalizes state to its own data store (the "Externalize" step),
+// annotates what an integrator may fill ("Express"), and a Cast integrator
+// declaratively wires them ("Exchange").
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/runtime.h"
+
+using namespace knactor;
+using common::Value;
+
+/// The Greeter service: greets whoever shows up in its own data store. It
+/// never calls another service.
+class GreeterReconciler : public core::Reconciler {
+ public:
+  void on_object_event(core::Knactor& kn,
+                       const de::WatchEvent& event) override {
+    if (event.type == de::WatchEventType::kDeleted || !event.object.data) {
+      return;
+    }
+    const Value* name = event.object.data->get("name");
+    const Value* greeting = event.object.data->get("greeting");
+    if (name == nullptr || name->is_null()) return;  // nothing to greet yet
+    std::string want = "Hello, " + name->as_string() + "!";
+    if (greeting != nullptr && greeting->is_string() &&
+        greeting->as_string() == want) {
+      return;  // already greeted
+    }
+    Value patch = Value::object();
+    patch.set("greeting", Value(want));
+    (void)kn.patch_state("state", std::move(patch));
+  }
+};
+
+/// The Directory service: publishes who is present.
+class DirectoryReconciler : public core::Reconciler {
+ public:
+  void start(core::Knactor& kn) override {
+    Value state = Value::object();
+    state.set("visitor", Value("Ada"));
+    (void)kn.put_state("state", std::move(state));
+  }
+};
+
+int main() {
+  core::Runtime runtime;
+
+  // 1. A data exchange hosts both services' stores.
+  de::ObjectDe& de = runtime.add_object_de("object",
+                                           de::ObjectDeProfile::redis());
+  de::ObjectStore& greeter_store = de.create_store("knactor-greeter");
+  de::ObjectStore& directory_store = de.create_store("knactor-directory");
+
+  // 2. Externalize + Express: register schemas; `name` is integrator-filled.
+  (void)runtime.schemas().add_yaml(
+      "schema: Quickstart/v1/Greeter\n"
+      "name: string # +kr: external\n"
+      "greeting: string\n");
+  (void)runtime.schemas().add_yaml(
+      "schema: Quickstart/v1/Directory\n"
+      "visitor: string\n");
+
+  // 3. The knactors: reconciler + own store, nothing else.
+  auto greeter = std::make_unique<core::Knactor>(
+      "greeter", std::make_unique<GreeterReconciler>());
+  greeter->bind_object_store("state", greeter_store);
+  runtime.add_knactor(std::move(greeter));
+
+  auto directory = std::make_unique<core::Knactor>(
+      "directory", std::make_unique<DirectoryReconciler>());
+  directory->bind_object_store("state", directory_store);
+  runtime.add_knactor(std::move(directory));
+
+  // 4. Exchange: the integrator is the only place that knows both stores.
+  auto dxg = core::Dxg::parse(
+      "Input:\n"
+      "  G: Quickstart/v1/Greeter\n"
+      "  D: Quickstart/v1/Directory\n"
+      "DXG:\n"
+      "  G:\n"
+      "    name: D.visitor\n");
+  if (!dxg.ok()) {
+    std::fprintf(stderr, "DXG: %s\n", dxg.error().to_string().c_str());
+    return 1;
+  }
+  runtime.add_integrator(std::make_unique<core::CastIntegrator>(
+      "quickstart", de, dxg.take(),
+      std::map<std::string, de::ObjectStore*>{{"G", &greeter_store},
+                                              {"D", &directory_store}}));
+
+  if (auto status = runtime.start_all(); !status.ok()) {
+    std::fprintf(stderr, "start: %s\n", status.error().to_string().c_str());
+    return 1;
+  }
+  runtime.run_until_idle();
+
+  const de::StateObject* state = greeter_store.peek("state");
+  if (state != nullptr && state->data) {
+    const Value* greeting = state->data->get("greeting");
+    std::printf("greeter store now holds: %s\n",
+                greeting != nullptr ? greeting->as_string().c_str() : "(none)");
+  }
+
+  // Swap the visitor; the exchange keeps everything in sync.
+  (void)directory_store.patch_sync("knactor:directory", "state",
+                                   Value::object({{"visitor", "Grace"}}));
+  runtime.run_until_idle();
+  state = greeter_store.peek("state");
+  std::printf("after directory update:  %s\n",
+              state->data->get("greeting")->as_string().c_str());
+
+  std::printf("\nNeither service imported the other: the integrator holds\n"
+              "the only cross-service knowledge, and can be reconfigured at\n"
+              "run-time (see examples/composition_evolution).\n");
+  return 0;
+}

@@ -1,0 +1,738 @@
+#include "apps/artifacts.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace knactor::apps {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// API-centric artifact tree. The service sources below are condensed but
+// structurally faithful renditions of the gRPC online-retail demo the
+// paper studies: protos define the API contract, generated stubs are
+// vendored into each caller, and composition logic lives inside service
+// handlers.
+// ---------------------------------------------------------------------------
+
+const char* kCheckoutServiceBase = R"(import grpc
+from concurrent import futures
+from stubs import checkout_pb2
+from stubs import checkout_grpc
+
+class CheckoutService(checkout_grpc.CheckoutServicer):
+    def __init__(self, config):
+        self.config = config
+        self.orders = {}
+
+    def HandlePlaceOrder(self, request, context):
+        order_id = self.new_order_id()
+        order = {
+            "items": list(request.items),
+            "address": request.address,
+            "cost": request.cost,
+            "currency": request.currency,
+            "email": request.email,
+            "status": "pending",
+        }
+        self.orders[order_id] = order
+        return checkout_pb2.PlaceOrderResponse(order_id=order_id)
+
+    def new_order_id(self):
+        return "order-%d" % (len(self.orders) + 1)
+
+def serve(config):
+    server = grpc.server(futures.ThreadPoolExecutor(max_workers=8))
+    checkout_grpc.add_CheckoutServicer_to_server(CheckoutService(config), server)
+    server.add_insecure_port("[::]:7000")
+    server.start()
+    server.wait_for_termination()
+)";
+
+// T1 adds the Payment + Shipping composition: stub imports, call sequence,
+// retry/error handling — the +35 SLOC the task charges to service.py.
+const char* kCheckoutServiceT1 = R"(import grpc
+from concurrent import futures
+from stubs import checkout_pb2
+from stubs import checkout_grpc
+from stubs import payment_pb2
+from stubs import payment_grpc
+from stubs import shipping_pb2
+from stubs import shipping_grpc
+
+class CheckoutService(checkout_grpc.CheckoutServicer):
+    def __init__(self, config):
+        self.config = config
+        self.orders = {}
+        payment_channel = grpc.insecure_channel(config.payment_endpoint)
+        self.payment = payment_grpc.PaymentStub(payment_channel)
+        shipping_channel = grpc.insecure_channel(config.shipping_endpoint)
+        self.shipping = shipping_grpc.ShippingStub(shipping_channel)
+
+    def HandlePlaceOrder(self, request, context):
+        order_id = self.new_order_id()
+        order = {
+            "items": list(request.items),
+            "address": request.address,
+            "cost": request.cost,
+            "currency": request.currency,
+            "email": request.email,
+            "status": "pending",
+        }
+        self.orders[order_id] = order
+        charge = payment_pb2.ChargeRequest(
+            amount=request.cost, currency=request.currency)
+        try:
+            charged = self.payment.Charge(charge, timeout=2.0)
+        except grpc.RpcError as err:
+            context.abort(grpc.StatusCode.UNAVAILABLE,
+                          "payment failed: %s" % err)
+        order["payment_id"] = charged.id
+        order["status"] = "paid"
+        quote_req = shipping_pb2.GetQuoteRequest(
+            items=[i.name for i in request.items], addr=request.address)
+        try:
+            quote = self.shipping.GetQuote(quote_req, timeout=2.0)
+        except grpc.RpcError as err:
+            context.abort(grpc.StatusCode.UNAVAILABLE,
+                          "quote failed: %s" % err)
+        order["shipping_cost"] = self.to_order_currency(quote, order)
+        ship_req = shipping_pb2.ShipOrderRequest(
+            items=[i.name for i in request.items], addr=request.address)
+        try:
+            shipped = self.shipping.ShipOrder(ship_req, timeout=30.0)
+        except grpc.RpcError as err:
+            context.abort(grpc.StatusCode.UNAVAILABLE,
+                          "shipping failed: %s" % err)
+        order["tracking_id"] = shipped.tracking_id
+        order["status"] = "shipped"
+        return checkout_pb2.PlaceOrderResponse(order_id=order_id)
+
+    def to_order_currency(self, quote, order):
+        rate = self.config.rates.get(quote.currency, 1.0)
+        return quote.price / rate * self.config.rates[order["currency"]]
+
+    def new_order_id(self):
+        return "order-%d" % (len(self.orders) + 1)
+
+def serve(config):
+    server = grpc.server(futures.ThreadPoolExecutor(max_workers=8))
+    checkout_grpc.add_CheckoutServicer_to_server(CheckoutService(config), server)
+    server.add_insecure_port("[::]:7000")
+    server.start()
+    server.wait_for_termination()
+)";
+
+// T2 adds the price-based shipment-method policy inside checkout.
+const char* kCheckoutServiceT2Block = R"(
+    DEFAULT_AIR_SHIPPING_THRESHOLD_USD = 1000.0
+
+    def air_shipping_threshold(self):
+        configured = self.config.get("AIR_SHIPPING_THRESHOLD_USD")
+        if configured is not None:
+            return float(configured)
+        return self.DEFAULT_AIR_SHIPPING_THRESHOLD_USD
+
+    def pick_shipping_method(self, order):
+        cost_usd = order["cost"] / self.config.rates[order["currency"]]
+        if cost_usd > self.air_shipping_threshold():
+            return "air"
+        return "ground"
+)";
+
+const char* kShippingProtoBase = R"(syntax = "proto3";
+package onlineretail.v1;
+
+service Shipping {
+  rpc ShipOrder(ShipOrderRequest) returns (ShipOrderResponse);
+  rpc GetQuote(GetQuoteRequest) returns (GetQuoteResponse);
+}
+
+message ShipOrderRequest {
+  repeated string items = 1;
+  string addr = 2;
+  string method = 3;
+}
+
+message ShipOrderResponse {
+  string tracking_id = 1;
+}
+
+message GetQuoteRequest {
+  repeated string items = 1;
+  string addr = 2;
+}
+
+message GetQuoteResponse {
+  double price = 1;
+  string currency = 2;
+}
+)";
+
+// T3: the Shipping team evolves its schema — packages replace the flat
+// item list, addr becomes a structured address, insurance is added.
+const char* kShippingProtoT3 = R"(syntax = "proto3";
+package onlineretail.v2;
+
+service Shipping {
+  rpc ShipOrder(ShipOrderRequest) returns (ShipOrderResponse);
+  rpc GetQuote(GetQuoteRequest) returns (GetQuoteResponse);
+}
+
+message Package {
+  string name = 1;
+  int32 qty = 2;
+  double weight_kg = 3;
+}
+
+message Address {
+  string street = 1;
+  string city = 2;
+  string zip = 3;
+}
+
+message ShipOrderRequest {
+  repeated Package packages = 1;
+  Address address = 2;
+  string method = 3;
+  bool insurance = 4;
+}
+
+message ShipOrderResponse {
+  string tracking_id = 1;
+}
+
+message GetQuoteRequest {
+  repeated Package packages = 1;
+  Address address = 2;
+}
+
+message GetQuoteResponse {
+  double price = 1;
+  string currency = 2;
+}
+)";
+
+std::string service_file(const std::string& name,
+                         std::vector<std::string> handlers) {
+  std::string out = "import grpc\nfrom concurrent import futures\n";
+  out += "from stubs import " + name + "_pb2\n";
+  out += "from stubs import " + name + "_grpc\n\n";
+  out += "class " + name + "Service(" + name + "_grpc.Servicer):\n";
+  out += "    def __init__(self, config):\n        self.config = config\n\n";
+  for (const auto& h : handlers) {
+    out += "    def Handle" + h + "(self, request, context):\n";
+    out += "        # business logic for " + h + "\n";
+    out += "        return " + name + "_pb2." + h + "Response()\n\n";
+  }
+  out += "def serve(config):\n";
+  out += "    server = grpc.server(futures.ThreadPoolExecutor())\n";
+  out += "    server.add_insecure_port(\"[::]:7000\")\n";
+  out += "    server.start()\n";
+  return out;
+}
+
+std::string stub_file(const std::string& message_set, int fields) {
+  // Generated code embeds the message-set identity in every accessor, so a
+  // regeneration after a schema change rewrites the whole file (as protoc
+  // output does in practice).
+  std::string out = "# Generated by the protocol compiler. DO NOT EDIT!\n";
+  out += "import struct\n\nclass " + message_set + "Messages:\n";
+  out += "    MESSAGE_SET = \"" + message_set + "\"\n";
+  for (int i = 0; i < fields; ++i) {
+    const std::string n = std::to_string(i + 1);
+    out += "    " + message_set + "_FIELD_" + n + "_TAG = " + n + "\n";
+    out += "    def set_" + message_set + "_field_" + n + "(self, value):\n";
+    out += "        self._fields[\"" + message_set + "." + n +
+           "\"] = value\n";
+    out += "    def get_" + message_set + "_field_" + n + "(self):\n";
+    out += "        return self._fields.get(\"" + message_set + "." + n +
+           "\")\n";
+  }
+  out += "    def serialize_" + message_set +
+         "(self):\n        return struct.pack('>I', 0)\n";
+  return out;
+}
+
+std::string deploy_yaml(const std::string& name) {
+  return "apiVersion: apps/v1\n"
+         "kind: Deployment\n"
+         "metadata:\n"
+         "  name: " + name + "\n"
+         "spec:\n"
+         "  replicas: 2\n"
+         "  template:\n"
+         "    spec:\n"
+         "      containers:\n"
+         "        - name: " + name + "\n"
+         "          image: registry.local/" + name + ":v1\n";
+}
+
+}  // namespace
+
+const char* task_name(Task task) {
+  switch (task) {
+    case Task::kT1ComposeServices: return "T1 compose Payment+Shipping with Checkout";
+    case Task::kT2AddShipmentPolicy: return "T2 add price-based shipment policy";
+    case Task::kT3UpdateSchema: return "T3 update Shipping schema";
+  }
+  return "?";
+}
+
+ArtifactTree retail_api_base() {
+  ArtifactTree tree;
+  tree["protos/checkout.proto"] =
+      "syntax = \"proto3\";\npackage onlineretail.v1;\n"
+      "service Checkout {\n  rpc PlaceOrder(PlaceOrderRequest) returns "
+      "(PlaceOrderResponse);\n}\n";
+  tree["protos/shipping.proto"] = kShippingProtoBase;
+  tree["protos/payment.proto"] =
+      "syntax = \"proto3\";\npackage onlineretail.v1;\n"
+      "service Payment {\n  rpc Charge(ChargeRequest) returns "
+      "(ChargeResponse);\n}\n"
+      "message ChargeRequest {\n  double amount = 1;\n  string currency = "
+      "2;\n}\n"
+      "message ChargeResponse {\n  string id = 1;\n}\n";
+
+  tree["services/checkout/service.py"] = kCheckoutServiceBase;
+  tree["services/checkout/stubs/checkout_pb2.py"] = stub_file("Checkout", 5);
+  tree["services/checkout/stubs/checkout_grpc.py"] =
+      "# Generated gRPC bindings. DO NOT EDIT!\nclass CheckoutServicer:\n"
+      "    pass\ndef add_CheckoutServicer_to_server(servicer, server):\n"
+      "    server.register(servicer)\n";
+  tree["services/checkout/requirements.txt"] = "grpcio==1.62\nprotobuf==4.25\n";
+  tree["services/checkout/Dockerfile"] =
+      "FROM python:3.11-slim\nCOPY service.py /app/\nCOPY stubs /app/stubs\n"
+      "CMD [\"python\", \"/app/service.py\"]\n";
+
+  tree["services/shipping/service.py"] =
+      service_file("shipping", {"ShipOrder", "GetQuote"});
+  tree["services/payment/service.py"] = service_file("payment", {"Charge"});
+  tree["services/email/service.py"] =
+      service_file("email", {"SendConfirmation"});
+  tree["services/inventory/service.py"] =
+      service_file("inventory", {"Reserve"});
+  tree["services/currency/service.py"] =
+      service_file("currency", {"Convert", "GetSupportedCurrencies"});
+  tree["services/catalog/service.py"] =
+      service_file("catalog", {"GetProduct", "ListProducts"});
+  tree["services/cart/service.py"] =
+      service_file("cart", {"GetCart", "AddItem"});
+  tree["services/recommendation/service.py"] =
+      service_file("recommendation", {"ListRecommendations"});
+  tree["services/ad/service.py"] = service_file("ad", {"GetAds"});
+  tree["services/frontend/service.py"] =
+      service_file("frontend", {"RenderPage"});
+
+  for (const char* name :
+       {"checkout", "shipping", "payment", "email", "inventory", "currency",
+        "catalog", "cart", "recommendation", "ad", "frontend"}) {
+    tree[std::string("deploy/") + name + ".yaml"] = deploy_yaml(name);
+  }
+  return tree;
+}
+
+ArtifactTree retail_api_after(Task task) {
+  ArtifactTree tree = retail_api_base();
+  switch (task) {
+    case Task::kT1ComposeServices: {
+      tree["services/checkout/service.py"] = kCheckoutServiceT1;
+      tree["services/checkout/stubs/payment_pb2.py"] = stub_file("Payment", 3);
+      tree["services/checkout/stubs/payment_grpc.py"] =
+          "# Generated gRPC bindings. DO NOT EDIT!\n"
+          "class PaymentStub:\n"
+          "    def __init__(self, channel):\n"
+          "        self.channel = channel\n"
+          "    def Charge(self, request, timeout=None):\n"
+          "        return self.channel.unary_unary(\"/Payment/Charge\")("
+          "request, timeout)\n";
+      tree["services/checkout/stubs/shipping_pb2.py"] =
+          stub_file("Shipping", 5);
+      tree["services/checkout/stubs/shipping_grpc.py"] =
+          "# Generated gRPC bindings. DO NOT EDIT!\n"
+          "class ShippingStub:\n"
+          "    def __init__(self, channel):\n"
+          "        self.channel = channel\n"
+          "    def ShipOrder(self, request, timeout=None):\n"
+          "        return self.channel.unary_unary(\"/Shipping/ShipOrder\")("
+          "request, timeout)\n"
+          "    def GetQuote(self, request, timeout=None):\n"
+          "        return self.channel.unary_unary(\"/Shipping/GetQuote\")("
+          "request, timeout)\n";
+      tree["services/checkout/requirements.txt"] =
+          "grpcio==1.62\nprotobuf==4.25\nonlineretail-payment-stubs==1.0\n"
+          "onlineretail-shipping-stubs==1.0\n";
+      tree["deploy/checkout.yaml"] =
+          deploy_yaml("checkout") +
+          "          env:\n"
+          "            - name: PAYMENT_ENDPOINT\n"
+          "              value: payment:7000\n"
+          "            - name: SHIPPING_ENDPOINT\n"
+          "              value: shipping:7000\n";
+      tree["services/checkout/Dockerfile"] =
+          "FROM python:3.11-slim\nCOPY service.py /app/\nCOPY stubs /app/stubs\n"
+          "RUN pip install -r requirements.txt\n"
+          "COPY requirements.txt /app/\n"
+          "CMD [\"python\", \"/app/service.py\"]\n";
+      break;
+    }
+    case Task::kT2AddShipmentPolicy: {
+      // Applied on top of T1 (the composed app).
+      tree = retail_api_after(Task::kT1ComposeServices);
+      std::string service = tree["services/checkout/service.py"];
+      // Insert the policy block before new_order_id and use it in the
+      // ship request.
+      std::string anchor = "        ship_req = shipping_pb2.ShipOrderRequest(\n"
+                           "            items=[i.name for i in request.items],"
+                           " addr=request.address)";
+      std::string replacement =
+          "        method = self.pick_shipping_method(order)\n"
+          "        ship_req = shipping_pb2.ShipOrderRequest(\n"
+          "            items=[i.name for i in request.items],"
+          " addr=request.address,\n"
+          "            method=method)";
+      auto pos = service.find(anchor);
+      if (pos != std::string::npos) {
+        service.replace(pos, anchor.size(), replacement);
+      }
+      std::string tail_anchor = "    def new_order_id(self):";
+      pos = service.find(tail_anchor);
+      if (pos != std::string::npos) {
+        service.insert(pos, std::string(kCheckoutServiceT2Block) + "\n");
+      }
+      tree["services/checkout/service.py"] = std::move(service);
+      tree["deploy/checkout.yaml"] +=
+          "            - name: AIR_SHIPPING_THRESHOLD_USD\n"
+          "              value: \"1000\"\n";
+      break;
+    }
+    case Task::kT3UpdateSchema: {
+      // Applied on top of T1: the Shipping team ships proto v2; Checkout
+      // must regenerate stubs and adapt its call sites.
+      tree = retail_api_after(Task::kT1ComposeServices);
+      tree["protos/shipping.proto"] = kShippingProtoT3;
+      tree["services/checkout/stubs/shipping_pb2.py"] =
+          stub_file("ShippingV2", 9);
+      tree["services/checkout/stubs/shipping_grpc.py"] =
+          "# Generated gRPC bindings (v2). DO NOT EDIT!\n"
+          "class ShippingStub:\n"
+          "    API_VERSION = \"onlineretail.v2\"\n"
+          "    def __init__(self, channel):\n"
+          "        self.channel = channel\n"
+          "    def ShipOrder(self, request, timeout=None):\n"
+          "        return self.channel.unary_unary(\"/v2/Shipping/ShipOrder\")("
+          "request, timeout)\n"
+          "    def GetQuote(self, request, timeout=None):\n"
+          "        return self.channel.unary_unary(\"/v2/Shipping/GetQuote\")("
+          "request, timeout)\n";
+      std::string service = tree["services/checkout/service.py"];
+      std::string quote_anchor =
+          "        quote_req = shipping_pb2.GetQuoteRequest(\n"
+          "            items=[i.name for i in request.items],"
+          " addr=request.address)";
+      std::string quote_new =
+          "        packages = [shipping_pb2.Package(name=i.name, qty=i.qty,\n"
+          "                                         weight_kg=self.weight(i))\n"
+          "                    for i in request.items]\n"
+          "        address = shipping_pb2.Address(\n"
+          "            street=self.street(request.address),\n"
+          "            city=self.city(request.address),\n"
+          "            zip=self.zip_code(request.address))\n"
+          "        quote_req = shipping_pb2.GetQuoteRequest(\n"
+          "            packages=packages, address=address)";
+      auto pos = service.find(quote_anchor);
+      if (pos != std::string::npos) {
+        service.replace(pos, quote_anchor.size(), quote_new);
+      }
+      std::string ship_anchor =
+          "        ship_req = shipping_pb2.ShipOrderRequest(\n"
+          "            items=[i.name for i in request.items],"
+          " addr=request.address)";
+      std::string ship_new =
+          "        ship_req = shipping_pb2.ShipOrderRequest(\n"
+          "            packages=packages, address=address,\n"
+          "            insurance=order[\"cost\"] > 500.0)";
+      pos = service.find(ship_anchor);
+      if (pos != std::string::npos) {
+        service.replace(pos, ship_anchor.size(), ship_new);
+      }
+      std::string helpers =
+          "    def weight(self, item):\n"
+          "        return self.config.weights.get(item.name, 0.5) * item.qty\n\n"
+          "    def street(self, address):\n"
+          "        return address.split(\",\")[0].strip()\n\n"
+          "    def city(self, address):\n"
+          "        parts = address.split(\",\")\n"
+          "        return parts[1].strip() if len(parts) > 1 else \"\"\n\n"
+          "    def zip_code(self, address):\n"
+          "        parts = address.split(\",\")\n"
+          "        return parts[-1].strip() if len(parts) > 2 else \"\"\n\n";
+      std::string tail_anchor = "    def new_order_id(self):";
+      pos = service.find(tail_anchor);
+      if (pos != std::string::npos) {
+        service.insert(pos, helpers);
+      }
+      tree["services/checkout/service.py"] = std::move(service);
+      // Rolling out the new proto needs image bumps on both sides.
+      {
+        std::string& shipping_yaml = tree["deploy/shipping.yaml"];
+        auto img = shipping_yaml.find("registry.local/shipping:v1");
+        if (img != std::string::npos) {
+          shipping_yaml.replace(img, 26, "registry.local/shipping:v2");
+        }
+        std::string& checkout_yaml = tree["deploy/checkout.yaml"];
+        img = checkout_yaml.find("registry.local/checkout:v1");
+        if (img != std::string::npos) {
+          checkout_yaml.replace(img, 26, "registry.local/checkout:v2");
+        }
+      }
+      break;
+    }
+  }
+  return tree;
+}
+
+ArtifactTree social_network_api_base() {
+  // Service/method inventory modeled on DeathStarBench socialNetwork
+  // (14 services, 36 RPC-handling methods), the paper's second scattering
+  // datapoint.
+  ArtifactTree tree;
+  struct Def {
+    const char* name;
+    std::vector<std::string> handlers;
+  };
+  const Def defs[] = {
+      {"user",
+       {"RegisterUser", "Login", "Follow", "Unfollow", "GetUser",
+        "UpdateUser"}},
+      {"social-graph",
+       {"GetFollowers", "GetFollowees", "InsertUser", "FollowWithUsername",
+        "UnfollowWithUsername", "RemoveUser"}},
+      {"post-storage", {"StorePost", "ReadPost", "ReadPosts"}},
+      {"user-timeline",
+       {"WriteUserTimeline", "ReadUserTimeline", "RemovePosts"}},
+      {"home-timeline", {"ReadHomeTimeline", "WriteHomeTimeline"}},
+      {"compose-post", {"ComposePost", "ComposeCreator"}},
+      {"text", {"UploadText", "ProcessText"}},
+      {"media", {"UploadMedia", "GetMedia"}},
+      {"url-shorten", {"UploadUrls", "GetUrls"}},
+      {"user-mention", {"UploadUserMentions"}},
+      {"unique-id", {"UploadUniqueId"}},
+      {"frontend", {"RenderTimeline", "RenderProfile"}},
+      {"search", {"Search", "IndexPost"}},
+      {"notification", {"Notify", "ListNotifications"}},
+  };
+  for (const auto& def : defs) {
+    tree[std::string("services/") + def.name + "/service.py"] =
+        service_file(def.name, def.handlers);
+    tree[std::string("deploy/") + def.name + ".yaml"] = deploy_yaml(def.name);
+  }
+  return tree;
+}
+
+// ---------------------------------------------------------------------------
+// Knactor artifact trees: only the integrator configuration changes.
+// ---------------------------------------------------------------------------
+
+ArtifactTree retail_knactor_base() {
+  ArtifactTree tree;
+  tree["integrator/retail-dxg.yaml"] =
+      "Input:\n"
+      "  C: OnlineRetail/v1/Checkout/knactor-checkout\n"
+      "DXG:\n";
+  tree["schemas/checkout.yaml"] =
+      "schema: OnlineRetail/v1/Checkout/Order\n"
+      "items: object\n"
+      "address: string\n"
+      "cost: number\n"
+      "shippingCost: number # +kr: external\n"
+      "totalCost: number\n"
+      "currency: string\n"
+      "paymentID: string # +kr: external\n"
+      "trackingID: string # +kr: external\n";
+  tree["schemas/shipping.yaml"] =
+      "schema: OnlineRetail/v1/Shipping/Shipment\n"
+      "items: list # +kr: external\n"
+      "addr: string # +kr: external\n"
+      "method: string # +kr: external\n"
+      "quote: object\n"
+      "id: string\n";
+  tree["schemas/payment.yaml"] =
+      "schema: OnlineRetail/v1/Payment/Charge\n"
+      "amount: number # +kr: external\n"
+      "currency: string # +kr: external\n"
+      "id: string\n";
+  return tree;
+}
+
+ArtifactTree retail_knactor_after(Task task) {
+  ArtifactTree tree = retail_knactor_base();
+  const std::string t1_dxg =
+      "Input:\n"
+      "  C: OnlineRetail/v1/Checkout/knactor-checkout\n"
+      "  S: OnlineRetail/v1/Shipping/knactor-shipping\n"
+      "  P: OnlineRetail/v1/Payment/knactor-payment\n"
+      "DXG:\n"
+      "  C.order:\n"
+      "    shippingCost: currency_convert(S.quote.price, S.quote.currency, "
+      "this.currency)\n"
+      "    paymentID: P.id\n"
+      "    trackingID: S.id\n"
+      "  P:\n"
+      "    amount: C.order.totalCost\n"
+      "    currency: C.order.currency\n"
+      "  S:\n"
+      "    items: '[item.name for item in C.order.items]'\n"
+      "    addr: C.order.address\n";
+  switch (task) {
+    case Task::kT1ComposeServices:
+      tree["integrator/retail-dxg.yaml"] = t1_dxg;
+      break;
+    case Task::kT2AddShipmentPolicy:
+      tree["integrator/retail-dxg.yaml"] =
+          t1_dxg +
+          "    method: '\"air\" if C.order.cost > 1000 else \"ground\"'\n";
+      break;
+    case Task::kT3UpdateSchema: {
+      // Shipping v2: packages/address/insurance replace items/addr. Only
+      // the exchange spec changes; Checkout is untouched.
+      std::string dxg = t1_dxg;
+      auto replace = [&dxg](const std::string& from, const std::string& to) {
+        auto pos = dxg.find(from);
+        if (pos != std::string::npos) dxg.replace(pos, from.size(), to);
+      };
+      replace("  S: OnlineRetail/v1/Shipping/knactor-shipping\n",
+              "  S: OnlineRetail/v2/Shipping/knactor-shipping\n");
+      replace("    items: '[item.name for item in C.order.items]'\n",
+              "    packages: '[{\"name\": item.name, \"qty\": item.qty} for "
+              "item in C.order.items]'\n");
+      replace("    addr: C.order.address\n",
+              "    address: C.order.address\n"
+              "    insurance: C.order.cost > 500\n");
+      tree["integrator/retail-dxg.yaml"] = std::move(dxg);
+      break;
+    }
+  }
+  return tree;
+}
+
+// ---------------------------------------------------------------------------
+// Diffing.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool is_code_path(const std::string& path) {
+  using common::ends_with;
+  if (ends_with(path, ".py") || ends_with(path, ".proto") ||
+      ends_with(path, ".go") || ends_with(path, ".cpp") ||
+      ends_with(path, ".h")) {
+    return true;
+  }
+  return path.find("Dockerfile") != std::string::npos;
+}
+
+bool is_config_path(const std::string& path) {
+  using common::ends_with;
+  return ends_with(path, ".yaml") || ends_with(path, ".yml") ||
+         ends_with(path, ".txt") || ends_with(path, ".cfg");
+}
+
+/// SLOC lines of `text` as a multiset (blank/comment lines excluded, per
+/// the SLOC convention used in the paper's Table 1).
+std::vector<std::string> sloc_lines(const std::string& text) {
+  std::vector<std::string> out;
+  for (const auto& line : common::split(text, '\n')) {
+    std::string_view t = common::trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    out.emplace_back(t);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Symmetric multiset difference size (lines added + lines removed).
+std::size_t line_delta(const std::string& before, const std::string& after) {
+  std::vector<std::string> a = sloc_lines(before);
+  std::vector<std::string> b = sloc_lines(after);
+  std::vector<std::string> only_a;
+  std::vector<std::string> only_b;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(only_a));
+  std::set_difference(b.begin(), b.end(), a.begin(), a.end(),
+                      std::back_inserter(only_b));
+  // A modified line counts once (it appears on both sides); pure adds and
+  // removes count once each.
+  std::size_t modified = std::min(only_a.size(), only_b.size());
+  std::size_t adds_removes =
+      std::max(only_a.size(), only_b.size()) - modified;
+  return modified + adds_removes;
+}
+
+}  // namespace
+
+std::string CompositionCost::operations() const {
+  std::string out;
+  auto append = [&out](const char* op) {
+    if (!out.empty()) out += " / ";
+    out += op;
+  };
+  if (code_changes) append("c");
+  if (config_changes) append("f");
+  if (rebuild) append("b");
+  if (redeploy) append("d");
+  return out.empty() ? "-" : out;
+}
+
+CompositionCost diff_trees(const ArtifactTree& before,
+                           const ArtifactTree& after) {
+  CompositionCost cost;
+  std::vector<std::string> paths;
+  for (const auto& [path, content] : before) paths.push_back(path);
+  for (const auto& [path, content] : after) {
+    if (before.find(path) == before.end()) paths.push_back(path);
+  }
+  for (const auto& path : paths) {
+    auto b = before.find(path);
+    auto a = after.find(path);
+    const std::string empty;
+    const std::string& bc = b == before.end() ? empty : b->second;
+    const std::string& ac = a == after.end() ? empty : a->second;
+    if (bc == ac) continue;
+    ++cost.files;
+    cost.sloc += line_delta(bc, ac);
+    if (is_code_path(path)) {
+      cost.code_changes = true;
+    } else if (is_config_path(path)) {
+      cost.config_changes = true;
+    } else {
+      cost.config_changes = true;
+    }
+  }
+  if (cost.code_changes) {
+    cost.rebuild = true;
+    cost.redeploy = true;
+  }
+  return cost;
+}
+
+ScatterReport analyze_scatter(const ArtifactTree& tree) {
+  ScatterReport report;
+  for (const auto& [path, content] : tree) {
+    if (path.find("services/") != 0 || !common::ends_with(path, "service.py")) {
+      continue;
+    }
+    ++report.services;
+    std::size_t handlers =
+        common::count_lines_containing(content, "def Handle");
+    report.handler_methods += handlers;
+    // services/<name>/service.py
+    auto first = path.find('/');
+    auto second = path.find('/', first + 1);
+    report.per_service[path.substr(first + 1, second - first - 1)] = handlers;
+  }
+  return report;
+}
+
+}  // namespace knactor::apps

@@ -1,0 +1,71 @@
+// Composition-cost artifacts (Table 1). Both composition styles exist as
+// concrete file trees — the API-centric app's protos, generated stubs,
+// service code, and deployment configs vs. the Knactor app's integrator
+// DXG config — in before/after versions for each task:
+//
+//   T1: compose Payment and Shipping with Checkout
+//   T2: add a shipment policy based on the order price
+//   T3: update the Shipping schema (rename addr -> address, split street/zip)
+//
+// The bench diffs the trees and reports the paper's metrics: required
+// operations (c: code change, f: config change, b: rebuild, d: redeploy),
+// files touched, and SLOC changed.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace knactor::apps {
+
+/// A file tree: path -> content.
+using ArtifactTree = std::map<std::string, std::string>;
+
+/// Task ids for Table 1.
+enum class Task { kT1ComposeServices, kT2AddShipmentPolicy, kT3UpdateSchema };
+
+const char* task_name(Task task);
+
+/// API-centric artifact trees.
+ArtifactTree retail_api_base();
+ArtifactTree retail_api_after(Task task);
+
+/// Knactor artifact trees (integrator configuration only; service code
+/// never changes across tasks).
+ArtifactTree retail_knactor_base();
+ArtifactTree retail_knactor_after(Task task);
+
+/// Diff metrics between two trees (the Table 1 row for one task).
+struct CompositionCost {
+  bool code_changes = false;    // c
+  bool config_changes = false;  // f
+  bool rebuild = false;         // b (implied by code changes)
+  bool redeploy = false;        // d (implied by code changes)
+  std::size_t files = 0;        // files added/modified/removed
+  std::size_t sloc = 0;         // source lines changed (added+removed+edits)
+
+  [[nodiscard]] std::string operations() const;
+};
+
+/// Computes the composition cost of moving `before` to `after`. A path
+/// counts as code when it ends in .py/.proto/.go/.cpp (rebuild+redeploy
+/// required); as config when it ends in .yaml/.yml/.txt/.cfg.
+CompositionCost diff_trees(const ArtifactTree& before,
+                           const ArtifactTree& after);
+
+/// The social-network app (DeathStarBench-style), the paper's second
+/// scattering datapoint: "36 across 14 services in another well-studied
+/// social networking app".
+ArtifactTree social_network_api_base();
+
+/// Scattering analysis (§4: "15 methods on handling API invocations
+/// scattered across 11 services"): counts RPC-handler methods per service
+/// file in the API-centric tree.
+struct ScatterReport {
+  std::size_t services = 0;
+  std::size_t handler_methods = 0;
+  std::map<std::string, std::size_t> per_service;
+};
+ScatterReport analyze_scatter(const ArtifactTree& tree);
+
+}  // namespace knactor::apps

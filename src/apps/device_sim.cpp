@@ -1,0 +1,83 @@
+#include "apps/device_sim.h"
+
+namespace knactor::apps {
+
+using common::Value;
+
+bool OccupancyPattern::occupied_at(sim::SimTime t) const {
+  sim::SimTime day = 24LL * 3600 * sim::kSecond;
+  sim::SimTime tod = ((t % day) + day) % day;
+  for (const auto& window : windows) {
+    if (tod >= window.enter && tod < window.leave) return true;
+  }
+  return false;
+}
+
+OccupancyPattern OccupancyPattern::weekday() {
+  OccupancyPattern p;
+  p.windows.push_back({sim::SimTime{6 * 3600 + 1800} * sim::kSecond,
+                       sim::SimTime{8 * 3600 + 1800} * sim::kSecond});
+  p.windows.push_back({sim::SimTime{18 * 3600} * sim::kSecond,
+                       sim::SimTime{23 * 3600} * sim::kSecond});
+  return p;
+}
+
+OccupancyPattern OccupancyPattern::empty() { return {}; }
+
+OccupancyPattern OccupancyPattern::always() {
+  OccupancyPattern p;
+  p.windows.push_back({0, 24LL * 3600 * sim::kSecond});
+  return p;
+}
+
+MotionSensorSim::MotionSensorSim(sim::VirtualClock& clock,
+                                 de::ObjectStore& store, de::LogPool* pool,
+                                 OccupancyPattern pattern, Options options)
+    : clock_(clock),
+      store_(store),
+      pool_(pool),
+      pattern_(std::move(pattern)),
+      options_(options),
+      rng_(options.seed) {}
+
+MotionSensorSim::MotionSensorSim(sim::VirtualClock& clock,
+                                 de::ObjectStore& store, de::LogPool* pool,
+                                 OccupancyPattern pattern)
+    : MotionSensorSim(clock, store, pool, std::move(pattern), Options{}) {}
+
+void MotionSensorSim::start() {
+  if (running_) return;
+  running_ = true;
+  clock_.schedule_after(options_.period, [this]() { sample(); });
+}
+
+void MotionSensorSim::sample() {
+  if (!running_) return;
+  ++samples_;
+  bool occupied = pattern_.occupied_at(clock_.now());
+  if (options_.flake_rate > 0 && rng_.next_double() < options_.flake_rate) {
+    occupied = !occupied;  // misread
+  }
+
+  // Report transitions into the Object store; every sample into the log.
+  if (!have_reported_ || occupied != last_reported_) {
+    have_reported_ = true;
+    last_reported_ = occupied;
+    ++transitions_;
+    Value patch = Value::object();
+    patch.set("triggered", Value(occupied));
+    store_.patch("knactor:motion", "state", std::move(patch),
+                 [](common::Result<std::uint64_t>) {});
+  }
+  if (pool_ != nullptr) {
+    Value record = Value::object();
+    record.set("triggered", Value(occupied));
+    record.set("sensor", Value("motion-1"));
+    record.set("t", Value(static_cast<std::int64_t>(clock_.now())));
+    pool_->append(("knactor:motion"), std::move(record),
+                  [](common::Result<std::uint64_t>) {});
+  }
+  clock_.schedule_after(options_.period, [this]() { sample(); });
+}
+
+}  // namespace knactor::apps

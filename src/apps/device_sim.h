@@ -1,0 +1,82 @@
+// IoT device simulator — the Digibox analog (the paper adapts its smart-
+// home app "from an open-source IoT app simulator" [45]). Devices run on
+// the virtual clock and interact with the world exclusively through their
+// knactor's stores: sensors write readings, actuators apply config state.
+//
+// An OccupancyPattern drives a motion sensor through a day: a sequence of
+// (enter, leave) intervals; the sensor samples every `period` and reports
+// `triggered` transitions into its Object store (current state) and Log
+// pool (history), exactly as SmartHomeKnactorApp::trigger_motion does by
+// hand.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "de/log.h"
+#include "de/object.h"
+#include "sim/clock.h"
+#include "sim/random.h"
+
+namespace knactor::apps {
+
+/// Occupancy schedule: the room is occupied during [enter, leave) windows
+/// (sim time offsets within a day).
+struct OccupancyPattern {
+  struct Window {
+    sim::SimTime enter = 0;
+    sim::SimTime leave = 0;
+  };
+  std::vector<Window> windows;
+
+  [[nodiscard]] bool occupied_at(sim::SimTime t) const;
+
+  /// A typical weekday: 06:30-08:30 morning, 18:00-23:00 evening.
+  static OccupancyPattern weekday();
+  /// Always-off (vacation) and always-on (party) edge cases.
+  static OccupancyPattern empty();
+  static OccupancyPattern always();
+};
+
+/// A simulated motion sensor bound to a knactor's stores.
+class MotionSensorSim {
+ public:
+  struct Options {
+    sim::SimTime period = 30 * sim::kSecond;
+    /// Probability a sample misreads (flaky sensor), in [0,1).
+    double flake_rate = 0.0;
+    std::uint64_t seed = 97;
+  };
+
+  MotionSensorSim(sim::VirtualClock& clock, de::ObjectStore& store,
+                  de::LogPool* pool, OccupancyPattern pattern,
+                  Options options);
+  /// Default options.
+  MotionSensorSim(sim::VirtualClock& clock, de::ObjectStore& store,
+                  de::LogPool* pool, OccupancyPattern pattern);
+
+  /// Starts periodic sampling; each sample writes `triggered` into the
+  /// Object store (patch) and appends a reading to the Log pool.
+  void start();
+  void stop() { running_ = false; }
+
+  [[nodiscard]] std::size_t samples_taken() const { return samples_; }
+  [[nodiscard]] std::size_t transitions() const { return transitions_; }
+
+ private:
+  void sample();
+
+  sim::VirtualClock& clock_;
+  de::ObjectStore& store_;
+  de::LogPool* pool_;
+  OccupancyPattern pattern_;
+  Options options_;
+  sim::Rng rng_;
+  bool running_ = false;
+  bool last_reported_ = false;
+  bool have_reported_ = false;
+  std::size_t samples_ = 0;
+  std::size_t transitions_ = 0;
+};
+
+}  // namespace knactor::apps

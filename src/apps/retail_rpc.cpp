@@ -1,0 +1,456 @@
+#include "apps/retail_rpc.h"
+
+#include "common/logging.h"
+
+namespace knactor::apps {
+
+using common::Error;
+using common::Result;
+using common::Value;
+using net::FieldDescriptor;
+using net::FieldType;
+using net::MessageDescriptor;
+using net::MethodDescriptor;
+using net::RpcChannel;
+using net::RpcServer;
+using net::ServiceDescriptor;
+
+namespace {
+
+constexpr const char* kNs = "OnlineRetail.v1.";
+
+MessageDescriptor msg(const std::string& name,
+                      std::vector<FieldDescriptor> fields) {
+  MessageDescriptor d;
+  d.full_name = kNs + name;
+  d.fields = std::move(fields);
+  return d;
+}
+
+}  // namespace
+
+RetailRpcApp::RetailRpcApp(sim::VirtualClock& clock, RetailRpcOptions options)
+    : clock_(clock), options_(options) {
+  network_ = std::make_unique<net::SimNetwork>(clock_);
+  network_->set_default_latency(options_.link);
+  define_schemas();
+  start_services();
+}
+
+void RetailRpcApp::define_schemas() {
+  // The message schemas every caller compiles in (the coupling surface).
+  auto add = [this](MessageDescriptor d) {
+    auto status = pool_.add(std::move(d));
+    if (!status.ok()) {
+      KN_ERROR << "retail-rpc: schema: " << status.error().to_string();
+    }
+  };
+  add(msg("CartItem", {{1, "name", FieldType::kString, false, "", true},
+                       {2, "qty", FieldType::kInt}}));
+  add(msg("ShipOrderRequest",
+          {{1, "items", FieldType::kString, true},
+           {2, "addr", FieldType::kString, false, "", true},
+           {3, "method", FieldType::kString}}));
+  add(msg("ShipOrderResponse", {{1, "tracking_id", FieldType::kString}}));
+  add(msg("GetQuoteRequest", {{1, "items", FieldType::kString, true},
+                              {2, "addr", FieldType::kString}}));
+  add(msg("GetQuoteResponse", {{1, "price", FieldType::kDouble},
+                               {2, "currency", FieldType::kString}}));
+  add(msg("ChargeRequest", {{1, "amount", FieldType::kDouble, false, "", true},
+                            {2, "currency", FieldType::kString}}));
+  add(msg("ChargeResponse", {{1, "id", FieldType::kString}}));
+  add(msg("PlaceOrderRequest",
+          {{1, "items", FieldType::kMessage, true, kNs + std::string("CartItem")},
+           {2, "address", FieldType::kString},
+           {3, "cost", FieldType::kDouble},
+           {4, "currency", FieldType::kString},
+           {5, "email", FieldType::kString}}));
+  add(msg("PlaceOrderResponse", {{1, "tracking_id", FieldType::kString},
+                                 {2, "payment_id", FieldType::kString}}));
+  add(msg("SendConfirmationRequest",
+          {{1, "recipient", FieldType::kString},
+           {2, "tracking_id", FieldType::kString}}));
+  add(msg("SendConfirmationResponse", {{1, "sent", FieldType::kBool}}));
+  add(msg("ReserveRequest", {{1, "items", FieldType::kString, true}}));
+  add(msg("ReserveResponse", {{1, "ok", FieldType::kBool}}));
+  add(msg("ConvertRequest", {{1, "amount", FieldType::kDouble},
+                             {2, "from", FieldType::kString},
+                             {3, "to", FieldType::kString}}));
+  add(msg("ConvertResponse", {{1, "amount", FieldType::kDouble}}));
+  add(msg("GetProductRequest", {{1, "name", FieldType::kString}}));
+  add(msg("GetProductResponse", {{1, "price", FieldType::kDouble}}));
+  add(msg("ListProductsRequest", {}));
+  add(msg("ListProductsResponse", {{1, "names", FieldType::kString, true}}));
+  add(msg("GetSupportedCurrenciesRequest", {}));
+  add(msg("GetSupportedCurrenciesResponse",
+          {{1, "codes", FieldType::kString, true}}));
+  add(msg("GetCartRequest", {{1, "user_id", FieldType::kString}}));
+  add(msg("GetCartResponse",
+          {{1, "items", FieldType::kMessage, true, kNs + std::string("CartItem")}}));
+  add(msg("AddItemRequest",
+          {{1, "user_id", FieldType::kString},
+           {2, "item", FieldType::kMessage, false, kNs + std::string("CartItem")}}));
+  add(msg("AddItemResponse", {{1, "ok", FieldType::kBool}}));
+  add(msg("ListRecommendationsRequest", {{1, "items", FieldType::kString, true}}));
+  add(msg("ListRecommendationsResponse",
+          {{1, "suggestions", FieldType::kString, true}}));
+  add(msg("GetAdsRequest", {{1, "keywords", FieldType::kString, true}}));
+  add(msg("GetAdsResponse", {{1, "creative", FieldType::kString}}));
+  add(msg("RenderPageRequest", {{1, "user_id", FieldType::kString}}));
+  add(msg("RenderPageResponse", {{1, "html", FieldType::kString}}));
+}
+
+void RetailRpcApp::start_services() {
+  auto method = [](const char* name, const std::string& req,
+                   const std::string& resp) {
+    return MethodDescriptor{name, kNs + req, kNs + resp};
+  };
+
+  struct Def {
+    const char* service;
+    const char* node;
+    std::vector<MethodDescriptor> methods;
+  };
+  std::vector<Def> defs = {
+      {"Shipping", "pod-shipping",
+       {method("ShipOrder", "ShipOrderRequest", "ShipOrderResponse"),
+        method("GetQuote", "GetQuoteRequest", "GetQuoteResponse")}},
+      {"Payment", "pod-payment",
+       {method("Charge", "ChargeRequest", "ChargeResponse")}},
+      {"Checkout", "pod-checkout",
+       {method("PlaceOrder", "PlaceOrderRequest", "PlaceOrderResponse")}},
+      {"Email", "pod-email",
+       {method("SendConfirmation", "SendConfirmationRequest",
+               "SendConfirmationResponse")}},
+      {"Inventory", "pod-inventory",
+       {method("Reserve", "ReserveRequest", "ReserveResponse")}},
+      {"Currency", "pod-currency",
+       {method("Convert", "ConvertRequest", "ConvertResponse"),
+        method("GetSupportedCurrencies", "GetSupportedCurrenciesRequest",
+               "GetSupportedCurrenciesResponse")}},
+      {"Catalog", "pod-catalog",
+       {method("GetProduct", "GetProductRequest", "GetProductResponse"),
+        method("ListProducts", "ListProductsRequest",
+               "ListProductsResponse")}},
+      {"Cart", "pod-cart",
+       {method("GetCart", "GetCartRequest", "GetCartResponse"),
+        method("AddItem", "AddItemRequest", "AddItemResponse")}},
+      {"Recommendation", "pod-recommendation",
+       {method("ListRecommendations", "ListRecommendationsRequest",
+               "ListRecommendationsResponse")}},
+      {"Ad", "pod-ad", {method("GetAds", "GetAdsRequest", "GetAdsResponse")}},
+      {"Frontend", "pod-frontend",
+       {method("RenderPage", "RenderPageRequest", "RenderPageResponse")}},
+  };
+
+  for (const auto& def : defs) {
+    auto server = std::make_unique<RpcServer>(*network_, def.node, pool_);
+    ServiceDescriptor sd;
+    sd.name = kNs + std::string(def.service);
+    sd.methods = def.methods;
+    auto added = server->add_service(sd, registry_);
+    if (!added.ok()) {
+      KN_ERROR << "retail-rpc: " << added.error().to_string();
+    }
+    services_.push_back(sd);
+    servers_.push_back(std::move(server));
+  }
+
+  auto find_server = [this, &defs](const char* service) -> RpcServer& {
+    for (std::size_t i = 0; i < defs.size(); ++i) {
+      if (std::string(defs[i].service) == service) return *servers_[i];
+    }
+    std::abort();
+  };
+  auto descriptor = [this](const char* service) -> const ServiceDescriptor& {
+    for (const auto& s : services_) {
+      if (s.name == kNs + std::string(service)) return s;
+    }
+    std::abort();
+  };
+
+  // Shipping handlers.
+  (void)find_server("Shipping")
+      .add_handler(kNs + std::string("Shipping"), "GetQuote",
+                   [](const Value& req, RpcServer::Respond respond) {
+                     const Value* items = req.get("items");
+                     double n = items != nullptr && items->is_array()
+                                    ? static_cast<double>(items->as_array().size())
+                                    : 1.0;
+                     Value resp = Value::object();
+                     resp.set("price", Value(5.0 + 10.0 * n));
+                     resp.set("currency", Value("USD"));
+                     respond(std::move(resp));
+                   });
+  (void)find_server("Shipping")
+      .add_handler(
+          kNs + std::string("Shipping"), "ShipOrder",
+          [this](const Value& req, RpcServer::Respond respond) {
+            (void)req;
+            timings_.ship_handler_start = clock_.now();
+            clock_.schedule_after(
+                options_.shipment_processing.sample(rng_),
+                [this, respond]() {
+                  timings_.ship_handler_end = clock_.now();
+                  Value resp = Value::object();
+                  resp.set("tracking_id",
+                           Value("track-" + std::to_string(++tracking_seq_)));
+                  respond(std::move(resp));
+                });
+          });
+  // Payment handler.
+  (void)find_server("Payment")
+      .add_handler(kNs + std::string("Payment"), "Charge",
+                   [this](const Value& req, RpcServer::Respond respond) {
+                     (void)req;
+                     clock_.schedule_after(
+                         options_.payment_processing.sample(rng_),
+                         [this, respond]() {
+                           Value resp = Value::object();
+                           resp.set("id", Value("pay-" + std::to_string(
+                                                             ++payment_seq_)));
+                           respond(std::move(resp));
+                         });
+                   });
+  // Side services.
+  (void)find_server("Email").add_handler(
+      kNs + std::string("Email"), "SendConfirmation",
+      [](const Value&, RpcServer::Respond respond) {
+        Value resp = Value::object();
+        resp.set("sent", Value(true));
+        respond(std::move(resp));
+      });
+  (void)find_server("Inventory")
+      .add_handler(kNs + std::string("Inventory"), "Reserve",
+                   [](const Value&, RpcServer::Respond respond) {
+                     Value resp = Value::object();
+                     resp.set("ok", Value(true));
+                     respond(std::move(resp));
+                   });
+  (void)find_server("Currency")
+      .add_handler(kNs + std::string("Currency"), "Convert",
+                   [](const Value& req, RpcServer::Respond respond) {
+                     const Value* amount = req.get("amount");
+                     Value resp = Value::object();
+                     resp.set("amount", amount != nullptr ? *amount : Value(0.0));
+                     respond(std::move(resp));
+                   });
+  (void)find_server("Currency")
+      .add_handler(kNs + std::string("Currency"), "GetSupportedCurrencies",
+                   [](const Value&, RpcServer::Respond respond) {
+                     Value resp = Value::object();
+                     resp.set("codes",
+                              Value(Value::Array{Value("USD"), Value("EUR"),
+                                                 Value("GBP")}));
+                     respond(std::move(resp));
+                   });
+  (void)find_server("Catalog")
+      .add_handler(kNs + std::string("Catalog"), "ListProducts",
+                   [](const Value&, RpcServer::Respond respond) {
+                     Value resp = Value::object();
+                     resp.set("names",
+                              Value(Value::Array{Value("keyboard"),
+                                                 Value("mouse")}));
+                     respond(std::move(resp));
+                   });
+  (void)find_server("Catalog")
+      .add_handler(kNs + std::string("Catalog"), "GetProduct",
+                   [](const Value&, RpcServer::Respond respond) {
+                     Value resp = Value::object();
+                     resp.set("price", Value(45.0));
+                     respond(std::move(resp));
+                   });
+  (void)find_server("Cart").add_handler(
+      kNs + std::string("Cart"), "GetCart",
+      [](const Value&, RpcServer::Respond respond) {
+        respond(Value::object());
+      });
+  (void)find_server("Cart").add_handler(
+      kNs + std::string("Cart"), "AddItem",
+      [](const Value&, RpcServer::Respond respond) {
+        Value resp = Value::object();
+        resp.set("ok", Value(true));
+        respond(std::move(resp));
+      });
+  (void)find_server("Recommendation")
+      .add_handler(kNs + std::string("Recommendation"), "ListRecommendations",
+                   [](const Value& req, RpcServer::Respond respond) {
+                     Value resp = Value::object();
+                     Value::Array suggestions;
+                     const Value* items = req.get("items");
+                     if (items != nullptr && items->is_array()) {
+                       for (const auto& item : items->as_array()) {
+                         if (item.is_string()) {
+                           suggestions.emplace_back("like:" + item.as_string());
+                         }
+                       }
+                     }
+                     resp.set("suggestions", Value(std::move(suggestions)));
+                     respond(std::move(resp));
+                   });
+  (void)find_server("Ad").add_handler(
+      kNs + std::string("Ad"), "GetAds",
+      [](const Value&, RpcServer::Respond respond) {
+        Value resp = Value::object();
+        resp.set("creative", Value("generic-banner"));
+        respond(std::move(resp));
+      });
+  (void)find_server("Frontend")
+      .add_handler(kNs + std::string("Frontend"), "RenderPage",
+                   [](const Value&, RpcServer::Respond respond) {
+                     Value resp = Value::object();
+                     resp.set("html", Value("<html/>"));
+                     respond(std::move(resp));
+                   });
+
+  // Checkout: the composition logic lives here, as client calls — the
+  // scattered, coupled form the paper critiques. Checkout's channel is its
+  // pod's client side.
+  channels_.push_back(std::make_unique<RpcChannel>(*network_, "pod-checkout",
+                                                   registry_, pool_));
+  channels_.push_back(std::make_unique<RpcChannel>(*network_, "pod-loadgen",
+                                                   registry_, pool_));
+  (void)find_server("Checkout")
+      .add_handler(
+          kNs + std::string("Checkout"), "PlaceOrder",
+          [this, descriptor](const Value& req, RpcServer::Respond respond) {
+            RpcChannel& ch = *channels_[0];
+            const Value* cost = req.get("cost");
+            const Value* currency = req.get("currency");
+            const Value* email = req.get("email");
+            const Value* address = req.get("address");
+            const Value* items = req.get("items");
+            Value::Array names;
+            if (items != nullptr && items->is_array()) {
+              for (const auto& item : items->as_array()) {
+                const Value* name = item.get("name");
+                if (name != nullptr) names.push_back(*name);
+              }
+            }
+
+            // 1. Charge payment.
+            Value charge = Value::object();
+            charge.set("amount", cost != nullptr ? *cost : Value(0.0));
+            charge.set("currency",
+                       currency != nullptr ? *currency : Value("USD"));
+            auto names_copy = names;
+            ch.call(
+                descriptor("Payment"), "Charge", std::move(charge),
+                [this, respond, descriptor, names = std::move(names_copy),
+                 cost = cost != nullptr ? *cost : Value(0.0),
+                 address = address != nullptr ? *address : Value(""),
+                 email = email != nullptr ? *email : Value("")](
+                    Result<Value> charged) mutable {
+                  if (!charged.ok()) {
+                    respond(charged.error());
+                    return;
+                  }
+                  std::string payment_id =
+                      charged.value().get("id")->as_string();
+                  RpcChannel& ch = *channels_[0];
+                  // 2. Quote, then ship.
+                  Value quote_req = Value::object();
+                  quote_req.set("items", Value(names));
+                  quote_req.set("addr", address);
+                  ch.call(
+                      descriptor("Shipping"), "GetQuote", std::move(quote_req),
+                      [this, respond, descriptor, names = std::move(names),
+                       cost, address, email,
+                       payment_id](Result<Value> quoted) mutable {
+                        if (!quoted.ok()) {
+                          respond(quoted.error());
+                          return;
+                        }
+                        RpcChannel& ch = *channels_[0];
+                        Value ship = Value::object();
+                        ship.set("items", Value(names));
+                        ship.set("addr", address);
+                        ship.set("method",
+                                 Value(cost.as_number() > 1000 ? "air"
+                                                               : "ground"));
+                        timings_.ship_request_sent = clock_.now();
+                        ch.call(
+                            descriptor("Shipping"), "ShipOrder",
+                            std::move(ship),
+                            [this, respond, descriptor, names, email,
+                             payment_id](Result<Value> shipped) mutable {
+                              timings_.ship_response_recv = clock_.now();
+                              if (!shipped.ok()) {
+                                respond(shipped.error());
+                                return;
+                              }
+                              std::string tracking =
+                                  shipped.value().get("tracking_id")->as_string();
+                              RpcChannel& ch = *channels_[0];
+                              // 3. Side calls: email, inventory,
+                              // recommendations, ads (fire and forget).
+                              Value confirm = Value::object();
+                              confirm.set("recipient", email);
+                              confirm.set("tracking_id", Value(tracking));
+                              ch.call(descriptor("Email"), "SendConfirmation",
+                                      std::move(confirm), [](Result<Value>) {});
+                              Value reserve = Value::object();
+                              reserve.set("items", Value(names));
+                              ch.call(descriptor("Inventory"), "Reserve",
+                                      std::move(reserve), [](Result<Value>) {});
+                              Value recs = Value::object();
+                              recs.set("items", Value(names));
+                              ch.call(descriptor("Recommendation"),
+                                      "ListRecommendations", std::move(recs),
+                                      [](Result<Value>) {});
+                              Value ads = Value::object();
+                              ads.set("keywords", Value(names));
+                              ch.call(descriptor("Ad"), "GetAds",
+                                      std::move(ads), [](Result<Value>) {});
+
+                              Value resp = Value::object();
+                              resp.set("tracking_id", Value(tracking));
+                              resp.set("payment_id", Value(payment_id));
+                              respond(std::move(resp));
+                            });
+                      });
+                });
+          });
+}
+
+Result<std::string> RetailRpcApp::place_order_sync(
+    double cost, std::vector<std::string> items) {
+  Value::Array lines;
+  for (const auto& name : items) {
+    Value line = Value::object();
+    line.set("name", Value(name));
+    line.set("qty", Value(1));
+    lines.push_back(std::move(line));
+  }
+  Value req = Value::object();
+  req.set("items", Value(std::move(lines)));
+  req.set("address", Value("1 Market St, San Francisco, CA"));
+  req.set("cost", Value(cost));
+  req.set("currency", Value("USD"));
+  req.set("email", Value("user-1@example.com"));
+
+  ServiceDescriptor checkout;
+  for (const auto& s : services_) {
+    if (s.name == kNs + std::string("Checkout")) checkout = s;
+  }
+  RpcChannel& loadgen = *channels_[1];
+  KN_ASSIGN_OR_RETURN(Value resp,
+                      loadgen.call_sync(checkout, "PlaceOrder", std::move(req)));
+  const Value* tracking = resp.get("tracking_id");
+  if (tracking == nullptr || !tracking->is_string()) {
+    return Error::internal("retail-rpc: no tracking id in response");
+  }
+  // Drain side calls.
+  clock_.run_all();
+  return tracking->as_string();
+}
+
+std::size_t RetailRpcApp::method_count() const {
+  std::size_t n = 0;
+  for (const auto& s : services_) n += s.methods.size();
+  return n;
+}
+
+std::size_t RetailRpcApp::service_count() const { return services_.size(); }
+
+}  // namespace knactor::apps

@@ -1,0 +1,86 @@
+// API-centric online retail app: the gRPC-style baseline (§2, Fig. 3a).
+// Eleven services composed by direct RPC: Checkout's PlaceOrder handler
+// calls Payment.Charge, Shipping.GetQuote, Shipping.ShipOrder, Email.Send,
+// Inventory.Reserve, ... — composition logic compiled into each caller,
+// with client stubs (schemas) shared at development time.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/broker.h"
+#include "net/network.h"
+#include "net/rpc.h"
+#include "sim/clock.h"
+#include "sim/latency.h"
+
+namespace knactor::apps {
+
+struct RetailRpcOptions {
+  /// One-way link latency between any two service pods (the paper's
+  /// Kubernetes cluster network). Default tuned so the ShipOrder
+  /// request+response propagation is ~1.8 ms (Table 2 row "RPC").
+  sim::LatencyModel link = sim::LatencyModel::normal_ms(0.9, 0.05);
+  sim::LatencyModel shipment_processing =
+      sim::LatencyModel::normal_ms(446.0, 4.0);
+  sim::LatencyModel payment_processing = sim::LatencyModel::normal_ms(2.0, 0.2);
+};
+
+/// Stage timings recorded for the last order (sim time).
+struct RpcOrderTimings {
+  sim::SimTime ship_request_sent = 0;   // checkout issued ShipOrder
+  sim::SimTime ship_handler_start = 0;  // shipping began processing
+  sim::SimTime ship_handler_end = 0;    // shipping finished processing
+  sim::SimTime ship_response_recv = 0;  // checkout received the response
+
+  [[nodiscard]] sim::SimTime processing() const {
+    return ship_handler_end - ship_handler_start;
+  }
+  [[nodiscard]] sim::SimTime propagation() const {
+    return (ship_response_recv - ship_request_sent) - processing();
+  }
+  [[nodiscard]] sim::SimTime total() const {
+    return ship_response_recv - ship_request_sent;
+  }
+};
+
+class RetailRpcApp {
+ public:
+  RetailRpcApp(sim::VirtualClock& clock, RetailRpcOptions options = {});
+
+  /// Runs a full checkout (charge + quote + ship + side calls) and drives
+  /// the clock to completion. Returns the tracking id.
+  common::Result<std::string> place_order_sync(double cost,
+                                               std::vector<std::string> items);
+
+  [[nodiscard]] const RpcOrderTimings& last_timings() const {
+    return timings_;
+  }
+  [[nodiscard]] net::SimNetwork& network() { return *network_; }
+  [[nodiscard]] const net::SchemaPool& schemas() const { return pool_; }
+
+  /// Number of RPC methods exposed across all services (the scattering
+  /// metric input).
+  [[nodiscard]] std::size_t method_count() const;
+  [[nodiscard]] std::size_t service_count() const;
+
+ private:
+  void define_schemas();
+  void start_services();
+
+  sim::VirtualClock& clock_;
+  RetailRpcOptions options_;
+  std::unique_ptr<net::SimNetwork> network_;
+  net::SchemaPool pool_;
+  net::RpcRegistry registry_;
+  std::vector<std::unique_ptr<net::RpcServer>> servers_;
+  std::vector<std::unique_ptr<net::RpcChannel>> channels_;
+  std::vector<net::ServiceDescriptor> services_;
+  sim::Rng rng_{31};
+  RpcOrderTimings timings_;
+  int tracking_seq_ = 0;
+  int payment_seq_ = 0;
+};
+
+}  // namespace knactor::apps

@@ -1,0 +1,149 @@
+// Online-retail app artifacts: data-store schemas (Fig. 5 verbatim for
+// Checkout) and the composition DXG (Fig. 6 verbatim, plus the extended
+// full-app DXG covering all 11 knactors). These strings are both live
+// configuration (parsed and executed by the knactor retail app) and the
+// Table 1 measurement artifacts.
+#pragma once
+
+namespace knactor::apps {
+
+/// Fig. 5: schema of the Checkout knactor's data store.
+inline constexpr const char* kCheckoutSchema = R"(schema: OnlineRetail/v1/Checkout/Order
+items: object
+address: string
+cost: number
+shippingCost: number # +kr: external
+totalCost: number
+currency: string
+paymentID: string # +kr: external
+trackingID: string # +kr: external
+status: string
+email: string
+)";
+
+inline constexpr const char* kShippingSchema = R"(schema: OnlineRetail/v1/Shipping/Shipment
+items: list # +kr: external
+addr: string # +kr: external
+method: string # +kr: external
+quote: object
+id: string
+)";
+
+inline constexpr const char* kPaymentSchema = R"(schema: OnlineRetail/v1/Payment/Charge
+amount: number # +kr: external
+currency: string # +kr: external
+id: string
+)";
+
+inline constexpr const char* kEmailSchema = R"(schema: OnlineRetail/v1/Email/Notification
+recipient: string # +kr: external
+trackingID: string # +kr: external
+sent: bool
+)";
+
+inline constexpr const char* kRecommendationSchema = R"(schema: OnlineRetail/v1/Recommendation/Profile
+lastItems: list # +kr: external
+suggestions: list
+)";
+
+inline constexpr const char* kAdSchema = R"(schema: OnlineRetail/v1/Ad/Context
+keywords: list # +kr: external
+creative: string
+)";
+
+inline constexpr const char* kInventorySchema = R"(schema: OnlineRetail/v1/Inventory/Ledger
+lastOrder: list # +kr: external
+applied: bool
+)";
+
+inline constexpr const char* kCartSchema = R"(schema: OnlineRetail/v1/Cart/Cart
+items: object
+userID: string
+)";
+
+inline constexpr const char* kCatalogSchema = R"(schema: OnlineRetail/v1/Catalog/Products
+products: object
+)";
+
+inline constexpr const char* kCurrencySchema = R"(schema: OnlineRetail/v1/Currency/Rates
+rates: object
+)";
+
+inline constexpr const char* kFrontendSchema = R"(schema: OnlineRetail/v1/Frontend/Session
+userID: string
+orderStatus: string # +kr: external
+)";
+
+/// Fig. 6: the DXG for the integrator in the online retail web app,
+/// reproduced verbatim (T1+T2 applied).
+inline constexpr const char* kRetailDxg = R"(Input:
+  C: OnlineRetail/v1/Checkout/knactor-checkout
+  S: OnlineRetail/v1/Shipping/knactor-shipping
+  P: OnlineRetail/v1/Payment/knactor-payment
+DXG:
+  C.order:
+    shippingCost: >
+      currency_convert(S.quote.price,
+      S.quote.currency, this.currency)
+    paymentID: P.id
+    trackingID: S.id
+  P:
+    # other fields in the data store: id
+    amount: C.order.totalCost
+    currency: C.order.currency
+  S:
+    # other fields in the data store: id, quote
+    items: '[item.name for item in C.order.items]'
+    addr: C.order.address
+    method: >
+      "air" if C.order.cost > 1000 else "ground"
+)";
+
+/// T1 baseline (before composing anything): only Checkout is declared and
+/// no cross-service mappings exist yet.
+inline constexpr const char* kRetailDxgBase = R"(Input:
+  C: OnlineRetail/v1/Checkout/knactor-checkout
+DXG:
+)";
+
+/// Extended DXG used by the full 11-knactor example: Fig. 6 plus email,
+/// recommendation, ad, inventory, and frontend-status mappings.
+inline constexpr const char* kRetailDxgFull = R"(Input:
+  C: OnlineRetail/v1/Checkout/knactor-checkout
+  S: OnlineRetail/v1/Shipping/knactor-shipping
+  P: OnlineRetail/v1/Payment/knactor-payment
+  E: OnlineRetail/v1/Email/knactor-email
+  R: OnlineRetail/v1/Recommendation/knactor-recommendation
+  A: OnlineRetail/v1/Ad/knactor-ad
+  I: OnlineRetail/v1/Inventory/knactor-inventory
+  F: OnlineRetail/v1/Frontend/knactor-frontend
+DXG:
+  C.order:
+    shippingCost: >
+      currency_convert(S.quote.price,
+      S.quote.currency, this.currency)
+    paymentID: P.id
+    trackingID: S.id
+  P:
+    amount: C.order.totalCost
+    currency: C.order.currency
+  S:
+    items: '[item.name for item in C.order.items]'
+    addr: C.order.address
+    method: >
+      "air" if C.order.cost > 1000 else "ground"
+  E:
+    recipient: C.order.email
+    trackingID: C.order.trackingID
+  R:
+    lastItems: '[item.name for item in C.order.items]'
+  A:
+    keywords: '[item.name for item in C.order.items]'
+  I:
+    lastOrder: >
+      [{"name": item.name, "qty": item.qty} for item in C.order.items]
+  F:
+    orderStatus: C.order.status
+)";
+
+}  // namespace knactor::apps

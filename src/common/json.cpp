@@ -1,0 +1,326 @@
+#include "common/json.h"
+
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace knactor::common {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::array<char, 8> buf{};
+          std::snprintf(buf.data(), buf.size(), "\\u%04x", c);
+          out += buf.data();
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_double(std::string& out, double d) {
+  if (std::isnan(d)) {
+    out += "null";  // JSON has no NaN
+    return;
+  }
+  if (std::isinf(d)) {
+    out += d > 0 ? "1e999" : "-1e999";
+    return;
+  }
+  std::array<char, 32> buf{};
+  auto [ptr, ec] = std::to_chars(buf.data(), buf.data() + buf.size(), d);
+  out.append(buf.data(), ptr);
+  // Ensure a serialized double never looks like an int.
+  std::string_view written(buf.data(), static_cast<std::size_t>(ptr - buf.data()));
+  if (written.find('.') == std::string_view::npos &&
+      written.find('e') == std::string_view::npos &&
+      written.find('E') == std::string_view::npos &&
+      written != "null") {
+    out += ".0";
+  }
+}
+
+void serialize(const Value& v, std::string& out, int indent, int depth) {
+  auto newline = [&] {
+    if (indent <= 0) return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent * depth), ' ');
+  };
+  switch (v.type()) {
+    case Value::Type::kNull: out += "null"; break;
+    case Value::Type::kBool: out += v.as_bool() ? "true" : "false"; break;
+    case Value::Type::kInt: out += std::to_string(v.as_int()); break;
+    case Value::Type::kDouble: append_double(out, v.as_double()); break;
+    case Value::Type::kString: append_escaped(out, v.as_string()); break;
+    case Value::Type::kArray: {
+      const auto& arr = v.as_array();
+      if (arr.empty()) {
+        out += "[]";
+        break;
+      }
+      out.push_back('[');
+      bool first = true;
+      for (const auto& item : arr) {
+        if (!first) out.push_back(',');
+        first = false;
+        ++depth; newline(); --depth;
+        serialize(item, out, indent, depth + 1);
+      }
+      newline();
+      out.push_back(']');
+      break;
+    }
+    case Value::Type::kObject: {
+      const auto& obj = v.as_object();
+      if (obj.empty()) {
+        out += "{}";
+        break;
+      }
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [k, val] : obj) {
+        if (!first) out.push_back(',');
+        first = false;
+        ++depth; newline(); --depth;
+        append_escaped(out, k);
+        out.push_back(':');
+        if (indent > 0) out.push_back(' ');
+        serialize(val, out, indent, depth + 1);
+      }
+      newline();
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<Value> parse() {
+    skip_ws();
+    KN_ASSIGN_OR_RETURN(Value v, parse_value());
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return fail("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  Error fail(std::string msg) const {
+    return Error::parse(msg + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  bool consume(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Result<Value> parse_value() {
+    if (++depth_ > kMaxDepth) return fail("nesting too deep");
+    auto result = parse_value_inner();
+    --depth_;
+    return result;
+  }
+
+  Result<Value> parse_value_inner() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        KN_ASSIGN_OR_RETURN(std::string s, parse_string());
+        return Value(std::move(s));
+      }
+      case 't':
+        if (consume_literal("true")) return Value(true);
+        return fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return Value(false);
+        return fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return Value(nullptr);
+        return fail("invalid literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  Result<Value> parse_object() {
+    consume('{');
+    Value::Object obj;
+    skip_ws();
+    if (consume('}')) return Value(std::move(obj));
+    while (true) {
+      skip_ws();
+      if (peek() != '"') return fail("expected object key");
+      KN_ASSIGN_OR_RETURN(std::string key, parse_string());
+      skip_ws();
+      if (!consume(':')) return fail("expected ':'");
+      skip_ws();
+      KN_ASSIGN_OR_RETURN(Value v, parse_value());
+      obj.set(std::move(key), std::move(v));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) break;
+      return fail("expected ',' or '}'");
+    }
+    return Value(std::move(obj));
+  }
+
+  Result<Value> parse_array() {
+    consume('[');
+    Value::Array arr;
+    skip_ws();
+    if (consume(']')) return Value(std::move(arr));
+    while (true) {
+      skip_ws();
+      KN_ASSIGN_OR_RETURN(Value v, parse_value());
+      arr.push_back(std::move(v));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) break;
+      return fail("expected ',' or ']'");
+    }
+    return Value(std::move(arr));
+  }
+
+  Result<std::string> parse_string() {
+    consume('"');
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return fail("unterminated escape");
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return fail("bad \\u escape");
+            unsigned code = 0;
+            auto [p, ec] = std::from_chars(text_.data() + pos_,
+                                           text_.data() + pos_ + 4, code, 16);
+            if (ec != std::errc{} || p != text_.data() + pos_ + 4) {
+              return fail("bad \\u escape");
+            }
+            pos_ += 4;
+            // Encode as UTF-8 (basic multilingual plane only; surrogate
+            // pairs are passed through as two 3-byte sequences).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return fail("unknown escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  Result<Value> parse_number() {
+    std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    std::string_view tok = text_.substr(start, pos_ - start);
+    if (tok.empty()) return fail("expected value");
+    bool is_float = tok.find_first_of(".eE") != std::string_view::npos;
+    if (!is_float) {
+      std::int64_t i = 0;
+      auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), i);
+      if (ec == std::errc{} && p == tok.data() + tok.size()) return Value(i);
+      // Fall through to double on int64 overflow.
+    }
+    double d = 0;
+    auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+    if (ec != std::errc{} || p != tok.data() + tok.size()) {
+      return fail("invalid number");
+    }
+    return Value(d);
+  }
+
+  static constexpr int kMaxDepth = 256;
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+std::string to_json(const Value& v) {
+  std::string out;
+  serialize(v, out, /*indent=*/0, /*depth=*/0);
+  return out;
+}
+
+std::string to_json_pretty(const Value& v, int indent) {
+  std::string out;
+  serialize(v, out, indent, /*depth=*/0);
+  return out;
+}
+
+Result<Value> parse_json(std::string_view text) {
+  return JsonParser(text).parse();
+}
+
+}  // namespace knactor::common

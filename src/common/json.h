@@ -1,0 +1,24 @@
+// JSON serialization and parsing for common::Value. Used by the wire codec
+// (human-readable debug form), the Log DE's ingest path, and tests.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace knactor::common {
+
+/// Serializes a Value to compact JSON. Ints render without a decimal point,
+/// doubles with enough precision to round-trip.
+std::string to_json(const Value& v);
+
+/// Serializes a Value to indented JSON (2-space indent).
+std::string to_json_pretty(const Value& v, int indent = 2);
+
+/// Parses a JSON document into a Value. Accepts the standard JSON grammar;
+/// numbers without '.', 'e', or 'E' parse as int64, others as double.
+Result<Value> parse_json(std::string_view text);
+
+}  // namespace knactor::common

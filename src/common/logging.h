@@ -1,0 +1,52 @@
+// Minimal leveled logging. Off by default in tests/benches; examples enable
+// info level to narrate what the framework is doing.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace knactor::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide log configuration.
+class Log {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static LogLevel level();
+  static void set_level(LogLevel level);
+  /// Replaces the output sink (default: stderr). Pass nullptr to restore.
+  static void set_sink(Sink sink);
+
+  static void write(LogLevel level, const std::string& message);
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Log::write(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace knactor::common
+
+#define KN_LOG(level_enum)                                      \
+  if (::knactor::common::Log::level() <= (level_enum))          \
+  ::knactor::common::detail::LogLine(level_enum)
+
+#define KN_DEBUG KN_LOG(::knactor::common::LogLevel::kDebug)
+#define KN_INFO KN_LOG(::knactor::common::LogLevel::kInfo)
+#define KN_WARN KN_LOG(::knactor::common::LogLevel::kWarn)
+#define KN_ERROR KN_LOG(::knactor::common::LogLevel::kError)

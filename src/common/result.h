@@ -1,0 +1,133 @@
+// Lightweight expected-style error handling. The Knactor data plane does not
+// throw across module boundaries: fallible operations return Result<T>.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace knactor::common {
+
+/// Error with a machine-usable code and a human-readable message.
+struct Error {
+  enum class Code {
+    kInvalidArgument,
+    kNotFound,
+    kAlreadyExists,
+    kPermissionDenied,
+    kFailedPrecondition,  // e.g. resource-version conflict
+    kUnavailable,         // e.g. network partition in SimNetwork
+    kParse,               // YAML/JSON/expression syntax errors
+    kEval,                // expression evaluation errors
+    kInternal,
+  };
+
+  Code code = Code::kInternal;
+  std::string message;
+
+  static Error invalid_argument(std::string msg) {
+    return {Code::kInvalidArgument, std::move(msg)};
+  }
+  static Error not_found(std::string msg) {
+    return {Code::kNotFound, std::move(msg)};
+  }
+  static Error already_exists(std::string msg) {
+    return {Code::kAlreadyExists, std::move(msg)};
+  }
+  static Error permission_denied(std::string msg) {
+    return {Code::kPermissionDenied, std::move(msg)};
+  }
+  static Error failed_precondition(std::string msg) {
+    return {Code::kFailedPrecondition, std::move(msg)};
+  }
+  static Error unavailable(std::string msg) {
+    return {Code::kUnavailable, std::move(msg)};
+  }
+  static Error parse(std::string msg) { return {Code::kParse, std::move(msg)}; }
+  static Error eval(std::string msg) { return {Code::kEval, std::move(msg)}; }
+  static Error internal(std::string msg) {
+    return {Code::kInternal, std::move(msg)};
+  }
+
+  [[nodiscard]] const char* code_name() const {
+    switch (code) {
+      case Code::kInvalidArgument: return "InvalidArgument";
+      case Code::kNotFound: return "NotFound";
+      case Code::kAlreadyExists: return "AlreadyExists";
+      case Code::kPermissionDenied: return "PermissionDenied";
+      case Code::kFailedPrecondition: return "FailedPrecondition";
+      case Code::kUnavailable: return "Unavailable";
+      case Code::kParse: return "Parse";
+      case Code::kEval: return "Eval";
+      case Code::kInternal: return "Internal";
+    }
+    return "Unknown";
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    return std::string(code_name()) + ": " + message;
+  }
+};
+
+/// Result<T>: holds either a T or an Error.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}
+  Result(Error error) : data_(std::move(error)) {}
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] T& value() { return std::get<T>(data_); }
+  [[nodiscard]] const T& value() const { return std::get<T>(data_); }
+  [[nodiscard]] T&& take() { return std::move(std::get<T>(data_)); }
+  [[nodiscard]] const Error& error() const { return std::get<Error>(data_); }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Result<void>: success or an Error.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)) {}
+
+  static Status success() { return Status(); }
+
+  [[nodiscard]] bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+  [[nodiscard]] const Error& error() const { return *error_; }
+
+ private:
+  std::optional<Error> error_;
+};
+
+}  // namespace knactor::common
+
+/// Propagates the error of a Result/Status expression from the enclosing
+/// function (which must itself return a Result or Status).
+#define KN_TRY(expr)                          \
+  do {                                        \
+    auto&& kn_try_result_ = (expr);           \
+    if (!kn_try_result_.ok()) {               \
+      return kn_try_result_.error();          \
+    }                                         \
+  } while (0)
+
+#define KN_CONCAT_INNER(a, b) a##b
+#define KN_CONCAT(a, b) KN_CONCAT_INNER(a, b)
+
+/// Assigns the value of a Result expression to `lhs`, or propagates the error.
+#define KN_ASSIGN_OR_RETURN(lhs, expr)                  \
+  auto KN_CONCAT(kn_aor_, __LINE__) = (expr);           \
+  if (!KN_CONCAT(kn_aor_, __LINE__).ok()) {             \
+    return KN_CONCAT(kn_aor_, __LINE__).error();        \
+  }                                                     \
+  lhs = KN_CONCAT(kn_aor_, __LINE__).take()

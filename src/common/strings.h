@@ -1,0 +1,32 @@
+// Small string utilities shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace knactor::common {
+
+/// Splits on a single-character delimiter. Empty segments are preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Joins with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Counts non-blank, non-comment ('#'-prefixed) lines — the SLOC metric used
+/// by the Table 1 composition-cost bench, matching the paper's convention of
+/// counting source lines across code, configs, and schema definitions.
+std::size_t count_sloc(std::string_view text);
+
+/// Counts physical lines containing a given substring (used by the
+/// scattering analysis bench to count API-handling methods).
+std::size_t count_lines_containing(std::string_view text,
+                                   std::string_view needle);
+
+}  // namespace knactor::common

@@ -1,0 +1,226 @@
+#include "common/value.h"
+
+#include <cassert>
+#include <charconv>
+
+namespace knactor::common {
+
+OrderedMap::OrderedMap(std::initializer_list<Entry> entries) {
+  for (const auto& [k, v] : entries) set(k, v);
+}
+
+void OrderedMap::set(std::string key, Value value) {
+  if (auto it = index_.find(key); it != index_.end()) {
+    entries_[it->second].second = std::move(value);
+    return;
+  }
+  index_.emplace(key, entries_.size());
+  entries_.emplace_back(std::move(key), std::move(value));
+}
+
+const Value* OrderedMap::find(std::string_view key) const {
+  auto it = index_.find(key);
+  return it == index_.end() ? nullptr : &entries_[it->second].second;
+}
+
+Value* OrderedMap::find(std::string_view key) {
+  auto it = index_.find(key);
+  return it == index_.end() ? nullptr : &entries_[it->second].second;
+}
+
+bool OrderedMap::contains(std::string_view key) const {
+  return index_.find(key) != index_.end();
+}
+
+bool OrderedMap::erase(std::string_view key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  std::size_t pos = it->second;
+  entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(pos));
+  index_.erase(it);
+  for (auto& [k, idx] : index_) {
+    if (idx > pos) --idx;
+  }
+  return true;
+}
+
+bool OrderedMap::operator==(const OrderedMap& other) const {
+  if (entries_.size() != other.entries_.size()) return false;
+  // Order-insensitive comparison: two objects with the same fields are
+  // equal regardless of insertion order (matches JSON semantics).
+  for (const auto& [k, v] : entries_) {
+    const Value* ov = other.find(k);
+    if (ov == nullptr || !(*ov == v)) return false;
+  }
+  return true;
+}
+
+Value Value::object(std::initializer_list<OrderedMap::Entry> entries) {
+  return Value(Object(entries));
+}
+
+Value Value::array(std::initializer_list<Value> items) {
+  return Value(Array(items));
+}
+
+Value::Type Value::type() const {
+  return static_cast<Type>(data_.index());
+}
+
+const char* Value::type_name(Type t) {
+  switch (t) {
+    case Type::kNull: return "null";
+    case Type::kBool: return "bool";
+    case Type::kInt: return "int";
+    case Type::kDouble: return "double";
+    case Type::kString: return "string";
+    case Type::kArray: return "array";
+    case Type::kObject: return "object";
+  }
+  return "unknown";
+}
+
+const char* Value::type_name() const { return type_name(type()); }
+
+double Value::as_number() const {
+  if (is_int()) return static_cast<double>(as_int());
+  return as_double();
+}
+
+std::optional<bool> Value::try_bool() const {
+  if (is_bool()) return as_bool();
+  return std::nullopt;
+}
+
+std::optional<std::int64_t> Value::try_int() const {
+  if (is_int()) return as_int();
+  return std::nullopt;
+}
+
+std::optional<double> Value::try_number() const {
+  if (is_number()) return as_number();
+  return std::nullopt;
+}
+
+std::optional<std::string> Value::try_string() const {
+  if (is_string()) return as_string();
+  return std::nullopt;
+}
+
+const Value* Value::get(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  return as_object().find(key);
+}
+
+Value* Value::get(std::string_view key) {
+  if (!is_object()) return nullptr;
+  return as_object().find(key);
+}
+
+void Value::set(std::string key, Value v) {
+  if (is_null()) data_ = Object{};
+  assert(is_object());
+  as_object().set(std::move(key), std::move(v));
+}
+
+namespace {
+
+std::optional<std::size_t> parse_index(std::string_view seg) {
+  if (seg.empty()) return std::nullopt;
+  std::size_t idx = 0;
+  auto [ptr, ec] = std::from_chars(seg.data(), seg.data() + seg.size(), idx);
+  if (ec != std::errc{} || ptr != seg.data() + seg.size()) return std::nullopt;
+  return idx;
+}
+
+std::vector<std::string_view> split_path(std::string_view path) {
+  std::vector<std::string_view> segs;
+  std::size_t start = 0;
+  while (start <= path.size()) {
+    std::size_t dot = path.find('.', start);
+    if (dot == std::string_view::npos) {
+      segs.push_back(path.substr(start));
+      break;
+    }
+    segs.push_back(path.substr(start, dot - start));
+    start = dot + 1;
+  }
+  return segs;
+}
+
+}  // namespace
+
+const Value* Value::at_path(std::string_view dotted_path) const {
+  const Value* cur = this;
+  for (std::string_view seg : split_path(dotted_path)) {
+    if (cur->is_object()) {
+      cur = cur->as_object().find(seg);
+    } else if (cur->is_array()) {
+      auto idx = parse_index(seg);
+      if (!idx || *idx >= cur->as_array().size()) return nullptr;
+      cur = &cur->as_array()[*idx];
+    } else {
+      return nullptr;
+    }
+    if (cur == nullptr) return nullptr;
+  }
+  return cur;
+}
+
+bool Value::set_path(std::string_view dotted_path, Value v) {
+  auto segs = split_path(dotted_path);
+  if (segs.empty()) return false;
+  Value* cur = this;
+  for (std::size_t i = 0; i + 1 < segs.size(); ++i) {
+    if (cur->is_null()) cur->data_ = Object{};
+    if (!cur->is_object()) return false;
+    Value* next = cur->as_object().find(segs[i]);
+    if (next == nullptr) {
+      cur->as_object().set(std::string(segs[i]), Value::object());
+      next = cur->as_object().find(segs[i]);
+    }
+    cur = next;
+  }
+  if (cur->is_null()) cur->data_ = Object{};
+  if (!cur->is_object()) return false;
+  cur->as_object().set(std::string(segs.back()), std::move(v));
+  return true;
+}
+
+bool Value::truthy() const {
+  switch (type()) {
+    case Type::kNull: return false;
+    case Type::kBool: return as_bool();
+    case Type::kInt: return as_int() != 0;
+    case Type::kDouble: return as_double() != 0.0;
+    case Type::kString: return !as_string().empty();
+    case Type::kArray: return !as_array().empty();
+    case Type::kObject: return !as_object().empty();
+  }
+  return false;
+}
+
+bool Value::operator==(const Value& other) const { return data_ == other.data_; }
+
+std::size_t Value::deep_size_bytes() const {
+  std::size_t base = sizeof(Value);
+  switch (type()) {
+    case Type::kString:
+      return base + as_string().capacity();
+    case Type::kArray: {
+      std::size_t total = base;
+      for (const auto& v : as_array()) total += v.deep_size_bytes();
+      return total;
+    }
+    case Type::kObject: {
+      std::size_t total = base;
+      for (const auto& [k, v] : as_object())
+        total += k.capacity() + v.deep_size_bytes();
+      return total;
+    }
+    default:
+      return base;
+  }
+}
+
+}  // namespace knactor::common

@@ -1,0 +1,156 @@
+// Dynamic value type used throughout Knactor as the universal data-plane
+// representation: data-store objects, log records, RPC payloads, DXG
+// expression results, and parsed YAML/JSON all share this type.
+//
+// A Value is one of: null, bool, int64, double, string, array, object.
+// Objects preserve insertion order (like YAML maps and protobuf fields),
+// which matters for deterministic serialization and SLOC-stable artifacts.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace knactor::common {
+
+class Value;
+
+/// Ordered key/value map: preserves insertion order, O(log n) lookup via a
+/// side index. Small and simple; the data plane is dominated by small objects.
+class OrderedMap {
+ public:
+  using Entry = std::pair<std::string, Value>;
+
+  OrderedMap() = default;
+  OrderedMap(std::initializer_list<Entry> entries);
+
+  /// Inserts or overwrites `key`. Overwrite keeps the original position.
+  void set(std::string key, Value value);
+  [[nodiscard]] const Value* find(std::string_view key) const;
+  [[nodiscard]] Value* find(std::string_view key);
+  [[nodiscard]] bool contains(std::string_view key) const;
+  bool erase(std::string_view key);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  [[nodiscard]] auto begin() const { return entries_.begin(); }
+  [[nodiscard]] auto end() const { return entries_.end(); }
+  [[nodiscard]] auto begin() { return entries_.begin(); }
+  [[nodiscard]] auto end() { return entries_.end(); }
+
+  bool operator==(const OrderedMap& other) const;
+
+ private:
+  std::vector<Entry> entries_;
+  std::map<std::string, std::size_t, std::less<>> index_;
+};
+
+/// JSON-like dynamic value. Value semantics; copies are deep except that
+/// arrays/objects may be shared via `Value::shared` handles in zero-copy
+/// paths (see de/zero_copy.h).
+class Value {
+ public:
+  using Array = std::vector<Value>;
+  using Object = OrderedMap;
+
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Value() : data_(std::monostate{}) {}
+  Value(std::nullptr_t) : data_(std::monostate{}) {}
+  Value(bool b) : data_(b) {}
+  Value(int i) : data_(static_cast<std::int64_t>(i)) {}
+  Value(std::int64_t i) : data_(i) {}
+  Value(std::size_t i) : data_(static_cast<std::int64_t>(i)) {}
+  Value(double d) : data_(d) {}
+  Value(const char* s) : data_(std::string(s)) {}
+  Value(std::string s) : data_(std::move(s)) {}
+  Value(std::string_view s) : data_(std::string(s)) {}
+  Value(Array a) : data_(std::move(a)) {}
+  Value(Object o) : data_(std::move(o)) {}
+
+  /// Builds an object value: Value::object({{"a", 1}, {"b", "x"}}).
+  static Value object(std::initializer_list<OrderedMap::Entry> entries = {});
+  /// Builds an array value: Value::array({1, 2, 3}).
+  static Value array(std::initializer_list<Value> items = {});
+
+  [[nodiscard]] Type type() const;
+  [[nodiscard]] const char* type_name() const;
+  static const char* type_name(Type t);
+
+  [[nodiscard]] bool is_null() const { return type() == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type() == Type::kBool; }
+  [[nodiscard]] bool is_int() const { return type() == Type::kInt; }
+  [[nodiscard]] bool is_double() const { return type() == Type::kDouble; }
+  [[nodiscard]] bool is_number() const { return is_int() || is_double(); }
+  [[nodiscard]] bool is_string() const { return type() == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type() == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type() == Type::kObject; }
+
+  // Checked accessors: abort via assert in debug; callers should check type
+  // first or use the as_* optional variants.
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(data_); }
+  [[nodiscard]] std::int64_t as_int() const {
+    return std::get<std::int64_t>(data_);
+  }
+  [[nodiscard]] double as_double() const { return std::get<double>(data_); }
+  /// Numeric value widened to double (int or double).
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const {
+    return std::get<std::string>(data_);
+  }
+  [[nodiscard]] const Array& as_array() const { return std::get<Array>(data_); }
+  [[nodiscard]] Array& as_array() { return std::get<Array>(data_); }
+  [[nodiscard]] const Object& as_object() const {
+    return std::get<Object>(data_);
+  }
+  [[nodiscard]] Object& as_object() { return std::get<Object>(data_); }
+
+  // Optional-returning accessors (no throw on type mismatch).
+  [[nodiscard]] std::optional<bool> try_bool() const;
+  [[nodiscard]] std::optional<std::int64_t> try_int() const;
+  [[nodiscard]] std::optional<double> try_number() const;
+  [[nodiscard]] std::optional<std::string> try_string() const;
+
+  /// Object field access; returns nullptr when not an object or key missing.
+  [[nodiscard]] const Value* get(std::string_view key) const;
+  [[nodiscard]] Value* get(std::string_view key);
+  /// Sets a field, converting this value to an object if it is null.
+  void set(std::string key, Value v);
+
+  /// Dotted-path access, e.g. at_path("order.items"). Array indices are
+  /// numeric segments, e.g. "items.0.name". Returns nullptr when missing.
+  [[nodiscard]] const Value* at_path(std::string_view dotted_path) const;
+  /// Sets a dotted path, creating intermediate objects as needed.
+  /// Returns false if a non-object intermediate blocks the path.
+  bool set_path(std::string_view dotted_path, Value v);
+
+  /// Python-style truthiness: null/false/0/""/empty containers are falsy.
+  [[nodiscard]] bool truthy() const;
+
+  /// Deep structural equality (int 1 != double 1.0 by type, but numeric
+  /// comparison helpers in expr:: treat them as equal).
+  bool operator==(const Value& other) const;
+
+  /// Approximate in-memory footprint in bytes, used by the zero-copy
+  /// ablation bench to report bytes moved.
+  [[nodiscard]] std::size_t deep_size_bytes() const;
+
+ private:
+  std::variant<std::monostate, bool, std::int64_t, double, std::string, Array,
+               Object>
+      data_;
+};
+
+/// Shared immutable value handle used on zero-copy exchange paths: the DE
+/// and integrator pass ownership of one buffer instead of deep-copying.
+using SharedValue = std::shared_ptr<const Value>;
+
+}  // namespace knactor::common

@@ -1,0 +1,54 @@
+// Change capture: archives an Object store's change stream into a Log
+// pool — the §3.3 hook for "customized state retention policies for
+// archival or analytical purposes". Every watch event becomes an
+// append-only record {key, event, version, t [, data]}, so the Log DE's
+// query language can answer questions like "how often did the shipment
+// method flip?" long after the live objects were garbage-collected.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "de/log.h"
+#include "de/object.h"
+
+namespace knactor::core {
+
+class ChangeCapture {
+ public:
+  struct Options {
+    /// Only capture objects under this key prefix ("" = all).
+    std::string key_prefix;
+    /// Include the full object payload in each record (off: metadata only).
+    bool include_data = true;
+  };
+
+  ChangeCapture(std::string name, de::ObjectStore& store, de::LogPool& pool,
+                Options options);
+  ChangeCapture(std::string name, de::ObjectStore& store, de::LogPool& pool);
+
+  ChangeCapture(const ChangeCapture&) = delete;
+  ChangeCapture& operator=(const ChangeCapture&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::string principal() const { return "capture:" + name_; }
+
+  common::Status start();
+  void stop();
+  [[nodiscard]] bool running() const { return watch_id_ != 0; }
+
+  [[nodiscard]] std::uint64_t events_captured() const { return captured_; }
+
+ private:
+  void on_event(const de::WatchEvent& event);
+
+  std::string name_;
+  de::ObjectStore& store_;
+  de::LogPool& pool_;
+  Options options_;
+  std::uint64_t watch_id_ = 0;
+  std::uint64_t captured_ = 0;
+};
+
+}  // namespace knactor::core

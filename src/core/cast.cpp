@@ -1,0 +1,572 @@
+#include "core/cast.h"
+
+#include <memory>
+#include <set>
+
+#include "common/json.h"
+#include "common/strings.h"
+#include "common/logging.h"
+#include "yaml/yaml.h"
+
+namespace knactor::core {
+
+using common::Error;
+using common::Result;
+using common::Status;
+using common::Value;
+
+namespace {
+
+constexpr const char* kDefaultObject = "state";
+
+/// Values compare as "already in sync" with numeric tolerance across
+/// int/double (a recomputed double must not oscillate against a stored
+/// int).
+bool in_sync(const Value& current, const Value& desired) {
+  if (current.is_number() && desired.is_number()) {
+    return current.as_number() == desired.as_number();
+  }
+  return current == desired;
+}
+
+}  // namespace
+
+CastIntegrator::CastIntegrator(std::string name, de::ObjectDe& de, Dxg dxg,
+                               std::map<std::string, de::ObjectStore*> stores,
+                               Options options,
+                               const de::SchemaRegistry* schemas,
+                               Tracer* tracer)
+    : name_(std::move(name)),
+      de_(de),
+      dxg_(std::move(dxg)),
+      stores_(std::move(stores)),
+      options_(options),
+      schemas_(schemas),
+      tracer_(tracer) {}
+
+CastIntegrator::CastIntegrator(std::string name, de::ObjectDe& de, Dxg dxg,
+                               std::map<std::string, de::ObjectStore*> stores)
+    : CastIntegrator(std::move(name), de, std::move(dxg), std::move(stores),
+                     Options{}) {}
+
+Status CastIntegrator::start() {
+  if (running_) return Status::success();
+  // All aliases must be bound.
+  for (const auto& [alias, store_id] : dxg_.inputs()) {
+    if (stores_.find(alias) == stores_.end()) {
+      return Error::failed_precondition("cast " + name_ + ": alias '" + alias +
+                                        "' (" + store_id + ") not bound");
+    }
+  }
+  if (options_.strict) {
+    auto issues = analyze(dxg_, schemas_);
+    for (const auto& issue : issues) {
+      if (issue.kind == DxgIssue::Kind::kCycle ||
+          issue.kind == DxgIssue::Kind::kUnresolvedAlias ||
+          issue.kind == DxgIssue::Kind::kUnknownField ||
+          issue.kind == DxgIssue::Kind::kNotExternal) {
+        return Error::failed_precondition("cast " + name_ + ": " +
+                                          std::string(issue_kind_name(issue.kind)) +
+                                          ": " + issue.detail);
+      }
+    }
+  }
+  running_ = true;
+  if (pushdown_) {
+    // Data path already lives in the DE.
+  } else if (options_.poll_interval > 0) {
+    schedule_poll();
+  } else {
+    install_watches();
+  }
+  // Initial pass picks up pre-existing state.
+  if (!pushdown_) run_pass_async(options_.max_rounds_per_event);
+  return Status::success();
+}
+
+void CastIntegrator::stop() {
+  running_ = false;
+  remove_watches();
+}
+
+void CastIntegrator::bind_store(const std::string& alias,
+                                de::ObjectStore& store) {
+  stores_[alias] = &store;
+}
+
+Status CastIntegrator::reconfigure(const Value& config) {
+  KN_ASSIGN_OR_RETURN(Dxg next, Dxg::from_value(config));
+  for (const auto& [alias, store_id] : next.inputs()) {
+    if (stores_.find(alias) == stores_.end()) {
+      return Error::failed_precondition("cast " + name_ + ": alias '" + alias +
+                                        "' (" + store_id +
+                                        ") not bound; call bind_store first");
+    }
+  }
+  if (options_.strict) {
+    auto issues = analyze(next, schemas_);
+    for (const auto& issue : issues) {
+      if (issue.kind == DxgIssue::Kind::kCycle ||
+          issue.kind == DxgIssue::Kind::kUnresolvedAlias ||
+          issue.kind == DxgIssue::Kind::kUnknownField ||
+          issue.kind == DxgIssue::Kind::kNotExternal) {
+        return Error::failed_precondition(
+            "cast " + name_ + ": rejected reconfiguration: " +
+            std::string(issue_kind_name(issue.kind)) + ": " + issue.detail);
+      }
+    }
+  }
+  bool was_pushdown = pushdown_;
+  if (was_pushdown) disable_pushdown();
+  bool was_running = running_;
+  if (was_running) {
+    remove_watches();
+  }
+  dxg_ = std::move(next);
+  ++stats_.reconfigurations;
+  if (was_pushdown) {
+    KN_TRY(enable_pushdown());
+  } else if (was_running) {
+    if (options_.poll_interval == 0) install_watches();
+    run_pass_async(options_.max_rounds_per_event);
+  }
+  return Status::success();
+}
+
+Status CastIntegrator::reconfigure_yaml(std::string_view yaml_text) {
+  KN_ASSIGN_OR_RETURN(Value spec, yaml::parse(yaml_text));
+  return reconfigure(spec);
+}
+
+void CastIntegrator::install_watches() {
+  remove_watches();
+  // Watch every aliased store the DXG reads; also watch written stores
+  // whose objects feed `this` references. Watching all aliases is simplest
+  // and matches the informer pattern; self-writes converge because passes
+  // only write out-of-sync fields.
+  for (const auto& [alias, store] : stores_) {
+    if (dxg_.inputs().find(alias) == dxg_.inputs().end()) continue;
+    std::uint64_t id =
+        store->watch(principal(), "", [this](const de::WatchEvent&) {
+          if (!running_ || pushdown_) return;
+          if (options_.debounce <= 0) {
+            run_pass_async(options_.max_rounds_per_event);
+            return;
+          }
+          // Debounce: the first event of a burst arms one delayed pass;
+          // later events within the window ride along.
+          if (debounce_pending_) return;
+          debounce_pending_ = true;
+          de_.clock().schedule_after(options_.debounce, [this]() {
+            debounce_pending_ = false;
+            if (running_ && !pushdown_) {
+              run_pass_async(options_.max_rounds_per_event);
+            }
+          });
+        });
+    if (id == 0) {
+      KN_WARN << "cast " << name_ << ": watch denied on store '"
+              << store->name() << "'";
+    } else {
+      watches_.emplace_back(store, id);
+    }
+  }
+}
+
+void CastIntegrator::remove_watches() {
+  for (auto& [store, id] : watches_) {
+    store->unwatch(id);
+  }
+  watches_.clear();
+}
+
+void CastIntegrator::schedule_poll() {
+  if (!running_ || options_.poll_interval <= 0) return;
+  de_.clock().schedule_after(options_.poll_interval, [this]() {
+    if (!running_) return;
+    run_pass_async(options_.max_rounds_per_event);
+    schedule_poll();
+  });
+}
+
+Value CastIntegrator::build_alias_value(
+    const std::vector<de::StateObject>& objects) {
+  Value out = Value::object();
+  for (const auto& obj : objects) {
+    out.set(obj.key, obj.data_copy());
+  }
+  // Default object's fields are visible at top level (so "P.id" resolves
+  // when P's store keeps a single default object with field "id").
+  const Value* def = out.get(kDefaultObject);
+  if (def != nullptr && def->is_object()) {
+    Value def_copy = *def;
+    for (const auto& [k, v] : def_copy.as_object()) {
+      if (out.get(k) == nullptr) out.set(k, v);
+    }
+  }
+  return out;
+}
+
+CastIntegrator::PatchSet CastIntegrator::evaluate(const Snapshot& snapshot) {
+  PatchSet result;
+  const auto& functions = expr::FunctionRegistry::builtins();
+  // Work on a mutable copy so later mappings see earlier mappings' writes
+  // within the same pass (operation ordering via state dependencies).
+  std::map<std::string, Value> working = snapshot.values;
+
+  // Evaluates one (mapping, target object key) instance; `it_key` is bound
+  // for fan-out instances.
+  auto apply_one = [&](const DxgMapping& mapping,
+                       const std::string& target_object,
+                       const std::string* it_key) {
+    expr::MapEnv env;
+    for (const auto& [alias, value] : working) {
+      env.bind(alias, value);
+    }
+    if (it_key != nullptr) env.bind("it", Value(*it_key));
+    // `this` = the target object's current value.
+    Value target_obj = Value::object();
+    auto wit = working.find(mapping.target_alias);
+    if (wit != working.end()) {
+      const Value* obj = wit->second.get(target_object);
+      if (obj != nullptr && obj->is_object()) target_obj = *obj;
+    }
+    env.bind("this", target_obj);
+
+    auto evaluated = expr::evaluate(*mapping.compiled, env, functions);
+    if (!evaluated.ok()) {
+      ++result.errors;
+      ++stats_.eval_errors;
+      KN_DEBUG << "cast " << name_ << ": " << mapping.target_path() << ": "
+               << evaluated.error().to_string();
+      return;
+    }
+    Value desired = evaluated.take();
+    if (desired.is_null()) {
+      ++result.not_ready;
+      return;
+    }
+    const Value* current = target_obj.get(mapping.field);
+    if (current != nullptr && in_sync(*current, desired)) return;
+
+    // Record the patch, grouped by (alias, object).
+    auto key = std::make_pair(mapping.target_alias, target_object);
+    Value* group = nullptr;
+    for (auto& [k, fields] : result.patches) {
+      if (k == key) {
+        group = &fields;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      result.patches.emplace_back(key, Value::object());
+      group = &result.patches.back().second;
+    }
+    group->set(mapping.field, desired);
+
+    // Reflect the write into the working snapshot for later mappings.
+    auto& alias_value = working[mapping.target_alias];
+    if (!alias_value.is_object()) alias_value = Value::object();
+    Value* obj = alias_value.get(target_object);
+    if (obj == nullptr || !obj->is_object()) {
+      alias_value.set(target_object, Value::object());
+      obj = alias_value.get(target_object);
+    }
+    obj->set(mapping.field, desired);
+    if (target_object == kDefaultObject) {
+      // Keep the top-level merge view coherent.
+      if (alias_value.get(mapping.field) == nullptr ||
+          !alias_value.get(mapping.field)->is_object()) {
+        alias_value.set(mapping.field, desired);
+      }
+    }
+  };
+
+  for (const auto& mapping : dxg_.mappings()) {
+    if (!mapping.fan_out) {
+      apply_one(mapping, mapping.target_object, nullptr);
+      continue;
+    }
+    auto kit = snapshot.keys.find(mapping.driver_alias);
+    if (kit == snapshot.keys.end()) continue;
+    for (const std::string& driver_key : kit->second) {
+      if (!common::starts_with(driver_key, mapping.driver_prefix)) continue;
+      apply_one(mapping, driver_key, &driver_key);
+    }
+  }
+  return result;
+}
+
+void CastIntegrator::run_pass_async(int rounds_left) {
+  if (!running_ || pushdown_ || rounds_left <= 0) return;
+  if (pass_in_flight_) {
+    rerun_requested_ = true;
+    return;
+  }
+  pass_in_flight_ = true;
+
+  std::uint64_t span = 0;
+  std::uint64_t snap_span = 0;
+  if (tracer_ != nullptr) {
+    span = tracer_->begin("cast.pass." + name_);
+    snap_span = tracer_->begin("cast.snapshot." + name_, span);
+  }
+
+  // Gather a snapshot of every aliased store via async lists.
+  auto snapshot = std::make_shared<Snapshot>();
+  auto remaining = std::make_shared<std::size_t>(0);
+  std::vector<std::pair<std::string, de::ObjectStore*>> targets;
+  for (const auto& [alias, store_id] : dxg_.inputs()) {
+    auto it = stores_.find(alias);
+    if (it != stores_.end()) targets.emplace_back(alias, it->second);
+  }
+  *remaining = targets.size();
+
+  auto finish_snapshot = [this, snapshot, rounds_left, span, snap_span]() {
+    std::uint64_t compute_span = 0;
+    if (tracer_ != nullptr) {
+      if (snap_span != 0) tracer_->end(snap_span);
+      compute_span = tracer_->begin("cast.compute." + name_, span);
+    }
+    // Charge integrator compute, then evaluate + write.
+    de_.clock().schedule_after(
+        options_.compute.sample(rng_),
+        [this, snapshot, rounds_left, span, compute_span]() {
+          ++stats_.passes;
+          PatchSet ps = evaluate(*snapshot);
+          stats_.fields_skipped_not_ready += ps.not_ready;
+          std::uint64_t write_span = 0;
+          if (tracer_ != nullptr) {
+            if (compute_span != 0) tracer_->end(compute_span);
+            if (!ps.patches.empty()) {
+              write_span = tracer_->begin("cast.write." + name_, span);
+            }
+          }
+
+          auto writes_left = std::make_shared<std::size_t>(ps.patches.size());
+          auto wrote = std::make_shared<std::size_t>(0);
+          auto complete = [this, writes_left, wrote, rounds_left, span,
+                           write_span]() {
+            if (*writes_left > 0) return;
+            pass_in_flight_ = false;
+            if (tracer_ != nullptr) {
+              if (write_span != 0) tracer_->end(write_span);
+              if (span != 0) tracer_->end(span);
+            }
+            bool rerun = rerun_requested_;
+            rerun_requested_ = false;
+            if (*wrote > 0 && rounds_left > 1) {
+              run_pass_async(rounds_left - 1);
+            } else if (rerun) {
+              run_pass_async(options_.max_rounds_per_event);
+            }
+          };
+          if (ps.patches.empty()) {
+            complete();
+            return;
+          }
+          if (options_.atomic_writes) {
+            *writes_left = 1;
+            std::vector<de::ObjectDe::TxnOp> ops;
+            std::size_t n = 0;
+            for (auto& [key, fields] : ps.patches) {
+              const auto& [alias, object] = key;
+              de::ObjectDe::TxnOp op;
+              op.store = stores_[alias]->name();
+              op.key = object;
+              n += fields.is_object() ? fields.as_object().size() : 0;
+              op.data = std::move(fields);
+              op.merge = true;
+              ops.push_back(std::move(op));
+            }
+            de_.transact(principal(), std::move(ops),
+                         [this, writes_left, wrote, complete,
+                          n](Result<Value> r) {
+                           --*writes_left;
+                           if (r.ok()) {
+                             *wrote += n;
+                             stats_.fields_written += n;
+                           } else {
+                             ++stats_.eval_errors;
+                             KN_DEBUG << "cast " << name_
+                                      << ": transaction failed: "
+                                      << r.error().to_string();
+                           }
+                           complete();
+                         });
+            return;
+          }
+          for (auto& [key, fields] : ps.patches) {
+            const auto& [alias, object] = key;
+            de::ObjectStore* store = stores_[alias];
+            std::size_t n = fields.is_object() ? fields.as_object().size() : 0;
+            store->patch(principal(), object, std::move(fields),
+                         [this, writes_left, wrote, complete,
+                          n](Result<std::uint64_t> r) {
+                           --*writes_left;
+                           if (r.ok()) {
+                             *wrote += n;
+                             stats_.fields_written += n;
+                           } else {
+                             ++stats_.eval_errors;
+                             KN_DEBUG << "cast " << name_ << ": write failed: "
+                                      << r.error().to_string();
+                           }
+                           complete();
+                         });
+          }
+        });
+  };
+
+  if (targets.empty()) {
+    finish_snapshot();
+    return;
+  }
+  for (auto& [alias, store] : targets) {
+    std::string alias_copy = alias;
+    store->list(principal(), "",
+                [snapshot, remaining, alias_copy, finish_snapshot](
+                    Result<std::vector<de::StateObject>> r) {
+                  if (r.ok()) {
+                    snapshot->values[alias_copy] = build_alias_value(r.value());
+                    auto& keys = snapshot->keys[alias_copy];
+                    for (const auto& obj : r.value()) {
+                      keys.push_back(obj.key);
+                    }
+                  } else {
+                    snapshot->values[alias_copy] = Value::object();
+                  }
+                  if (--*remaining == 0) finish_snapshot();
+                });
+  }
+}
+
+Result<std::size_t> CastIntegrator::run_pass_sync() {
+  if (pushdown_) {
+    KN_ASSIGN_OR_RETURN(Value result,
+                        de_.call_udf_sync(principal(), udf_name_,
+                                          Value::object()));
+    auto n = result.try_int();
+    return static_cast<std::size_t>(n.value_or(0));
+  }
+  bool was_running = running_;
+  running_ = true;
+  std::size_t before = stats_.fields_written;
+  run_pass_async(options_.max_rounds_per_event);
+  while (pass_in_flight_ && de_.clock().step()) {
+  }
+  running_ = was_running;
+  return stats_.fields_written - before;
+}
+
+Status CastIntegrator::enable_pushdown() {
+  if (!de_.profile().supports_udf) {
+    return Error::failed_precondition(
+        "cast " + name_ + ": DE '" + de_.profile().name +
+        "' does not support UDFs (push-down unavailable)");
+  }
+  udf_name_ = "cast:" + name_;
+
+  // The UDF reads this integrator's live DXG through `self`, so a
+  // reconfigure takes effect without re-registering. The integrator must
+  // outlive the DE registration (disable_pushdown before destruction).
+  std::map<std::string, std::string> alias_to_store;
+  for (const auto& [alias, store] : stores_) {
+    alias_to_store[alias] = store->name();
+  }
+
+  auto self = this;
+  KN_TRY(de_.register_udf(
+      principal(), udf_name_,
+      [self, alias_to_store](de::UdfContext& ctx,
+                             const Value&) -> Result<Value> {
+        std::uint64_t span = 0;
+        std::uint64_t snap_span = 0;
+        if (self->tracer_ != nullptr) {
+          span = self->tracer_->begin("cast.udf." + self->name_);
+          snap_span = self->tracer_->begin("cast.snapshot." + self->name_, span);
+        }
+        auto close_spans = [self, span](std::uint64_t inner) {
+          if (self->tracer_ != nullptr) {
+            if (inner != 0) self->tracer_->end(inner);
+            if (span != 0) self->tracer_->end(span);
+          }
+        };
+        // Snapshot via engine-level lists.
+        Snapshot snapshot;
+        for (const auto& [alias, store_id] : self->dxg_.inputs()) {
+          auto it = alias_to_store.find(alias);
+          if (it == alias_to_store.end()) continue;
+          auto objs = ctx.list(it->second, "");
+          if (!objs.ok()) {
+            close_spans(snap_span);
+            return objs.error();
+          }
+          snapshot.values[alias] = build_alias_value(objs.value());
+          auto& keys = snapshot.keys[alias];
+          for (const auto& obj : objs.value()) {
+            keys.push_back(obj.key);
+          }
+        }
+        std::uint64_t compute_span = 0;
+        if (self->tracer_ != nullptr) {
+          self->tracer_->end(snap_span);
+          compute_span = self->tracer_->begin("cast.compute." + self->name_, span);
+        }
+        // Function execution overhead inside the engine.
+        ctx.charge(self->options_.compute.sample(self->rng_));
+        PatchSet ps = self->evaluate(snapshot);
+        self->stats_.fields_skipped_not_ready += ps.not_ready;
+        ++self->stats_.passes;
+        std::uint64_t write_span = 0;
+        if (self->tracer_ != nullptr) {
+          self->tracer_->end(compute_span);
+          write_span = self->tracer_->begin("cast.write." + self->name_, span);
+        }
+        std::size_t written = 0;
+        for (auto& [key, fields] : ps.patches) {
+          const auto& [alias, object] = key;
+          auto it = alias_to_store.find(alias);
+          if (it == alias_to_store.end()) continue;
+          std::size_t n = fields.is_object() ? fields.as_object().size() : 0;
+          auto patched = ctx.patch(it->second, object, std::move(fields));
+          if (!patched.ok()) {
+            close_spans(write_span);
+            return patched.error();
+          }
+          written += n;
+          self->stats_.fields_written += n;
+        }
+        close_spans(write_span);
+        return Value(static_cast<std::int64_t>(written));
+      }));
+
+  // Triggers on every store the DXG reads (writes by services kick the
+  // exchange; the UDF's own writes re-trigger but converge immediately).
+  std::set<std::string> read_stores;
+  for (const auto& mapping : dxg_.mappings()) {
+    for (const auto& ref : mapping.refs) {
+      auto dot = ref.find('.');
+      std::string alias = dot == std::string::npos ? ref : ref.substr(0, dot);
+      auto it = stores_.find(alias);
+      if (it != stores_.end()) read_stores.insert(it->second->name());
+    }
+  }
+  for (const auto& store_name : read_stores) {
+    KN_TRY(de_.add_trigger(store_name, "", udf_name_));
+  }
+  pushdown_ = true;
+  remove_watches();
+  return Status::success();
+}
+
+void CastIntegrator::disable_pushdown() {
+  if (!pushdown_) return;
+  for (const auto& [alias, store] : stores_) {
+    de_.remove_trigger(store->name(), udf_name_);
+  }
+  pushdown_ = false;
+  if (running_ && options_.poll_interval == 0) install_watches();
+}
+
+}  // namespace knactor::core

@@ -1,0 +1,155 @@
+// Cast: the built-in integrator for Object data exchanges (§3.2). Executes
+// a data exchange graph (DXG) by watching the referenced stores, snapshot-
+// reading source state, evaluating mapping expressions, and patching target
+// objects' fields. Converges in passes: a mapping whose dependencies are
+// not yet present evaluates to null and is skipped until a later pass.
+//
+// Modes:
+//   * watch-driven (default): a pass runs after any referenced store
+//     changes (client reads/writes pay DE round-trip latency);
+//   * polling: a pass every `poll_interval`;
+//   * push-down (§3.3): the DXG pass is compiled into a UDF registered on
+//     the DE with write triggers on the source stores — reads/writes then
+//     run at engine latency inside the DE (Table 2 "K-redis-udf").
+//
+// Run-time reconfiguration (§3.3): `reconfigure` atomically swaps the DXG.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/dxg.h"
+#include "core/integrator.h"
+#include "core/trace.h"
+#include "de/object.h"
+#include "expr/eval.h"
+#include "sim/latency.h"
+
+namespace knactor::core {
+
+struct CastStats {
+  std::uint64_t passes = 0;
+  std::uint64_t fields_written = 0;
+  std::uint64_t fields_skipped_not_ready = 0;
+  std::uint64_t eval_errors = 0;
+  std::uint64_t reconfigurations = 0;
+};
+
+class CastIntegrator : public Integrator {
+ public:
+  struct Options {
+    /// Integrator-side compute cost per pass (the Table 2 "I" column for
+    /// non-push-down modes).
+    sim::LatencyModel compute = sim::LatencyModel::constant_ms(0.01);
+    /// Re-run passes until no field changes, up to this many rounds per
+    /// triggering event (dependency chains resolve across rounds).
+    int max_rounds_per_event = 8;
+    /// Validate DXG against schemas at (re)configuration; reject cycles
+    /// and non-external target fields.
+    bool strict = false;
+    /// Polling instead of watches; 0 = watch-driven.
+    sim::SimTime poll_interval = 0;
+    /// Commit each pass's writes as one atomic transaction on the DE:
+    /// observers never see a partially-applied exchange, and multi-store
+    /// writes cost one round trip instead of one per store (§5
+    /// transactions).
+    bool atomic_writes = false;
+    /// Coalesce bursts of watch events: instead of a pass per event, wait
+    /// this long after the first event and run one pass for the burst
+    /// (trades propagation latency for fewer snapshot/evaluate cycles —
+    /// §3.3 "consolidate the state processing logic", applied in time).
+    sim::SimTime debounce = 0;
+  };
+
+  /// `stores` binds DXG input aliases to object stores. All stores must
+  /// live on `de` (the paper hosts composed stores on a shared exchange).
+  CastIntegrator(std::string name, de::ObjectDe& de, Dxg dxg,
+                 std::map<std::string, de::ObjectStore*> stores,
+                 Options options, const de::SchemaRegistry* schemas = nullptr,
+                 Tracer* tracer = nullptr);
+  /// Default options.
+  CastIntegrator(std::string name, de::ObjectDe& de, Dxg dxg,
+                 std::map<std::string, de::ObjectStore*> stores);
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+
+  common::Status start() override;
+  void stop() override;
+  [[nodiscard]] bool running() const override { return running_; }
+
+  /// Accepts either a full DXG spec Value ({Input, DXG}) or a YAML string
+  /// via reconfigure_yaml. Alias->store bindings are re-resolved from the
+  /// current binding map; new aliases must be bound with bind_store first.
+  common::Status reconfigure(const common::Value& config) override;
+  common::Status reconfigure_yaml(std::string_view yaml_text);
+
+  /// Adds/replaces an alias binding (needed before reconfiguring to a DXG
+  /// that references a new store).
+  void bind_store(const std::string& alias, de::ObjectStore& store);
+
+  /// Compiles the current DXG into a server-side UDF with triggers on all
+  /// read stores (push-down). Requires the DE profile to support UDFs.
+  common::Status enable_pushdown();
+  void disable_pushdown();
+  [[nodiscard]] bool pushdown_enabled() const { return pushdown_; }
+
+  /// Runs one full exchange pass immediately (synchronous; drives the
+  /// clock). Returns the number of fields written.
+  common::Result<std::size_t> run_pass_sync();
+
+  [[nodiscard]] const CastStats& stats() const { return stats_; }
+  [[nodiscard]] const Dxg& dxg() const { return dxg_; }
+
+ private:
+  /// Reads a snapshot of every aliased store (client round trips), then
+  /// evaluates and writes. Invoked from watch events / polling.
+  void run_pass_async(int rounds_left);
+  /// Pure evaluation over a snapshot: returns per-target patches.
+  /// Exposed to both the client-side pass and the compiled UDF.
+  struct PatchSet {
+    // (alias, object key) -> fields to patch
+    std::vector<std::pair<std::pair<std::string, std::string>, common::Value>>
+        patches;
+    std::size_t not_ready = 0;
+    std::size_t errors = 0;
+  };
+  /// Per-pass view of the aliased stores: expression environment values
+  /// plus the raw object-key lists (fan-out iterates these).
+  struct Snapshot {
+    std::map<std::string, common::Value> values;
+    std::map<std::string, std::vector<std::string>> keys;
+  };
+  PatchSet evaluate(const Snapshot& snapshot);
+
+  /// Builds the expression environment value for one alias from a list of
+  /// that store's objects (objects keyed by name; default object's fields
+  /// merged at top level).
+  static common::Value build_alias_value(
+      const std::vector<de::StateObject>& objects);
+
+  void install_watches();
+  void remove_watches();
+  void schedule_poll();
+
+  std::string name_;
+  de::ObjectDe& de_;
+  Dxg dxg_;
+  std::map<std::string, de::ObjectStore*> stores_;
+  Options options_;
+  const de::SchemaRegistry* schemas_;
+  Tracer* tracer_;
+  bool running_ = false;
+  bool pushdown_ = false;
+  bool pass_in_flight_ = false;
+  bool rerun_requested_ = false;
+  bool debounce_pending_ = false;
+  std::string udf_name_;
+  std::vector<std::pair<de::ObjectStore*, std::uint64_t>> watches_;
+  sim::Rng rng_{0xCA57};
+  CastStats stats_;
+};
+
+}  // namespace knactor::core

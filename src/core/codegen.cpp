@@ -1,0 +1,186 @@
+#include "core/codegen.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace knactor::core {
+
+using common::Error;
+using common::Result;
+
+namespace {
+
+/// "OnlineRetail/v1/Checkout/Order" -> "Order"; sanitized to an identifier.
+std::string default_class_name(const std::string& schema_id) {
+  auto parts = common::split(schema_id, '/');
+  std::string base = parts.empty() ? schema_id : parts.back();
+  std::string out;
+  bool upper_next = true;
+  for (char c : base) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out.push_back(upper_next ? static_cast<char>(std::toupper(c)) : c);
+      upper_next = false;
+    } else {
+      upper_next = true;
+    }
+  }
+  return out.empty() ? "State" : out;
+}
+
+std::string cpp_type(const std::string& schema_type) {
+  if (schema_type == "string") return "std::string";
+  if (schema_type == "int") return "std::int64_t";
+  if (schema_type == "number") return "double";
+  if (schema_type == "bool") return "bool";
+  return "knactor::common::Value";  // object / list / any
+}
+
+std::string getter_body(const de::SchemaField& field) {
+  const std::string name = field.name;
+  if (field.type == "string") {
+    return "    const auto* v = data.get(\"" + name + "\");\n"
+           "    return v != nullptr && v->is_string()\n"
+           "               ? std::optional<std::string>(v->as_string())\n"
+           "               : std::nullopt;";
+  }
+  if (field.type == "int") {
+    return "    const auto* v = data.get(\"" + name + "\");\n"
+           "    return v != nullptr ? v->try_int() : std::nullopt;";
+  }
+  if (field.type == "number") {
+    return "    const auto* v = data.get(\"" + name + "\");\n"
+           "    return v != nullptr ? v->try_number() : std::nullopt;";
+  }
+  if (field.type == "bool") {
+    return "    const auto* v = data.get(\"" + name + "\");\n"
+           "    return v != nullptr ? v->try_bool() : std::nullopt;";
+  }
+  return "    const auto* v = data.get(\"" + name + "\");\n"
+         "    return v != nullptr && !v->is_null()\n"
+         "               ? std::optional<knactor::common::Value>(*v)\n"
+         "               : std::nullopt;";
+}
+
+common::Status validate(const de::StoreSchema& schema) {
+  if (schema.id.empty()) {
+    return Error::invalid_argument("codegen: schema has no id");
+  }
+  if (schema.fields.empty()) {
+    return Error::invalid_argument("codegen: schema has no fields");
+  }
+  for (const auto& field : schema.fields) {
+    if (field.name.empty() ||
+        !std::isalpha(static_cast<unsigned char>(field.name[0]))) {
+      return Error::invalid_argument("codegen: field name '" + field.name +
+                                     "' is not a valid identifier");
+    }
+  }
+  return common::Status::success();
+}
+
+}  // namespace
+
+Result<std::string> generate_accessors(const de::StoreSchema& schema,
+                                       const CodegenOptions& options) {
+  KN_TRY(validate(schema));
+  std::string cls = options.class_name.empty()
+                        ? default_class_name(schema.id)
+                        : options.class_name;
+  std::string out;
+  out += "// Generated from schema " + schema.id + " — do not edit.\n";
+  out += "#pragma once\n\n#include <cstdint>\n#include <optional>\n";
+  out += "#include <string>\n\n#include \"common/value.h\"\n\n";
+  out += "namespace " + options.cpp_namespace + " {\n\n";
+  out += "/// Typed view over a " + cls + " state object.\n";
+  out += "struct " + cls + "View {\n";
+  out += "  const knactor::common::Value& data;\n\n";
+  for (const auto& field : schema.fields) {
+    out += "  // " + field.type + (field.external ? " (+kr: external)" : "") +
+           (field.required ? " (+kr: required)" : "") + "\n";
+    out += "  [[nodiscard]] std::optional<" + cpp_type(field.type) + "> " +
+           field.name + "() const {\n";
+    out += getter_body(field) + "\n  }\n\n";
+  }
+  out += "};\n\n";
+  out += "/// Builder for patches to a " + cls + " object.\n";
+  out += "struct " + cls + "Patch {\n";
+  out += "  knactor::common::Value fields = knactor::common::Value::object();\n\n";
+  for (const auto& field : schema.fields) {
+    if (field.external) {
+      out += "  // NOTE: '" + field.name +
+             "' is integrator-filled (+kr: external); services normally do\n"
+             "  // not write it.\n";
+    }
+    out += "  " + cls + "Patch& set_" + field.name + "(" +
+           cpp_type(field.type) + " value) {\n";
+    out += "    fields.set(\"" + field.name +
+           "\", knactor::common::Value(std::move(value)));\n";
+    out += "    return *this;\n  }\n";
+  }
+  out += "};\n\n";
+  out += "}  // namespace " + options.cpp_namespace + "\n";
+  return out;
+}
+
+Result<std::string> generate_reconciler(const de::StoreSchema& schema,
+                                        const CodegenOptions& options) {
+  KN_TRY(validate(schema));
+  std::string cls = options.class_name.empty()
+                        ? default_class_name(schema.id)
+                        : options.class_name;
+  std::string out;
+  out += "// Generated from schema " + schema.id + " — fill in the TODOs.\n";
+  out += "#pragma once\n\n#include \"core/knactor.h\"\n\n";
+  out += "namespace " + options.cpp_namespace + " {\n\n";
+  out += "class " + cls + "Reconciler : public knactor::core::Reconciler {\n";
+  out += " public:\n";
+  out += "  void start(knactor::core::Knactor& kn) override {\n";
+  out += "    // TODO: seed initial state, e.g.:\n";
+  out += "    // (void)kn.put_state(\"state\", "
+         "knactor::common::Value::object());\n";
+  out += "    (void)kn;\n  }\n\n";
+  out += "  void on_object_event(knactor::core::Knactor& kn,\n";
+  out += "                       const knactor::de::WatchEvent& event) "
+         "override {\n";
+  out += "    if (event.type == knactor::de::WatchEventType::kDeleted ||\n";
+  out += "        !event.object.data) {\n      return;\n    }\n";
+  out += "    const auto& data = *event.object.data;\n";
+  bool any_external = false;
+  for (const auto& field : schema.fields) {
+    if (!field.external) continue;
+    any_external = true;
+    out += "    // '" + field.name +
+           "' is filled by an integrator; react when it arrives:\n";
+    out += "    if (const auto* v = data.get(\"" + field.name +
+           "\"); v != nullptr && !v->is_null()) {\n";
+    out += "      // TODO: handle " + field.name + "\n    }\n";
+  }
+  if (!any_external) {
+    out += "    // TODO: react to state changes.\n";
+  }
+  out += "    (void)kn;\n    (void)data;\n  }\n};\n\n";
+  out += "}  // namespace " + options.cpp_namespace + "\n";
+  return out;
+}
+
+Result<std::string> generate_dxg_stub(const de::StoreSchema& schema) {
+  KN_TRY(validate(schema));
+  std::string out;
+  out += "# DXG stub for " + schema.id + "\n";
+  out += "# Bind alias X to this store in your Input section, then map\n";
+  out += "# each external field to an expression over other stores.\n";
+  out += "Input:\n  X: " + schema.id + "\nDXG:\n  X:\n";
+  bool any = false;
+  for (const auto& field : schema.fields) {
+    if (!field.external) continue;
+    any = true;
+    out += "    " + field.name + ": null  # TODO (" + field.type + ")\n";
+  }
+  if (!any) {
+    out += "    # (schema declares no '+kr: external' fields)\n";
+  }
+  return out;
+}
+
+}  // namespace knactor::core

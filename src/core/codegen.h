@@ -1,0 +1,37 @@
+// Code generation (§4: the prototype ships "code generators" alongside the
+// library and CLI). From a data-store schema (Fig. 5 YAML form) we emit:
+//
+//   * a C++ reconciler skeleton wired to the framework (the service
+//     developer fills in business logic per field),
+//   * a typed state-accessor header (get/set per schema field, so service
+//     code touches state through named, type-checked helpers),
+//   * a DXG stub listing the store's external fields for the integrator
+//     author to map.
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "de/schema.h"
+
+namespace knactor::core {
+
+struct CodegenOptions {
+  /// C++ namespace for generated code.
+  std::string cpp_namespace = "generated";
+  /// Class-name base; derived from the schema id's last segment if empty.
+  std::string class_name;
+};
+
+/// Emits a Reconciler subclass skeleton for the schema's knactor.
+common::Result<std::string> generate_reconciler(const de::StoreSchema& schema,
+                                                const CodegenOptions& options);
+
+/// Emits a typed accessor struct wrapping a state object.
+common::Result<std::string> generate_accessors(const de::StoreSchema& schema,
+                                               const CodegenOptions& options);
+
+/// Emits a DXG fragment with one placeholder mapping per external field.
+common::Result<std::string> generate_dxg_stub(const de::StoreSchema& schema);
+
+}  // namespace knactor::core

@@ -1,0 +1,300 @@
+#include "core/dxg.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "common/strings.h"
+#include "expr/parser.h"
+#include "yaml/yaml.h"
+
+namespace knactor::core {
+
+using common::Error;
+using common::Result;
+using common::Value;
+
+namespace {
+
+constexpr const char* kDefaultObject = "state";
+
+/// Splits a target node label "C.order" / "C" into (alias, object).
+std::pair<std::string, std::string> split_target(const std::string& label) {
+  auto dot = label.find('.');
+  if (dot == std::string::npos) return {label, kDefaultObject};
+  return {label.substr(0, dot), label.substr(dot + 1)};
+}
+
+}  // namespace
+
+Result<Dxg> Dxg::parse(std::string_view yaml_text) {
+  KN_ASSIGN_OR_RETURN(Value spec, yaml::parse(yaml_text));
+  return from_value(spec);
+}
+
+Result<Dxg> Dxg::from_value(const Value& spec) {
+  if (!spec.is_object()) {
+    return Error::parse("dxg: spec must be a mapping");
+  }
+  Dxg dxg;
+  const Value* input = spec.get("Input");
+  if (input == nullptr || !input->is_object()) {
+    return Error::parse("dxg: missing 'Input' section");
+  }
+  for (const auto& [alias, store_id] : input->as_object()) {
+    if (!store_id.is_string()) {
+      return Error::parse("dxg: Input alias '" + alias +
+                          "' must map to a store id string");
+    }
+    dxg.inputs_[alias] = store_id.as_string();
+  }
+
+  const Value* graph = spec.get("DXG");
+  if (graph == nullptr) {
+    return Error::parse("dxg: missing 'DXG' section");
+  }
+  if (graph->is_null()) return dxg;  // declared but empty: no mappings yet
+  if (!graph->is_object()) {
+    return Error::parse("dxg: 'DXG' section must be a mapping");
+  }
+  for (const auto& [target_label, fields] : graph->as_object()) {
+    if (!fields.is_object()) {
+      return Error::parse("dxg: target '" + target_label +
+                          "' must map to a field mapping");
+    }
+    auto [alias, object] = split_target(target_label);
+    if (dxg.inputs_.find(alias) == dxg.inputs_.end()) {
+      return Error::parse("dxg: target alias '" + alias +
+                          "' not declared in Input");
+    }
+    // Fan-out node: "ALIAS.*" + a "$for: DRIVER [PREFIX]" declaration.
+    bool fan_out = object == "*";
+    std::string driver_alias;
+    std::string driver_prefix;
+    if (fan_out) {
+      const Value* for_decl = fields.get("$for");
+      if (for_decl == nullptr || !for_decl->is_string()) {
+        return Error::parse("dxg: fan-out target '" + target_label +
+                            "' needs a '$for: <driver-alias> [prefix]' entry");
+      }
+      auto parts = common::split(for_decl->as_string(), ' ');
+      driver_alias = std::string(common::trim(parts[0]));
+      if (parts.size() > 1) {
+        driver_prefix = std::string(common::trim(parts[1]));
+      }
+      if (dxg.inputs_.find(driver_alias) == dxg.inputs_.end()) {
+        return Error::parse("dxg: fan-out driver alias '" + driver_alias +
+                            "' not declared in Input");
+      }
+    }
+    for (const auto& [field, expr_value] : fields.as_object()) {
+      if (field == "$for") continue;  // fan-out metadata, not a mapping
+      DxgMapping mapping;
+      mapping.target_alias = alias;
+      mapping.target_object = object;
+      mapping.field = field;
+      // Scalar YAML values (ints, bools, floats) are literal expressions.
+      if (expr_value.is_string()) {
+        mapping.expr_text = expr_value.as_string();
+      } else if (expr_value.is_int()) {
+        mapping.expr_text = std::to_string(expr_value.as_int());
+      } else if (expr_value.is_double()) {
+        mapping.expr_text = std::to_string(expr_value.as_double());
+      } else if (expr_value.is_bool()) {
+        mapping.expr_text = expr_value.as_bool() ? "true" : "false";
+      } else {
+        return Error::parse("dxg: mapping " + target_label + "." + field +
+                            " must be an expression");
+      }
+      auto parsed = expr::parse(mapping.expr_text);
+      if (!parsed.ok()) {
+        return Error::parse("dxg: in mapping " + target_label + "." + field +
+                            ": " + parsed.error().message);
+      }
+      mapping.compiled = std::shared_ptr<const expr::Node>(parsed.take());
+      // Rewrite `this.*` refs against the target so dependency analysis
+      // sees them as reads of the target object.
+      mapping.refs = expr::collect_refs(*mapping.compiled);
+      for (auto& ref : mapping.refs) {
+        if (ref == "this" || common::starts_with(ref, "this.")) {
+          ref = alias + "." + object +
+                (ref.size() > 4 ? ref.substr(4) : std::string());
+        }
+      }
+      std::sort(mapping.refs.begin(), mapping.refs.end());
+      mapping.fan_out = fan_out;
+      mapping.driver_alias = driver_alias;
+      mapping.driver_prefix = driver_prefix;
+      // The driver is a read dependency even when expressions only touch
+      // it via get(DRIVER, it).
+      if (fan_out &&
+          std::find(mapping.refs.begin(), mapping.refs.end(), driver_alias) ==
+              mapping.refs.end()) {
+        mapping.refs.push_back(driver_alias);
+        std::sort(mapping.refs.begin(), mapping.refs.end());
+      }
+      dxg.mappings_.push_back(std::move(mapping));
+    }
+  }
+  return dxg;
+}
+
+std::vector<std::string> Dxg::read_aliases() const {
+  std::set<std::string> out;
+  for (const auto& m : mappings_) {
+    for (const auto& ref : m.refs) {
+      auto dot = ref.find('.');
+      out.insert(dot == std::string::npos ? ref : ref.substr(0, dot));
+    }
+  }
+  return {out.begin(), out.end()};
+}
+
+std::vector<std::string> Dxg::written_aliases() const {
+  std::set<std::string> out;
+  for (const auto& m : mappings_) out.insert(m.target_alias);
+  return {out.begin(), out.end()};
+}
+
+const char* issue_kind_name(DxgIssue::Kind kind) {
+  switch (kind) {
+    case DxgIssue::Kind::kUnresolvedAlias: return "unresolved-alias";
+    case DxgIssue::Kind::kCycle: return "cycle";
+    case DxgIssue::Kind::kUnusedInput: return "unused-input";
+    case DxgIssue::Kind::kNotExternal: return "not-external";
+    case DxgIssue::Kind::kUnknownField: return "unknown-field";
+    case DxgIssue::Kind::kSelfDependency: return "self-dependency";
+  }
+  return "?";
+}
+
+namespace {
+
+/// A reference "A.obj.field..." depends on target "A.obj.field" if the ref
+/// path starts with the target path (at segment granularity), treating a
+/// bare "A.x" ref as possibly "A.state.x".
+bool ref_hits_target(const std::string& ref, const DxgMapping& target) {
+  std::string t1 = target.target_alias + "." + target.target_object + "." +
+                   target.field;
+  std::string t2;  // default-object shorthand: "A.field"
+  if (target.target_object == kDefaultObject) {
+    t2 = target.target_alias + "." + target.field;
+  }
+  auto matches = [&](const std::string& full) {
+    if (full.empty()) return false;
+    if (ref == full) return true;
+    return common::starts_with(ref, full + ".");
+  };
+  return matches(t1) || matches(t2);
+}
+
+}  // namespace
+
+std::vector<DxgIssue> analyze(const Dxg& dxg,
+                              const de::SchemaRegistry* schemas) {
+  std::vector<DxgIssue> issues;
+  const auto& mappings = dxg.mappings();
+
+  // Unresolved aliases + self-dependencies.
+  for (const auto& m : mappings) {
+    for (const auto& ref : m.refs) {
+      auto dot = ref.find('.');
+      std::string alias = dot == std::string::npos ? ref : ref.substr(0, dot);
+      if (alias == "it") continue;  // fan-out key binding, always in scope
+      if (dxg.inputs().find(alias) == dxg.inputs().end()) {
+        issues.push_back(
+            {DxgIssue::Kind::kUnresolvedAlias,
+             "mapping " + m.target_path() + " references undeclared alias '" +
+                 alias + "' (via " + ref + ")"});
+      }
+      if (ref_hits_target(ref, m)) {
+        issues.push_back({DxgIssue::Kind::kSelfDependency,
+                          "mapping " + m.target_path() +
+                              " reads the field it writes (" + ref + ")"});
+      }
+    }
+  }
+
+  // Cycles: build edges mapping_i -> mapping_j when j's target feeds i's
+  // refs; then DFS.
+  std::vector<std::vector<std::size_t>> deps(mappings.size());
+  for (std::size_t i = 0; i < mappings.size(); ++i) {
+    for (const auto& ref : mappings[i].refs) {
+      for (std::size_t j = 0; j < mappings.size(); ++j) {
+        if (i == j) continue;
+        if (ref_hits_target(ref, mappings[j])) {
+          deps[i].push_back(j);
+        }
+      }
+    }
+  }
+  std::vector<int> state(mappings.size(), 0);  // 0 unseen, 1 on stack, 2 done
+  std::vector<std::size_t> stack;
+  std::function<bool(std::size_t)> dfs = [&](std::size_t i) -> bool {
+    state[i] = 1;
+    stack.push_back(i);
+    for (std::size_t j : deps[i]) {
+      if (state[j] == 1) {
+        // Report the cycle path.
+        std::string path;
+        auto it = std::find(stack.begin(), stack.end(), j);
+        for (; it != stack.end(); ++it) {
+          path += mappings[*it].target_path() + " -> ";
+        }
+        path += mappings[j].target_path();
+        issues.push_back({DxgIssue::Kind::kCycle, path});
+        stack.pop_back();
+        state[i] = 2;
+        return true;
+      }
+      if (state[j] == 0 && dfs(j)) {
+        // Propagate only one report per cycle discovery.
+      }
+    }
+    stack.pop_back();
+    state[i] = 2;
+    return false;
+  };
+  for (std::size_t i = 0; i < mappings.size(); ++i) {
+    if (state[i] == 0) dfs(i);
+  }
+
+  // Unused inputs.
+  auto reads = dxg.read_aliases();
+  auto writes = dxg.written_aliases();
+  for (const auto& [alias, store_id] : dxg.inputs()) {
+    bool used =
+        std::find(reads.begin(), reads.end(), alias) != reads.end() ||
+        std::find(writes.begin(), writes.end(), alias) != writes.end();
+    if (!used) {
+      issues.push_back({DxgIssue::Kind::kUnusedInput,
+                        "Input alias '" + alias + "' (" + store_id +
+                            ") is never read or written"});
+    }
+  }
+
+  // Schema conformance.
+  if (schemas != nullptr) {
+    for (const auto& m : mappings) {
+      auto it = dxg.inputs().find(m.target_alias);
+      if (it == dxg.inputs().end()) continue;
+      const de::StoreSchema* schema = schemas->find(it->second);
+      if (schema == nullptr) continue;  // schema not registered: skip
+      const de::SchemaField* field = schema->field(m.field);
+      if (field == nullptr) {
+        issues.push_back({DxgIssue::Kind::kUnknownField,
+                          "mapping " + m.target_path() + ": field '" +
+                              m.field + "' not in schema " + schema->id});
+      } else if (!field->external) {
+        issues.push_back(
+            {DxgIssue::Kind::kNotExternal,
+             "mapping " + m.target_path() + ": field '" + m.field +
+                 "' is not annotated '+kr: external' in " + schema->id});
+      }
+    }
+  }
+
+  return issues;
+}
+
+}  // namespace knactor::core

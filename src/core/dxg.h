@@ -1,0 +1,116 @@
+// Data Exchange Graph (DXG): the declarative composition program executed
+// by the Cast integrator (§3.2, Fig. 6). A DXG maps fields of target state
+// objects to expressions over other services' externalized states:
+//
+//   Input:
+//     C: OnlineRetail/v1/Checkout/knactor-checkout
+//     S: OnlineRetail/v1/Shipping/knactor-shipping
+//   DXG:
+//     C.order:
+//       shippingCost: >
+//         currency_convert(S.quote.price, S.quote.currency, this.currency)
+//     S:
+//       items: '[item.name for item in C.order.items]'
+//       addr: C.order.address
+//       method: >
+//         "air" if C.order.cost > 1000 else "ground"
+//
+// Target node labels are `ALIAS` (the store's default object, key "state")
+// or `ALIAS.objectKey`. Expression references `ALIAS.x.y` resolve `x`
+// against the store's objects first and the default object's fields second.
+//
+// This module parses, analyzes (cycles, unresolved aliases, unused
+// mappings — the §5 "framework support for composition" static analysis),
+// and holds the compiled form; execution lives in core/cast.h.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "de/schema.h"
+#include "expr/ast.h"
+
+namespace knactor::core {
+
+/// One field mapping: target_object.field = expression.
+///
+/// Fan-out mappings (target label "ALIAS.*") instantiate once per object
+/// key of a driver alias: the node declares `$for: <driver-alias>
+/// [<prefix>]`, and expressions address the driven object via
+/// `get(DRIVER, it)` where `it` is bound to the current key. The mapping
+/// writes to the same key in the target store — set-to-set composition
+/// (e.g. every `order/<id>` in Checkout produces a `order/<id>` shipment
+/// request in Shipping).
+struct DxgMapping {
+  std::string target_alias;   // e.g. "C"
+  std::string target_object;  // e.g. "order" ("state" by default)
+  std::string field;          // e.g. "shippingCost"
+  std::string expr_text;
+  std::shared_ptr<const expr::Node> compiled;
+  /// Cross-store references the expression reads (from collect_refs, with
+  /// `this` rewritten to the target object).
+  std::vector<std::string> refs;
+
+  /// Fan-out: target_object is per-driver-key rather than fixed.
+  bool fan_out = false;
+  std::string driver_alias;   // alias whose object keys drive the fan-out
+  std::string driver_prefix;  // only keys with this prefix participate
+
+  [[nodiscard]] std::string target_path() const {
+    return target_alias + "." + (fan_out ? "*" : target_object) + "." + field;
+  }
+};
+
+/// Parsed + compiled DXG.
+class Dxg {
+ public:
+  /// Parses the YAML spec form (Fig. 6). The `Input` section binds aliases
+  /// to data-store ids; the `DXG` section defines mappings.
+  static common::Result<Dxg> parse(std::string_view yaml_text);
+  /// Parses an already-loaded Value (for programmatic construction).
+  static common::Result<Dxg> from_value(const common::Value& spec);
+
+  [[nodiscard]] const std::map<std::string, std::string>& inputs() const {
+    return inputs_;  // alias -> store id
+  }
+  [[nodiscard]] const std::vector<DxgMapping>& mappings() const {
+    return mappings_;
+  }
+
+  /// Aliases read (appear in expressions) and written (targets).
+  [[nodiscard]] std::vector<std::string> read_aliases() const;
+  [[nodiscard]] std::vector<std::string> written_aliases() const;
+
+  [[nodiscard]] std::size_t size() const { return mappings_.size(); }
+
+ private:
+  std::map<std::string, std::string> inputs_;
+  std::vector<DxgMapping> mappings_;
+};
+
+/// A static-analysis finding.
+struct DxgIssue {
+  enum class Kind {
+    kUnresolvedAlias,  // expression references an alias not in Input
+    kCycle,            // field-level dependency cycle
+    kUnusedInput,      // Input alias neither read nor written
+    kNotExternal,      // target field not annotated +kr: external in schema
+    kUnknownField,     // target field absent from the store schema
+    kSelfDependency,   // field's expression reads the field itself
+  };
+  Kind kind;
+  std::string detail;
+};
+
+const char* issue_kind_name(DxgIssue::Kind kind);
+
+/// Static analyzer for DXGs (§5: loop and unused-state detection; schema
+/// conformance when a registry is supplied). `schemas` may be null.
+std::vector<DxgIssue> analyze(const Dxg& dxg,
+                              const de::SchemaRegistry* schemas);
+
+}  // namespace knactor::core

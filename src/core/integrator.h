@@ -1,0 +1,37 @@
+// Integrator base interface (§3.2): the intermediary that composes
+// services by processing and syncing states between their data stores.
+// Integrators are replaceable and reconfigurable at run-time (§3.3) —
+// `reconfigure` swaps the composition program without touching any
+// service's code or redeploying anything, which is what the Table 1 tasks
+// measure.
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace knactor::core {
+
+class Integrator {
+ public:
+  virtual ~Integrator() = default;
+
+  [[nodiscard]] virtual const std::string& name() const = 0;
+  /// The RBAC principal the integrator acts as.
+  [[nodiscard]] std::string principal() const {
+    return "integrator:" + name();
+  }
+
+  /// Starts processing (installs watches / polling / triggers).
+  virtual common::Status start() = 0;
+  virtual void stop() = 0;
+  [[nodiscard]] virtual bool running() const = 0;
+
+  /// Replaces the integrator's composition program at run-time. The new
+  /// configuration takes effect on the next exchange pass; no services are
+  /// rebuilt or redeployed.
+  virtual common::Status reconfigure(const common::Value& config) = 0;
+};
+
+}  // namespace knactor::core

@@ -1,0 +1,97 @@
+// The knactor service abstraction (§3.2): a service is represented as a
+// knactor owning one or more data stores (on Object and/or Log DEs) and a
+// reconciler that reacts to state updates in those stores — never to other
+// services' APIs. Composition happens outside, in integrators.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "de/log.h"
+#include "de/object.h"
+#include "de/schema.h"
+
+namespace knactor::core {
+
+class Knactor;
+
+/// Base class for reconcilers: code that watches the knactor's own data
+/// store(s) and initiates actions (possibly writing back). Service
+/// developers subclass this; the framework wires watches.
+class Reconciler {
+ public:
+  virtual ~Reconciler() = default;
+
+  /// Called once when the knactor starts (initialize state, seed objects).
+  virtual void start(Knactor& knactor) { (void)knactor; }
+  /// Called for every event on a watched object store of this knactor.
+  virtual void on_object_event(Knactor& knactor, const de::WatchEvent& event) {
+    (void)knactor;
+    (void)event;
+  }
+};
+
+/// A deployed knactor: name, principal identity, bound stores, reconciler.
+class Knactor {
+ public:
+  Knactor(std::string name, std::unique_ptr<Reconciler> reconciler)
+      : name_(std::move(name)), reconciler_(std::move(reconciler)) {}
+
+  Knactor(const Knactor&) = delete;
+  Knactor& operator=(const Knactor&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  /// The RBAC principal this knactor's reconciler acts as.
+  [[nodiscard]] std::string principal() const { return "knactor:" + name_; }
+
+  /// Binds an object store (created on some Object DE) under a local
+  /// label ("state" store by convention; knactors may have several, like
+  /// the Fig. 4 knactors with one Object and one Log store each).
+  void bind_object_store(const std::string& label, de::ObjectStore& store,
+                         const de::StoreSchema* schema = nullptr);
+  void bind_log_pool(const std::string& label, de::LogPool& pool);
+
+  [[nodiscard]] de::ObjectStore* object_store(const std::string& label) const;
+  [[nodiscard]] de::LogPool* log_pool(const std::string& label) const;
+  [[nodiscard]] const de::StoreSchema* store_schema(
+      const std::string& label) const;
+
+  /// Starts the reconciler and installs watches on all bound object
+  /// stores. Events are delivered with the DE's watch latency.
+  void start();
+  void stop();
+  /// Informer-style resync (the Kubernetes re-list pattern): lists every
+  /// bound store and replays each object to the reconciler as a synthetic
+  /// kAdded event. Use after a DE restart or when joining late — watches
+  /// only deliver *changes*, so pre-existing state needs a resync.
+  /// Returns the number of objects replayed.
+  common::Result<std::size_t> resync();
+  [[nodiscard]] bool running() const { return running_; }
+
+  [[nodiscard]] Reconciler* reconciler() { return reconciler_.get(); }
+
+  // Convenience state access for reconcilers (uses the default "state"
+  // store and this knactor's principal).
+  common::Result<de::StateObject> get_state(const std::string& key);
+  common::Result<std::uint64_t> put_state(const std::string& key,
+                                          common::Value data);
+  common::Result<std::uint64_t> patch_state(const std::string& key,
+                                            common::Value fields);
+
+ private:
+  std::string name_;
+  std::unique_ptr<Reconciler> reconciler_;
+  struct BoundStore {
+    de::ObjectStore* store = nullptr;
+    const de::StoreSchema* schema = nullptr;
+    std::uint64_t watch_id = 0;
+  };
+  std::map<std::string, BoundStore> object_stores_;
+  std::map<std::string, de::LogPool*> log_pools_;
+  bool running_ = false;
+};
+
+}  // namespace knactor::core

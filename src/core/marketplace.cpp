@@ -1,0 +1,199 @@
+#include "core/marketplace.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace knactor::core {
+
+using common::Error;
+using common::Status;
+
+int compare_versions(const std::string& a, const std::string& b) {
+  auto as = common::split(a, '.');
+  auto bs = common::split(b, '.');
+  for (std::size_t i = 0; i < std::max(as.size(), bs.size()); ++i) {
+    std::string sa = i < as.size() ? as[i] : "0";
+    std::string sb = i < bs.size() ? bs[i] : "0";
+    bool na = !sa.empty() && sa.find_first_not_of("0123456789") == std::string::npos;
+    bool nb = !sb.empty() && sb.find_first_not_of("0123456789") == std::string::npos;
+    if (na && nb) {
+      long va = std::stol(sa);
+      long vb = std::stol(sb);
+      if (va != vb) return va < vb ? -1 : 1;
+    } else {
+      int c = sa.compare(sb);
+      if (c != 0) return c < 0 ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+Status Marketplace::publish(Package package) {
+  if (package.name.empty() || package.version.empty()) {
+    return Error::invalid_argument("marketplace: package needs name+version");
+  }
+  auto key = std::make_pair(package.name, package.version);
+  if (packages_.find(key) != packages_.end()) {
+    return Error::already_exists("marketplace: " + package.name + "@" +
+                                 package.version + " already published");
+  }
+
+  // Derive metadata and validate the artifacts.
+  package.provides.clear();
+  package.reads.clear();
+  package.fills.clear();
+  if (package.kind == Package::Kind::kKnactor) {
+    if (package.schema_yamls.empty()) {
+      return Error::invalid_argument(
+          "marketplace: knactor package needs at least one schema");
+    }
+    for (const auto& yaml_text : package.schema_yamls) {
+      KN_ASSIGN_OR_RETURN(de::StoreSchema schema,
+                          de::parse_schema(yaml_text));
+      package.provides.push_back(schema.id);
+    }
+  } else {
+    if (package.dxg_yaml.empty()) {
+      return Error::invalid_argument(
+          "marketplace: integrator package needs a DXG");
+    }
+    KN_ASSIGN_OR_RETURN(Dxg dxg, Dxg::parse(package.dxg_yaml));
+    auto issues = analyze(dxg, nullptr);
+    for (const auto& issue : issues) {
+      if (issue.kind == DxgIssue::Kind::kCycle ||
+          issue.kind == DxgIssue::Kind::kUnresolvedAlias) {
+        return Error::invalid_argument("marketplace: integrator DXG " +
+                                       std::string(issue_kind_name(issue.kind)) +
+                                       ": " + issue.detail);
+      }
+    }
+    for (const auto& alias : dxg.read_aliases()) {
+      auto it = dxg.inputs().find(alias);
+      if (it != dxg.inputs().end()) package.reads.push_back(it->second);
+    }
+    std::sort(package.reads.begin(), package.reads.end());
+    package.reads.erase(
+        std::unique(package.reads.begin(), package.reads.end()),
+        package.reads.end());
+    for (const auto& mapping : dxg.mappings()) {
+      auto it = dxg.inputs().find(mapping.target_alias);
+      if (it == dxg.inputs().end()) continue;
+      auto& fields = package.fills[it->second];
+      if (std::find(fields.begin(), fields.end(), mapping.field) ==
+          fields.end()) {
+        fields.push_back(mapping.field);
+      }
+    }
+  }
+
+  // Update the latest-version index.
+  auto latest = latest_.find(package.name);
+  if (latest == latest_.end() ||
+      compare_versions(package.version, latest->second) > 0) {
+    latest_[package.name] = package.version;
+  }
+  packages_[key] = std::move(package);
+  return Status::success();
+}
+
+const Package* Marketplace::find(const std::string& name) const {
+  auto latest = latest_.find(name);
+  if (latest == latest_.end()) return nullptr;
+  return find(name, latest->second);
+}
+
+const Package* Marketplace::find(const std::string& name,
+                                 const std::string& version) const {
+  auto it = packages_.find({name, version});
+  return it == packages_.end() ? nullptr : &it->second;
+}
+
+std::vector<const Package*> Marketplace::search(
+    const std::string& query) const {
+  std::vector<const Package*> out;
+  for (const auto& [name, version] : latest_) {
+    const Package* p = find(name, version);
+    if (p == nullptr) continue;
+    if (query.empty() || p->name.find(query) != std::string::npos ||
+        p->description.find(query) != std::string::npos) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+std::vector<const Package*> Marketplace::integrators_for(
+    const std::string& schema_id, const std::string& field) const {
+  std::vector<const Package*> out;
+  for (const auto& [name, version] : latest_) {
+    const Package* p = find(name, version);
+    if (p == nullptr || p->kind != Package::Kind::kIntegrator) continue;
+    auto it = p->fills.find(schema_id);
+    if (it == p->fills.end()) continue;
+    if (!field.empty() && std::find(it->second.begin(), it->second.end(),
+                                    field) == it->second.end()) {
+      continue;
+    }
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<const Package*> Marketplace::providers_of(
+    const std::string& schema_id) const {
+  std::vector<const Package*> out;
+  for (const auto& [name, version] : latest_) {
+    const Package* p = find(name, version);
+    if (p == nullptr || p->kind != Package::Kind::kKnactor) continue;
+    if (std::find(p->provides.begin(), p->provides.end(), schema_id) !=
+        p->provides.end()) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Marketplace::missing_requirements(
+    const std::string& integrator_name) const {
+  std::vector<std::string> missing;
+  const Package* integrator = find(integrator_name);
+  if (integrator == nullptr ||
+      integrator->kind != Package::Kind::kIntegrator) {
+    missing.push_back("integrator '" + integrator_name + "' not published");
+    return missing;
+  }
+  // Every read schema must have a provider.
+  for (const auto& schema_id : integrator->reads) {
+    if (providers_of(schema_id).empty()) {
+      missing.push_back("no provider for schema " + schema_id);
+    }
+  }
+  // Every filled field must be external in some provider's schema.
+  for (const auto& [schema_id, fields] : integrator->fills) {
+    auto providers = providers_of(schema_id);
+    if (providers.empty()) {
+      missing.push_back("no provider for schema " + schema_id);
+      continue;
+    }
+    // Re-parse the provider's schema to check field annotations.
+    const Package* provider = providers.front();
+    for (const auto& yaml_text : provider->schema_yamls) {
+      auto schema = de::parse_schema(yaml_text);
+      if (!schema.ok() || schema.value().id != schema_id) continue;
+      for (const auto& field : fields) {
+        const de::SchemaField* f = schema.value().field(field);
+        if (f == nullptr) {
+          missing.push_back("schema " + schema_id + " has no field '" + field +
+                            "'");
+        } else if (!f->external) {
+          missing.push_back("field '" + field + "' of " + schema_id +
+                            " is not '+kr: external'");
+        }
+      }
+    }
+  }
+  return missing;
+}
+
+}  // namespace knactor::core

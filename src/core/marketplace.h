@@ -1,0 +1,87 @@
+// Knactor marketplace (§5 "Ecosystem"): a registry where knactors and
+// integrators, developed by different parties, are published, discovered,
+// and compatibility-checked — the paper's analog of today's API
+// marketplaces, but trading in *state schemas* instead of API endpoints.
+//
+// Publishing a knactor registers the schemas of its data stores;
+// publishing an integrator registers its DXG, from which the marketplace
+// derives which schemas it reads and which external fields it fills.
+// Composition shopping then becomes a schema query: "who can fill
+// `shippingCost` of OnlineRetail/v1/Checkout/Order?".
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/dxg.h"
+#include "de/schema.h"
+
+namespace knactor::core {
+
+struct Package {
+  enum class Kind { kKnactor, kIntegrator };
+
+  std::string name;
+  std::string version;  // dotted integers, e.g. "1.4.2"
+  Kind kind = Kind::kKnactor;
+  std::string description;
+  std::string publisher;
+
+  /// Knactor packages: YAML schemas of the stores this knactor exposes.
+  std::vector<std::string> schema_yamls;
+
+  /// Integrator packages: the DXG spec (Input values are schema ids).
+  std::string dxg_yaml;
+
+  // Derived on publish:
+  std::vector<std::string> provides;      // schema ids (knactor)
+  std::vector<std::string> reads;         // schema ids (integrator)
+  std::map<std::string, std::vector<std::string>> fills;  // schema -> fields
+};
+
+/// Orders "1.10.2" > "1.9.9" etc. Non-numeric segments compare as strings.
+int compare_versions(const std::string& a, const std::string& b);
+
+class Marketplace {
+ public:
+  /// Validates and registers a package (schemas must parse; integrator
+  /// DXGs must parse and be cycle-free). Re-publishing the same
+  /// name+version is rejected.
+  common::Status publish(Package package);
+
+  /// Latest version of a package by name.
+  [[nodiscard]] const Package* find(const std::string& name) const;
+  [[nodiscard]] const Package* find(const std::string& name,
+                                    const std::string& version) const;
+
+  /// Substring search over names and descriptions, latest versions only.
+  [[nodiscard]] std::vector<const Package*> search(
+      const std::string& query) const;
+
+  /// Integrator packages that fill fields of the given schema — the
+  /// "composition shopping" query. Optionally restrict to one field.
+  [[nodiscard]] std::vector<const Package*> integrators_for(
+      const std::string& schema_id, const std::string& field = "") const;
+
+  /// Knactor packages providing the given schema.
+  [[nodiscard]] std::vector<const Package*> providers_of(
+      const std::string& schema_id) const;
+
+  /// Verifies an integrator's inputs are all provided by published
+  /// knactors and that every filled field is '+kr: external' in the
+  /// provider's schema. Returns the unmet requirements.
+  [[nodiscard]] std::vector<std::string> missing_requirements(
+      const std::string& integrator_name) const;
+
+  [[nodiscard]] std::size_t size() const { return packages_.size(); }
+
+ private:
+  // (name, version) -> package, plus a name -> latest-version index.
+  std::map<std::pair<std::string, std::string>, Package> packages_;
+  std::map<std::string, std::string> latest_;
+};
+
+}  // namespace knactor::core

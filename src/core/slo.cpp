@@ -1,0 +1,70 @@
+#include "core/slo.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace knactor::core {
+
+sim::SimTime SloMonitor::percentile(std::vector<sim::SimTime> durations,
+                                    double pct) {
+  if (durations.empty()) return 0;
+  std::sort(durations.begin(), durations.end());
+  double rank = pct / 100.0 * static_cast<double>(durations.size());
+  auto index = static_cast<std::size_t>(std::ceil(rank));
+  if (index == 0) index = 1;
+  if (index > durations.size()) index = durations.size();
+  return durations[index - 1];
+}
+
+SloReport SloMonitor::evaluate(const Slo& slo) const {
+  SloReport report;
+  report.span_name = slo.span_name;
+  report.target = slo.target;
+  report.percentile = slo.percentile;
+
+  std::vector<sim::SimTime> durations;
+  for (const auto& span : tracer_.by_name(slo.span_name)) {
+    durations.push_back(span.duration());
+    if (span.duration() > slo.target) ++report.violations;
+  }
+  report.samples = durations.size();
+  if (durations.empty()) {
+    report.met = true;  // vacuously
+    return report;
+  }
+  report.p50 = percentile(durations, 50.0);
+  report.p99 = percentile(durations, 99.0);
+  report.max = *std::max_element(durations.begin(), durations.end());
+  report.attained = percentile(durations, slo.percentile);
+  report.met = report.attained <= slo.target;
+  return report;
+}
+
+std::vector<SloReport> SloMonitor::evaluate_all() const {
+  std::vector<SloReport> out;
+  out.reserve(slos_.size());
+  for (const auto& slo : slos_) {
+    out.push_back(evaluate(slo));
+  }
+  return out;
+}
+
+std::string SloMonitor::to_text(const std::vector<SloReport>& reports) {
+  std::string out;
+  out += "# TYPE knactor_slo_latency_ms summary\n";
+  for (const auto& r : reports) {
+    std::string labels = "{span=\"" + r.span_name + "\"}";
+    auto line = [&](const std::string& name, double value) {
+      out += "knactor_" + name + labels + " " + std::to_string(value) + "\n";
+    };
+    line("slo_latency_ms_p50", sim::to_ms(r.p50));
+    line("slo_latency_ms_p99", sim::to_ms(r.p99));
+    line("slo_latency_ms_max", sim::to_ms(r.max));
+    line("slo_samples", static_cast<double>(r.samples));
+    line("slo_violations", static_cast<double>(r.violations));
+    line("slo_met", r.met ? 1.0 : 0.0);
+  }
+  return out;
+}
+
+}  // namespace knactor::core

@@ -1,0 +1,66 @@
+// SLO monitoring over exchange traces (§5 "monitoring knactor SLOs through
+// distributed tracing and telemetry"). Because composition is explicit,
+// per-exchange latency is directly observable at the framework level: an
+// SloMonitor evaluates span populations from a Tracer against latency
+// objectives and reports percentiles and violations.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/trace.h"
+#include "sim/clock.h"
+
+namespace knactor::core {
+
+struct Slo {
+  /// Span name this objective applies to (e.g. "cast.pass.retail").
+  std::string span_name;
+  /// Latency target for the percentile below.
+  sim::SimTime target;
+  /// Percentile the target applies to, in (0, 100].
+  double percentile = 99.0;
+};
+
+struct SloReport {
+  std::string span_name;
+  std::size_t samples = 0;
+  sim::SimTime p50 = 0;
+  sim::SimTime p99 = 0;
+  sim::SimTime max = 0;
+  /// Measured latency at the SLO's percentile.
+  sim::SimTime attained = 0;
+  sim::SimTime target = 0;
+  double percentile = 0;
+  bool met = false;
+  /// Spans exceeding the target (regardless of percentile).
+  std::size_t violations = 0;
+};
+
+/// Evaluates SLOs against the spans recorded by a Tracer.
+class SloMonitor {
+ public:
+  explicit SloMonitor(const Tracer& tracer) : tracer_(tracer) {}
+
+  void add_slo(Slo slo) { slos_.push_back(std::move(slo)); }
+
+  /// Evaluates one objective now.
+  [[nodiscard]] SloReport evaluate(const Slo& slo) const;
+  /// Evaluates all registered objectives.
+  [[nodiscard]] std::vector<SloReport> evaluate_all() const;
+
+  /// Latency at a percentile for a span population (nearest-rank).
+  static sim::SimTime percentile(std::vector<sim::SimTime> durations,
+                                 double pct);
+
+  /// Renders reports in a Prometheus-exposition-like text format (the §5
+  /// telemetry hook).
+  static std::string to_text(const std::vector<SloReport>& reports);
+
+ private:
+  const Tracer& tracer_;
+  std::vector<Slo> slos_;
+};
+
+}  // namespace knactor::core

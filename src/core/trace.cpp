@@ -1,0 +1,53 @@
+#include "core/trace.h"
+
+namespace knactor::core {
+
+std::uint64_t Tracer::begin(const std::string& name, std::uint64_t parent) {
+  Span span;
+  span.id = next_id_++;
+  span.parent = parent;
+  span.name = name;
+  span.start = clock_.now();
+  span.end = -1;
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void Tracer::annotate(std::uint64_t span_id, const std::string& key,
+                      const std::string& value) {
+  for (auto& span : spans_) {
+    if (span.id == span_id) {
+      span.attributes[key] = value;
+      return;
+    }
+  }
+}
+
+void Tracer::end(std::uint64_t span_id) {
+  for (auto& span : spans_) {
+    if (span.id == span_id) {
+      span.end = clock_.now();
+      return;
+    }
+  }
+}
+
+std::vector<Span> Tracer::by_name(const std::string& name) const {
+  std::vector<Span> out;
+  for (const auto& span : spans_) {
+    if (span.name == name && span.end >= span.start) out.push_back(span);
+  }
+  return out;
+}
+
+sim::SimTime Tracer::total_duration(const std::string& name) const {
+  sim::SimTime total = 0;
+  for (const auto& span : spans_) {
+    if (span.name == name && span.end >= span.start) {
+      total += span.duration();
+    }
+  }
+  return total;
+}
+
+}  // namespace knactor::core

@@ -1,0 +1,72 @@
+// Span-based tracing for data exchanges (§5 "observability ... monitoring
+// knactor SLOs through distributed tracing"). Because composition is
+// explicit in Knactor, every exchange pass and store operation can be
+// traced at the framework level without touching service code — this
+// module is what the Table 2 bench uses to attribute time to the paper's
+// C-I / I / I-S / S stages.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/clock.h"
+
+namespace knactor::core {
+
+struct Span {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  // 0 = root
+  std::string name;
+  sim::SimTime start = 0;
+  sim::SimTime end = 0;
+  std::map<std::string, std::string> attributes;
+
+  [[nodiscard]] sim::SimTime duration() const { return end - start; }
+};
+
+/// Collects spans; thread-free (the simulation is single-threaded).
+class Tracer {
+ public:
+  explicit Tracer(sim::VirtualClock& clock) : clock_(clock) {}
+
+  /// Opens a span; returns its id. Pass parent=0 for a root span.
+  std::uint64_t begin(const std::string& name, std::uint64_t parent = 0);
+  void annotate(std::uint64_t span_id, const std::string& key,
+                const std::string& value);
+  void end(std::uint64_t span_id);
+
+  [[nodiscard]] const std::vector<Span>& spans() const { return spans_; }
+  /// All finished spans with the given name.
+  [[nodiscard]] std::vector<Span> by_name(const std::string& name) const;
+  /// Sum of durations of finished spans with the given name.
+  [[nodiscard]] sim::SimTime total_duration(const std::string& name) const;
+  void clear() { spans_.clear(); }
+
+ private:
+  sim::VirtualClock& clock_;
+  std::vector<Span> spans_;
+  std::uint64_t next_id_ = 1;
+};
+
+/// Monotonic counters + gauges for framework internals.
+class Metrics {
+ public:
+  void inc(const std::string& name, std::uint64_t delta = 1) {
+    counters_[name] += delta;
+  }
+  [[nodiscard]] std::uint64_t get(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& all() const {
+    return counters_;
+  }
+  void clear() { counters_.clear(); }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace knactor::core

@@ -1,0 +1,485 @@
+#include "de/log.h"
+
+#include <algorithm>
+
+#include "common/json.h"
+#include "expr/parser.h"
+
+namespace knactor::de {
+
+using common::Error;
+using common::Result;
+using common::Status;
+using common::Value;
+
+// ---------------------------------------------------------------------------
+// LogOp constructors.
+// ---------------------------------------------------------------------------
+
+Result<LogOp> LogOp::filter(const std::string& expr_text) {
+  LogOp op;
+  op.kind = Kind::kFilter;
+  op.expr_text = expr_text;
+  KN_ASSIGN_OR_RETURN(expr::NodePtr node, expr::parse(expr_text));
+  op.compiled = std::shared_ptr<const expr::Node>(std::move(node));
+  return op;
+}
+
+LogOp LogOp::rename(std::map<std::string, std::string> renames) {
+  LogOp op;
+  op.kind = Kind::kRename;
+  op.renames = std::move(renames);
+  return op;
+}
+
+LogOp LogOp::project(std::vector<std::string> fields) {
+  LogOp op;
+  op.kind = Kind::kProject;
+  op.fields = std::move(fields);
+  return op;
+}
+
+LogOp LogOp::drop(std::vector<std::string> fields) {
+  LogOp op;
+  op.kind = Kind::kDrop;
+  op.fields = std::move(fields);
+  return op;
+}
+
+LogOp LogOp::sort(std::string field, bool descending) {
+  LogOp op;
+  op.kind = Kind::kSort;
+  op.field = std::move(field);
+  op.descending = descending;
+  return op;
+}
+
+LogOp LogOp::head(std::size_t n) {
+  LogOp op;
+  op.kind = Kind::kHead;
+  op.n = n;
+  return op;
+}
+
+LogOp LogOp::tail(std::size_t n) {
+  LogOp op;
+  op.kind = Kind::kTail;
+  op.n = n;
+  return op;
+}
+
+LogOp LogOp::aggregate(
+    std::vector<std::string> group_by,
+    std::map<std::string, std::pair<std::string, std::string>> aggs) {
+  LogOp op;
+  op.kind = Kind::kAggregate;
+  op.fields = std::move(group_by);
+  op.aggs = std::move(aggs);
+  return op;
+}
+
+Result<LogOp> LogOp::map(std::string target_field,
+                         const std::string& expr_text) {
+  LogOp op;
+  op.kind = Kind::kMap;
+  op.field = std::move(target_field);
+  op.expr_text = expr_text;
+  KN_ASSIGN_OR_RETURN(expr::NodePtr node, expr::parse(expr_text));
+  op.compiled = std::shared_ptr<const expr::Node>(std::move(node));
+  return op;
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline execution.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Env exposing a record's fields as top-level names plus `this`. Fields a
+/// record lacks resolve to null (not an error): heterogeneous pools are
+/// normal — a filter like "energy > 0" must simply not match records
+/// without the field.
+class RecordEnv : public expr::Env {
+ public:
+  explicit RecordEnv(const Value& record) : record_(record) {}
+
+  [[nodiscard]] const Value* resolve(const std::string& name) const override {
+    if (name == "this") return &record_;
+    if (record_.is_object()) {
+      const Value* v = record_.get(name);
+      return v != nullptr ? v : &null_;
+    }
+    return &null_;
+  }
+
+ private:
+  static const Value null_;
+  const Value& record_;
+};
+
+const Value RecordEnv::null_{};
+
+Result<Value> aggregate_column(const std::string& fn,
+                               const std::vector<Value>& column) {
+  if (fn == "count") {
+    return Value(static_cast<std::int64_t>(column.size()));
+  }
+  if (fn == "first") {
+    return column.empty() ? Value(nullptr) : column.front();
+  }
+  if (fn == "last") {
+    return column.empty() ? Value(nullptr) : column.back();
+  }
+  // Numeric reductions ignore null/missing values.
+  std::vector<double> nums;
+  bool all_int = true;
+  for (const auto& v : column) {
+    if (v.is_null()) continue;
+    auto n = v.try_number();
+    if (!n) {
+      return Error::eval("aggregate " + fn + ": non-numeric value");
+    }
+    if (!v.is_int()) all_int = false;
+    nums.push_back(*n);
+  }
+  if (nums.empty()) return Value(nullptr);
+  double out = 0;
+  if (fn == "sum") {
+    for (double n : nums) out += n;
+  } else if (fn == "min") {
+    out = *std::min_element(nums.begin(), nums.end());
+  } else if (fn == "max") {
+    out = *std::max_element(nums.begin(), nums.end());
+  } else if (fn == "avg") {
+    for (double n : nums) out += n;
+    out /= static_cast<double>(nums.size());
+    return Value(out);
+  } else {
+    return Error::invalid_argument("unknown aggregate function '" + fn + "'");
+  }
+  if (all_int && fn != "avg") return Value(static_cast<std::int64_t>(out));
+  return Value(out);
+}
+
+Result<std::vector<Value>> apply_op(const LogOp& op,
+                                    std::vector<Value> records) {
+  const auto& functions = expr::FunctionRegistry::builtins();
+  switch (op.kind) {
+    case LogOp::Kind::kFilter: {
+      std::vector<Value> out;
+      for (auto& r : records) {
+        RecordEnv env(r);
+        KN_ASSIGN_OR_RETURN(Value keep,
+                            expr::evaluate(*op.compiled, env, functions));
+        if (keep.truthy()) out.push_back(std::move(r));
+      }
+      return out;
+    }
+    case LogOp::Kind::kRename: {
+      for (auto& r : records) {
+        if (!r.is_object()) continue;
+        Value out = Value::object();
+        for (const auto& [k, v] : r.as_object()) {
+          auto it = op.renames.find(k);
+          out.set(it == op.renames.end() ? k : it->second, v);
+        }
+        r = std::move(out);
+      }
+      return records;
+    }
+    case LogOp::Kind::kProject: {
+      for (auto& r : records) {
+        if (!r.is_object()) continue;
+        Value out = Value::object();
+        for (const auto& f : op.fields) {
+          const Value* v = r.get(f);
+          if (v != nullptr) out.set(f, *v);
+        }
+        r = std::move(out);
+      }
+      return records;
+    }
+    case LogOp::Kind::kDrop: {
+      for (auto& r : records) {
+        if (!r.is_object()) continue;
+        for (const auto& f : op.fields) {
+          r.as_object().erase(f);
+        }
+      }
+      return records;
+    }
+    case LogOp::Kind::kSort: {
+      bool type_error = false;
+      auto three_way = [&](const Value& a, const Value& b) -> int {
+        const Value* fa = a.get(op.field);
+        const Value* fb = b.get(op.field);
+        if (fa == nullptr && fb == nullptr) return 0;
+        // Missing values sort last regardless of direction.
+        if (fa == nullptr) return op.descending ? -1 : 1;
+        if (fb == nullptr) return op.descending ? 1 : -1;
+        if (fa->is_number() && fb->is_number()) {
+          if (fa->as_number() < fb->as_number()) return -1;
+          if (fa->as_number() > fb->as_number()) return 1;
+          return 0;
+        }
+        if (fa->is_string() && fb->is_string()) {
+          return fa->as_string().compare(fb->as_string());
+        }
+        type_error = true;
+        return 0;
+      };
+      std::stable_sort(records.begin(), records.end(),
+                       [&](const Value& a, const Value& b) {
+                         int c = three_way(a, b);
+                         return op.descending ? c > 0 : c < 0;
+                       });
+      if (type_error) {
+        return Error::eval("sort: unorderable values in field '" + op.field +
+                           "'");
+      }
+      return records;
+    }
+    case LogOp::Kind::kHead: {
+      if (records.size() > op.n) records.resize(op.n);
+      return records;
+    }
+    case LogOp::Kind::kTail: {
+      if (records.size() > op.n) {
+        records.erase(records.begin(),
+                      records.end() - static_cast<std::ptrdiff_t>(op.n));
+      }
+      return records;
+    }
+    case LogOp::Kind::kMap: {
+      for (auto& r : records) {
+        RecordEnv env(r);
+        KN_ASSIGN_OR_RETURN(Value v,
+                            expr::evaluate(*op.compiled, env, functions));
+        if (!r.is_object()) r = Value::object();
+        r.set(op.field, std::move(v));
+      }
+      return records;
+    }
+    case LogOp::Kind::kAggregate: {
+      // Group rows by the group_by key tuple, preserving first-seen order.
+      std::vector<std::pair<std::string, std::vector<Value>>> groups;
+      std::map<std::string, std::size_t> index;
+      for (auto& r : records) {
+        std::string key;
+        for (const auto& f : op.fields) {
+          const Value* v = r.get(f);
+          key += (v != nullptr ? common::to_json(*v) : "null") + "\x1f";
+        }
+        auto it = index.find(key);
+        if (it == index.end()) {
+          index[key] = groups.size();
+          groups.push_back({key, {}});
+          groups.back().second.push_back(std::move(r));
+        } else {
+          groups[it->second].second.push_back(std::move(r));
+        }
+      }
+      std::vector<Value> out;
+      for (auto& [key, rows] : groups) {
+        Value row = Value::object();
+        for (const auto& f : op.fields) {
+          const Value* v = rows.front().get(f);
+          row.set(f, v != nullptr ? *v : Value(nullptr));
+        }
+        for (const auto& [out_field, agg] : op.aggs) {
+          const auto& [fn, in_field] = agg;
+          std::vector<Value> column;
+          for (const auto& r : rows) {
+            const Value* v = r.get(in_field);
+            column.push_back(v != nullptr ? *v : Value(nullptr));
+          }
+          KN_ASSIGN_OR_RETURN(Value agg_value, aggregate_column(fn, column));
+          row.set(out_field, std::move(agg_value));
+        }
+        out.push_back(std::move(row));
+      }
+      return out;
+    }
+  }
+  return Error::internal("unhandled log op");
+}
+
+}  // namespace
+
+Result<std::vector<Value>> run_pipeline(const LogQuery& q,
+                                        std::vector<Value> records) {
+  for (const auto& op : q) {
+    KN_ASSIGN_OR_RETURN(records, apply_op(op, std::move(records)));
+  }
+  return records;
+}
+
+// ---------------------------------------------------------------------------
+// Profiles.
+// ---------------------------------------------------------------------------
+
+LogDeProfile LogDeProfile::zed() {
+  LogDeProfile p;
+  p.name = "zed";
+  p.append_rt = sim::LatencyModel::normal_ms(1.2, 0.1);
+  p.query_base_rt = sim::LatencyModel::normal_ms(2.5, 0.2);
+  p.per_record = sim::LatencyModel::constant(2);  // 2us per record scanned
+  return p;
+}
+
+LogDeProfile LogDeProfile::instant() {
+  LogDeProfile p;
+  p.name = "instant";
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// LogPool / LogDe.
+// ---------------------------------------------------------------------------
+
+void LogPool::append(const std::string& principal, Value record,
+                     AppendCallback done) {
+  sim::SimTime rt = de_.profile_.append_rt.sample(de_.rng_);
+  de_.clock_.schedule_after(
+      rt, [this, principal, record = std::move(record),
+           done = std::move(done)]() mutable {
+        ++de_.stats_.appends;
+        Decision d = de_.rbac_.check(principal, name_, "", Verb::kCreate,
+                                     de_.clock_.now());
+        if (!d.allowed) {
+          ++de_.stats_.permission_denials;
+          done(Error::permission_denied("log: " + principal +
+                                        " cannot append to " + name_));
+          return;
+        }
+        LogRecord rec;
+        rec.seq = de_.next_seq_++;
+        rec.ingested_at = de_.clock_.now();
+        rec.data = std::move(record);
+        records_.push_back(std::move(rec));
+        done(records_.back().seq);
+      });
+}
+
+void LogPool::append_batch(const std::string& principal,
+                           std::vector<Value> records, AppendCallback done) {
+  sim::SimTime rt = de_.profile_.append_rt.sample(de_.rng_);
+  rt += static_cast<sim::SimTime>(records.size()) *
+        de_.profile_.per_record.sample(de_.rng_);
+  de_.clock_.schedule_after(
+      rt, [this, principal, records = std::move(records),
+           done = std::move(done)]() mutable {
+        Decision d = de_.rbac_.check(principal, name_, "", Verb::kCreate,
+                                     de_.clock_.now());
+        if (!d.allowed) {
+          ++de_.stats_.permission_denials;
+          done(Error::permission_denied("log: " + principal +
+                                        " cannot append to " + name_));
+          return;
+        }
+        std::uint64_t last = latest_seq();
+        for (auto& record : records) {
+          ++de_.stats_.appends;
+          LogRecord rec;
+          rec.seq = de_.next_seq_++;
+          rec.ingested_at = de_.clock_.now();
+          rec.data = std::move(record);
+          last = rec.seq;
+          records_.push_back(std::move(rec));
+        }
+        done(last);
+      });
+}
+
+Result<std::uint64_t> LogPool::append_batch_sync(const std::string& principal,
+                                                 std::vector<Value> records) {
+  std::optional<Result<std::uint64_t>> result;
+  append_batch(principal, std::move(records),
+               [&](Result<std::uint64_t> r) { result = std::move(r); });
+  de_.run_sync([&] { return result.has_value(); });
+  return std::move(*result);
+}
+
+void LogPool::query(const std::string& principal, const LogQuery& q,
+                    std::uint64_t after_seq, QueryCallback done) {
+  // Collect matching records now; charge base + per-record latency.
+  std::vector<Value> batch;
+  for (const auto& rec : records_) {
+    if (rec.seq > after_seq) batch.push_back(rec.data);
+  }
+  sim::SimTime rt = de_.profile_.query_base_rt.sample(de_.rng_);
+  rt += static_cast<sim::SimTime>(batch.size()) *
+        de_.profile_.per_record.sample(de_.rng_);
+  de_.clock_.schedule_after(
+      rt, [this, principal, q, batch = std::move(batch),
+           done = std::move(done)]() mutable {
+        ++de_.stats_.queries;
+        de_.stats_.records_scanned += batch.size();
+        Decision d = de_.rbac_.check(principal, name_, "", Verb::kList,
+                                     de_.clock_.now());
+        if (!d.allowed) {
+          ++de_.stats_.permission_denials;
+          done(Error::permission_denied("log: " + principal +
+                                        " cannot query " + name_));
+          return;
+        }
+        if (!d.fields.unrestricted()) {
+          for (auto& r : batch) {
+            r = Rbac::filter_fields(r, d.fields);
+          }
+        }
+        done(run_pipeline(q, std::move(batch)));
+      });
+}
+
+Result<std::uint64_t> LogPool::append_sync(const std::string& principal,
+                                           Value record) {
+  std::optional<Result<std::uint64_t>> result;
+  append(principal, std::move(record),
+         [&](Result<std::uint64_t> r) { result = std::move(r); });
+  de_.run_sync([&] { return result.has_value(); });
+  return std::move(*result);
+}
+
+Result<std::vector<Value>> LogPool::query_sync(const std::string& principal,
+                                               const LogQuery& q,
+                                               std::uint64_t after_seq) {
+  std::optional<Result<std::vector<Value>>> result;
+  query(principal, q, after_seq,
+        [&](Result<std::vector<Value>> r) { result = std::move(r); });
+  de_.run_sync([&] { return result.has_value(); });
+  return std::move(*result);
+}
+
+std::size_t LogPool::compact(std::uint64_t up_to) {
+  std::size_t dropped = 0;
+  while (!records_.empty() && records_.front().seq <= up_to) {
+    records_.pop_front();
+    ++dropped;
+  }
+  return dropped;
+}
+
+LogDe::LogDe(sim::VirtualClock& clock, LogDeProfile profile, std::uint64_t seed)
+    : clock_(clock), profile_(std::move(profile)), rng_(seed) {}
+
+LogPool& LogDe::create_pool(const std::string& name) {
+  auto it = pools_.find(name);
+  if (it != pools_.end()) return *it->second;
+  auto pool = std::unique_ptr<LogPool>(new LogPool(*this, name));
+  LogPool& ref = *pool;
+  pools_[name] = std::move(pool);
+  return ref;
+}
+
+LogPool* LogDe::pool(const std::string& name) {
+  auto it = pools_.find(name);
+  return it == pools_.end() ? nullptr : it->second.get();
+}
+
+void LogDe::run_sync(const std::function<bool()>& done) {
+  while (!done() && clock_.step()) {
+  }
+}
+
+}  // namespace knactor::de

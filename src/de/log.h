@@ -1,0 +1,180 @@
+// Log Data Exchange: append-only pools of structured records with an
+// ingestion API and a dataflow query API (filter, rename, project, sort,
+// head/tail, aggregate) — the Zed-lake analog backing the Sync integrator.
+//
+// Records are common::Value objects; each append stamps a monotonically
+// increasing sequence number and ingest time, so consumers (Sync) can
+// resume from a cursor.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "de/rbac.h"
+#include "expr/ast.h"
+#include "expr/eval.h"
+#include "sim/clock.h"
+#include "sim/latency.h"
+#include "sim/random.h"
+
+namespace knactor::de {
+
+/// A stored log record.
+struct LogRecord {
+  std::uint64_t seq = 0;
+  sim::SimTime ingested_at = 0;
+  common::Value data;
+};
+
+/// One dataflow operator in a query pipeline.
+struct LogOp {
+  enum class Kind {
+    kFilter,     // keep records where expr is truthy
+    kRename,     // rename fields: {old -> new}
+    kProject,    // keep only the named fields
+    kDrop,       // remove the named fields
+    kSort,       // sort by field (asc unless descending)
+    kHead,       // first n
+    kTail,       // last n
+    kAggregate,  // group_by field(s) + aggregations
+    kMap,        // computed field: name := expr over each record
+  };
+
+  Kind kind = Kind::kFilter;
+  std::string expr_text;                        // kFilter, kMap value
+  std::shared_ptr<const expr::Node> compiled;   // parsed once, reused
+  std::map<std::string, std::string> renames;   // kRename: old -> new
+  std::vector<std::string> fields;              // kProject/kDrop/group_by
+  std::string field;                            // kSort field, kMap target
+  bool descending = false;                      // kSort
+  std::size_t n = 0;                            // kHead/kTail
+  /// kAggregate: output field -> (fn, input field). fn in
+  /// {count,sum,min,max,avg,first,last}.
+  std::map<std::string, std::pair<std::string, std::string>> aggs;
+
+  // Convenience constructors.
+  static common::Result<LogOp> filter(const std::string& expr_text);
+  static LogOp rename(std::map<std::string, std::string> renames);
+  static LogOp project(std::vector<std::string> fields);
+  static LogOp drop(std::vector<std::string> fields);
+  static LogOp sort(std::string field, bool descending = false);
+  static LogOp head(std::size_t n);
+  static LogOp tail(std::size_t n);
+  static LogOp aggregate(
+      std::vector<std::string> group_by,
+      std::map<std::string, std::pair<std::string, std::string>> aggs);
+  static common::Result<LogOp> map(std::string target_field,
+                                   const std::string& expr_text);
+};
+
+/// A parsed query: a pipeline of operators applied in order.
+using LogQuery = std::vector<LogOp>;
+
+struct LogDeProfile {
+  std::string name;
+  sim::LatencyModel append_rt;
+  sim::LatencyModel query_base_rt;
+  /// Additional cost per record scanned.
+  sim::LatencyModel per_record;
+
+  static LogDeProfile zed();
+  static LogDeProfile instant();
+};
+
+struct LogDeStats {
+  std::uint64_t appends = 0;
+  std::uint64_t queries = 0;
+  std::uint64_t records_scanned = 0;
+  std::uint64_t permission_denials = 0;
+};
+
+class LogDe;
+
+/// A named append-only pool on a Log DE.
+class LogPool {
+ public:
+  using AppendCallback = std::function<void(common::Result<std::uint64_t>)>;
+  using QueryCallback =
+      std::function<void(common::Result<std::vector<common::Value>>)>;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+
+  /// Appends one record; callback receives its sequence number.
+  void append(const std::string& principal, common::Value record,
+              AppendCallback done);
+  /// Appends a batch in one round trip (one append_rt + per-record engine
+  /// cost); callback receives the last sequence number. This is how bulk
+  /// loaders (the Sync integrator) ingest.
+  void append_batch(const std::string& principal,
+                    std::vector<common::Value> records, AppendCallback done);
+  /// Runs a query over records with seq > after_seq (0 = all).
+  void query(const std::string& principal, const LogQuery& q,
+             std::uint64_t after_seq, QueryCallback done);
+
+  common::Result<std::uint64_t> append_sync(const std::string& principal,
+                                            common::Value record);
+  common::Result<std::uint64_t> append_batch_sync(
+      const std::string& principal, std::vector<common::Value> records);
+  common::Result<std::vector<common::Value>> query_sync(
+      const std::string& principal, const LogQuery& q,
+      std::uint64_t after_seq = 0);
+
+  /// Highest sequence number in the pool (cursor for consumers).
+  [[nodiscard]] std::uint64_t latest_seq() const {
+    return records_.empty() ? 0 : records_.back().seq;
+  }
+
+  /// Drops records with seq <= up_to (retention/GC hook).
+  std::size_t compact(std::uint64_t up_to);
+
+ private:
+  friend class LogDe;
+  LogPool(LogDe& de, std::string name) : de_(de), name_(std::move(name)) {}
+
+  LogDe& de_;
+  std::string name_;
+  std::deque<LogRecord> records_;
+};
+
+/// Executes a query pipeline over a batch of records (shared by LogPool
+/// and the Sync integrator's operator-consolidation ablation).
+common::Result<std::vector<common::Value>> run_pipeline(
+    const LogQuery& q, std::vector<common::Value> records);
+
+class LogDe {
+ public:
+  LogDe(sim::VirtualClock& clock, LogDeProfile profile, std::uint64_t seed = 11);
+
+  LogDe(const LogDe&) = delete;
+  LogDe& operator=(const LogDe&) = delete;
+
+  LogPool& create_pool(const std::string& name);
+  [[nodiscard]] LogPool* pool(const std::string& name);
+
+  [[nodiscard]] Rbac& rbac() { return rbac_; }
+  [[nodiscard]] const LogDeProfile& profile() const { return profile_; }
+  [[nodiscard]] const LogDeStats& stats() const { return stats_; }
+  [[nodiscard]] sim::VirtualClock& clock() { return clock_; }
+
+ private:
+  friend class LogPool;
+  void run_sync(const std::function<bool()>& done);
+
+  sim::VirtualClock& clock_;
+  LogDeProfile profile_;
+  sim::Rng rng_;
+  Rbac rbac_;
+  std::map<std::string, std::unique_ptr<LogPool>> pools_;
+  std::uint64_t next_seq_ = 1;
+  LogDeStats stats_;
+};
+
+}  // namespace knactor::de

@@ -1,0 +1,718 @@
+#include "de/object.h"
+
+#include "common/json.h"
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace knactor::de {
+
+using common::Error;
+using common::Result;
+using common::SharedValue;
+using common::Status;
+using common::Value;
+
+// ---------------------------------------------------------------------------
+// ObjectStore client operations: each charges the profile's round-trip
+// latency, then executes against the engine and completes.
+// ---------------------------------------------------------------------------
+
+void ObjectStore::get(const std::string& principal, const std::string& key,
+                      GetCallback done) {
+  sim::SimTime rt = de_.profile_.read_rt.sample(de_.rng_);
+  de_.clock_.schedule_after(rt, [this, principal, key, done = std::move(done)] {
+    ++de_.stats_.reads;
+    Decision d = de_.check_access(principal, name_, key, Verb::kGet);
+    if (!d.allowed) {
+      ++de_.stats_.permission_denials;
+      done(Error::permission_denied("object: " + principal +
+                                    " cannot get " + name_ + "/" + key));
+      return;
+    }
+    auto it = objects_.find(key);
+    if (it == objects_.end()) {
+      done(Error::not_found("object: " + name_ + "/" + key + " not found"));
+      return;
+    }
+    StateObject obj = it->second;
+    if (!d.fields.unrestricted() && obj.data) {
+      obj.data = std::make_shared<const Value>(
+          Rbac::filter_fields(*obj.data, d.fields));
+    }
+    done(std::move(obj));
+  });
+}
+
+void ObjectStore::get_shared(
+    const std::string& principal, const std::string& key,
+    std::function<void(Result<SharedValue>)> done) {
+  get(principal, key, [done = std::move(done)](Result<StateObject> r) {
+    if (!r.ok()) {
+      done(r.error());
+      return;
+    }
+    done(r.value().data);
+  });
+}
+
+void ObjectStore::put(const std::string& principal, const std::string& key,
+                      Value data, PutCallback done) {
+  sim::SimTime rt = de_.profile_.write_rt.sample(de_.rng_);
+  de_.clock_.schedule_after(
+      rt, [this, principal, key, data = std::move(data),
+           done = std::move(done)]() mutable {
+        ++de_.stats_.writes;
+        Decision d = de_.check_access(principal, name_, key, Verb::kUpdate);
+        if (!d.allowed) {
+          ++de_.stats_.permission_denials;
+          done(Error::permission_denied("object: " + principal +
+                                        " cannot write " + name_ + "/" + key));
+          return;
+        }
+        if (auto status = Rbac::validate_write(data, d.fields); !status.ok()) {
+          ++de_.stats_.permission_denials;
+          done(status.error());
+          return;
+        }
+        done(de_.commit_put(*this, key, std::move(data), /*merge=*/false,
+                            std::nullopt));
+      });
+}
+
+void ObjectStore::put_versioned(const std::string& principal,
+                                const std::string& key, Value data,
+                                std::uint64_t expected_version,
+                                PutCallback done) {
+  sim::SimTime rt = de_.profile_.write_rt.sample(de_.rng_);
+  de_.clock_.schedule_after(
+      rt, [this, principal, key, data = std::move(data), expected_version,
+           done = std::move(done)]() mutable {
+        ++de_.stats_.writes;
+        Decision d = de_.check_access(principal, name_, key, Verb::kUpdate);
+        if (!d.allowed) {
+          ++de_.stats_.permission_denials;
+          done(Error::permission_denied("object: " + principal +
+                                        " cannot write " + name_ + "/" + key));
+          return;
+        }
+        if (auto status = Rbac::validate_write(data, d.fields); !status.ok()) {
+          ++de_.stats_.permission_denials;
+          done(status.error());
+          return;
+        }
+        done(de_.commit_put(*this, key, std::move(data), /*merge=*/false,
+                            expected_version));
+      });
+}
+
+void ObjectStore::patch(const std::string& principal, const std::string& key,
+                        Value fields, PutCallback done) {
+  sim::SimTime rt = de_.profile_.write_rt.sample(de_.rng_);
+  de_.clock_.schedule_after(
+      rt, [this, principal, key, fields = std::move(fields),
+           done = std::move(done)]() mutable {
+        ++de_.stats_.writes;
+        Decision d = de_.check_access(principal, name_, key, Verb::kUpdate);
+        if (!d.allowed) {
+          ++de_.stats_.permission_denials;
+          done(Error::permission_denied("object: " + principal +
+                                        " cannot patch " + name_ + "/" + key));
+          return;
+        }
+        if (auto status = Rbac::validate_write(fields, d.fields);
+            !status.ok()) {
+          ++de_.stats_.permission_denials;
+          done(status.error());
+          return;
+        }
+        done(de_.commit_put(*this, key, std::move(fields), /*merge=*/true,
+                            std::nullopt));
+      });
+}
+
+void ObjectStore::remove(const std::string& principal, const std::string& key,
+                         DelCallback done) {
+  sim::SimTime rt = de_.profile_.write_rt.sample(de_.rng_);
+  de_.clock_.schedule_after(rt, [this, principal, key,
+                                 done = std::move(done)] {
+    ++de_.stats_.deletes;
+    Decision d = de_.check_access(principal, name_, key, Verb::kDelete);
+    if (!d.allowed) {
+      ++de_.stats_.permission_denials;
+      done(Error::permission_denied("object: " + principal +
+                                    " cannot delete " + name_ + "/" + key));
+      return;
+    }
+    done(de_.commit_delete(*this, key));
+  });
+}
+
+void ObjectStore::list(const std::string& principal, const std::string& prefix,
+                       ListCallback done) {
+  sim::SimTime rt = de_.profile_.list_rt.sample(de_.rng_);
+  de_.clock_.schedule_after(rt, [this, principal, prefix,
+                                 done = std::move(done)] {
+    ++de_.stats_.lists;
+    Decision d = de_.check_access(principal, name_, prefix, Verb::kList);
+    if (!d.allowed) {
+      ++de_.stats_.permission_denials;
+      done(Error::permission_denied("object: " + principal + " cannot list " +
+                                    name_));
+      return;
+    }
+    std::vector<StateObject> out;
+    for (const auto& [key, obj] : objects_) {
+      if (!common::starts_with(key, prefix)) continue;
+      StateObject copy = obj;
+      if (!d.fields.unrestricted() && copy.data) {
+        copy.data = std::make_shared<const Value>(
+            Rbac::filter_fields(*copy.data, d.fields));
+      }
+      out.push_back(std::move(copy));
+    }
+    done(std::move(out));
+  });
+}
+
+std::uint64_t ObjectStore::watch(const std::string& principal,
+                                 const std::string& prefix,
+                                 WatchCallback callback) {
+  Decision d =
+      de_.check_access(principal, name_, prefix, Verb::kWatch);
+  if (!d.allowed) {
+    ++de_.stats_.permission_denials;
+    return 0;
+  }
+  std::uint64_t id = de_.next_watch_id_++;
+  de_.watches_.push_back(
+      ObjectDe::Watch{id, name_, prefix, principal, std::move(callback)});
+  return id;
+}
+
+void ObjectStore::unwatch(std::uint64_t watch_id) {
+  std::erase_if(de_.watches_,
+                [watch_id](const auto& w) { return w.id == watch_id; });
+}
+
+// Synchronous wrappers.
+
+Result<StateObject> ObjectStore::get_sync(const std::string& principal,
+                                          const std::string& key) {
+  std::optional<Result<StateObject>> result;
+  get(principal, key, [&](Result<StateObject> r) { result = std::move(r); });
+  de_.run_sync([&] { return result.has_value(); });
+  return std::move(*result);
+}
+
+Result<std::uint64_t> ObjectStore::put_sync(const std::string& principal,
+                                            const std::string& key,
+                                            Value data) {
+  std::optional<Result<std::uint64_t>> result;
+  put(principal, key, std::move(data),
+      [&](Result<std::uint64_t> r) { result = std::move(r); });
+  de_.run_sync([&] { return result.has_value(); });
+  return std::move(*result);
+}
+
+Result<std::uint64_t> ObjectStore::patch_sync(const std::string& principal,
+                                              const std::string& key,
+                                              Value fields) {
+  std::optional<Result<std::uint64_t>> result;
+  patch(principal, key, std::move(fields),
+        [&](Result<std::uint64_t> r) { result = std::move(r); });
+  de_.run_sync([&] { return result.has_value(); });
+  return std::move(*result);
+}
+
+Status ObjectStore::remove_sync(const std::string& principal,
+                                const std::string& key) {
+  std::optional<Status> result;
+  remove(principal, key, [&](Status s) { result = std::move(s); });
+  de_.run_sync([&] { return result.has_value(); });
+  return std::move(*result);
+}
+
+Result<std::uint64_t> ObjectStore::update_sync(
+    const std::string& principal, const std::string& key,
+    const std::function<Value(const Value&)>& mutate, int max_attempts) {
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    std::uint64_t version = 0;
+    Value current;
+    auto read = get_sync(principal, key);
+    if (read.ok()) {
+      version = read.value().version;
+      current = read.value().data_copy();
+    } else if (read.error().code != Error::Code::kNotFound) {
+      return read.error();
+    }
+    Value next = mutate(current);
+
+    std::optional<Result<std::uint64_t>> written;
+    put_versioned(principal, key, std::move(next), version,
+                  [&](Result<std::uint64_t> r) { written = std::move(r); });
+    de_.run_sync([&] { return written.has_value(); });
+    if (written->ok()) return std::move(*written);
+    if (written->error().code != Error::Code::kFailedPrecondition) {
+      return written->error();
+    }
+    // Version conflict: loop and re-read.
+  }
+  return Error::failed_precondition("object: update of " + name_ + "/" + key +
+                                    " conflicted " +
+                                    std::to_string(max_attempts) + " times");
+}
+
+Result<std::vector<StateObject>> ObjectStore::list_sync(
+    const std::string& principal, const std::string& prefix) {
+  std::optional<Result<std::vector<StateObject>>> result;
+  list(principal, prefix,
+       [&](Result<std::vector<StateObject>> r) { result = std::move(r); });
+  de_.run_sync([&] { return result.has_value(); });
+  return std::move(*result);
+}
+
+// ---------------------------------------------------------------------------
+// UdfContext: engine-level access.
+// ---------------------------------------------------------------------------
+
+Result<StateObject> UdfContext::get(const std::string& store,
+                                    const std::string& key) {
+  de_.clock_.advance(de_.profile_.engine_read.sample(de_.rng_));
+  ++de_.stats_.engine_ops;
+  return de_.engine_get(store, key, principal_);
+}
+
+Result<std::uint64_t> UdfContext::put(const std::string& store,
+                                      const std::string& key, Value data) {
+  de_.clock_.advance(de_.profile_.engine_write.sample(de_.rng_));
+  ++de_.stats_.engine_ops;
+  ObjectStore* s = de_.store(store);
+  if (s == nullptr) {
+    return Error::not_found("udf: unknown store '" + store + "'");
+  }
+  Decision d =
+      de_.check_access(principal_, store, key, Verb::kUpdate);
+  if (!d.allowed) {
+    ++de_.stats_.permission_denials;
+    return Error::permission_denied("udf: " + principal_ + " cannot write " +
+                                    store + "/" + key);
+  }
+  KN_TRY(Rbac::validate_write(data, d.fields));
+  return de_.commit_put(*s, key, std::move(data), /*merge=*/false,
+                        std::nullopt);
+}
+
+Result<std::uint64_t> UdfContext::patch(const std::string& store,
+                                        const std::string& key, Value fields) {
+  de_.clock_.advance(de_.profile_.engine_write.sample(de_.rng_));
+  ++de_.stats_.engine_ops;
+  ObjectStore* s = de_.store(store);
+  if (s == nullptr) {
+    return Error::not_found("udf: unknown store '" + store + "'");
+  }
+  Decision d =
+      de_.check_access(principal_, store, key, Verb::kUpdate);
+  if (!d.allowed) {
+    ++de_.stats_.permission_denials;
+    return Error::permission_denied("udf: " + principal_ + " cannot patch " +
+                                    store + "/" + key);
+  }
+  KN_TRY(Rbac::validate_write(fields, d.fields));
+  return de_.commit_put(*s, key, std::move(fields), /*merge=*/true,
+                        std::nullopt);
+}
+
+Result<std::vector<StateObject>> UdfContext::list(const std::string& store,
+                                                  const std::string& prefix) {
+  de_.clock_.advance(de_.profile_.engine_read.sample(de_.rng_));
+  ++de_.stats_.engine_ops;
+  ObjectStore* s = de_.store(store);
+  if (s == nullptr) {
+    return Error::not_found("udf: unknown store '" + store + "'");
+  }
+  Decision d =
+      de_.check_access(principal_, store, prefix, Verb::kList);
+  if (!d.allowed) {
+    ++de_.stats_.permission_denials;
+    return Error::permission_denied("udf: " + principal_ + " cannot list " +
+                                    store);
+  }
+  std::vector<StateObject> out;
+  for (const auto& [key, obj] : s->objects_) {
+    if (common::starts_with(key, prefix)) out.push_back(obj);
+  }
+  return out;
+}
+
+sim::SimTime UdfContext::now() const { return de_.clock_.now(); }
+
+void UdfContext::charge(sim::SimTime duration) { de_.clock_.advance(duration); }
+
+// ---------------------------------------------------------------------------
+// ObjectDe.
+// ---------------------------------------------------------------------------
+
+ObjectDe::ObjectDe(sim::VirtualClock& clock, ObjectDeProfile profile,
+                   std::uint64_t seed)
+    : clock_(clock), profile_(std::move(profile)), rng_(seed) {}
+
+ObjectStore& ObjectDe::create_store(const std::string& name) {
+  auto it = stores_.find(name);
+  if (it != stores_.end()) return *it->second;
+  auto store = std::unique_ptr<ObjectStore>(new ObjectStore(*this, name));
+  ObjectStore& ref = *store;
+  stores_[name] = std::move(store);
+  return ref;
+}
+
+ObjectStore* ObjectDe::store(const std::string& name) {
+  auto it = stores_.find(name);
+  return it == stores_.end() ? nullptr : it->second.get();
+}
+
+Status ObjectDe::register_udf(const std::string& principal,
+                              const std::string& name, Udf udf) {
+  if (!profile_.supports_udf) {
+    return Error::failed_precondition("object-de '" + profile_.name +
+                                      "' does not support UDFs");
+  }
+  udfs_[name] = {principal, std::move(udf)};
+  return Status::success();
+}
+
+void ObjectDe::call_udf(const std::string& principal, const std::string& name,
+                        Value args, UdfCallback done) {
+  sim::SimTime rt = profile_.udf_invoke.sample(rng_);
+  clock_.schedule_after(rt, [this, principal, name, args = std::move(args),
+                             done = std::move(done)]() mutable {
+    ++stats_.udf_calls;
+    Decision d =
+        check_access(principal, "*", name, Verb::kInvokeUdf);
+    if (!d.allowed) {
+      ++stats_.permission_denials;
+      done(Error::permission_denied("udf: " + principal + " cannot invoke '" +
+                                    name + "'"));
+      return;
+    }
+    auto it = udfs_.find(name);
+    if (it == udfs_.end()) {
+      done(Error::not_found("udf: '" + name + "' not registered"));
+      return;
+    }
+    UdfContext ctx(*this, it->second.first);
+    done(it->second.second(ctx, args));
+  });
+}
+
+Result<Value> ObjectDe::call_udf_sync(const std::string& principal,
+                                      const std::string& name, Value args) {
+  std::optional<Result<Value>> result;
+  call_udf(principal, name, std::move(args),
+           [&](Result<Value> r) { result = std::move(r); });
+  run_sync([&] { return result.has_value(); });
+  return std::move(*result);
+}
+
+Status ObjectDe::add_trigger(const std::string& store,
+                             const std::string& key_prefix,
+                             const std::string& udf_name) {
+  if (!profile_.supports_udf) {
+    return Error::failed_precondition("object-de '" + profile_.name +
+                                      "' does not support triggers");
+  }
+  if (udfs_.find(udf_name) == udfs_.end()) {
+    return Error::not_found("trigger: udf '" + udf_name + "' not registered");
+  }
+  triggers_.push_back(Trigger{store, key_prefix, udf_name});
+  return Status::success();
+}
+
+void ObjectDe::remove_trigger(const std::string& store,
+                              const std::string& udf_name) {
+  std::erase_if(triggers_, [&](const Trigger& t) {
+    return t.store == store && t.udf_name == udf_name;
+  });
+}
+
+void ObjectDe::transact(const std::string& principal, std::vector<TxnOp> ops,
+                        UdfCallback done) {
+  sim::SimTime rt = profile_.write_rt.sample(rng_);
+  clock_.schedule_after(rt, [this, principal, ops = std::move(ops),
+                             done = std::move(done)]() mutable {
+    ++stats_.writes;
+    // Validate everything before touching anything.
+    for (const auto& op : ops) {
+      ObjectStore* store = this->store(op.store);
+      if (store == nullptr) {
+        done(Error::not_found("txn: unknown store '" + op.store + "'"));
+        return;
+      }
+      Decision d =
+          check_access(principal, op.store, op.key, Verb::kUpdate);
+      if (!d.allowed) {
+        ++stats_.permission_denials;
+        done(Error::permission_denied("txn: " + principal + " cannot write " +
+                                      op.store + "/" + op.key));
+        return;
+      }
+      if (auto status = Rbac::validate_write(op.data, d.fields); !status.ok()) {
+        ++stats_.permission_denials;
+        done(status.error());
+        return;
+      }
+      if (op.expected_version.has_value()) {
+        auto it = store->objects_.find(op.key);
+        std::uint64_t current =
+            it == store->objects_.end() ? 0 : it->second.version;
+        if (current != *op.expected_version) {
+          ++stats_.version_conflicts;
+          done(Error::failed_precondition(
+              "txn: version conflict on " + op.store + "/" + op.key));
+          return;
+        }
+      }
+    }
+    // Apply with notifications deferred so observers see the exchange as
+    // one atomic step.
+    defer_notifications_ = true;
+    std::uint64_t last_version = 0;
+    for (auto& op : ops) {
+      ObjectStore* store = this->store(op.store);
+      auto committed = commit_put(*store, op.key, std::move(op.data), op.merge,
+                                  std::nullopt);
+      if (committed.ok()) last_version = committed.value();
+    }
+    defer_notifications_ = false;
+    std::vector<PendingNotification> pending =
+        std::move(pending_notifications_);
+    pending_notifications_.clear();
+    for (auto& n : pending) {
+      fire_watches(n.store, n.type, n.object);
+      fire_triggers(n.store, n.type, n.object);
+    }
+    done(Value(static_cast<std::int64_t>(last_version)));
+  });
+}
+
+Result<Value> ObjectDe::transact_sync(const std::string& principal,
+                                      std::vector<TxnOp> ops) {
+  std::optional<Result<Value>> result;
+  transact(principal, std::move(ops),
+           [&](Result<Value> r) { result = std::move(r); });
+  run_sync([&] { return result.has_value(); });
+  return std::move(*result);
+}
+
+void ObjectDe::restart() {
+  for (auto& [name, store] : stores_) {
+    store->objects_.clear();
+  }
+  if (!profile_.durable) {
+    wal_.clear();
+    return;
+  }
+  // Replay the WAL in order (versions are re-assigned monotonically; watch
+  // and trigger delivery is suppressed during recovery, as listeners
+  // re-list after a restart in the Kubernetes informer pattern).
+  std::vector<WalEntry> wal = std::move(wal_);
+  wal_.clear();
+  bool saved = recovering_;
+  recovering_ = true;
+  for (const auto& entry : wal) {
+    ObjectStore& store = create_store(entry.store);
+    if (entry.data_json.empty()) {
+      (void)commit_delete(store, entry.key);
+    } else {
+      auto data = common::parse_json(entry.data_json);
+      if (data.ok()) {
+        (void)commit_put(store, entry.key, data.take(), /*merge=*/false,
+                         std::nullopt);
+      }
+    }
+  }
+  recovering_ = saved;
+}
+
+Result<std::uint64_t> ObjectDe::commit_put(
+    ObjectStore& store, const std::string& key, Value data, bool merge,
+    std::optional<std::uint64_t> expected) {
+  auto it = store.objects_.find(key);
+  bool existed = it != store.objects_.end();
+  if (expected.has_value()) {
+    std::uint64_t current = existed ? it->second.version : 0;
+    if (current != *expected) {
+      ++stats_.version_conflicts;
+      return Error::failed_precondition(
+          "object: version conflict on " + store.name_ + "/" + key +
+          " (expected " + std::to_string(*expected) + ", have " +
+          std::to_string(current) + ")");
+    }
+  }
+
+  Value final_data;
+  if (merge && existed && it->second.data && it->second.data->is_object() &&
+      data.is_object()) {
+    final_data = *it->second.data;
+    for (const auto& [k, v] : data.as_object()) {
+      final_data.set(k, v);
+    }
+  } else {
+    final_data = std::move(data);
+  }
+
+  StateObject obj;
+  obj.key = key;
+  obj.data = std::make_shared<const Value>(std::move(final_data));
+  obj.version = next_version_++;
+  obj.created_at = existed ? it->second.created_at : clock_.now();
+  obj.updated_at = clock_.now();
+  store.objects_[key] = obj;
+
+  if (profile_.durable) {
+    wal_.push_back(WalEntry{store.name_, key, common::to_json(*obj.data)});
+  }
+
+  if (!recovering_) {
+    fire_watches(store.name_,
+                 existed ? WatchEventType::kModified : WatchEventType::kAdded,
+                 obj);
+    fire_triggers(store.name_,
+                  existed ? WatchEventType::kModified : WatchEventType::kAdded,
+                  obj);
+  }
+  return obj.version;
+}
+
+Status ObjectDe::commit_delete(ObjectStore& store, const std::string& key) {
+  auto it = store.objects_.find(key);
+  if (it == store.objects_.end()) {
+    return Error::not_found("object: " + store.name_ + "/" + key +
+                            " not found");
+  }
+  StateObject obj = it->second;
+  store.objects_.erase(it);
+  if (profile_.durable) {
+    wal_.push_back(WalEntry{store.name_, key, ""});
+  }
+  if (!recovering_) {
+    fire_watches(store.name_, WatchEventType::kDeleted, obj);
+    fire_triggers(store.name_, WatchEventType::kDeleted, obj);
+  }
+  return Status::success();
+}
+
+void ObjectDe::fire_watches(const std::string& store_name, WatchEventType type,
+                            const StateObject& obj) {
+  if (defer_notifications_) {
+    pending_notifications_.push_back({store_name, type, obj});
+    return;
+  }
+  for (const auto& w : watches_) {
+    if (w.store != store_name) continue;
+    if (!common::starts_with(obj.key, w.prefix)) continue;
+    Decision d = check_access(w.principal, store_name, obj.key, Verb::kWatch);
+    if (!d.allowed) continue;
+    WatchEvent event;
+    event.type = type;
+    event.store = store_name;
+    event.object = obj;
+    if (!d.fields.unrestricted() && event.object.data) {
+      event.object.data = std::make_shared<const Value>(
+          Rbac::filter_fields(*event.object.data, d.fields));
+    }
+    sim::SimTime delay = profile_.watch_notify.sample(rng_);
+    auto callback = w.callback;
+    std::uint64_t id = w.id;
+    clock_.schedule_after(delay, [this, callback, event = std::move(event),
+                                  id]() {
+      // The watch may have been cancelled while the event was in flight.
+      for (const auto& live : watches_) {
+        if (live.id == id) {
+          ++stats_.watch_events;
+          callback(event);
+          return;
+        }
+      }
+    });
+  }
+}
+
+void ObjectDe::fire_triggers(const std::string& store_name,
+                             WatchEventType type, const StateObject& obj) {
+  // During a transaction the event was queued once by fire_watches; the
+  // drain loop re-invokes both paths.
+  if (defer_notifications_) return;
+  for (const auto& t : triggers_) {
+    if (t.store != store_name) continue;
+    if (!common::starts_with(obj.key, t.prefix)) continue;
+    auto it = udfs_.find(t.udf_name);
+    if (it == udfs_.end()) continue;
+    // Trigger fires server-side right after commit: only engine latency.
+    Value args = Value::object();
+    args.set("store", Value(store_name));
+    args.set("key", Value(obj.key));
+    args.set("event", Value(type == WatchEventType::kDeleted
+                                ? "deleted"
+                                : (type == WatchEventType::kAdded
+                                       ? "added"
+                                       : "modified")));
+    std::string udf_name = t.udf_name;
+    clock_.schedule_after(
+        profile_.engine_read.sample(rng_),
+        [this, udf_name, args = std::move(args)]() {
+          auto uit = udfs_.find(udf_name);
+          if (uit == udfs_.end()) return;
+          ++stats_.udf_calls;
+          UdfContext ctx(*this, uit->second.first);
+          auto result = uit->second.second(ctx, args);
+          if (!result.ok()) {
+            KN_WARN << "trigger udf '" << udf_name
+                    << "' failed: " << result.error().to_string();
+          }
+        });
+  }
+}
+
+Result<StateObject> ObjectDe::engine_get(const std::string& store,
+                                         const std::string& key,
+                                         const std::string& principal) {
+  ObjectStore* s = this->store(store);
+  if (s == nullptr) {
+    return Error::not_found("udf: unknown store '" + store + "'");
+  }
+  Decision d = check_access(principal, store, key, Verb::kGet);
+  if (!d.allowed) {
+    ++stats_.permission_denials;
+    return Error::permission_denied("udf: " + principal + " cannot get " +
+                                    store + "/" + key);
+  }
+  auto it = s->objects_.find(key);
+  if (it == s->objects_.end()) {
+    return Error::not_found("object: " + store + "/" + key + " not found");
+  }
+  StateObject obj = it->second;
+  if (!d.fields.unrestricted() && obj.data) {
+    obj.data =
+        std::make_shared<const Value>(Rbac::filter_fields(*obj.data, d.fields));
+  }
+  return obj;
+}
+
+Decision ObjectDe::check_access(const std::string& principal,
+                                const std::string& store,
+                                const std::string& key, Verb verb) {
+  Decision d = rbac_.check(principal, store, key, verb, clock_.now());
+  if (audit_enabled_) {
+    audit_.push_back(
+        AuditEntry{clock_.now(), principal, verb, store, key, d.allowed});
+    while (audit_.size() > audit_capacity_) audit_.pop_front();
+  }
+  return d;
+}
+
+void ObjectDe::run_sync(const std::function<bool()>& done) {
+  while (!done() && clock_.step()) {
+  }
+}
+
+}  // namespace knactor::de

@@ -1,0 +1,357 @@
+// Object Data Exchange: hosts named data stores of versioned state objects
+// (attribute-value documents) and exposes CRUD + list + watch, optional
+// server-side functions (UDFs) with write triggers, RBAC enforcement, and
+// durability simulation (write-ahead log + recovery) for the apiserver
+// profile.
+//
+// One ObjectDe instance models one deployed exchange (the paper's
+// K-apiserver or K-redis). Stores are namespaces within it; a UDF executes
+// inside the DE and touches stores at engine latency — that collapse of
+// client round-trips into engine-local operations *is* the paper's
+// integrator push-down optimization (§3.3, Table 2 K-redis-udf row).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "de/profile.h"
+#include "de/rbac.h"
+#include "sim/clock.h"
+#include "sim/random.h"
+
+namespace knactor::de {
+
+/// A versioned state object. `version` is the store's resource version at
+/// last write (optimistic-concurrency token, like Kubernetes
+/// resourceVersion).
+struct StateObject {
+  std::string key;
+  common::SharedValue data;  // immutable snapshot, shareable zero-copy
+  std::uint64_t version = 0;
+  sim::SimTime created_at = 0;
+  sim::SimTime updated_at = 0;
+
+  /// Deep copy of the payload (the non-zero-copy path).
+  [[nodiscard]] common::Value data_copy() const {
+    return data ? *data : common::Value(nullptr);
+  }
+};
+
+enum class WatchEventType { kAdded, kModified, kDeleted };
+
+struct WatchEvent {
+  WatchEventType type = WatchEventType::kAdded;
+  std::string store;
+  StateObject object;
+};
+
+struct ObjectDeStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t lists = 0;
+  std::uint64_t watch_events = 0;
+  std::uint64_t udf_calls = 0;
+  std::uint64_t engine_ops = 0;       // ops executed inside UDFs
+  std::uint64_t permission_denials = 0;
+  std::uint64_t version_conflicts = 0;
+};
+
+class ObjectDe;
+
+/// A named data store (namespace) on an Object DE. All operations are
+/// asynchronous — completion callbacks fire after the profile's latency on
+/// the DE's clock — with `_sync` convenience wrappers that drive the clock.
+class ObjectStore {
+ public:
+  using GetCallback = std::function<void(common::Result<StateObject>)>;
+  using PutCallback = std::function<void(common::Result<std::uint64_t>)>;
+  using DelCallback = std::function<void(common::Status)>;
+  using ListCallback =
+      std::function<void(common::Result<std::vector<StateObject>>)>;
+  using WatchCallback = std::function<void(const WatchEvent&)>;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  void get(const std::string& principal, const std::string& key,
+           GetCallback done);
+  /// Zero-copy read: the callback receives a shared handle to the stored
+  /// value instead of a deep copy (§3.3 zero-copy data exchange).
+  void get_shared(const std::string& principal, const std::string& key,
+                  std::function<void(common::Result<common::SharedValue>)> done);
+  /// Upsert. Returns the new version.
+  void put(const std::string& principal, const std::string& key,
+           common::Value data, PutCallback done);
+  /// Compare-and-swap on version; fails with FailedPrecondition on skew.
+  void put_versioned(const std::string& principal, const std::string& key,
+                     common::Value data, std::uint64_t expected_version,
+                     PutCallback done);
+  /// Merges top-level fields into the existing object (creates it if
+  /// absent). Integrators use this to fill `external` fields without
+  /// clobbering service-owned state.
+  void patch(const std::string& principal, const std::string& key,
+             common::Value fields, PutCallback done);
+  void remove(const std::string& principal, const std::string& key,
+              DelCallback done);
+  void list(const std::string& principal, const std::string& prefix,
+            ListCallback done);
+
+  /// Registers a watch on a key prefix. Events are delivered after the
+  /// profile's watch-notify latency. Returns a watch id (0 on permission
+  /// denial). RBAC field filtering applies to delivered objects.
+  std::uint64_t watch(const std::string& principal, const std::string& prefix,
+                      WatchCallback callback);
+  void unwatch(std::uint64_t watch_id);
+
+  // Synchronous wrappers (drive the clock until the callback fires).
+  common::Result<StateObject> get_sync(const std::string& principal,
+                                       const std::string& key);
+  common::Result<std::uint64_t> put_sync(const std::string& principal,
+                                         const std::string& key,
+                                         common::Value data);
+  common::Result<std::uint64_t> patch_sync(const std::string& principal,
+                                           const std::string& key,
+                                           common::Value fields);
+  common::Status remove_sync(const std::string& principal,
+                             const std::string& key);
+  common::Result<std::vector<StateObject>> list_sync(
+      const std::string& principal, const std::string& prefix);
+
+  /// Optimistic read-modify-write: reads the object (a missing object
+  /// presents as null), applies `mutate`, and writes back guarded by the
+  /// read version; retries on conflict up to `max_attempts`. This is the
+  /// safe pattern for concurrent writers sharing a store.
+  common::Result<std::uint64_t> update_sync(
+      const std::string& principal, const std::string& key,
+      const std::function<common::Value(const common::Value&)>& mutate,
+      int max_attempts = 8);
+
+  [[nodiscard]] std::size_t size() const { return objects_.size(); }
+
+  /// Latency-free, ACL-free inspection for tooling, tests, and benches —
+  /// not part of the data path.
+  [[nodiscard]] const StateObject* peek(const std::string& key) const {
+    auto it = objects_.find(key);
+    return it == objects_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] std::vector<std::string> keys() const {
+    std::vector<std::string> out;
+    out.reserve(objects_.size());
+    for (const auto& [k, v] : objects_) out.push_back(k);
+    return out;
+  }
+
+ private:
+  friend class ObjectDe;
+  friend class UdfContext;
+
+  ObjectStore(ObjectDe& de, std::string name) : de_(de), name_(std::move(name)) {}
+
+  ObjectDe& de_;
+  std::string name_;
+  std::map<std::string, StateObject> objects_;
+};
+
+/// Engine-level view handed to UDFs: operations run inside the DE at
+/// engine latency (no client round trips) and bypass the network but NOT
+/// access control — the UDF runs as the principal that registered it.
+class UdfContext {
+ public:
+  common::Result<StateObject> get(const std::string& store,
+                                  const std::string& key);
+  common::Result<std::uint64_t> put(const std::string& store,
+                                    const std::string& key,
+                                    common::Value data);
+  common::Result<std::uint64_t> patch(const std::string& store,
+                                      const std::string& key,
+                                      common::Value fields);
+  common::Result<std::vector<StateObject>> list(const std::string& store,
+                                                const std::string& prefix);
+  [[nodiscard]] sim::SimTime now() const;
+  /// Charges additional engine compute time (e.g. the UDF body's own
+  /// processing cost).
+  void charge(sim::SimTime duration);
+
+ private:
+  friend class ObjectDe;
+  UdfContext(ObjectDe& de, std::string principal)
+      : de_(de), principal_(std::move(principal)) {}
+  ObjectDe& de_;
+  std::string principal_;
+};
+
+/// One deployed Object data exchange.
+class ObjectDe {
+ public:
+  using Udf =
+      std::function<common::Result<common::Value>(UdfContext&, const common::Value&)>;
+  using UdfCallback = std::function<void(common::Result<common::Value>)>;
+
+  ObjectDe(sim::VirtualClock& clock, ObjectDeProfile profile,
+           std::uint64_t seed = 7);
+
+  ObjectDe(const ObjectDe&) = delete;
+  ObjectDe& operator=(const ObjectDe&) = delete;
+
+  /// Creates (or returns the existing) named store.
+  ObjectStore& create_store(const std::string& name);
+  [[nodiscard]] ObjectStore* store(const std::string& name);
+
+  /// Registers a server-side function owned by `principal`. Rejected when
+  /// the profile does not support UDFs (e.g. apiserver).
+  common::Status register_udf(const std::string& principal,
+                              const std::string& name, Udf udf);
+  /// Invokes a UDF from a client (one udf_invoke round trip; internal ops
+  /// at engine latency).
+  void call_udf(const std::string& principal, const std::string& name,
+                common::Value args, UdfCallback done);
+  common::Result<common::Value> call_udf_sync(const std::string& principal,
+                                              const std::string& name,
+                                              common::Value args);
+
+  /// Installs a write trigger: after a commit to store/prefix, the UDF is
+  /// invoked server-side with {store, key, event} args (Redis keyspace-
+  /// notification + function analog; Cast push-down compiles to this).
+  common::Status add_trigger(const std::string& store,
+                             const std::string& key_prefix,
+                             const std::string& udf_name);
+  void remove_trigger(const std::string& store, const std::string& udf_name);
+
+  /// One write in a transaction.
+  struct TxnOp {
+    std::string store;
+    std::string key;
+    common::Value data;
+    bool merge = true;  // patch semantics; false = replace
+    /// Optional optimistic-concurrency check.
+    std::optional<std::uint64_t> expected_version;
+  };
+
+  /// Atomically applies writes across stores of this DE (§5 "run-time
+  /// primitives such as transactions"): one client round trip,
+  /// all-or-nothing with respect to access control, field rules, and
+  /// version checks. Watch events and triggers fire only after the whole
+  /// transaction commits (so observers never see partial exchanges).
+  /// The callback receives the version of the last write.
+  void transact(const std::string& principal, std::vector<TxnOp> ops,
+                UdfCallback done);
+  common::Result<common::Value> transact_sync(const std::string& principal,
+                                              std::vector<TxnOp> ops);
+
+  /// Durability simulation: a durable DE (apiserver profile) replays its
+  /// write-ahead log on restart(); a non-durable one (redis) loses all
+  /// state. Watches and UDFs survive (they are client/config state).
+  void restart();
+
+  /// RBAC policy engine for this DE (disabled by default).
+  [[nodiscard]] Rbac& rbac() { return rbac_; }
+
+  /// Access auditing: when enabled, every access decision (allowed or
+  /// denied) is recorded in a bounded ring — the security-observability
+  /// counterpart of §3.3's access control. Off by default.
+  struct AuditEntry {
+    sim::SimTime time = 0;
+    std::string principal;
+    Verb verb = Verb::kGet;
+    std::string store;
+    std::string key;
+    bool allowed = true;
+  };
+  void enable_audit(std::size_t capacity = 1024) {
+    audit_capacity_ = capacity;
+    audit_enabled_ = capacity > 0;
+    if (audit_.size() > audit_capacity_) audit_.clear();
+  }
+  void disable_audit() { audit_enabled_ = false; }
+  [[nodiscard]] const std::deque<AuditEntry>& audit_log() const {
+    return audit_;
+  }
+
+  [[nodiscard]] const ObjectDeProfile& profile() const { return profile_; }
+  [[nodiscard]] const ObjectDeStats& stats() const { return stats_; }
+  [[nodiscard]] sim::VirtualClock& clock() { return clock_; }
+
+ private:
+  friend class ObjectStore;
+  friend class UdfContext;
+
+  struct Watch {
+    std::uint64_t id;
+    std::string store;
+    std::string prefix;
+    std::string principal;
+    ObjectStore::WatchCallback callback;
+  };
+
+  struct Trigger {
+    std::string store;
+    std::string prefix;
+    std::string udf_name;
+  };
+
+  struct WalEntry {
+    std::string store;
+    std::string key;
+    std::string data_json;  // empty => delete
+  };
+
+  /// Commits a write at engine level (no latency charging) and fires
+  /// watches/triggers. Returns the new version.
+  common::Result<std::uint64_t> commit_put(ObjectStore& store,
+                                           const std::string& key,
+                                           common::Value data, bool merge,
+                                           std::optional<std::uint64_t> expected);
+  common::Status commit_delete(ObjectStore& store, const std::string& key);
+  void fire_watches(const std::string& store_name, WatchEventType type,
+                    const StateObject& obj);
+  void fire_triggers(const std::string& store_name, WatchEventType type,
+                     const StateObject& obj);
+
+  /// Engine-level reads used by UDFContext (charges engine latency
+  /// synchronously on the clock).
+  common::Result<StateObject> engine_get(const std::string& store,
+                                         const std::string& key,
+                                         const std::string& principal);
+
+  /// RBAC check + audit-trail recording. All access paths route here.
+  Decision check_access(const std::string& principal, const std::string& store,
+                        const std::string& key, Verb verb);
+
+  void run_sync(const std::function<bool()>& done);
+
+  sim::VirtualClock& clock_;
+  ObjectDeProfile profile_;
+  sim::Rng rng_;
+  Rbac rbac_;
+  std::map<std::string, std::unique_ptr<ObjectStore>> stores_;
+  std::map<std::string, std::pair<std::string, Udf>> udfs_;  // name -> (owner, fn)
+  std::vector<Watch> watches_;
+  std::vector<Trigger> triggers_;
+  std::vector<WalEntry> wal_;
+  std::uint64_t next_watch_id_ = 1;
+  std::uint64_t next_version_ = 1;
+  bool recovering_ = false;
+  /// When set, watch/trigger notifications queue instead of firing
+  /// (transactions drain the queue after the full commit).
+  bool defer_notifications_ = false;
+  struct PendingNotification {
+    std::string store;
+    WatchEventType type;
+    StateObject object;
+  };
+  std::vector<PendingNotification> pending_notifications_;
+  bool audit_enabled_ = false;
+  std::size_t audit_capacity_ = 0;
+  std::deque<AuditEntry> audit_;
+  ObjectDeStats stats_;
+};
+
+}  // namespace knactor::de

@@ -1,0 +1,276 @@
+#include "de/query.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace knactor::de {
+
+using common::Error;
+using common::Result;
+
+namespace {
+
+/// Splits on '|' outside quotes/brackets.
+std::vector<std::string> split_stages(std::string_view text) {
+  std::vector<std::string> out;
+  std::string current;
+  bool in_single = false;
+  bool in_double = false;
+  int depth = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_single) {
+      if (c == '\'') in_single = false;
+    } else if (in_double) {
+      if (c == '\\') {
+        current.push_back(c);
+        ++i;
+        if (i < text.size()) current.push_back(text[i]);
+        continue;
+      }
+      if (c == '"') in_double = false;
+    } else if (c == '\'') {
+      in_single = true;
+    } else if (c == '"') {
+      in_double = true;
+    } else if (c == '[' || c == '(' || c == '{') {
+      ++depth;
+    } else if (c == ']' || c == ')' || c == '}') {
+      --depth;
+    } else if (c == '|' && depth == 0) {
+      out.emplace_back(common::trim(current));
+      current.clear();
+      continue;
+    }
+    current.push_back(c);
+  }
+  out.emplace_back(common::trim(current));
+  return out;
+}
+
+/// First word of a stage and the remainder.
+std::pair<std::string, std::string> keyword_of(const std::string& stage) {
+  std::size_t i = 0;
+  while (i < stage.size() &&
+         (std::isalnum(static_cast<unsigned char>(stage[i])) ||
+          stage[i] == '_')) {
+    ++i;
+  }
+  // Keyword must be followed by whitespace or end (so "heading > 1" is an
+  // expression, not a head stage).
+  if (i < stage.size() && stage[i] != ' ' && stage[i] != '\t') {
+    return {"", stage};
+  }
+  return {stage.substr(0, i), std::string(common::trim(
+                                  std::string_view(stage).substr(i)))};
+}
+
+std::vector<std::string> comma_list(const std::string& text) {
+  std::vector<std::string> out;
+  for (const auto& part : common::split(text, ',')) {
+    std::string trimmed(common::trim(part));
+    if (!trimmed.empty()) out.push_back(std::move(trimmed));
+  }
+  return out;
+}
+
+Result<LogOp> parse_summarize(const std::string& rest) {
+  // out=fn(field), ... [by f1, f2]
+  std::string aggs_part = rest;
+  std::vector<std::string> group_by;
+  // Find a top-level " by " (not inside parens).
+  int depth = 0;
+  std::size_t by_pos = std::string::npos;
+  for (std::size_t i = 0; i + 3 <= aggs_part.size(); ++i) {
+    char c = aggs_part[i];
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if (depth == 0 && i + 4 <= aggs_part.size() &&
+        (i == 0 || aggs_part[i - 1] == ' ' || aggs_part[i - 1] == ',') &&
+        aggs_part.compare(i, 3, "by ") == 0) {
+      by_pos = i;
+      break;
+    }
+  }
+  if (by_pos != std::string::npos) {
+    group_by = comma_list(aggs_part.substr(by_pos + 3));
+    aggs_part = std::string(common::trim(aggs_part.substr(0, by_pos)));
+  }
+  std::map<std::string, std::pair<std::string, std::string>> aggs;
+  for (const auto& item : comma_list(aggs_part)) {
+    auto eq = item.find('=');
+    if (eq == std::string::npos) {
+      return Error::parse("query: summarize expects out=fn(field), got '" +
+                          item + "'");
+    }
+    std::string out_field(common::trim(item.substr(0, eq)));
+    std::string call(common::trim(item.substr(eq + 1)));
+    auto open = call.find('(');
+    auto close = call.rfind(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open) {
+      return Error::parse("query: summarize expects out=fn(field), got '" +
+                          item + "'");
+    }
+    std::string fn(common::trim(call.substr(0, open)));
+    std::string in_field(
+        common::trim(call.substr(open + 1, close - open - 1)));
+    aggs[out_field] = {fn, in_field};
+  }
+  if (aggs.empty()) {
+    return Error::parse("query: summarize needs at least one aggregation");
+  }
+  return LogOp::aggregate(std::move(group_by), std::move(aggs));
+}
+
+Result<LogOp> parse_stage(const std::string& stage) {
+  auto [keyword, rest] = keyword_of(stage);
+  if (keyword == "where") {
+    return LogOp::filter(rest);
+  }
+  if (keyword == "rename") {
+    std::map<std::string, std::string> renames;
+    for (const auto& item : comma_list(rest)) {
+      auto eq = item.find('=');
+      if (eq == std::string::npos) {
+        return Error::parse("query: rename expects new=old, got '" + item +
+                            "'");
+      }
+      std::string new_name(common::trim(item.substr(0, eq)));
+      std::string old_name(common::trim(item.substr(eq + 1)));
+      renames[old_name] = new_name;
+    }
+    if (renames.empty()) return Error::parse("query: empty rename");
+    return LogOp::rename(std::move(renames));
+  }
+  if (keyword == "cut" || keyword == "project") {
+    auto fields = comma_list(rest);
+    if (fields.empty()) return Error::parse("query: empty " + keyword);
+    return LogOp::project(std::move(fields));
+  }
+  if (keyword == "drop") {
+    auto fields = comma_list(rest);
+    if (fields.empty()) return Error::parse("query: empty drop");
+    return LogOp::drop(std::move(fields));
+  }
+  if (keyword == "sort") {
+    auto parts = comma_list(rest);
+    if (parts.size() == 1) {
+      // "field" or "field desc"
+      auto words = common::split(parts[0], ' ');
+      std::vector<std::string> clean;
+      for (auto& w : words) {
+        std::string t(common::trim(w));
+        if (!t.empty()) clean.push_back(std::move(t));
+      }
+      if (clean.size() == 1) return LogOp::sort(clean[0]);
+      if (clean.size() == 2 && (clean[1] == "desc" || clean[1] == "asc")) {
+        return LogOp::sort(clean[0], clean[1] == "desc");
+      }
+    }
+    return Error::parse("query: sort expects FIELD [desc], got '" + rest +
+                        "'");
+  }
+  if (keyword == "head" || keyword == "tail") {
+    try {
+      long n = std::stol(rest);
+      if (n < 0) throw std::out_of_range("negative");
+      return keyword == "head" ? LogOp::head(static_cast<std::size_t>(n))
+                               : LogOp::tail(static_cast<std::size_t>(n));
+    } catch (...) {
+      return Error::parse("query: " + keyword + " expects a count, got '" +
+                          rest + "'");
+    }
+  }
+  if (keyword == "put") {
+    auto assign = rest.find(":=");
+    if (assign == std::string::npos) {
+      return Error::parse("query: put expects NAME := EXPR");
+    }
+    std::string name(common::trim(rest.substr(0, assign)));
+    std::string expr_text(common::trim(rest.substr(assign + 2)));
+    if (name.empty() || expr_text.empty()) {
+      return Error::parse("query: put expects NAME := EXPR");
+    }
+    return LogOp::map(std::move(name), expr_text);
+  }
+  if (keyword == "summarize") {
+    return parse_summarize(rest);
+  }
+  // Bare expression = filter.
+  return LogOp::filter(stage);
+}
+
+}  // namespace
+
+Result<LogQuery> parse_query(std::string_view text) {
+  LogQuery query;
+  if (common::trim(text).empty()) return query;  // pass-through
+  for (const auto& stage : split_stages(text)) {
+    if (stage.empty()) {
+      return Error::parse("query: empty stage (stray '|')");
+    }
+    KN_ASSIGN_OR_RETURN(LogOp op, parse_stage(stage));
+    query.push_back(std::move(op));
+  }
+  return query;
+}
+
+std::string query_to_string(const LogQuery& query) {
+  std::vector<std::string> stages;
+  for (const auto& op : query) {
+    switch (op.kind) {
+      case LogOp::Kind::kFilter:
+        stages.push_back("where " + op.expr_text);
+        break;
+      case LogOp::Kind::kRename: {
+        std::string s = "rename ";
+        bool first = true;
+        for (const auto& [old_name, new_name] : op.renames) {
+          if (!first) s += ", ";
+          first = false;
+          s += new_name + "=" + old_name;
+        }
+        stages.push_back(std::move(s));
+        break;
+      }
+      case LogOp::Kind::kProject:
+        stages.push_back("cut " + common::join(op.fields, ", "));
+        break;
+      case LogOp::Kind::kDrop:
+        stages.push_back("drop " + common::join(op.fields, ", "));
+        break;
+      case LogOp::Kind::kSort:
+        stages.push_back("sort " + op.field +
+                         (op.descending ? " desc" : ""));
+        break;
+      case LogOp::Kind::kHead:
+        stages.push_back("head " + std::to_string(op.n));
+        break;
+      case LogOp::Kind::kTail:
+        stages.push_back("tail " + std::to_string(op.n));
+        break;
+      case LogOp::Kind::kMap:
+        stages.push_back("put " + op.field + " := " + op.expr_text);
+        break;
+      case LogOp::Kind::kAggregate: {
+        std::string s = "summarize ";
+        bool first = true;
+        for (const auto& [out_field, agg] : op.aggs) {
+          if (!first) s += ", ";
+          first = false;
+          s += out_field + "=" + agg.first + "(" + agg.second + ")";
+        }
+        if (!op.fields.empty()) {
+          s += " by " + common::join(op.fields, ", ");
+        }
+        stages.push_back(std::move(s));
+        break;
+      }
+    }
+  }
+  return common::join(stages, " | ");
+}
+
+}  // namespace knactor::de

@@ -1,0 +1,34 @@
+// Text query language for the Log DE — the Zed-like pipeline syntax the
+// paper's Log exchange exposes ("data ingestion and analytics APIs").
+// A query is a '|'-separated pipeline of stages:
+//
+//   kwh > 0.5 | rename kwh=energy | sort energy desc | head 5
+//   where device == "lamp" | put wh := kwh * 1000 | cut device, wh
+//   summarize total=sum(kwh), n=count(kwh) by device
+//
+// Stages:
+//   where EXPR            filter (a bare leading EXPR is also a filter)
+//   rename new=old, ...   rename fields
+//   cut f1, f2 / project  keep only the named fields
+//   drop f1, f2           remove fields
+//   sort FIELD [desc]     order records
+//   head N / tail N       truncate
+//   put NAME := EXPR      computed field
+//   summarize out=fn(field), ... [by f1, f2]
+//                         aggregate (fn: count,sum,min,max,avg,first,last)
+#pragma once
+
+#include <string_view>
+
+#include "common/result.h"
+#include "de/log.h"
+
+namespace knactor::de {
+
+/// Parses the pipeline text into an executable LogQuery.
+common::Result<LogQuery> parse_query(std::string_view text);
+
+/// Renders a LogQuery back to pipeline text (normalized).
+std::string query_to_string(const LogQuery& query);
+
+}  // namespace knactor::de

@@ -1,0 +1,138 @@
+#include "de/rbac.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace knactor::de {
+
+using common::Error;
+using common::Status;
+using common::Value;
+
+const char* verb_name(Verb v) {
+  switch (v) {
+    case Verb::kGet: return "get";
+    case Verb::kList: return "list";
+    case Verb::kWatch: return "watch";
+    case Verb::kCreate: return "create";
+    case Verb::kUpdate: return "update";
+    case Verb::kDelete: return "delete";
+    case Verb::kInvokeUdf: return "invoke-udf";
+  }
+  return "?";
+}
+
+bool FieldRule::permits(const std::string& field) const {
+  if (std::find(denied.begin(), denied.end(), field) != denied.end()) {
+    return false;
+  }
+  if (allowed.empty()) return true;
+  return std::find(allowed.begin(), allowed.end(), field) != allowed.end();
+}
+
+bool TimeWindow::contains(sim::SimTime now) const {
+  if (from == to) return true;
+  sim::SimTime day = 24LL * 3600 * sim::kSecond;
+  sim::SimTime tod = ((now % day) + day) % day;
+  if (from <= to) return tod >= from && tod < to;
+  // Wrapping window (e.g. 22:00 - 06:00).
+  return tod >= from || tod < to;
+}
+
+bool PolicyRule::matches(const std::string& store_name, const std::string& key,
+                         Verb verb, sim::SimTime now) const {
+  if (store != "*" && store != store_name) return false;
+  if (!key_prefix.empty() && !common::starts_with(key, key_prefix)) {
+    return false;
+  }
+  if (verbs.find(verb) == verbs.end()) return false;
+  if (window.has_value() && !window->contains(now)) return false;
+  return true;
+}
+
+Status Rbac::add_role(Role role) {
+  for (const auto& existing : roles_) {
+    if (existing.name == role.name) {
+      return Error::already_exists("rbac: role '" + role.name + "' exists");
+    }
+  }
+  roles_.push_back(std::move(role));
+  return Status::success();
+}
+
+Status Rbac::bind(const std::string& principal, const std::string& role) {
+  bool found = std::any_of(roles_.begin(), roles_.end(),
+                           [&](const Role& r) { return r.name == role; });
+  if (!found) {
+    return Error::not_found("rbac: role '" + role + "' not defined");
+  }
+  bindings_.emplace_back(principal, role);
+  return Status::success();
+}
+
+void Rbac::unbind(const std::string& principal, const std::string& role) {
+  std::erase_if(bindings_, [&](const auto& b) {
+    return b.first == principal && b.second == role;
+  });
+}
+
+Decision Rbac::check(const std::string& principal, const std::string& store,
+                     const std::string& key, Verb verb,
+                     sim::SimTime now) const {
+  if (!enabled_) return Decision{true, {}};
+  Decision decision;
+  for (const auto& [p, role_name] : bindings_) {
+    if (p != principal) continue;
+    for (const auto& role : roles_) {
+      if (role.name != role_name) continue;
+      for (const auto& rule : role.rules) {
+        if (!rule.matches(store, key, verb, now)) continue;
+        if (rule.fields.unrestricted()) {
+          // An unrestricted grant wins outright.
+          return Decision{true, {}};
+        }
+        decision.allowed = true;
+        // Merge field constraints across matching rules (union of allowed,
+        // intersection-free union of denied — denies always stick).
+        for (const auto& f : rule.fields.allowed) {
+          if (std::find(decision.fields.allowed.begin(),
+                        decision.fields.allowed.end(),
+                        f) == decision.fields.allowed.end()) {
+            decision.fields.allowed.push_back(f);
+          }
+        }
+        for (const auto& f : rule.fields.denied) {
+          if (std::find(decision.fields.denied.begin(),
+                        decision.fields.denied.end(),
+                        f) == decision.fields.denied.end()) {
+            decision.fields.denied.push_back(f);
+          }
+        }
+      }
+    }
+  }
+  return decision;
+}
+
+Value Rbac::filter_fields(const Value& v, const FieldRule& rule) {
+  if (rule.unrestricted() || !v.is_object()) return v;
+  Value out = Value::object();
+  for (const auto& [k, field] : v.as_object()) {
+    if (rule.permits(k)) out.set(k, field);
+  }
+  return out;
+}
+
+Status Rbac::validate_write(const Value& v, const FieldRule& rule) {
+  if (rule.unrestricted() || !v.is_object()) return Status::success();
+  for (const auto& [k, field] : v.as_object()) {
+    if (!rule.permits(k)) {
+      return Error::permission_denied("rbac: write to field '" + k +
+                                      "' denied");
+    }
+  }
+  return Status::success();
+}
+
+}  // namespace knactor::de

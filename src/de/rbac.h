@@ -1,0 +1,98 @@
+// Role-based access control for data exchanges (§3.3 "State access
+// control"). Principals (reconcilers, integrators) are bound to roles;
+// roles grant verbs over (store, key-prefix) scopes, optionally restricted
+// to specific fields (the paper's finer-grained state access control) and
+// to time windows (the paper's "no lamp access during sleep hours"
+// example).
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "sim/clock.h"
+
+namespace knactor::de {
+
+enum class Verb { kGet, kList, kWatch, kCreate, kUpdate, kDelete, kInvokeUdf };
+
+const char* verb_name(Verb v);
+
+/// Field-level constraints. Empty allowed == all fields allowed (minus
+/// denied). Applied on reads (filtering) and writes (rejection).
+struct FieldRule {
+  std::vector<std::string> allowed;
+  std::vector<std::string> denied;
+
+  [[nodiscard]] bool permits(const std::string& field) const;
+  [[nodiscard]] bool unrestricted() const {
+    return allowed.empty() && denied.empty();
+  }
+};
+
+/// Optional time-of-day window (sim time modulo 24h). A rule with a window
+/// only grants access inside it; from == to means always.
+struct TimeWindow {
+  sim::SimTime from = 0;  // offset within a 24h day, microseconds
+  sim::SimTime to = 0;
+
+  [[nodiscard]] bool contains(sim::SimTime now) const;
+};
+
+struct PolicyRule {
+  std::string store;       // exact store name, or "*"
+  std::string key_prefix;  // "" matches all keys
+  std::set<Verb> verbs;
+  FieldRule fields;
+  std::optional<TimeWindow> window;
+
+  [[nodiscard]] bool matches(const std::string& store_name,
+                             const std::string& key, Verb verb,
+                             sim::SimTime now) const;
+};
+
+struct Role {
+  std::string name;
+  std::vector<PolicyRule> rules;
+};
+
+/// Access decision: allowed plus the (merged) field constraints to apply.
+struct Decision {
+  bool allowed = false;
+  FieldRule fields;
+};
+
+/// The RBAC policy engine. Disabled by default (everything allowed) so
+/// logic-only tests don't need policy boilerplate; DEs call `check` on
+/// every operation when enabled.
+class Rbac {
+ public:
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  common::Status add_role(Role role);
+  common::Status bind(const std::string& principal, const std::string& role);
+  void unbind(const std::string& principal, const std::string& role);
+
+  [[nodiscard]] Decision check(const std::string& principal,
+                               const std::string& store,
+                               const std::string& key, Verb verb,
+                               sim::SimTime now) const;
+
+  /// Removes fields the rule denies from a read result (deep copy).
+  static common::Value filter_fields(const common::Value& v,
+                                     const FieldRule& rule);
+  /// Verifies every top-level field of a write is permitted.
+  static common::Status validate_write(const common::Value& v,
+                                       const FieldRule& rule);
+
+ private:
+  bool enabled_ = false;
+  std::vector<Role> roles_;
+  std::vector<std::pair<std::string, std::string>> bindings_;
+};
+
+}  // namespace knactor::de

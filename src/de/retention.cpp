@@ -1,0 +1,92 @@
+#include "de/retention.h"
+
+#include <vector>
+
+#include "common/logging.h"
+
+namespace knactor::de {
+
+void RetentionManager::set_policy(const std::string& store,
+                                  RetentionPolicy policy) {
+  policies_[store] = policy;
+}
+
+void RetentionManager::claim(const std::string& store, const std::string& key,
+                             const std::string& consumer) {
+  ++stats_.claims;
+  ++usage_[{store, key}].holders[consumer];
+}
+
+void RetentionManager::release(const std::string& store,
+                               const std::string& key,
+                               const std::string& consumer, bool done) {
+  auto it = usage_.find({store, key});
+  if (it == usage_.end()) return;
+  ++stats_.releases;
+  auto hit = it->second.holders.find(consumer);
+  if (hit != it->second.holders.end()) {
+    if (--hit->second == 0) it->second.holders.erase(hit);
+  }
+  if (done) it->second.processed = true;
+}
+
+std::uint64_t RetentionManager::refcount(const std::string& store,
+                                         const std::string& key) const {
+  auto it = usage_.find({store, key});
+  if (it == usage_.end()) return 0;
+  std::uint64_t total = 0;
+  for (const auto& [consumer, count] : it->second.holders) total += count;
+  return total;
+}
+
+std::size_t RetentionManager::sweep(const std::string& principal) {
+  ++stats_.sweeps;
+  std::size_t collected = 0;
+  for (const auto& [store_name, policy] : policies_) {
+    if (policy.kind == RetentionPolicy::Kind::kKeepForever) continue;
+    ObjectStore* store = de_.store(store_name);
+    if (store == nullptr) continue;
+    // Collect eligible keys first; deletion mutates the store.
+    auto listing = store->list_sync(principal, "");
+    if (!listing.ok()) {
+      KN_WARN << "retention: cannot list " << store_name << ": "
+              << listing.error().to_string();
+      continue;
+    }
+    std::vector<std::string> eligible;
+    for (const auto& obj : listing.value()) {
+      auto uit = usage_.find({store_name, obj.key});
+      bool has_refs = uit != usage_.end() && !uit->second.holders.empty();
+      if (has_refs) continue;
+      if (policy.kind == RetentionPolicy::Kind::kRefCount) {
+        if (uit == usage_.end() || !uit->second.processed) continue;
+        eligible.push_back(obj.key);
+      } else {  // kTtl
+        if (de_.clock().now() - obj.updated_at >= policy.ttl) {
+          eligible.push_back(obj.key);
+        }
+      }
+    }
+    for (const auto& key : eligible) {
+      auto status = store->remove_sync(principal, key);
+      if (status.ok()) {
+        ++collected;
+        ++stats_.collected;
+        usage_.erase({store_name, key});
+      }
+    }
+  }
+  return collected;
+}
+
+void RetentionManager::start_periodic_sweep(const std::string& principal,
+                                            sim::SimTime interval) {
+  periodic_ = true;
+  de_.clock().schedule_after(interval, [this, principal, interval]() {
+    if (!periodic_) return;
+    sweep(principal);
+    start_periodic_sweep(principal, interval);
+  });
+}
+
+}  // namespace knactor::de

@@ -1,0 +1,89 @@
+// State retention (§3.3): states are preserved until no longer required by
+// consumers (reconcilers, integrators), tracked via reference counting;
+// custom policies (TTL, keep-forever) support archival/analytics needs.
+//
+// Consumers `claim` a state object when they begin depending on it and
+// `release` when done. A sweep pass garbage-collects objects that are
+// released and satisfy the store's policy.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "de/object.h"
+#include "sim/clock.h"
+
+namespace knactor::de {
+
+struct RetentionPolicy {
+  enum class Kind {
+    kRefCount,     // GC when refcount drops to 0 and object marked done
+    kTtl,          // GC refcount-0 objects older than ttl
+    kKeepForever,  // never GC (archival)
+  };
+  Kind kind = Kind::kRefCount;
+  sim::SimTime ttl = 0;
+
+  static RetentionPolicy ref_count() { return {Kind::kRefCount, 0}; }
+  static RetentionPolicy ttl_policy(sim::SimTime ttl) {
+    return {Kind::kTtl, ttl};
+  }
+  static RetentionPolicy keep_forever() { return {Kind::kKeepForever, 0}; }
+};
+
+struct RetentionStats {
+  std::uint64_t claims = 0;
+  std::uint64_t releases = 0;
+  std::uint64_t collected = 0;
+  std::uint64_t sweeps = 0;
+};
+
+/// Tracks per-object usage across the stores of one Object DE and
+/// garbage-collects unused state.
+class RetentionManager {
+ public:
+  explicit RetentionManager(ObjectDe& de) : de_(de) {}
+
+  /// Sets (or replaces) the policy for a store. Stores without a policy
+  /// are never swept.
+  void set_policy(const std::string& store, RetentionPolicy policy);
+
+  /// Registers interest by `consumer` in store/key.
+  void claim(const std::string& store, const std::string& key,
+             const std::string& consumer);
+  /// Drops interest. When `done` is true the consumer asserts it has fully
+  /// processed the object (the kRefCount policy requires at least one
+  /// done-release before collecting).
+  void release(const std::string& store, const std::string& key,
+               const std::string& consumer, bool done = true);
+
+  [[nodiscard]] std::uint64_t refcount(const std::string& store,
+                                       const std::string& key) const;
+
+  /// Sweeps all stores with policies; deletes eligible objects via the DE
+  /// (so watches fire normally). Returns the number collected.
+  std::size_t sweep(const std::string& principal);
+
+  /// Schedules periodic sweeps on the DE's clock.
+  void start_periodic_sweep(const std::string& principal,
+                            sim::SimTime interval);
+  void stop_periodic_sweep() { periodic_ = false; }
+
+  [[nodiscard]] const RetentionStats& stats() const { return stats_; }
+
+ private:
+  struct Usage {
+    std::map<std::string, std::uint64_t> holders;  // consumer -> count
+    bool processed = false;  // at least one done-release happened
+  };
+
+  ObjectDe& de_;
+  std::map<std::string, RetentionPolicy> policies_;
+  std::map<std::pair<std::string, std::string>, Usage> usage_;
+  RetentionStats stats_;
+  bool periodic_ = false;
+};
+
+}  // namespace knactor::de

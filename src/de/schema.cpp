@@ -1,0 +1,149 @@
+#include "de/schema.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "yaml/yaml.h"
+
+namespace knactor::de {
+
+using common::Error;
+using common::Result;
+using common::Status;
+using common::Value;
+
+const SchemaField* StoreSchema::field(std::string_view name) const {
+  for (const auto& f : fields) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> StoreSchema::external_fields() const {
+  std::vector<std::string> out;
+  for (const auto& f : fields) {
+    if (f.external) out.push_back(f.name);
+  }
+  return out;
+}
+
+namespace {
+
+bool type_matches(const std::string& type, const Value& v) {
+  if (type == "any") return true;
+  switch (v.type()) {
+    case Value::Type::kNull: return true;  // unset is always fine
+    case Value::Type::kBool: return type == "bool";
+    case Value::Type::kInt: return type == "int" || type == "number";
+    case Value::Type::kDouble: return type == "number";
+    case Value::Type::kString: return type == "string";
+    case Value::Type::kArray: return type == "list" || type == "object";
+    case Value::Type::kObject: return type == "object";
+  }
+  return false;
+}
+
+bool valid_type(const std::string& type) {
+  static const char* kTypes[] = {"string", "number", "int",
+                                 "bool",   "object", "list", "any"};
+  return std::any_of(std::begin(kTypes), std::end(kTypes),
+                     [&](const char* t) { return type == t; });
+}
+
+}  // namespace
+
+Status StoreSchema::validate(const Value& object) const {
+  if (!object.is_object()) {
+    return Error::invalid_argument("schema " + id +
+                                   ": state object must be an object");
+  }
+  for (const auto& [key, v] : object.as_object()) {
+    const SchemaField* f = field(key);
+    if (f == nullptr) {
+      return Error::invalid_argument("schema " + id + ": unknown field '" +
+                                     key + "'");
+    }
+    if (!type_matches(f->type, v)) {
+      return Error::invalid_argument("schema " + id + ": field '" + key +
+                                     "' expects " + f->type + ", got " +
+                                     v.type_name());
+    }
+  }
+  for (const auto& f : fields) {
+    if (!f.required) continue;
+    const Value* v = object.get(f.name);
+    if (v == nullptr || v->is_null()) {
+      return Error::invalid_argument("schema " + id + ": required field '" +
+                                     f.name + "' missing");
+    }
+  }
+  return Status::success();
+}
+
+Result<StoreSchema> parse_schema(std::string_view yaml_text) {
+  KN_ASSIGN_OR_RETURN(yaml::Document doc, yaml::parse_document(yaml_text));
+  if (!doc.root.is_object()) {
+    return Error::parse("schema: document must be a mapping");
+  }
+  StoreSchema schema;
+  for (const auto& [key, v] : doc.root.as_object()) {
+    if (key == "schema") {
+      if (!v.is_string()) return Error::parse("schema: 'schema' id must be a string");
+      schema.id = v.as_string();
+      continue;
+    }
+    SchemaField field;
+    field.name = key;
+    if (!v.is_string() || !valid_type(v.as_string())) {
+      return Error::parse("schema: field '" + key +
+                          "' must declare a type (string, number, int, bool, "
+                          "object, list, any)");
+    }
+    field.type = v.as_string();
+    auto it = doc.comments.find(key);
+    if (it != doc.comments.end()) {
+      std::string_view comment = it->second;
+      if (comment.find("+kr:") != std::string_view::npos) {
+        if (comment.find("external") != std::string_view::npos) {
+          field.external = true;
+        }
+        if (comment.find("required") != std::string_view::npos) {
+          field.required = true;
+        }
+      }
+    }
+    schema.fields.push_back(std::move(field));
+  }
+  if (schema.id.empty()) {
+    return Error::parse("schema: missing 'schema:' id line");
+  }
+  return schema;
+}
+
+Status SchemaRegistry::add(StoreSchema schema) {
+  if (schemas_.find(schema.id) != schemas_.end()) {
+    return Error::already_exists("schema '" + schema.id +
+                                 "' already registered");
+  }
+  schemas_[schema.id] = std::move(schema);
+  return Status::success();
+}
+
+Status SchemaRegistry::add_yaml(std::string_view yaml_text) {
+  KN_ASSIGN_OR_RETURN(StoreSchema schema, parse_schema(yaml_text));
+  return add(std::move(schema));
+}
+
+const StoreSchema* SchemaRegistry::find(std::string_view id) const {
+  auto it = schemas_.find(id);
+  return it == schemas_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> SchemaRegistry::ids() const {
+  std::vector<std::string> out;
+  out.reserve(schemas_.size());
+  for (const auto& [id, s] : schemas_) out.push_back(id);
+  return out;
+}
+
+}  // namespace knactor::de

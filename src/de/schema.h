@@ -1,0 +1,67 @@
+// Data-store schema registry. Knactor developers register their data
+// store's schema at development time (the "Externalize" step of the
+// workflow, §3.2) and annotate which fields an integrator may fill
+// externally ("Express", Fig. 5's "# +kr: external" comments).
+//
+// Schemas are written in the paper's YAML form:
+//
+//   schema: OnlineRetail/v1/Checkout/Order
+//   items: object
+//   address: string
+//   shippingCost: number   # +kr: external
+//
+// and validated against state objects on demand.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace knactor::de {
+
+struct SchemaField {
+  std::string name;
+  /// One of: string, number, int, bool, object, list, any.
+  std::string type;
+  /// True when annotated "+kr: external" — filled by an integrator, not
+  /// the owning service.
+  bool external = false;
+  /// True when annotated "+kr: required".
+  bool required = false;
+};
+
+struct StoreSchema {
+  /// e.g. "OnlineRetail/v1/Checkout/Order"
+  std::string id;
+  std::vector<SchemaField> fields;
+
+  [[nodiscard]] const SchemaField* field(std::string_view name) const;
+  [[nodiscard]] std::vector<std::string> external_fields() const;
+
+  /// Checks a state object against this schema. Unknown fields and
+  /// type mismatches are errors; missing non-required fields are not.
+  [[nodiscard]] common::Status validate(const common::Value& object) const;
+};
+
+/// Parses the paper's YAML schema format (Fig. 5), reading "+kr:"
+/// annotations from trailing comments.
+common::Result<StoreSchema> parse_schema(std::string_view yaml_text);
+
+/// Registry of data-store schemas hosted by a data exchange. Per §3.3,
+/// developers composing services can read schemas (not live states), so
+/// the registry is the integrator author's source of truth.
+class SchemaRegistry {
+ public:
+  common::Status add(StoreSchema schema);
+  common::Status add_yaml(std::string_view yaml_text);
+  [[nodiscard]] const StoreSchema* find(std::string_view id) const;
+  [[nodiscard]] std::vector<std::string> ids() const;
+
+ private:
+  std::map<std::string, StoreSchema, std::less<>> schemas_;
+};
+
+}  // namespace knactor::de

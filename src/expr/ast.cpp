@@ -1,0 +1,180 @@
+#include "expr/ast.h"
+
+#include <map>
+#include <set>
+
+#include "common/json.h"
+
+namespace knactor::expr {
+
+namespace {
+
+void to_string_impl(const Node& node, std::string& out) {
+  switch (node.kind) {
+    case NodeKind::kLiteral:
+      out += common::to_json(node.literal);
+      break;
+    case NodeKind::kName:
+      out += node.name;
+      break;
+    case NodeKind::kAttribute:
+      to_string_impl(*node.a, out);
+      out += "." + node.name;
+      break;
+    case NodeKind::kIndex:
+      to_string_impl(*node.a, out);
+      out += "[";
+      to_string_impl(*node.b, out);
+      out += "]";
+      break;
+    case NodeKind::kCall: {
+      out += node.name + "(";
+      for (std::size_t i = 0; i < node.args.size(); ++i) {
+        if (i > 0) out += ", ";
+        to_string_impl(*node.args[i], out);
+      }
+      out += ")";
+      break;
+    }
+    case NodeKind::kUnary:
+      out += "(" + node.op + (node.op == "not" ? " " : "");
+      to_string_impl(*node.a, out);
+      out += ")";
+      break;
+    case NodeKind::kBinary:
+      out += "(";
+      to_string_impl(*node.a, out);
+      out += " " + node.op + " ";
+      to_string_impl(*node.b, out);
+      out += ")";
+      break;
+    case NodeKind::kTernary:
+      out += "(";
+      to_string_impl(*node.b, out);
+      out += " if ";
+      to_string_impl(*node.a, out);
+      out += " else ";
+      to_string_impl(*node.c, out);
+      out += ")";
+      break;
+    case NodeKind::kList: {
+      out += "[";
+      for (std::size_t i = 0; i < node.args.size(); ++i) {
+        if (i > 0) out += ", ";
+        to_string_impl(*node.args[i], out);
+      }
+      out += "]";
+      break;
+    }
+    case NodeKind::kDict: {
+      out += "{";
+      for (std::size_t i = 0; i < node.args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += "\"" + node.dict_keys[i] + "\": ";
+        to_string_impl(*node.args[i], out);
+      }
+      out += "}";
+      break;
+    }
+    case NodeKind::kListComp: {
+      out += "[";
+      to_string_impl(*node.b, out);
+      out += " for " + node.name + " in ";
+      to_string_impl(*node.a, out);
+      if (node.c) {
+        out += " if ";
+        to_string_impl(*node.c, out);
+      }
+      out += "]";
+      break;
+    }
+  }
+}
+
+/// Returns the dotted path of a pure Name/Attribute chain, or empty.
+std::string dotted_path(const Node& node) {
+  if (node.kind == NodeKind::kName) return node.name;
+  if (node.kind == NodeKind::kAttribute) {
+    std::string base = dotted_path(*node.a);
+    if (base.empty()) return "";
+    return base + "." + node.name;
+  }
+  return "";
+}
+
+void collect_impl(const Node& node, std::set<std::string>& out,
+                  std::map<std::string, std::string>& loop_vars) {
+  switch (node.kind) {
+    case NodeKind::kLiteral:
+      break;
+    case NodeKind::kName:
+    case NodeKind::kAttribute: {
+      std::string path = dotted_path(node);
+      if (path.empty()) {
+        // Attribute of a non-path base (e.g. f(x).y): recurse into base.
+        if (node.a) collect_impl(*node.a, out, loop_vars);
+        break;
+      }
+      // Substitute comprehension loop variables with their iterable path.
+      std::size_t dot = path.find('.');
+      std::string root = dot == std::string::npos ? path : path.substr(0, dot);
+      auto it = loop_vars.find(root);
+      if (it != loop_vars.end()) {
+        if (!it->second.empty()) out.insert(it->second);
+      } else {
+        out.insert(path);
+      }
+      break;
+    }
+    case NodeKind::kIndex:
+      collect_impl(*node.a, out, loop_vars);
+      collect_impl(*node.b, out, loop_vars);
+      break;
+    case NodeKind::kCall:
+      for (const auto& arg : node.args) collect_impl(*arg, out, loop_vars);
+      break;
+    case NodeKind::kUnary:
+      collect_impl(*node.a, out, loop_vars);
+      break;
+    case NodeKind::kBinary:
+      collect_impl(*node.a, out, loop_vars);
+      collect_impl(*node.b, out, loop_vars);
+      break;
+    case NodeKind::kTernary:
+      collect_impl(*node.a, out, loop_vars);
+      collect_impl(*node.b, out, loop_vars);
+      collect_impl(*node.c, out, loop_vars);
+      break;
+    case NodeKind::kList:
+    case NodeKind::kDict:
+      for (const auto& arg : node.args) collect_impl(*arg, out, loop_vars);
+      break;
+    case NodeKind::kListComp: {
+      collect_impl(*node.a, out, loop_vars);
+      std::string iter_path = dotted_path(*node.a);
+      auto saved = loop_vars;
+      loop_vars[node.name] = iter_path;  // item.* maps to the iterable
+      collect_impl(*node.b, out, loop_vars);
+      if (node.c) collect_impl(*node.c, out, loop_vars);
+      loop_vars = std::move(saved);
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_string(const Node& node) {
+  std::string out;
+  to_string_impl(node, out);
+  return out;
+}
+
+std::vector<std::string> collect_refs(const Node& node) {
+  std::set<std::string> refs;
+  std::map<std::string, std::string> loop_vars;
+  collect_impl(node, refs, loop_vars);
+  return {refs.begin(), refs.end()};
+}
+
+}  // namespace knactor::expr

@@ -1,0 +1,70 @@
+// AST for the DXG expression language.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/value.h"
+
+namespace knactor::expr {
+
+struct Node;
+using NodePtr = std::unique_ptr<Node>;
+
+enum class NodeKind {
+  kLiteral,    // 1000, "air", True, None
+  kName,       // C, this, item
+  kAttribute,  // base.name
+  kIndex,      // base[expr]
+  kCall,       // callee(args...)  — callee is a Name (function registry)
+  kUnary,      // -x, +x, not x
+  kBinary,     // + - * / % // ** and or == != < <= > >= in "not in"
+  kTernary,    // a if cond else b
+  kList,       // [a, b, c]
+  kDict,       // {"k": v}
+  kListComp,   // [expr for var in iter if cond]
+};
+
+struct Node {
+  NodeKind kind;
+
+  // kLiteral
+  common::Value literal;
+
+  // kName / kAttribute(name) / kCall(function name) / kListComp(loop var)
+  std::string name;
+
+  // kAttribute/kIndex base; kUnary operand; kTernary condition;
+  // kListComp iterable.
+  NodePtr a;
+  // kIndex subscript; kBinary rhs (lhs in a); kTernary then; kListComp body.
+  NodePtr b;
+  // kTernary else; kListComp filter (optional).
+  NodePtr c;
+
+  // kBinary operator spelling ("+", "and", "in", "not in", ...);
+  // kUnary operator ("-", "+", "not").
+  std::string op;
+
+  // kCall arguments; kList elements; kDict values (keys in dict_keys).
+  std::vector<NodePtr> args;
+  std::vector<std::string> dict_keys;
+
+  explicit Node(NodeKind k) : kind(k) {}
+};
+
+/// Pretty-prints an AST back to (normalized) expression text. Used by
+/// error messages, the DXG analyzer output, and UDF push-down compilation.
+std::string to_string(const Node& node);
+
+/// Collects every root-relative data reference in the expression, e.g.
+/// "C.order.items", "S.quote.price", "this.currency". References through
+/// comprehension loop variables are reported against the iterable's root
+/// (item.name over C.order.items contributes "C.order.items"). References
+/// rooted at "this" are included; the DXG layer rewrites them against the
+/// target store. Call names are not references.
+std::vector<std::string> collect_refs(const Node& node);
+
+}  // namespace knactor::expr

@@ -1,0 +1,90 @@
+// Evaluator for the DXG expression language.
+//
+// Evaluation resolves root names (C, S, P, this, loop variables) against an
+// Env, and function calls against a FunctionRegistry. Semantics follow
+// Python where the grammar does: truthiness, short-circuit and/or returning
+// operands, '+' concatenating strings and lists, 'in' membership, '=='
+// comparing numbers across int/double.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "expr/ast.h"
+
+namespace knactor::expr {
+
+/// Name-resolution environment. The Cast integrator implements this over
+/// data-store snapshots; tests use MapEnv.
+class Env {
+ public:
+  virtual ~Env() = default;
+  /// Resolves a root name to a value, or nullptr when unknown.
+  [[nodiscard]] virtual const common::Value* resolve(
+      const std::string& name) const = 0;
+};
+
+/// Env over an in-memory map, with optional chaining to a parent (used for
+/// comprehension loop scopes).
+class MapEnv : public Env {
+ public:
+  MapEnv() = default;
+  explicit MapEnv(const Env* parent) : parent_(parent) {}
+
+  void bind(std::string name, common::Value v) {
+    vars_[std::move(name)] = std::move(v);
+  }
+
+  [[nodiscard]] const common::Value* resolve(
+      const std::string& name) const override {
+    auto it = vars_.find(name);
+    if (it != vars_.end()) return &it->second;
+    return parent_ != nullptr ? parent_->resolve(name) : nullptr;
+  }
+
+ private:
+  std::map<std::string, common::Value> vars_;
+  const Env* parent_ = nullptr;
+};
+
+/// A builtin or user-registered function.
+using Function =
+    std::function<common::Result<common::Value>(const std::vector<common::Value>&)>;
+
+/// Registry of callable functions. The default registry carries the
+/// builtins the paper's DXG uses (currency_convert) plus a standard
+/// library (len, sum, min, max, str, int, float, round, abs, upper, lower,
+/// concat, keys, values, get, contains, unique, sorted, avg).
+class FunctionRegistry {
+ public:
+  /// Registry preloaded with the builtins.
+  static const FunctionRegistry& builtins();
+  /// Empty registry (for sandboxed evaluation tests).
+  FunctionRegistry() = default;
+
+  void register_function(std::string name, Function fn);
+  [[nodiscard]] const Function* find(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Replaces the conversion-rate table used by currency_convert.
+  /// Rates map currency code -> units per USD.
+  static void set_currency_rates(std::map<std::string, double> rates);
+
+ private:
+  std::map<std::string, Function> functions_;
+};
+
+/// Evaluates an AST against an environment and function registry.
+common::Result<common::Value> evaluate(const Node& node, const Env& env,
+                                       const FunctionRegistry& functions);
+
+/// Convenience: parse + evaluate in one call.
+common::Result<common::Value> evaluate(std::string_view text, const Env& env,
+                                       const FunctionRegistry& functions);
+
+}  // namespace knactor::expr

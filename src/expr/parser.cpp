@@ -1,0 +1,383 @@
+#include "expr/parser.h"
+
+#include "expr/token.h"
+
+namespace knactor::expr {
+
+using common::Error;
+using common::Result;
+using common::Value;
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<NodePtr> parse() {
+    KN_ASSIGN_OR_RETURN(NodePtr node, parse_expr());
+    if (!cur().is(TokenType::kEnd, "") && cur().type != TokenType::kEnd) {
+      return fail("unexpected token '" + cur().text + "'");
+    }
+    return node;
+  }
+
+ private:
+  const Token& cur() const { return tokens_[pos_]; }
+  const Token& advance() { return tokens_[pos_++]; }
+
+  bool eat_op(std::string_view op) {
+    if (cur().is_op(op)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool eat_keyword(std::string_view kw) {
+    if (cur().is_keyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Error fail(const std::string& msg) const {
+    return Error::parse("expr: " + msg + " at offset " +
+                        std::to_string(cur().offset));
+  }
+
+  /// RAII depth guard: pathological nesting ("((((..." ) must fail with a
+  /// parse error, not exhaust the stack. Each paren level costs a few
+  /// guarded frames (expr/not/unary), so this bounds real nesting to
+  /// roughly kMaxDepth/3 — far beyond any legitimate DXG expression.
+  static constexpr int kMaxDepth = 512;
+  struct DepthGuard {
+    explicit DepthGuard(Parser& p) : parser(p) { ++parser.depth_; }
+    ~DepthGuard() { --parser.depth_; }
+    Parser& parser;
+  };
+
+  Result<NodePtr> parse_expr() {
+    if (depth_ >= kMaxDepth) return fail("expression nested too deeply");
+    DepthGuard guard(*this);
+    return parse_expr_inner();
+  }
+
+  Result<NodePtr> parse_expr_inner() {
+    KN_ASSIGN_OR_RETURN(NodePtr body, parse_or());
+    if (eat_keyword("if")) {
+      KN_ASSIGN_OR_RETURN(NodePtr cond, parse_or());
+      if (!eat_keyword("else")) return fail("expected 'else'");
+      KN_ASSIGN_OR_RETURN(NodePtr other, parse_expr());
+      auto node = std::make_unique<Node>(NodeKind::kTernary);
+      node->a = std::move(cond);
+      node->b = std::move(body);
+      node->c = std::move(other);
+      return node;
+    }
+    return body;
+  }
+
+  Result<NodePtr> parse_or() {
+    KN_ASSIGN_OR_RETURN(NodePtr lhs, parse_and());
+    while (eat_keyword("or")) {
+      KN_ASSIGN_OR_RETURN(NodePtr rhs, parse_and());
+      auto node = std::make_unique<Node>(NodeKind::kBinary);
+      node->op = "or";
+      node->a = std::move(lhs);
+      node->b = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  Result<NodePtr> parse_and() {
+    KN_ASSIGN_OR_RETURN(NodePtr lhs, parse_not());
+    while (eat_keyword("and")) {
+      KN_ASSIGN_OR_RETURN(NodePtr rhs, parse_not());
+      auto node = std::make_unique<Node>(NodeKind::kBinary);
+      node->op = "and";
+      node->a = std::move(lhs);
+      node->b = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  Result<NodePtr> parse_not() {
+    if (depth_ >= kMaxDepth) return fail("expression nested too deeply");
+    DepthGuard guard(*this);
+    if (eat_keyword("not")) {
+      KN_ASSIGN_OR_RETURN(NodePtr operand, parse_not());
+      auto node = std::make_unique<Node>(NodeKind::kUnary);
+      node->op = "not";
+      node->a = std::move(operand);
+      return node;
+    }
+    return parse_cmp();
+  }
+
+  Result<NodePtr> parse_cmp() {
+    KN_ASSIGN_OR_RETURN(NodePtr lhs, parse_add());
+    while (true) {
+      std::string op;
+      if (cur().is_op("==") || cur().is_op("!=") || cur().is_op("<") ||
+          cur().is_op("<=") || cur().is_op(">") || cur().is_op(">=")) {
+        op = advance().text;
+      } else if (cur().is_keyword("in")) {
+        ++pos_;
+        op = "in";
+      } else if (cur().is_keyword("not") && tokens_[pos_ + 1].is_keyword("in")) {
+        pos_ += 2;
+        op = "not in";
+      } else {
+        break;
+      }
+      KN_ASSIGN_OR_RETURN(NodePtr rhs, parse_add());
+      auto node = std::make_unique<Node>(NodeKind::kBinary);
+      node->op = op;
+      node->a = std::move(lhs);
+      node->b = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  Result<NodePtr> parse_add() {
+    KN_ASSIGN_OR_RETURN(NodePtr lhs, parse_mul());
+    while (cur().is_op("+") || cur().is_op("-")) {
+      std::string op = advance().text;
+      KN_ASSIGN_OR_RETURN(NodePtr rhs, parse_mul());
+      auto node = std::make_unique<Node>(NodeKind::kBinary);
+      node->op = op;
+      node->a = std::move(lhs);
+      node->b = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  Result<NodePtr> parse_mul() {
+    KN_ASSIGN_OR_RETURN(NodePtr lhs, parse_unary());
+    while (cur().is_op("*") || cur().is_op("/") || cur().is_op("%") ||
+           cur().is_op("//")) {
+      std::string op = advance().text;
+      KN_ASSIGN_OR_RETURN(NodePtr rhs, parse_unary());
+      auto node = std::make_unique<Node>(NodeKind::kBinary);
+      node->op = op;
+      node->a = std::move(lhs);
+      node->b = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  // Python precedence: '**' binds tighter than a *leading* unary sign but
+  // admits a signed exponent — "-x ** 2" is -(x**2), "2 ** -3" is legal.
+  //   factor := ('+'|'-') factor | power
+  //   power  := postfix ('**' factor)?
+  Result<NodePtr> parse_unary() {
+    if (depth_ >= kMaxDepth) return fail("expression nested too deeply");
+    DepthGuard guard(*this);
+    if (cur().is_op("-") || cur().is_op("+")) {
+      std::string op = advance().text;
+      KN_ASSIGN_OR_RETURN(NodePtr operand, parse_unary());
+      auto node = std::make_unique<Node>(NodeKind::kUnary);
+      node->op = op;
+      node->a = std::move(operand);
+      return Result<NodePtr>(std::move(node));
+    }
+    return parse_pow();
+  }
+
+  Result<NodePtr> parse_pow() {
+    KN_ASSIGN_OR_RETURN(NodePtr lhs, parse_postfix());
+    if (cur().is_op("**")) {
+      ++pos_;
+      KN_ASSIGN_OR_RETURN(NodePtr rhs, parse_unary());  // right-assoc factor
+      auto node = std::make_unique<Node>(NodeKind::kBinary);
+      node->op = "**";
+      node->a = std::move(lhs);
+      node->b = std::move(rhs);
+      return Result<NodePtr>(std::move(node));
+    }
+    return lhs;
+  }
+
+  Result<NodePtr> parse_postfix() {
+    KN_ASSIGN_OR_RETURN(NodePtr node, parse_primary());
+    while (true) {
+      if (eat_op(".")) {
+        if (cur().type != TokenType::kIdent &&
+            cur().type != TokenType::kKeyword) {
+          return fail("expected attribute name after '.'");
+        }
+        auto attr = std::make_unique<Node>(NodeKind::kAttribute);
+        attr->name = advance().text;
+        attr->a = std::move(node);
+        node = std::move(attr);
+      } else if (cur().is_op("(")) {
+        if (node->kind != NodeKind::kName) {
+          return fail("only named functions are callable");
+        }
+        ++pos_;
+        auto call = std::make_unique<Node>(NodeKind::kCall);
+        call->name = node->name;
+        if (!eat_op(")")) {
+          while (true) {
+            KN_ASSIGN_OR_RETURN(NodePtr arg, parse_expr());
+            call->args.push_back(std::move(arg));
+            if (eat_op(",")) continue;
+            if (eat_op(")")) break;
+            return fail("expected ',' or ')' in call");
+          }
+        }
+        node = std::move(call);
+      } else if (eat_op("[")) {
+        KN_ASSIGN_OR_RETURN(NodePtr sub, parse_expr());
+        if (!eat_op("]")) return fail("expected ']'");
+        auto idx = std::make_unique<Node>(NodeKind::kIndex);
+        idx->a = std::move(node);
+        idx->b = std::move(sub);
+        node = std::move(idx);
+      } else {
+        break;
+      }
+    }
+    return node;
+  }
+
+  Result<NodePtr> parse_primary() {
+    const Token& tok = cur();
+    switch (tok.type) {
+      case TokenType::kNumber: {
+        auto node = std::make_unique<Node>(NodeKind::kLiteral);
+        node->literal = tok.is_int ? Value(tok.int_value) : Value(tok.number);
+        ++pos_;
+        return Result<NodePtr>(std::move(node));
+      }
+      case TokenType::kString: {
+        auto node = std::make_unique<Node>(NodeKind::kLiteral);
+        node->literal = Value(tok.text);
+        ++pos_;
+        return Result<NodePtr>(std::move(node));
+      }
+      case TokenType::kKeyword: {
+        if (tok.text == "True" || tok.text == "true") {
+          ++pos_;
+          auto node = std::make_unique<Node>(NodeKind::kLiteral);
+          node->literal = Value(true);
+          return Result<NodePtr>(std::move(node));
+        }
+        if (tok.text == "False" || tok.text == "false") {
+          ++pos_;
+          auto node = std::make_unique<Node>(NodeKind::kLiteral);
+          node->literal = Value(false);
+          return Result<NodePtr>(std::move(node));
+        }
+        if (tok.text == "None" || tok.text == "null") {
+          ++pos_;
+          auto node = std::make_unique<Node>(NodeKind::kLiteral);
+          node->literal = Value(nullptr);
+          return Result<NodePtr>(std::move(node));
+        }
+        return fail("unexpected keyword '" + tok.text + "'");
+      }
+      case TokenType::kIdent: {
+        auto node = std::make_unique<Node>(NodeKind::kName);
+        node->name = tok.text;
+        ++pos_;
+        return Result<NodePtr>(std::move(node));
+      }
+      case TokenType::kOp: {
+        if (tok.text == "(") {
+          ++pos_;
+          KN_ASSIGN_OR_RETURN(NodePtr inner, parse_expr());
+          if (!eat_op(")")) return fail("expected ')'");
+          return Result<NodePtr>(std::move(inner));
+        }
+        if (tok.text == "[") return parse_list();
+        if (tok.text == "{") return parse_dict();
+        return fail("unexpected operator '" + tok.text + "'");
+      }
+      case TokenType::kEnd:
+        return fail("unexpected end of expression");
+    }
+    return fail("unexpected token");
+  }
+
+  Result<NodePtr> parse_list() {
+    eat_op("[");
+    if (eat_op("]")) {
+      return Result<NodePtr>(std::make_unique<Node>(NodeKind::kList));
+    }
+    KN_ASSIGN_OR_RETURN(NodePtr first, parse_expr());
+    if (eat_keyword("for")) {
+      // List comprehension: [body for var in iter (if cond)?]
+      if (cur().type != TokenType::kIdent) {
+        return fail("expected loop variable");
+      }
+      auto comp = std::make_unique<Node>(NodeKind::kListComp);
+      comp->name = advance().text;
+      if (!eat_keyword("in")) return fail("expected 'in'");
+      KN_ASSIGN_OR_RETURN(NodePtr iter, parse_or());
+      comp->a = std::move(iter);
+      comp->b = std::move(first);
+      if (eat_keyword("if")) {
+        KN_ASSIGN_OR_RETURN(NodePtr cond, parse_or());
+        comp->c = std::move(cond);
+      }
+      if (!eat_op("]")) return fail("expected ']'");
+      return Result<NodePtr>(std::move(comp));
+    }
+    auto list = std::make_unique<Node>(NodeKind::kList);
+    list->args.push_back(std::move(first));
+    while (eat_op(",")) {
+      if (cur().is_op("]")) break;  // trailing comma
+      KN_ASSIGN_OR_RETURN(NodePtr item, parse_expr());
+      list->args.push_back(std::move(item));
+    }
+    if (!eat_op("]")) return fail("expected ']'");
+    return Result<NodePtr>(std::move(list));
+  }
+
+  Result<NodePtr> parse_dict() {
+    eat_op("{");
+    auto dict = std::make_unique<Node>(NodeKind::kDict);
+    if (eat_op("}")) return Result<NodePtr>(std::move(dict));
+    while (true) {
+      std::string key;
+      if (cur().type == TokenType::kString) {
+        key = advance().text;
+      } else if (cur().type == TokenType::kIdent) {
+        key = advance().text;
+      } else {
+        return fail("expected dict key");
+      }
+      if (!eat_op(":")) return fail("expected ':' in dict");
+      KN_ASSIGN_OR_RETURN(NodePtr v, parse_expr());
+      dict->dict_keys.push_back(std::move(key));
+      dict->args.push_back(std::move(v));
+      if (eat_op(",")) {
+        if (cur().is_op("}")) break;
+        continue;
+      }
+      break;
+    }
+    if (!eat_op("}")) return fail("expected '}'");
+    return Result<NodePtr>(std::move(dict));
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Result<NodePtr> parse(std::string_view text) {
+  KN_ASSIGN_OR_RETURN(std::vector<Token> tokens, tokenize(text));
+  return Parser(std::move(tokens)).parse();
+}
+
+}  // namespace knactor::expr

@@ -1,0 +1,28 @@
+// Recursive-descent / precedence-climbing parser for the DXG expression
+// language. Grammar (loosely Python's expression subset):
+//
+//   expr     := or ("if" or "else" expr)?          -- Python conditional
+//   or       := and ("or" and)*
+//   and      := not ("and" not)*
+//   not      := "not" not | cmp
+//   cmp      := add (("=="|"!="|"<"|"<="|">"|">="|"in"|"not" "in") add)*
+//   add      := mul (("+"|"-") mul)*
+//   mul      := pow (("*"|"/"|"%"|"//") pow)*
+//   pow      := unary ("**" pow)?
+//   unary    := ("-"|"+") unary | postfix
+//   postfix  := primary ("." IDENT | "(" args ")" | "[" expr "]")*
+//   primary  := NUMBER | STRING | "True" | "False" | "None" | IDENT
+//            | "(" expr ")" | listlit | listcomp | dictlit
+#pragma once
+
+#include <string_view>
+
+#include "common/result.h"
+#include "expr/ast.h"
+
+namespace knactor::expr {
+
+/// Parses expression text into an AST.
+common::Result<NodePtr> parse(std::string_view text);
+
+}  // namespace knactor::expr

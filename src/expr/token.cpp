@@ -1,0 +1,154 @@
+#include "expr/token.h"
+
+#include <cctype>
+#include <charconv>
+#include <set>
+
+namespace knactor::expr {
+
+using common::Error;
+using common::Result;
+
+namespace {
+
+const std::set<std::string, std::less<>> kKeywords = {
+    "if", "else", "for", "in",   "and",   "or",
+    "not", "True", "False", "None", "true", "false", "null"};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> tokenize(std::string_view text) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      std::size_t start = i;
+      bool is_float = false;
+      while (i < text.size() &&
+             (std::isdigit(static_cast<unsigned char>(text[i])) ||
+              text[i] == '.' || text[i] == 'e' || text[i] == 'E' ||
+              ((text[i] == '+' || text[i] == '-') && i > start &&
+               (text[i - 1] == 'e' || text[i - 1] == 'E')))) {
+        if (text[i] == '.' || text[i] == 'e' || text[i] == 'E') {
+          is_float = true;
+        }
+        ++i;
+      }
+      std::string_view num = text.substr(start, i - start);
+      tok.type = TokenType::kNumber;
+      tok.text = std::string(num);
+      if (!is_float) {
+        std::int64_t v = 0;
+        auto [p, ec] = std::from_chars(num.data(), num.data() + num.size(), v);
+        if (ec == std::errc{} && p == num.data() + num.size()) {
+          tok.is_int = true;
+          tok.int_value = v;
+          tok.number = static_cast<double>(v);
+          out.push_back(std::move(tok));
+          continue;
+        }
+      }
+      double d = 0;
+      auto [p, ec] = std::from_chars(num.data(), num.data() + num.size(), d);
+      if (ec != std::errc{} || p != num.data() + num.size()) {
+        return Error::parse("bad number '" + std::string(num) + "' at offset " +
+                            std::to_string(start));
+      }
+      tok.number = d;
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      ++i;
+      std::string s;
+      bool closed = false;
+      while (i < text.size()) {
+        if (text[i] == '\\' && i + 1 < text.size()) {
+          char esc = text[i + 1];
+          switch (esc) {
+            case 'n': s.push_back('\n'); break;
+            case 't': s.push_back('\t'); break;
+            case '\\': s.push_back('\\'); break;
+            case '\'': s.push_back('\''); break;
+            case '"': s.push_back('"'); break;
+            default: s.push_back(esc);
+          }
+          i += 2;
+          continue;
+        }
+        if (text[i] == quote) {
+          closed = true;
+          ++i;
+          break;
+        }
+        s.push_back(text[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Error::parse("unterminated string at offset " +
+                            std::to_string(tok.offset));
+      }
+      tok.type = TokenType::kString;
+      tok.text = std::move(s);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t start = i;
+      while (i < text.size() && ident_char(text[i])) ++i;
+      tok.text = std::string(text.substr(start, i - start));
+      tok.type = kKeywords.count(tok.text) != 0 ? TokenType::kKeyword
+                                                : TokenType::kIdent;
+      out.push_back(std::move(tok));
+      continue;
+    }
+    // Multi-char operators first.
+    static const char* kTwoChar[] = {"==", "!=", "<=", ">=", "//", "**"};
+    bool matched = false;
+    for (const char* op : kTwoChar) {
+      if (text.substr(i, 2) == op) {
+        tok.type = TokenType::kOp;
+        tok.text = op;
+        i += 2;
+        out.push_back(std::move(tok));
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    static const std::string kSingle = "+-*/%()[]{},.:<>";
+    if (kSingle.find(c) != std::string::npos) {
+      tok.type = TokenType::kOp;
+      tok.text = std::string(1, c);
+      ++i;
+      out.push_back(std::move(tok));
+      continue;
+    }
+    return Error::parse("unexpected character '" + std::string(1, c) +
+                        "' at offset " + std::to_string(i));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = text.size();
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace knactor::expr

@@ -1,0 +1,49 @@
+// Lexer for the DXG expression language — a small Python-like expression
+// grammar (Fig. 6 of the paper uses exactly this style):
+//
+//   currency_convert(S.quote.price, S.quote.currency, this.currency)
+//   [item.name for item in C.order.items]
+//   "air" if C.order.cost > 1000 else "ground"
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace knactor::expr {
+
+enum class TokenType {
+  kNumber,      // 1000, 3.14
+  kString,      // "air", 'ground'
+  kIdent,       // C, order, currency_convert, this, item
+  kKeyword,     // if else for in and or not True False None
+  kOp,          // + - * / % == != < <= > >= ( ) [ ] { } , . : //
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;        // identifier/keyword/operator spelling
+  double number = 0;       // for kNumber
+  bool is_int = false;     // number had no '.'/'e'
+  std::int64_t int_value = 0;
+  std::size_t offset = 0;  // for error messages
+
+  [[nodiscard]] bool is(TokenType t, std::string_view s) const {
+    return type == t && text == s;
+  }
+  [[nodiscard]] bool is_op(std::string_view s) const {
+    return is(TokenType::kOp, s);
+  }
+  [[nodiscard]] bool is_keyword(std::string_view s) const {
+    return is(TokenType::kKeyword, s);
+  }
+};
+
+/// Tokenizes an expression. Keywords: if, else, for, in, and, or, not,
+/// True, False, None (plus lowercase true/false/null aliases).
+common::Result<std::vector<Token>> tokenize(std::string_view text);
+
+}  // namespace knactor::expr

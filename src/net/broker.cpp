@@ -1,0 +1,136 @@
+#include "net/broker.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace knactor::net {
+
+using common::Error;
+using common::Result;
+using common::Value;
+
+Broker::Broker(SimNetwork& network, std::string node)
+    : network_(network), node_(std::move(node)) {
+  network_.add_node(node_);
+  network_.set_handler(node_, "pubsub.publish",
+                       [this](const Message& msg) { on_message(msg); });
+}
+
+void Broker::subscribe(const std::string& topic,
+                       const std::string& subscriber_node, Handler handler) {
+  network_.add_node(subscriber_node);
+  // The broker owns a per-node dispatch handler: one "pubsub.deliver"
+  // message per (publish, subscriber node), dispatched locally to every
+  // matching subscription registered for that node.
+  network_.set_handler(
+      subscriber_node, "pubsub.deliver",
+      [this, subscriber_node](const Message& msg) {
+        const Value* topic_v = msg.payload.get("topic");
+        const Value* message_v = msg.payload.get("message");
+        if (topic_v == nullptr || message_v == nullptr) return;
+        for (const Subscription* sub : match(topic_v->as_string())) {
+          if (sub->node == subscriber_node) {
+            sub->handler(topic_v->as_string(), *message_v);
+          }
+        }
+      });
+  Subscription sub{subscriber_node, std::move(handler)};
+  if (common::ends_with(topic, "/#")) {
+    prefix_subs_[topic.substr(0, topic.size() - 2)].push_back(std::move(sub));
+    return;
+  }
+  subs_[topic].push_back(std::move(sub));
+  if (retain_) {
+    auto it = retained_.find(topic);
+    if (it != retained_.end()) {
+      deliver(topic, it->second, subscriber_node);
+    }
+  }
+}
+
+void Broker::unsubscribe(const std::string& topic,
+                         const std::string& subscriber_node) {
+  auto drop = [&](std::vector<Subscription>& list) {
+    std::erase_if(list,
+                  [&](const Subscription& s) { return s.node == subscriber_node; });
+  };
+  if (common::ends_with(topic, "/#")) {
+    auto it = prefix_subs_.find(topic.substr(0, topic.size() - 2));
+    if (it != prefix_subs_.end()) drop(it->second);
+    return;
+  }
+  auto it = subs_.find(topic);
+  if (it != subs_.end()) drop(it->second);
+}
+
+Result<std::size_t> Broker::publish(const std::string& publisher_node,
+                                    const std::string& topic, Value message) {
+  if (!network_.has_node(publisher_node)) {
+    return Error::not_found("broker: unknown publisher node '" +
+                            publisher_node + "'");
+  }
+  Message msg;
+  msg.src = publisher_node;
+  msg.dst = node_;
+  msg.type = "pubsub.publish";
+  Value payload = Value::object();
+  payload.set("topic", Value(topic));
+  payload.set("message", std::move(message));
+  msg.payload = std::move(payload);
+  KN_TRY(network_.send(std::move(msg)));
+  return match(topic).size();
+}
+
+std::vector<const Broker::Subscription*> Broker::match(
+    const std::string& topic) const {
+  std::vector<const Subscription*> out;
+  auto it = subs_.find(topic);
+  if (it != subs_.end()) {
+    for (const auto& s : it->second) out.push_back(&s);
+  }
+  for (const auto& [prefix, list] : prefix_subs_) {
+    if (common::starts_with(topic, prefix)) {
+      for (const auto& s : list) out.push_back(&s);
+    }
+  }
+  return out;
+}
+
+void Broker::deliver(const std::string& topic, const Value& message,
+                     const std::string& subscriber_node) {
+  Message msg;
+  msg.src = node_;
+  msg.dst = subscriber_node;
+  msg.type = "pubsub.deliver";
+  Value payload = Value::object();
+  payload.set("topic", Value(topic));
+  payload.set("message", message);
+  msg.payload = std::move(payload);
+  auto sent = network_.send(std::move(msg));
+  if (!sent.ok()) {
+    KN_WARN << "broker: failed to deliver to " << subscriber_node << ": "
+            << sent.error().to_string();
+  }
+}
+
+void Broker::on_message(const Message& msg) {
+  if (msg.type != "pubsub.publish") return;
+  const Value* topic = msg.payload.get("topic");
+  const Value* message = msg.payload.get("message");
+  if (topic == nullptr || message == nullptr) return;
+  if (retain_) retained_[topic->as_string()] = *message;
+  // One network message per distinct subscriber node; local dispatch fans
+  // out to every matching subscription on that node.
+  std::vector<std::string> nodes;
+  for (const Subscription* sub : match(topic->as_string())) {
+    ++routed_;
+    if (std::find(nodes.begin(), nodes.end(), sub->node) == nodes.end()) {
+      nodes.push_back(sub->node);
+    }
+  }
+  for (const auto& node : nodes) {
+    deliver(topic->as_string(), *message, node);
+  }
+}
+
+}  // namespace knactor::net

@@ -1,0 +1,70 @@
+// Topic-based Pub/Sub broker over SimNetwork — the Kafka/EMQX analog, the
+// paper's second API-centric baseline (used by the smart-home app). The
+// broker runs on its own node; publishes hop publisher -> broker -> each
+// subscriber, paying link latency twice. Messages on a topic are opaque
+// bytes (schema agreed out of band by publisher and subscribers — the same
+// implicit coupling as RPC, expressed through topics + schemas).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "net/network.h"
+
+namespace knactor::net {
+
+class Broker {
+ public:
+  using Handler = std::function<void(const std::string& topic,
+                                     const common::Value& message)>;
+
+  Broker(SimNetwork& network, std::string node);
+
+  /// Subscribes `subscriber_node` to a topic. The handler runs on delivery
+  /// at the subscriber. Wildcard '#' suffix matches a topic prefix
+  /// (MQTT-style, e.g. "home/+" is not supported, "home/#" is).
+  void subscribe(const std::string& topic, const std::string& subscriber_node,
+                 Handler handler);
+  void unsubscribe(const std::string& topic,
+                   const std::string& subscriber_node);
+
+  /// Publishes from `publisher_node`. Returns the number of subscribers the
+  /// broker will fan out to (0 is fine — fire and forget).
+  common::Result<std::size_t> publish(const std::string& publisher_node,
+                                      const std::string& topic,
+                                      common::Value message);
+
+  /// Retains the last message per topic and replays it to new subscribers
+  /// (MQTT retained-message semantics), when enabled.
+  void set_retain(bool retain) { retain_ = retain; }
+
+  [[nodiscard]] std::uint64_t messages_routed() const { return routed_; }
+
+ private:
+  struct Subscription {
+    std::string node;
+    Handler handler;
+  };
+
+  void on_message(const Message& msg);
+  [[nodiscard]] std::vector<const Subscription*> match(
+      const std::string& topic) const;
+  void deliver(const std::string& topic, const common::Value& message,
+               const std::string& subscriber_node);
+
+  SimNetwork& network_;
+  std::string node_;
+  std::map<std::string, std::vector<Subscription>> subs_;  // exact topic
+  std::map<std::string, std::vector<Subscription>> prefix_subs_;  // "a/#"
+  std::map<std::string, common::Value> retained_;
+  bool retain_ = false;
+  std::uint64_t routed_ = 0;
+};
+
+}  // namespace knactor::net

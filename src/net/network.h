@@ -1,0 +1,113 @@
+// Simulated network substrate. Nodes exchange messages over links with
+// configurable latency models and optional bandwidth costs; delivery is
+// scheduled on the shared VirtualClock, so higher layers (RPC, Pub/Sub,
+// data exchanges) see realistic asynchrony deterministically.
+//
+// Substitution note (see DESIGN.md): the paper deploys on a Kubernetes
+// cluster network; this module reproduces the latency behaviour that the
+// Table 2 measurements depend on without real sockets.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "sim/clock.h"
+#include "sim/latency.h"
+#include "sim/random.h"
+
+namespace knactor::net {
+
+/// A message in flight. `type` demultiplexes protocols sharing a node
+/// ("rpc.request", "rpc.response", "pubsub.publish", ...).
+struct Message {
+  std::uint64_t id = 0;
+  std::string src;
+  std::string dst;
+  std::string type;
+  common::Value payload;
+  /// Encoded size used for bandwidth accounting; 0 means "estimate from
+  /// payload" at send time.
+  std::size_t bytes = 0;
+};
+
+/// Per-network delivery statistics.
+struct NetworkStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;  // partitions / missing handlers
+  std::uint64_t bytes_sent = 0;
+};
+
+/// Discrete-event network: named nodes, per-link latency, partitions.
+class SimNetwork {
+ public:
+  using Handler = std::function<void(const Message&)>;
+
+  SimNetwork(sim::VirtualClock& clock, std::uint64_t seed = 1)
+      : clock_(clock), rng_(seed) {}
+
+  SimNetwork(const SimNetwork&) = delete;
+  SimNetwork& operator=(const SimNetwork&) = delete;
+
+  /// Registers a node. Idempotent.
+  void add_node(const std::string& name);
+  [[nodiscard]] bool has_node(const std::string& name) const;
+
+  /// Installs the delivery handler for (node, message type). Multiple
+  /// protocols share a node by registering distinct types ("rpc.request",
+  /// "rpc.response", "pubsub.deliver", ...). An empty type is a catch-all
+  /// used when no exact type matches.
+  void set_handler(const std::string& node, const std::string& type,
+                   Handler handler);
+
+  /// Default latency for links without an explicit model.
+  void set_default_latency(sim::LatencyModel model) {
+    default_latency_ = model;
+  }
+  /// Directional link latency override.
+  void set_link_latency(const std::string& src, const std::string& dst,
+                        sim::LatencyModel model);
+  /// Bytes/sec transfer rate; 0 disables bandwidth delay (default).
+  void set_bandwidth(std::uint64_t bytes_per_sec) {
+    bytes_per_sec_ = bytes_per_sec;
+  }
+
+  /// Cuts (or heals) connectivity between two nodes, both directions.
+  void set_partitioned(const std::string& a, const std::string& b,
+                       bool partitioned);
+
+  /// Sends a message; delivery is scheduled after link latency (+ serialized
+  /// transfer time when bandwidth is set). Returns the message id, or an
+  /// error for unknown endpoints. Messages to partitioned or handler-less
+  /// destinations are counted as dropped (like UDP; RPC adds timeouts).
+  common::Result<std::uint64_t> send(Message msg);
+
+  /// Loopback optimization: messages to self still pay the link latency
+  /// model if one is set for (n, n), else deliver next tick with no delay.
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  [[nodiscard]] sim::VirtualClock& clock() { return clock_; }
+
+ private:
+  [[nodiscard]] sim::SimTime link_delay(const std::string& src,
+                                        const std::string& dst,
+                                        std::size_t bytes);
+
+  sim::VirtualClock& clock_;
+  sim::Rng rng_;
+  std::set<std::string> nodes_;
+  std::map<std::string, std::map<std::string, Handler>> handlers_;
+  std::map<std::pair<std::string, std::string>, sim::LatencyModel> links_;
+  std::set<std::pair<std::string, std::string>> partitions_;
+  sim::LatencyModel default_latency_ = sim::LatencyModel::constant_ms(0.1);
+  std::uint64_t bytes_per_sec_ = 0;
+  std::uint64_t next_id_ = 1;
+  NetworkStats stats_;
+};
+
+}  // namespace knactor::net

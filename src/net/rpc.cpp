@@ -1,0 +1,265 @@
+#include "net/rpc.h"
+
+#include "common/logging.h"
+
+namespace knactor::net {
+
+using common::Error;
+using common::Result;
+using common::Status;
+using common::Value;
+
+namespace {
+
+/// Binary payloads ride inside Value strings (std::string is 8-bit clean).
+std::string bytes_to_string(const std::vector<std::uint8_t>& bytes) {
+  return {bytes.begin(), bytes.end()};
+}
+
+std::vector<std::uint8_t> string_to_bytes(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+}  // namespace
+
+RpcServer::RpcServer(SimNetwork& network, std::string node,
+                     const SchemaPool& pool)
+    : network_(network), node_(std::move(node)), pool_(pool) {
+  network_.add_node(node_);
+  network_.set_handler(node_, "rpc.request",
+                       [this](const Message& msg) { on_message(msg); });
+}
+
+Status RpcServer::add_service(const ServiceDescriptor& service,
+                              RpcRegistry& registry) {
+  for (const auto& m : service.methods) {
+    if (pool_.find(m.request_type) == nullptr) {
+      return Error::not_found("rpc: request type '" + m.request_type +
+                              "' not in server schema pool");
+    }
+    if (pool_.find(m.response_type) == nullptr) {
+      return Error::not_found("rpc: response type '" + m.response_type +
+                              "' not in server schema pool");
+    }
+  }
+  services_[service.name] = service;
+  registry.register_service(service.name, node_);
+  return Status::success();
+}
+
+Status RpcServer::add_handler(const std::string& service,
+                              const std::string& method, Handler handler) {
+  if (services_.find(service) == services_.end()) {
+    return Error::not_found("rpc: service '" + service +
+                            "' not added to this server");
+  }
+  if (services_[service].method(method) == nullptr) {
+    return Error::not_found("rpc: method '" + method + "' not in service '" +
+                            service + "'");
+  }
+  handlers_[service + "/" + method] = std::move(handler);
+  return Status::success();
+}
+
+void RpcServer::on_message(const Message& msg) {
+  if (msg.type != "rpc.request") return;
+  const Value* service = msg.payload.get("service");
+  const Value* method = msg.payload.get("method");
+  const Value* call_id = msg.payload.get("call_id");
+  const Value* data = msg.payload.get("data");
+  if (service == nullptr || method == nullptr || call_id == nullptr ||
+      data == nullptr) {
+    KN_WARN << "rpc: malformed request from " << msg.src;
+    return;
+  }
+  std::uint64_t id = static_cast<std::uint64_t>(call_id->as_int());
+  std::string reply_to = msg.src;
+
+  auto respond = [this, id, reply_to](Result<Value> result,
+                                      const std::string& response_type) {
+    Value payload = Value::object();
+    payload.set("call_id", Value(static_cast<std::int64_t>(id)));
+    std::size_t bytes = 32;
+    if (result.ok()) {
+      const MessageDescriptor* desc = pool_.find(response_type);
+      if (desc == nullptr) {
+        payload.set("error", Value("rpc: response type missing on server"));
+      } else {
+        auto encoded = encode(pool_, *desc, result.value());
+        if (!encoded.ok()) {
+          payload.set("error", Value(encoded.error().to_string()));
+        } else {
+          bytes += encoded.value().size();
+          payload.set("data", Value(bytes_to_string(encoded.take())));
+        }
+      }
+    } else {
+      payload.set("error", Value(result.error().to_string()));
+    }
+    Message reply;
+    reply.src = node_;
+    reply.dst = reply_to;
+    reply.type = "rpc.response";
+    reply.payload = std::move(payload);
+    reply.bytes = bytes;
+    auto sent = network_.send(std::move(reply));
+    if (!sent.ok()) {
+      KN_WARN << "rpc: failed to send response: " << sent.error().to_string();
+    }
+  };
+
+  auto it = services_.find(service->as_string());
+  const MethodDescriptor* mdesc =
+      it == services_.end() ? nullptr : it->second.method(method->as_string());
+  if (mdesc == nullptr) {
+    respond(Error::not_found("rpc: unknown method " + service->as_string() +
+                             "/" + method->as_string()),
+            "");
+    return;
+  }
+  auto hit = handlers_.find(service->as_string() + "/" + method->as_string());
+  if (hit == handlers_.end()) {
+    respond(Error::not_found("rpc: unimplemented method"), "");
+    return;
+  }
+
+  // Decode against the *server's* schema. Version skew between the caller's
+  // stub and this schema surfaces here as a decode error.
+  const MessageDescriptor* req_desc = pool_.find(mdesc->request_type);
+  Result<Value> request =
+      decode(pool_, *req_desc, string_to_bytes(data->as_string()));
+  if (!request.ok()) {
+    respond(request.error(), "");
+    return;
+  }
+
+  std::string response_type = mdesc->response_type;
+  Handler& handler = hit->second;
+  sim::SimTime dispatch = overhead_.sample(rng_);
+  Value req = request.take();
+  network_.clock().schedule_after(
+      dispatch, [this, handler, req = std::move(req), respond,
+                 response_type]() mutable {
+        ++served_;
+        handler(req, [respond, response_type](Result<Value> result) {
+          respond(std::move(result), response_type);
+        });
+      });
+}
+
+RpcChannel::RpcChannel(SimNetwork& network, std::string node,
+                       const RpcRegistry& registry, const SchemaPool& pool)
+    : network_(network),
+      node_(std::move(node)),
+      registry_(registry),
+      pool_(pool) {
+  network_.add_node(node_);
+  network_.set_handler(node_, "rpc.response",
+                       [this](const Message& msg) { on_message(msg); });
+}
+
+void RpcChannel::call(const ServiceDescriptor& stub, const std::string& method,
+                      Value request, Callback done) {
+  const MethodDescriptor* mdesc = stub.method(method);
+  if (mdesc == nullptr) {
+    done(Error::not_found("rpc: method '" + method + "' not in stub for '" +
+                          stub.name + "'"));
+    return;
+  }
+  auto node = registry_.lookup(stub.name);
+  if (!node.ok()) {
+    done(node.error());
+    return;
+  }
+  const MessageDescriptor* req_desc = pool_.find(mdesc->request_type);
+  if (req_desc == nullptr) {
+    done(Error::not_found("rpc: request type '" + mdesc->request_type +
+                          "' not in client schema pool"));
+    return;
+  }
+  auto encoded = encode(pool_, *req_desc, request);
+  if (!encoded.ok()) {
+    done(encoded.error());
+    return;
+  }
+
+  std::uint64_t id = next_call_id_++;
+  pending_[id] = Pending{std::move(done), mdesc->response_type, false};
+
+  Message msg;
+  msg.src = node_;
+  msg.dst = node.value();
+  msg.type = "rpc.request";
+  msg.bytes = encoded.value().size() + stub.name.size() + method.size() + 32;
+  Value payload = Value::object();
+  payload.set("service", Value(stub.name));
+  payload.set("method", Value(method));
+  payload.set("call_id", Value(static_cast<std::int64_t>(id)));
+  payload.set("data", Value(bytes_to_string(encoded.take())));
+  msg.payload = std::move(payload);
+
+  auto sent = network_.send(std::move(msg));
+  if (!sent.ok()) {
+    auto it = pending_.find(id);
+    if (it != pending_.end()) {
+      Callback cb = std::move(it->second.done);
+      pending_.erase(it);
+      cb(sent.error());
+    }
+    return;
+  }
+
+  if (timeout_ > 0) {
+    network_.clock().schedule_after(timeout_, [this, id]() {
+      auto it = pending_.find(id);
+      if (it == pending_.end()) return;
+      Callback cb = std::move(it->second.done);
+      pending_.erase(it);
+      cb(Error::unavailable("rpc: call timed out"));
+    });
+  }
+}
+
+Result<Value> RpcChannel::call_sync(const ServiceDescriptor& stub,
+                                    const std::string& method, Value request) {
+  std::optional<Result<Value>> result;
+  call(stub, method, std::move(request),
+       [&result](Result<Value> r) { result = std::move(r); });
+  while (!result.has_value() && network_.clock().step()) {
+  }
+  if (!result.has_value()) {
+    return Error::internal("rpc: call never completed (clock drained)");
+  }
+  return std::move(*result);
+}
+
+void RpcChannel::on_message(const Message& msg) {
+  if (msg.type != "rpc.response") return;
+  const Value* call_id = msg.payload.get("call_id");
+  if (call_id == nullptr) return;
+  auto it = pending_.find(static_cast<std::uint64_t>(call_id->as_int()));
+  if (it == pending_.end()) return;  // late reply after timeout
+  Pending pending = std::move(it->second);
+  pending_.erase(it);
+
+  const Value* error = msg.payload.get("error");
+  if (error != nullptr) {
+    pending.done(Error::internal(error->as_string()));
+    return;
+  }
+  const Value* data = msg.payload.get("data");
+  if (data == nullptr) {
+    pending.done(Error::parse("rpc: response missing data"));
+    return;
+  }
+  const MessageDescriptor* desc = pool_.find(pending.response_type);
+  if (desc == nullptr) {
+    pending.done(Error::not_found("rpc: response type '" +
+                                  pending.response_type +
+                                  "' not in client schema pool"));
+    return;
+  }
+  pending.done(decode(pool_, *desc, string_to_bytes(data->as_string())));
+}
+
+}  // namespace knactor::net

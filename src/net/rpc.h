@@ -1,0 +1,141 @@
+// RPC framework over SimNetwork — the gRPC analog used as the paper's
+// API-centric baseline. Requests and responses are encoded with the wire
+// codec against schemas held by each endpoint: a client "stub" is the
+// (service, method, request/response schema) triple compiled into the
+// caller, exactly the development-time coupling the paper critiques.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "net/network.h"
+#include "net/wire.h"
+#include "sim/latency.h"
+
+namespace knactor::net {
+
+struct MethodDescriptor {
+  std::string name;           // e.g. "ShipOrder"
+  std::string request_type;   // message full name in the SchemaPool
+  std::string response_type;
+};
+
+struct ServiceDescriptor {
+  std::string name;  // e.g. "OnlineRetail.v1.Shipping"
+  std::vector<MethodDescriptor> methods;
+
+  [[nodiscard]] const MethodDescriptor* method(std::string_view name) const {
+    for (const auto& m : methods) {
+      if (m.name == name) return &m;
+    }
+    return nullptr;
+  }
+};
+
+/// Maps service names to the network node hosting them (a DNS/service-mesh
+/// registry stand-in).
+class RpcRegistry {
+ public:
+  void register_service(const std::string& service, const std::string& node) {
+    nodes_[service] = node;
+  }
+  [[nodiscard]] common::Result<std::string> lookup(
+      const std::string& service) const {
+    auto it = nodes_.find(service);
+    if (it == nodes_.end()) {
+      return common::Error::not_found("rpc: no node for service '" + service +
+                                      "'");
+    }
+    return it->second;
+  }
+
+ private:
+  std::map<std::string, std::string> nodes_;
+};
+
+/// Server side: hosts services on a network node, decodes requests against
+/// its own schema pool, dispatches to handlers, encodes responses.
+class RpcServer {
+ public:
+  /// A handler receives the decoded request and a respond callback; it may
+  /// respond immediately or schedule work on the clock first (to model
+  /// processing latency).
+  using Respond = std::function<void(common::Result<common::Value>)>;
+  using Handler = std::function<void(const common::Value&, Respond)>;
+
+  RpcServer(SimNetwork& network, std::string node, const SchemaPool& pool);
+
+  /// Registers a service; `registry` learns this node hosts it.
+  common::Status add_service(const ServiceDescriptor& service,
+                             RpcRegistry& registry);
+  /// Installs the handler for service/method.
+  common::Status add_handler(const std::string& service,
+                             const std::string& method, Handler handler);
+
+  /// Fixed processing overhead charged before each handler runs
+  /// (deserialization, dispatch). Default zero.
+  void set_dispatch_overhead(sim::LatencyModel model) { overhead_ = model; }
+
+  [[nodiscard]] std::uint64_t requests_served() const { return served_; }
+
+ private:
+  void on_message(const Message& msg);
+
+  SimNetwork& network_;
+  std::string node_;
+  const SchemaPool& pool_;
+  std::map<std::string, ServiceDescriptor> services_;
+  std::map<std::string, Handler> handlers_;  // "service/method"
+  sim::LatencyModel overhead_;
+  sim::Rng rng_{0x52504355};
+  std::uint64_t served_ = 0;
+};
+
+/// Client side: a channel bound to a node; `call` encodes against the
+/// *client's* schema pool (its compiled-in stub view), which may legally
+/// drift from the server's — that drift is what the schema-evolution tests
+/// and Table 1 T3 exercise.
+class RpcChannel {
+ public:
+  using Callback = std::function<void(common::Result<common::Value>)>;
+
+  RpcChannel(SimNetwork& network, std::string node, const RpcRegistry& registry,
+             const SchemaPool& pool);
+
+  /// Default per-call timeout in sim time (0 disables).
+  void set_timeout(sim::SimTime timeout) { timeout_ = timeout; }
+
+  /// Issues an asynchronous call; `done` fires on response or timeout.
+  /// `stub` describes the method per the client's compiled stubs.
+  void call(const ServiceDescriptor& stub, const std::string& method,
+            common::Value request, Callback done);
+
+  /// Convenience: issues the call and drives the clock until completion.
+  common::Result<common::Value> call_sync(const ServiceDescriptor& stub,
+                                          const std::string& method,
+                                          common::Value request);
+
+  [[nodiscard]] std::uint64_t calls_issued() const { return next_call_id_ - 1; }
+
+ private:
+  void on_message(const Message& msg);
+
+  SimNetwork& network_;
+  std::string node_;
+  const RpcRegistry& registry_;
+  const SchemaPool& pool_;
+  sim::SimTime timeout_ = 0;
+  std::uint64_t next_call_id_ = 1;
+  struct Pending {
+    Callback done;
+    std::string response_type;
+    bool completed = false;
+  };
+  std::map<std::uint64_t, Pending> pending_;
+};
+
+}  // namespace knactor::net

@@ -1,0 +1,306 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+namespace knactor::net {
+
+using common::Error;
+using common::Result;
+using common::Status;
+using common::Value;
+
+namespace {
+
+constexpr std::uint32_t kWireVarint = 0;
+constexpr std::uint32_t kWireFixed64 = 1;
+constexpr std::uint32_t kWireLengthDelimited = 2;
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+struct Reader {
+  const std::vector<std::uint8_t>& bytes;
+  std::size_t pos = 0;
+
+  [[nodiscard]] bool done() const { return pos >= bytes.size(); }
+
+  Result<std::uint64_t> varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (pos < bytes.size()) {
+      std::uint8_t b = bytes[pos++];
+      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) return v;
+      shift += 7;
+      if (shift >= 64) break;
+    }
+    return Error::parse("wire: truncated varint");
+  }
+
+  Result<double> fixed64() {
+    if (pos + 8 > bytes.size()) return Error::parse("wire: truncated fixed64");
+    double d = 0;
+    std::memcpy(&d, bytes.data() + pos, 8);
+    pos += 8;
+    return d;
+  }
+
+  Result<std::vector<std::uint8_t>> length_delimited() {
+    KN_ASSIGN_OR_RETURN(std::uint64_t len, varint());
+    if (pos + len > bytes.size()) {
+      return Error::parse("wire: truncated length-delimited field");
+    }
+    std::vector<std::uint8_t> out(bytes.begin() + static_cast<std::ptrdiff_t>(pos),
+                                  bytes.begin() + static_cast<std::ptrdiff_t>(pos + len));
+    pos += len;
+    return out;
+  }
+};
+
+std::uint32_t wire_type_for(FieldType t) {
+  switch (t) {
+    case FieldType::kBool:
+    case FieldType::kInt:
+      return kWireVarint;
+    case FieldType::kDouble:
+      return kWireFixed64;
+    case FieldType::kString:
+    case FieldType::kMessage:
+      return kWireLengthDelimited;
+  }
+  return kWireVarint;
+}
+
+Status encode_scalar(const SchemaPool& pool, const FieldDescriptor& field,
+                     const Value& v, std::vector<std::uint8_t>& out) {
+  put_varint(out, (static_cast<std::uint64_t>(field.tag) << 3) |
+                      wire_type_for(field.type));
+  switch (field.type) {
+    case FieldType::kBool: {
+      auto b = v.try_bool();
+      if (!b) {
+        return Error::invalid_argument("wire: field '" + field.name +
+                                       "' expects bool, got " + v.type_name());
+      }
+      put_varint(out, *b ? 1 : 0);
+      return Status::success();
+    }
+    case FieldType::kInt: {
+      auto i = v.try_int();
+      if (!i) {
+        return Error::invalid_argument("wire: field '" + field.name +
+                                       "' expects int, got " + v.type_name());
+      }
+      put_varint(out, zigzag(*i));
+      return Status::success();
+    }
+    case FieldType::kDouble: {
+      auto d = v.try_number();
+      if (!d) {
+        return Error::invalid_argument("wire: field '" + field.name +
+                                       "' expects double, got " +
+                                       v.type_name());
+      }
+      double val = *d;
+      std::uint8_t buf[8];
+      std::memcpy(buf, &val, 8);
+      out.insert(out.end(), buf, buf + 8);
+      return Status::success();
+    }
+    case FieldType::kString: {
+      auto s = v.try_string();
+      if (!s) {
+        return Error::invalid_argument("wire: field '" + field.name +
+                                       "' expects string, got " +
+                                       v.type_name());
+      }
+      put_varint(out, s->size());
+      out.insert(out.end(), s->begin(), s->end());
+      return Status::success();
+    }
+    case FieldType::kMessage: {
+      const MessageDescriptor* nested = pool.find(field.message_type);
+      if (nested == nullptr) {
+        return Error::not_found("wire: unknown message type '" +
+                                field.message_type + "'");
+      }
+      KN_ASSIGN_OR_RETURN(std::vector<std::uint8_t> inner,
+                          encode(pool, *nested, v));
+      put_varint(out, inner.size());
+      out.insert(out.end(), inner.begin(), inner.end());
+      return Status::success();
+    }
+  }
+  return Error::internal("wire: unhandled field type");
+}
+
+}  // namespace
+
+const FieldDescriptor* MessageDescriptor::field_by_name(
+    std::string_view name) const {
+  for (const auto& f : fields) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+const FieldDescriptor* MessageDescriptor::field_by_tag(
+    std::uint32_t tag) const {
+  for (const auto& f : fields) {
+    if (f.tag == tag) return &f;
+  }
+  return nullptr;
+}
+
+Status SchemaPool::add(MessageDescriptor desc) {
+  // Validate tag uniqueness up front — a malformed schema should fail at
+  // registration, not at the first encode.
+  for (std::size_t i = 0; i < desc.fields.size(); ++i) {
+    for (std::size_t j = i + 1; j < desc.fields.size(); ++j) {
+      if (desc.fields[i].tag == desc.fields[j].tag) {
+        return Error::invalid_argument("wire: duplicate tag " +
+                                       std::to_string(desc.fields[i].tag) +
+                                       " in " + desc.full_name);
+      }
+      if (desc.fields[i].name == desc.fields[j].name) {
+        return Error::invalid_argument("wire: duplicate field name '" +
+                                       desc.fields[i].name + "' in " +
+                                       desc.full_name);
+      }
+    }
+  }
+  messages_[desc.full_name] = std::move(desc);
+  return Status::success();
+}
+
+const MessageDescriptor* SchemaPool::find(std::string_view full_name) const {
+  auto it = messages_.find(full_name);
+  return it == messages_.end() ? nullptr : &it->second;
+}
+
+Result<std::vector<std::uint8_t>> encode(const SchemaPool& pool,
+                                         const MessageDescriptor& desc,
+                                         const Value& value) {
+  if (!value.is_object()) {
+    return Error::invalid_argument("wire: can only encode objects, got " +
+                                   std::string(value.type_name()));
+  }
+  std::vector<std::uint8_t> out;
+  for (const auto& [key, v] : value.as_object()) {
+    const FieldDescriptor* field = desc.field_by_name(key);
+    if (field == nullptr) {
+      return Error::invalid_argument("wire: field '" + key +
+                                     "' not in schema " + desc.full_name);
+    }
+    if (v.is_null()) continue;  // unset optional field
+    if (field->repeated) {
+      if (!v.is_array()) {
+        return Error::invalid_argument("wire: repeated field '" + key +
+                                       "' expects array");
+      }
+      for (const auto& item : v.as_array()) {
+        KN_TRY(encode_scalar(pool, *field, item, out));
+      }
+    } else {
+      KN_TRY(encode_scalar(pool, *field, v, out));
+    }
+  }
+  for (const auto& field : desc.fields) {
+    if (!field.required) continue;
+    const Value* v = value.get(field.name);
+    if (v == nullptr || v->is_null()) {
+      return Error::invalid_argument("wire: required field '" + field.name +
+                                     "' missing in " + desc.full_name);
+    }
+  }
+  return out;
+}
+
+Result<Value> decode(const SchemaPool& pool, const MessageDescriptor& desc,
+                     const std::vector<std::uint8_t>& bytes) {
+  Reader reader{bytes};
+  Value out = Value::object();
+  while (!reader.done()) {
+    KN_ASSIGN_OR_RETURN(std::uint64_t key, reader.varint());
+    auto tag = static_cast<std::uint32_t>(key >> 3);
+    auto wire_type = static_cast<std::uint32_t>(key & 0x7);
+    const FieldDescriptor* field = desc.field_by_tag(tag);
+    if (field == nullptr) {
+      return Error::parse("wire: unknown tag " + std::to_string(tag) +
+                          " for " + desc.full_name +
+                          " (schema version mismatch?)");
+    }
+    if (wire_type != wire_type_for(field->type)) {
+      return Error::parse("wire: wire-type mismatch on field '" + field->name +
+                          "' (schema version mismatch?)");
+    }
+    Value v;
+    switch (field->type) {
+      case FieldType::kBool: {
+        KN_ASSIGN_OR_RETURN(std::uint64_t raw, reader.varint());
+        v = Value(raw != 0);
+        break;
+      }
+      case FieldType::kInt: {
+        KN_ASSIGN_OR_RETURN(std::uint64_t raw, reader.varint());
+        v = Value(unzigzag(raw));
+        break;
+      }
+      case FieldType::kDouble: {
+        KN_ASSIGN_OR_RETURN(double d, reader.fixed64());
+        v = Value(d);
+        break;
+      }
+      case FieldType::kString: {
+        KN_ASSIGN_OR_RETURN(std::vector<std::uint8_t> raw,
+                            reader.length_delimited());
+        v = Value(std::string(raw.begin(), raw.end()));
+        break;
+      }
+      case FieldType::kMessage: {
+        const MessageDescriptor* nested = pool.find(field->message_type);
+        if (nested == nullptr) {
+          return Error::not_found("wire: unknown message type '" +
+                                  field->message_type + "'");
+        }
+        KN_ASSIGN_OR_RETURN(std::vector<std::uint8_t> raw,
+                            reader.length_delimited());
+        KN_ASSIGN_OR_RETURN(v, decode(pool, *nested, raw));
+        break;
+      }
+    }
+    if (field->repeated) {
+      Value* existing = out.get(field->name);
+      if (existing == nullptr) {
+        out.set(field->name, Value::array({}));
+        existing = out.get(field->name);
+      }
+      existing->as_array().push_back(std::move(v));
+    } else {
+      out.set(field->name, std::move(v));
+    }
+  }
+  for (const auto& field : desc.fields) {
+    if (field.required && out.get(field.name) == nullptr) {
+      return Error::parse("wire: required field '" + field.name +
+                          "' missing in decoded " + desc.full_name);
+    }
+  }
+  return out;
+}
+
+}  // namespace knactor::net

@@ -1,0 +1,84 @@
+// Schema-driven binary wire codec — the Protobuf analog used by the RPC
+// baseline. A message schema assigns numbered, typed fields; encoding and
+// decoding require the *same* schema on both sides. This is precisely the
+// development-time coupling the paper's Problem 1 describes: when a service
+// changes its schema, every client must regenerate stubs and rebuild
+// (exercised by the Table 1 T3 task and the schema-evolution tests).
+//
+// Wire format (protobuf-like):
+//   field   := key payload
+//   key     := varint(tag << 3 | wire_type)
+//   wire_type 0: varint (bool, int64 zigzag)
+//   wire_type 1: fixed 64-bit little-endian (double)
+//   wire_type 2: length-delimited (string, nested message, packed repeated)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace knactor::net {
+
+enum class FieldType { kBool, kInt, kDouble, kString, kMessage };
+
+struct FieldDescriptor {
+  FieldDescriptor() = default;
+  FieldDescriptor(std::uint32_t tag_in, std::string name_in, FieldType type_in,
+                  bool repeated_in = false, std::string message_type_in = "",
+                  bool required_in = false)
+      : tag(tag_in),
+        name(std::move(name_in)),
+        type(type_in),
+        repeated(repeated_in),
+        message_type(std::move(message_type_in)),
+        required(required_in) {}
+
+  std::uint32_t tag = 0;  // 1-based, unique within the message
+  std::string name;
+  FieldType type = FieldType::kString;
+  bool repeated = false;
+  /// For kMessage fields: the nested message's full name in the pool.
+  std::string message_type;
+  bool required = false;
+};
+
+struct MessageDescriptor {
+  /// e.g. "OnlineRetail.v1.ShipOrderRequest"
+  std::string full_name;
+  std::vector<FieldDescriptor> fields;
+
+  [[nodiscard]] const FieldDescriptor* field_by_name(
+      std::string_view name) const;
+  [[nodiscard]] const FieldDescriptor* field_by_tag(std::uint32_t tag) const;
+};
+
+/// Registry of message descriptors; nested message fields resolve here.
+class SchemaPool {
+ public:
+  common::Status add(MessageDescriptor desc);
+  [[nodiscard]] const MessageDescriptor* find(std::string_view full_name) const;
+  [[nodiscard]] std::size_t size() const { return messages_.size(); }
+
+ private:
+  std::map<std::string, MessageDescriptor, std::less<>> messages_;
+};
+
+/// Encodes an object Value against a schema. Fields present in the value
+/// but absent from the schema are rejected (schema is the contract);
+/// missing `required` fields are rejected.
+common::Result<std::vector<std::uint8_t>> encode(const SchemaPool& pool,
+                                                 const MessageDescriptor& desc,
+                                                 const common::Value& value);
+
+/// Decodes bytes against a schema. Unknown tags are rejected — a schema
+/// mismatch between endpoints surfaces as a decode error, like a stub/
+/// server version skew would in gRPC.
+common::Result<common::Value> decode(const SchemaPool& pool,
+                                     const MessageDescriptor& desc,
+                                     const std::vector<std::uint8_t>& bytes);
+
+}  // namespace knactor::net

@@ -1,0 +1,45 @@
+#include "sim/clock.h"
+
+#include <algorithm>
+
+namespace knactor::sim {
+
+void VirtualClock::advance(SimTime delta) {
+  if (delta > 0) now_ += delta;
+}
+
+void VirtualClock::schedule_after(SimTime delay, Callback cb) {
+  schedule_at(now_ + std::max<SimTime>(delay, 0), std::move(cb));
+}
+
+void VirtualClock::schedule_at(SimTime when, Callback cb) {
+  queue_.push(Event{std::max(when, now_), next_seq_++, std::move(cb)});
+}
+
+std::size_t VirtualClock::run_all() {
+  std::size_t executed = 0;
+  while (step()) ++executed;
+  return executed;
+}
+
+std::size_t VirtualClock::run_until(SimTime deadline) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    step();
+    ++executed;
+  }
+  now_ = std::max(now_, deadline);
+  return executed;
+}
+
+bool VirtualClock::step() {
+  if (queue_.empty()) return false;
+  // Move the event out before running: the callback may schedule new events.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = std::max(now_, ev.when);
+  ev.cb();
+  return true;
+}
+
+}  // namespace knactor::sim

@@ -1,0 +1,74 @@
+// Virtual time. All latency-bearing components (network links, DE backends,
+// external-API simulations) charge time to a VirtualClock instead of
+// sleeping, so benches reproduce the paper's millisecond-scale latency
+// shapes deterministically and instantly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+namespace knactor::sim {
+
+/// Simulated time in microseconds since simulation start.
+using SimTime = std::int64_t;
+
+constexpr SimTime kMicrosecond = 1;
+constexpr SimTime kMillisecond = 1000;
+constexpr SimTime kSecond = 1000 * 1000;
+
+inline double to_ms(SimTime t) { return static_cast<double>(t) / 1000.0; }
+inline SimTime from_ms(double ms) {
+  return static_cast<SimTime>(ms * 1000.0);
+}
+
+/// Discrete-event virtual clock. Events are callbacks scheduled at absolute
+/// sim times; run_until/run_all advance time by executing them in order.
+/// Ties break by scheduling order (FIFO), which keeps runs deterministic.
+class VirtualClock {
+ public:
+  using Callback = std::function<void()>;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Advances the clock without running events (used by synchronous
+  /// latency charging, e.g. a blocking store lookup).
+  void advance(SimTime delta);
+
+  /// Schedules `cb` to run at now() + delay.
+  void schedule_after(SimTime delay, Callback cb);
+  /// Schedules `cb` at an absolute time (clamped to now()).
+  void schedule_at(SimTime when, Callback cb);
+
+  /// Runs events until the queue is empty. Returns events executed.
+  std::size_t run_all();
+  /// Runs events with timestamps <= deadline; clock ends at
+  /// max(now, deadline) if the queue drained, else at the last event time.
+  std::size_t run_until(SimTime deadline);
+  /// Runs at most one event. Returns false if the queue is empty.
+  bool step();
+
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;  // FIFO tie-break
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace knactor::sim

@@ -1,0 +1,86 @@
+// Latency models: every simulated component (network link, DE backend,
+// external API) draws per-operation latency from one of these models.
+// Calibration values for the Table 2 reproduction live in
+// bench/bench_table2.cpp and apps/latency_profiles.h.
+#pragma once
+
+#include <algorithm>
+
+#include "sim/clock.h"
+#include "sim/random.h"
+
+namespace knactor::sim {
+
+/// Latency distribution: constant, uniform, or truncated normal.
+class LatencyModel {
+ public:
+  /// Zero latency (useful for logic-only tests).
+  LatencyModel() = default;
+
+  static LatencyModel constant(SimTime value) {
+    LatencyModel m;
+    m.kind_ = Kind::kConstant;
+    m.a_ = value;
+    return m;
+  }
+  static LatencyModel constant_ms(double ms) { return constant(from_ms(ms)); }
+
+  static LatencyModel uniform(SimTime lo, SimTime hi) {
+    LatencyModel m;
+    m.kind_ = Kind::kUniform;
+    m.a_ = lo;
+    m.b_ = hi;
+    return m;
+  }
+  static LatencyModel uniform_ms(double lo_ms, double hi_ms) {
+    return uniform(from_ms(lo_ms), from_ms(hi_ms));
+  }
+
+  /// Truncated normal: negative draws clamp to zero.
+  static LatencyModel normal(SimTime mean, SimTime stddev) {
+    LatencyModel m;
+    m.kind_ = Kind::kNormal;
+    m.a_ = mean;
+    m.b_ = stddev;
+    return m;
+  }
+  static LatencyModel normal_ms(double mean_ms, double stddev_ms) {
+    return normal(from_ms(mean_ms), from_ms(stddev_ms));
+  }
+
+  [[nodiscard]] SimTime sample(Rng& rng) const {
+    switch (kind_) {
+      case Kind::kZero:
+        return 0;
+      case Kind::kConstant:
+        return a_;
+      case Kind::kUniform:
+        return a_ + static_cast<SimTime>(
+                        rng.uniform(0.0, static_cast<double>(b_ - a_)));
+      case Kind::kNormal:
+        return std::max<SimTime>(
+            0, static_cast<SimTime>(rng.normal(static_cast<double>(a_),
+                                               static_cast<double>(b_))));
+    }
+    return 0;
+  }
+
+  /// Expected value (mean) of the distribution, for documentation/benches.
+  [[nodiscard]] SimTime mean() const {
+    switch (kind_) {
+      case Kind::kZero: return 0;
+      case Kind::kConstant: return a_;
+      case Kind::kUniform: return (a_ + b_) / 2;
+      case Kind::kNormal: return a_;
+    }
+    return 0;
+  }
+
+ private:
+  enum class Kind { kZero, kConstant, kUniform, kNormal };
+  Kind kind_ = Kind::kZero;
+  SimTime a_ = 0;
+  SimTime b_ = 0;
+};
+
+}  // namespace knactor::sim

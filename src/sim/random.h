@@ -1,0 +1,65 @@
+// Deterministic pseudo-randomness for latency jitter and workload
+// generation. A thin wrapper over a PCG-style generator so every bench and
+// test run is reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+
+namespace knactor::sim {
+
+/// PCG32: small, fast, statistically solid, fully deterministic.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    state_ = 0;
+    next_u32();
+    state_ += seed;
+    next_u32();
+  }
+
+  std::uint32_t next_u32() {
+    std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + 1442695040888963407ULL;
+    auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18U) ^ old) >> 27U);
+    auto rot = static_cast<std::uint32_t>(old >> 59U);
+    return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+  }
+
+  /// Uniform in [0, bound).
+  std::uint32_t next_below(std::uint32_t bound) {
+    if (bound == 0) return 0;
+    // Lemire's rejection-free-ish method with rejection fallback.
+    std::uint32_t threshold = (-bound) % bound;
+    while (true) {
+      std::uint64_t m = static_cast<std::uint64_t>(next_u32()) * bound;
+      if (static_cast<std::uint32_t>(m) >= threshold) {
+        return static_cast<std::uint32_t>(m >> 32);
+      }
+    }
+  }
+
+  /// Uniform double in [0, 1) with 32 bits of precision.
+  double next_double() {
+    return static_cast<double>(next_u32()) * (1.0 / 4294967296.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Approximately normal via sum of uniforms (Irwin–Hall, n=12).
+  double normal(double mean, double stddev) {
+    double sum = 0;
+    for (int i = 0; i < 12; ++i) sum += next_double();
+    return mean + stddev * (sum - 6.0);
+  }
+
+ private:
+  std::uint64_t state_ = 0;
+};
+
+}  // namespace knactor::sim

@@ -1,0 +1,566 @@
+#include "yaml/yaml.h"
+
+#include <cctype>
+#include <charconv>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace knactor::yaml {
+
+using common::Error;
+using common::Result;
+using common::Value;
+
+namespace {
+
+struct Line {
+  int number = 0;       // 1-based source line
+  int indent = 0;       // leading spaces
+  std::string content;  // comment-stripped, trimmed-right
+  std::string comment;  // trailing comment text (without '#'), trimmed
+  std::string raw;      // original text (for block scalars)
+};
+
+/// Finds the start of an unquoted trailing comment, or npos.
+std::size_t find_comment(std::string_view s) {
+  bool in_single = false;
+  bool in_double = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (in_single) {
+      if (c == '\'') in_single = false;
+    } else if (in_double) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_double = false;
+      }
+    } else if (c == '\'') {
+      in_single = true;
+    } else if (c == '"') {
+      in_double = true;
+    } else if (c == '#' && (i == 0 || s[i - 1] == ' ' || s[i - 1] == '\t')) {
+      return i;
+    }
+  }
+  return std::string_view::npos;
+}
+
+/// Finds the ':' that separates key from value at flow-nesting depth 0,
+/// requiring the colon be followed by space/EOL (YAML rule). Keys may
+/// contain dots and slashes (DXG refs, schema ids).
+std::size_t find_key_colon(std::string_view s) {
+  bool in_single = false;
+  bool in_double = false;
+  int depth = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (in_single) {
+      if (c == '\'') in_single = false;
+    } else if (in_double) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_double = false;
+      }
+    } else if (c == '\'') {
+      in_single = true;
+    } else if (c == '"') {
+      in_double = true;
+    } else if (c == '[' || c == '{') {
+      ++depth;
+    } else if (c == ']' || c == '}') {
+      --depth;
+    } else if (c == ':' && depth == 0) {
+      if (i + 1 == s.size() || s[i + 1] == ' ' || s[i + 1] == '\t') return i;
+    }
+  }
+  return std::string_view::npos;
+}
+
+bool parse_int(std::string_view s, std::int64_t& out) {
+  if (s.empty()) return false;
+  std::size_t start = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  if (start == s.size()) return false;
+  for (std::size_t i = start; i < s.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+  }
+  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && p == s.data() + s.size();
+}
+
+bool parse_float(std::string_view s, double& out) {
+  if (s.empty()) return false;
+  bool has_digit = false;
+  bool has_marker = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      has_digit = true;
+    } else if (c == '.' || c == 'e' || c == 'E') {
+      has_marker = true;
+    } else if (c == '-' || c == '+') {
+      if (i != 0 && s[i - 1] != 'e' && s[i - 1] != 'E') return false;
+    } else {
+      return false;
+    }
+  }
+  if (!has_digit || !has_marker) return false;
+  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && p == s.data() + s.size();
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) { split_lines(text); }
+
+  Result<Document> parse() {
+    Document doc;
+    if (lines_.empty()) {
+      doc.root = Value(nullptr);
+      return doc;
+    }
+    comments_ = &doc.comments;
+    KN_ASSIGN_OR_RETURN(doc.root, parse_block(0, ""));
+    if (pos_ != lines_.size()) {
+      return fail("unexpected content (bad indentation?)");
+    }
+    return doc;
+  }
+
+ private:
+  Error fail(const std::string& msg) const {
+    int line = pos_ < lines_.size() ? lines_[pos_].number : -1;
+    return Error::parse("YAML: " + msg + " (line " + std::to_string(line) +
+                        ")");
+  }
+
+  void split_lines(std::string_view text) {
+    int number = 0;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+      std::size_t nl = text.find('\n', start);
+      std::string_view raw = text.substr(
+          start,
+          nl == std::string_view::npos ? text.size() - start : nl - start);
+      ++number;
+      if (nl == std::string_view::npos && raw.empty() && start == text.size()) {
+        break;
+      }
+      Line line;
+      line.number = number;
+      line.raw = std::string(raw);
+      std::size_t indent = 0;
+      while (indent < raw.size() && raw[indent] == ' ') ++indent;
+      line.indent = static_cast<int>(indent);
+      std::string_view body = raw.substr(indent);
+      std::size_t cpos = find_comment(body);
+      if (cpos != std::string_view::npos) {
+        line.comment = std::string(
+            common::trim(body.substr(cpos + 1)));
+        body = body.substr(0, cpos);
+      }
+      body = common::trim(body);
+      line.content = std::string(body);
+      // Keep blank/comment-only lines out of the structural stream; block
+      // scalars re-read from raw via line numbers, which we retain.
+      if (!line.content.empty()) {
+        lines_.push_back(std::move(line));
+      } else {
+        blanks_.push_back(std::move(line));
+      }
+      if (nl == std::string_view::npos) break;
+      start = nl + 1;
+    }
+  }
+
+  [[nodiscard]] bool at_end() const { return pos_ >= lines_.size(); }
+  [[nodiscard]] const Line& cur() const { return lines_[pos_]; }
+
+  Result<Value> parse_block(int min_indent, const std::string& path) {
+    if (at_end()) return Value(nullptr);
+    const Line& first = cur();
+    if (first.indent < min_indent) return Value(nullptr);
+    int indent = first.indent;
+    if (first.content[0] == '-' &&
+        (first.content.size() == 1 || first.content[1] == ' ')) {
+      return parse_sequence(indent, path);
+    }
+    if (find_key_colon(first.content) != std::string::npos) {
+      return parse_mapping(indent, path);
+    }
+    // A bare scalar block (single scalar document or nested scalar).
+    Value v = parse_scalar(first.content, path);
+    ++pos_;
+    return v;
+  }
+
+  Result<Value> parse_mapping(int indent, const std::string& path) {
+    Value::Object obj;
+    while (!at_end() && cur().indent == indent) {
+      const Line line = cur();
+      std::size_t colon = find_key_colon(line.content);
+      if (colon == std::string::npos) {
+        return fail("expected 'key: value' in mapping");
+      }
+      std::string key(common::trim(line.content.substr(0, colon)));
+      key = unquote(key);
+      std::string rest(common::trim(line.content.substr(colon + 1)));
+      std::string child_path = path.empty() ? key : path + "/" + key;
+      if (!line.comment.empty() && comments_ != nullptr) {
+        (*comments_)[child_path] = line.comment;
+      }
+      ++pos_;
+      if (rest.empty()) {
+        // Nested block (or null if nothing more-indented follows). YAML
+        // also allows a sequence value at the same indent as its key.
+        if (!at_end() && cur().indent > indent) {
+          KN_ASSIGN_OR_RETURN(Value child,
+                              parse_block(indent + 1, child_path));
+          obj.set(std::move(key), std::move(child));
+        } else if (!at_end() && cur().indent == indent &&
+                   cur().content[0] == '-' &&
+                   (cur().content.size() == 1 || cur().content[1] == ' ')) {
+          KN_ASSIGN_OR_RETURN(Value child, parse_sequence(indent, child_path));
+          obj.set(std::move(key), std::move(child));
+        } else {
+          obj.set(std::move(key), Value(nullptr));
+        }
+      } else if (rest == ">" || rest == "|" || rest == ">-" || rest == "|-") {
+        obj.set(std::move(key),
+                Value(parse_block_scalar(indent, rest[0] == '>',
+                                         common::ends_with(rest, "-"))));
+      } else {
+        obj.set(std::move(key), parse_scalar(rest, child_path));
+      }
+    }
+    if (!at_end() && cur().indent > indent) {
+      return fail("bad indentation in mapping");
+    }
+    return Value(std::move(obj));
+  }
+
+  Result<Value> parse_sequence(int indent, const std::string& path) {
+    Value::Array arr;
+    while (!at_end() && cur().indent == indent && cur().content[0] == '-' &&
+           (cur().content.size() == 1 || cur().content[1] == ' ')) {
+      const Line line = cur();
+      std::string rest(common::trim(std::string_view(line.content).substr(1)));
+      std::string child_path = path + "/" + std::to_string(arr.size());
+      if (rest.empty()) {
+        ++pos_;
+        if (!at_end() && cur().indent > indent) {
+          KN_ASSIGN_OR_RETURN(Value child,
+                              parse_block(indent + 1, child_path));
+          arr.push_back(std::move(child));
+        } else {
+          arr.emplace_back(nullptr);
+        }
+      } else if (rest[0] == '-' && (rest.size() == 1 || rest[1] == ' ')) {
+        // Nested sequence entry: "- - 1". Rewrite the current line as the
+        // inner sequence's first item at the deeper indent and recurse.
+        int item_indent = line.indent + 2;
+        lines_[pos_].content = rest;
+        lines_[pos_].indent = item_indent;
+        KN_ASSIGN_OR_RETURN(Value child,
+                            parse_sequence(item_indent, child_path));
+        arr.push_back(std::move(child));
+      } else if (find_key_colon(rest) != std::string::npos) {
+        // Compact mapping entry: "- key: value". Rewrite the current line
+        // as the mapping's first line at the deeper indent and recurse.
+        int item_indent = line.indent + 2;
+        lines_[pos_].content = rest;
+        lines_[pos_].indent = item_indent;
+        KN_ASSIGN_OR_RETURN(Value child, parse_mapping(item_indent, child_path));
+        arr.push_back(std::move(child));
+      } else if (rest == ">" || rest == "|" || rest == ">-" || rest == "|-") {
+        ++pos_;
+        arr.emplace_back(parse_block_scalar(indent, rest[0] == '>',
+                                            common::ends_with(rest, "-")));
+      } else {
+        ++pos_;
+        arr.push_back(parse_scalar(rest, child_path));
+      }
+    }
+    return Value(std::move(arr));
+  }
+
+  /// Consumes following more-indented structural lines as a block scalar.
+  /// Folded (>) joins lines with spaces; literal (|) joins with newlines.
+  /// `strip` (the '-' chomp indicator) drops the trailing newline.
+  std::string parse_block_scalar(int parent_indent, bool folded, bool strip) {
+    std::vector<std::string> parts;
+    while (!at_end() && cur().indent > parent_indent) {
+      // Re-read from raw so '#' inside expressions is not treated as a
+      // comment (block scalars are verbatim text).
+      std::string_view raw = cur().raw;
+      std::size_t ind = 0;
+      while (ind < raw.size() && raw[ind] == ' ') ++ind;
+      parts.emplace_back(common::trim(raw));
+      ++pos_;
+    }
+    std::string out = common::join(parts, folded ? " " : "\n");
+    if (!strip && !out.empty()) out.push_back('\n');
+    // Fig. 6-style folded expressions are used as single-line strings;
+    // trim the trailing newline for folded scalars to keep them usable
+    // as expressions. Literal scalars keep it unless chomped.
+    if (folded) {
+      while (!out.empty() && out.back() == '\n') out.pop_back();
+    }
+    return out;
+  }
+
+  static std::string unquote(const std::string& s) {
+    if (s.size() >= 2 && s.front() == '\'' && s.back() == '\'') {
+      std::string out = s.substr(1, s.size() - 2);
+      // YAML single-quote escaping: '' -> '
+      std::string res;
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        if (out[i] == '\'' && i + 1 < out.size() && out[i + 1] == '\'') {
+          res.push_back('\'');
+          ++i;
+        } else {
+          res.push_back(out[i]);
+        }
+      }
+      return res;
+    }
+    if (s.size() >= 2 && s.front() == '"' && s.back() == '"') {
+      std::string res;
+      for (std::size_t i = 1; i + 1 < s.size(); ++i) {
+        if (s[i] == '\\' && i + 2 < s.size() + 1) {
+          ++i;
+          switch (s[i]) {
+            case 'n': res.push_back('\n'); break;
+            case 't': res.push_back('\t'); break;
+            case '"': res.push_back('"'); break;
+            case '\\': res.push_back('\\'); break;
+            default: res.push_back(s[i]);
+          }
+        } else {
+          res.push_back(s[i]);
+        }
+      }
+      return res;
+    }
+    return s;
+  }
+
+  Value parse_scalar(const std::string& text, const std::string& path) {
+    std::string s(common::trim(text));
+    if (s.empty() || s == "~" || s == "null") return Value(nullptr);
+    if (s.front() == '\'' || s.front() == '"') return Value(unquote(s));
+    if (s.front() == '[' || s.front() == '{') {
+      auto flow = parse_flow(s, path);
+      if (flow.ok()) return flow.take();
+      return Value(s);  // fall back to plain string on malformed flow
+    }
+    if (s == "true" || s == "True") return Value(true);
+    if (s == "false" || s == "False") return Value(false);
+    std::int64_t i = 0;
+    if (parse_int(s, i)) return Value(i);
+    double d = 0;
+    if (parse_float(s, d)) return Value(d);
+    return Value(s);
+  }
+
+  /// Minimal flow-style parser for inline [..] and {..}.
+  Result<Value> parse_flow(std::string_view s, const std::string& path) {
+    std::size_t pos = 0;
+    KN_ASSIGN_OR_RETURN(Value v, parse_flow_value(s, pos, path));
+    while (pos < s.size() && std::isspace(static_cast<unsigned char>(s[pos])))
+      ++pos;
+    if (pos != s.size()) return Error::parse("YAML flow: trailing characters");
+    return v;
+  }
+
+  Result<Value> parse_flow_value(std::string_view s, std::size_t& pos,
+                                 const std::string& path) {
+    auto skip = [&] {
+      while (pos < s.size() &&
+             std::isspace(static_cast<unsigned char>(s[pos])))
+        ++pos;
+    };
+    skip();
+    if (pos >= s.size()) return Error::parse("YAML flow: unexpected end");
+    if (s[pos] == '[') {
+      ++pos;
+      Value::Array arr;
+      skip();
+      if (pos < s.size() && s[pos] == ']') {
+        ++pos;
+        return Value(std::move(arr));
+      }
+      while (true) {
+        KN_ASSIGN_OR_RETURN(Value v, parse_flow_value(s, pos, path));
+        arr.push_back(std::move(v));
+        skip();
+        if (pos < s.size() && s[pos] == ',') {
+          ++pos;
+          continue;
+        }
+        if (pos < s.size() && s[pos] == ']') {
+          ++pos;
+          break;
+        }
+        return Error::parse("YAML flow: expected ',' or ']'");
+      }
+      return Value(std::move(arr));
+    }
+    if (s[pos] == '{') {
+      ++pos;
+      Value::Object obj;
+      skip();
+      if (pos < s.size() && s[pos] == '}') {
+        ++pos;
+        return Value(std::move(obj));
+      }
+      while (true) {
+        skip();
+        std::size_t key_start = pos;
+        while (pos < s.size() && s[pos] != ':' && s[pos] != ',' &&
+               s[pos] != '}')
+          ++pos;
+        if (pos >= s.size() || s[pos] != ':') {
+          return Error::parse("YAML flow: expected ':' in mapping");
+        }
+        std::string key =
+            unquote(std::string(common::trim(s.substr(key_start, pos - key_start))));
+        ++pos;
+        KN_ASSIGN_OR_RETURN(Value v, parse_flow_value(s, pos, path));
+        obj.set(std::move(key), std::move(v));
+        skip();
+        if (pos < s.size() && s[pos] == ',') {
+          ++pos;
+          continue;
+        }
+        if (pos < s.size() && s[pos] == '}') {
+          ++pos;
+          break;
+        }
+        return Error::parse("YAML flow: expected ',' or '}'");
+      }
+      return Value(std::move(obj));
+    }
+    // Scalar: read until an unquoted , ] } at this level.
+    if (s[pos] == '\'' || s[pos] == '"') {
+      char quote = s[pos];
+      std::size_t start = pos++;
+      while (pos < s.size()) {
+        if (quote == '"' && s[pos] == '\\') {
+          pos += 2;
+          continue;
+        }
+        if (s[pos] == quote) break;
+        ++pos;
+      }
+      if (pos >= s.size()) return Error::parse("YAML flow: unterminated quote");
+      ++pos;
+      return Value(
+          unquote(std::string(s.substr(start, pos - start))));
+    }
+    std::size_t start = pos;
+    while (pos < s.size() && s[pos] != ',' && s[pos] != ']' && s[pos] != '}')
+      ++pos;
+    std::string token(common::trim(s.substr(start, pos - start)));
+    return parse_scalar(token, path);
+  }
+
+  std::vector<Line> lines_;
+  std::vector<Line> blanks_;
+  std::size_t pos_ = 0;
+  std::map<std::string, std::string>* comments_ = nullptr;
+};
+
+void dump_value(const Value& v, std::string& out, int depth) {
+  std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+  switch (v.type()) {
+    case Value::Type::kObject: {
+      if (v.as_object().empty()) {
+        out += " {}\n";
+        return;
+      }
+      if (depth > 0) out += "\n";
+      for (const auto& [k, val] : v.as_object()) {
+        out += pad + k + ":";
+        dump_value(val, out, depth + 1);
+      }
+      break;
+    }
+    case Value::Type::kArray: {
+      if (v.as_array().empty()) {
+        out += " []\n";
+        return;
+      }
+      if (depth > 0) out += "\n";
+      for (const auto& item : v.as_array()) {
+        out += pad + "-";
+        if (item.is_object() || item.is_array()) {
+          dump_value(item, out, depth + 1);
+        } else {
+          dump_value(item, out, depth);
+        }
+      }
+      break;
+    }
+    case Value::Type::kNull: out += " null\n"; break;
+    case Value::Type::kBool: out += v.as_bool() ? " true\n" : " false\n"; break;
+    case Value::Type::kInt:
+      out += " " + std::to_string(v.as_int()) + "\n";
+      break;
+    case Value::Type::kDouble: {
+      out += " " + std::to_string(v.as_double()) + "\n";
+      break;
+    }
+    case Value::Type::kString: {
+      const std::string& s = v.as_string();
+      bool needs_quote =
+          s.empty() || s == "null" || s == "true" || s == "false" ||
+          s.find_first_of(":#{}[]\n'\"") != std::string::npos ||
+          s.front() == ' ' || s.back() == ' ' || s.front() == '-';
+      std::int64_t i;
+      double d;
+      needs_quote = needs_quote || parse_int(s, i) || parse_float(s, d);
+      if (needs_quote) {
+        std::string quoted = "'";
+        for (char c : s) {
+          if (c == '\'') quoted += "''";
+          else quoted.push_back(c);
+        }
+        quoted += "'";
+        out += " " + quoted + "\n";
+      } else {
+        out += " " + s + "\n";
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+Result<Value> parse(std::string_view text) {
+  KN_ASSIGN_OR_RETURN(Document doc, Parser(text).parse());
+  return std::move(doc.root);
+}
+
+Result<Document> parse_document(std::string_view text) {
+  return Parser(text).parse();
+}
+
+std::string dump(const Value& v) {
+  std::string out;
+  if (v.is_object() || v.is_array()) {
+    dump_value(v, out, 0);
+    // Top-level containers start their entries at column 0; dump_value's
+    // depth-0 object path already does that. Strip a possible leading \n.
+    if (!out.empty() && out.front() == '\n') out.erase(out.begin());
+  } else {
+    dump_value(v, out, 0);
+    out = std::string(common::trim(out)) + "\n";
+  }
+  return out;
+}
+
+}  // namespace knactor::yaml

@@ -1,0 +1,45 @@
+// YAML-subset parser producing common::Value. Covers the subset used by
+// Knactor artifacts (Fig. 5 schemas, Fig. 6 DXG specs, app configs):
+//
+//   * block mappings and sequences with indentation
+//   * nested structures, compact "- key: value" sequence entries
+//   * plain / single-quoted / double-quoted scalars
+//   * folded (>) and literal (|) block scalars
+//   * flow sequences [a, b] and flow mappings {a: 1}
+//   * comments, including trailing comments captured per-node (the schema
+//     registry reads "+kr:" annotations from these)
+//   * scalar typing: null, bool, int, float, string
+//
+// Not covered (not needed by the artifacts): anchors/aliases, tags, multi-
+// document streams, complex keys.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace knactor::yaml {
+
+/// A parsed document: the root value plus trailing comments keyed by
+/// node path ("/"-joined keys; sequence elements use their index).
+struct Document {
+  common::Value root;
+  /// e.g. {"shippingCost": "+kr: external"} for Fig. 5-style schemas.
+  std::map<std::string, std::string> comments;
+};
+
+/// Parses a YAML document. Returns a parse error with line number on
+/// malformed input.
+common::Result<common::Value> parse(std::string_view text);
+
+/// Parses and also captures trailing comments per node path.
+common::Result<Document> parse_document(std::string_view text);
+
+/// Serializes a Value to block-style YAML (used by artifact generation and
+/// round-trip tests).
+std::string dump(const common::Value& v);
+
+}  // namespace knactor::yaml

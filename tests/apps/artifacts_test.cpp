@@ -1,0 +1,159 @@
+#include "apps/artifacts.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dxg.h"
+
+namespace knactor::apps {
+namespace {
+
+TEST(Artifacts, BaseTreesNonEmpty) {
+  EXPECT_GT(retail_api_base().size(), 20u);
+  EXPECT_GE(retail_knactor_base().size(), 4u);
+}
+
+TEST(Artifacts, IdenticalTreesCostNothing) {
+  auto tree = retail_api_base();
+  CompositionCost cost = diff_trees(tree, tree);
+  EXPECT_EQ(cost.files, 0u);
+  EXPECT_EQ(cost.sloc, 0u);
+  EXPECT_FALSE(cost.code_changes);
+  EXPECT_FALSE(cost.config_changes);
+  EXPECT_EQ(cost.operations(), "-");
+}
+
+TEST(Artifacts, T1ApiCentricRequiresCodeBuildDeploy) {
+  CompositionCost cost =
+      diff_trees(retail_api_base(), retail_api_after(Task::kT1ComposeServices));
+  EXPECT_TRUE(cost.code_changes);
+  EXPECT_TRUE(cost.config_changes);
+  EXPECT_TRUE(cost.rebuild);
+  EXPECT_TRUE(cost.redeploy);
+  EXPECT_EQ(cost.operations(), "c / f / b / d");
+  // Paper: 8 files, 109 SLOC. Shape: many files, ~100 lines.
+  EXPECT_GE(cost.files, 6u);
+  EXPECT_LE(cost.files, 10u);
+  EXPECT_GE(cost.sloc, 80u);
+  EXPECT_LE(cost.sloc, 140u);
+}
+
+TEST(Artifacts, T1KnactorIsConfigOnly) {
+  CompositionCost cost = diff_trees(retail_knactor_base(),
+                                    retail_knactor_after(Task::kT1ComposeServices));
+  EXPECT_FALSE(cost.code_changes);
+  EXPECT_TRUE(cost.config_changes);
+  EXPECT_FALSE(cost.rebuild);
+  EXPECT_FALSE(cost.redeploy);
+  EXPECT_EQ(cost.operations(), "f");
+  EXPECT_EQ(cost.files, 1u);
+  // Paper: 7 SLOC. Ours counts every changed spec line; stays O(10).
+  EXPECT_LE(cost.sloc, 15u);
+}
+
+TEST(Artifacts, T2ApiCentric) {
+  CompositionCost cost = diff_trees(retail_api_after(Task::kT1ComposeServices),
+                                    retail_api_after(Task::kT2AddShipmentPolicy));
+  EXPECT_EQ(cost.operations(), "c / f / b / d");
+  EXPECT_EQ(cost.files, 2u);  // paper: 2
+  EXPECT_GE(cost.sloc, 8u);   // paper: 14
+  EXPECT_LE(cost.sloc, 20u);
+}
+
+TEST(Artifacts, T2KnactorIsOneLine) {
+  CompositionCost cost =
+      diff_trees(retail_knactor_after(Task::kT1ComposeServices),
+                 retail_knactor_after(Task::kT2AddShipmentPolicy));
+  EXPECT_EQ(cost.operations(), "f");
+  EXPECT_EQ(cost.files, 1u);
+  EXPECT_EQ(cost.sloc, 1u);  // paper: 1
+}
+
+TEST(Artifacts, T3ApiCentric) {
+  CompositionCost cost = diff_trees(retail_api_after(Task::kT1ComposeServices),
+                                    retail_api_after(Task::kT3UpdateSchema));
+  EXPECT_EQ(cost.operations(), "c / f / b / d");
+  // Paper: 4 files. We also count the two deployment manifests whose image
+  // tags the rollout bumps, hence 6.
+  EXPECT_EQ(cost.files, 6u);
+  EXPECT_GE(cost.sloc, 70u);  // paper: 93
+  EXPECT_LE(cost.sloc, 120u);
+}
+
+TEST(Artifacts, T3Knactor) {
+  CompositionCost cost =
+      diff_trees(retail_knactor_after(Task::kT1ComposeServices),
+                 retail_knactor_after(Task::kT3UpdateSchema));
+  EXPECT_EQ(cost.operations(), "f");
+  EXPECT_EQ(cost.files, 1u);
+  EXPECT_GE(cost.sloc, 4u);  // paper: 7
+  EXPECT_LE(cost.sloc, 10u);
+}
+
+TEST(Artifacts, KnactorOrdersOfMagnitudeCheaperOnT1) {
+  auto api = diff_trees(retail_api_base(),
+                        retail_api_after(Task::kT1ComposeServices));
+  auto kn = diff_trees(retail_knactor_base(),
+                       retail_knactor_after(Task::kT1ComposeServices));
+  EXPECT_GE(api.sloc, 8 * kn.sloc);
+  EXPECT_GT(api.files, kn.files);
+}
+
+TEST(Artifacts, KnactorDxgArtifactsActuallyParse) {
+  for (Task task : {Task::kT1ComposeServices, Task::kT2AddShipmentPolicy,
+                    Task::kT3UpdateSchema}) {
+    auto tree = retail_knactor_after(task);
+    auto dxg = core::Dxg::parse(tree.at("integrator/retail-dxg.yaml"));
+    EXPECT_TRUE(dxg.ok()) << task_name(task) << ": "
+                          << (dxg.ok() ? "" : dxg.error().to_string());
+  }
+}
+
+TEST(Artifacts, ScatterReportMatchesPaper) {
+  ScatterReport report = analyze_scatter(retail_api_base());
+  // §4: "15 methods on handling API invocations scattered across 11
+  // services".
+  EXPECT_EQ(report.services, 11u);
+  EXPECT_EQ(report.handler_methods, 15u);
+  EXPECT_EQ(report.per_service.at("shipping"), 2u);
+  EXPECT_EQ(report.per_service.at("checkout"), 1u);
+}
+
+TEST(Artifacts, T3CheckoutAdaptationCostMatchesSection2Claim) {
+  // §2: "adapting C to an API schema change in S requires 69 lines of code
+  // and configuration updates". Count only checkout-owned files in T3.
+  auto before = retail_api_after(Task::kT1ComposeServices);
+  auto after = retail_api_after(Task::kT3UpdateSchema);
+  ArtifactTree before_checkout;
+  ArtifactTree after_checkout;
+  for (const auto& [path, content] : before) {
+    if (path.find("services/checkout/") == 0) before_checkout[path] = content;
+  }
+  for (const auto& [path, content] : after) {
+    if (path.find("services/checkout/") == 0) after_checkout[path] = content;
+  }
+  CompositionCost cost = diff_trees(before_checkout, after_checkout);
+  EXPECT_GE(cost.sloc, 50u);
+  EXPECT_LE(cost.sloc, 90u);
+}
+
+TEST(Artifacts, SocialNetworkScatterMatchesPaper) {
+  // §4: "36 across 14 services in another well-studied social networking
+  // app".
+  ScatterReport report = analyze_scatter(social_network_api_base());
+  EXPECT_EQ(report.services, 14u);
+  EXPECT_EQ(report.handler_methods, 36u);
+  EXPECT_EQ(report.per_service.at("user"), 6u);
+  EXPECT_EQ(report.per_service.at("unique-id"), 1u);
+}
+
+TEST(Artifacts, TaskNamesHumanReadable) {
+  EXPECT_NE(std::string(task_name(Task::kT1ComposeServices)).find("T1"),
+            std::string::npos);
+  EXPECT_NE(std::string(task_name(Task::kT2AddShipmentPolicy)).find("T2"),
+            std::string::npos);
+  EXPECT_NE(std::string(task_name(Task::kT3UpdateSchema)).find("T3"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace knactor::apps

@@ -1,0 +1,102 @@
+#include "apps/retail_fleet.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/retail_knactor.h"
+
+namespace knactor::apps {
+namespace {
+
+using common::Value;
+
+RetailFleetOptions fast_options() {
+  RetailFleetOptions options;
+  options.shipment_processing = sim::LatencyModel::normal_ms(50.0, 2.0);
+  options.payment_processing = sim::LatencyModel::constant_ms(1.0);
+  return options;
+}
+
+TEST(RetailFleet, ManyOrdersCompleteConcurrently) {
+  core::Runtime runtime;
+  auto app = build_retail_fleet_app(runtime, fast_options());
+  auto orders = app.place_orders_sync(8);
+  ASSERT_TRUE(orders.ok()) << orders.error().to_string();
+  ASSERT_EQ(orders.value().size(), 8u);
+  for (const auto& order : orders.value()) {
+    EXPECT_EQ(order.get("status")->as_string(), "shipped");
+    EXPECT_NE(order.get("trackingID"), nullptr);
+    EXPECT_NE(order.get("paymentID"), nullptr);
+    EXPECT_NE(order.get("shippingCost"), nullptr);
+  }
+}
+
+TEST(RetailFleet, PerOrderPolicyDecisions) {
+  core::Runtime runtime;
+  auto app = build_retail_fleet_app(runtime, fast_options());
+  ASSERT_TRUE(app.place_orders_sync(4).ok());
+  // Odd ids are cheap (ground), even ids expensive (air).
+  EXPECT_EQ(app.shipping_store->peek("order/1")->data->get("method")->as_string(),
+            "ground");
+  EXPECT_EQ(app.shipping_store->peek("order/2")->data->get("method")->as_string(),
+            "air");
+  EXPECT_EQ(app.shipping_store->peek("order/3")->data->get("method")->as_string(),
+            "ground");
+  EXPECT_EQ(app.shipping_store->peek("order/4")->data->get("method")->as_string(),
+            "air");
+}
+
+TEST(RetailFleet, DistinctTrackingAndPaymentIds) {
+  core::Runtime runtime;
+  auto app = build_retail_fleet_app(runtime, fast_options());
+  auto orders = app.place_orders_sync(6);
+  ASSERT_TRUE(orders.ok());
+  std::set<std::string> tracking;
+  std::set<std::string> payments;
+  for (const auto& order : orders.value()) {
+    tracking.insert(order.get("trackingID")->as_string());
+    payments.insert(order.get("paymentID")->as_string());
+  }
+  EXPECT_EQ(tracking.size(), 6u);
+  EXPECT_EQ(payments.size(), 6u);
+}
+
+TEST(RetailFleet, ConcurrentOrdersOverlapInTime) {
+  // N concurrent orders finish in ~one shipment time, not N of them: the
+  // pipeline really is parallel.
+  core::Runtime runtime;
+  RetailFleetOptions options = fast_options();
+  options.shipment_processing = sim::LatencyModel::constant_ms(100.0);
+  auto app = build_retail_fleet_app(runtime, options);
+  sim::SimTime t0 = runtime.clock().now();
+  ASSERT_TRUE(app.place_orders_sync(10).ok());
+  sim::SimTime elapsed = runtime.clock().now() - t0;
+  EXPECT_LT(elapsed, sim::from_ms(400.0));   // not 10 x 100 ms
+  EXPECT_GT(elapsed, sim::from_ms(100.0));   // but at least one shipment
+}
+
+TEST(RetailFleet, SecondWaveAfterFirst) {
+  core::Runtime runtime;
+  auto app = build_retail_fleet_app(runtime, fast_options());
+  ASSERT_TRUE(app.place_orders_sync(3).ok());
+  EXPECT_EQ(app.shipped_count(), 3u);
+  // More orders arrive later; earlier ones stay shipped.
+  for (int i = 4; i <= 5; ++i) {
+    (void)app.checkout_store->put_sync(
+        "customer", "order/" + std::to_string(i), sample_order());
+  }
+  runtime.run_until_idle();
+  EXPECT_EQ(app.shipped_count(), 5u);
+}
+
+TEST(RetailFleet, ApiserverProfileAlsoWorks) {
+  core::Runtime runtime;
+  RetailFleetOptions options = fast_options();
+  options.de_profile = de::ObjectDeProfile::apiserver();
+  auto app = build_retail_fleet_app(runtime, options);
+  auto orders = app.place_orders_sync(3);
+  ASSERT_TRUE(orders.ok()) << orders.error().to_string();
+  EXPECT_EQ(app.shipped_count(), 3u);
+}
+
+}  // namespace
+}  // namespace knactor::apps

@@ -1,0 +1,240 @@
+#include "apps/retail_knactor.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/retail_specs.h"
+
+namespace knactor::apps {
+namespace {
+
+using common::Value;
+
+RetailKnactorOptions fast_options() {
+  RetailKnactorOptions options;
+  // Keep simulated latencies small so tests run through quickly while
+  // preserving ordering.
+  options.shipment_processing = sim::LatencyModel::constant_ms(50.0);
+  options.payment_processing = sim::LatencyModel::constant_ms(1.0);
+  return options;
+}
+
+TEST(RetailKnactor, OrderCompletesEndToEnd) {
+  core::Runtime runtime;
+  auto app = build_retail_knactor_app(runtime, fast_options());
+  auto order = app.place_order_sync(sample_order());
+  ASSERT_TRUE(order.ok()) << order.error().to_string();
+  const Value& o = order.value();
+  EXPECT_EQ(o.get("status")->as_string(), "shipped");
+  EXPECT_NE(o.get("trackingID"), nullptr);
+  EXPECT_NE(o.get("paymentID"), nullptr);
+  EXPECT_NE(o.get("shippingCost"), nullptr);
+}
+
+TEST(RetailKnactor, ShippingCostConvertedToOrderCurrency) {
+  core::Runtime runtime;
+  auto app = build_retail_knactor_app(runtime, fast_options());
+  auto order = app.place_order_sync(sample_order());
+  ASSERT_TRUE(order.ok());
+  // Quote: 5 + 10*2 items = 25 USD; order currency USD -> 25.
+  EXPECT_DOUBLE_EQ(order.value().get("shippingCost")->as_number(), 25.0);
+  // totalCost = cost + shippingCost.
+  EXPECT_DOUBLE_EQ(order.value().get("totalCost")->as_number(), 145.0);
+}
+
+TEST(RetailKnactor, GroundShippingForCheapOrders) {
+  core::Runtime runtime;
+  auto app = build_retail_knactor_app(runtime, fast_options());
+  ASSERT_TRUE(app.place_order_sync(sample_order(120.0)).ok());
+  const de::StateObject* shipment = app.shipping_store->peek("state");
+  ASSERT_NE(shipment, nullptr);
+  EXPECT_EQ(shipment->data->get("method")->as_string(), "ground");
+}
+
+TEST(RetailKnactor, AirShippingForExpensiveOrders) {
+  core::Runtime runtime;
+  auto app = build_retail_knactor_app(runtime, fast_options());
+  ASSERT_TRUE(app.place_order_sync(expensive_order()).ok());
+  const de::StateObject* shipment = app.shipping_store->peek("state");
+  ASSERT_NE(shipment, nullptr);
+  EXPECT_EQ(shipment->data->get("method")->as_string(), "air");
+}
+
+TEST(RetailKnactor, ShipmentFieldsFilledByIntegrator) {
+  core::Runtime runtime;
+  auto app = build_retail_knactor_app(runtime, fast_options());
+  ASSERT_TRUE(app.place_order_sync(sample_order()).ok());
+  const de::StateObject* shipment = app.shipping_store->peek("state");
+  ASSERT_NE(shipment, nullptr);
+  const Value* items = shipment->data->get("items");
+  ASSERT_NE(items, nullptr);
+  ASSERT_TRUE(items->is_array());
+  EXPECT_EQ(items->as_array()[0].as_string(), "keyboard");
+  EXPECT_EQ(items->as_array()[1].as_string(), "mouse");
+  EXPECT_NE(shipment->data->get("addr"), nullptr);
+  EXPECT_NE(shipment->data->get("quote"), nullptr);
+}
+
+TEST(RetailKnactor, PaymentChargedWithOrderAmount) {
+  core::Runtime runtime;
+  auto app = build_retail_knactor_app(runtime, fast_options());
+  ASSERT_TRUE(app.place_order_sync(sample_order()).ok());
+  const de::StateObject* charge = app.payment_store->peek("state");
+  ASSERT_NE(charge, nullptr);
+  EXPECT_EQ(charge->data->get("currency")->as_string(), "USD");
+  EXPECT_NE(charge->data->get("id"), nullptr);
+  EXPECT_GT(charge->data->get("amount")->as_number(), 0.0);
+}
+
+TEST(RetailKnactor, SequentialOrdersWithReset) {
+  core::Runtime runtime;
+  auto app = build_retail_knactor_app(runtime, fast_options());
+  ASSERT_TRUE(app.place_order_sync(sample_order()).ok());
+  app.reset_order_state();
+  EXPECT_EQ(app.checkout_store->peek("order"), nullptr);
+  auto second = app.place_order_sync(expensive_order());
+  ASSERT_TRUE(second.ok()) << second.error().to_string();
+  EXPECT_EQ(second.value().get("status")->as_string(), "shipped");
+}
+
+TEST(RetailKnactor, FullDxgDrivesSideServices) {
+  core::Runtime runtime;
+  RetailKnactorOptions options = fast_options();
+  options.full_dxg = true;
+  auto app = build_retail_knactor_app(runtime, options);
+  ASSERT_TRUE(app.place_order_sync(sample_order()).ok());
+
+  const de::StateObject* email = app.de->store("knactor-email")->peek("state");
+  ASSERT_NE(email, nullptr);
+  EXPECT_EQ(email->data->get("recipient")->as_string(), "user-1@example.com");
+  EXPECT_TRUE(email->data->get("sent")->as_bool());
+
+  const de::StateObject* reco =
+      app.de->store("knactor-recommendation")->peek("state");
+  ASSERT_NE(reco, nullptr);
+  EXPECT_EQ(reco->data->get("suggestions")->as_array()[0].as_string(),
+            "like:keyboard");
+
+  const de::StateObject* ad = app.de->store("knactor-ad")->peek("state");
+  ASSERT_NE(ad, nullptr);
+  EXPECT_EQ(ad->data->get("creative")->as_string(), "promo:keyboard");
+
+  const de::StateObject* frontend =
+      app.de->store("knactor-frontend")->peek("state");
+  ASSERT_NE(frontend, nullptr);
+  EXPECT_EQ(frontend->data->get("orderStatus")->as_string(), "shipped");
+}
+
+TEST(RetailKnactor, InventoryDecremented) {
+  core::Runtime runtime;
+  RetailKnactorOptions options = fast_options();
+  options.full_dxg = true;
+  auto app = build_retail_knactor_app(runtime, options);
+  ASSERT_TRUE(app.place_order_sync(sample_order()).ok());
+  de::ObjectStore* inventory = app.de->store("knactor-inventory");
+  const de::StateObject* kbd = inventory->peek("product/keyboard");
+  ASSERT_NE(kbd, nullptr);
+  EXPECT_EQ(kbd->data->get("stock")->as_int(), 99);  // qty 1
+  const de::StateObject* mouse = inventory->peek("product/mouse");
+  EXPECT_EQ(mouse->data->get("stock")->as_int(), 98);  // qty 2
+}
+
+TEST(RetailKnactor, RbacModeStillCompletes) {
+  core::Runtime runtime;
+  RetailKnactorOptions options = fast_options();
+  options.rbac = true;
+  auto app = build_retail_knactor_app(runtime, options);
+  auto order = app.place_order_sync(sample_order());
+  ASSERT_TRUE(order.ok()) << order.error().to_string();
+  EXPECT_EQ(order.value().get("status")->as_string(), "shipped");
+}
+
+TEST(RetailKnactor, RbacBlocksStrangersAndNonExternalWrites) {
+  core::Runtime runtime;
+  RetailKnactorOptions options = fast_options();
+  options.rbac = true;
+  auto app = build_retail_knactor_app(runtime, options);
+  // A stranger cannot read checkout state.
+  EXPECT_FALSE(app.checkout_store->get_sync("stranger", "order").ok());
+  // The integrator principal cannot write service-owned fields.
+  EXPECT_FALSE(app.checkout_store
+                   ->patch_sync("integrator:retail", "order",
+                                Value::object({{"cost", 1.0}}))
+                   .ok());
+  // But may fill external fields.
+  EXPECT_TRUE(app.checkout_store
+                  ->patch_sync("integrator:retail", "order",
+                               Value::object({{"shippingCost", 9.0}}))
+                  .ok());
+}
+
+TEST(RetailKnactor, PushdownModeMatchesWatchDrivenOutcome) {
+  Value watch_result;
+  Value pushdown_result;
+  {
+    core::Runtime runtime;
+    auto app = build_retail_knactor_app(runtime, fast_options());
+    auto order = app.place_order_sync(sample_order());
+    ASSERT_TRUE(order.ok());
+    watch_result = order.take();
+  }
+  {
+    core::Runtime runtime;
+    RetailKnactorOptions options = fast_options();
+    options.pushdown = true;
+    auto app = build_retail_knactor_app(runtime, options);
+    ASSERT_TRUE(app.integrator->pushdown_enabled());
+    auto order = app.place_order_sync(sample_order());
+    ASSERT_TRUE(order.ok()) << order.error().to_string();
+    pushdown_result = order.take();
+  }
+  // Same business outcome regardless of execution location.
+  EXPECT_EQ(watch_result.get("status")->as_string(),
+            pushdown_result.get("status")->as_string());
+  EXPECT_DOUBLE_EQ(watch_result.get("shippingCost")->as_number(),
+                   pushdown_result.get("shippingCost")->as_number());
+  EXPECT_DOUBLE_EQ(watch_result.get("totalCost")->as_number(),
+                   pushdown_result.get("totalCost")->as_number());
+}
+
+TEST(RetailKnactor, ApiserverProfileAlsoCompletes) {
+  core::Runtime runtime;
+  RetailKnactorOptions options = fast_options();
+  options.de_profile = de::ObjectDeProfile::apiserver();
+  auto app = build_retail_knactor_app(runtime, options);
+  auto order = app.place_order_sync(sample_order());
+  ASSERT_TRUE(order.ok()) << order.error().to_string();
+  EXPECT_EQ(order.value().get("status")->as_string(), "shipped");
+}
+
+TEST(RetailKnactor, EndToEndDominatedByShipmentProcessing) {
+  core::Runtime runtime;
+  RetailKnactorOptions options = fast_options();
+  options.shipment_processing = sim::LatencyModel::constant_ms(446.0);
+  auto app = build_retail_knactor_app(runtime, options);
+  sim::SimTime start = runtime.clock().now();
+  ASSERT_TRUE(app.place_order_sync(sample_order()).ok());
+  sim::SimTime elapsed = runtime.clock().now() - start;
+  EXPECT_GT(elapsed, sim::from_ms(446.0));
+  EXPECT_LT(elapsed, sim::from_ms(600.0));  // overheads are small vs S
+}
+
+TEST(RetailKnactor, SampleOrdersWellFormed) {
+  Value cheap = sample_order();
+  EXPECT_DOUBLE_EQ(cheap.get("cost")->as_number(), 120.0);
+  EXPECT_EQ(cheap.get("items")->as_array().size(), 2u);
+  Value pricey = expensive_order();
+  EXPECT_GT(pricey.get("cost")->as_number(), 1000.0);
+}
+
+TEST(RetailKnactor, SchemasRegisteredInRuntime) {
+  core::Runtime runtime;
+  auto app = build_retail_knactor_app(runtime, fast_options());
+  (void)app;
+  EXPECT_NE(runtime.schemas().find("OnlineRetail/v1/Checkout/Order"), nullptr);
+  EXPECT_NE(runtime.schemas().find("OnlineRetail/v1/Shipping/Shipment"),
+            nullptr);
+  EXPECT_EQ(runtime.schemas().ids().size(), 11u);
+}
+
+}  // namespace
+}  // namespace knactor::apps

@@ -1,0 +1,117 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+namespace knactor::common {
+namespace {
+
+TEST(JsonSerialize, Scalars) {
+  EXPECT_EQ(to_json(Value()), "null");
+  EXPECT_EQ(to_json(Value(true)), "true");
+  EXPECT_EQ(to_json(Value(false)), "false");
+  EXPECT_EQ(to_json(Value(42)), "42");
+  EXPECT_EQ(to_json(Value(-1)), "-1");
+  EXPECT_EQ(to_json(Value("hi")), "\"hi\"");
+}
+
+TEST(JsonSerialize, DoubleAlwaysLooksFloaty) {
+  EXPECT_EQ(to_json(Value(1.5)), "1.5");
+  EXPECT_EQ(to_json(Value(2.0)), "2.0");
+}
+
+TEST(JsonSerialize, StringEscapes) {
+  EXPECT_EQ(to_json(Value("a\"b")), "\"a\\\"b\"");
+  EXPECT_EQ(to_json(Value("line\nbreak")), "\"line\\nbreak\"");
+  EXPECT_EQ(to_json(Value("tab\there")), "\"tab\\there\"");
+  EXPECT_EQ(to_json(Value("back\\slash")), "\"back\\\\slash\"");
+}
+
+TEST(JsonSerialize, Containers) {
+  Value v = Value::object(
+      {{"xs", Value::array({1, "two", Value(nullptr)})}, {"n", 3}});
+  EXPECT_EQ(to_json(v), "{\"xs\":[1,\"two\",null],\"n\":3}");
+}
+
+TEST(JsonSerialize, EmptyContainers) {
+  EXPECT_EQ(to_json(Value::array({})), "[]");
+  EXPECT_EQ(to_json(Value::object({})), "{}");
+}
+
+TEST(JsonSerialize, PrettyIndents) {
+  Value v = Value::object({{"a", 1}});
+  EXPECT_EQ(to_json_pretty(v), "{\n  \"a\": 1\n}");
+}
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse_json("null").value().is_null());
+  EXPECT_EQ(parse_json("true").value().as_bool(), true);
+  EXPECT_EQ(parse_json("17").value().as_int(), 17);
+  EXPECT_DOUBLE_EQ(parse_json("2.5").value().as_double(), 2.5);
+  EXPECT_EQ(parse_json("\"s\"").value().as_string(), "s");
+}
+
+TEST(JsonParse, NegativeAndExponent) {
+  EXPECT_EQ(parse_json("-5").value().as_int(), -5);
+  EXPECT_DOUBLE_EQ(parse_json("1e3").value().as_double(), 1000.0);
+  EXPECT_DOUBLE_EQ(parse_json("-2.5e-1").value().as_double(), -0.25);
+}
+
+TEST(JsonParse, IntWithoutMarkersStaysInt) {
+  Value v = parse_json("9007199254740993").value();
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.as_int(), 9007199254740993LL);
+}
+
+TEST(JsonParse, NestedStructure) {
+  auto r = parse_json(R"({"order": {"items": [{"name": "kbd", "qty": 2}]}})");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().at_path("order.items.0.name")->as_string(), "kbd");
+  EXPECT_EQ(r.value().at_path("order.items.0.qty")->as_int(), 2);
+}
+
+TEST(JsonParse, WhitespaceTolerant) {
+  auto r = parse_json("  {\n \"a\" :\t[ 1 , 2 ]\n}  ");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().at_path("a.1")->as_int(), 2);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse_json(R"("a\"b")").value().as_string(), "a\"b");
+  EXPECT_EQ(parse_json(R"("a\nb")").value().as_string(), "a\nb");
+  EXPECT_EQ(parse_json(R"("aAb")").value().as_string(), "aAb");
+  EXPECT_EQ(parse_json(R"("é")").value().as_string(), "\xc3\xa9");
+}
+
+TEST(JsonParse, Errors) {
+  EXPECT_FALSE(parse_json("").ok());
+  EXPECT_FALSE(parse_json("{").ok());
+  EXPECT_FALSE(parse_json("[1,]").ok());
+  EXPECT_FALSE(parse_json("{\"a\": }").ok());
+  EXPECT_FALSE(parse_json("\"unterminated").ok());
+  EXPECT_FALSE(parse_json("tru").ok());
+  EXPECT_FALSE(parse_json("1 2").ok());
+  EXPECT_FALSE(parse_json("{a: 1}").ok());
+}
+
+TEST(JsonParse, ErrorsCarryParseCode) {
+  auto r = parse_json("{");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Error::Code::kParse);
+}
+
+TEST(JsonParse, DeepNestingRejected) {
+  std::string text(300, '[');
+  auto r = parse_json(text);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(JsonRoundTrip, ComplexDocument) {
+  const char* doc =
+      R"({"a":[1,2.5,"x",null,true],"b":{"c":{"d":[{"e":-7}]}},"s":"q\"z"})";
+  Value v = parse_json(doc).value();
+  Value again = parse_json(to_json(v)).value();
+  EXPECT_TRUE(v == again);
+}
+
+}  // namespace
+}  // namespace knactor::common

@@ -1,0 +1,92 @@
+#include "common/result.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace knactor::common {
+namespace {
+
+TEST(Result, HoldsValue) {
+  Result<int> r(5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 5);
+  EXPECT_EQ(r.value_or(9), 5);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Error::not_found("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Error::Code::kNotFound);
+  EXPECT_EQ(r.error().message, "missing");
+  EXPECT_EQ(r.value_or(9), 9);
+}
+
+TEST(Result, TakeMoves) {
+  Result<std::string> r(std::string("abc"));
+  std::string s = r.take();
+  EXPECT_EQ(s, "abc");
+}
+
+TEST(Status, DefaultIsSuccess) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(Status::success().ok());
+}
+
+TEST(Status, CarriesError) {
+  Status s(Error::permission_denied("nope"));
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, Error::Code::kPermissionDenied);
+}
+
+TEST(Error, ToStringIncludesCodeName) {
+  EXPECT_EQ(Error::parse("bad").to_string(), "Parse: bad");
+  EXPECT_EQ(Error::eval("x").to_string(), "Eval: x");
+  EXPECT_EQ(Error::internal("y").to_string(), "Internal: y");
+}
+
+TEST(Error, AllFactoriesSetCodes) {
+  EXPECT_EQ(Error::invalid_argument("").code, Error::Code::kInvalidArgument);
+  EXPECT_EQ(Error::not_found("").code, Error::Code::kNotFound);
+  EXPECT_EQ(Error::already_exists("").code, Error::Code::kAlreadyExists);
+  EXPECT_EQ(Error::permission_denied("").code,
+            Error::Code::kPermissionDenied);
+  EXPECT_EQ(Error::failed_precondition("").code,
+            Error::Code::kFailedPrecondition);
+  EXPECT_EQ(Error::unavailable("").code, Error::Code::kUnavailable);
+}
+
+namespace helpers {
+
+Result<int> parse_positive(int x) {
+  if (x <= 0) return Error::invalid_argument("not positive");
+  return x;
+}
+
+Result<int> doubled(int x) {
+  KN_ASSIGN_OR_RETURN(int v, parse_positive(x));
+  return v * 2;
+}
+
+Status check(int x) {
+  KN_TRY(parse_positive(x));
+  return Status::success();
+}
+
+}  // namespace helpers
+
+TEST(Macros, AssignOrReturnPropagates) {
+  EXPECT_EQ(helpers::doubled(4).value(), 8);
+  EXPECT_FALSE(helpers::doubled(-1).ok());
+  EXPECT_EQ(helpers::doubled(-1).error().code,
+            Error::Code::kInvalidArgument);
+}
+
+TEST(Macros, TryPropagates) {
+  EXPECT_TRUE(helpers::check(1).ok());
+  EXPECT_FALSE(helpers::check(0).ok());
+}
+
+}  // namespace
+}  // namespace knactor::common

@@ -1,0 +1,67 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace knactor::common {
+namespace {
+
+TEST(Strings, SplitBasic) {
+  EXPECT_EQ(split("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Strings, SplitPreservesEmptySegments) {
+  EXPECT_EQ(split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\r\n x \n"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("inner space"), "inner space");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_FALSE(starts_with("foobar", "bar"));
+  EXPECT_TRUE(ends_with("foobar", "bar"));
+  EXPECT_FALSE(ends_with("foobar", "foo"));
+  EXPECT_TRUE(starts_with("x", ""));
+  EXPECT_FALSE(starts_with("", "x"));
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"one"}, ","), "one");
+}
+
+TEST(Strings, CountSlocSkipsBlanksAndComments) {
+  const char* text =
+      "line1\n"
+      "\n"
+      "  # a comment\n"
+      "// also a comment\n"
+      "line2\n"
+      "   \t \n"
+      "line3";
+  EXPECT_EQ(count_sloc(text), 3u);
+}
+
+TEST(Strings, CountSlocEmpty) {
+  EXPECT_EQ(count_sloc(""), 0u);
+  EXPECT_EQ(count_sloc("\n\n"), 0u);
+  EXPECT_EQ(count_sloc("# only\n# comments"), 0u);
+}
+
+TEST(Strings, CountLinesContaining) {
+  const char* text = "def HandleA\nx = 1\ndef HandleB\n";
+  EXPECT_EQ(count_lines_containing(text, "def Handle"), 2u);
+  EXPECT_EQ(count_lines_containing(text, "zzz"), 0u);
+}
+
+}  // namespace
+}  // namespace knactor::common

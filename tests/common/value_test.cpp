@@ -1,0 +1,203 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace knactor::common {
+namespace {
+
+TEST(Value, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), Value::Type::kNull);
+  EXPECT_STREQ(v.type_name(), "null");
+}
+
+TEST(Value, BoolRoundTrip) {
+  Value v(true);
+  EXPECT_TRUE(v.is_bool());
+  EXPECT_TRUE(v.as_bool());
+  EXPECT_EQ(v.try_bool(), true);
+  EXPECT_FALSE(Value(false).as_bool());
+}
+
+TEST(Value, IntRoundTrip) {
+  Value v(std::int64_t{42});
+  EXPECT_TRUE(v.is_int());
+  EXPECT_TRUE(v.is_number());
+  EXPECT_EQ(v.as_int(), 42);
+  EXPECT_DOUBLE_EQ(v.as_number(), 42.0);
+}
+
+TEST(Value, IntFromPlainInt) {
+  Value v(7);
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.as_int(), 7);
+}
+
+TEST(Value, DoubleRoundTrip) {
+  Value v(3.25);
+  EXPECT_TRUE(v.is_double());
+  EXPECT_TRUE(v.is_number());
+  EXPECT_DOUBLE_EQ(v.as_double(), 3.25);
+  EXPECT_DOUBLE_EQ(v.as_number(), 3.25);
+}
+
+TEST(Value, StringRoundTrip) {
+  Value v("hello");
+  EXPECT_TRUE(v.is_string());
+  EXPECT_EQ(v.as_string(), "hello");
+  EXPECT_EQ(v.try_string(), "hello");
+}
+
+TEST(Value, TryAccessorsRejectWrongTypes) {
+  Value v("text");
+  EXPECT_FALSE(v.try_bool().has_value());
+  EXPECT_FALSE(v.try_int().has_value());
+  EXPECT_FALSE(v.try_number().has_value());
+  EXPECT_FALSE(Value(1).try_string().has_value());
+}
+
+TEST(Value, TryNumberAcceptsIntAndDouble) {
+  EXPECT_DOUBLE_EQ(*Value(2).try_number(), 2.0);
+  EXPECT_DOUBLE_EQ(*Value(2.5).try_number(), 2.5);
+}
+
+TEST(Value, ArrayBuilder) {
+  Value v = Value::array({1, 2, 3});
+  ASSERT_TRUE(v.is_array());
+  ASSERT_EQ(v.as_array().size(), 3u);
+  EXPECT_EQ(v.as_array()[0].as_int(), 1);
+  EXPECT_EQ(v.as_array()[2].as_int(), 3);
+}
+
+TEST(Value, ObjectBuilder) {
+  Value v = Value::object({{"a", 1}, {"b", "x"}});
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.get("a")->as_int(), 1);
+  EXPECT_EQ(v.get("b")->as_string(), "x");
+  EXPECT_EQ(v.get("missing"), nullptr);
+}
+
+TEST(Value, GetOnNonObjectReturnsNull) {
+  Value v(5);
+  EXPECT_EQ(v.get("a"), nullptr);
+}
+
+TEST(Value, SetConvertsNullToObject) {
+  Value v;
+  v.set("k", Value(9));
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.get("k")->as_int(), 9);
+}
+
+TEST(Value, SetOverwritesKeepingPosition) {
+  Value v = Value::object({{"a", 1}, {"b", 2}});
+  v.set("a", Value(10));
+  auto it = v.as_object().begin();
+  EXPECT_EQ(it->first, "a");
+  EXPECT_EQ(it->second.as_int(), 10);
+}
+
+TEST(OrderedMap, PreservesInsertionOrder) {
+  OrderedMap m;
+  m.set("z", Value(1));
+  m.set("a", Value(2));
+  m.set("m", Value(3));
+  std::vector<std::string> keys;
+  for (const auto& [k, v] : m) keys.push_back(k);
+  EXPECT_EQ(keys, (std::vector<std::string>{"z", "a", "m"}));
+}
+
+TEST(OrderedMap, EraseShiftsIndices) {
+  OrderedMap m;
+  m.set("a", Value(1));
+  m.set("b", Value(2));
+  m.set("c", Value(3));
+  EXPECT_TRUE(m.erase("b"));
+  EXPECT_FALSE(m.erase("b"));
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.find("c")->as_int(), 3);
+  EXPECT_EQ(m.find("a")->as_int(), 1);
+  EXPECT_EQ(m.find("b"), nullptr);
+}
+
+TEST(OrderedMap, EqualityIsOrderInsensitive) {
+  OrderedMap a;
+  a.set("x", Value(1));
+  a.set("y", Value(2));
+  OrderedMap b;
+  b.set("y", Value(2));
+  b.set("x", Value(1));
+  EXPECT_TRUE(a == b);
+}
+
+TEST(Value, AtPathTraversesObjects) {
+  Value v = Value::object(
+      {{"order", Value::object({{"items", Value::array({1, 2})}})}});
+  const Value* items = v.at_path("order.items");
+  ASSERT_NE(items, nullptr);
+  EXPECT_TRUE(items->is_array());
+  EXPECT_EQ(v.at_path("order.items.1")->as_int(), 2);
+}
+
+TEST(Value, AtPathMissingReturnsNull) {
+  Value v = Value::object({{"a", 1}});
+  EXPECT_EQ(v.at_path("a.b"), nullptr);
+  EXPECT_EQ(v.at_path("z"), nullptr);
+  EXPECT_EQ(v.at_path("a.0"), nullptr);
+}
+
+TEST(Value, AtPathArrayIndexOutOfRange) {
+  Value v = Value::object({{"xs", Value::array({1})}});
+  EXPECT_EQ(v.at_path("xs.5"), nullptr);
+  EXPECT_EQ(v.at_path("xs.notanumber"), nullptr);
+}
+
+TEST(Value, SetPathCreatesIntermediates) {
+  Value v;
+  EXPECT_TRUE(v.set_path("a.b.c", Value(7)));
+  EXPECT_EQ(v.at_path("a.b.c")->as_int(), 7);
+}
+
+TEST(Value, SetPathBlockedByScalar) {
+  Value v = Value::object({{"a", 5}});
+  EXPECT_FALSE(v.set_path("a.b", Value(1)));
+}
+
+TEST(Value, Truthiness) {
+  EXPECT_FALSE(Value().truthy());
+  EXPECT_FALSE(Value(false).truthy());
+  EXPECT_FALSE(Value(0).truthy());
+  EXPECT_FALSE(Value(0.0).truthy());
+  EXPECT_FALSE(Value("").truthy());
+  EXPECT_FALSE(Value::array({}).truthy());
+  EXPECT_FALSE(Value::object({}).truthy());
+  EXPECT_TRUE(Value(true).truthy());
+  EXPECT_TRUE(Value(1).truthy());
+  EXPECT_TRUE(Value(-0.5).truthy());
+  EXPECT_TRUE(Value("x").truthy());
+  EXPECT_TRUE(Value::array({1}).truthy());
+  EXPECT_TRUE(Value::object({{"a", 1}}).truthy());
+}
+
+TEST(Value, EqualityDeep) {
+  Value a = Value::object({{"xs", Value::array({1, "two"})}});
+  Value b = Value::object({{"xs", Value::array({1, "two"})}});
+  Value c = Value::object({{"xs", Value::array({1, "three"})}});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Value, IntAndDoubleAreDistinctTypes) {
+  EXPECT_FALSE(Value(1) == Value(1.0));
+}
+
+TEST(Value, DeepSizeGrowsWithContent) {
+  Value small = Value::object({{"a", 1}});
+  Value big = Value::object(
+      {{"a", 1}, {"blob", std::string(1024, 'x')}});
+  EXPECT_GT(big.deep_size_bytes(), small.deep_size_bytes() + 1000);
+}
+
+}  // namespace
+}  // namespace knactor::common

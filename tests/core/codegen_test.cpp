@@ -1,0 +1,116 @@
+#include "core/codegen.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/retail_specs.h"
+#include "yaml/yaml.h"
+
+namespace knactor::core {
+namespace {
+
+de::StoreSchema checkout_schema() {
+  return de::parse_schema(apps::kCheckoutSchema).value();
+}
+
+TEST(Codegen, AccessorsCoverEveryField) {
+  auto code = generate_accessors(checkout_schema(), {});
+  ASSERT_TRUE(code.ok()) << code.error().to_string();
+  const std::string& text = code.value();
+  EXPECT_NE(text.find("struct OrderView"), std::string::npos);
+  EXPECT_NE(text.find("struct OrderPatch"), std::string::npos);
+  for (const char* field :
+       {"items", "address", "cost", "shippingCost", "totalCost", "currency",
+        "paymentID", "trackingID", "status", "email"}) {
+    EXPECT_NE(text.find("> " + std::string(field) + "() const"),
+              std::string::npos)
+        << field;
+    EXPECT_NE(text.find("set_" + std::string(field)), std::string::npos)
+        << field;
+  }
+}
+
+TEST(Codegen, AccessorsUseSchemaTypes) {
+  auto code = generate_accessors(checkout_schema(), {}).value();
+  EXPECT_NE(code.find("std::optional<double> cost()"), std::string::npos);
+  EXPECT_NE(code.find("std::optional<std::string> address()"),
+            std::string::npos);
+  EXPECT_NE(code.find("std::optional<knactor::common::Value> items()"),
+            std::string::npos);
+}
+
+TEST(Codegen, AccessorsMarkExternalFields) {
+  auto code = generate_accessors(checkout_schema(), {}).value();
+  EXPECT_NE(code.find("(+kr: external)"), std::string::npos);
+  EXPECT_NE(code.find("integrator-filled"), std::string::npos);
+}
+
+TEST(Codegen, ReconcilerSkeletonReactsToExternalFields) {
+  auto code = generate_reconciler(checkout_schema(), {});
+  ASSERT_TRUE(code.ok());
+  const std::string& text = code.value();
+  EXPECT_NE(text.find("class OrderReconciler"), std::string::npos);
+  EXPECT_NE(text.find("knactor::core::Reconciler"), std::string::npos);
+  EXPECT_NE(text.find("on_object_event"), std::string::npos);
+  // One reaction block per integrator-filled field.
+  EXPECT_NE(text.find("data.get(\"shippingCost\")"), std::string::npos);
+  EXPECT_NE(text.find("data.get(\"paymentID\")"), std::string::npos);
+  EXPECT_NE(text.find("data.get(\"trackingID\")"), std::string::npos);
+  // Non-external fields don't get reaction blocks.
+  EXPECT_EQ(text.find("data.get(\"cost\")"), std::string::npos);
+}
+
+TEST(Codegen, DxgStubListsExternalFields) {
+  auto code = generate_dxg_stub(checkout_schema());
+  ASSERT_TRUE(code.ok());
+  const std::string& text = code.value();
+  EXPECT_NE(text.find("Input:"), std::string::npos);
+  EXPECT_NE(text.find("shippingCost:"), std::string::npos);
+  EXPECT_NE(text.find("paymentID:"), std::string::npos);
+  EXPECT_EQ(text.find("  cost:"), std::string::npos);
+}
+
+TEST(Codegen, DxgStubHandlesNoExternalFields) {
+  auto schema = de::parse_schema("schema: T/v1/Closed\nx: int\n").value();
+  auto code = generate_dxg_stub(schema);
+  ASSERT_TRUE(code.ok());
+  EXPECT_NE(code.value().find("no '+kr: external' fields"), std::string::npos);
+}
+
+TEST(Codegen, ClassNameDerivedFromSchemaId) {
+  auto schema = de::parse_schema("schema: App/v2/my-cool_service\nx: int\n")
+                    .value();
+  auto code = generate_accessors(schema, {}).value();
+  EXPECT_NE(code.find("struct MyCoolServiceView"), std::string::npos);
+}
+
+TEST(Codegen, ClassNameOverride) {
+  CodegenOptions options;
+  options.class_name = "Custom";
+  options.cpp_namespace = "myns";
+  auto code = generate_accessors(checkout_schema(), options).value();
+  EXPECT_NE(code.find("struct CustomView"), std::string::npos);
+  EXPECT_NE(code.find("namespace myns {"), std::string::npos);
+}
+
+TEST(Codegen, RejectsDegenerateSchemas) {
+  de::StoreSchema empty;
+  empty.id = "T/v1/X";
+  EXPECT_FALSE(generate_accessors(empty, {}).ok());
+  de::StoreSchema bad_field;
+  bad_field.id = "T/v1/X";
+  bad_field.fields.push_back({"9bad", "int", false, false});
+  EXPECT_FALSE(generate_reconciler(bad_field, {}).ok());
+}
+
+TEST(Codegen, GeneratedDxgStubParses) {
+  auto code = generate_dxg_stub(checkout_schema()).value();
+  // The stub (with null placeholders) must be syntactically valid YAML;
+  // Dxg::parse rejects null mappings, so check the YAML level.
+  auto parsed = yaml::parse(code);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_NE(parsed.value().get("Input"), nullptr);
+  EXPECT_NE(parsed.value().get("DXG"), nullptr);
+}
+
+}  // namespace
+}  // namespace knactor::core

@@ -1,0 +1,235 @@
+#include "core/dxg.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/retail_specs.h"
+
+namespace knactor::core {
+namespace {
+
+bool has_issue(const std::vector<DxgIssue>& issues, DxgIssue::Kind kind) {
+  for (const auto& issue : issues) {
+    if (issue.kind == kind) return true;
+  }
+  return false;
+}
+
+TEST(Dxg, ParsesFig6Verbatim) {
+  auto r = Dxg::parse(apps::kRetailDxg);
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  const Dxg& dxg = r.value();
+  EXPECT_EQ(dxg.inputs().size(), 3u);
+  EXPECT_EQ(dxg.inputs().at("C"), "OnlineRetail/v1/Checkout/knactor-checkout");
+  EXPECT_EQ(dxg.size(), 8u);  // 3 C.order + 2 P + 3 S mappings
+}
+
+TEST(Dxg, MappingTargetsParsed) {
+  auto dxg = Dxg::parse(apps::kRetailDxg).value();
+  bool found_shipping_cost = false;
+  for (const auto& m : dxg.mappings()) {
+    if (m.field == "shippingCost") {
+      found_shipping_cost = true;
+      EXPECT_EQ(m.target_alias, "C");
+      EXPECT_EQ(m.target_object, "order");
+      // References collected with `this` rewritten to the target.
+      EXPECT_EQ(m.refs, (std::vector<std::string>{
+                            "C.order.currency", "S.quote.currency",
+                            "S.quote.price"}));
+    }
+  }
+  EXPECT_TRUE(found_shipping_cost);
+}
+
+TEST(Dxg, DefaultObjectForBareAlias) {
+  auto dxg = Dxg::parse(apps::kRetailDxg).value();
+  for (const auto& m : dxg.mappings()) {
+    if (m.target_alias == "P") {
+      EXPECT_EQ(m.target_object, "state");
+    }
+  }
+}
+
+TEST(Dxg, ReadAndWrittenAliases) {
+  auto dxg = Dxg::parse(apps::kRetailDxg).value();
+  auto reads = dxg.read_aliases();
+  auto writes = dxg.written_aliases();
+  EXPECT_EQ(reads, (std::vector<std::string>{"C", "P", "S"}));
+  EXPECT_EQ(writes, (std::vector<std::string>{"C", "P", "S"}));
+}
+
+TEST(Dxg, EmptyDxgSectionAllowed) {
+  auto r = Dxg::parse("Input:\n  C: some/store\nDXG:\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 0u);
+}
+
+TEST(Dxg, MissingInputRejected) {
+  EXPECT_FALSE(Dxg::parse("DXG:\n  C:\n    a: 1\n").ok());
+}
+
+TEST(Dxg, MissingDxgSectionRejected) {
+  EXPECT_FALSE(Dxg::parse("Input:\n  C: s\n").ok());
+}
+
+TEST(Dxg, UndeclaredTargetAliasRejected) {
+  EXPECT_FALSE(
+      Dxg::parse("Input:\n  C: s\nDXG:\n  Z:\n    a: C.x\n").ok());
+}
+
+TEST(Dxg, BadExpressionRejectedWithLocation) {
+  auto r = Dxg::parse("Input:\n  C: s\nDXG:\n  C:\n    a: '1 +'\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("C.a"), std::string::npos);
+}
+
+TEST(DxgAnalyze, CleanFig6HasNoBlockingIssues) {
+  auto dxg = Dxg::parse(apps::kRetailDxg).value();
+  auto issues = analyze(dxg, nullptr);
+  EXPECT_FALSE(has_issue(issues, DxgIssue::Kind::kCycle));
+  EXPECT_FALSE(has_issue(issues, DxgIssue::Kind::kUnresolvedAlias));
+  EXPECT_FALSE(has_issue(issues, DxgIssue::Kind::kSelfDependency));
+  EXPECT_FALSE(has_issue(issues, DxgIssue::Kind::kUnusedInput));
+}
+
+TEST(DxgAnalyze, DetectsUnresolvedAlias) {
+  auto dxg = Dxg::parse("Input:\n  C: s\nDXG:\n  C:\n    a: Z.value\n").value();
+  auto issues = analyze(dxg, nullptr);
+  EXPECT_TRUE(has_issue(issues, DxgIssue::Kind::kUnresolvedAlias));
+}
+
+TEST(DxgAnalyze, DetectsTwoNodeCycle) {
+  const char* spec =
+      "Input:\n  A: s1\n  B: s2\nDXG:\n"
+      "  A:\n    x: B.y\n"
+      "  B:\n    y: A.x\n";
+  auto dxg = Dxg::parse(spec).value();
+  auto issues = analyze(dxg, nullptr);
+  EXPECT_TRUE(has_issue(issues, DxgIssue::Kind::kCycle));
+}
+
+TEST(DxgAnalyze, DetectsLongerCycle) {
+  const char* spec =
+      "Input:\n  A: s1\n  B: s2\n  C: s3\nDXG:\n"
+      "  A:\n    x: C.z\n"
+      "  B:\n    y: A.x\n"
+      "  C:\n    z: B.y\n";
+  auto dxg = Dxg::parse(spec).value();
+  auto issues = analyze(dxg, nullptr);
+  ASSERT_TRUE(has_issue(issues, DxgIssue::Kind::kCycle));
+  for (const auto& issue : issues) {
+    if (issue.kind == DxgIssue::Kind::kCycle) {
+      EXPECT_NE(issue.detail.find("->"), std::string::npos);
+    }
+  }
+}
+
+TEST(DxgAnalyze, ChainIsNotCycle) {
+  const char* spec =
+      "Input:\n  A: s1\n  B: s2\n  C: s3\nDXG:\n"
+      "  B:\n    y: A.x\n"
+      "  C:\n    z: B.y\n";
+  auto dxg = Dxg::parse(spec).value();
+  EXPECT_FALSE(has_issue(analyze(dxg, nullptr), DxgIssue::Kind::kCycle));
+}
+
+TEST(DxgAnalyze, DetectsSelfDependency) {
+  auto dxg =
+      Dxg::parse("Input:\n  A: s\nDXG:\n  A:\n    x: this.x + 1\n").value();
+  auto issues = analyze(dxg, nullptr);
+  EXPECT_TRUE(has_issue(issues, DxgIssue::Kind::kSelfDependency));
+}
+
+TEST(DxgAnalyze, ReadingSiblingFieldIsNotSelfDependency) {
+  auto dxg =
+      Dxg::parse("Input:\n  A: s\nDXG:\n  A:\n    x: this.y\n").value();
+  auto issues = analyze(dxg, nullptr);
+  EXPECT_FALSE(has_issue(issues, DxgIssue::Kind::kSelfDependency));
+}
+
+TEST(DxgAnalyze, DetectsUnusedInput) {
+  auto dxg = Dxg::parse(
+                 "Input:\n  A: s1\n  Unused: s2\nDXG:\n  A:\n    x: 1 + 1\n")
+                 .value();
+  auto issues = analyze(dxg, nullptr);
+  EXPECT_TRUE(has_issue(issues, DxgIssue::Kind::kUnusedInput));
+}
+
+TEST(DxgAnalyze, SchemaConformance) {
+  de::SchemaRegistry schemas;
+  ASSERT_TRUE(schemas
+                  .add_yaml("schema: T/v1/Order\n"
+                            "cost: number\n"
+                            "shippingCost: number # +kr: external\n")
+                  .ok());
+  // Writing a non-external field is flagged.
+  auto dxg1 = Dxg::parse("Input:\n  C: T/v1/Order\nDXG:\n  C:\n    cost: 1\n")
+                  .value();
+  EXPECT_TRUE(
+      has_issue(analyze(dxg1, &schemas), DxgIssue::Kind::kNotExternal));
+  // Writing an unknown field is flagged.
+  auto dxg2 =
+      Dxg::parse("Input:\n  C: T/v1/Order\nDXG:\n  C:\n    bogus: 1\n").value();
+  EXPECT_TRUE(
+      has_issue(analyze(dxg2, &schemas), DxgIssue::Kind::kUnknownField));
+  // Writing the external field is clean.
+  auto dxg3 = Dxg::parse(
+                  "Input:\n  C: T/v1/Order\nDXG:\n  C:\n    shippingCost: 1\n")
+                  .value();
+  auto issues = analyze(dxg3, &schemas);
+  EXPECT_FALSE(has_issue(issues, DxgIssue::Kind::kNotExternal));
+  EXPECT_FALSE(has_issue(issues, DxgIssue::Kind::kUnknownField));
+}
+
+TEST(DxgAnalyze, UnregisteredSchemaSkipsConformance) {
+  de::SchemaRegistry schemas;
+  auto dxg =
+      Dxg::parse("Input:\n  C: unknown/store\nDXG:\n  C:\n    x: 1\n").value();
+  auto issues = analyze(dxg, &schemas);
+  EXPECT_FALSE(has_issue(issues, DxgIssue::Kind::kUnknownField));
+}
+
+TEST(DxgAnalyze, FullRetailDxgCleanAgainstSchemas) {
+  de::SchemaRegistry schemas;
+  for (const char* schema :
+       {apps::kCheckoutSchema, apps::kShippingSchema, apps::kPaymentSchema}) {
+    ASSERT_TRUE(schemas.add_yaml(schema).ok());
+  }
+  // Bind schema ids used by Fig. 6's Input to the registered ids.
+  // Fig. 6 uses store ids, not schema ids, so conformance keys on the
+  // Input value: build a DXG whose input values are the schema ids.
+  std::string spec = apps::kRetailDxg;
+  auto replace = [&spec](const std::string& from, const std::string& to) {
+    auto pos = spec.find(from);
+    ASSERT_NE(pos, std::string::npos);
+    spec.replace(pos, from.size(), to);
+  };
+  replace("OnlineRetail/v1/Checkout/knactor-checkout",
+          "OnlineRetail/v1/Checkout/Order");
+  replace("OnlineRetail/v1/Shipping/knactor-shipping",
+          "OnlineRetail/v1/Shipping/Shipment");
+  replace("OnlineRetail/v1/Payment/knactor-payment",
+          "OnlineRetail/v1/Payment/Charge");
+  auto dxg = Dxg::parse(spec).value();
+  auto issues = analyze(dxg, &schemas);
+  EXPECT_FALSE(has_issue(issues, DxgIssue::Kind::kNotExternal));
+  EXPECT_FALSE(has_issue(issues, DxgIssue::Kind::kUnknownField));
+  EXPECT_FALSE(has_issue(issues, DxgIssue::Kind::kCycle));
+}
+
+TEST(Dxg, FromValueProgrammaticConstruction) {
+  common::Value spec = common::Value::object();
+  common::Value input = common::Value::object();
+  input.set("A", common::Value("store-a"));
+  spec.set("Input", input);
+  common::Value graph = common::Value::object();
+  common::Value node = common::Value::object();
+  node.set("x", common::Value("1 + 2"));
+  graph.set("A", node);
+  spec.set("DXG", graph);
+  auto dxg = Dxg::from_value(spec);
+  ASSERT_TRUE(dxg.ok());
+  EXPECT_EQ(dxg.value().size(), 1u);
+}
+
+}  // namespace
+}  // namespace knactor::core

@@ -1,0 +1,201 @@
+// Fan-out DXG targets: set-to-set composition — one mapping instance per
+// object key of a driver alias (multi-order pipelines instead of the
+// paper's singleton example).
+#include <gtest/gtest.h>
+
+#include "core/cast.h"
+
+namespace knactor::core {
+namespace {
+
+using common::Value;
+
+class FanOutTest : public ::testing::Test {
+ protected:
+  FanOutTest() : de_(clock_, de::ObjectDeProfile::instant()) {
+    orders_ = &de_.create_store("orders-store");
+    shipments_ = &de_.create_store("shipments-store");
+  }
+
+  Value order(const char* item, double cost) {
+    Value v = Value::object();
+    v.set("item", Value(item));
+    v.set("cost", Value(cost));
+    return v;
+  }
+
+  sim::VirtualClock clock_;
+  de::ObjectDe de_;
+  de::ObjectStore* orders_ = nullptr;
+  de::ObjectStore* shipments_ = nullptr;
+};
+
+constexpr const char* kFanOutSpec = R"(Input:
+  C: orders
+  S: shipments
+DXG:
+  S.*:
+    $for: C order/
+    item: get(C, it).item
+    method: '"air" if get(C, it).cost > 1000 else "ground"'
+)";
+
+TEST_F(FanOutTest, ParsesFanOutNode) {
+  auto dxg = Dxg::parse(kFanOutSpec);
+  ASSERT_TRUE(dxg.ok()) << dxg.error().to_string();
+  ASSERT_EQ(dxg.value().size(), 2u);  // $for is metadata, not a mapping
+  for (const auto& m : dxg.value().mappings()) {
+    EXPECT_TRUE(m.fan_out);
+    EXPECT_EQ(m.driver_alias, "C");
+    EXPECT_EQ(m.driver_prefix, "order/");
+  }
+}
+
+TEST_F(FanOutTest, FanOutRequiresForDeclaration) {
+  EXPECT_FALSE(
+      Dxg::parse("Input:\n  C: c\nDXG:\n  C.*:\n    x: 1 + 1\n").ok());
+  EXPECT_FALSE(Dxg::parse("Input:\n  C: c\nDXG:\n  C.*:\n"
+                          "    $for: Ghost\n    x: 1 + 1\n")
+                   .ok());
+}
+
+TEST_F(FanOutTest, AnalyzerAcceptsItBinding) {
+  auto dxg = Dxg::parse(kFanOutSpec).value();
+  auto issues = analyze(dxg, nullptr);
+  for (const auto& issue : issues) {
+    EXPECT_NE(issue.kind, DxgIssue::Kind::kUnresolvedAlias) << issue.detail;
+  }
+}
+
+TEST_F(FanOutTest, OneShipmentPerOrder) {
+  auto dxg = Dxg::parse(kFanOutSpec);
+  CastIntegrator cast("fan", de_, dxg.take(),
+                      {{"C", orders_}, {"S", shipments_}});
+  ASSERT_TRUE(cast.start().ok());
+
+  (void)orders_->put_sync("svc", "order/1", order("keyboard", 120));
+  (void)orders_->put_sync("svc", "order/2", order("laptop", 1600));
+  (void)orders_->put_sync("svc", "order/3", order("mouse", 25));
+  clock_.run_all();
+
+  ASSERT_EQ(shipments_->size(), 3u);
+  EXPECT_EQ(shipments_->peek("order/1")->data->get("item")->as_string(),
+            "keyboard");
+  EXPECT_EQ(shipments_->peek("order/1")->data->get("method")->as_string(),
+            "ground");
+  EXPECT_EQ(shipments_->peek("order/2")->data->get("method")->as_string(),
+            "air");
+  EXPECT_EQ(shipments_->peek("order/3")->data->get("item")->as_string(),
+            "mouse");
+}
+
+TEST_F(FanOutTest, DriverPrefixFilters) {
+  auto dxg = Dxg::parse(kFanOutSpec);
+  CastIntegrator cast("fan", de_, dxg.take(),
+                      {{"C", orders_}, {"S", shipments_}});
+  ASSERT_TRUE(cast.start().ok());
+  (void)orders_->put_sync("svc", "order/1", order("keyboard", 120));
+  (void)orders_->put_sync("svc", "draft/9", order("tablet", 300));
+  clock_.run_all();
+  EXPECT_NE(shipments_->peek("order/1"), nullptr);
+  EXPECT_EQ(shipments_->peek("draft/9"), nullptr);
+}
+
+TEST_F(FanOutTest, LateOrdersFanOutIncrementally) {
+  auto dxg = Dxg::parse(kFanOutSpec);
+  CastIntegrator cast("fan", de_, dxg.take(),
+                      {{"C", orders_}, {"S", shipments_}});
+  ASSERT_TRUE(cast.start().ok());
+  (void)orders_->put_sync("svc", "order/1", order("keyboard", 120));
+  clock_.run_all();
+  EXPECT_EQ(shipments_->size(), 1u);
+  (void)orders_->put_sync("svc", "order/2", order("laptop", 1600));
+  clock_.run_all();
+  EXPECT_EQ(shipments_->size(), 2u);
+}
+
+TEST_F(FanOutTest, UpdatesPropagatePerKey) {
+  auto dxg = Dxg::parse(kFanOutSpec);
+  CastIntegrator cast("fan", de_, dxg.take(),
+                      {{"C", orders_}, {"S", shipments_}});
+  ASSERT_TRUE(cast.start().ok());
+  (void)orders_->put_sync("svc", "order/1", order("keyboard", 120));
+  clock_.run_all();
+  EXPECT_EQ(shipments_->peek("order/1")->data->get("method")->as_string(),
+            "ground");
+  // The customer upgrades the order past the air threshold.
+  (void)orders_->patch_sync("svc", "order/1",
+                            Value::object({{"cost", 2000.0}}));
+  clock_.run_all();
+  EXPECT_EQ(shipments_->peek("order/1")->data->get("method")->as_string(),
+            "air");
+}
+
+TEST_F(FanOutTest, ThisRefersToPerKeyTarget) {
+  const char* spec = R"(Input:
+  C: orders
+  S: shipments
+DXG:
+  S.*:
+    $for: C order/
+    item: get(C, it).item
+    confirmed: 'true if this.item != null else null'
+)";
+  auto dxg = Dxg::parse(spec);
+  ASSERT_TRUE(dxg.ok()) << dxg.error().to_string();
+  CastIntegrator::Options options;
+  options.max_rounds_per_event = 4;
+  CastIntegrator cast("fan", de_, dxg.take(),
+                      {{"C", orders_}, {"S", shipments_}}, options);
+  ASSERT_TRUE(cast.start().ok());
+  (void)orders_->put_sync("svc", "order/1", order("keyboard", 120));
+  clock_.run_all();
+  const de::StateObject* shipment = shipments_->peek("order/1");
+  ASSERT_NE(shipment, nullptr);
+  EXPECT_TRUE(shipment->data->get("confirmed")->as_bool());
+}
+
+TEST_F(FanOutTest, PushdownFanOutMatchesClientSide) {
+  sim::VirtualClock clock;
+  de::ObjectDe redis(clock, de::ObjectDeProfile::redis());
+  de::ObjectStore& orders = redis.create_store("orders-store");
+  de::ObjectStore& shipments = redis.create_store("shipments-store");
+  auto dxg = Dxg::parse(kFanOutSpec);
+  CastIntegrator cast("fan", redis, dxg.take(),
+                      {{"C", &orders}, {"S", &shipments}});
+  ASSERT_TRUE(cast.enable_pushdown().ok());
+  ASSERT_TRUE(cast.start().ok());
+  (void)orders.put_sync("svc", "order/1", order("keyboard", 120));
+  (void)orders.put_sync("svc", "order/2", order("laptop", 1600));
+  clock.run_all();
+  ASSERT_EQ(shipments.size(), 2u);
+  EXPECT_EQ(shipments.peek("order/2")->data->get("method")->as_string(),
+            "air");
+}
+
+TEST_F(FanOutTest, MixedFanOutAndSingletonNodes) {
+  const char* spec = R"(Input:
+  C: orders
+  S: shipments
+DXG:
+  S.*:
+    $for: C order/
+    item: get(C, it).item
+  S.summary:
+    total: len(keys(C))
+)";
+  auto dxg = Dxg::parse(spec);
+  ASSERT_TRUE(dxg.ok()) << dxg.error().to_string();
+  CastIntegrator cast("fan", de_, dxg.take(),
+                      {{"C", orders_}, {"S", shipments_}});
+  ASSERT_TRUE(cast.start().ok());
+  (void)orders_->put_sync("svc", "order/1", order("keyboard", 120));
+  (void)orders_->put_sync("svc", "order/2", order("laptop", 1600));
+  clock_.run_all();
+  ASSERT_NE(shipments_->peek("summary"), nullptr);
+  EXPECT_EQ(shipments_->peek("summary")->data->get("total")->as_int(), 2);
+  EXPECT_NE(shipments_->peek("order/1"), nullptr);
+}
+
+}  // namespace
+}  // namespace knactor::core

@@ -1,0 +1,223 @@
+#include "core/marketplace.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/retail_specs.h"
+
+namespace knactor::core {
+namespace {
+
+Package checkout_pkg(const std::string& version = "1.0.0") {
+  Package p;
+  p.name = "knactor-checkout";
+  p.version = version;
+  p.kind = Package::Kind::kKnactor;
+  p.description = "checkout service for online retail";
+  p.publisher = "retail-co";
+  p.schema_yamls = {apps::kCheckoutSchema};
+  return p;
+}
+
+Package shipping_pkg() {
+  Package p;
+  p.name = "knactor-shipping";
+  p.version = "2.1.0";
+  p.kind = Package::Kind::kKnactor;
+  p.description = "shipping provider adapter";
+  p.publisher = "shipfast-inc";
+  p.schema_yamls = {apps::kShippingSchema};
+  return p;
+}
+
+Package payment_pkg() {
+  Package p;
+  p.name = "knactor-payment";
+  p.version = "0.9.0";
+  p.kind = Package::Kind::kKnactor;
+  p.schema_yamls = {apps::kPaymentSchema};
+  return p;
+}
+
+Package retail_integrator_pkg() {
+  Package p;
+  p.name = "retail-integrator";
+  p.version = "1.0.0";
+  p.kind = Package::Kind::kIntegrator;
+  p.description = "composes checkout, shipping, payment";
+  // Input values name schema ids so compatibility is checkable.
+  p.dxg_yaml =
+      "Input:\n"
+      "  C: OnlineRetail/v1/Checkout/Order\n"
+      "  S: OnlineRetail/v1/Shipping/Shipment\n"
+      "  P: OnlineRetail/v1/Payment/Charge\n"
+      "DXG:\n"
+      "  C.order:\n"
+      "    shippingCost: currency_convert(S.quote.price, S.quote.currency, "
+      "this.currency)\n"
+      "    paymentID: P.id\n"
+      "    trackingID: S.id\n"
+      "  P:\n"
+      "    amount: C.order.totalCost\n"
+      "    currency: C.order.currency\n"
+      "  S:\n"
+      "    items: '[item.name for item in C.order.items]'\n"
+      "    addr: C.order.address\n";
+  return p;
+}
+
+TEST(Versions, Ordering) {
+  EXPECT_EQ(compare_versions("1.0.0", "1.0.0"), 0);
+  EXPECT_LT(compare_versions("1.9.9", "1.10.0"), 0);
+  EXPECT_GT(compare_versions("2.0", "1.99.99"), 0);
+  EXPECT_LT(compare_versions("1.0", "1.0.1"), 0);
+  EXPECT_GT(compare_versions("1.0.1", "1.0"), 0);
+}
+
+TEST(Marketplace, PublishAndFind) {
+  Marketplace market;
+  ASSERT_TRUE(market.publish(checkout_pkg()).ok());
+  const Package* p = market.find("knactor-checkout");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->provides,
+            (std::vector<std::string>{"OnlineRetail/v1/Checkout/Order"}));
+  EXPECT_EQ(market.find("ghost"), nullptr);
+}
+
+TEST(Marketplace, DuplicateVersionRejected) {
+  Marketplace market;
+  ASSERT_TRUE(market.publish(checkout_pkg()).ok());
+  EXPECT_FALSE(market.publish(checkout_pkg()).ok());
+}
+
+TEST(Marketplace, LatestVersionWins) {
+  Marketplace market;
+  ASSERT_TRUE(market.publish(checkout_pkg("1.2.0")).ok());
+  ASSERT_TRUE(market.publish(checkout_pkg("1.10.0")).ok());
+  ASSERT_TRUE(market.publish(checkout_pkg("1.9.0")).ok());
+  EXPECT_EQ(market.find("knactor-checkout")->version, "1.10.0");
+  EXPECT_NE(market.find("knactor-checkout", "1.2.0"), nullptr);
+  EXPECT_EQ(market.size(), 3u);
+}
+
+TEST(Marketplace, ValidationAtPublish) {
+  Marketplace market;
+  Package bad;
+  bad.name = "broken";
+  bad.version = "1.0";
+  bad.kind = Package::Kind::kKnactor;
+  bad.schema_yamls = {"not a schema"};
+  EXPECT_FALSE(market.publish(bad).ok());
+
+  Package no_name;
+  no_name.version = "1.0";
+  EXPECT_FALSE(market.publish(no_name).ok());
+
+  Package cyclic;
+  cyclic.name = "cyclic";
+  cyclic.version = "1.0";
+  cyclic.kind = Package::Kind::kIntegrator;
+  cyclic.dxg_yaml =
+      "Input:\n  A: s1\n  B: s2\nDXG:\n  A:\n    x: B.y\n  B:\n    y: A.x\n";
+  EXPECT_FALSE(market.publish(cyclic).ok());
+}
+
+TEST(Marketplace, IntegratorMetadataDerivedFromDxg) {
+  Marketplace market;
+  ASSERT_TRUE(market.publish(retail_integrator_pkg()).ok());
+  const Package* p = market.find("retail-integrator");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->reads.size(), 3u);
+  ASSERT_EQ(p->fills.count("OnlineRetail/v1/Checkout/Order"), 1u);
+  auto fields = p->fills.at("OnlineRetail/v1/Checkout/Order");
+  EXPECT_EQ(fields, (std::vector<std::string>{"shippingCost", "paymentID",
+                                              "trackingID"}));
+}
+
+TEST(Marketplace, Search) {
+  Marketplace market;
+  ASSERT_TRUE(market.publish(checkout_pkg()).ok());
+  ASSERT_TRUE(market.publish(shipping_pkg()).ok());
+  EXPECT_EQ(market.search("shipping").size(), 1u);
+  EXPECT_EQ(market.search("online retail").size(), 1u);  // via description
+  EXPECT_EQ(market.search("").size(), 2u);
+  EXPECT_TRUE(market.search("nothing-matches").empty());
+}
+
+TEST(Marketplace, CompositionShopping) {
+  Marketplace market;
+  ASSERT_TRUE(market.publish(retail_integrator_pkg()).ok());
+  // Who can fill shippingCost of the Checkout schema?
+  auto candidates = market.integrators_for("OnlineRetail/v1/Checkout/Order",
+                                           "shippingCost");
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0]->name, "retail-integrator");
+  EXPECT_TRUE(market.integrators_for("OnlineRetail/v1/Checkout/Order",
+                                     "nonexistent")
+                  .empty());
+  EXPECT_TRUE(market.integrators_for("Unknown/v1/X").empty());
+}
+
+TEST(Marketplace, ProvidersOf) {
+  Marketplace market;
+  ASSERT_TRUE(market.publish(checkout_pkg()).ok());
+  ASSERT_TRUE(market.publish(shipping_pkg()).ok());
+  auto providers = market.providers_of("OnlineRetail/v1/Shipping/Shipment");
+  ASSERT_EQ(providers.size(), 1u);
+  EXPECT_EQ(providers[0]->name, "knactor-shipping");
+}
+
+TEST(Marketplace, CompatibilityCheckSatisfied) {
+  Marketplace market;
+  ASSERT_TRUE(market.publish(checkout_pkg()).ok());
+  ASSERT_TRUE(market.publish(shipping_pkg()).ok());
+  ASSERT_TRUE(market.publish(payment_pkg()).ok());
+  ASSERT_TRUE(market.publish(retail_integrator_pkg()).ok());
+  auto missing = market.missing_requirements("retail-integrator");
+  EXPECT_TRUE(missing.empty())
+      << (missing.empty() ? "" : missing.front());
+}
+
+TEST(Marketplace, CompatibilityCheckReportsMissingProvider) {
+  Marketplace market;
+  ASSERT_TRUE(market.publish(checkout_pkg()).ok());
+  // Shipping and payment not published.
+  ASSERT_TRUE(market.publish(retail_integrator_pkg()).ok());
+  auto missing = market.missing_requirements("retail-integrator");
+  ASSERT_FALSE(missing.empty());
+  bool mentions_shipping = false;
+  for (const auto& m : missing) {
+    if (m.find("Shipping") != std::string::npos) mentions_shipping = true;
+  }
+  EXPECT_TRUE(mentions_shipping);
+}
+
+TEST(Marketplace, CompatibilityCheckCatchesNonExternalFills) {
+  Marketplace market;
+  Package closed;
+  closed.name = "knactor-closed";
+  closed.version = "1.0";
+  closed.kind = Package::Kind::kKnactor;
+  closed.schema_yamls = {"schema: T/v1/Closed\nvalue: int\n"};
+  ASSERT_TRUE(market.publish(closed).ok());
+
+  Package writer;
+  writer.name = "closed-writer";
+  writer.version = "1.0";
+  writer.kind = Package::Kind::kIntegrator;
+  writer.dxg_yaml = "Input:\n  X: T/v1/Closed\nDXG:\n  X:\n    value: 1 + 1\n";
+  ASSERT_TRUE(market.publish(writer).ok());
+
+  auto missing = market.missing_requirements("closed-writer");
+  ASSERT_FALSE(missing.empty());
+  EXPECT_NE(missing[0].find("not '+kr: external'"), std::string::npos);
+}
+
+TEST(Marketplace, UnknownIntegratorReported) {
+  Marketplace market;
+  auto missing = market.missing_requirements("ghost");
+  ASSERT_EQ(missing.size(), 1u);
+  EXPECT_NE(missing[0].find("not published"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace knactor::core

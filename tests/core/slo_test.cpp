@@ -1,0 +1,100 @@
+#include "core/slo.h"
+
+#include <gtest/gtest.h>
+
+namespace knactor::core {
+namespace {
+
+class SloTest : public ::testing::Test {
+ protected:
+  SloTest() : tracer_(clock_) {}
+
+  void record(const std::string& name, double ms) {
+    std::uint64_t id = tracer_.begin(name);
+    clock_.advance(sim::from_ms(ms));
+    tracer_.end(id);
+  }
+
+  sim::VirtualClock clock_;
+  Tracer tracer_;
+};
+
+TEST_F(SloTest, PercentileNearestRank) {
+  std::vector<sim::SimTime> xs = {10, 20, 30, 40, 50};
+  EXPECT_EQ(SloMonitor::percentile(xs, 50), 30);
+  EXPECT_EQ(SloMonitor::percentile(xs, 100), 50);
+  EXPECT_EQ(SloMonitor::percentile(xs, 1), 10);
+  EXPECT_EQ(SloMonitor::percentile(xs, 99), 50);
+  EXPECT_EQ(SloMonitor::percentile({}, 50), 0);
+  EXPECT_EQ(SloMonitor::percentile({7}, 99), 7);
+}
+
+TEST_F(SloTest, PercentileUnsortedInput) {
+  std::vector<sim::SimTime> xs = {50, 10, 40, 20, 30};
+  EXPECT_EQ(SloMonitor::percentile(xs, 50), 30);
+}
+
+TEST_F(SloTest, MetSlo) {
+  for (int i = 0; i < 100; ++i) record("exchange", 5.0);
+  SloMonitor monitor(tracer_);
+  Slo slo{"exchange", sim::from_ms(10.0), 99.0};
+  SloReport report = monitor.evaluate(slo);
+  EXPECT_EQ(report.samples, 100u);
+  EXPECT_TRUE(report.met);
+  EXPECT_EQ(report.violations, 0u);
+  EXPECT_EQ(report.p50, sim::from_ms(5.0));
+  EXPECT_EQ(report.p99, sim::from_ms(5.0));
+}
+
+TEST_F(SloTest, ViolatedSlo) {
+  for (int i = 0; i < 95; ++i) record("exchange", 5.0);
+  for (int i = 0; i < 5; ++i) record("exchange", 50.0);
+  SloMonitor monitor(tracer_);
+  SloReport report = monitor.evaluate({"exchange", sim::from_ms(10.0), 99.0});
+  EXPECT_FALSE(report.met);  // p99 = 50 ms > 10 ms
+  EXPECT_EQ(report.violations, 5u);
+  EXPECT_EQ(report.attained, sim::from_ms(50.0));
+  EXPECT_EQ(report.p50, sim::from_ms(5.0));
+  EXPECT_EQ(report.max, sim::from_ms(50.0));
+}
+
+TEST_F(SloTest, PercentileChoiceMatters) {
+  for (int i = 0; i < 95; ++i) record("exchange", 5.0);
+  for (int i = 0; i < 5; ++i) record("exchange", 50.0);
+  SloMonitor monitor(tracer_);
+  // The same population meets a p90 target while failing p99.
+  EXPECT_TRUE(monitor.evaluate({"exchange", sim::from_ms(10.0), 90.0}).met);
+  EXPECT_FALSE(monitor.evaluate({"exchange", sim::from_ms(10.0), 99.0}).met);
+}
+
+TEST_F(SloTest, NoSamplesIsVacuouslyMet) {
+  SloMonitor monitor(tracer_);
+  SloReport report = monitor.evaluate({"ghost", sim::from_ms(1.0), 99.0});
+  EXPECT_EQ(report.samples, 0u);
+  EXPECT_TRUE(report.met);
+}
+
+TEST_F(SloTest, EvaluateAll) {
+  record("a", 1.0);
+  record("b", 100.0);
+  SloMonitor monitor(tracer_);
+  monitor.add_slo({"a", sim::from_ms(10.0), 99.0});
+  monitor.add_slo({"b", sim::from_ms(10.0), 99.0});
+  auto reports = monitor.evaluate_all();
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_TRUE(reports[0].met);
+  EXPECT_FALSE(reports[1].met);
+}
+
+TEST_F(SloTest, TextExport) {
+  record("cast.pass.retail", 3.0);
+  SloMonitor monitor(tracer_);
+  monitor.add_slo({"cast.pass.retail", sim::from_ms(10.0), 99.0});
+  std::string text = SloMonitor::to_text(monitor.evaluate_all());
+  EXPECT_NE(text.find("knactor_slo_latency_ms_p99"), std::string::npos);
+  EXPECT_NE(text.find("span=\"cast.pass.retail\""), std::string::npos);
+  EXPECT_NE(text.find("knactor_slo_met"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace knactor::core

@@ -1,0 +1,188 @@
+// Additional net-layer edge coverage: multi-service nodes, ordering,
+// payload sizes, and broker/RPC interplay.
+#include <gtest/gtest.h>
+
+#include "net/broker.h"
+#include "net/rpc.h"
+
+namespace knactor::net {
+namespace {
+
+using common::Result;
+using common::Value;
+
+class NetEdge : public ::testing::Test {
+ protected:
+  NetEdge() : net_(clock_) {
+    net_.set_default_latency(sim::LatencyModel::constant_ms(0.5));
+    MessageDescriptor req;
+    req.full_name = "t.Req";
+    req.fields = {{1, "x", FieldType::kInt}};
+    (void)pool_.add(req);
+    MessageDescriptor resp;
+    resp.full_name = "t.Resp";
+    resp.fields = {{1, "y", FieldType::kInt}};
+    (void)pool_.add(resp);
+  }
+
+  ServiceDescriptor service(const char* name, const char* method) {
+    ServiceDescriptor sd;
+    sd.name = name;
+    sd.methods = {{method, "t.Req", "t.Resp"}};
+    return sd;
+  }
+
+  sim::VirtualClock clock_;
+  SimNetwork net_;
+  SchemaPool pool_;
+  RpcRegistry registry_;
+};
+
+TEST_F(NetEdge, OneServerHostsManyServices) {
+  RpcServer server(net_, "shared-pod", pool_);
+  ServiceDescriptor a = service("svc.A", "DoA");
+  ServiceDescriptor b = service("svc.B", "DoB");
+  ASSERT_TRUE(server.add_service(a, registry_).ok());
+  ASSERT_TRUE(server.add_service(b, registry_).ok());
+  ASSERT_TRUE(server
+                  .add_handler("svc.A", "DoA",
+                               [](const Value&, RpcServer::Respond done) {
+                                 done(Value::object({{"y", 1}}));
+                               })
+                  .ok());
+  ASSERT_TRUE(server
+                  .add_handler("svc.B", "DoB",
+                               [](const Value&, RpcServer::Respond done) {
+                                 done(Value::object({{"y", 2}}));
+                               })
+                  .ok());
+  RpcChannel client(net_, "client", registry_, pool_);
+  EXPECT_EQ(client.call_sync(a, "DoA", Value::object({{"x", 0}}))
+                .value()
+                .get("y")
+                ->as_int(),
+            1);
+  EXPECT_EQ(client.call_sync(b, "DoB", Value::object({{"x", 0}}))
+                .value()
+                .get("y")
+                ->as_int(),
+            2);
+}
+
+TEST_F(NetEdge, ConstantLatencyPreservesSendOrder) {
+  net_.add_node("a");
+  net_.add_node("b");
+  std::vector<int> got;
+  net_.set_handler("b", "seq", [&](const Message& m) {
+    got.push_back(static_cast<int>(m.payload.get("i")->as_int()));
+  });
+  net_.set_link_latency("a", "b", sim::LatencyModel::constant_ms(1.0));
+  for (int i = 0; i < 10; ++i) {
+    Message m;
+    m.src = "a";
+    m.dst = "b";
+    m.type = "seq";
+    m.payload = Value::object({{"i", i}});
+    ASSERT_TRUE(net_.send(std::move(m)).ok());
+  }
+  clock_.run_all();
+  ASSERT_EQ(got.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
+}
+
+TEST_F(NetEdge, LargePayloadPaysBandwidth) {
+  net_.add_node("a");
+  net_.add_node("b");
+  net_.set_bandwidth(1'000'000);
+  net_.set_link_latency("a", "b", sim::LatencyModel::constant_ms(1.0));
+  sim::SimTime small_at = -1;
+  sim::SimTime big_at = -1;
+  net_.set_handler("b", "small",
+                   [&](const Message&) { small_at = clock_.now(); });
+  net_.set_handler("b", "big", [&](const Message&) { big_at = clock_.now(); });
+  Message small;
+  small.src = "a";
+  small.dst = "b";
+  small.type = "small";
+  small.bytes = 100;
+  Message big;
+  big.src = "a";
+  big.dst = "b";
+  big.type = "big";
+  big.payload = Value::object({{"blob", std::string(500'000, 'x')}});
+  (void)net_.send(std::move(small));
+  (void)net_.send(std::move(big));
+  clock_.run_all();
+  EXPECT_LT(small_at, big_at);
+  EXPECT_GT(big_at - small_at, sim::from_ms(400.0));  // ~0.5s transfer
+}
+
+TEST_F(NetEdge, RpcAcrossPartitionHealing) {
+  RpcServer server(net_, "server", pool_);
+  ServiceDescriptor sd = service("svc", "Do");
+  ASSERT_TRUE(server.add_service(sd, registry_).ok());
+  ASSERT_TRUE(server
+                  .add_handler("svc", "Do",
+                               [](const Value&, RpcServer::Respond done) {
+                                 done(Value::object({{"y", 7}}));
+                               })
+                  .ok());
+  RpcChannel client(net_, "client", registry_, pool_);
+  client.set_timeout(sim::from_ms(10.0));
+  net_.set_partitioned("client", "server", true);
+  EXPECT_FALSE(client.call_sync(sd, "Do", Value::object({{"x", 1}})).ok());
+  net_.set_partitioned("client", "server", false);
+  auto healed = client.call_sync(sd, "Do", Value::object({{"x", 1}}));
+  ASSERT_TRUE(healed.ok());
+  EXPECT_EQ(healed.value().get("y")->as_int(), 7);
+}
+
+TEST_F(NetEdge, BrokerExactAndWildcardBothMatch) {
+  Broker broker(net_, "broker");
+  net_.add_node("pub");
+  int exact = 0;
+  int wildcard = 0;
+  broker.subscribe("home/motion", "sub-exact",
+                   [&](const std::string&, const Value&) { ++exact; });
+  broker.subscribe("home/#", "sub-wild",
+                   [&](const std::string&, const Value&) { ++wildcard; });
+  (void)broker.publish("pub", "home/motion", Value::object({}));
+  clock_.run_all();
+  EXPECT_EQ(exact, 1);
+  EXPECT_EQ(wildcard, 1);
+  EXPECT_EQ(broker.messages_routed(), 2u);
+}
+
+TEST_F(NetEdge, BrokerRetainedNotReplayedWhenDisabled) {
+  Broker broker(net_, "broker");
+  net_.add_node("pub");
+  (void)broker.publish("pub", "t", Value::object({{"v", 1}}));
+  clock_.run_all();
+  int got = 0;
+  broker.subscribe("t", "late",
+                   [&](const std::string&, const Value&) { ++got; });
+  clock_.run_all();
+  EXPECT_EQ(got, 0);
+}
+
+TEST_F(NetEdge, RpcResponsePaysReturnLink) {
+  RpcServer server(net_, "server", pool_);
+  ServiceDescriptor sd = service("svc", "Do");
+  ASSERT_TRUE(server.add_service(sd, registry_).ok());
+  ASSERT_TRUE(server
+                  .add_handler("svc", "Do",
+                               [](const Value&, RpcServer::Respond done) {
+                                 done(Value::object({{"y", 1}}));
+                               })
+                  .ok());
+  // Asymmetric links: slow request path, fast response path.
+  net_.set_link_latency("client", "server", sim::LatencyModel::constant_ms(9.0));
+  net_.set_link_latency("server", "client", sim::LatencyModel::constant_ms(1.0));
+  RpcChannel client(net_, "client", registry_, pool_);
+  sim::SimTime t0 = clock_.now();
+  ASSERT_TRUE(client.call_sync(sd, "Do", Value::object({{"x", 1}})).ok());
+  EXPECT_EQ(clock_.now() - t0, sim::from_ms(10.0));
+}
+
+}  // namespace
+}  // namespace knactor::net

@@ -1,0 +1,153 @@
+#include "de/retention.h"
+
+#include <gtest/gtest.h>
+
+namespace knactor::de {
+namespace {
+
+using common::Value;
+
+class RetentionTest : public ::testing::Test {
+ protected:
+  RetentionTest() : de_(clock_, ObjectDeProfile::instant()), manager_(de_) {
+    store_ = &de_.create_store("s");
+  }
+
+  void put(const std::string& key) {
+    ASSERT_TRUE(store_->put_sync("me", key, Value::object({{"v", 1}})).ok());
+  }
+
+  sim::VirtualClock clock_;
+  ObjectDe de_;
+  RetentionManager manager_;
+  ObjectStore* store_ = nullptr;
+};
+
+TEST_F(RetentionTest, RefCountPolicyCollectsProcessedUnreferenced) {
+  manager_.set_policy("s", RetentionPolicy::ref_count());
+  put("k");
+  manager_.claim("s", "k", "reconciler");
+  EXPECT_EQ(manager_.refcount("s", "k"), 1u);
+
+  // Still referenced: survives sweeps.
+  EXPECT_EQ(manager_.sweep("me"), 0u);
+  EXPECT_NE(store_->peek("k"), nullptr);
+
+  manager_.release("s", "k", "reconciler", /*done=*/true);
+  EXPECT_EQ(manager_.refcount("s", "k"), 0u);
+  EXPECT_EQ(manager_.sweep("me"), 1u);
+  EXPECT_EQ(store_->peek("k"), nullptr);
+}
+
+TEST_F(RetentionTest, UnprocessedObjectsNotCollected) {
+  manager_.set_policy("s", RetentionPolicy::ref_count());
+  put("never-claimed");
+  // Never claimed, never processed: the refcount policy keeps it.
+  EXPECT_EQ(manager_.sweep("me"), 0u);
+  EXPECT_NE(store_->peek("never-claimed"), nullptr);
+}
+
+TEST_F(RetentionTest, ReleaseWithoutDoneKeepsObject) {
+  manager_.set_policy("s", RetentionPolicy::ref_count());
+  put("k");
+  manager_.claim("s", "k", "c");
+  manager_.release("s", "k", "c", /*done=*/false);
+  EXPECT_EQ(manager_.sweep("me"), 0u);
+}
+
+TEST_F(RetentionTest, MultipleClaimants) {
+  manager_.set_policy("s", RetentionPolicy::ref_count());
+  put("k");
+  manager_.claim("s", "k", "a");
+  manager_.claim("s", "k", "b");
+  manager_.release("s", "k", "a", true);
+  EXPECT_EQ(manager_.refcount("s", "k"), 1u);
+  EXPECT_EQ(manager_.sweep("me"), 0u);
+  manager_.release("s", "k", "b", true);
+  EXPECT_EQ(manager_.sweep("me"), 1u);
+}
+
+TEST_F(RetentionTest, NestedClaimsBySameConsumer) {
+  manager_.set_policy("s", RetentionPolicy::ref_count());
+  put("k");
+  manager_.claim("s", "k", "a");
+  manager_.claim("s", "k", "a");
+  EXPECT_EQ(manager_.refcount("s", "k"), 2u);
+  manager_.release("s", "k", "a", true);
+  EXPECT_EQ(manager_.refcount("s", "k"), 1u);
+  manager_.release("s", "k", "a", true);
+  EXPECT_EQ(manager_.refcount("s", "k"), 0u);
+}
+
+TEST_F(RetentionTest, TtlPolicyCollectsOldObjects) {
+  manager_.set_policy("s", RetentionPolicy::ttl_policy(10 * sim::kSecond));
+  put("old");
+  clock_.advance(20 * sim::kSecond);
+  put("fresh");
+  EXPECT_EQ(manager_.sweep("me"), 1u);
+  EXPECT_EQ(store_->peek("old"), nullptr);
+  EXPECT_NE(store_->peek("fresh"), nullptr);
+}
+
+TEST_F(RetentionTest, TtlRespectsActiveReferences) {
+  manager_.set_policy("s", RetentionPolicy::ttl_policy(10 * sim::kSecond));
+  put("held");
+  manager_.claim("s", "held", "c");
+  clock_.advance(20 * sim::kSecond);
+  EXPECT_EQ(manager_.sweep("me"), 0u);
+}
+
+TEST_F(RetentionTest, KeepForeverNeverCollects) {
+  manager_.set_policy("s", RetentionPolicy::keep_forever());
+  put("archive");
+  manager_.claim("s", "archive", "c");
+  manager_.release("s", "archive", "c", true);
+  clock_.advance(3600 * sim::kSecond);
+  EXPECT_EQ(manager_.sweep("me"), 0u);
+}
+
+TEST_F(RetentionTest, StoresWithoutPolicyUntouched) {
+  put("k");
+  manager_.claim("s", "k", "c");
+  manager_.release("s", "k", "c", true);
+  EXPECT_EQ(manager_.sweep("me"), 0u);
+}
+
+TEST_F(RetentionTest, CollectionFiresWatchEvents) {
+  manager_.set_policy("s", RetentionPolicy::ref_count());
+  put("k");
+  bool deleted = false;
+  store_->watch("me", "", [&](const WatchEvent& e) {
+    if (e.type == WatchEventType::kDeleted) deleted = true;
+  });
+  manager_.claim("s", "k", "c");
+  manager_.release("s", "k", "c", true);
+  (void)manager_.sweep("me");
+  clock_.run_all();
+  EXPECT_TRUE(deleted);
+}
+
+TEST_F(RetentionTest, PeriodicSweepRuns) {
+  manager_.set_policy("s", RetentionPolicy::ttl_policy(5 * sim::kSecond));
+  put("k");
+  manager_.start_periodic_sweep("me", 10 * sim::kSecond);
+  clock_.run_until(clock_.now() + 30 * sim::kSecond);
+  EXPECT_EQ(store_->peek("k"), nullptr);
+  EXPECT_GE(manager_.stats().sweeps, 2u);
+  manager_.stop_periodic_sweep();
+}
+
+TEST_F(RetentionTest, StatsTrack) {
+  manager_.set_policy("s", RetentionPolicy::ref_count());
+  put("k");
+  manager_.claim("s", "k", "c");
+  manager_.release("s", "k", "c", true);
+  (void)manager_.sweep("me");
+  EXPECT_EQ(manager_.stats().claims, 1u);
+  EXPECT_EQ(manager_.stats().releases, 1u);
+  EXPECT_EQ(manager_.stats().collected, 1u);
+  EXPECT_EQ(manager_.stats().sweeps, 1u);
+}
+
+}  // namespace
+}  // namespace knactor::de

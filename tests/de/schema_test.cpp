@@ -1,0 +1,162 @@
+#include "de/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace knactor::de {
+namespace {
+
+using common::Value;
+
+const char* kFig5 =
+    "schema: OnlineRetail/v1/Checkout/Order\n"
+    "items: object\n"
+    "address: string\n"
+    "cost: number\n"
+    "shippingCost: number # +kr: external\n"
+    "totalCost: number\n"
+    "currency: string\n"
+    "paymentID: string # +kr: external\n"
+    "trackingID: string # +kr: external\n";
+
+TEST(Schema, ParsesFig5) {
+  auto r = parse_schema(kFig5);
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  const StoreSchema& s = r.value();
+  EXPECT_EQ(s.id, "OnlineRetail/v1/Checkout/Order");
+  EXPECT_EQ(s.fields.size(), 8u);
+  EXPECT_EQ(s.field("cost")->type, "number");
+  EXPECT_FALSE(s.field("cost")->external);
+  EXPECT_TRUE(s.field("shippingCost")->external);
+  EXPECT_TRUE(s.field("paymentID")->external);
+  EXPECT_TRUE(s.field("trackingID")->external);
+  EXPECT_EQ(s.field("missing"), nullptr);
+}
+
+TEST(Schema, ExternalFieldsList) {
+  auto s = parse_schema(kFig5).value();
+  auto ext = s.external_fields();
+  EXPECT_EQ(ext, (std::vector<std::string>{"shippingCost", "paymentID",
+                                           "trackingID"}));
+}
+
+TEST(Schema, RequiredAnnotation) {
+  auto s = parse_schema("schema: T/v1/X\nname: string # +kr: required\n")
+               .value();
+  EXPECT_TRUE(s.field("name")->required);
+  EXPECT_FALSE(s.field("name")->external);
+}
+
+TEST(Schema, CombinedAnnotations) {
+  auto s = parse_schema(
+               "schema: T/v1/X\nid: string # +kr: external required\n")
+               .value();
+  EXPECT_TRUE(s.field("id")->required);
+  EXPECT_TRUE(s.field("id")->external);
+}
+
+TEST(Schema, PlainCommentIsNotAnnotation) {
+  auto s = parse_schema("schema: T/v1/X\nname: string # just a note\n")
+               .value();
+  EXPECT_FALSE(s.field("name")->external);
+  EXPECT_FALSE(s.field("name")->required);
+}
+
+TEST(Schema, MissingIdRejected) {
+  EXPECT_FALSE(parse_schema("name: string\n").ok());
+}
+
+TEST(Schema, BadTypeRejected) {
+  EXPECT_FALSE(parse_schema("schema: T/v1/X\nname: kumquat\n").ok());
+  EXPECT_FALSE(parse_schema("schema: T/v1/X\nname: 42\n").ok());
+}
+
+TEST(Schema, ValidateAcceptsConformingObject) {
+  auto s = parse_schema(kFig5).value();
+  Value order = Value::object({{"items", Value::object({})},
+                               {"address", "1 Market St"},
+                               {"cost", 12.5},
+                               {"currency", "USD"}});
+  EXPECT_TRUE(s.validate(order).ok());
+}
+
+TEST(Schema, ValidateRejectsUnknownField) {
+  auto s = parse_schema(kFig5).value();
+  Value order = Value::object({{"color", "red"}});
+  auto status = s.validate(order);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.error().message.find("unknown field"), std::string::npos);
+}
+
+TEST(Schema, ValidateRejectsTypeMismatch) {
+  auto s = parse_schema(kFig5).value();
+  EXPECT_FALSE(s.validate(Value::object({{"cost", "pricey"}})).ok());
+  EXPECT_FALSE(s.validate(Value::object({{"address", 5}})).ok());
+}
+
+TEST(Schema, IntAcceptedForNumber) {
+  auto s = parse_schema(kFig5).value();
+  EXPECT_TRUE(s.validate(Value::object({{"cost", 12}})).ok());
+}
+
+TEST(Schema, NullAcceptedAsUnset) {
+  auto s = parse_schema(kFig5).value();
+  EXPECT_TRUE(s.validate(Value::object({{"cost", Value(nullptr)}})).ok());
+}
+
+TEST(Schema, RequiredFieldMissingRejected) {
+  auto s =
+      parse_schema("schema: T/v1/X\nname: string # +kr: required\nage: int\n")
+          .value();
+  EXPECT_FALSE(s.validate(Value::object({{"age", 3}})).ok());
+  EXPECT_FALSE(
+      s.validate(Value::object({{"name", Value(nullptr)}})).ok());
+  EXPECT_TRUE(s.validate(Value::object({{"name", "x"}})).ok());
+}
+
+TEST(Schema, ValidateNonObjectRejected) {
+  auto s = parse_schema(kFig5).value();
+  EXPECT_FALSE(s.validate(Value(5)).ok());
+}
+
+TEST(SchemaRegistry, AddAndFind) {
+  SchemaRegistry registry;
+  ASSERT_TRUE(registry.add_yaml(kFig5).ok());
+  const StoreSchema* s = registry.find("OnlineRetail/v1/Checkout/Order");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->fields.size(), 8u);
+  EXPECT_EQ(registry.find("nope"), nullptr);
+  EXPECT_EQ(registry.ids().size(), 1u);
+}
+
+TEST(SchemaRegistry, DuplicateRejected) {
+  SchemaRegistry registry;
+  ASSERT_TRUE(registry.add_yaml(kFig5).ok());
+  EXPECT_FALSE(registry.add_yaml(kFig5).ok());
+}
+
+TEST(SchemaRegistry, MalformedYamlRejected) {
+  SchemaRegistry registry;
+  EXPECT_FALSE(registry.add_yaml("schema: T\n  bad indent: x\n").ok());
+}
+
+TEST(Schema, AllTypeKeywords) {
+  auto s = parse_schema(
+               "schema: T/v1/All\n"
+               "s: string\nn: number\ni: int\nb: bool\no: object\nl: list\n"
+               "a: any\n")
+               .value();
+  Value v = Value::object({{"s", "x"},
+                           {"n", 1.5},
+                           {"i", 3},
+                           {"b", true},
+                           {"o", Value::object({})},
+                           {"l", Value::array({1})},
+                           {"a", Value::array({})}});
+  EXPECT_TRUE(s.validate(v).ok());
+  EXPECT_FALSE(s.validate(Value::object({{"i", 1.5}})).ok());
+  EXPECT_FALSE(s.validate(Value::object({{"b", 1}})).ok());
+  EXPECT_TRUE(s.validate(Value::object({{"a", 42}})).ok());
+}
+
+}  // namespace
+}  // namespace knactor::de

@@ -1,0 +1,156 @@
+#include "net/broker.h"
+
+#include <gtest/gtest.h>
+
+namespace knactor::net {
+namespace {
+
+using common::Value;
+
+class BrokerTest : public ::testing::Test {
+ protected:
+  BrokerTest() : broker_(net_, "broker") {
+    net_.set_default_latency(sim::LatencyModel::constant_ms(0.5));
+    net_.add_node("pub");
+  }
+
+  sim::VirtualClock clock_;
+  SimNetwork net_{clock_};
+  Broker broker_;
+};
+
+TEST_F(BrokerTest, DeliversToSubscriber) {
+  std::string got;
+  broker_.subscribe("topic/a", "sub1",
+                    [&](const std::string&, const Value& m) {
+                      got = m.get("x")->as_string();
+                    });
+  ASSERT_TRUE(broker_.publish("pub", "topic/a",
+                              Value::object({{"x", "hello"}}))
+                  .ok());
+  clock_.run_all();
+  EXPECT_EQ(got, "hello");
+  EXPECT_EQ(broker_.messages_routed(), 1u);
+}
+
+TEST_F(BrokerTest, TwoHopsOfLatency) {
+  sim::SimTime delivered_at = -1;
+  broker_.subscribe("t", "sub1", [&](const std::string&, const Value&) {
+    delivered_at = clock_.now();
+  });
+  (void)broker_.publish("pub", "t", Value::object({}));
+  clock_.run_all();
+  // pub -> broker -> sub: 2 x 0.5 ms.
+  EXPECT_EQ(delivered_at, sim::from_ms(1.0));
+}
+
+TEST_F(BrokerTest, FanOutToMultipleSubscribers) {
+  int got = 0;
+  broker_.subscribe("t", "sub1",
+                    [&](const std::string&, const Value&) { ++got; });
+  broker_.subscribe("t", "sub2",
+                    [&](const std::string&, const Value&) { ++got; });
+  (void)broker_.publish("pub", "t", Value::object({}));
+  clock_.run_all();
+  EXPECT_EQ(got, 2);
+}
+
+TEST_F(BrokerTest, TwoSubscriptionsOnOneNodeBothFire) {
+  int a = 0;
+  int b = 0;
+  broker_.subscribe("t", "sub1",
+                    [&](const std::string&, const Value&) { ++a; });
+  broker_.subscribe("t", "sub1",
+                    [&](const std::string&, const Value&) { ++b; });
+  (void)broker_.publish("pub", "t", Value::object({}));
+  clock_.run_all();
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+}
+
+TEST_F(BrokerTest, NoSubscribersIsFine) {
+  auto n = broker_.publish("pub", "lonely", Value::object({}));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 0u);
+  clock_.run_all();
+}
+
+TEST_F(BrokerTest, TopicsAreIsolated) {
+  int got_a = 0;
+  int got_b = 0;
+  broker_.subscribe("a", "sub1",
+                    [&](const std::string&, const Value&) { ++got_a; });
+  broker_.subscribe("b", "sub2",
+                    [&](const std::string&, const Value&) { ++got_b; });
+  (void)broker_.publish("pub", "a", Value::object({}));
+  clock_.run_all();
+  EXPECT_EQ(got_a, 1);
+  EXPECT_EQ(got_b, 0);
+}
+
+TEST_F(BrokerTest, PrefixWildcard) {
+  std::vector<std::string> topics;
+  broker_.subscribe("home/#", "sub1",
+                    [&](const std::string& topic, const Value&) {
+                      topics.push_back(topic);
+                    });
+  (void)broker_.publish("pub", "home/motion", Value::object({}));
+  (void)broker_.publish("pub", "home/lamp", Value::object({}));
+  (void)broker_.publish("pub", "office/motion", Value::object({}));
+  clock_.run_all();
+  EXPECT_EQ(topics,
+            (std::vector<std::string>{"home/motion", "home/lamp"}));
+}
+
+TEST_F(BrokerTest, Unsubscribe) {
+  int got = 0;
+  broker_.subscribe("t", "sub1",
+                    [&](const std::string&, const Value&) { ++got; });
+  (void)broker_.publish("pub", "t", Value::object({}));
+  clock_.run_all();
+  broker_.unsubscribe("t", "sub1");
+  (void)broker_.publish("pub", "t", Value::object({}));
+  clock_.run_all();
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(BrokerTest, RetainedMessageReplayed) {
+  broker_.set_retain(true);
+  (void)broker_.publish("pub", "t", Value::object({{"v", 7}}));
+  clock_.run_all();
+  int got = -1;
+  broker_.subscribe("t", "late-sub", [&](const std::string&, const Value& m) {
+    got = static_cast<int>(m.get("v")->as_int());
+  });
+  clock_.run_all();
+  EXPECT_EQ(got, 7);
+}
+
+TEST_F(BrokerTest, UnknownPublisherRejected) {
+  EXPECT_FALSE(broker_.publish("ghost", "t", Value::object({})).ok());
+}
+
+TEST_F(BrokerTest, SubscriberChainReaction) {
+  // Subscriber publishes in response (the smart-home H pattern).
+  int lamp_cmds = 0;
+  broker_.subscribe("motion", "house",
+                    [&](const std::string&, const Value& m) {
+                      if (m.get("triggered")->as_bool()) {
+                        (void)broker_.publish("house", "lamp",
+                                              Value::object({{"on", true}}));
+                      }
+                    });
+  broker_.subscribe("lamp", "lamp-device",
+                    [&](const std::string&, const Value&) { ++lamp_cmds; });
+  (void)broker_.publish("pub", "motion",
+                        Value::object({{"triggered", true}}));
+  clock_.run_all();
+  EXPECT_EQ(lamp_cmds, 1);
+  (void)broker_.publish("pub", "motion",
+                        Value::object({{"triggered", false}}));
+  clock_.run_all();
+  EXPECT_EQ(lamp_cmds, 1);
+}
+
+}  // namespace
+}  // namespace knactor::net

@@ -1,0 +1,205 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+namespace knactor::net {
+namespace {
+
+using common::Value;
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  sim::VirtualClock clock_;
+  SimNetwork net_{clock_};
+};
+
+TEST_F(NetworkTest, DeliversToHandlerByType) {
+  net_.add_node("a");
+  net_.add_node("b");
+  std::string got;
+  net_.set_handler("b", "ping", [&](const Message& m) {
+    got = m.payload.get("x")->as_string();
+  });
+  Message m;
+  m.src = "a";
+  m.dst = "b";
+  m.type = "ping";
+  m.payload = Value::object({{"x", "hello"}});
+  ASSERT_TRUE(net_.send(std::move(m)).ok());
+  clock_.run_all();
+  EXPECT_EQ(got, "hello");
+  EXPECT_EQ(net_.stats().messages_delivered, 1u);
+}
+
+TEST_F(NetworkTest, UnknownNodesRejected) {
+  net_.add_node("a");
+  Message m;
+  m.src = "a";
+  m.dst = "ghost";
+  EXPECT_FALSE(net_.send(std::move(m)).ok());
+  Message m2;
+  m2.src = "ghost";
+  m2.dst = "a";
+  EXPECT_FALSE(net_.send(std::move(m2)).ok());
+}
+
+TEST_F(NetworkTest, MissingHandlerCountsDropped) {
+  net_.add_node("a");
+  net_.add_node("b");
+  Message m;
+  m.src = "a";
+  m.dst = "b";
+  m.type = "nobody-listens";
+  ASSERT_TRUE(net_.send(std::move(m)).ok());
+  clock_.run_all();
+  EXPECT_EQ(net_.stats().messages_dropped, 1u);
+  EXPECT_EQ(net_.stats().messages_delivered, 0u);
+}
+
+TEST_F(NetworkTest, CatchAllHandler) {
+  net_.add_node("a");
+  net_.add_node("b");
+  int got = 0;
+  net_.set_handler("b", "", [&](const Message&) { ++got; });
+  for (const char* type : {"x", "y"}) {
+    Message m;
+    m.src = "a";
+    m.dst = "b";
+    m.type = type;
+    ASSERT_TRUE(net_.send(std::move(m)).ok());
+  }
+  clock_.run_all();
+  EXPECT_EQ(got, 2);
+}
+
+TEST_F(NetworkTest, LatencyCharged) {
+  net_.add_node("a");
+  net_.add_node("b");
+  net_.set_link_latency("a", "b", sim::LatencyModel::constant_ms(3.0));
+  sim::SimTime delivered_at = -1;
+  net_.set_handler("b", "t",
+                   [&](const Message&) { delivered_at = clock_.now(); });
+  Message m;
+  m.src = "a";
+  m.dst = "b";
+  m.type = "t";
+  ASSERT_TRUE(net_.send(std::move(m)).ok());
+  clock_.run_all();
+  EXPECT_EQ(delivered_at, sim::from_ms(3.0));
+}
+
+TEST_F(NetworkTest, DirectionalLinkLatency) {
+  net_.add_node("a");
+  net_.add_node("b");
+  net_.set_link_latency("a", "b", sim::LatencyModel::constant_ms(5.0));
+  net_.set_link_latency("b", "a", sim::LatencyModel::constant_ms(1.0));
+  sim::SimTime ab = -1;
+  sim::SimTime ba = -1;
+  net_.set_handler("b", "t", [&](const Message&) { ab = clock_.now(); });
+  net_.set_handler("a", "t", [&](const Message&) { ba = clock_.now(); });
+  Message m1;
+  m1.src = "a";
+  m1.dst = "b";
+  m1.type = "t";
+  (void)net_.send(std::move(m1));
+  Message m2;
+  m2.src = "b";
+  m2.dst = "a";
+  m2.type = "t";
+  (void)net_.send(std::move(m2));
+  clock_.run_all();
+  EXPECT_EQ(ab, sim::from_ms(5.0));
+  EXPECT_EQ(ba, sim::from_ms(1.0));
+}
+
+TEST_F(NetworkTest, SelfSendWithoutLinkIsImmediate) {
+  net_.add_node("a");
+  bool got = false;
+  net_.set_handler("a", "t", [&](const Message&) { got = true; });
+  Message m;
+  m.src = "a";
+  m.dst = "a";
+  m.type = "t";
+  (void)net_.send(std::move(m));
+  clock_.run_all();
+  EXPECT_TRUE(got);
+  EXPECT_EQ(clock_.now(), 0);
+}
+
+TEST_F(NetworkTest, PartitionDropsBothDirections) {
+  net_.add_node("a");
+  net_.add_node("b");
+  int got = 0;
+  net_.set_handler("a", "t", [&](const Message&) { ++got; });
+  net_.set_handler("b", "t", [&](const Message&) { ++got; });
+  net_.set_partitioned("a", "b", true);
+  for (auto [src, dst] : {std::pair{"a", "b"}, std::pair{"b", "a"}}) {
+    Message m;
+    m.src = src;
+    m.dst = dst;
+    m.type = "t";
+    ASSERT_TRUE(net_.send(std::move(m)).ok());  // fire-and-forget semantics
+  }
+  clock_.run_all();
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(net_.stats().messages_dropped, 2u);
+
+  net_.set_partitioned("a", "b", false);
+  Message m;
+  m.src = "a";
+  m.dst = "b";
+  m.type = "t";
+  (void)net_.send(std::move(m));
+  clock_.run_all();
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(NetworkTest, BandwidthAddsTransferTime) {
+  net_.add_node("a");
+  net_.add_node("b");
+  net_.set_link_latency("a", "b", sim::LatencyModel::constant_ms(1.0));
+  net_.set_bandwidth(1'000'000);  // 1 MB/s
+  sim::SimTime delivered_at = -1;
+  net_.set_handler("b", "t",
+                   [&](const Message&) { delivered_at = clock_.now(); });
+  Message m;
+  m.src = "a";
+  m.dst = "b";
+  m.type = "t";
+  m.bytes = 100'000;  // 0.1s at 1MB/s
+  (void)net_.send(std::move(m));
+  clock_.run_all();
+  EXPECT_EQ(delivered_at, sim::from_ms(1.0) + sim::from_ms(100.0));
+}
+
+TEST_F(NetworkTest, BytesEstimatedFromPayload) {
+  net_.add_node("a");
+  net_.add_node("b");
+  net_.set_handler("b", "t", [](const Message&) {});
+  Message m;
+  m.src = "a";
+  m.dst = "b";
+  m.type = "t";
+  m.payload = Value::object({{"blob", std::string(500, 'x')}});
+  (void)net_.send(std::move(m));
+  EXPECT_GT(net_.stats().bytes_sent, 500u);
+}
+
+TEST_F(NetworkTest, StatsCountSends) {
+  net_.add_node("a");
+  net_.add_node("b");
+  net_.set_handler("b", "t", [](const Message&) {});
+  for (int i = 0; i < 5; ++i) {
+    Message m;
+    m.src = "a";
+    m.dst = "b";
+    m.type = "t";
+    (void)net_.send(std::move(m));
+  }
+  clock_.run_all();
+  EXPECT_EQ(net_.stats().messages_sent, 5u);
+  EXPECT_EQ(net_.stats().messages_delivered, 5u);
+}
+
+}  // namespace
+}  // namespace knactor::net

@@ -1,0 +1,219 @@
+#include "net/rpc.h"
+
+#include <gtest/gtest.h>
+
+namespace knactor::net {
+namespace {
+
+using common::Result;
+using common::Value;
+
+class RpcTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_.set_default_latency(sim::LatencyModel::constant_ms(0.5));
+
+    MessageDescriptor req;
+    req.full_name = "t.EchoRequest";
+    req.fields = {{1, "text", FieldType::kString}};
+    ASSERT_TRUE(pool_.add(req).ok());
+    MessageDescriptor resp;
+    resp.full_name = "t.EchoResponse";
+    resp.fields = {{1, "text", FieldType::kString}};
+    ASSERT_TRUE(pool_.add(resp).ok());
+
+    service_.name = "t.Echo";
+    service_.methods = {{"Echo", "t.EchoRequest", "t.EchoResponse"}};
+
+    server_ = std::make_unique<RpcServer>(net_, "server-node", pool_);
+    ASSERT_TRUE(server_->add_service(service_, registry_).ok());
+    ASSERT_TRUE(server_
+                    ->add_handler("t.Echo", "Echo",
+                                  [](const Value& req, RpcServer::Respond done) {
+                                    Value resp = Value::object();
+                                    const Value* text = req.get("text");
+                                    resp.set("text",
+                                             text != nullptr ? *text : Value(""));
+                                    done(std::move(resp));
+                                  })
+                    .ok());
+    channel_ = std::make_unique<RpcChannel>(net_, "client-node", registry_,
+                                            pool_);
+  }
+
+  sim::VirtualClock clock_;
+  SimNetwork net_{clock_};
+  SchemaPool pool_;
+  RpcRegistry registry_;
+  ServiceDescriptor service_;
+  std::unique_ptr<RpcServer> server_;
+  std::unique_ptr<RpcChannel> channel_;
+};
+
+TEST_F(RpcTest, EchoRoundTrip) {
+  Value req = Value::object({{"text", "hello"}});
+  auto resp = channel_->call_sync(service_, "Echo", std::move(req));
+  ASSERT_TRUE(resp.ok()) << resp.error().to_string();
+  EXPECT_EQ(resp.value().get("text")->as_string(), "hello");
+  EXPECT_EQ(server_->requests_served(), 1u);
+  EXPECT_EQ(channel_->calls_issued(), 1u);
+}
+
+TEST_F(RpcTest, RoundTripChargesNetworkLatency) {
+  Value req = Value::object({{"text", "x"}});
+  sim::SimTime start = clock_.now();
+  ASSERT_TRUE(channel_->call_sync(service_, "Echo", std::move(req)).ok());
+  // Two hops at 0.5 ms each.
+  EXPECT_EQ(clock_.now() - start, sim::from_ms(1.0));
+}
+
+TEST_F(RpcTest, DispatchOverheadAdds) {
+  server_->set_dispatch_overhead(sim::LatencyModel::constant_ms(2.0));
+  sim::SimTime start = clock_.now();
+  ASSERT_TRUE(
+      channel_->call_sync(service_, "Echo", Value::object({{"text", "x"}}))
+          .ok());
+  EXPECT_EQ(clock_.now() - start, sim::from_ms(3.0));
+}
+
+TEST_F(RpcTest, UnknownMethodInStubFailsLocally) {
+  auto resp = channel_->call_sync(service_, "Nope", Value::object({}));
+  ASSERT_FALSE(resp.ok());
+  EXPECT_EQ(resp.error().code, common::Error::Code::kNotFound);
+}
+
+TEST_F(RpcTest, UnknownServiceFailsLookup) {
+  ServiceDescriptor ghost;
+  ghost.name = "t.Ghost";
+  ghost.methods = {{"Do", "t.EchoRequest", "t.EchoResponse"}};
+  auto resp = channel_->call_sync(ghost, "Do", Value::object({}));
+  ASSERT_FALSE(resp.ok());
+  EXPECT_EQ(resp.error().code, common::Error::Code::kNotFound);
+}
+
+TEST_F(RpcTest, UnimplementedMethodReturnsError) {
+  ServiceDescriptor extended = service_;
+  extended.methods.push_back({"Extra", "t.EchoRequest", "t.EchoResponse"});
+  ASSERT_TRUE(server_->add_service(extended, registry_).ok());
+  auto resp = channel_->call_sync(extended, "Extra", Value::object({}));
+  ASSERT_FALSE(resp.ok());
+  EXPECT_NE(resp.error().message.find("unimplemented"), std::string::npos);
+}
+
+TEST_F(RpcTest, HandlerErrorPropagates) {
+  ASSERT_TRUE(server_
+                  ->add_handler("t.Echo", "Echo",
+                                [](const Value&, RpcServer::Respond done) {
+                                  done(common::Error::invalid_argument(
+                                      "bad input"));
+                                })
+                  .ok());
+  auto resp = channel_->call_sync(service_, "Echo", Value::object({}));
+  ASSERT_FALSE(resp.ok());
+  EXPECT_NE(resp.error().message.find("bad input"), std::string::npos);
+}
+
+TEST_F(RpcTest, BadRequestFieldFailsEncodeClientSide) {
+  Value req = Value::object({{"unknown_field", 1}});
+  auto resp = channel_->call_sync(service_, "Echo", std::move(req));
+  ASSERT_FALSE(resp.ok());
+  EXPECT_EQ(resp.error().code, common::Error::Code::kInvalidArgument);
+}
+
+TEST_F(RpcTest, SchemaSkewBetweenClientAndServer) {
+  // Client compiled against a newer request schema than the server's.
+  SchemaPool client_pool;
+  MessageDescriptor req_v2;
+  req_v2.full_name = "t.EchoRequest";
+  req_v2.fields = {{1, "text", FieldType::kString},
+                   {2, "verbose", FieldType::kBool}};
+  ASSERT_TRUE(client_pool.add(req_v2).ok());
+  MessageDescriptor resp;
+  resp.full_name = "t.EchoResponse";
+  resp.fields = {{1, "text", FieldType::kString}};
+  ASSERT_TRUE(client_pool.add(resp).ok());
+
+  RpcChannel skewed(net_, "client-v2", registry_, client_pool);
+  Value req = Value::object({{"text", "x"}, {"verbose", true}});
+  auto r = skewed.call_sync(service_, "Echo", std::move(req));
+  // The server decodes with its own (v1) schema and rejects the unknown
+  // tag — the coupling failure mode of API-centric composition.
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("schema version mismatch"),
+            std::string::npos);
+}
+
+TEST_F(RpcTest, TimeoutFires) {
+  // A handler that never responds.
+  ASSERT_TRUE(server_
+                  ->add_handler("t.Echo", "Echo",
+                                [](const Value&, RpcServer::Respond) {})
+                  .ok());
+  channel_->set_timeout(sim::from_ms(10.0));
+  auto resp = channel_->call_sync(service_, "Echo", Value::object({}));
+  ASSERT_FALSE(resp.ok());
+  EXPECT_EQ(resp.error().code, common::Error::Code::kUnavailable);
+}
+
+TEST_F(RpcTest, PartitionedServerTimesOut) {
+  net_.set_partitioned("client-node", "server-node", true);
+  channel_->set_timeout(sim::from_ms(5.0));
+  auto resp = channel_->call_sync(service_, "Echo", Value::object({}));
+  ASSERT_FALSE(resp.ok());
+  EXPECT_EQ(resp.error().code, common::Error::Code::kUnavailable);
+}
+
+TEST_F(RpcTest, AsyncHandlerWithProcessingDelay) {
+  ASSERT_TRUE(
+      server_
+          ->add_handler("t.Echo", "Echo",
+                        [this](const Value&, RpcServer::Respond done) {
+                          clock_.schedule_after(sim::from_ms(100.0),
+                                                [done]() {
+                                                  Value resp = Value::object();
+                                                  resp.set("text", Value("late"));
+                                                  done(std::move(resp));
+                                                });
+                        })
+          .ok());
+  sim::SimTime start = clock_.now();
+  auto resp = channel_->call_sync(service_, "Echo", Value::object({}));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp.value().get("text")->as_string(), "late");
+  EXPECT_EQ(clock_.now() - start, sim::from_ms(101.0));
+}
+
+TEST_F(RpcTest, ConcurrentCallsMatchedById) {
+  std::vector<std::string> got(3);
+  int pending = 3;
+  for (int i = 0; i < 3; ++i) {
+    Value req = Value::object({{"text", "msg" + std::to_string(i)}});
+    channel_->call(service_, "Echo", std::move(req),
+                   [&got, &pending, i](Result<Value> r) {
+                     ASSERT_TRUE(r.ok());
+                     got[static_cast<std::size_t>(i)] =
+                         r.value().get("text")->as_string();
+                     --pending;
+                   });
+  }
+  clock_.run_all();
+  EXPECT_EQ(pending, 0);
+  EXPECT_EQ(got[0], "msg0");
+  EXPECT_EQ(got[2], "msg2");
+}
+
+TEST_F(RpcTest, ServiceRegistrationValidatesSchemas) {
+  ServiceDescriptor bad;
+  bad.name = "t.Bad";
+  bad.methods = {{"Do", "t.MissingType", "t.EchoResponse"}};
+  RpcServer server(net_, "bad-node", pool_);
+  EXPECT_FALSE(server.add_service(bad, registry_).ok());
+}
+
+TEST_F(RpcTest, AddHandlerValidatesServiceAndMethod) {
+  EXPECT_FALSE(server_->add_handler("t.Nope", "Echo", nullptr).ok());
+  EXPECT_FALSE(server_->add_handler("t.Echo", "Nope", nullptr).ok());
+}
+
+}  // namespace
+}  // namespace knactor::net

@@ -1,0 +1,232 @@
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+namespace knactor::net {
+namespace {
+
+using common::Value;
+
+class WireTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MessageDescriptor item;
+    item.full_name = "test.Item";
+    item.fields = {{1, "name", FieldType::kString, false, "", true},
+                   {2, "qty", FieldType::kInt}};
+    ASSERT_TRUE(pool_.add(item).ok());
+
+    MessageDescriptor order;
+    order.full_name = "test.Order";
+    order.fields = {{1, "items", FieldType::kMessage, true, "test.Item"},
+                    {2, "addr", FieldType::kString},
+                    {3, "cost", FieldType::kDouble},
+                    {4, "rush", FieldType::kBool},
+                    {5, "tags", FieldType::kString, true}};
+    ASSERT_TRUE(pool_.add(order).ok());
+  }
+
+  SchemaPool pool_;
+};
+
+TEST_F(WireTest, ScalarRoundTrip) {
+  const MessageDescriptor* item = pool_.find("test.Item");
+  Value v = Value::object({{"name", "kbd"}, {"qty", 3}});
+  auto bytes = encode(pool_, *item, v);
+  ASSERT_TRUE(bytes.ok());
+  auto decoded = decode(pool_, *item, bytes.value());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().get("name")->as_string(), "kbd");
+  EXPECT_EQ(decoded.value().get("qty")->as_int(), 3);
+}
+
+TEST_F(WireTest, NegativeIntZigzag) {
+  const MessageDescriptor* item = pool_.find("test.Item");
+  Value v = Value::object({{"name", "x"}, {"qty", -12345}});
+  auto decoded = decode(pool_, *item, encode(pool_, *item, v).value());
+  EXPECT_EQ(decoded.value().get("qty")->as_int(), -12345);
+}
+
+TEST_F(WireTest, NestedAndRepeatedRoundTrip) {
+  const MessageDescriptor* order = pool_.find("test.Order");
+  Value v = Value::object(
+      {{"items", Value::array({Value::object({{"name", "a"}, {"qty", 1}}),
+                               Value::object({{"name", "b"}, {"qty", 2}})})},
+       {"addr", "1 Market St"},
+       {"cost", 99.5},
+       {"rush", true},
+       {"tags", Value::array({"gift", "prime"})}});
+  auto decoded = decode(pool_, *order, encode(pool_, *order, v).value());
+  ASSERT_TRUE(decoded.ok());
+  const Value& d = decoded.value();
+  EXPECT_EQ(d.at_path("items.1.name")->as_string(), "b");
+  EXPECT_DOUBLE_EQ(d.get("cost")->as_double(), 99.5);
+  EXPECT_TRUE(d.get("rush")->as_bool());
+  EXPECT_EQ(d.get("tags")->as_array()[1].as_string(), "prime");
+}
+
+TEST_F(WireTest, UnknownFieldRejectedOnEncode) {
+  const MessageDescriptor* item = pool_.find("test.Item");
+  Value v = Value::object({{"name", "x"}, {"color", "red"}});
+  auto bytes = encode(pool_, *item, v);
+  ASSERT_FALSE(bytes.ok());
+  EXPECT_EQ(bytes.error().code, common::Error::Code::kInvalidArgument);
+}
+
+TEST_F(WireTest, RequiredFieldEnforced) {
+  const MessageDescriptor* item = pool_.find("test.Item");
+  EXPECT_FALSE(encode(pool_, *item, Value::object({{"qty", 1}})).ok());
+  // Null counts as unset.
+  EXPECT_FALSE(
+      encode(pool_, *item, Value::object({{"name", Value(nullptr)}})).ok());
+}
+
+TEST_F(WireTest, TypeMismatchRejected) {
+  const MessageDescriptor* item = pool_.find("test.Item");
+  EXPECT_FALSE(
+      encode(pool_, *item, Value::object({{"name", 42}})).ok());
+  EXPECT_FALSE(
+      encode(pool_, *item, Value::object({{"name", "x"}, {"qty", "many"}}))
+          .ok());
+}
+
+TEST_F(WireTest, RepeatedFieldNeedsArray) {
+  const MessageDescriptor* order = pool_.find("test.Order");
+  EXPECT_FALSE(
+      encode(pool_, *order, Value::object({{"tags", "notanarray"}})).ok());
+}
+
+TEST_F(WireTest, NonObjectRejected) {
+  const MessageDescriptor* item = pool_.find("test.Item");
+  EXPECT_FALSE(encode(pool_, *item, Value(5)).ok());
+}
+
+TEST_F(WireTest, SchemaSkewDetectedOnDecode) {
+  // Encode with a v2 schema that has an extra tag; decode with v1.
+  MessageDescriptor v2;
+  v2.full_name = "test.ItemV2";
+  v2.fields = {{1, "name", FieldType::kString},
+               {2, "qty", FieldType::kInt},
+               {3, "weight", FieldType::kDouble}};
+  ASSERT_TRUE(pool_.add(v2).ok());
+  Value v = Value::object({{"name", "x"}, {"qty", 1}, {"weight", 2.5}});
+  auto bytes = encode(pool_, *pool_.find("test.ItemV2"), v);
+  ASSERT_TRUE(bytes.ok());
+  auto decoded = decode(pool_, *pool_.find("test.Item"), bytes.value());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.error().message.find("schema version mismatch"),
+            std::string::npos);
+}
+
+TEST_F(WireTest, WireTypeMismatchDetected) {
+  // Same tag, different type across "versions".
+  MessageDescriptor other;
+  other.full_name = "test.Conflicting";
+  other.fields = {{1, "name", FieldType::kInt}};  // tag 1 is string in Item
+  ASSERT_TRUE(pool_.add(other).ok());
+  Value v = Value::object({{"name", 5}});
+  auto bytes = encode(pool_, *pool_.find("test.Conflicting"), v);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_FALSE(decode(pool_, *pool_.find("test.Item"), bytes.value()).ok());
+}
+
+TEST_F(WireTest, TruncatedBytesRejected) {
+  const MessageDescriptor* item = pool_.find("test.Item");
+  Value v = Value::object({{"name", "abcdef"}, {"qty", 7}});
+  auto bytes = encode(pool_, *item, v).value();
+  for (std::size_t cut = 1; cut < bytes.size(); ++cut) {
+    std::vector<std::uint8_t> truncated(bytes.begin(),
+                                        bytes.begin() + static_cast<long>(cut));
+    auto decoded = decode(pool_, *item, truncated);
+    // Some prefixes decode but fail the required-field check; either way
+    // the result must not silently succeed with complete data.
+    if (decoded.ok()) {
+      EXPECT_TRUE(decoded.value().get("qty") == nullptr ||
+                  decoded.value().get("name")->as_string() != "abcdef");
+    }
+  }
+}
+
+TEST_F(WireTest, DuplicateTagRejectedAtRegistration) {
+  MessageDescriptor bad;
+  bad.full_name = "test.Bad";
+  bad.fields = {{1, "a", FieldType::kInt}, {1, "b", FieldType::kInt}};
+  EXPECT_FALSE(pool_.add(bad).ok());
+}
+
+TEST_F(WireTest, DuplicateNameRejectedAtRegistration) {
+  MessageDescriptor bad;
+  bad.full_name = "test.Bad2";
+  bad.fields = {{1, "a", FieldType::kInt}, {2, "a", FieldType::kInt}};
+  EXPECT_FALSE(pool_.add(bad).ok());
+}
+
+TEST_F(WireTest, UnknownNestedTypeRejected) {
+  MessageDescriptor holder;
+  holder.full_name = "test.Holder";
+  holder.fields = {{1, "x", FieldType::kMessage, false, "test.Nope"}};
+  ASSERT_TRUE(pool_.add(holder).ok());
+  Value v = Value::object({{"x", Value::object({})}});
+  EXPECT_FALSE(encode(pool_, *pool_.find("test.Holder"), v).ok());
+}
+
+TEST_F(WireTest, EmptyObjectEncodesEmpty) {
+  MessageDescriptor opt;
+  opt.full_name = "test.AllOptional";
+  opt.fields = {{1, "a", FieldType::kInt}};
+  ASSERT_TRUE(pool_.add(opt).ok());
+  auto bytes = encode(pool_, *pool_.find("test.AllOptional"), Value::object({}));
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_TRUE(bytes.value().empty());
+  auto decoded = decode(pool_, *pool_.find("test.AllOptional"), bytes.value());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().is_object());
+}
+
+TEST_F(WireTest, NullFieldsSkipped) {
+  const MessageDescriptor* item = pool_.find("test.Item");
+  Value v = Value::object({{"name", "x"}, {"qty", Value(nullptr)}});
+  auto decoded = decode(pool_, *item, encode(pool_, *item, v).value());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().get("qty"), nullptr);
+}
+
+TEST_F(WireTest, DoubleSpecialValues) {
+  const MessageDescriptor* order = pool_.find("test.Order");
+  Value v = Value::object({{"cost", 1e308}});
+  auto decoded = decode(pool_, *order, encode(pool_, *order, v).value());
+  EXPECT_DOUBLE_EQ(decoded.value().get("cost")->as_double(), 1e308);
+}
+
+TEST_F(WireTest, IntAcceptedForDoubleField) {
+  const MessageDescriptor* order = pool_.find("test.Order");
+  Value v = Value::object({{"cost", 42}});
+  auto decoded = decode(pool_, *order, encode(pool_, *order, v).value());
+  EXPECT_DOUBLE_EQ(decoded.value().get("cost")->as_double(), 42.0);
+}
+
+// Parameterized sweep: round-trip holds for a range of int values.
+class WireIntSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(WireIntSweep, RoundTrip) {
+  SchemaPool pool;
+  MessageDescriptor m;
+  m.full_name = "t.I";
+  m.fields = {{1, "v", FieldType::kInt}};
+  ASSERT_TRUE(pool.add(m).ok());
+  Value v = Value::object({{"v", GetParam()}});
+  auto decoded =
+      decode(pool, *pool.find("t.I"), encode(pool, *pool.find("t.I"), v).value());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().get("v")->as_int(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, WireIntSweep,
+    ::testing::Values(0, 1, -1, 127, 128, -128, 300, -300, 65535, -65536,
+                      1'000'000'007, -1'000'000'007,
+                      std::numeric_limits<std::int64_t>::max(),
+                      std::numeric_limits<std::int64_t>::min()));
+
+}  // namespace
+}  // namespace knactor::net

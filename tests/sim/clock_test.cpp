@@ -1,0 +1,202 @@
+#include "sim/clock.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/latency.h"
+#include "sim/random.h"
+
+namespace knactor::sim {
+namespace {
+
+TEST(VirtualClock, StartsAtZero) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.now(), 0);
+  EXPECT_TRUE(clock.idle());
+}
+
+TEST(VirtualClock, AdvanceMovesTime) {
+  VirtualClock clock;
+  clock.advance(5 * kMillisecond);
+  EXPECT_EQ(clock.now(), 5 * kMillisecond);
+  clock.advance(-3);  // negative deltas are ignored
+  EXPECT_EQ(clock.now(), 5 * kMillisecond);
+}
+
+TEST(VirtualClock, EventsRunInTimeOrder) {
+  VirtualClock clock;
+  std::vector<int> order;
+  clock.schedule_after(30, [&] { order.push_back(3); });
+  clock.schedule_after(10, [&] { order.push_back(1); });
+  clock.schedule_after(20, [&] { order.push_back(2); });
+  EXPECT_EQ(clock.run_all(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(clock.now(), 30);
+}
+
+TEST(VirtualClock, TiesBreakFifo) {
+  VirtualClock clock;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    clock.schedule_after(10, [&order, i] { order.push_back(i); });
+  }
+  clock.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(VirtualClock, CallbacksCanScheduleMore) {
+  VirtualClock clock;
+  int fired = 0;
+  clock.schedule_after(10, [&] {
+    ++fired;
+    clock.schedule_after(10, [&] { ++fired; });
+  });
+  clock.run_all();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(clock.now(), 20);
+}
+
+TEST(VirtualClock, RunUntilStopsAtDeadline) {
+  VirtualClock clock;
+  int fired = 0;
+  clock.schedule_after(10, [&] { ++fired; });
+  clock.schedule_after(100, [&] { ++fired; });
+  EXPECT_EQ(clock.run_until(50), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(clock.now(), 50);
+  EXPECT_EQ(clock.pending(), 1u);
+  clock.run_all();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(VirtualClock, ScheduleAtClampsToNow) {
+  VirtualClock clock;
+  clock.advance(100);
+  bool fired = false;
+  clock.schedule_at(10, [&] { fired = true; });  // in the past
+  clock.step();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(clock.now(), 100);
+}
+
+TEST(VirtualClock, StepReturnsFalseWhenIdle) {
+  VirtualClock clock;
+  EXPECT_FALSE(clock.step());
+}
+
+TEST(VirtualClock, NegativeDelayClampsToZero) {
+  VirtualClock clock;
+  clock.advance(50);
+  bool fired = false;
+  clock.schedule_after(-20, [&] { fired = true; });
+  clock.run_all();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(clock.now(), 50);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u32(), b.next_u32());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u32() == b.next_u32()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(10), 10u);
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng rng(11);
+  double lo = 1e9;
+  double hi = -1e9;
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.uniform(5.0, 10.0);
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+    EXPECT_GE(d, 5.0);
+    EXPECT_LT(d, 10.0);
+  }
+  EXPECT_LT(lo, 5.5);
+  EXPECT_GT(hi, 9.5);
+}
+
+TEST(Rng, NormalHasRoughMoments) {
+  Rng rng(13);
+  double sum = 0;
+  double sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double d = rng.normal(100.0, 15.0);
+    sum += d;
+    sq += d * d;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 100.0, 1.0);
+  EXPECT_NEAR(var, 225.0, 25.0);
+}
+
+TEST(LatencyModel, ZeroByDefault) {
+  Rng rng(1);
+  LatencyModel m;
+  EXPECT_EQ(m.sample(rng), 0);
+  EXPECT_EQ(m.mean(), 0);
+}
+
+TEST(LatencyModel, Constant) {
+  Rng rng(1);
+  auto m = LatencyModel::constant_ms(2.5);
+  EXPECT_EQ(m.sample(rng), from_ms(2.5));
+  EXPECT_EQ(m.mean(), from_ms(2.5));
+}
+
+TEST(LatencyModel, UniformWithinBounds) {
+  Rng rng(1);
+  auto m = LatencyModel::uniform_ms(1.0, 3.0);
+  for (int i = 0; i < 1000; ++i) {
+    SimTime t = m.sample(rng);
+    EXPECT_GE(t, from_ms(1.0));
+    EXPECT_LT(t, from_ms(3.0));
+  }
+  EXPECT_EQ(m.mean(), from_ms(2.0));
+}
+
+TEST(LatencyModel, NormalNeverNegative) {
+  Rng rng(1);
+  auto m = LatencyModel::normal_ms(0.5, 2.0);  // wide: would go negative
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(m.sample(rng), 0);
+  }
+}
+
+TEST(SimTimeConversions, RoundTrip) {
+  EXPECT_EQ(from_ms(1.5), 1500);
+  EXPECT_DOUBLE_EQ(to_ms(2500), 2.5);
+}
+
+}  // namespace
+}  // namespace knactor::sim

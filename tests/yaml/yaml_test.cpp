@@ -1,0 +1,233 @@
+#include "yaml/yaml.h"
+
+#include <gtest/gtest.h>
+
+namespace knactor::yaml {
+namespace {
+
+using common::Value;
+
+TEST(Yaml, SimpleMapping) {
+  auto r = parse("a: 1\nb: text\nc: true\n");
+  ASSERT_TRUE(r.ok());
+  const Value& v = r.value();
+  EXPECT_EQ(v.get("a")->as_int(), 1);
+  EXPECT_EQ(v.get("b")->as_string(), "text");
+  EXPECT_EQ(v.get("c")->as_bool(), true);
+}
+
+TEST(Yaml, ScalarTyping) {
+  auto v = parse("i: -3\nf: 2.5\ne: 1e3\nt: True\nn: null\ntilde: ~\ns: 1x\n")
+               .value();
+  EXPECT_TRUE(v.get("i")->is_int());
+  EXPECT_TRUE(v.get("f")->is_double());
+  EXPECT_TRUE(v.get("e")->is_double());
+  EXPECT_TRUE(v.get("t")->is_bool());
+  EXPECT_TRUE(v.get("n")->is_null());
+  EXPECT_TRUE(v.get("tilde")->is_null());
+  EXPECT_TRUE(v.get("s")->is_string());
+}
+
+TEST(Yaml, NestedMapping) {
+  auto v = parse("outer:\n  inner:\n    leaf: 5\n").value();
+  EXPECT_EQ(v.at_path("outer.inner.leaf")->as_int(), 5);
+}
+
+TEST(Yaml, EmptyValueIsNull) {
+  auto v = parse("a:\nb: 1\n").value();
+  EXPECT_TRUE(v.get("a")->is_null());
+  EXPECT_EQ(v.get("b")->as_int(), 1);
+}
+
+TEST(Yaml, Sequence) {
+  auto v = parse("items:\n  - one\n  - two\n  - 3\n").value();
+  const Value* items = v.get("items");
+  ASSERT_TRUE(items->is_array());
+  EXPECT_EQ(items->as_array()[0].as_string(), "one");
+  EXPECT_EQ(items->as_array()[2].as_int(), 3);
+}
+
+TEST(Yaml, SequenceAtSameIndentAsKey) {
+  auto v = parse("items:\n- a\n- b\n").value();
+  ASSERT_TRUE(v.get("items")->is_array());
+  EXPECT_EQ(v.get("items")->as_array().size(), 2u);
+}
+
+TEST(Yaml, CompactSequenceOfMappings) {
+  auto v = parse("ops:\n  - kind: filter\n    expr: x > 1\n  - kind: sort\n")
+               .value();
+  const Value* ops = v.get("ops");
+  ASSERT_TRUE(ops->is_array());
+  ASSERT_EQ(ops->as_array().size(), 2u);
+  EXPECT_EQ(ops->as_array()[0].get("kind")->as_string(), "filter");
+  EXPECT_EQ(ops->as_array()[0].get("expr")->as_string(), "x > 1");
+  EXPECT_EQ(ops->as_array()[1].get("kind")->as_string(), "sort");
+}
+
+TEST(Yaml, QuotedScalars) {
+  auto v = parse("a: 'single'\nb: \"double\"\nc: '[not, flow]'\n").value();
+  EXPECT_EQ(v.get("a")->as_string(), "single");
+  EXPECT_EQ(v.get("b")->as_string(), "double");
+  EXPECT_EQ(v.get("c")->as_string(), "[not, flow]");
+}
+
+TEST(Yaml, SingleQuoteEscaping) {
+  auto v = parse("a: 'it''s'\n").value();
+  EXPECT_EQ(v.get("a")->as_string(), "it's");
+}
+
+TEST(Yaml, CommentsStripped) {
+  auto v = parse("# header\na: 1 # trailing\n# middle\nb: 2\n").value();
+  EXPECT_EQ(v.get("a")->as_int(), 1);
+  EXPECT_EQ(v.get("b")->as_int(), 2);
+}
+
+TEST(Yaml, HashInsideQuotesKept) {
+  auto v = parse("a: 'has # inside'\n").value();
+  EXPECT_EQ(v.get("a")->as_string(), "has # inside");
+}
+
+TEST(Yaml, TrailingCommentsCaptured) {
+  auto r = parse_document("shippingCost: number # +kr: external\nplain: int\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().comments.at("shippingCost"), "+kr: external");
+  EXPECT_EQ(r.value().comments.count("plain"), 0u);
+}
+
+TEST(Yaml, FoldedBlockScalar) {
+  auto v = parse("expr: >\n  line one\n  line two\n").value();
+  EXPECT_EQ(v.get("expr")->as_string(), "line one line two");
+}
+
+TEST(Yaml, LiteralBlockScalar) {
+  auto v = parse("text: |\n  line one\n  line two\n").value();
+  EXPECT_EQ(v.get("text")->as_string(), "line one\nline two\n");
+}
+
+TEST(Yaml, LiteralBlockScalarChomped) {
+  auto v = parse("text: |-\n  only line\n").value();
+  EXPECT_EQ(v.get("text")->as_string(), "only line");
+}
+
+TEST(Yaml, FoldedScalarKeepsExpressionHash) {
+  // '#' inside a folded expression is not a comment.
+  auto v = parse("e: >\n  a # b\n").value();
+  EXPECT_EQ(v.get("e")->as_string(), "a # b");
+}
+
+TEST(Yaml, FlowSequence) {
+  auto v = parse("xs: [1, 2.5, 'three', true]\n").value();
+  const Value* xs = v.get("xs");
+  ASSERT_TRUE(xs->is_array());
+  EXPECT_EQ(xs->as_array()[0].as_int(), 1);
+  EXPECT_DOUBLE_EQ(xs->as_array()[1].as_double(), 2.5);
+  EXPECT_EQ(xs->as_array()[2].as_string(), "three");
+  EXPECT_EQ(xs->as_array()[3].as_bool(), true);
+}
+
+TEST(Yaml, FlowMapping) {
+  auto v = parse("m: {a: 1, b: two}\n").value();
+  EXPECT_EQ(v.at_path("m.a")->as_int(), 1);
+  EXPECT_EQ(v.at_path("m.b")->as_string(), "two");
+}
+
+TEST(Yaml, NestedFlow) {
+  auto v = parse("m: {xs: [1, [2, 3]], e: {}}\n").value();
+  EXPECT_EQ(v.at_path("m.xs.1.0")->as_int(), 2);
+  EXPECT_TRUE(v.at_path("m.e")->is_object());
+}
+
+TEST(Yaml, KeysWithDotsAndSlashes) {
+  auto v = parse("C.order:\n  shippingCost: 1\nC: OnlineRetail/v1/Checkout\n")
+               .value();
+  EXPECT_NE(v.get("C.order"), nullptr);
+  EXPECT_EQ(v.get("C")->as_string(), "OnlineRetail/v1/Checkout");
+}
+
+TEST(Yaml, Fig5SchemaParses) {
+  const char* schema =
+      "schema: OnlineRetail/v1/Checkout/Order\n"
+      "items: object\n"
+      "address: string\n"
+      "cost: number\n"
+      "shippingCost: number # +kr: external\n"
+      "totalCost: number\n"
+      "currency: string\n"
+      "paymentID: string # +kr: external\n"
+      "trackingID: string # +kr: external\n";
+  auto r = parse_document(schema);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().root.get("schema")->as_string(),
+            "OnlineRetail/v1/Checkout/Order");
+  EXPECT_EQ(r.value().comments.size(), 3u);
+}
+
+TEST(Yaml, Fig6DxgParses) {
+  const char* dxg =
+      "Input:\n"
+      "  C: OnlineRetail/v1/Checkout/knactor-checkout\n"
+      "  S: OnlineRetail/v1/Shipping/knactor-shipping\n"
+      "  P: OnlineRetail/v1/Payment/knactor-payment\n"
+      "DXG:\n"
+      "  C.order:\n"
+      "    shippingCost: >\n"
+      "      currency_convert(S.quote.price,\n"
+      "      S.quote.currency, this.currency)\n"
+      "    paymentID: P.id\n"
+      "    trackingID: S.id\n"
+      "  P:\n"
+      "    # other fields in the data store: id\n"
+      "    amount: C.order.totalCost\n"
+      "    currency: C.order.currency\n"
+      "  S:\n"
+      "    # other fields in the data store: id, quote\n"
+      "    items: '[item.name for item in C.order.items]'\n"
+      "    addr: C.order.address\n"
+      "    method: >\n"
+      "      \"air\" if C.order.cost > 1000 else \"ground\"\n";
+  auto r = parse(dxg);
+  ASSERT_TRUE(r.ok());
+  const Value& v = r.value();
+  EXPECT_EQ(v.at_path("Input.C")->as_string(),
+            "OnlineRetail/v1/Checkout/knactor-checkout");
+  EXPECT_EQ(
+      v.get("DXG")->get("C.order")->get("shippingCost")->as_string(),
+      "currency_convert(S.quote.price, S.quote.currency, this.currency)");
+  EXPECT_EQ(v.get("DXG")->get("S")->get("method")->as_string(),
+            "\"air\" if C.order.cost > 1000 else \"ground\"");
+}
+
+TEST(Yaml, EmptyDocumentIsNull) {
+  EXPECT_TRUE(parse("").value().is_null());
+  EXPECT_TRUE(parse("\n# only comments\n").value().is_null());
+}
+
+TEST(Yaml, BadIndentationErrors) {
+  auto r = parse("a: 1\n   b: 2\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Yaml, TopLevelSequence) {
+  auto v = parse("- 1\n- 2\n").value();
+  ASSERT_TRUE(v.is_array());
+  EXPECT_EQ(v.as_array().size(), 2u);
+}
+
+TEST(Yaml, DumpRoundTrip) {
+  auto v = parse("a: 1\nb:\n  c: text\n  d: [1, 2]\ne: true\n").value();
+  auto again = parse(dump(v));
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(v == again.value());
+}
+
+TEST(Yaml, DumpQuotesAmbiguousStrings) {
+  Value v = Value::object({{"a", "123"}, {"b", "true"}, {"c", "x: y"}});
+  auto again = parse(dump(v));
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again.value().get("a")->is_string());
+  EXPECT_TRUE(again.value().get("b")->is_string());
+  EXPECT_EQ(again.value().get("c")->as_string(), "x: y");
+}
+
+}  // namespace
+}  // namespace knactor::yaml

@@ -1,0 +1,246 @@
+// knctl — the operator CLI the paper's prototype ships ("a CLI for
+// operating knactors", §4). Works on spec files:
+//
+//   knctl analyze <dxg.yaml>            static analysis (cycles, unused
+//                                       inputs, unresolved aliases, schema
+//                                       conformance with --schema files)
+//   knctl schema  <schema.yaml>         inspect a data-store schema
+//   knctl gen (reconciler|accessors|dxg) <schema.yaml>
+//                                       code generation to stdout
+//   knctl fmt <file.yaml>               parse + re-emit normalized YAML
+//   knctl query '<pipeline>' <records.jsonl>
+//                                       run a Log-DE query over JSONL
+//                                       records (one JSON object per line)
+//   knctl demo                          run all of the above on the
+//                                       paper's Fig. 5 / Fig. 6 specs
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/retail_specs.h"
+#include "common/json.h"
+#include "common/strings.h"
+#include "core/codegen.h"
+#include "core/dxg.h"
+#include "de/query.h"
+#include "de/schema.h"
+#include "yaml/yaml.h"
+
+namespace {
+
+using knactor::common::Result;
+
+Result<std::string> read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return knactor::common::Error::not_found("cannot open '" + path + "'");
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+int cmd_analyze(const std::string& text,
+                const std::vector<std::string>& schema_texts) {
+  knactor::de::SchemaRegistry schemas;
+  for (const auto& schema_text : schema_texts) {
+    auto added = schemas.add_yaml(schema_text);
+    if (!added.ok()) {
+      std::fprintf(stderr, "schema: %s\n", added.error().to_string().c_str());
+      return 2;
+    }
+  }
+  auto dxg = knactor::core::Dxg::parse(text);
+  if (!dxg.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 dxg.error().to_string().c_str());
+    return 2;
+  }
+  std::printf("inputs:   %zu\nmappings: %zu\n", dxg.value().inputs().size(),
+              dxg.value().size());
+  auto issues = knactor::core::analyze(
+      dxg.value(), schema_texts.empty() ? nullptr : &schemas);
+  if (issues.empty()) {
+    std::printf("analysis: clean\n");
+    return 0;
+  }
+  for (const auto& issue : issues) {
+    std::printf("%-18s %s\n", knactor::core::issue_kind_name(issue.kind),
+                issue.detail.c_str());
+  }
+  return 1;
+}
+
+int cmd_schema(const std::string& text) {
+  auto schema = knactor::de::parse_schema(text);
+  if (!schema.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 schema.error().to_string().c_str());
+    return 2;
+  }
+  std::printf("schema: %s\n", schema.value().id.c_str());
+  for (const auto& field : schema.value().fields) {
+    std::printf("  %-16s %-8s%s%s\n", field.name.c_str(), field.type.c_str(),
+                field.external ? " external" : "",
+                field.required ? " required" : "");
+  }
+  auto external = schema.value().external_fields();
+  std::printf("external fields (integrator-filled): %zu\n", external.size());
+  return 0;
+}
+
+int cmd_gen(const std::string& kind, const std::string& text) {
+  auto schema = knactor::de::parse_schema(text);
+  if (!schema.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 schema.error().to_string().c_str());
+    return 2;
+  }
+  knactor::core::CodegenOptions options;
+  Result<std::string> generated =
+      kind == "reconciler"
+          ? knactor::core::generate_reconciler(schema.value(), options)
+          : kind == "accessors"
+                ? knactor::core::generate_accessors(schema.value(), options)
+                : knactor::core::generate_dxg_stub(schema.value());
+  if (!generated.ok()) {
+    std::fprintf(stderr, "codegen: %s\n",
+                 generated.error().to_string().c_str());
+    return 2;
+  }
+  std::fputs(generated.value().c_str(), stdout);
+  return 0;
+}
+
+int cmd_fmt(const std::string& text) {
+  auto parsed = knactor::yaml::parse(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 parsed.error().to_string().c_str());
+    return 2;
+  }
+  std::fputs(knactor::yaml::dump(parsed.value()).c_str(), stdout);
+  return 0;
+}
+
+int cmd_query(const std::string& pipeline_text, const std::string& jsonl) {
+  auto query = knactor::de::parse_query(pipeline_text);
+  if (!query.ok()) {
+    std::fprintf(stderr, "query error: %s\n",
+                 query.error().to_string().c_str());
+    return 2;
+  }
+  std::vector<knactor::common::Value> records;
+  for (const auto& line : knactor::common::split(jsonl, '\n')) {
+    if (knactor::common::trim(line).empty()) continue;
+    auto record = knactor::common::parse_json(line);
+    if (!record.ok()) {
+      std::fprintf(stderr, "bad record: %s\n",
+                   record.error().to_string().c_str());
+      return 2;
+    }
+    records.push_back(record.take());
+  }
+  auto result = knactor::de::run_pipeline(query.value(), std::move(records));
+  if (!result.ok()) {
+    std::fprintf(stderr, "pipeline error: %s\n",
+                 result.error().to_string().c_str());
+    return 2;
+  }
+  for (const auto& record : result.value()) {
+    std::printf("%s\n", knactor::common::to_json(record).c_str());
+  }
+  return 0;
+}
+
+int cmd_demo() {
+  std::printf("== knctl schema (Fig. 5, Checkout) ==\n");
+  (void)cmd_schema(knactor::apps::kCheckoutSchema);
+  std::printf("\n== knctl analyze (Fig. 6 DXG) ==\n");
+  int rc = cmd_analyze(knactor::apps::kRetailDxg, {});
+  std::printf("\n== knctl gen dxg (from the Shipping schema) ==\n");
+  (void)cmd_gen("dxg", knactor::apps::kShippingSchema);
+  return rc;
+}
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  knctl analyze <dxg.yaml> [--schema <schema.yaml>]...\n"
+      "  knctl schema <schema.yaml>\n"
+      "  knctl gen (reconciler|accessors|dxg) <schema.yaml>\n"
+      "  knctl fmt <file.yaml>\n"
+      "  knctl query '<pipeline>' <records.jsonl>\n"
+      "  knctl demo\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) {
+    // Bare invocation (e.g. from a bench/CI sweep) runs the demo.
+    return cmd_demo();
+  }
+  const std::string& command = args[0];
+  if (command == "demo") return cmd_demo();
+  if (command == "analyze" && args.size() >= 2) {
+    auto text = read_file(args[1]);
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s\n", text.error().to_string().c_str());
+      return 2;
+    }
+    std::vector<std::string> schema_texts;
+    for (std::size_t i = 2; i + 1 < args.size(); i += 2) {
+      if (args[i] != "--schema") {
+        usage();
+        return 2;
+      }
+      auto schema_text = read_file(args[i + 1]);
+      if (!schema_text.ok()) {
+        std::fprintf(stderr, "%s\n", schema_text.error().to_string().c_str());
+        return 2;
+      }
+      schema_texts.push_back(schema_text.take());
+    }
+    return cmd_analyze(text.value(), schema_texts);
+  }
+  if (command == "schema" && args.size() == 2) {
+    auto text = read_file(args[1]);
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s\n", text.error().to_string().c_str());
+      return 2;
+    }
+    return cmd_schema(text.value());
+  }
+  if (command == "gen" && args.size() == 3 &&
+      (args[1] == "reconciler" || args[1] == "accessors" || args[1] == "dxg")) {
+    auto text = read_file(args[2]);
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s\n", text.error().to_string().c_str());
+      return 2;
+    }
+    return cmd_gen(args[1], text.value());
+  }
+  if (command == "fmt" && args.size() == 2) {
+    auto text = read_file(args[1]);
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s\n", text.error().to_string().c_str());
+      return 2;
+    }
+    return cmd_fmt(text.value());
+  }
+  if (command == "query" && args.size() == 3) {
+    auto jsonl = read_file(args[2]);
+    if (!jsonl.ok()) {
+      std::fprintf(stderr, "%s\n", jsonl.error().to_string().c_str());
+      return 2;
+    }
+    return cmd_query(args[1], jsonl.value());
+  }
+  usage();
+  return 2;
+}

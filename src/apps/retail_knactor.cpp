@@ -497,6 +497,9 @@ RetailKnactorApp build_retail_knactor_app(core::Runtime& runtime,
   }
   core::CastIntegrator::Options copts;
   copts.compute = options.integrator_compute;
+  copts.retry = options.integrator_retry;
+  copts.metrics = options.metrics != nullptr ? options.metrics
+                                             : &runtime.metrics();
   auto integrator = std::make_unique<core::CastIntegrator>(
       "retail", de, dxg.take(), std::move(bindings), copts, &runtime.schemas(),
       &runtime.tracer());

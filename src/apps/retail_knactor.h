@@ -33,6 +33,11 @@ struct RetailKnactorOptions {
   /// Enable RBAC with least-privilege roles for every reconciler and the
   /// integrator.
   bool rbac = false;
+  /// Exchange-pass retry policy for the Cast integrator (chaos resilience;
+  /// disabled by default).
+  sim::RetryPolicy integrator_retry;
+  /// Optional counters sink passed through to the integrator.
+  core::Metrics* metrics = nullptr;
 };
 
 /// Handles to the deployed app.

@@ -445,6 +445,25 @@ Result<std::string> RetailRpcApp::place_order_sync(
   return tracking->as_string();
 }
 
+void RetailRpcApp::configure_channels(sim::SimTime timeout,
+                                      sim::RetryPolicy retry) {
+  for (auto& ch : channels_) {
+    ch->set_timeout(timeout);
+    ch->set_retry_policy(retry);
+  }
+}
+
+net::RpcChannel::Stats RetailRpcApp::channel_stats() const {
+  net::RpcChannel::Stats total;
+  for (const auto& ch : channels_) {
+    total.calls += ch->stats().calls;
+    total.retries += ch->stats().retries;
+    total.timeouts += ch->stats().timeouts;
+    total.failures += ch->stats().failures;
+  }
+  return total;
+}
+
 std::size_t RetailRpcApp::method_count() const {
   std::size_t n = 0;
   for (const auto& s : services_) n += s.methods.size();

@@ -60,6 +60,14 @@ class RetailRpcApp {
   [[nodiscard]] net::SimNetwork& network() { return *network_; }
   [[nodiscard]] const net::SchemaPool& schemas() const { return pool_; }
 
+  /// Applies a per-call timeout and retry policy to every client channel.
+  /// Without a timeout the baseline hangs forever on a lost message (the
+  /// fragile configuration the chaos tests contrast against).
+  void configure_channels(sim::SimTime timeout,
+                          sim::RetryPolicy retry = sim::RetryPolicy::none());
+  /// Aggregated client-channel stats (calls/retries/timeouts/failures).
+  [[nodiscard]] net::RpcChannel::Stats channel_stats() const;
+
   /// Number of RPC methods exposed across all services (the scattering
   /// metric input).
   [[nodiscard]] std::size_t method_count() const;

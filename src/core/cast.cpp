@@ -345,13 +345,44 @@ void CastIntegrator::run_pass_async(int rounds_left) {
 
           auto writes_left = std::make_shared<std::size_t>(ps.patches.size());
           auto wrote = std::make_shared<std::size_t>(0);
-          auto complete = [this, writes_left, wrote, rounds_left, span,
-                           write_span]() {
+          auto write_failed = std::make_shared<bool>(false);
+          auto complete = [this, writes_left, wrote, write_failed, snapshot,
+                           rounds_left, span, write_span]() {
             if (*writes_left > 0) return;
             pass_in_flight_ = false;
             if (tracer_ != nullptr) {
               if (write_span != 0) tracer_->end(write_span);
               if (span != 0) tracer_->end(span);
+            }
+            const bool failed = snapshot->failed || *write_failed;
+            if (failed) {
+              ++stats_.failed_passes;
+              if (options_.metrics != nullptr) {
+                options_.metrics->inc("cast." + name_ + ".failed_passes");
+              }
+            }
+            if (failed && options_.retry.enabled()) {
+              if (pass_attempt_ == 0) pass_first_attempt_ = de_.clock().now();
+              ++pass_attempt_;
+              const sim::SimTime elapsed =
+                  de_.clock().now() - pass_first_attempt_;
+              if (options_.retry.should_retry(pass_attempt_, elapsed)) {
+                ++stats_.retries;
+                if (options_.metrics != nullptr) {
+                  options_.metrics->inc("cast." + name_ + ".retries");
+                }
+                rerun_requested_ = false;
+                de_.clock().schedule_after(
+                    options_.retry.backoff(pass_attempt_, rng_), [this]() {
+                      run_pass_async(options_.max_rounds_per_event);
+                    });
+                return;
+              }
+              // Budget exhausted: give up until the next watch event (or an
+              // explicit resync pass) re-triggers the exchange.
+              pass_attempt_ = 0;
+            } else if (!failed) {
+              pass_attempt_ = 0;
             }
             bool rerun = rerun_requested_;
             rerun_requested_ = false;
@@ -380,7 +411,7 @@ void CastIntegrator::run_pass_async(int rounds_left) {
               ops.push_back(std::move(op));
             }
             de_.transact(principal(), std::move(ops),
-                         [this, writes_left, wrote, complete,
+                         [this, writes_left, wrote, write_failed, complete,
                           n](Result<Value> r) {
                            --*writes_left;
                            if (r.ok()) {
@@ -388,6 +419,7 @@ void CastIntegrator::run_pass_async(int rounds_left) {
                              stats_.fields_written += n;
                            } else {
                              ++stats_.eval_errors;
+                             *write_failed = true;
                              KN_DEBUG << "cast " << name_
                                       << ": transaction failed: "
                                       << r.error().to_string();
@@ -401,7 +433,7 @@ void CastIntegrator::run_pass_async(int rounds_left) {
             de::ObjectStore* store = stores_[alias];
             std::size_t n = fields.is_object() ? fields.as_object().size() : 0;
             store->patch(principal(), object, std::move(fields),
-                         [this, writes_left, wrote, complete,
+                         [this, writes_left, wrote, write_failed, complete,
                           n](Result<std::uint64_t> r) {
                            --*writes_left;
                            if (r.ok()) {
@@ -409,6 +441,7 @@ void CastIntegrator::run_pass_async(int rounds_left) {
                              stats_.fields_written += n;
                            } else {
                              ++stats_.eval_errors;
+                             *write_failed = true;
                              KN_DEBUG << "cast " << name_ << ": write failed: "
                                       << r.error().to_string();
                            }
@@ -435,6 +468,7 @@ void CastIntegrator::run_pass_async(int rounds_left) {
                     }
                   } else {
                     snapshot->values[alias_copy] = Value::object();
+                    snapshot->failed = true;
                   }
                   if (--*remaining == 0) finish_snapshot();
                 });

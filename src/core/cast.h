@@ -27,6 +27,7 @@
 #include "de/object.h"
 #include "expr/eval.h"
 #include "sim/latency.h"
+#include "sim/retry.h"
 
 namespace knactor::core {
 
@@ -36,6 +37,8 @@ struct CastStats {
   std::uint64_t fields_skipped_not_ready = 0;
   std::uint64_t eval_errors = 0;
   std::uint64_t reconfigurations = 0;
+  std::uint64_t failed_passes = 0;  // snapshot read or write failed
+  std::uint64_t retries = 0;        // passes re-run by the retry policy
 };
 
 class CastIntegrator : public Integrator {
@@ -62,6 +65,14 @@ class CastIntegrator : public Integrator {
     /// (trades propagation latency for fewer snapshot/evaluate cycles —
     /// §3.3 "consolidate the state processing logic", applied in time).
     sim::SimTime debounce = 0;
+    /// Exchange-pass retry: when a pass's snapshot read or patch write
+    /// fails (e.g. the DE is crashed), re-run the whole pass after backoff.
+    /// Passes are idempotent (desired-state patches), so replays are safe.
+    /// Disabled by default.
+    sim::RetryPolicy retry;
+    /// Optional counters sink: failed passes and retries are recorded as
+    /// "cast.<name>.failed_passes" / "cast.<name>.retries".
+    Metrics* metrics = nullptr;
   };
 
   /// `stores` binds DXG input aliases to object stores. All stores must
@@ -121,6 +132,7 @@ class CastIntegrator : public Integrator {
   struct Snapshot {
     std::map<std::string, common::Value> values;
     std::map<std::string, std::vector<std::string>> keys;
+    bool failed = false;  // at least one alias list errored
   };
   PatchSet evaluate(const Snapshot& snapshot);
 
@@ -146,6 +158,8 @@ class CastIntegrator : public Integrator {
   bool pass_in_flight_ = false;
   bool rerun_requested_ = false;
   bool debounce_pending_ = false;
+  int pass_attempt_ = 0;  // consecutive failed passes (retry bookkeeping)
+  sim::SimTime pass_first_attempt_ = 0;
   std::string udf_name_;
   std::vector<std::pair<de::ObjectStore*, std::uint64_t>> watches_;
   sim::Rng rng_{0xCA57};

@@ -37,8 +37,29 @@ de::LogDe* Runtime::log_de(const std::string& name) {
 net::SimNetwork& Runtime::network() {
   if (!network_) {
     network_ = std::make_unique<net::SimNetwork>(clock_);
+    // Chaos faults injected into the runtime's network surface in the
+    // runtime's own telemetry.
+    attach_fault_observer(*network_, &tracer_, &metrics_);
   }
   return *network_;
+}
+
+void attach_fault_observer(net::SimNetwork& network, Tracer* tracer,
+                           Metrics* metrics) {
+  network.set_fault_observer([tracer, metrics](const sim::FaultRecord& rec) {
+    const std::string kind = sim::fault_kind_name(rec.kind);
+    if (metrics != nullptr) {
+      metrics->inc("chaos.fault");
+      metrics->inc("chaos.fault." + kind);
+    }
+    if (tracer != nullptr) {
+      auto span = tracer->begin("chaos.fault");
+      tracer->annotate(span, "kind", kind);
+      tracer->annotate(span, "link", rec.src + "->" + rec.dst);
+      if (!rec.detail.empty()) tracer->annotate(span, "detail", rec.detail);
+      tracer->end(span);
+    }
+  });
 }
 
 Knactor& Runtime::add_knactor(std::unique_ptr<Knactor> knactor) {

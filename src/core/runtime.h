@@ -22,6 +22,14 @@
 
 namespace knactor::core {
 
+/// Bridges a network's chaos fault stream into span/counter telemetry:
+/// every injected fault becomes a `chaos.fault` Tracer span and bumps the
+/// `chaos.fault` / `chaos.fault.<kind>` Metrics counters. Runtime wires this
+/// automatically for its own network; standalone networks (e.g. the RPC
+/// baseline apps) can attach it explicitly.
+void attach_fault_observer(net::SimNetwork& network, Tracer* tracer,
+                           Metrics* metrics);
+
 class Runtime {
  public:
   Runtime() : tracer_(clock_) {}

@@ -153,11 +153,51 @@ Result<std::size_t> SyncIntegrator::run_route(SyncRoute& route) {
 Result<std::size_t> SyncIntegrator::run_round_sync() {
   ++stats_.rounds;
   std::size_t total = 0;
+  std::optional<common::Error> first_error;
   for (auto& route : routes_) {
-    KN_ASSIGN_OR_RETURN(std::size_t moved, run_route(route));
-    total += moved;
+    auto moved = run_route(route);
+    if (!moved.ok()) {
+      // The failed route's cursor is unchanged; keep syncing the others and
+      // let the retry (or the next round) re-pull the unsynced suffix.
+      ++stats_.route_failures;
+      if (options_.metrics != nullptr) {
+        options_.metrics->inc("sync." + name_ + ".route_failures");
+      }
+      if (!first_error.has_value()) first_error = moved.error();
+      continue;
+    }
+    total += moved.value();
   }
+  if (first_error.has_value()) {
+    maybe_schedule_retry();
+    return *first_error;
+  }
+  round_attempt_ = 0;
   return total;
+}
+
+void SyncIntegrator::maybe_schedule_retry() {
+  if (!options_.retry.enabled()) return;
+  if (round_attempt_ == 0) round_first_attempt_ = de_.clock().now();
+  ++round_attempt_;
+  const sim::SimTime elapsed = de_.clock().now() - round_first_attempt_;
+  if (!options_.retry.should_retry(round_attempt_, elapsed)) {
+    round_attempt_ = 0;  // budget exhausted; the next tick starts fresh
+    return;
+  }
+  ++stats_.retries;
+  if (options_.metrics != nullptr) {
+    options_.metrics->inc("sync." + name_ + ".retries");
+  }
+  de_.clock().schedule_after(
+      options_.retry.backoff(round_attempt_, retry_rng_), [this]() {
+        if (!running_) return;
+        auto moved = run_round_sync();
+        if (!moved.ok()) {
+          KN_DEBUG << "sync " << name_
+                   << ": retry round failed: " << moved.error().to_string();
+        }
+      });
 }
 
 }  // namespace knactor::core

@@ -22,6 +22,8 @@
 #include "core/trace.h"
 #include "de/log.h"
 #include "sim/clock.h"
+#include "sim/random.h"
+#include "sim/retry.h"
 
 namespace knactor::core {
 
@@ -38,6 +40,8 @@ struct SyncStats {
   std::uint64_t records_moved = 0;
   std::uint64_t pipeline_errors = 0;
   std::uint64_t reconfigurations = 0;
+  std::uint64_t route_failures = 0;  // route errors within rounds
+  std::uint64_t retries = 0;         // rounds re-run by the retry policy
 };
 
 class SyncIntegrator : public Integrator {
@@ -47,6 +51,13 @@ class SyncIntegrator : public Integrator {
     sim::SimTime interval = 0;
     /// Fuse adjacent record-local operators into a single pass.
     bool consolidate = true;
+    /// Round retry: when any route fails (e.g. its DE is crashed), re-run
+    /// the round after backoff. A failed route never advances its cursor,
+    /// so replays re-pull exactly the unsynced suffix — no duplicates.
+    /// Disabled by default.
+    sim::RetryPolicy retry;
+    /// Optional counters sink ("sync.<name>.route_failures" / ".retries").
+    Metrics* metrics = nullptr;
   };
 
   SyncIntegrator(std::string name, de::LogDe& de, Options options,
@@ -83,6 +94,7 @@ class SyncIntegrator : public Integrator {
  private:
   common::Result<std::size_t> run_route(SyncRoute& route);
   void schedule_tick();
+  void maybe_schedule_retry();
 
  public:
   /// Number of record passes a pipeline costs: unconsolidated, one pass
@@ -101,6 +113,9 @@ class SyncIntegrator : public Integrator {
   Tracer* tracer_;
   std::vector<SyncRoute> routes_;
   bool running_ = false;
+  int round_attempt_ = 0;  // consecutive failed rounds (retry bookkeeping)
+  sim::SimTime round_first_attempt_ = 0;
+  sim::Rng retry_rng_{0x53594e43};
   SyncStats stats_;
 };
 

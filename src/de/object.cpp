@@ -21,6 +21,11 @@ void ObjectStore::get(const std::string& principal, const std::string& key,
                       GetCallback done) {
   sim::SimTime rt = de_.profile_.read_rt.sample(de_.rng_);
   de_.clock_.schedule_after(rt, [this, principal, key, done = std::move(done)] {
+    if (!de_.available_) {
+      ++de_.stats_.unavailable_rejections;
+      done(Error::unavailable("object: de unavailable (crashed)"));
+      return;
+    }
     ++de_.stats_.reads;
     Decision d = de_.check_access(principal, name_, key, Verb::kGet);
     if (!d.allowed) {
@@ -61,6 +66,11 @@ void ObjectStore::put(const std::string& principal, const std::string& key,
   de_.clock_.schedule_after(
       rt, [this, principal, key, data = std::move(data),
            done = std::move(done)]() mutable {
+        if (!de_.available_) {
+          ++de_.stats_.unavailable_rejections;
+          done(Error::unavailable("object: de unavailable (crashed)"));
+          return;
+        }
         ++de_.stats_.writes;
         Decision d = de_.check_access(principal, name_, key, Verb::kUpdate);
         if (!d.allowed) {
@@ -87,6 +97,11 @@ void ObjectStore::put_versioned(const std::string& principal,
   de_.clock_.schedule_after(
       rt, [this, principal, key, data = std::move(data), expected_version,
            done = std::move(done)]() mutable {
+        if (!de_.available_) {
+          ++de_.stats_.unavailable_rejections;
+          done(Error::unavailable("object: de unavailable (crashed)"));
+          return;
+        }
         ++de_.stats_.writes;
         Decision d = de_.check_access(principal, name_, key, Verb::kUpdate);
         if (!d.allowed) {
@@ -111,6 +126,11 @@ void ObjectStore::patch(const std::string& principal, const std::string& key,
   de_.clock_.schedule_after(
       rt, [this, principal, key, fields = std::move(fields),
            done = std::move(done)]() mutable {
+        if (!de_.available_) {
+          ++de_.stats_.unavailable_rejections;
+          done(Error::unavailable("object: de unavailable (crashed)"));
+          return;
+        }
         ++de_.stats_.writes;
         Decision d = de_.check_access(principal, name_, key, Verb::kUpdate);
         if (!d.allowed) {
@@ -135,6 +155,11 @@ void ObjectStore::remove(const std::string& principal, const std::string& key,
   sim::SimTime rt = de_.profile_.write_rt.sample(de_.rng_);
   de_.clock_.schedule_after(rt, [this, principal, key,
                                  done = std::move(done)] {
+    if (!de_.available_) {
+      ++de_.stats_.unavailable_rejections;
+      done(Error::unavailable("object: de unavailable (crashed)"));
+      return;
+    }
     ++de_.stats_.deletes;
     Decision d = de_.check_access(principal, name_, key, Verb::kDelete);
     if (!d.allowed) {
@@ -152,6 +177,11 @@ void ObjectStore::list(const std::string& principal, const std::string& prefix,
   sim::SimTime rt = de_.profile_.list_rt.sample(de_.rng_);
   de_.clock_.schedule_after(rt, [this, principal, prefix,
                                  done = std::move(done)] {
+    if (!de_.available_) {
+      ++de_.stats_.unavailable_rejections;
+      done(Error::unavailable("object: de unavailable (crashed)"));
+      return;
+    }
     ++de_.stats_.lists;
     Decision d = de_.check_access(principal, name_, prefix, Verb::kList);
     if (!d.allowed) {
@@ -385,6 +415,11 @@ void ObjectDe::call_udf(const std::string& principal, const std::string& name,
   sim::SimTime rt = profile_.udf_invoke.sample(rng_);
   clock_.schedule_after(rt, [this, principal, name, args = std::move(args),
                              done = std::move(done)]() mutable {
+    if (!available_) {
+      ++stats_.unavailable_rejections;
+      done(Error::unavailable("object: de unavailable (crashed)"));
+      return;
+    }
     ++stats_.udf_calls;
     Decision d =
         check_access(principal, "*", name, Verb::kInvokeUdf);
@@ -439,6 +474,11 @@ void ObjectDe::transact(const std::string& principal, std::vector<TxnOp> ops,
   sim::SimTime rt = profile_.write_rt.sample(rng_);
   clock_.schedule_after(rt, [this, principal, ops = std::move(ops),
                              done = std::move(done)]() mutable {
+    if (!available_) {
+      ++stats_.unavailable_rejections;
+      done(Error::unavailable("object: de unavailable (crashed)"));
+      return;
+    }
     ++stats_.writes;
     // Validate everything before touching anything.
     for (const auto& op : ops) {

@@ -63,6 +63,7 @@ struct ObjectDeStats {
   std::uint64_t engine_ops = 0;       // ops executed inside UDFs
   std::uint64_t permission_denials = 0;
   std::uint64_t version_conflicts = 0;
+  std::uint64_t unavailable_rejections = 0;  // ops failed while crashed
 };
 
 class ObjectDe;
@@ -251,6 +252,19 @@ class ObjectDe {
   /// state. Watches and UDFs survive (they are client/config state).
   void restart();
 
+  /// Availability simulation for chaos testing. While unavailable, every
+  /// client operation fails with Unavailable at its scheduled execution
+  /// time (in-flight operations fail too, like a real process dying).
+  /// `crash()` marks the DE down; `recover()` restarts it (WAL replay for
+  /// durable profiles, wipe for non-durable) and marks it up again.
+  void set_available(bool available) { available_ = available; }
+  [[nodiscard]] bool available() const { return available_; }
+  void crash() { available_ = false; }
+  void recover() {
+    restart();
+    available_ = true;
+  }
+
   /// RBAC policy engine for this DE (disabled by default).
   [[nodiscard]] Rbac& rbac() { return rbac_; }
 
@@ -339,6 +353,7 @@ class ObjectDe {
   std::uint64_t next_watch_id_ = 1;
   std::uint64_t next_version_ = 1;
   bool recovering_ = false;
+  bool available_ = true;
   /// When set, watch/trigger notifications queue instead of firing
   /// (transactions drain the queue after the full commit).
   bool defer_notifications_ = false;

@@ -14,6 +14,8 @@ Broker::Broker(SimNetwork& network, std::string node)
   network_.add_node(node_);
   network_.set_handler(node_, "pubsub.publish",
                        [this](const Message& msg) { on_message(msg); });
+  network_.set_handler(node_, "pubsub.ack",
+                       [this](const Message& msg) { on_ack(msg); });
 }
 
 void Broker::subscribe(const std::string& topic,
@@ -22,18 +24,10 @@ void Broker::subscribe(const std::string& topic,
   // The broker owns a per-node dispatch handler: one "pubsub.deliver"
   // message per (publish, subscriber node), dispatched locally to every
   // matching subscription registered for that node.
-  network_.set_handler(
-      subscriber_node, "pubsub.deliver",
-      [this, subscriber_node](const Message& msg) {
-        const Value* topic_v = msg.payload.get("topic");
-        const Value* message_v = msg.payload.get("message");
-        if (topic_v == nullptr || message_v == nullptr) return;
-        for (const Subscription* sub : match(topic_v->as_string())) {
-          if (sub->node == subscriber_node) {
-            sub->handler(topic_v->as_string(), *message_v);
-          }
-        }
-      });
+  network_.set_handler(subscriber_node, "pubsub.deliver",
+                       [this, subscriber_node](const Message& msg) {
+                         on_deliver(subscriber_node, msg);
+                       });
   Subscription sub{subscriber_node, std::move(handler)};
   if (common::ends_with(topic, "/#")) {
     prefix_subs_[topic.substr(0, topic.size() - 2)].push_back(std::move(sub));
@@ -98,6 +92,17 @@ std::vector<const Broker::Subscription*> Broker::match(
 
 void Broker::deliver(const std::string& topic, const Value& message,
                      const std::string& subscriber_node) {
+  if (retry_.enabled()) {
+    const std::uint64_t id = next_delivery_id_++;
+    PendingDelivery pd;
+    pd.topic = topic;
+    pd.message = message;
+    pd.node = subscriber_node;
+    pd.first_sent = network_.clock().now();
+    pending_[id] = std::move(pd);
+    send_delivery(id);
+    return;
+  }
   Message msg;
   msg.src = node_;
   msg.dst = subscriber_node;
@@ -111,6 +116,104 @@ void Broker::deliver(const std::string& topic, const Value& message,
     KN_WARN << "broker: failed to deliver to " << subscriber_node << ": "
             << sent.error().to_string();
   }
+}
+
+void Broker::send_delivery(std::uint64_t delivery_id) {
+  auto it = pending_.find(delivery_id);
+  if (it == pending_.end()) return;
+  const PendingDelivery& pd = it->second;
+  Message msg;
+  msg.src = node_;
+  msg.dst = pd.node;
+  msg.type = "pubsub.deliver";
+  Value payload = Value::object();
+  payload.set("topic", Value(pd.topic));
+  payload.set("message", pd.message);
+  payload.set("delivery_id", Value(static_cast<std::int64_t>(delivery_id)));
+  msg.payload = std::move(payload);
+  (void)network_.send(std::move(msg));
+  arm_delivery_timeout(delivery_id, it->second.epoch);
+}
+
+void Broker::arm_delivery_timeout(std::uint64_t delivery_id, int epoch) {
+  network_.clock().schedule_after(delivery_timeout_, [this, delivery_id,
+                                                      epoch]() {
+    auto it = pending_.find(delivery_id);
+    if (it == pending_.end() || it->second.epoch != epoch) return;
+    PendingDelivery& pd = it->second;
+    const sim::SimTime elapsed = network_.clock().now() - pd.first_sent;
+    if (retry_.should_retry(pd.attempts, elapsed)) {
+      const sim::SimTime backoff = retry_.backoff(pd.attempts, retry_rng_);
+      ++pd.attempts;
+      ++pd.epoch;
+      ++redeliveries_;
+      const int next_epoch = pd.epoch;
+      network_.clock().schedule_after(
+          backoff, [this, delivery_id, next_epoch]() {
+            auto rit = pending_.find(delivery_id);
+            if (rit == pending_.end() || rit->second.epoch != next_epoch) {
+              return;
+            }
+            send_delivery(delivery_id);
+          });
+      return;
+    }
+    ++delivery_failures_;
+    KN_WARN << "broker: delivery " << delivery_id << " to " << pd.node
+            << " failed after " << pd.attempts << " attempts";
+    pending_.erase(it);
+  });
+}
+
+void Broker::mark_seen(const std::string& subscriber_node,
+                       std::uint64_t delivery_id) {
+  auto& ids = seen_[subscriber_node];
+  auto& order = seen_order_[subscriber_node];
+  if (ids.insert(delivery_id).second) {
+    order.push_back(delivery_id);
+    while (order.size() > kSeenCap) {
+      ids.erase(order.front());
+      order.pop_front();
+    }
+  }
+}
+
+void Broker::on_deliver(const std::string& subscriber_node,
+                        const Message& msg) {
+  const Value* topic_v = msg.payload.get("topic");
+  const Value* message_v = msg.payload.get("message");
+  if (topic_v == nullptr || message_v == nullptr) return;
+  const Value* delivery_id_v = msg.payload.get("delivery_id");
+  if (delivery_id_v != nullptr) {
+    const auto id = static_cast<std::uint64_t>(delivery_id_v->as_int());
+    // Always (re-)ack — the previous ack may itself have been lost.
+    Message ack;
+    ack.src = subscriber_node;
+    ack.dst = node_;
+    ack.type = "pubsub.ack";
+    Value payload = Value::object();
+    payload.set("delivery_id", Value(static_cast<std::int64_t>(id)));
+    ack.payload = std::move(payload);
+    (void)network_.send(std::move(ack));
+
+    auto sit = seen_.find(subscriber_node);
+    if (sit != seen_.end() && sit->second.count(id) != 0) {
+      ++duplicates_suppressed_;
+      return;  // redelivered duplicate: handler already ran
+    }
+    mark_seen(subscriber_node, id);
+  }
+  for (const Subscription* sub : match(topic_v->as_string())) {
+    if (sub->node == subscriber_node) {
+      sub->handler(topic_v->as_string(), *message_v);
+    }
+  }
+}
+
+void Broker::on_ack(const Message& msg) {
+  const Value* delivery_id_v = msg.payload.get("delivery_id");
+  if (delivery_id_v == nullptr) return;
+  pending_.erase(static_cast<std::uint64_t>(delivery_id_v->as_int()));
 }
 
 void Broker::on_message(const Message& msg) {

@@ -10,12 +10,14 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "common/value.h"
 #include "net/network.h"
+#include "sim/retry.h"
 
 namespace knactor::net {
 
@@ -44,7 +46,25 @@ class Broker {
   /// (MQTT retained-message semantics), when enabled.
   void set_retain(bool retain) { retain_ = retain; }
 
+  /// Opt-in at-least-once delivery (QoS 1 analog): every broker→subscriber
+  /// delivery carries a delivery id the subscriber acks; unacked deliveries
+  /// are re-sent with backoff per the policy, and subscriber-side dedup
+  /// keeps the handler at exactly-once per delivery id. Disabled by default
+  /// — fire-and-forget, no acks on the wire, no behavior change.
+  void set_retry_policy(sim::RetryPolicy policy) { retry_ = policy; }
+  /// How long to wait for an ack before re-sending (only with a policy).
+  void set_delivery_timeout(sim::SimTime timeout) {
+    delivery_timeout_ = timeout;
+  }
+
   [[nodiscard]] std::uint64_t messages_routed() const { return routed_; }
+  [[nodiscard]] std::uint64_t redeliveries() const { return redeliveries_; }
+  [[nodiscard]] std::uint64_t delivery_failures() const {
+    return delivery_failures_;
+  }
+  [[nodiscard]] std::uint64_t duplicates_suppressed() const {
+    return duplicates_suppressed_;
+  }
 
  private:
   struct Subscription {
@@ -52,11 +72,25 @@ class Broker {
     Handler handler;
   };
 
+  struct PendingDelivery {
+    std::string topic;
+    common::Value message;
+    std::string node;
+    int attempts = 1;
+    int epoch = 0;  // invalidates stale timeout/resend events
+    sim::SimTime first_sent = 0;
+  };
+
   void on_message(const Message& msg);
+  void on_ack(const Message& msg);
+  void on_deliver(const std::string& subscriber_node, const Message& msg);
   [[nodiscard]] std::vector<const Subscription*> match(
       const std::string& topic) const;
   void deliver(const std::string& topic, const common::Value& message,
                const std::string& subscriber_node);
+  void send_delivery(std::uint64_t delivery_id);
+  void arm_delivery_timeout(std::uint64_t delivery_id, int epoch);
+  void mark_seen(const std::string& subscriber_node, std::uint64_t delivery_id);
 
   SimNetwork& network_;
   std::string node_;
@@ -65,6 +99,18 @@ class Broker {
   std::map<std::string, common::Value> retained_;
   bool retain_ = false;
   std::uint64_t routed_ = 0;
+  sim::RetryPolicy retry_;
+  sim::SimTime delivery_timeout_ = 20 * sim::kMillisecond;
+  sim::Rng retry_rng_{0x42524b52};
+  std::uint64_t next_delivery_id_ = 1;
+  std::uint64_t redeliveries_ = 0;
+  std::uint64_t delivery_failures_ = 0;
+  std::uint64_t duplicates_suppressed_ = 0;
+  std::map<std::uint64_t, PendingDelivery> pending_;
+  // Per-subscriber-node dedup of delivery ids (bounded FIFO).
+  std::map<std::string, std::set<std::uint64_t>> seen_;
+  std::map<std::string, std::deque<std::uint64_t>> seen_order_;
+  static constexpr std::size_t kSeenCap = 4096;
 };
 
 }  // namespace knactor::net

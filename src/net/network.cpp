@@ -25,6 +25,31 @@ void SimNetwork::set_link_latency(const std::string& src,
   links_[{src, dst}] = model;
 }
 
+void SimNetwork::set_fault_plan(sim::FaultPlan plan) {
+  fault_plan_ = std::move(plan);
+  fault_plan_active_ = true;
+  fault_rng_.reseed(fault_plan_.seed);
+  fault_records_.clear();
+}
+
+void SimNetwork::clear_fault_plan() {
+  fault_plan_ = sim::FaultPlan{};
+  fault_plan_active_ = false;
+}
+
+void SimNetwork::record_fault(sim::FaultKind kind, const Message& msg,
+                              std::string detail) {
+  sim::FaultRecord rec;
+  rec.time = clock_.now();
+  rec.kind = kind;
+  rec.src = msg.src;
+  rec.dst = msg.dst;
+  rec.detail = std::move(detail);
+  rec.message_id = msg.id;
+  fault_records_.push_back(rec);
+  if (fault_observer_) fault_observer_(fault_records_.back());
+}
+
 void SimNetwork::set_partitioned(const std::string& a, const std::string& b,
                                  bool partitioned) {
   if (partitioned) {
@@ -72,31 +97,93 @@ Result<std::uint64_t> SimNetwork::send(Message msg) {
   stats_.bytes_sent += msg.bytes;
 
   if (partitions_.count({msg.src, msg.dst}) != 0) {
-    ++stats_.messages_dropped;
+    ++stats_.dropped_partition;
     KN_DEBUG << "net: dropped (partition) " << msg.src << " -> " << msg.dst;
     return msg.id;
   }
 
+  sim::SimTime extra_delay = 0;
+  bool duplicate = false;
+  if (fault_plan_active_) {
+    const sim::SimTime now = clock_.now();
+    // Window faults first (no RNG draw), then probabilistic faults in a
+    // fixed order so the same seed yields a bit-identical schedule.
+    if (fault_plan_.link_down(msg.src, msg.dst, now)) {
+      ++stats_.dropped_fault;
+      record_fault(sim::FaultKind::kLinkDown, msg, msg.type);
+      return msg.id;
+    }
+    if (fault_plan_.node_down(msg.src, now) ||
+        fault_plan_.node_down(msg.dst, now)) {
+      ++stats_.dropped_fault;
+      record_fault(sim::FaultKind::kNodeDown, msg, msg.type);
+      return msg.id;
+    }
+    const auto& links = fault_plan_.links;
+    if (links.loss > 0.0 && fault_rng_.next_double() < links.loss) {
+      ++stats_.dropped_fault;
+      record_fault(sim::FaultKind::kLoss, msg, msg.type);
+      return msg.id;
+    }
+    if (links.duplicate > 0.0 && fault_rng_.next_double() < links.duplicate) {
+      duplicate = true;
+      ++stats_.duplicated_fault;
+      record_fault(sim::FaultKind::kDuplicate, msg, msg.type);
+    }
+    if (links.reorder > 0.0 && fault_rng_.next_double() < links.reorder) {
+      extra_delay = 1 + static_cast<sim::SimTime>(
+                            fault_rng_.next_double() *
+                            static_cast<double>(links.reorder_delay));
+      ++stats_.reordered_fault;
+      record_fault(sim::FaultKind::kReorder, msg, msg.type);
+    }
+  }
+
   sim::SimTime delay = link_delay(msg.src, msg.dst, msg.bytes);
   std::uint64_t id = msg.id;
-  clock_.schedule_after(delay, [this, msg = std::move(msg)]() {
-    auto node_it = handlers_.find(msg.dst);
-    if (node_it != handlers_.end()) {
-      auto type_it = node_it->second.find(msg.type);
-      if (type_it == node_it->second.end()) {
-        type_it = node_it->second.find("");  // catch-all
-      }
-      if (type_it != node_it->second.end() && type_it->second) {
-        ++stats_.messages_delivered;
-        type_it->second(msg);
-        return;
-      }
-    }
-    ++stats_.messages_dropped;
-    KN_DEBUG << "net: dropped (no handler) " << msg.src << " -> " << msg.dst
-             << " type=" << msg.type;
-  });
+  if (duplicate) {
+    // The copy travels independently: its own link-latency sample plus the
+    // reorder delay, so it typically lands after the original.
+    sim::SimTime dup_delay =
+        link_delay(msg.src, msg.dst, msg.bytes) + extra_delay;
+    clock_.schedule_after(dup_delay, [this, msg]() { deliver(msg); });
+  }
+  clock_.schedule_after(delay + extra_delay,
+                        [this, msg = std::move(msg)]() { deliver(msg); });
   return id;
+}
+
+void SimNetwork::deliver(const Message& msg) {
+  if (fault_plan_active_) {
+    // A crash or flap window that opened while the message was in flight
+    // still swallows it.
+    const sim::SimTime now = clock_.now();
+    if (fault_plan_.node_down(msg.dst, now)) {
+      ++stats_.dropped_fault;
+      record_fault(sim::FaultKind::kNodeDown, msg, msg.type + " (in flight)");
+      return;
+    }
+    if (fault_plan_.link_down(msg.src, msg.dst, now)) {
+      ++stats_.dropped_fault;
+      record_fault(sim::FaultKind::kLinkDown, msg, msg.type + " (in flight)");
+      return;
+    }
+  }
+  auto node_it = handlers_.find(msg.dst);
+  if (node_it != handlers_.end()) {
+    auto type_it = node_it->second.find(msg.type);
+    if (type_it == node_it->second.end()) {
+      type_it = node_it->second.find("");  // catch-all
+    }
+    if (type_it != node_it->second.end() && type_it->second) {
+      ++stats_.messages_delivered;
+      type_it->second(msg);
+      return;
+    }
+  }
+  ++stats_.dropped_no_handler;
+  KN_DEBUG << "net: dropped (no handler) " << msg.src << " -> " << msg.dst
+           << " type=" << msg.type;
 }
 
 }  // namespace knactor::net

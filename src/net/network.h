@@ -15,9 +15,12 @@
 #include <string>
 #include <utility>
 
+#include <vector>
+
 #include "common/result.h"
 #include "common/value.h"
 #include "sim/clock.h"
+#include "sim/fault.h"
 #include "sim/latency.h"
 #include "sim/random.h"
 
@@ -36,12 +39,21 @@ struct Message {
   std::size_t bytes = 0;
 };
 
-/// Per-network delivery statistics.
+/// Per-network delivery statistics. Drop causes are tracked separately so
+/// tests can tell a partition cut from a misconfigured handler from chaos.
 struct NetworkStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_delivered = 0;
-  std::uint64_t messages_dropped = 0;  // partitions / missing handlers
+  std::uint64_t dropped_partition = 0;   // explicit set_partitioned cut
+  std::uint64_t dropped_no_handler = 0;  // no handler at destination
+  std::uint64_t dropped_fault = 0;       // FaultPlan loss/flap/crash windows
+  std::uint64_t duplicated_fault = 0;    // FaultPlan duplications
+  std::uint64_t reordered_fault = 0;     // FaultPlan reorder delays
   std::uint64_t bytes_sent = 0;
+
+  [[nodiscard]] std::uint64_t messages_dropped() const {
+    return dropped_partition + dropped_no_handler + dropped_fault;
+  }
 };
 
 /// Discrete-event network: named nodes, per-link latency, partitions.
@@ -82,6 +94,25 @@ class SimNetwork {
   void set_partitioned(const std::string& a, const std::string& b,
                        bool partitioned);
 
+  /// Attaches a chaos fault plan. The injector's RNG is reseeded from
+  /// `plan.seed`, so re-attaching the same plan to an identically-driven
+  /// network reproduces a bit-identical fault schedule.
+  void set_fault_plan(sim::FaultPlan plan);
+  void clear_fault_plan();
+  [[nodiscard]] bool has_fault_plan() const { return fault_plan_active_; }
+
+  /// Every injected fault, in injection order (the reproducible schedule).
+  [[nodiscard]] const std::vector<sim::FaultRecord>& fault_records() const {
+    return fault_records_;
+  }
+  /// Observer invoked synchronously for each injected fault; used by
+  /// core::attach_fault_observer to bridge into Tracer spans and Metrics
+  /// counters without a net → core dependency.
+  using FaultObserver = std::function<void(const sim::FaultRecord&)>;
+  void set_fault_observer(FaultObserver observer) {
+    fault_observer_ = std::move(observer);
+  }
+
   /// Sends a message; delivery is scheduled after link latency (+ serialized
   /// transfer time when bandwidth is set). Returns the message id, or an
   /// error for unknown endpoints. Messages to partitioned or handler-less
@@ -97,6 +128,9 @@ class SimNetwork {
   [[nodiscard]] sim::SimTime link_delay(const std::string& src,
                                         const std::string& dst,
                                         std::size_t bytes);
+  void record_fault(sim::FaultKind kind, const Message& msg,
+                    std::string detail);
+  void deliver(const Message& msg);
 
   sim::VirtualClock& clock_;
   sim::Rng rng_;
@@ -108,6 +142,11 @@ class SimNetwork {
   std::uint64_t bytes_per_sec_ = 0;
   std::uint64_t next_id_ = 1;
   NetworkStats stats_;
+  sim::FaultPlan fault_plan_;
+  bool fault_plan_active_ = false;
+  sim::Rng fault_rng_;
+  std::vector<sim::FaultRecord> fault_records_;
+  FaultObserver fault_observer_;
 };
 
 }  // namespace knactor::net

@@ -61,6 +61,19 @@ Status RpcServer::add_handler(const std::string& service,
   return Status::success();
 }
 
+void RpcServer::remember_response(const CallKey& key, const Value& payload,
+                                  std::size_t bytes) {
+  if (key.first == 0) return;  // caller without a channel uid: no dedup
+  in_flight_.erase(key);
+  if (completed_.emplace(key, std::make_pair(payload, bytes)).second) {
+    completed_order_.push_back(key);
+    while (completed_order_.size() > kCompletedCacheCap) {
+      completed_.erase(completed_order_.front());
+      completed_order_.pop_front();
+    }
+  }
+}
+
 void RpcServer::on_message(const Message& msg) {
   if (msg.type != "rpc.request") return;
   const Value* service = msg.payload.get("service");
@@ -75,8 +88,34 @@ void RpcServer::on_message(const Message& msg) {
   std::uint64_t id = static_cast<std::uint64_t>(call_id->as_int());
   std::string reply_to = msg.src;
 
-  auto respond = [this, id, reply_to](Result<Value> result,
-                                      const std::string& response_type) {
+  // Idempotency under at-least-once delivery: a retransmitted (or
+  // chaos-duplicated) request must not execute the handler twice. A
+  // completed call replays its cached response; an in-flight one is
+  // swallowed (the original's response is still coming).
+  const Value* chan = msg.payload.get("chan");
+  CallKey key{chan != nullptr ? static_cast<std::uint64_t>(chan->as_int()) : 0,
+              id};
+  if (key.first != 0) {
+    if (auto cit = completed_.find(key); cit != completed_.end()) {
+      ++duplicates_suppressed_;
+      Message reply;
+      reply.src = node_;
+      reply.dst = reply_to;
+      reply.type = "rpc.response";
+      reply.payload = cit->second.first;
+      reply.bytes = cit->second.second;
+      (void)network_.send(std::move(reply));
+      return;
+    }
+    if (in_flight_.count(key) != 0) {
+      ++duplicates_suppressed_;
+      return;
+    }
+    in_flight_.insert(key);
+  }
+
+  auto respond = [this, id, key, reply_to](Result<Value> result,
+                                           const std::string& response_type) {
     Value payload = Value::object();
     payload.set("call_id", Value(static_cast<std::int64_t>(id)));
     std::size_t bytes = 32;
@@ -96,6 +135,7 @@ void RpcServer::on_message(const Message& msg) {
     } else {
       payload.set("error", Value(result.error().to_string()));
     }
+    remember_response(key, payload, bytes);
     Message reply;
     reply.src = node_;
     reply.dst = reply_to;
@@ -147,12 +187,22 @@ void RpcServer::on_message(const Message& msg) {
       });
 }
 
+namespace {
+// Channels may legally share a network node; a process-wide uid keeps their
+// call-id spaces distinct in the server's idempotency cache.
+std::uint64_t next_channel_uid() {
+  static std::uint64_t counter = 0;
+  return ++counter;
+}
+}  // namespace
+
 RpcChannel::RpcChannel(SimNetwork& network, std::string node,
                        const RpcRegistry& registry, const SchemaPool& pool)
     : network_(network),
       node_(std::move(node)),
       registry_(registry),
-      pool_(pool) {
+      pool_(pool),
+      channel_uid_(next_channel_uid()) {
   network_.add_node(node_);
   network_.set_handler(node_, "rpc.response",
                        [this](const Message& msg) { on_message(msg); });
@@ -184,7 +234,7 @@ void RpcChannel::call(const ServiceDescriptor& stub, const std::string& method,
   }
 
   std::uint64_t id = next_call_id_++;
-  pending_[id] = Pending{std::move(done), mdesc->response_type, false};
+  ++stats_.calls;
 
   Message msg;
   msg.src = node_;
@@ -195,29 +245,64 @@ void RpcChannel::call(const ServiceDescriptor& stub, const std::string& method,
   payload.set("service", Value(stub.name));
   payload.set("method", Value(method));
   payload.set("call_id", Value(static_cast<std::int64_t>(id)));
+  payload.set("chan", Value(static_cast<std::int64_t>(channel_uid_)));
   payload.set("data", Value(bytes_to_string(encoded.take())));
   msg.payload = std::move(payload);
 
-  auto sent = network_.send(std::move(msg));
+  Pending pending;
+  pending.done = std::move(done);
+  pending.response_type = mdesc->response_type;
+  pending.request = msg;
+  pending.first_sent = network_.clock().now();
+  pending_[id] = std::move(pending);
+  send_attempt(id);
+}
+
+void RpcChannel::send_attempt(std::uint64_t id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  const int epoch = it->second.epoch;
+  auto sent = network_.send(it->second.request);  // copy: kept for resend
   if (!sent.ok()) {
-    auto it = pending_.find(id);
-    if (it != pending_.end()) {
-      Callback cb = std::move(it->second.done);
-      pending_.erase(it);
-      cb(sent.error());
-    }
+    fail(id, sent.error());
     return;
   }
+  if (timeout_ > 0) arm_timeout(id, epoch);
+}
 
-  if (timeout_ > 0) {
-    network_.clock().schedule_after(timeout_, [this, id]() {
-      auto it = pending_.find(id);
-      if (it == pending_.end()) return;
-      Callback cb = std::move(it->second.done);
-      pending_.erase(it);
-      cb(Error::unavailable("rpc: call timed out"));
-    });
-  }
+void RpcChannel::arm_timeout(std::uint64_t id, int epoch) {
+  network_.clock().schedule_after(timeout_, [this, id, epoch]() {
+    auto it = pending_.find(id);
+    if (it == pending_.end() || it->second.epoch != epoch) return;
+    Pending& p = it->second;
+    const sim::SimTime elapsed = network_.clock().now() - p.first_sent;
+    if (retry_.enabled() && retry_.should_retry(p.attempts, elapsed)) {
+      const sim::SimTime backoff = retry_.backoff(p.attempts, retry_rng_);
+      ++p.attempts;
+      ++p.epoch;
+      ++stats_.retries;
+      const int next_epoch = p.epoch;
+      network_.clock().schedule_after(backoff, [this, id, next_epoch]() {
+        auto rit = pending_.find(id);
+        if (rit == pending_.end() || rit->second.epoch != next_epoch) return;
+        send_attempt(id);
+      });
+      return;
+    }
+    ++stats_.timeouts;
+    fail(id, Error::unavailable(
+                 "rpc: call timed out after " + std::to_string(p.attempts) +
+                 (p.attempts == 1 ? " attempt" : " attempts")));
+  });
+}
+
+void RpcChannel::fail(std::uint64_t id, Error error) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  Callback cb = std::move(it->second.done);
+  pending_.erase(it);
+  ++stats_.failures;
+  cb(std::move(error));
 }
 
 Result<Value> RpcChannel::call_sync(const ServiceDescriptor& stub,

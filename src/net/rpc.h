@@ -10,11 +10,16 @@
 #include <map>
 #include <string>
 
+#include <deque>
+#include <set>
+#include <utility>
+
 #include "common/result.h"
 #include "common/value.h"
 #include "net/network.h"
 #include "net/wire.h"
 #include "sim/latency.h"
+#include "sim/retry.h"
 
 namespace knactor::net {
 
@@ -81,9 +86,20 @@ class RpcServer {
   void set_dispatch_overhead(sim::LatencyModel model) { overhead_ = model; }
 
   [[nodiscard]] std::uint64_t requests_served() const { return served_; }
+  /// Retransmitted requests absorbed by the idempotency cache — each one
+  /// was answered from the cached response (or swallowed while the original
+  /// was still executing) instead of re-running the handler.
+  [[nodiscard]] std::uint64_t duplicates_suppressed() const {
+    return duplicates_suppressed_;
+  }
 
  private:
+  // (channel uid, call id) identifies one logical call across retries.
+  using CallKey = std::pair<std::uint64_t, std::uint64_t>;
+
   void on_message(const Message& msg);
+  void remember_response(const CallKey& key, const common::Value& payload,
+                         std::size_t bytes);
 
   SimNetwork& network_;
   std::string node_;
@@ -93,6 +109,13 @@ class RpcServer {
   sim::LatencyModel overhead_;
   sim::Rng rng_{0x52504355};
   std::uint64_t served_ = 0;
+  std::uint64_t duplicates_suppressed_ = 0;
+  // Exactly-once execution under at-least-once delivery: calls currently
+  // executing plus a bounded cache of completed responses for replay.
+  std::set<CallKey> in_flight_;
+  std::map<CallKey, std::pair<common::Value, std::size_t>> completed_;
+  std::deque<CallKey> completed_order_;
+  static constexpr std::size_t kCompletedCacheCap = 1024;
 };
 
 /// Client side: a channel bound to a node; `call` encodes against the
@@ -109,6 +132,20 @@ class RpcChannel {
   /// Default per-call timeout in sim time (0 disables).
   void set_timeout(sim::SimTime timeout) { timeout_ = timeout; }
 
+  /// Enables client-side retries: a timed-out attempt is re-sent with the
+  /// same call id after exponential backoff (the server's idempotency cache
+  /// makes the retransmission safe). Requires a non-zero timeout to have
+  /// any effect — the timeout is what detects a lost attempt.
+  void set_retry_policy(sim::RetryPolicy policy) { retry_ = policy; }
+
+  struct Stats {
+    std::uint64_t calls = 0;
+    std::uint64_t retries = 0;        // re-sent attempts
+    std::uint64_t timeouts = 0;       // calls that exhausted all attempts
+    std::uint64_t failures = 0;       // calls completed with an error
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
   /// Issues an asynchronous call; `done` fires on response or timeout.
   /// `stub` describes the method per the client's compiled stubs.
   void call(const ServiceDescriptor& stub, const std::string& method,
@@ -122,19 +159,30 @@ class RpcChannel {
   [[nodiscard]] std::uint64_t calls_issued() const { return next_call_id_ - 1; }
 
  private:
+  struct Pending {
+    Callback done;
+    std::string response_type;
+    Message request;            // kept for retransmission
+    int attempts = 1;           // attempts sent so far
+    int epoch = 0;              // invalidates stale timeout/resend events
+    sim::SimTime first_sent = 0;
+  };
+
   void on_message(const Message& msg);
+  void send_attempt(std::uint64_t id);
+  void arm_timeout(std::uint64_t id, int epoch);
+  void fail(std::uint64_t id, common::Error error);
 
   SimNetwork& network_;
   std::string node_;
   const RpcRegistry& registry_;
   const SchemaPool& pool_;
   sim::SimTime timeout_ = 0;
+  sim::RetryPolicy retry_;
+  sim::Rng retry_rng_{0x52435253};
   std::uint64_t next_call_id_ = 1;
-  struct Pending {
-    Callback done;
-    std::string response_type;
-    bool completed = false;
-  };
+  std::uint64_t channel_uid_ = 0;  // disambiguates channels sharing a node
+  Stats stats_;
   std::map<std::uint64_t, Pending> pending_;
 };
 

@@ -1,0 +1,125 @@
+// Deterministic chaos engine (§3.3, Fig. 8): a FaultPlan describes seeded,
+// reproducible network faults — message loss, duplication, reordering,
+// transient link flaps — plus scheduled crash/restart windows for named
+// targets (network nodes, DEs, knactors, integrators). A plan is pure data:
+// attaching the same plan to the same simulation always yields a
+// bit-identical fault schedule, so any failing chaos seed can be replayed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "sim/clock.h"
+#include "sim/random.h"
+
+namespace knactor::sim {
+
+enum class FaultKind {
+  kLoss,       // message silently dropped
+  kDuplicate,  // message delivered twice
+  kReorder,    // message delayed past later traffic
+  kLinkDown,   // message dropped: link inside a flap window
+  kNodeDown,   // message dropped: endpoint inside a crash window
+  kCrash,      // component taken down (emitted by the crash scheduler)
+  kRestart,    // component brought back up
+};
+
+[[nodiscard]] const char* fault_kind_name(FaultKind kind);
+
+/// One injected fault. The ordered sequence of records is the fault
+/// schedule; serializing it lets tests assert bit-identical replay.
+struct FaultRecord {
+  SimTime time = 0;
+  FaultKind kind = FaultKind::kLoss;
+  std::string src;     // sender, or crash target for kCrash/kRestart
+  std::string dst;     // receiver ("" for crash/restart records)
+  std::string detail;  // message type or window description
+  std::uint64_t message_id = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Probabilistic per-message faults, applied to every link.
+struct LinkFaultProfile {
+  double loss = 0.0;       // P(drop) per message
+  double duplicate = 0.0;  // P(second delivery) per delivered message
+  double reorder = 0.0;    // P(extra delay) per delivered message
+  SimTime reorder_delay = 5 * kMillisecond;  // max extra delay when reordered
+
+  [[nodiscard]] bool any() const {
+    return loss > 0.0 || duplicate > 0.0 || reorder > 0.0;
+  }
+};
+
+/// Transient bidirectional link outage: messages on (a,b) in either
+/// direction are dropped while `start <= now < end`.
+struct FlapWindow {
+  std::string a;
+  std::string b;
+  SimTime start = 0;
+  SimTime end = 0;
+};
+
+/// Scheduled crash/restart of a named target. For network nodes the
+/// SimNetwork drops traffic to/from the node inside the window; for
+/// components (DEs, knactors, integrators) the chaos harness invokes the
+/// registered down/up hooks at the window edges.
+struct CrashWindow {
+  std::string target;
+  SimTime start = 0;
+  SimTime end = 0;
+};
+
+class FaultPlan {
+ public:
+  std::uint64_t seed = 1;
+  LinkFaultProfile links;
+  std::vector<FlapWindow> flaps;
+  std::vector<CrashWindow> crashes;
+
+  FaultPlan& with_seed(std::uint64_t s);
+  FaultPlan& with_loss(double p);
+  FaultPlan& with_duplication(double p);
+  FaultPlan& with_reorder(double p, SimTime max_delay);
+  FaultPlan& add_flap(std::string a, std::string b, SimTime start,
+                      SimTime duration);
+  FaultPlan& add_crash(std::string target, SimTime start, SimTime duration);
+
+  [[nodiscard]] bool link_down(const std::string& a, const std::string& b,
+                               SimTime now) const;
+  [[nodiscard]] bool node_down(const std::string& name, SimTime now) const;
+  /// Latest end of any flap/crash window — after this instant the plan
+  /// injects only probabilistic faults (which heal by construction).
+  [[nodiscard]] SimTime last_window_end() const;
+  [[nodiscard]] bool empty() const {
+    return !links.any() && flaps.empty() && crashes.empty();
+  }
+
+  /// Generation knobs for `FaultPlan::random`. All windows are placed
+  /// inside [0, horizon) so faults are guaranteed to heal by `horizon`.
+  struct RandomOptions {
+    SimTime horizon = 5 * kSecond;
+    double max_loss = 0.15;
+    double max_duplicate = 0.10;
+    double max_reorder = 0.25;
+    SimTime max_reorder_delay = 20 * kMillisecond;
+    std::vector<std::pair<std::string, std::string>> flap_links;
+    int max_flaps = 2;
+    std::vector<std::string> crash_targets;
+    int max_crashes = 3;
+    SimTime min_window = 50 * kMillisecond;
+    SimTime max_window = 800 * kMillisecond;
+  };
+
+  /// Derives a plan from a seed: same seed + same options → identical plan.
+  [[nodiscard]] static FaultPlan random(std::uint64_t seed,
+                                        const RandomOptions& opts);
+
+  /// Structured dump (used by docs tooling and failure repro messages).
+  [[nodiscard]] common::Value to_value() const;
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace knactor::sim

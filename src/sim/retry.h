@@ -1,0 +1,55 @@
+// Retry policy shared by the resilience layer: exponential backoff with
+// jitter and an optional wall-clock budget. Used by net::RpcChannel (client
+// re-sends), net::Broker (ack-based redelivery), and the Cast/Sync
+// integrators (exchange-pass retry). A default-constructed policy is
+// disabled — callers that never opt in keep their original behavior.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "sim/clock.h"
+#include "sim/random.h"
+
+namespace knactor::sim {
+
+struct RetryPolicy {
+  int max_attempts = 1;  // total attempts, including the first; 1 = no retry
+  SimTime initial_backoff = kMillisecond;
+  double multiplier = 2.0;
+  SimTime max_backoff = kSecond;
+  double jitter = 0.1;  // +/- fraction of the computed backoff
+  SimTime budget = 0;   // max elapsed since first attempt; 0 = unlimited
+
+  [[nodiscard]] static RetryPolicy none() { return {}; }
+  [[nodiscard]] static RetryPolicy standard(int attempts = 5) {
+    RetryPolicy p;
+    p.max_attempts = attempts;
+    return p;
+  }
+
+  [[nodiscard]] bool enabled() const { return max_attempts > 1; }
+
+  /// `failed_attempts` is how many attempts have failed so far (>= 1),
+  /// `elapsed` the sim time since the first attempt started.
+  [[nodiscard]] bool should_retry(int failed_attempts, SimTime elapsed) const {
+    if (failed_attempts >= max_attempts) return false;
+    if (budget > 0 && elapsed >= budget) return false;
+    return true;
+  }
+
+  /// Backoff before attempt `failed_attempts + 1`. Deterministic given the
+  /// caller's Rng state.
+  [[nodiscard]] SimTime backoff(int failed_attempts, Rng& rng) const {
+    double base = static_cast<double>(initial_backoff) *
+                  std::pow(multiplier, failed_attempts - 1);
+    base = std::min(base, static_cast<double>(max_backoff));
+    if (jitter > 0.0) {
+      base *= 1.0 + jitter * (2.0 * rng.next_double() - 1.0);
+    }
+    return std::max<SimTime>(1, static_cast<SimTime>(base));
+  }
+};
+
+}  // namespace knactor::sim

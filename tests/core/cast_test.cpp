@@ -14,10 +14,15 @@ class CastTest : public ::testing::Test {
     dst_ = &de_.create_store("dst-store");
   }
 
-  std::unique_ptr<CastIntegrator> make_cast(const std::string& spec,
-                                            CastIntegrator::Options options = {
-                                                sim::LatencyModel(), 8, false,
-                                                0}) {
+  static CastIntegrator::Options default_options() {
+    CastIntegrator::Options options;
+    options.compute = sim::LatencyModel();  // zero-cost passes for tests
+    return options;
+  }
+
+  std::unique_ptr<CastIntegrator> make_cast(
+      const std::string& spec,
+      CastIntegrator::Options options = default_options()) {
     auto dxg = Dxg::parse(spec);
     EXPECT_TRUE(dxg.ok()) << (dxg.ok() ? "" : dxg.error().to_string());
     return std::make_unique<CastIntegrator>(

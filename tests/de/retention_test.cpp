@@ -137,6 +137,101 @@ TEST_F(RetentionTest, PeriodicSweepRuns) {
   manager_.stop_periodic_sweep();
 }
 
+// ---------------------------------------------------------------------------
+// GC under crash/restart (chaos resilience).
+// ---------------------------------------------------------------------------
+
+class DurableRetentionTest : public ::testing::Test {
+ protected:
+  DurableRetentionTest()
+      : de_(clock_, ObjectDeProfile::apiserver()), manager_(de_) {
+    store_ = &de_.create_store("s");
+    manager_.set_policy("s", RetentionPolicy::ref_count());
+  }
+
+  void put(const std::string& key) {
+    ASSERT_TRUE(store_->put_sync("me", key, Value::object({{"v", 1}})).ok());
+  }
+
+  sim::VirtualClock clock_;
+  ObjectDe de_;
+  RetentionManager manager_;
+  ObjectStore* store_ = nullptr;
+};
+
+TEST_F(DurableRetentionTest, CollectedObjectsStayGoneAcrossRestart) {
+  put("done");
+  put("held");
+  manager_.claim("s", "done", "c");
+  manager_.release("s", "done", "c", /*done=*/true);
+  manager_.claim("s", "held", "c");
+  EXPECT_EQ(manager_.sweep("me"), 1u);
+  EXPECT_EQ(store_->peek("done"), nullptr);
+
+  // WAL replay: the collected object must not be resurrected (its deletion
+  // is part of the write history) and the held object must survive.
+  de_.restart();
+  clock_.run_all();
+  EXPECT_EQ(store_->peek("done"), nullptr);
+  ASSERT_NE(store_->peek("held"), nullptr);
+  EXPECT_EQ(manager_.refcount("s", "held"), 1u);
+
+  // Re-sweeping after recovery collects nothing extra.
+  EXPECT_EQ(manager_.sweep("me"), 0u);
+  ASSERT_NE(store_->peek("held"), nullptr);
+  manager_.release("s", "held", "c", true);
+  EXPECT_EQ(manager_.sweep("me"), 1u);
+  EXPECT_EQ(store_->peek("held"), nullptr);
+}
+
+TEST_F(DurableRetentionTest, SweepAgainstCrashedDeCollectsNothing) {
+  put("done");
+  manager_.claim("s", "done", "c");
+  manager_.release("s", "done", "c", true);
+
+  de_.crash();
+  // The DE rejects the sweep's list/remove ops; nothing is collected and
+  // the usage table is untouched (a retry after recovery collects cleanly).
+  EXPECT_EQ(manager_.sweep("me"), 0u);
+  EXPECT_GT(de_.stats().unavailable_rejections, 0u);
+  EXPECT_EQ(manager_.stats().collected, 0u);
+
+  de_.recover();
+  clock_.run_all();
+  ASSERT_NE(store_->peek("done"), nullptr);  // recovered from the WAL
+  EXPECT_EQ(manager_.sweep("me"), 1u);
+  EXPECT_EQ(store_->peek("done"), nullptr);
+}
+
+TEST_F(DurableRetentionTest, CrashBetweenReleaseAndSweepIsSafe) {
+  put("k");
+  manager_.claim("s", "k", "c");
+  de_.crash();
+  // Claims/releases are consumer-side bookkeeping; they survive a DE crash.
+  manager_.release("s", "k", "c", true);
+  EXPECT_EQ(manager_.refcount("s", "k"), 0u);
+  de_.recover();
+  clock_.run_all();
+  EXPECT_EQ(manager_.sweep("me"), 1u);
+  EXPECT_EQ(store_->peek("k"), nullptr);
+  EXPECT_EQ(manager_.sweep("me"), 0u);  // idempotent: nothing extra
+}
+
+TEST_F(RetentionTest, NonDurableRestartStaysConsistent) {
+  // A redis-profile DE loses its objects on restart; the manager's usage
+  // table may still reference them. Sweeping must stay consistent (no
+  // phantom collections, no crash).
+  manager_.set_policy("s", RetentionPolicy::ref_count());
+  put("k");
+  manager_.claim("s", "k", "c");
+  manager_.release("s", "k", "c", true);
+  de_.restart();  // instant profile is non-durable: the store is wiped
+  clock_.run_all();
+  EXPECT_EQ(store_->peek("k"), nullptr);
+  EXPECT_EQ(manager_.sweep("me"), 0u);
+  EXPECT_EQ(manager_.stats().collected, 0u);
+}
+
 TEST_F(RetentionTest, StatsTrack) {
   manager_.set_policy("s", RetentionPolicy::ref_count());
   put("k");

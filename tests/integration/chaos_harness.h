@@ -1,0 +1,268 @@
+// Reusable chaos harness: runs a composition under a seeded FaultPlan and
+// checks convergence against the fault-free oracle (§3.3, Fig. 8).
+//
+// Three pieces:
+//   * ChaosHooks / CrashScheduler — map the plan's crash windows onto
+//     component-level down/up actions (knactor stop / start+resync, DE
+//     crash/recover). Network-level faults (loss, duplication, reorder,
+//     flaps, node windows) are injected by SimNetwork itself via
+//     set_fault_plan; crash hooks cover the components that exchange
+//     through a DE instead of the wire.
+//   * Fingerprints — canonical, order-independent serialization of store
+//     contents with volatile sequence ids (pay-3, track-7) masked, so a
+//     chaos run that needed retries still fingerprints equal to the
+//     oracle.
+//   * ChaosTrial — the convergence loop: apply plan, run workload, heal
+//     (drain + resync + one integrator pass), fingerprint.
+#pragma once
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/value.h"
+#include "de/object.h"
+#include "sim/clock.h"
+#include "sim/fault.h"
+
+namespace knactor::chaos {
+
+// ---------------------------------------------------------------------------
+// Crash-window scheduling
+// ---------------------------------------------------------------------------
+
+/// Down/up actions for one named chaos target. `down` is invoked at the
+/// window start, `up` at the window end; both run as ordinary clock events
+/// so they interleave deterministically with the workload.
+struct ChaosHooks {
+  struct Component {
+    std::function<void()> down;
+    std::function<void()> up;
+  };
+  std::map<std::string, Component> components;
+
+  ChaosHooks& add(std::string name, std::function<void()> down,
+                  std::function<void()> up) {
+    components[std::move(name)] = Component{std::move(down), std::move(up)};
+    return *this;
+  }
+};
+
+/// Schedules every crash window of a plan through the hooks and records a
+/// kCrash / kRestart FaultRecord per edge, mirroring what SimNetwork records
+/// for wire-level faults. Must outlive the scheduled windows (keep it on the
+/// test stack for the whole trial).
+class CrashScheduler {
+ public:
+  CrashScheduler(sim::VirtualClock& clock, ChaosHooks hooks)
+      : clock_(clock), hooks_(std::move(hooks)) {}
+
+  CrashScheduler(const CrashScheduler&) = delete;
+  CrashScheduler& operator=(const CrashScheduler&) = delete;
+
+  /// Arms all windows whose target has a registered hook. Windows for
+  /// unknown targets are counted in `skipped()` instead of silently
+  /// vanishing.
+  void arm(const sim::FaultPlan& plan) {
+    for (const auto& window : plan.crashes) {
+      auto it = hooks_.components.find(window.target);
+      if (it == hooks_.components.end()) {
+        ++skipped_;
+        continue;
+      }
+      const std::string target = window.target;
+      const std::string detail = "window [" + std::to_string(window.start) +
+                                 "," + std::to_string(window.end) + ")";
+      clock_.schedule_at(window.start, [this, target, detail]() {
+        auto hook = hooks_.components.find(target);
+        if (hook == hooks_.components.end() || !hook->second.down) return;
+        hook->second.down();
+        records_.push_back(sim::FaultRecord{clock_.now(),
+                                            sim::FaultKind::kCrash, target,
+                                            "", detail, 0});
+      });
+      clock_.schedule_at(window.end, [this, target, detail]() {
+        auto hook = hooks_.components.find(target);
+        if (hook == hooks_.components.end() || !hook->second.up) return;
+        hook->second.up();
+        records_.push_back(sim::FaultRecord{clock_.now(),
+                                            sim::FaultKind::kRestart, target,
+                                            "", detail, 0});
+      });
+    }
+  }
+
+  [[nodiscard]] const std::vector<sim::FaultRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::size_t skipped() const { return skipped_; }
+
+ private:
+  sim::VirtualClock& clock_;
+  ChaosHooks hooks_;
+  std::vector<sim::FaultRecord> records_;
+  std::size_t skipped_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Fingerprints
+// ---------------------------------------------------------------------------
+
+/// Masks the numeric suffix of volatile sequence ids: "pay-12" -> "pay-#",
+/// "track-3" -> "track-#". A chaos run that retried a payment consumes more
+/// sequence numbers than the oracle; the id's *presence* is the invariant,
+/// not its value. Everything else passes through untouched.
+inline std::string mask_sequence_id(const std::string& s) {
+  for (const char* prefix : {"pay-", "track-"}) {
+    const std::size_t len = std::string(prefix).size();
+    if (s.size() <= len || s.compare(0, len, prefix) != 0) continue;
+    if (std::all_of(s.begin() + static_cast<std::ptrdiff_t>(len), s.end(),
+                    [](unsigned char c) { return std::isdigit(c) != 0; })) {
+      return std::string(prefix) + "#";
+    }
+  }
+  return s;
+}
+
+namespace detail {
+inline void append_canonical(const common::Value& v, std::string& out) {
+  using common::Value;
+  switch (v.type()) {
+    case Value::Type::kNull:
+      out += "null";
+      break;
+    case Value::Type::kBool:
+      out += v.as_bool() ? "true" : "false";
+      break;
+    case Value::Type::kInt:
+      out += std::to_string(v.as_int());
+      break;
+    case Value::Type::kDouble:
+      out += std::to_string(v.as_double());
+      break;
+    case Value::Type::kString:
+      out += '"';
+      out += mask_sequence_id(v.as_string());
+      out += '"';
+      break;
+    case Value::Type::kArray: {
+      out += '[';
+      bool first = true;
+      for (const auto& item : v.as_array()) {
+        if (!first) out += ',';
+        first = false;
+        append_canonical(item, out);
+      }
+      out += ']';
+      break;
+    }
+    case Value::Type::kObject: {
+      // Sort keys: insertion order can legitimately differ between a clean
+      // run and a chaos run (fields patched in a different interleaving).
+      std::vector<const common::OrderedMap::Entry*> entries;
+      for (const auto& entry : v.as_object()) entries.push_back(&entry);
+      std::sort(entries.begin(), entries.end(),
+                [](const auto* a, const auto* b) { return a->first < b->first; });
+      out += '{';
+      bool first = true;
+      for (const auto* entry : entries) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += entry->first;
+        out += "\":";
+        append_canonical(entry->second, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+}  // namespace detail
+
+/// Canonical fingerprint of one value: sorted object keys, masked sequence
+/// ids. Equal fingerprints <=> semantically equal state.
+inline std::string canonical_fingerprint(const common::Value& v) {
+  std::string out;
+  detail::append_canonical(v, out);
+  return out;
+}
+
+/// Fingerprint of a set of stores: every key of every store, sorted, with
+/// object versions excluded (a retried write bumps the version without
+/// changing the converged state).
+inline std::string fingerprint_stores(
+    const std::vector<const de::ObjectStore*>& stores) {
+  std::string out;
+  for (const de::ObjectStore* store : stores) {
+    if (store == nullptr) continue;
+    out += store->name();
+    out += '{';
+    std::vector<std::string> keys = store->keys();
+    std::sort(keys.begin(), keys.end());
+    for (const auto& key : keys) {
+      const de::StateObject* obj = store->peek(key);
+      if (obj == nullptr || !obj->data) continue;
+      out += key;
+      out += '=';
+      detail::append_canonical(*obj->data, out);
+      out += ';';
+    }
+    out += '}';
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Fault-schedule serialization (determinism checks)
+// ---------------------------------------------------------------------------
+
+/// Serializes a fault schedule to one line per record. Two runs with the
+/// same seed must produce byte-identical serializations.
+inline std::string serialize_schedule(
+    const std::vector<sim::FaultRecord>& records) {
+  std::string out;
+  for (const auto& r : records) {
+    out += r.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Convergence trial
+// ---------------------------------------------------------------------------
+
+/// Outcome of one seeded chaos trial.
+struct ChaosTrialResult {
+  bool workload_completed = false;  // did the order finish during chaos?
+  bool converged = false;           // fingerprint equals oracle after heal
+  std::string fingerprint;
+  std::string schedule;             // serialized fault records (net + crash)
+  std::size_t faults_injected = 0;
+};
+
+/// Runs one trial: `workload` executes under the armed plan, `heal` drives
+/// the system to quiescence after all windows closed, `fingerprint` reads
+/// the converged state. The harness itself is composition-agnostic — the
+/// retail wiring lives in the test.
+struct ChaosTrial {
+  std::function<bool()> workload;           // returns "completed during run"
+  std::function<void()> heal;               // drain + resync + settle
+  std::function<std::string()> fingerprint; // canonical state digest
+
+  ChaosTrialResult run(const std::string& oracle) const {
+    ChaosTrialResult result;
+    result.workload_completed = workload ? workload() : false;
+    if (heal) heal();
+    result.fingerprint = fingerprint ? fingerprint() : "";
+    result.converged = result.fingerprint == oracle;
+    return result;
+  }
+};
+
+}  // namespace knactor::chaos

@@ -1,0 +1,403 @@
+// Chaos differential tests (the Fig. 8 experiment, §3.3): run the retail
+// composition under hundreds of seeded fault plans and assert that the
+// data-centric pipeline always converges to the fault-free oracle state
+// once faults heal — while the API-centric RPC baseline is allowed to
+// degrade and needs explicit timeout/retry configuration to survive.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/retail_knactor.h"
+#include "apps/retail_rpc.h"
+#include "core/runtime.h"
+#include "net/broker.h"
+#include "sim/fault.h"
+
+#include "chaos_harness.h"
+
+namespace knactor {
+namespace {
+
+using common::Value;
+
+// ---------------------------------------------------------------------------
+// Retail knactor trial
+// ---------------------------------------------------------------------------
+
+// The knactor composition exchanges through the Object DE, not the wire, so
+// its chaos surface is the crash windows: the DE itself (durable profile,
+// WAL recovery) and the three pipeline knactors. The integrator retries
+// failed passes; reconcilers are resynced at heal time (the Kubernetes
+// re-list pattern) — no other recovery logic exists anywhere.
+struct RetailTrialResult {
+  bool completed = false;       // order shipped during the chaos run
+  bool converged = false;       // post-heal state == oracle
+  std::string fingerprint;
+  std::string schedule;         // serialized crash/restart fault records
+  std::uint64_t failed_passes = 0;
+  std::uint64_t cast_retries = 0;
+};
+
+const std::vector<std::string> kCrashTargets = {"de", "checkout", "payment",
+                                                "shipping"};
+
+sim::FaultPlan retail_plan(std::uint64_t seed) {
+  sim::FaultPlan::RandomOptions opts;
+  opts.horizon = sim::kSecond;
+  opts.crash_targets = kCrashTargets;
+  opts.max_crashes = 3;
+  opts.min_window = 20 * sim::kMillisecond;
+  opts.max_window = 250 * sim::kMillisecond;
+  return sim::FaultPlan::random(seed, opts);
+}
+
+RetailTrialResult run_retail_trial(std::uint64_t seed, bool inject) {
+  core::Runtime runtime;
+  apps::RetailKnactorOptions options;
+  options.de_profile = de::ObjectDeProfile::apiserver();  // durable: WAL
+  options.shipment_processing = sim::LatencyModel::constant_ms(10.0);
+  options.payment_processing = sim::LatencyModel::constant_ms(1.0);
+  options.integrator_retry = sim::RetryPolicy::standard(5);
+  auto app = apps::build_retail_knactor_app(runtime, options);
+
+  chaos::ChaosHooks hooks;
+  hooks.add(
+      "de", [&app]() { app.de->crash(); }, [&app]() { app.de->recover(); });
+  for (const char* name : {"checkout", "payment", "shipping"}) {
+    core::Knactor* kn = runtime.knactor(name);
+    hooks.add(
+        name, [kn]() { kn->stop(); }, [kn]() { kn->start(); });
+  }
+  chaos::CrashScheduler scheduler(runtime.clock(), hooks);
+  if (inject) scheduler.arm(retail_plan(seed));
+
+  auto shipped = [&app]() {
+    const de::StateObject* obj = app.checkout_store->peek("order");
+    if (obj == nullptr || !obj->data) return false;
+    const Value* tracking = obj->data->get("trackingID");
+    const Value* status = obj->data->get("status");
+    return tracking != nullptr && !tracking->is_null() && status != nullptr &&
+           status->is_string() && status->as_string() == "shipped";
+  };
+
+  chaos::ChaosTrial trial;
+  trial.workload = [&runtime, &app, &shipped]() {
+    // A real client retries a rejected write; the put lands as soon as the
+    // DE is up, even if a crash window covers t=0.
+    Value order = apps::sample_order();
+    bool placed = false;
+    for (int attempt = 0; attempt < 100 && !placed; ++attempt) {
+      placed = app.checkout_store
+                   ->put_sync("knactor:checkout", "order", order)
+                   .ok();
+      if (!placed) runtime.run_for(25 * sim::kMillisecond);
+    }
+    if (!placed) return false;
+    runtime.run_until_idle();
+    return shipped();
+  };
+  trial.heal = [&runtime, &app]() {
+    // All windows closed (the scheduler's up events are ordinary clock
+    // events, so run_until_idle fired them). Resync every reconciler and
+    // run one exchange pass; repeat once for multi-hop cascades.
+    runtime.run_until_idle();
+    for (int round = 0; round < 2; ++round) {
+      for (const char* name :
+           {"frontend", "cart", "catalog", "currency", "checkout", "payment",
+            "shipping", "email", "recommendation", "ad", "inventory"}) {
+        core::Knactor* kn = runtime.knactor(name);
+        if (kn == nullptr) continue;
+        if (!kn->running()) kn->start();
+        (void)kn->resync();
+      }
+      (void)app.integrator->run_pass_sync();
+      runtime.run_until_idle();
+    }
+  };
+  trial.fingerprint = [&app]() {
+    return chaos::fingerprint_stores(
+        {app.checkout_store, app.payment_store, app.shipping_store});
+  };
+
+  static const std::string oracle = [] {
+    // Fault-free oracle: computed once; identical for every seed because
+    // all latencies are constant and no fault plan is armed.
+    RetailTrialResult nil;
+    core::Runtime oracle_runtime;
+    apps::RetailKnactorOptions oracle_options;
+    oracle_options.de_profile = de::ObjectDeProfile::apiserver();
+    oracle_options.shipment_processing = sim::LatencyModel::constant_ms(10.0);
+    oracle_options.payment_processing = sim::LatencyModel::constant_ms(1.0);
+    oracle_options.integrator_retry = sim::RetryPolicy::standard(5);
+    auto oracle_app =
+        apps::build_retail_knactor_app(oracle_runtime, oracle_options);
+    auto put = oracle_app.checkout_store->put_sync("knactor:checkout", "order",
+                                                   apps::sample_order());
+    if (!put.ok()) return std::string("oracle-put-failed");
+    oracle_runtime.run_until_idle();
+    for (int round = 0; round < 2; ++round) {
+      for (const char* name :
+           {"frontend", "cart", "catalog", "currency", "checkout", "payment",
+            "shipping", "email", "recommendation", "ad", "inventory"}) {
+        core::Knactor* kn = oracle_runtime.knactor(name);
+        if (kn != nullptr) (void)kn->resync();
+      }
+      (void)oracle_app.integrator->run_pass_sync();
+      oracle_runtime.run_until_idle();
+    }
+    return chaos::fingerprint_stores({oracle_app.checkout_store,
+                                      oracle_app.payment_store,
+                                      oracle_app.shipping_store});
+  }();
+
+  auto outcome = trial.run(oracle);
+  RetailTrialResult result;
+  result.completed = outcome.workload_completed;
+  result.converged = outcome.converged;
+  result.fingerprint = outcome.fingerprint;
+  result.schedule = chaos::serialize_schedule(scheduler.records());
+  result.failed_passes = runtime.metrics().get("cast.retail.failed_passes");
+  result.cast_retries = runtime.metrics().get("cast.retail.retries");
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole: >= 100 seeds, every one converges to the oracle
+// ---------------------------------------------------------------------------
+
+TEST(ChaosRetail, HundredSeedsAllConvergeToOracle) {
+  const int kSeeds = 120;
+  int completed_during_chaos = 0;
+  std::uint64_t total_failed_passes = 0;
+  std::uint64_t total_cast_retries = 0;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    auto result = run_retail_trial(seed, /*inject=*/true);
+    ASSERT_TRUE(result.converged)
+        << "seed " << seed << " diverged from oracle.\nSchedule:\n"
+        << result.schedule << "Plan: " << retail_plan(seed).describe();
+    if (result.completed) ++completed_during_chaos;
+    total_failed_passes += result.failed_passes;
+    total_cast_retries += result.cast_retries;
+  }
+  // The suite must actually exercise chaos: most seeds still complete while
+  // faults are active (that's the point of the data-centric design), and at
+  // least some seeds must have forced failed passes and integrator retries.
+  EXPECT_GT(completed_during_chaos, kSeeds / 2);
+  EXPECT_GT(total_failed_passes, 0u);
+  EXPECT_GT(total_cast_retries, 0u);
+}
+
+TEST(ChaosRetail, FaultFreeTrialMatchesOracleExactly) {
+  auto result = run_retail_trial(0, /*inject=*/false);
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.schedule.empty());
+}
+
+TEST(ChaosRetail, SameSeedIsBitIdentical) {
+  // A random plan may legitimately draw zero crash windows; pick the first
+  // seed whose schedule is non-trivial so the comparison means something.
+  std::uint64_t seed = 0;
+  for (std::uint64_t candidate = 1; candidate <= 32; ++candidate) {
+    if (!retail_plan(candidate).crashes.empty()) {
+      seed = candidate;
+      break;
+    }
+  }
+  ASSERT_NE(seed, 0u) << "no seed in 1..32 drew a crash window";
+  auto a = run_retail_trial(seed, /*inject=*/true);
+  auto b = run_retail_trial(seed, /*inject=*/true);
+  EXPECT_FALSE(a.schedule.empty());
+  EXPECT_EQ(a.schedule, b.schedule);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.completed, b.completed);
+  // And the plan derivation itself is a pure function of the seed.
+  EXPECT_EQ(retail_plan(seed).describe(), retail_plan(seed).describe());
+}
+
+TEST(ChaosRetail, DifferentSeedsProduceDifferentSchedules) {
+  // Not every pair differs (a plan can draw zero crash windows), so look
+  // for at least one differing pair across a small sample.
+  std::vector<std::string> schedules;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    schedules.push_back(run_retail_trial(seed, true).schedule);
+  }
+  bool any_differ = false;
+  for (std::size_t i = 1; i < schedules.size(); ++i) {
+    if (schedules[i] != schedules[0]) any_differ = true;
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+// ---------------------------------------------------------------------------
+// RPC baseline: degrades without retry, survives with it
+// ---------------------------------------------------------------------------
+
+sim::FaultPlan lossy_wire_plan(std::uint64_t seed) {
+  sim::FaultPlan plan;
+  plan.with_seed(seed).with_loss(0.15).with_duplication(0.05);
+  return plan;
+}
+
+TEST(ChaosRpcBaseline, LossyNetworkNeedsRetryPolicy) {
+  auto place_order = [](std::uint64_t seed, sim::RetryPolicy retry,
+                        net::RpcChannel::Stats* stats_out,
+                        std::uint64_t* dropped_out) {
+    sim::VirtualClock clock;
+    apps::RetailRpcOptions options;
+    options.shipment_processing = sim::LatencyModel::constant_ms(10.0);
+    options.payment_processing = sim::LatencyModel::constant_ms(1.0);
+    apps::RetailRpcApp app(clock, options);
+    app.network().set_fault_plan(lossy_wire_plan(seed));
+    app.configure_channels(50 * sim::kMillisecond, retry);
+    auto tracking = app.place_order_sync(120.0, {"keyboard"});
+    if (stats_out != nullptr) *stats_out = app.channel_stats();
+    if (dropped_out != nullptr) {
+      *dropped_out = app.network().stats().dropped_fault;
+    }
+    return tracking.ok();
+  };
+
+  // Some seeds get lucky and lose no message on the critical call chain;
+  // find one that doesn't (deterministic — the scan result never changes).
+  std::uint64_t seed = 0;
+  net::RpcChannel::Stats fragile;
+  std::uint64_t dropped = 0;
+  for (std::uint64_t candidate = 1; candidate <= 32; ++candidate) {
+    if (!place_order(candidate, sim::RetryPolicy::none(), &fragile,
+                     &dropped)) {
+      seed = candidate;
+      break;
+    }
+  }
+  ASSERT_NE(seed, 0u) << "no seed in 1..32 failed the fragile baseline";
+  EXPECT_GT(dropped, 0u);
+  EXPECT_GT(fragile.timeouts + fragile.failures, 0u);
+
+  // The same chaos survived once the channels retry with backoff.
+  net::RpcChannel::Stats resilient;
+  EXPECT_TRUE(place_order(seed, sim::RetryPolicy::standard(6), &resilient,
+                          nullptr));
+  EXPECT_GT(resilient.retries, 0u);
+  EXPECT_EQ(resilient.failures, 0u);
+}
+
+TEST(ChaosRpcBaseline, SameSeedSameWireSchedule) {
+  auto run = [](std::uint64_t seed) {
+    sim::VirtualClock clock;
+    apps::RetailRpcOptions options;
+    options.shipment_processing = sim::LatencyModel::constant_ms(10.0);
+    options.payment_processing = sim::LatencyModel::constant_ms(1.0);
+    apps::RetailRpcApp app(clock, options);
+    app.network().set_fault_plan(lossy_wire_plan(seed));
+    app.configure_channels(50 * sim::kMillisecond,
+                           sim::RetryPolicy::standard(6));
+    (void)app.place_order_sync(120.0, {"keyboard"});
+    return chaos::serialize_schedule(app.network().fault_records());
+  };
+  std::string first = run(11);
+  std::string second = run(11);
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+  EXPECT_NE(run(12), first);
+}
+
+// ---------------------------------------------------------------------------
+// Pub/Sub under chaos: at-least-once delivery + dedup = exactly-once effect
+// ---------------------------------------------------------------------------
+
+TEST(ChaosBroker, FlapHealsWithRetryExactlyOnce) {
+  sim::VirtualClock clock;
+  net::SimNetwork net(clock);
+  net.set_default_latency(sim::LatencyModel::constant_ms(0.5));
+  net.add_node("pub");
+  net::Broker broker(net, "broker");
+  broker.set_retry_policy(sim::RetryPolicy::standard(8));
+  broker.set_delivery_timeout(5 * sim::kMillisecond);
+
+  sim::FaultPlan plan;
+  plan.with_seed(21).add_flap("broker", "sub1", 2 * sim::kMillisecond,
+                              40 * sim::kMillisecond);
+  net.set_fault_plan(plan);
+
+  std::vector<std::string> got;
+  broker.subscribe("orders", "sub1", [&](const std::string&, const Value& m) {
+    got.push_back(m.get("n")->as_string());
+  });
+  const int kMessages = 10;
+  for (int i = 0; i < kMessages; ++i) {
+    clock.schedule_at(i * 6 * sim::kMillisecond, [&broker, i]() {
+      (void)broker.publish("pub", "orders",
+                           Value::object({{"n", std::to_string(i)}}));
+    });
+  }
+  clock.run_all();
+  // Every message arrives exactly once despite the 40 ms outage: deliveries
+  // in the window are re-sent after it heals, duplicates are suppressed.
+  EXPECT_EQ(got.size(), static_cast<std::size_t>(kMessages));
+  EXPECT_GT(broker.redeliveries(), 0u);
+  EXPECT_EQ(broker.delivery_failures(), 0u);
+}
+
+TEST(ChaosBroker, FlapDropsMessagesWithoutRetry) {
+  sim::VirtualClock clock;
+  net::SimNetwork net(clock);
+  net.set_default_latency(sim::LatencyModel::constant_ms(0.5));
+  net.add_node("pub");
+  net::Broker broker(net, "broker");  // fire-and-forget: no policy
+
+  sim::FaultPlan plan;
+  plan.with_seed(21).add_flap("broker", "sub1", 2 * sim::kMillisecond,
+                              40 * sim::kMillisecond);
+  net.set_fault_plan(plan);
+
+  int got = 0;
+  broker.subscribe("orders", "sub1",
+                   [&](const std::string&, const Value&) { ++got; });
+  const int kMessages = 10;
+  for (int i = 0; i < kMessages; ++i) {
+    clock.schedule_at(i * 6 * sim::kMillisecond, [&broker, i]() {
+      (void)broker.publish("pub", "orders",
+                           Value::object({{"n", std::to_string(i)}}));
+    });
+  }
+  clock.run_all();
+  EXPECT_LT(got, kMessages);  // the window's deliveries are simply gone
+}
+
+// ---------------------------------------------------------------------------
+// Observability: every injected fault is a Metrics counter + Tracer span
+// ---------------------------------------------------------------------------
+
+TEST(ChaosObservability, RuntimeNetworkEmitsCountersAndSpans) {
+  core::Runtime runtime;
+  net::SimNetwork& net = runtime.network();  // auto-attaches the observer
+  net.set_default_latency(sim::LatencyModel::constant_ms(0.5));
+  net.add_node("a");
+  net.add_node("b");
+  net.set_handler("b", "ping", [](const net::Message&) {});
+
+  sim::FaultPlan plan;
+  plan.with_seed(5).with_loss(1.0);
+  net.set_fault_plan(plan);
+  for (int i = 0; i < 4; ++i) {
+    net::Message m;
+    m.src = "a";
+    m.dst = "b";
+    m.type = "ping";
+    (void)net.send(std::move(m));
+  }
+  runtime.run_until_idle();
+
+  EXPECT_EQ(runtime.metrics().get("chaos.fault"), 4u);
+  EXPECT_EQ(runtime.metrics().get("chaos.fault.loss"), 4u);
+  auto spans = runtime.tracer().by_name("chaos.fault");
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0].attributes.at("kind"), "loss");
+  EXPECT_EQ(spans[0].attributes.at("link"), "a->b");
+}
+
+}  // namespace
+}  // namespace knactor

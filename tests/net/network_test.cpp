@@ -52,7 +52,9 @@ TEST_F(NetworkTest, MissingHandlerCountsDropped) {
   m.type = "nobody-listens";
   ASSERT_TRUE(net_.send(std::move(m)).ok());
   clock_.run_all();
-  EXPECT_EQ(net_.stats().messages_dropped, 1u);
+  EXPECT_EQ(net_.stats().dropped_no_handler, 1u);
+  EXPECT_EQ(net_.stats().dropped_partition, 0u);
+  EXPECT_EQ(net_.stats().messages_dropped(), 1u);
   EXPECT_EQ(net_.stats().messages_delivered, 0u);
 }
 
@@ -142,7 +144,9 @@ TEST_F(NetworkTest, PartitionDropsBothDirections) {
   }
   clock_.run_all();
   EXPECT_EQ(got, 0);
-  EXPECT_EQ(net_.stats().messages_dropped, 2u);
+  EXPECT_EQ(net_.stats().dropped_partition, 2u);
+  EXPECT_EQ(net_.stats().dropped_no_handler, 0u);
+  EXPECT_EQ(net_.stats().messages_dropped(), 2u);
 
   net_.set_partitioned("a", "b", false);
   Message m;
@@ -199,6 +203,147 @@ TEST_F(NetworkTest, StatsCountSends) {
   clock_.run_all();
   EXPECT_EQ(net_.stats().messages_sent, 5u);
   EXPECT_EQ(net_.stats().messages_delivered, 5u);
+}
+
+TEST_F(NetworkTest, FaultPlanLossDropsAndRecords) {
+  net_.add_node("a");
+  net_.add_node("b");
+  int got = 0;
+  net_.set_handler("b", "t", [&](const Message&) { ++got; });
+  net_.set_fault_plan(sim::FaultPlan{}.with_seed(7).with_loss(1.0));
+  Message m;
+  m.src = "a";
+  m.dst = "b";
+  m.type = "t";
+  ASSERT_TRUE(net_.send(std::move(m)).ok());
+  clock_.run_all();
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(net_.stats().dropped_fault, 1u);
+  ASSERT_EQ(net_.fault_records().size(), 1u);
+  EXPECT_EQ(net_.fault_records()[0].kind, sim::FaultKind::kLoss);
+  EXPECT_EQ(net_.fault_records()[0].src, "a");
+  EXPECT_EQ(net_.fault_records()[0].dst, "b");
+}
+
+TEST_F(NetworkTest, FaultPlanDuplicateDeliversTwice) {
+  net_.add_node("a");
+  net_.add_node("b");
+  int got = 0;
+  net_.set_handler("b", "t", [&](const Message&) { ++got; });
+  net_.set_fault_plan(sim::FaultPlan{}.with_seed(7).with_duplication(1.0));
+  Message m;
+  m.src = "a";
+  m.dst = "b";
+  m.type = "t";
+  ASSERT_TRUE(net_.send(std::move(m)).ok());
+  clock_.run_all();
+  EXPECT_EQ(got, 2);
+  EXPECT_EQ(net_.stats().duplicated_fault, 1u);
+  EXPECT_EQ(net_.stats().messages_delivered, 2u);
+}
+
+TEST_F(NetworkTest, FlapWindowDropsDuringAndHealsAfter) {
+  net_.add_node("a");
+  net_.add_node("b");
+  int got = 0;
+  net_.set_handler("b", "t", [&](const Message&) { ++got; });
+  net_.set_fault_plan(sim::FaultPlan{}.add_flap(
+      "a", "b", sim::from_ms(1.0), sim::from_ms(10.0)));
+
+  auto send_at = [&](double ms) {
+    clock_.schedule_at(sim::from_ms(ms), [&] {
+      Message m;
+      m.src = "a";
+      m.dst = "b";
+      m.type = "t";
+      (void)net_.send(std::move(m));
+    });
+  };
+  send_at(0.0);   // before the flap: delivered
+  send_at(5.0);   // inside the flap: dropped
+  send_at(20.0);  // after the flap heals: delivered
+  clock_.run_all();
+  EXPECT_EQ(got, 2);
+  EXPECT_EQ(net_.stats().dropped_fault, 1u);
+  ASSERT_EQ(net_.fault_records().size(), 1u);
+  EXPECT_EQ(net_.fault_records()[0].kind, sim::FaultKind::kLinkDown);
+}
+
+TEST_F(NetworkTest, FaultObserverSeesEveryInjection) {
+  net_.add_node("a");
+  net_.add_node("b");
+  net_.set_handler("b", "t", [](const Message&) {});
+  std::vector<std::string> seen;
+  net_.set_fault_observer(
+      [&](const sim::FaultRecord& r) { seen.push_back(r.to_string()); });
+  net_.set_fault_plan(sim::FaultPlan{}.with_seed(3).with_loss(1.0));
+  for (int i = 0; i < 3; ++i) {
+    Message m;
+    m.src = "a";
+    m.dst = "b";
+    m.type = "t";
+    (void)net_.send(std::move(m));
+  }
+  clock_.run_all();
+  EXPECT_EQ(seen.size(), 3u);
+  EXPECT_EQ(net_.fault_records().size(), 3u);
+}
+
+// Same seed + same traffic → bit-identical fault schedule.
+TEST(FaultDeterminismTest, SameSeedSameSchedule) {
+  auto run = [](std::uint64_t seed) {
+    sim::VirtualClock clock;
+    SimNetwork net(clock);
+    net.add_node("a");
+    net.add_node("b");
+    net.set_handler("b", "t", [](const Message&) {});
+    sim::FaultPlan::RandomOptions opts;
+    opts.flap_links = {{"a", "b"}};
+    net.set_fault_plan(sim::FaultPlan::random(seed, opts));
+    const std::string src = "a", dst = "b", type = "t";
+    for (int i = 0; i < 200; ++i) {
+      Message m;
+      m.src = src;
+      m.dst = dst;
+      m.type = type;
+      (void)net.send(std::move(m));
+      clock.run_all();
+    }
+    std::string schedule;
+    for (const auto& rec : net.fault_records()) {
+      schedule += rec.to_string();
+      schedule += '\n';
+    }
+    return schedule;
+  };
+  for (std::uint64_t seed : {1ull, 42ull, 9999ull}) {
+    const auto first = run(seed);
+    EXPECT_EQ(first, run(seed)) << "seed " << seed;
+    EXPECT_FALSE(first.empty()) << "seed " << seed;
+  }
+}
+
+TEST(FaultPlanTest, RandomPlanWindowsInsideHorizon) {
+  sim::FaultPlan::RandomOptions opts;
+  opts.horizon = sim::kSecond;
+  opts.crash_targets = {"x", "y"};
+  opts.flap_links = {{"a", "b"}};
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const auto plan = sim::FaultPlan::random(seed, opts);
+    EXPECT_EQ(plan.seed, seed);
+    EXPECT_LE(plan.links.loss, opts.max_loss);
+    EXPECT_LE(plan.links.duplicate, opts.max_duplicate);
+    EXPECT_LE(plan.links.reorder, opts.max_reorder);
+    for (const auto& w : plan.flaps) {
+      EXPECT_GE(w.start, 0);
+      EXPECT_LT(w.start, w.end);
+    }
+    for (const auto& w : plan.crashes) {
+      EXPECT_GE(w.start, 0);
+      EXPECT_LT(w.start, w.end);
+    }
+    EXPECT_LE(plan.last_window_end(), opts.horizon + opts.max_window);
+  }
 }
 
 }  // namespace

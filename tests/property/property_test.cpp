@@ -8,6 +8,8 @@
 #include "de/log.h"
 #include "de/retention.h"
 #include "de/object.h"
+#include "net/broker.h"
+#include "net/rpc.h"
 #include "net/wire.h"
 #include "sim/random.h"
 #include "yaml/yaml.h"
@@ -389,6 +391,136 @@ TEST_P(RetentionSafety, ReferencedObjectsSurviveRandomWorkloads) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RetentionSafety, ::testing::Range(1, 11));
+
+// ---------------------------------------------------------------------------
+// Transport equivalence: the same random update stream pushed through RPC,
+// Pub/Sub, and a Cast fan-out DXG must converge to the same last-writer-wins
+// map. This is the paper's composition-mechanism-agnosticism claim: the
+// mechanism moves the data, the data defines the state.
+// ---------------------------------------------------------------------------
+
+class TransportEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(TransportEquivalence, SameFinalStateOnAllThreeTransports) {
+  sim::Rng rng(static_cast<std::uint64_t>(GetParam()) * 8117);
+  static const char* kStatuses[] = {"placed", "paid", "packed", "shipped",
+                                    "delivered"};
+  struct Update {
+    std::string key;
+    std::string status;
+  };
+  std::vector<Update> updates;
+  std::size_t n = 10 + rng.next_below(30);
+  for (std::size_t i = 0; i < n; ++i) {
+    updates.push_back({"order/" + std::to_string(rng.next_below(6)),
+                       kStatuses[rng.next_below(5)]});
+  }
+  std::map<std::string, std::string> expected;
+  for (const auto& u : updates) expected[u.key] = u.status;
+
+  // 1) RPC: one Update call per event; the server's map is the state.
+  std::map<std::string, std::string> via_rpc;
+  {
+    sim::VirtualClock clock;
+    net::SimNetwork net(clock);
+    net.set_default_latency(sim::LatencyModel::constant_ms(0.5));
+    net::SchemaPool pool;
+    net::MessageDescriptor req;
+    req.full_name = "t.UpdateRequest";
+    req.fields = {{1, "key", net::FieldType::kString},
+                  {2, "status", net::FieldType::kString}};
+    ASSERT_TRUE(pool.add(req).ok());
+    net::MessageDescriptor ack;
+    ack.full_name = "t.Ack";
+    ack.fields = {{1, "ok", net::FieldType::kBool}};
+    ASSERT_TRUE(pool.add(ack).ok());
+    net::ServiceDescriptor service;
+    service.name = "t.Status";
+    service.methods = {{"Update", "t.UpdateRequest", "t.Ack"}};
+    net::RpcRegistry registry;
+    net::RpcServer server(net, "server", pool);
+    ASSERT_TRUE(server.add_service(service, registry).ok());
+    ASSERT_TRUE(server
+                    .add_handler("t.Status", "Update",
+                                 [&](const Value& request,
+                                     net::RpcServer::Respond done) {
+                                   via_rpc[request.get("key")->as_string()] =
+                                       request.get("status")->as_string();
+                                   done(Value::object({{"ok", true}}));
+                                 })
+                    .ok());
+    net::RpcChannel channel(net, "client", registry, pool);
+    for (const auto& u : updates) {
+      auto resp = channel.call_sync(
+          service, "Update",
+          Value::object({{"key", u.key}, {"status", u.status}}));
+      ASSERT_TRUE(resp.ok()) << resp.error().to_string();
+    }
+  }
+
+  // 2) Pub/Sub: publish every update; the subscriber's map is the state.
+  std::map<std::string, std::string> via_pubsub;
+  {
+    sim::VirtualClock clock;
+    net::SimNetwork net(clock);
+    net.set_default_latency(sim::LatencyModel::constant_ms(0.5));
+    net.add_node("pub");
+    net::Broker broker(net, "broker");
+    broker.subscribe("status", "sub",
+                     [&](const std::string&, const Value& m) {
+                       via_pubsub[m.get("key")->as_string()] =
+                           m.get("status")->as_string();
+                     });
+    for (const auto& u : updates) {
+      ASSERT_TRUE(
+          broker
+              .publish("pub", "status",
+                       Value::object({{"key", u.key}, {"status", u.status}}))
+              .ok());
+      clock.run_all();  // preserve publish order deterministically
+    }
+  }
+
+  // 3) Cast: updates land in a store; a fan-out DXG mirrors the status.
+  std::map<std::string, std::string> via_cast;
+  {
+    sim::VirtualClock clock;
+    de::ObjectDe de(clock, de::ObjectDeProfile::instant());
+    de::ObjectStore& orders = de.create_store("orders");
+    de::ObjectStore& mirror = de.create_store("mirror");
+    auto dxg = core::Dxg::parse(R"(Input:
+  C: orders
+  M: mirror
+DXG:
+  M.*:
+    $for: C order/
+    status: get(C, it).status
+)");
+    ASSERT_TRUE(dxg.ok()) << dxg.error().to_string();
+    core::CastIntegrator cast("mirror", de, dxg.take(),
+                              {{"C", &orders}, {"M", &mirror}});
+    ASSERT_TRUE(cast.start().ok());
+    for (const auto& u : updates) {
+      (void)orders.put_sync("svc", u.key,
+                            Value::object({{"status", u.status}}));
+    }
+    clock.run_all();
+    for (const auto& key : mirror.keys()) {
+      const de::StateObject* obj = mirror.peek(key);
+      ASSERT_NE(obj, nullptr);
+      const Value* status = obj->data->get("status");
+      if (status != nullptr && status->is_string()) {
+        via_cast[key] = status->as_string();
+      }
+    }
+  }
+
+  EXPECT_EQ(via_rpc, expected);
+  EXPECT_EQ(via_pubsub, expected);
+  EXPECT_EQ(via_cast, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransportEquivalence, ::testing::Range(1, 13));
 
 }  // namespace
 }  // namespace knactor

@@ -1,0 +1,156 @@
+#include "analysis/diagnostic.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/json.h"
+
+namespace knactor::analysis {
+
+using common::Value;
+
+const char* severity_name(Severity s) {
+  return s == Severity::kWarning ? "warning" : "error";
+}
+
+std::string Diagnostic::to_text() const {
+  std::string out = loc.file.empty() ? "<input>" : loc.file;
+  if (loc.line > 0) {
+    out += ":" + std::to_string(loc.line);
+    if (loc.col > 0) out += ":" + std::to_string(loc.col);
+  }
+  out += ": ";
+  out += severity_name(severity);
+  out += ": " + message + " [" + code + "]";
+  if (!hint.empty()) out += "\n  hint: " + hint;
+  return out;
+}
+
+Value Diagnostic::to_value() const {
+  Value::Object obj;
+  obj.set("code", Value(code));
+  obj.set("severity", Value(std::string(severity_name(severity))));
+  obj.set("file", Value(loc.file));
+  obj.set("line", Value(static_cast<std::int64_t>(loc.line)));
+  obj.set("col", Value(static_cast<std::int64_t>(loc.col)));
+  obj.set("message", Value(message));
+  if (!hint.empty()) obj.set("hint", Value(hint));
+  return Value(std::move(obj));
+}
+
+const std::vector<DiagnosticInfo>& diagnostic_catalog() {
+  static const std::vector<DiagnosticInfo> kCatalog = {
+      // KN0xx — composition-graph checks (core/dxg.h legacy kinds aliased
+      // onto KN001-KN006 via issue_kind_code()).
+      {"KN001", Severity::kError, "unresolved-alias"},
+      {"KN002", Severity::kError, "cycle"},
+      {"KN003", Severity::kWarning, "unused-input"},
+      {"KN004", Severity::kError, "not-external"},
+      {"KN005", Severity::kError, "unknown-field"},
+      {"KN006", Severity::kError, "self-dependency"},
+      {"KN007", Severity::kWarning, "unknown-schema"},
+      {"KN008", Severity::kError, "invalid-schema"},
+      // KN1xx — expression type inference.
+      {"KN101", Severity::kError, "type-mismatch"},
+      {"KN102", Severity::kError, "cardinality-mismatch"},
+      {"KN103", Severity::kError, "unknown-function"},
+      {"KN104", Severity::kError, "arity-mismatch"},
+      {"KN105", Severity::kError, "operand-type"},
+      {"KN106", Severity::kError, "unknown-ref-field"},
+      {"KN107", Severity::kError, "not-iterable"},
+      // KN2xx — Sync pipeline schema flow.
+      {"KN201", Severity::kError, "dropped-field"},
+      {"KN202", Severity::kError, "rename-collision"},
+      {"KN203", Severity::kError, "invalid-predicate"},
+      {"KN204", Severity::kError, "unorderable-sort"},
+      {"KN205", Severity::kError, "non-numeric-aggregate"},
+      {"KN206", Severity::kError, "target-schema-mismatch"},
+      {"KN207", Severity::kWarning, "unknown-pipeline-schema"},
+      {"KN208", Severity::kError, "bad-pipeline"},
+      // KN3xx — RBAC pre-flight.
+      {"KN301", Severity::kError, "read-denied"},
+      {"KN302", Severity::kError, "write-denied"},
+      {"KN303", Severity::kError, "field-write-denied"},
+      {"KN304", Severity::kError, "field-read-denied"},
+      {"KN305", Severity::kWarning, "unbound-principal"},
+      // KN4xx — input failures.
+      {"KN400", Severity::kError, "parse-error"},
+  };
+  return kCatalog;
+}
+
+const DiagnosticInfo* find_diagnostic_info(std::string_view code) {
+  for (const auto& info : diagnostic_catalog()) {
+    if (code == info.code) return &info;
+  }
+  return nullptr;
+}
+
+Diagnostic make_diag(std::string code, SourceLoc loc, std::string message,
+                     std::string hint) {
+  Diagnostic d;
+  const DiagnosticInfo* info = find_diagnostic_info(code);
+  d.severity = info != nullptr ? info->severity : Severity::kError;
+  d.code = std::move(code);
+  d.loc = std::move(loc);
+  d.message = std::move(message);
+  d.hint = std::move(hint);
+  return d;
+}
+
+void sort_diagnostics(std::vector<Diagnostic>& diags) {
+  std::stable_sort(diags.begin(), diags.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return std::tie(a.loc.file, a.loc.line, a.loc.col, a.code,
+                                     a.message) <
+                            std::tie(b.loc.file, b.loc.line, b.loc.col, b.code,
+                                     b.message);
+                   });
+}
+
+bool has_errors(const std::vector<Diagnostic>& diags) {
+  return std::any_of(diags.begin(), diags.end(), [](const Diagnostic& d) {
+    return d.severity == Severity::kError;
+  });
+}
+
+namespace {
+
+std::pair<int, int> count_by_severity(const std::vector<Diagnostic>& diags) {
+  int errors = 0;
+  int warnings = 0;
+  for (const auto& d : diags) {
+    (d.severity == Severity::kError ? errors : warnings) += 1;
+  }
+  return {errors, warnings};
+}
+
+}  // namespace
+
+std::string render_text(const std::vector<Diagnostic>& diags) {
+  std::string out;
+  for (const auto& d : diags) {
+    out += d.to_text();
+    out += "\n";
+  }
+  auto [errors, warnings] = count_by_severity(diags);
+  if (errors + warnings > 0) {
+    out += std::to_string(errors) + " error(s), " + std::to_string(warnings) +
+           " warning(s)\n";
+  }
+  return out;
+}
+
+std::string render_json(const std::vector<Diagnostic>& diags) {
+  Value::Array list;
+  list.reserve(diags.size());
+  for (const auto& d : diags) list.push_back(d.to_value());
+  auto [errors, warnings] = count_by_severity(diags);
+  Value::Object obj;
+  obj.set("diagnostics", Value(std::move(list)));
+  obj.set("errors", Value(static_cast<std::int64_t>(errors)));
+  obj.set("warnings", Value(static_cast<std::int64_t>(warnings)));
+  return common::to_json_pretty(Value(std::move(obj))) + "\n";
+}
+
+}  // namespace knactor::analysis

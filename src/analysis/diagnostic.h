@@ -1,0 +1,87 @@
+// Unified diagnostics for the Knactor static analyzer (§5 "framework
+// support for composition"). Every analysis pass — DXG graph checks,
+// expression type inference, Sync pipeline schema flow, RBAC pre-flight —
+// reports through this one type so `knctl lint` can render a single
+// located, machine-readable stream.
+//
+// Diagnostic codes are stable KN### identifiers:
+//
+//   KN0xx  composition-graph checks (aliases, cycles, schema conformance)
+//   KN1xx  expression type inference
+//   KN2xx  Sync pipeline schema flow
+//   KN3xx  RBAC pre-flight
+//   KN4xx  input/parse failures
+//
+// The catalog below is the single source of truth for code -> severity;
+// docs/ANALYSIS.md documents every code with a minimal trigger example.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace knactor::analysis {
+
+enum class Severity {
+  kWarning,  // suspicious but not composition-breaking
+  kError,    // the composition will misbehave or fail at runtime
+};
+
+const char* severity_name(Severity s);
+
+/// 1-based position in a spec file; line 0 means "whole file".
+struct SourceLoc {
+  std::string file;
+  int line = 0;
+  int col = 0;
+};
+
+/// One analyzer finding.
+struct Diagnostic {
+  std::string code;  // stable "KN###" identifier
+  Severity severity = Severity::kError;
+  SourceLoc loc;
+  std::string message;
+  std::string hint;  // optional fix suggestion
+
+  /// "file:line:col: error: message [KN###]" (position elided when
+  /// unknown; "  hint: ..." appended on its own line when present).
+  [[nodiscard]] std::string to_text() const;
+  /// Object form for --format json: {code, severity, file, line, col,
+  /// message, hint}.
+  [[nodiscard]] common::Value to_value() const;
+};
+
+/// Catalog entry describing one KN### code.
+struct DiagnosticInfo {
+  const char* code;
+  Severity severity;
+  const char* title;  // short kebab-case name, e.g. "type-mismatch"
+};
+
+/// The full code catalog, sorted by code.
+const std::vector<DiagnosticInfo>& diagnostic_catalog();
+
+/// Looks up a code in the catalog; null when unknown.
+const DiagnosticInfo* find_diagnostic_info(std::string_view code);
+
+/// Builds a diagnostic, filling severity from the catalog (unknown codes
+/// get kError).
+Diagnostic make_diag(std::string code, SourceLoc loc, std::string message,
+                     std::string hint = {});
+
+/// Stable output order: (file, line, col, code, message).
+void sort_diagnostics(std::vector<Diagnostic>& diags);
+
+/// True when any diagnostic is error severity.
+bool has_errors(const std::vector<Diagnostic>& diags);
+
+/// Renders one diagnostic per line, plus a trailing summary line
+/// ("N error(s), M warning(s)" — omitted when empty).
+std::string render_text(const std::vector<Diagnostic>& diags);
+
+/// Renders {"diagnostics": [...], "errors": N, "warnings": M} as JSON.
+std::string render_json(const std::vector<Diagnostic>& diags);
+
+}  // namespace knactor::analysis

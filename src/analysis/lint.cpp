@@ -1,0 +1,299 @@
+#include "analysis/lint.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "analysis/sync_analysis.h"
+#include "analysis/typecheck.h"
+#include "common/strings.h"
+#include "core/dxg.h"
+#include "yaml/yaml.h"
+
+namespace knactor::analysis {
+
+using common::Value;
+
+namespace {
+
+SourceLoc loc_at(const yaml::Document& doc, const std::string& path,
+                 const std::string& file) {
+  SourceLoc loc;
+  loc.file = file;
+  auto it = doc.positions.find(path);
+  if (it != doc.positions.end()) {
+    loc.line = it->second.line;
+    loc.col = it->second.col;
+  }
+  return loc;
+}
+
+// ---------------------------------------------------------------------------
+// Schema lint: every field decl must be a known type name.
+
+void lint_schema(const yaml::Document& doc, const LintOptions& options,
+                 std::vector<Diagnostic>& out) {
+  static const std::set<std::string, std::less<>> kDecls = {
+      "string", "number", "int", "bool", "object", "list", "any"};
+  const std::string& file = options.file;
+  for (const auto& [key, value] : doc.root.as_object()) {
+    if (key == "schema") {
+      if (!value.is_string() || value.as_string().empty()) {
+        out.push_back(make_diag("KN008", loc_at(doc, key, file),
+                                "schema id must be a non-empty string"));
+      }
+      continue;
+    }
+    if (!value.is_string()) {
+      out.push_back(make_diag(
+          "KN008", loc_at(doc, key, file),
+          "field '" + key + "': type declaration must be a string"));
+      continue;
+    }
+    if (kDecls.count(value.as_string()) == 0) {
+      out.push_back(make_diag(
+          "KN008", loc_at(doc, key, file),
+          "field '" + key + "': unknown type '" + value.as_string() + "'",
+          "one of: string, number, int, bool, object, list, any"));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DXG lint: graph checks (via core::analyze), KN007, type inference, RBAC.
+
+/// Position of mapping i: its field key under "DXG/<label>", falling back
+/// to the target label, then the DXG section.
+SourceLoc mapping_loc(const yaml::Document& doc, const core::DxgMapping& m,
+                      const std::string& file) {
+  for (const std::string& path :
+       {"DXG/" + m.spec_label + "/" + m.field, "DXG/" + m.spec_label,
+        std::string("DXG")}) {
+    auto it = doc.positions.find(path);
+    if (it != doc.positions.end()) {
+      return SourceLoc{file, it->second.line, it->second.col};
+    }
+  }
+  return SourceLoc{file, 0, 0};
+}
+
+void lint_dxg(const yaml::Document& doc, const LintOptions& options,
+              std::vector<Diagnostic>& out) {
+  auto parsed = core::Dxg::from_value(doc.root);
+  if (!parsed.ok()) {
+    out.push_back(make_diag("KN400", SourceLoc{options.file, 0, 0},
+                            parsed.error().message));
+    return;
+  }
+  const core::Dxg dxg = parsed.take();
+  std::vector<SourceLoc> mapping_locs;
+  mapping_locs.reserve(dxg.mappings().size());
+  for (const auto& m : dxg.mappings()) {
+    mapping_locs.push_back(mapping_loc(doc, m, options.file));
+  }
+
+  // Graph checks: the legacy analyzer's kinds are already aliased onto
+  // KN001-KN006.
+  for (const auto& issue : core::analyze(dxg, options.schemas)) {
+    SourceLoc loc{options.file, 0, 0};
+    if (issue.mapping_index >= 0 &&
+        static_cast<std::size_t>(issue.mapping_index) < mapping_locs.size()) {
+      loc = mapping_locs[issue.mapping_index];
+    } else if (!issue.subject.empty()) {
+      loc = loc_at(doc, "Input/" + issue.subject, options.file);
+    }
+    out.push_back(
+        make_diag(core::issue_kind_code(issue.kind), loc, issue.detail));
+  }
+
+  if (options.schemas != nullptr) {
+    // Inputs whose store id has no registered schema: everything typed
+    // through them degrades to `any`, so say so once per alias.
+    for (const auto& [alias, store_id] : dxg.inputs()) {
+      if (options.schemas->find(store_id) == nullptr) {
+        out.push_back(make_diag(
+            "KN007", loc_at(doc, "Input/" + alias, options.file),
+            "no schema registered for store '" + store_id + "' (alias " +
+                alias + "); its fields type-check as 'any'",
+            "pass its schema file via --schema"));
+      }
+    }
+    typecheck_dxg(dxg, *options.schemas, mapping_locs, out);
+  } else {
+    // Without schemas we can still catch unknown functions and arity.
+    de::SchemaRegistry empty;
+    typecheck_dxg(dxg, empty, mapping_locs, out);
+  }
+
+  // RBAC pre-flight: each mapping writes its target field (update) and
+  // reads every cross-store reference (get).
+  if (options.rbac != nullptr) {
+    std::vector<Access> accesses;
+    const auto& mappings = dxg.mappings();
+    for (std::size_t i = 0; i < mappings.size(); ++i) {
+      const core::DxgMapping& m = mappings[i];
+      auto target = dxg.inputs().find(m.target_alias);
+      if (target != dxg.inputs().end()) {
+        accesses.push_back(Access{target->second, m.field, de::Verb::kUpdate,
+                                  mapping_locs[i],
+                                  "mapping " + m.target_path()});
+      }
+      SchemaRefResolver resolver(dxg.inputs(), options.schemas,
+                                 m.target_alias);
+      for (const auto& ref : m.refs) {
+        auto segments = common::split(ref, '.');
+        std::vector<std::string> parts;
+        parts.reserve(segments.size());
+        for (auto seg : segments) parts.emplace_back(seg);
+        RefInfo info = resolver.resolve(parts);
+        if (info.store.empty()) continue;  // unresolved alias: KN001 already
+        // Reading the field it writes is the write, not a separate read.
+        if (info.store == (target != dxg.inputs().end() ? target->second
+                                                        : std::string()) &&
+            info.field == m.field) {
+          continue;
+        }
+        accesses.push_back(Access{info.store, info.field, de::Verb::kGet,
+                                  mapping_locs[i],
+                                  "mapping " + m.target_path() + " reads " +
+                                      ref});
+      }
+    }
+    std::string principal = !options.principal.empty()
+                                ? options.principal
+                                : options.rbac->default_principal;
+    rbac_preflight(*options.rbac, principal, accesses, out);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sync lint.
+
+void lint_sync(const yaml::Document& doc, const Value& sync,
+               const LintOptions& options, std::vector<Diagnostic>& out) {
+  if (!sync.is_object()) {
+    out.push_back(make_diag("KN400",
+                            loc_at(doc, "Sync", options.file),
+                            "'Sync' section must be a mapping of routes"));
+    return;
+  }
+  de::SchemaRegistry empty;
+  const de::SchemaRegistry& schemas =
+      options.schemas != nullptr ? *options.schemas : empty;
+  std::vector<Access> accesses;
+  for (const auto& [name, route_value] : sync.as_object()) {
+    SourceLoc loc = loc_at(doc, "Sync/" + name, options.file);
+    if (!route_value.is_object()) {
+      out.push_back(make_diag(
+          "KN208", loc, "route '" + name + "' must be a mapping"));
+      continue;
+    }
+    SyncRouteSpec route;
+    route.name = name;
+    route.loc = loc;
+    const Value* source = route_value.get("source");
+    if (source == nullptr || !source->is_string()) {
+      out.push_back(make_diag(
+          "KN208", loc,
+          "route '" + name + "' needs a 'source: <schema id>' entry"));
+      continue;
+    }
+    route.source_schema = source->as_string();
+    if (const Value* target = route_value.get("target")) {
+      if (target->is_string()) route.target_schema = target->as_string();
+    }
+    if (const Value* pipeline = route_value.get("pipeline")) {
+      if (pipeline->is_string()) {
+        route.pipeline_text = pipeline->as_string();
+        route.loc = loc_at(doc, "Sync/" + name + "/pipeline", options.file);
+        if (route.loc.line == 0) route.loc = loc;
+      }
+    }
+    auto flow = analyze_sync_route(route, schemas, out);
+    if (options.rbac != nullptr) {
+      accesses.push_back(Access{route.source_schema, "", de::Verb::kList,
+                                route.loc, "route '" + name + "'"});
+      if (!route.target_schema.empty()) {
+        for (const auto& entry : flow) {
+          accesses.push_back(Access{route.target_schema, entry.first,
+                                    de::Verb::kCreate, route.loc,
+                                    "route '" + name + "' writes"});
+        }
+        if (flow.empty()) {
+          accesses.push_back(Access{route.target_schema, "",
+                                    de::Verb::kCreate, route.loc,
+                                    "route '" + name + "' writes"});
+        }
+      }
+    }
+  }
+  if (options.rbac != nullptr && !accesses.empty()) {
+    std::string principal = !options.principal.empty()
+                                ? options.principal
+                                : options.rbac->default_principal;
+    rbac_preflight(*options.rbac, principal, accesses, out);
+  }
+}
+
+}  // namespace
+
+std::vector<Diagnostic> lint_spec(std::string_view text,
+                                  const LintOptions& options) {
+  std::vector<Diagnostic> out;
+  auto parsed = yaml::parse_document(text);
+  if (!parsed.ok()) {
+    out.push_back(make_diag("KN400", SourceLoc{options.file, 0, 0},
+                            parsed.error().message));
+    return out;
+  }
+  const yaml::Document doc = parsed.take();
+  if (!doc.root.is_object()) {
+    out.push_back(make_diag("KN400", SourceLoc{options.file, 0, 0},
+                            "spec must be a YAML mapping"));
+    return out;
+  }
+  bool recognized = false;
+  if (doc.root.get("schema") != nullptr) {
+    recognized = true;
+    lint_schema(doc, options, out);
+  } else if (doc.root.get("Input") != nullptr ||
+             doc.root.get("DXG") != nullptr) {
+    recognized = true;
+    lint_dxg(doc, options, out);
+  }
+  if (const Value* sync = doc.root.get("Sync")) {
+    recognized = true;
+    lint_sync(doc, *sync, options, out);
+  }
+  if (!recognized) {
+    out.push_back(make_diag(
+        "KN400", SourceLoc{options.file, 0, 0},
+        "unrecognized spec: expected a 'schema:' declaration, an "
+        "'Input:'/'DXG:' composition, or a 'Sync:' section"));
+  }
+  // File-level findings (e.g. KN305 unbound-principal) carry no position;
+  // anchor them at the linted file instead of the "<input>" placeholder.
+  for (Diagnostic& d : out) {
+    if (d.loc.file.empty()) d.loc.file = options.file;
+  }
+  sort_diagnostics(out);
+  // A file with both a DXG and a Sync section runs the RBAC pre-flight
+  // twice; collapse byte-identical findings (e.g. a repeated KN305).
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const Diagnostic& a, const Diagnostic& b) {
+                          return a.code == b.code && a.message == b.message &&
+                                 a.loc.file == b.loc.file &&
+                                 a.loc.line == b.loc.line &&
+                                 a.loc.col == b.loc.col;
+                        }),
+            out.end());
+  return out;
+}
+
+bool has_parse_failure(const std::vector<Diagnostic>& diags) {
+  return std::any_of(diags.begin(), diags.end(), [](const Diagnostic& d) {
+    return d.code == "KN400";
+  });
+}
+
+}  // namespace knactor::analysis

@@ -1,0 +1,45 @@
+// Entry point of the unified static analyzer: lints one spec file —
+// a DXG composition, a Sync route section, or a store schema — running
+// every applicable pass and returning located diagnostics. `knctl lint`
+// is a thin CLI wrapper over lint_spec().
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "analysis/rbac_preflight.h"
+#include "de/schema.h"
+
+namespace knactor::analysis {
+
+struct LintOptions {
+  /// Display name used in diagnostic locations (typically the file path
+  /// as the user spelled it).
+  std::string file;
+  /// Registered store schemas; null disables schema-dependent checks
+  /// (conformance, type inference against decls, KN007 warnings).
+  const de::SchemaRegistry* schemas = nullptr;
+  /// RBAC policy; null disables the pre-flight pass.
+  const RbacSpec* rbac = nullptr;
+  /// Principal to pre-flight as; overrides the policy's `principal:`.
+  std::string principal;
+};
+
+/// Lints one spec. The spec kind is detected from its root keys:
+///   * `schema:`          — store schema lint (decl validity, KN008)
+///   * `Input:` + `DXG:`  — composition lint (graph checks KN001-KN007,
+///                          type inference KN1xx, RBAC KN3xx)
+///   * `Sync:`            — route lint (KN2xx, RBAC KN3xx); may coexist
+///                          with a DXG in the same file
+/// Unparseable or unrecognized input yields KN400. Diagnostics come back
+/// in stable (file, line, col, code) order.
+std::vector<Diagnostic> lint_spec(std::string_view text,
+                                  const LintOptions& options);
+
+/// True when any diagnostic is a KN400 — `knctl lint` exits 2 for these
+/// (input unusable) vs 1 for ordinary findings.
+bool has_parse_failure(const std::vector<Diagnostic>& diags);
+
+}  // namespace knactor::analysis

@@ -1,0 +1,199 @@
+#include "analysis/rbac_preflight.h"
+
+#include <optional>
+#include <utility>
+
+#include "yaml/yaml.h"
+
+namespace knactor::analysis {
+
+using common::Error;
+using common::Result;
+using common::Value;
+
+namespace {
+
+std::optional<de::Verb> parse_verb(const std::string& name) {
+  if (name == "get") return de::Verb::kGet;
+  if (name == "list") return de::Verb::kList;
+  if (name == "watch") return de::Verb::kWatch;
+  if (name == "create") return de::Verb::kCreate;
+  if (name == "update") return de::Verb::kUpdate;
+  if (name == "delete") return de::Verb::kDelete;
+  if (name == "invoke-udf") return de::Verb::kInvokeUdf;
+  if (name == "*") return std::nullopt;  // handled by caller (all verbs)
+  return std::nullopt;
+}
+
+Result<std::vector<std::string>> string_list(const Value& v,
+                                             const std::string& what) {
+  std::vector<std::string> out;
+  if (v.is_null()) return out;
+  if (!v.is_array()) {
+    return Error::parse("rbac: " + what + " must be a list");
+  }
+  for (const auto& item : v.as_array()) {
+    if (!item.is_string()) {
+      return Error::parse("rbac: " + what + " entries must be strings");
+    }
+    out.push_back(item.as_string());
+  }
+  return out;
+}
+
+Result<de::PolicyRule> parse_rule(const Value& v) {
+  if (!v.is_object()) return Error::parse("rbac: rule must be a mapping");
+  de::PolicyRule rule;
+  if (const Value* store = v.get("store")) {
+    if (!store->is_string()) return Error::parse("rbac: store must be a string");
+    rule.store = store->as_string();
+  } else {
+    rule.store = "*";
+  }
+  if (const Value* prefix = v.get("key_prefix")) {
+    if (!prefix->is_string()) {
+      return Error::parse("rbac: key_prefix must be a string");
+    }
+    rule.key_prefix = prefix->as_string();
+  }
+  const Value* verbs = v.get("verbs");
+  if (verbs == nullptr) {
+    return Error::parse("rbac: rule needs a 'verbs' list");
+  }
+  KN_ASSIGN_OR_RETURN(std::vector<std::string> verb_names,
+                      string_list(*verbs, "verbs"));
+  for (const auto& name : verb_names) {
+    if (name == "*") {
+      for (auto verb :
+           {de::Verb::kGet, de::Verb::kList, de::Verb::kWatch,
+            de::Verb::kCreate, de::Verb::kUpdate, de::Verb::kDelete,
+            de::Verb::kInvokeUdf}) {
+        rule.verbs.insert(verb);
+      }
+      continue;
+    }
+    auto verb = parse_verb(name);
+    if (!verb) return Error::parse("rbac: unknown verb '" + name + "'");
+    rule.verbs.insert(*verb);
+  }
+  if (const Value* allowed = v.get("allowed")) {
+    KN_ASSIGN_OR_RETURN(rule.fields.allowed,
+                        string_list(*allowed, "allowed"));
+  }
+  if (const Value* denied = v.get("denied")) {
+    KN_ASSIGN_OR_RETURN(rule.fields.denied, string_list(*denied, "denied"));
+  }
+  return rule;
+}
+
+}  // namespace
+
+Result<RbacSpec> parse_rbac(std::string_view yaml_text) {
+  KN_ASSIGN_OR_RETURN(Value doc, yaml::parse(yaml_text));
+  if (!doc.is_object()) {
+    return Error::parse("rbac: policy must be a mapping");
+  }
+  RbacSpec spec;
+  spec.rbac.set_enabled(true);
+  if (const Value* principal = doc.get("principal")) {
+    if (!principal->is_string()) {
+      return Error::parse("rbac: principal must be a string");
+    }
+    spec.default_principal = principal->as_string();
+  }
+  const Value* roles = doc.get("roles");
+  if (roles == nullptr || !roles->is_array()) {
+    return Error::parse("rbac: policy needs a 'roles' list");
+  }
+  for (const auto& role_value : roles->as_array()) {
+    if (!role_value.is_object()) {
+      return Error::parse("rbac: role must be a mapping");
+    }
+    de::Role role;
+    const Value* name = role_value.get("name");
+    if (name == nullptr || !name->is_string()) {
+      return Error::parse("rbac: role needs a 'name'");
+    }
+    role.name = name->as_string();
+    if (const Value* rules = role_value.get("rules")) {
+      if (!rules->is_array()) {
+        return Error::parse("rbac: role rules must be a list");
+      }
+      for (const auto& rule_value : rules->as_array()) {
+        KN_ASSIGN_OR_RETURN(de::PolicyRule rule, parse_rule(rule_value));
+        role.rules.push_back(std::move(rule));
+      }
+    }
+    KN_TRY(spec.rbac.add_role(std::move(role)));
+  }
+  if (const Value* bindings = doc.get("bindings")) {
+    if (!bindings->is_array()) {
+      return Error::parse("rbac: bindings must be a list");
+    }
+    for (const auto& binding : bindings->as_array()) {
+      if (!binding.is_object()) {
+        return Error::parse("rbac: binding must be a mapping");
+      }
+      const Value* principal = binding.get("principal");
+      const Value* role = binding.get("role");
+      if (principal == nullptr || !principal->is_string() ||
+          role == nullptr || !role->is_string()) {
+        return Error::parse("rbac: binding needs 'principal' and 'role'");
+      }
+      KN_TRY(spec.rbac.bind(principal->as_string(), role->as_string()));
+    }
+  }
+  return spec;
+}
+
+void rbac_preflight(const RbacSpec& spec, const std::string& principal,
+                    const std::vector<Access>& accesses,
+                    std::vector<Diagnostic>& out) {
+  if (principal.empty()) {
+    out.push_back(make_diag(
+        "KN305", SourceLoc{},
+        "rbac pre-flight: no principal to check (policy has no 'principal:' "
+        "and none was passed via --as)",
+        "add 'principal:' to the policy or pass --as <name>"));
+    return;
+  }
+  if (!spec.rbac.bound(principal)) {
+    out.push_back(make_diag(
+        "KN305", SourceLoc{},
+        "rbac pre-flight: principal '" + principal +
+            "' has no role bindings; every access below would be denied",
+        "add a binding for '" + principal + "' to the policy"));
+    return;
+  }
+  for (const auto& access : accesses) {
+    bool is_write = access.verb == de::Verb::kCreate ||
+                    access.verb == de::Verb::kUpdate ||
+                    access.verb == de::Verb::kDelete;
+    // Pre-flight uses an empty key and time 0: key-prefix- or
+    // time-window-scoped grants are data-dependent, so they conservatively
+    // do not satisfy a static access.
+    de::Decision decision =
+        spec.rbac.check(principal, access.store, "", access.verb, 0);
+    if (!decision.allowed) {
+      out.push_back(make_diag(
+          is_write ? "KN302" : "KN301", access.loc,
+          access.subject + ": principal '" + principal + "' may not " +
+              de::verb_name(access.verb) + " store " + access.store,
+          "grant '" + std::string(de::verb_name(access.verb)) + "' on '" +
+              access.store + "' to a role bound to '" + principal + "'"));
+      continue;
+    }
+    if (!access.field.empty() && !decision.fields.permits(access.field)) {
+      out.push_back(make_diag(
+          is_write ? "KN303" : "KN304", access.loc,
+          access.subject + ": field '" + access.field + "' of store " +
+              access.store + " is not " +
+              (is_write ? "writable" : "readable") + " by principal '" +
+              principal + "'",
+          "extend the role's allowed fields (or remove the deny) for '" +
+              access.field + "'"));
+    }
+  }
+}
+
+}  // namespace knactor::analysis

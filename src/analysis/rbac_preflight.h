@@ -1,0 +1,61 @@
+// RBAC pre-flight: verifies at lint time that every store/field access a
+// composition performs is permitted for the principal it will run as
+// (§3.3 "state access control", checked statically instead of failing at
+// the data exchange on first reconciliation).
+//
+// Policies are written in a YAML form mirroring de/rbac.h:
+//
+//   principal: integrator
+//   roles:
+//     - name: integrator-role
+//       rules:
+//         - store: "*"              # or an exact store id
+//           verbs: [get, list, update]
+//           allowed: [shippingCost] # optional field allow-list
+//           denied: []              # optional field deny-list
+//           key_prefix: order/      # optional
+//   bindings:
+//     - principal: integrator
+//       role: integrator-role
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "de/rbac.h"
+
+namespace knactor::analysis {
+
+/// A parsed policy file: the engine plus the default principal to check.
+struct RbacSpec {
+  de::Rbac rbac;
+  std::string default_principal;
+};
+
+/// Parses the policy YAML above. The engine comes back enabled.
+common::Result<RbacSpec> parse_rbac(std::string_view yaml_text);
+
+/// One concrete access the composition will perform.
+struct Access {
+  std::string store;  // store id
+  std::string field;  // top-level field ("" = whole object)
+  de::Verb verb;
+  SourceLoc loc;
+  std::string subject;  // e.g. "mapping C.order.shippingCost"
+};
+
+/// Checks every access against the policy for `principal`. An empty or
+/// unbound principal yields one KN305 warning and skips the rest (there
+/// is nothing meaningful to check). Denied store access is KN301 (reads)
+/// or KN302 (writes); allowed store access with a forbidden field is
+/// KN304 (reads) or KN303 (writes).
+///
+/// Key-prefix-scoped grants are conservative: the pre-flight checks with
+/// an empty key, so a rule that only grants a key prefix does not satisfy
+/// it — runtime keys are data the analyzer cannot see.
+void rbac_preflight(const RbacSpec& spec, const std::string& principal,
+                    const std::vector<Access>& accesses,
+                    std::vector<Diagnostic>& out);
+
+}  // namespace knactor::analysis

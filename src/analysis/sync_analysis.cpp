@@ -1,0 +1,250 @@
+#include "analysis/sync_analysis.h"
+
+#include <utility>
+
+#include "de/log.h"
+#include "de/query.h"
+
+namespace knactor::analysis {
+
+using FieldMap = std::map<std::string, Type>;
+
+std::map<std::string, Type> schema_field_types(const de::StoreSchema& schema) {
+  FieldMap out;
+  for (const auto& field : schema.fields) {
+    out[field.name] = type_from_decl(field.type);
+  }
+  return out;
+}
+
+namespace {
+
+bool numeric_ok(const Type& t) {
+  return t.is_any() || t.is_numeric() || t.kind == TypeKind::kNull;
+}
+
+/// Checks a stage expression (filter predicate or put value) against the
+/// current record shape; KN106/KN105 are re-coded into the pipeline space
+/// (KN201 unknown field, KN203 invalid predicate).
+Type check_stage_expr(const expr::Node& node, const FieldMap& fields,
+                      const SourceLoc& loc, const std::string& context,
+                      std::vector<Diagnostic>& out) {
+  FieldMapResolver resolver(fields);
+  ExprCheckOptions options;
+  options.code_unknown_ref = "KN201";
+  options.code_operand = "KN203";
+  ExprTypeChecker checker(resolver, loc, context, out, options);
+  return checker.infer(node);
+}
+
+void missing_field(const std::string& field, const FieldMap& fields,
+                   const SourceLoc& loc, const std::string& context,
+                   std::vector<Diagnostic>& out) {
+  std::string have;
+  for (const auto& entry : fields) {
+    if (!have.empty()) have += ", ";
+    have += entry.first;
+  }
+  out.push_back(make_diag(
+      "KN201", loc,
+      context + ": field '" + field + "' is not in the record at this stage",
+      have.empty() ? std::string()
+                   : "fields available here: " + have));
+}
+
+}  // namespace
+
+FieldMap analyze_pipeline(const std::string& pipeline_text, FieldMap fields,
+                          const SourceLoc& loc, const std::string& route_name,
+                          std::vector<Diagnostic>& out) {
+  if (pipeline_text.empty()) return fields;  // identity route
+  auto parsed = de::parse_query(pipeline_text);
+  if (!parsed.ok()) {
+    out.push_back(make_diag("KN208", loc,
+                            "route '" + route_name + "': pipeline does not "
+                            "parse: " + parsed.error().message));
+    return fields;
+  }
+  const de::LogQuery& query = parsed.value();
+  int stage = 0;
+  for (const auto& op : query) {
+    ++stage;
+    std::string context =
+        "route '" + route_name + "' stage " + std::to_string(stage);
+    switch (op.kind) {
+      case de::LogOp::Kind::kFilter: {
+        if (op.compiled != nullptr) {
+          check_stage_expr(*op.compiled, fields, loc,
+                           context + " (where)", out);
+        }
+        break;
+      }
+      case de::LogOp::Kind::kRename: {
+        // renames: old -> new. All renames apply to the incoming shape
+        // simultaneously, but a new name colliding with a surviving field
+        // silently overwrites it at runtime — flag it.
+        FieldMap next = fields;
+        for (const auto& [old_name, new_name] : op.renames) {
+          auto it = fields.find(old_name);
+          if (it == fields.end()) {
+            missing_field(old_name, fields, loc, context + " (rename)", out);
+            continue;
+          }
+          if (new_name != old_name && fields.count(new_name) != 0 &&
+              op.renames.count(new_name) == 0) {
+            out.push_back(make_diag(
+                "KN202", loc,
+                context + " (rename): renaming '" + old_name + "' to '" +
+                    new_name + "' collides with an existing field",
+                "drop or rename the other '" + new_name + "' first"));
+          }
+          next.erase(old_name);
+          next[new_name] = it->second;
+        }
+        fields = std::move(next);
+        break;
+      }
+      case de::LogOp::Kind::kProject: {
+        FieldMap next;
+        for (const auto& field : op.fields) {
+          auto it = fields.find(field);
+          if (it == fields.end()) {
+            missing_field(field, fields, loc, context + " (cut)", out);
+            continue;
+          }
+          next[field] = it->second;
+        }
+        fields = std::move(next);
+        break;
+      }
+      case de::LogOp::Kind::kDrop: {
+        for (const auto& field : op.fields) {
+          if (fields.erase(field) == 0) {
+            missing_field(field, fields, loc, context + " (drop)", out);
+          }
+        }
+        break;
+      }
+      case de::LogOp::Kind::kSort: {
+        auto it = fields.find(op.field);
+        if (it == fields.end()) {
+          missing_field(op.field, fields, loc, context + " (sort)", out);
+        } else if (it->second.kind == TypeKind::kList ||
+                   it->second.kind == TypeKind::kObject) {
+          out.push_back(make_diag(
+              "KN204", loc,
+              context + " (sort): field '" + op.field + "' is " +
+                  type_to_string(it->second) + ", which has no ordering"));
+        }
+        break;
+      }
+      case de::LogOp::Kind::kHead:
+      case de::LogOp::Kind::kTail:
+        break;  // shape-preserving
+      case de::LogOp::Kind::kMap: {
+        Type t = Type::any();
+        if (op.compiled != nullptr) {
+          t = check_stage_expr(*op.compiled, fields, loc,
+                               context + " (put " + op.field + ")", out);
+        }
+        fields[op.field] = t;
+        break;
+      }
+      case de::LogOp::Kind::kAggregate: {
+        FieldMap next;
+        for (const auto& field : op.fields) {  // group_by keys
+          auto it = fields.find(field);
+          if (it == fields.end()) {
+            missing_field(field, fields, loc, context + " (summarize by)",
+                          out);
+            next[field] = Type::any();
+          } else {
+            next[field] = it->second;
+          }
+        }
+        for (const auto& [out_name, agg] : op.aggs) {
+          const auto& [fn, in_name] = agg;
+          Type in_type = Type::any();
+          if (!in_name.empty()) {
+            auto it = fields.find(in_name);
+            if (it == fields.end()) {
+              missing_field(in_name, fields, loc,
+                            context + " (summarize " + fn + ")", out);
+            } else {
+              in_type = it->second;
+            }
+          }
+          if ((fn == "sum" || fn == "min" || fn == "max" || fn == "avg") &&
+              !numeric_ok(in_type)) {
+            out.push_back(make_diag(
+                "KN205", loc,
+                context + " (summarize): " + fn + "(" + in_name + ") "
+                "aggregates a " + type_to_string(in_type) + " field"));
+          }
+          if (fn == "count") {
+            next[out_name] = Type::of(TypeKind::kInt);
+          } else if (fn == "avg") {
+            next[out_name] = Type::of(TypeKind::kNumber);
+          } else {
+            // sum/min/max/first/last follow the input field's type.
+            next[out_name] = in_type;
+          }
+        }
+        fields = std::move(next);
+        break;
+      }
+    }
+  }
+  return fields;
+}
+
+FieldMap analyze_sync_route(const SyncRouteSpec& route,
+                            const de::SchemaRegistry& schemas,
+                            std::vector<Diagnostic>& out) {
+  const de::StoreSchema* source = schemas.find(route.source_schema);
+  if (source == nullptr) {
+    out.push_back(make_diag(
+        "KN207", route.loc,
+        "route '" + route.name + "': source schema '" + route.source_schema +
+            "' is not registered; pipeline fields cannot be checked",
+        "pass its schema file via --schema"));
+    return {};
+  }
+  FieldMap flow = analyze_pipeline(route.pipeline_text,
+                                   schema_field_types(*source), route.loc,
+                                   route.name, out);
+  const de::StoreSchema* target = schemas.find(route.target_schema);
+  if (target == nullptr) {
+    if (!route.target_schema.empty()) {
+      out.push_back(make_diag(
+          "KN207", route.loc,
+          "route '" + route.name + "': target schema '" +
+              route.target_schema + "' is not registered; output conformance "
+              "cannot be checked",
+          "pass its schema file via --schema"));
+    }
+    return flow;
+  }
+  for (const auto& [name, type] : flow) {
+    const de::SchemaField* field = target->field(name);
+    if (field == nullptr) {
+      out.push_back(make_diag(
+          "KN206", route.loc,
+          "route '" + route.name + "': output field '" + name +
+              "' is not in target schema " + target->id,
+          "cut it before the route's end, or add it to the schema"));
+      continue;
+    }
+    Type expected = type_from_decl(field->type);
+    if (!assignable(expected, type)) {
+      out.push_back(make_diag(
+          "KN206", route.loc,
+          "route '" + route.name + "': output field '" + name + "' is " +
+              type_to_string(type) + " but target schema " + target->id +
+              " declares " + type_to_string(expected)));
+    }
+  }
+  return flow;
+}
+
+}  // namespace knactor::analysis

@@ -1,0 +1,58 @@
+// Static schema-flow analysis for Sync routes: a declared source schema's
+// field set is propagated through a Log-style pipeline (de/query.h) stage
+// by stage, so field references that were dropped, renamed, or never
+// existed are caught before the route ever moves a record (§5's vision of
+// development-time composition checking, applied to the data-ingestion
+// path).
+//
+// Routes are declared in a spec's `Sync:` section:
+//
+//   Sync:
+//     motion-to-house:
+//       source: SmartHome/v1/Motion/Event
+//       target: SmartHome/v1/House/Event
+//       pipeline: rename motion=triggered | cut motion, room
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "analysis/typecheck.h"
+#include "de/schema.h"
+
+namespace knactor::analysis {
+
+/// One declared Sync route.
+struct SyncRouteSpec {
+  std::string name;
+  std::string source_schema;  // store schema id records are read from
+  std::string target_schema;  // store schema id records are written to
+  std::string pipeline_text;  // de/query.h pipeline ("" = identity)
+  SourceLoc loc;              // position of the route's key in the spec
+};
+
+/// The source schema's fields as a flat field→type map (the record shape
+/// entering a pipeline).
+std::map<std::string, Type> schema_field_types(const de::StoreSchema& schema);
+
+/// Propagates `fields` through the parsed pipeline, reporting KN2xx
+/// diagnostics against `loc`/`route_name`; returns the outgoing shape.
+/// Unknown stages never abort the flow — each stage degrades to its best
+/// approximation so later stages still get checked.
+std::map<std::string, Type> analyze_pipeline(
+    const std::string& pipeline_text, std::map<std::string, Type> fields,
+    const SourceLoc& loc, const std::string& route_name,
+    std::vector<Diagnostic>& out);
+
+/// Analyzes one route end to end: source lookup (KN207 when unknown),
+/// pipeline flow (KN201-KN205, KN208), and output-vs-target-schema
+/// conformance (KN206). Returns the route's outgoing record shape (empty
+/// when the source schema is unknown) — the RBAC pre-flight checks write
+/// permission for exactly these fields.
+std::map<std::string, Type> analyze_sync_route(const SyncRouteSpec& route,
+                                               const de::SchemaRegistry& schemas,
+                                               std::vector<Diagnostic>& out);
+
+}  // namespace knactor::analysis

@@ -1,0 +1,682 @@
+#include "analysis/typecheck.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "expr/eval.h"
+
+namespace knactor::analysis {
+
+namespace {
+
+const char* kind_name(TypeKind k) {
+  switch (k) {
+    case TypeKind::kAny: return "any";
+    case TypeKind::kNull: return "null";
+    case TypeKind::kBool: return "bool";
+    case TypeKind::kInt: return "int";
+    case TypeKind::kNumber: return "number";
+    case TypeKind::kString: return "string";
+    case TypeKind::kList: return "list";
+    case TypeKind::kObject: return "object";
+  }
+  return "?";
+}
+
+Type elem_of(const Type& list) {
+  return list.elem != nullptr ? *list.elem : Type::any();
+}
+
+/// Joins two types to their least common description (for ternaries,
+/// and/or chains, and mixed list literals).
+Type join(const Type& a, const Type& b) {
+  if (a.is_any() || b.is_any()) return Type::any();
+  if (a.kind == TypeKind::kNull) return b;
+  if (b.kind == TypeKind::kNull) return a;
+  if (a.kind == b.kind) {
+    if (a.kind == TypeKind::kList) {
+      Type ae = elem_of(a);
+      Type be = elem_of(b);
+      if (ae.is_any() || be.is_any()) return Type::of(TypeKind::kList);
+      return Type::list_of(join(ae, be));
+    }
+    return a;
+  }
+  if (a.is_numeric() && b.is_numeric()) return Type::of(TypeKind::kNumber);
+  return Type::any();
+}
+
+}  // namespace
+
+std::string type_to_string(const Type& t) {
+  if (t.kind == TypeKind::kList && t.elem != nullptr &&
+      !t.elem->is_any()) {
+    return "list(" + type_to_string(*t.elem) + ")";
+  }
+  return kind_name(t.kind);
+}
+
+Type type_from_decl(std::string_view decl) {
+  if (decl == "string") return Type::of(TypeKind::kString);
+  if (decl == "number") return Type::of(TypeKind::kNumber);
+  if (decl == "int") return Type::of(TypeKind::kInt);
+  if (decl == "bool") return Type::of(TypeKind::kBool);
+  if (decl == "object") return Type::of(TypeKind::kObject);
+  if (decl == "list") return Type::of(TypeKind::kList);
+  return Type::any();
+}
+
+bool assignable(const Type& expected, const Type& actual) {
+  if (expected.is_any() || actual.is_any()) return true;
+  if (actual.kind == TypeKind::kNull) return true;  // "not ready" marker
+  switch (expected.kind) {
+    case TypeKind::kList: {
+      if (actual.kind != TypeKind::kList) return false;
+      Type ee = elem_of(expected);
+      Type ae = elem_of(actual);
+      return ee.is_any() || ae.is_any() || assignable(ee, ae);
+    }
+    case TypeKind::kObject:
+      // Runtime de::type_matches lets array values satisfy `object` decls.
+      return actual.kind == TypeKind::kObject || actual.kind == TypeKind::kList;
+    case TypeKind::kNumber:
+      return actual.is_numeric();
+    case TypeKind::kInt:
+      return actual.kind == TypeKind::kInt;
+    case TypeKind::kString:
+      return actual.kind == TypeKind::kString;
+    case TypeKind::kBool:
+      return actual.kind == TypeKind::kBool;
+    case TypeKind::kAny:
+    case TypeKind::kNull:
+      return true;
+  }
+  return true;
+}
+
+RefInfo resolve_schema_ref(const de::StoreSchema& schema,
+                           const std::vector<std::string>& segments) {
+  RefInfo info;
+  info.store = schema.id;
+  if (segments.empty()) {
+    info.type = Type::of(TypeKind::kObject);
+    return info;
+  }
+  // Descend from a field decl through any remaining path segments.
+  auto descend = [&](const de::SchemaField& field,
+                     std::size_t next) -> RefInfo {
+    RefInfo out;
+    out.store = schema.id;
+    out.field = field.name;
+    Type t = type_from_decl(field.type);
+    for (std::size_t i = next; i < segments.size(); ++i) {
+      if (t.is_any() || t.kind == TypeKind::kObject) {
+        t = Type::any();  // shape unknown past a declared object/any
+        continue;
+      }
+      out.error = "cannot access '." + segments[i] + "' of " +
+                  type_to_string(t) + " field '" + field.name + "' in " +
+                  schema.id;
+      out.type = Type::any();
+      return out;
+    }
+    out.type = t;
+    return out;
+  };
+  if (const de::SchemaField* f = schema.field(segments[0])) {
+    return descend(*f, 1);
+  }
+  if (segments.size() >= 2) {
+    if (const de::SchemaField* f = schema.field(segments[1])) {
+      // Object-key form: segments[0] is a runtime object key.
+      return descend(*f, 2);
+    }
+    info.error = "field '" + segments[1] + "' not in schema " + schema.id;
+    info.type = Type::any();
+    return info;
+  }
+  // A single unknown segment reads a whole state object by key.
+  info.type = Type::of(TypeKind::kObject);
+  return info;
+}
+
+SchemaRefResolver::SchemaRefResolver(
+    const std::map<std::string, std::string>& inputs,
+    const de::SchemaRegistry* schemas, std::string target_alias)
+    : inputs_(inputs), schemas_(schemas),
+      target_alias_(std::move(target_alias)) {}
+
+RefInfo SchemaRefResolver::resolve(
+    const std::vector<std::string>& segments) const {
+  RefInfo info;
+  if (segments.empty()) return info;
+  std::string root = segments[0];
+  std::vector<std::string> rest(segments.begin() + 1, segments.end());
+  if (root == "it") {
+    // Fan-out key binding: always a string store key.
+    info.type = Type::of(TypeKind::kString);
+    return info;
+  }
+  if (root == "this") root = target_alias_;
+  auto it = inputs_.find(root);
+  if (it == inputs_.end()) {
+    // Unresolved alias — the graph pass (KN001) already reports it.
+    return info;
+  }
+  info.store = it->second;
+  const de::StoreSchema* schema =
+      schemas_ != nullptr ? schemas_->find(it->second) : nullptr;
+  if (schema == nullptr) {
+    // No schema registered: typed as any (KN007 warns elsewhere). Still
+    // record the top-level field for the RBAC pre-flight.
+    if (rest.size() >= 2) info.field = rest[1];
+    return info;
+  }
+  if (segments[0] == "this" && !rest.empty()) {
+    // `this.x` addresses the target object directly: x must be a field
+    // (no object-key indirection, unlike alias-rooted refs).
+    if (schema->field(rest[0]) != nullptr) {
+      return resolve_schema_ref(*schema, rest);
+    }
+    RefInfo out;
+    out.store = schema->id;
+    out.error = "field '" + rest[0] + "' not in schema " + schema->id;
+    out.type = Type::any();
+    return out;
+  }
+  return resolve_schema_ref(*schema, rest);
+}
+
+RefInfo FieldMapResolver::resolve(
+    const std::vector<std::string>& segments) const {
+  RefInfo info;
+  if (segments.empty()) return info;
+  auto it = fields_.find(segments[0]);
+  if (it == fields_.end()) {
+    info.error = "field '" + segments[0] + "' is not in the record at this "
+                 "pipeline stage";
+    info.type = Type::any();
+    return info;
+  }
+  info.field = segments[0];
+  Type t = it->second;
+  for (std::size_t i = 1; i < segments.size(); ++i) {
+    if (t.is_any() || t.kind == TypeKind::kObject) {
+      t = Type::any();
+      continue;
+    }
+    info.error = "cannot access '." + segments[i] + "' of " +
+                 type_to_string(t) + " field '" + segments[0] + "'";
+    info.type = Type::any();
+    return info;
+  }
+  info.type = t;
+  return info;
+}
+
+// ---------------------------------------------------------------------------
+// Builtin function signatures (mirrors expr/builtins.cpp).
+
+namespace {
+
+enum class ArgClass { kAny, kNumber, kString, kList, kNumberList, kObject };
+
+struct BuiltinSig {
+  const char* name;
+  int min_args;
+  int max_args;  // -1 = variadic
+  TypeKind result;
+  /// Per-position argument classes (missing positions = kAny).
+  std::vector<ArgClass> params;
+  /// For list-returning functions whose element type follows the input's.
+  bool elem_follows_arg0 = false;
+};
+
+const std::vector<BuiltinSig>& builtin_sigs() {
+  static const std::vector<BuiltinSig> kSigs = {
+      {"currency_convert", 3, 3, TypeKind::kNumber,
+       {ArgClass::kNumber, ArgClass::kString, ArgClass::kString}},
+      {"len", 1, 1, TypeKind::kInt, {ArgClass::kAny}},
+      {"str", 1, 1, TypeKind::kString, {}},
+      {"int", 1, 1, TypeKind::kInt, {}},
+      {"float", 1, 1, TypeKind::kNumber, {}},
+      {"round", 1, 2, TypeKind::kNumber, {ArgClass::kNumber}},
+      {"abs", 1, 1, TypeKind::kNumber, {ArgClass::kNumber}},
+      {"sum", 1, 1, TypeKind::kNumber, {ArgClass::kNumberList}},
+      {"min", 1, 1, TypeKind::kNumber, {ArgClass::kNumberList}},
+      {"max", 1, 1, TypeKind::kNumber, {ArgClass::kNumberList}},
+      {"avg", 1, 1, TypeKind::kNumber, {ArgClass::kNumberList}},
+      {"upper", 1, 1, TypeKind::kString, {ArgClass::kString}},
+      {"lower", 1, 1, TypeKind::kString, {ArgClass::kString}},
+      {"concat", 0, -1, TypeKind::kString, {}},
+      {"contains", 2, 2, TypeKind::kBool, {}},
+      {"keys", 1, 1, TypeKind::kList, {ArgClass::kObject}},
+      {"values", 1, 1, TypeKind::kList, {ArgClass::kObject}},
+      {"get", 2, 3, TypeKind::kAny, {ArgClass::kObject, ArgClass::kString}},
+      {"unique", 1, 1, TypeKind::kList, {ArgClass::kList}, true},
+      {"sorted", 1, 1, TypeKind::kList, {ArgClass::kList}, true},
+      {"split", 2, 2, TypeKind::kList, {ArgClass::kString, ArgClass::kString}},
+      {"join", 2, 2, TypeKind::kString, {ArgClass::kList, ArgClass::kString}},
+      {"replace", 3, 3, TypeKind::kString,
+       {ArgClass::kString, ArgClass::kString, ArgClass::kString}},
+      {"trim", 1, 1, TypeKind::kString, {ArgClass::kString}},
+      {"startswith", 2, 2, TypeKind::kBool,
+       {ArgClass::kString, ArgClass::kString}},
+      {"endswith", 2, 2, TypeKind::kBool,
+       {ArgClass::kString, ArgClass::kString}},
+  };
+  return kSigs;
+}
+
+const BuiltinSig* find_sig(const std::string& name) {
+  for (const auto& sig : builtin_sigs()) {
+    if (name == sig.name) return &sig;
+  }
+  return nullptr;
+}
+
+bool arg_matches(ArgClass cls, const Type& t) {
+  if (t.is_any() || t.kind == TypeKind::kNull) return true;
+  switch (cls) {
+    case ArgClass::kAny:
+      return true;
+    case ArgClass::kNumber:
+      return t.is_numeric();
+    case ArgClass::kString:
+      return t.kind == TypeKind::kString;
+    case ArgClass::kList:
+      return t.kind == TypeKind::kList;
+    case ArgClass::kNumberList:
+      return t.kind == TypeKind::kList &&
+             (t.elem == nullptr || t.elem->is_any() || t.elem->is_numeric());
+    case ArgClass::kObject:
+      return t.kind == TypeKind::kObject;
+  }
+  return true;
+}
+
+const char* arg_class_name(ArgClass cls) {
+  switch (cls) {
+    case ArgClass::kAny: return "any";
+    case ArgClass::kNumber: return "number";
+    case ArgClass::kString: return "string";
+    case ArgClass::kList: return "list";
+    case ArgClass::kNumberList: return "list of numbers";
+    case ArgClass::kObject: return "object";
+  }
+  return "?";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ExprTypeChecker
+
+ExprTypeChecker::ExprTypeChecker(const RefResolver& resolver, SourceLoc base,
+                                 std::string context,
+                                 std::vector<Diagnostic>& out,
+                                 ExprCheckOptions options)
+    : resolver_(resolver), base_(std::move(base)),
+      context_(std::move(context)), out_(out), options_(std::move(options)) {}
+
+SourceLoc ExprTypeChecker::loc_of(const expr::Node& node) const {
+  SourceLoc loc = base_;
+  if (loc.line > 0) {
+    // Expression text is embedded at the anchor (its YAML key); positions
+    // inside the expression offset line-wise from it. Columns on the first
+    // expression line stay anchored at the key (the exact value start
+    // within the line is not tracked through YAML scalar folding).
+    loc.line += node.line - 1;
+    if (node.line > 1) loc.col = node.col;
+  }
+  return loc;
+}
+
+void ExprTypeChecker::report(const std::string& code, const expr::Node& node,
+                             const std::string& message,
+                             const std::string& hint) {
+  out_.push_back(
+      make_diag(code, loc_of(node), context_ + ": " + message, hint));
+}
+
+Type ExprTypeChecker::member_type(const Type& base, const std::string& member,
+                                  const expr::Node& node) {
+  if (base.is_any() || base.kind == TypeKind::kObject ||
+      base.kind == TypeKind::kNull) {
+    return Type::any();
+  }
+  report(options_.code_operand, node,
+         "cannot access '." + member + "' of " + type_to_string(base));
+  return Type::any();
+}
+
+Type ExprTypeChecker::infer_name_or_path(const expr::Node& node) {
+  // Flatten a Name / Attribute chain into root-first segments.
+  std::vector<std::string> segments;
+  const expr::Node* cur = &node;
+  while (cur->kind == expr::NodeKind::kAttribute) {
+    segments.push_back(cur->name);
+    cur = cur->a.get();
+  }
+  if (cur->kind != expr::NodeKind::kName) {
+    // Attribute access on a computed base: infer the base, then apply the
+    // trailing members generically.
+    Type t = infer(*cur);
+    for (auto it = segments.rbegin(); it != segments.rend(); ++it) {
+      t = member_type(t, *it, node);
+    }
+    return t;
+  }
+  segments.push_back(cur->name);
+  std::reverse(segments.begin(), segments.end());
+
+  // Comprehension loop variables shadow data references.
+  auto local = locals_.find(segments[0]);
+  if (local != locals_.end()) {
+    Type t = local->second;
+    for (std::size_t i = 1; i < segments.size(); ++i) {
+      t = member_type(t, segments[i], node);
+    }
+    return t;
+  }
+
+  RefInfo info = resolver_.resolve(segments);
+  if (!info.error.empty()) {
+    std::string path = segments[0];
+    for (std::size_t i = 1; i < segments.size(); ++i) path += "." + segments[i];
+    report(options_.code_unknown_ref, node,
+           "reference '" + path + "': " + info.error);
+  }
+  return info.type;
+}
+
+Type ExprTypeChecker::infer_call(const expr::Node& node) {
+  std::vector<Type> arg_types;
+  arg_types.reserve(node.args.size());
+  for (const auto& arg : node.args) arg_types.push_back(infer(*arg));
+
+  const BuiltinSig* sig = find_sig(node.name);
+  if (sig == nullptr) {
+    // A builtin registered at runtime but missing from the signature table
+    // is typed as any; a name unknown to both is a hard error.
+    if (expr::FunctionRegistry::builtins().find(node.name) == nullptr) {
+      report("KN103", node, "unknown function '" + node.name + "()'");
+    }
+    return Type::any();
+  }
+  auto n = static_cast<int>(node.args.size());
+  if (n < sig->min_args || (sig->max_args >= 0 && n > sig->max_args)) {
+    std::string want =
+        sig->max_args < 0
+            ? "at least " + std::to_string(sig->min_args)
+            : sig->min_args == sig->max_args
+                  ? std::to_string(sig->min_args)
+                  : std::to_string(sig->min_args) + ".." +
+                        std::to_string(sig->max_args);
+    report("KN104", node,
+           node.name + "() takes " + want + " argument(s), got " +
+               std::to_string(n));
+    return Type::of(sig->result);
+  }
+  for (std::size_t i = 0; i < arg_types.size() && i < sig->params.size();
+       ++i) {
+    if (!arg_matches(sig->params[i], arg_types[i])) {
+      report(options_.code_operand, *node.args[i],
+             node.name + "() argument " + std::to_string(i + 1) + " is " +
+                 type_to_string(arg_types[i]) + ", needs " +
+                 arg_class_name(sig->params[i]));
+    }
+  }
+  Type result = Type::of(sig->result);
+  if (sig->elem_follows_arg0 && !arg_types.empty() &&
+      arg_types[0].kind == TypeKind::kList && arg_types[0].elem != nullptr) {
+    result.elem = arg_types[0].elem;
+  }
+  if (node.name == "keys") return Type::list_of(Type::of(TypeKind::kString));
+  return result;
+}
+
+Type ExprTypeChecker::infer_binary(const expr::Node& node) {
+  const std::string& op = node.op;
+  Type lhs = infer(*node.a);
+  Type rhs = infer(*node.b);
+  auto operand_error = [&](const expr::Node& operand, const Type& got,
+                           const std::string& need) {
+    report(options_.code_operand, operand,
+           "operator '" + op + "': operand is " + type_to_string(got) +
+               ", needs " + need);
+  };
+
+  if (op == "and" || op == "or") return join(lhs, rhs);
+  if (op == "==" || op == "!=") return Type::of(TypeKind::kBool);
+  if (op == "<" || op == "<=" || op == ">" || op == ">=") {
+    bool ok = (lhs.is_any() || lhs.is_numeric() ||
+               lhs.kind == TypeKind::kString || lhs.kind == TypeKind::kNull) &&
+              (rhs.is_any() || rhs.is_numeric() ||
+               rhs.kind == TypeKind::kString || rhs.kind == TypeKind::kNull);
+    // Both sides must also agree (number vs string is unorderable).
+    if (ok && !lhs.is_any() && !rhs.is_any() &&
+        lhs.kind != TypeKind::kNull && rhs.kind != TypeKind::kNull &&
+        (lhs.is_numeric() != rhs.is_numeric())) {
+      ok = false;
+    }
+    if (!ok) {
+      operand_error(*node.a, lhs, "two numbers or two strings");
+    }
+    return Type::of(TypeKind::kBool);
+  }
+  if (op == "in" || op == "not in") {
+    if (!rhs.is_any() && rhs.kind != TypeKind::kList &&
+        rhs.kind != TypeKind::kString && rhs.kind != TypeKind::kObject &&
+        rhs.kind != TypeKind::kNull) {
+      operand_error(*node.b, rhs, "a list, string, or object");
+    } else if (rhs.kind == TypeKind::kList && rhs.elem != nullptr &&
+               !rhs.elem->is_any() && !lhs.is_any() &&
+               lhs.kind != TypeKind::kNull &&
+               !assignable(*rhs.elem, lhs) && !assignable(lhs, *rhs.elem)) {
+      report(options_.code_operand, *node.a,
+             "operator '" + op + "': " + type_to_string(lhs) +
+                 " can never be an element of " + type_to_string(rhs));
+    }
+    return Type::of(TypeKind::kBool);
+  }
+  if (op == "+") {
+    if (lhs.is_any() || rhs.is_any() || lhs.kind == TypeKind::kNull ||
+        rhs.kind == TypeKind::kNull) {
+      return Type::any();
+    }
+    if (lhs.is_numeric() && rhs.is_numeric()) {
+      return lhs.kind == TypeKind::kInt && rhs.kind == TypeKind::kInt
+                 ? Type::of(TypeKind::kInt)
+                 : Type::of(TypeKind::kNumber);
+    }
+    if (lhs.kind == TypeKind::kString && rhs.kind == TypeKind::kString) {
+      return Type::of(TypeKind::kString);
+    }
+    if (lhs.kind == TypeKind::kList && rhs.kind == TypeKind::kList) {
+      return join(lhs, rhs);
+    }
+    operand_error(*node.a, lhs,
+                  "matching operands (number+number, string+string, "
+                  "list+list)");
+    return Type::any();
+  }
+  // Remaining arithmetic: - * % // **  and true division /.
+  bool lhs_ok = lhs.is_any() || lhs.is_numeric() || lhs.kind == TypeKind::kNull;
+  bool rhs_ok = rhs.is_any() || rhs.is_numeric() || rhs.kind == TypeKind::kNull;
+  if (!lhs_ok) operand_error(*node.a, lhs, "a number");
+  if (!rhs_ok) operand_error(*node.b, rhs, "a number");
+  if (op == "/" || op == "**") return Type::of(TypeKind::kNumber);
+  if (lhs.kind == TypeKind::kInt && rhs.kind == TypeKind::kInt) {
+    return Type::of(TypeKind::kInt);
+  }
+  if (lhs.is_any() || rhs.is_any()) return Type::of(TypeKind::kNumber);
+  return Type::of(TypeKind::kNumber);
+}
+
+Type ExprTypeChecker::infer(const expr::Node& node) {
+  switch (node.kind) {
+    case expr::NodeKind::kLiteral: {
+      const common::Value& v = node.literal;
+      if (v.is_null()) return Type::of(TypeKind::kNull);
+      if (v.is_bool()) return Type::of(TypeKind::kBool);
+      if (v.is_int()) return Type::of(TypeKind::kInt);
+      if (v.is_double()) return Type::of(TypeKind::kNumber);
+      if (v.is_string()) return Type::of(TypeKind::kString);
+      return Type::any();
+    }
+    case expr::NodeKind::kName:
+    case expr::NodeKind::kAttribute:
+      return infer_name_or_path(node);
+    case expr::NodeKind::kIndex: {
+      Type base = infer(*node.a);
+      Type sub = infer(*node.b);
+      if (base.kind == TypeKind::kList) {
+        if (!sub.is_any() && !sub.is_numeric() &&
+            sub.kind != TypeKind::kNull) {
+          report(options_.code_operand, *node.b,
+                 "list index is " + type_to_string(sub) + ", needs int");
+        }
+        return elem_of(base);
+      }
+      if (base.kind == TypeKind::kObject || base.is_any() ||
+          base.kind == TypeKind::kNull) {
+        return Type::any();
+      }
+      if (base.kind == TypeKind::kString) return Type::of(TypeKind::kString);
+      report(options_.code_operand, node,
+             "cannot index into " + type_to_string(base));
+      return Type::any();
+    }
+    case expr::NodeKind::kCall:
+      return infer_call(node);
+    case expr::NodeKind::kUnary: {
+      Type operand = infer(*node.a);
+      if (node.op == "not") return Type::of(TypeKind::kBool);
+      if (!operand.is_any() && !operand.is_numeric() &&
+          operand.kind != TypeKind::kNull) {
+        report(options_.code_operand, *node.a,
+               "unary '" + node.op + "' operand is " +
+                   type_to_string(operand) + ", needs a number");
+        return Type::of(TypeKind::kNumber);
+      }
+      return operand.is_numeric() ? operand : Type::of(TypeKind::kNumber);
+    }
+    case expr::NodeKind::kBinary:
+      return infer_binary(node);
+    case expr::NodeKind::kTernary: {
+      infer(*node.a);  // condition: any truthy value allowed
+      Type t = infer(*node.b);
+      Type f = infer(*node.c);
+      return join(t, f);
+    }
+    case expr::NodeKind::kList: {
+      Type elem;
+      bool first = true;
+      for (const auto& e : node.args) {
+        Type t = infer(*e);
+        elem = first ? t : join(elem, t);
+        first = false;
+      }
+      if (first || elem.is_any()) return Type::of(TypeKind::kList);
+      return Type::list_of(elem);
+    }
+    case expr::NodeKind::kDict: {
+      for (const auto& v : node.args) infer(*v);
+      return Type::of(TypeKind::kObject);
+    }
+    case expr::NodeKind::kListComp: {
+      Type iter = infer(*node.a);
+      Type bound = Type::any();
+      if (iter.kind == TypeKind::kList) {
+        bound = elem_of(iter);
+      } else if (!iter.is_any() && iter.kind != TypeKind::kObject &&
+                 iter.kind != TypeKind::kNull) {
+        report("KN107", *node.a,
+               "comprehension iterates over " + type_to_string(iter) +
+                   ", needs a list");
+      }
+      // Bind the loop variable (restoring any shadowed outer binding).
+      auto prev = locals_.find(node.name);
+      bool had_prev = prev != locals_.end();
+      Type saved = had_prev ? prev->second : Type();
+      locals_[node.name] = bound;
+      if (node.c != nullptr) infer(*node.c);
+      Type body = infer(*node.b);
+      if (had_prev) {
+        locals_[node.name] = saved;
+      } else {
+        locals_.erase(node.name);
+      }
+      return body.is_any() ? Type::of(TypeKind::kList) : Type::list_of(body);
+    }
+  }
+  return Type::any();
+}
+
+void ExprTypeChecker::check_against(const expr::Node& node,
+                                    const Type& expected,
+                                    const std::string& target_desc) {
+  if (expected.is_any()) {
+    infer(node);
+    return;
+  }
+  // Descend into ternary branches and list literals so the diagnostic
+  // lands on the branch/element that actually conflicts.
+  if (node.kind == expr::NodeKind::kTernary) {
+    infer(*node.a);
+    check_against(*node.b, expected, target_desc);
+    check_against(*node.c, expected, target_desc);
+    return;
+  }
+  if (node.kind == expr::NodeKind::kList &&
+      expected.kind == TypeKind::kList && expected.elem != nullptr &&
+      !expected.elem->is_any()) {
+    for (const auto& e : node.args) {
+      check_against(*e, *expected.elem, target_desc + " element");
+    }
+    return;
+  }
+  Type actual = infer(node);
+  if (assignable(expected, actual)) return;
+  bool exp_list = expected.kind == TypeKind::kList;
+  bool act_list = actual.kind == TypeKind::kList;
+  if (exp_list != act_list) {
+    report("KN102", node,
+           target_desc + " expects " + type_to_string(expected) +
+               " but the expression yields " + type_to_string(actual),
+           exp_list ? "wrap the value in a list, or map over a source list"
+                    : "reduce the list (e.g. sum(), join(), or an index)");
+    return;
+  }
+  report("KN101", node,
+         target_desc + " expects " + type_to_string(expected) +
+             " but the expression yields " + type_to_string(actual));
+}
+
+void typecheck_dxg(const core::Dxg& dxg, const de::SchemaRegistry& schemas,
+                   const std::vector<SourceLoc>& mapping_locs,
+                   std::vector<Diagnostic>& out) {
+  const auto& mappings = dxg.mappings();
+  for (std::size_t i = 0; i < mappings.size(); ++i) {
+    const core::DxgMapping& m = mappings[i];
+    if (m.compiled == nullptr) continue;
+    SourceLoc loc = i < mapping_locs.size() ? mapping_locs[i] : SourceLoc{};
+    SchemaRefResolver resolver(dxg.inputs(), &schemas, m.target_alias);
+    ExprTypeChecker checker(resolver, loc, "mapping " + m.target_path(), out);
+    // Expected type: the declared type of the target field, when known.
+    Type expected = Type::any();
+    auto input = dxg.inputs().find(m.target_alias);
+    if (input != dxg.inputs().end()) {
+      if (const de::StoreSchema* schema = schemas.find(input->second)) {
+        if (const de::SchemaField* field = schema->field(m.field)) {
+          expected = type_from_decl(field->type);
+        }
+      }
+    }
+    checker.check_against(*m.compiled, expected,
+                          "target field '" + m.field + "'");
+  }
+}
+
+}  // namespace knactor::analysis

@@ -1,0 +1,187 @@
+// Bidirectional type inference for the DXG expression language, run
+// against registered store schemas (§5: catching composition errors at
+// development time instead of at reconciliation time).
+//
+// The type lattice mirrors the schema decl vocabulary (de/schema.h):
+// string, number, int, bool, object, list, any — plus null for literal
+// None. `any` is the top element: it unifies with everything, so fields
+// declared `any` (or reads through `object` values, whose shape is
+// unknown statically) never produce false positives. The checker is
+// deliberately optimistic: it only reports mismatches it can prove from
+// declarations, mirroring the runtime's de::type_matches semantics
+// (int ⊑ number; arrays satisfy both `list` and `object` decls).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "core/dxg.h"
+#include "de/schema.h"
+#include "expr/ast.h"
+
+namespace knactor::analysis {
+
+enum class TypeKind {
+  kAny,
+  kNull,
+  kBool,
+  kInt,
+  kNumber,  // int or float; int ⊑ number
+  kString,
+  kList,
+  kObject,
+};
+
+/// A (possibly element-typed) static type.
+struct Type {
+  TypeKind kind = TypeKind::kAny;
+  /// Element type for kList; null element means list(any).
+  std::shared_ptr<const Type> elem;
+
+  static Type any() { return {}; }
+  static Type of(TypeKind k) {
+    Type t;
+    t.kind = k;
+    return t;
+  }
+  static Type list_of(Type element) {
+    Type t;
+    t.kind = TypeKind::kList;
+    t.elem = std::make_shared<const Type>(std::move(element));
+    return t;
+  }
+
+  [[nodiscard]] bool is_any() const { return kind == TypeKind::kAny; }
+  [[nodiscard]] bool is_numeric() const {
+    return kind == TypeKind::kInt || kind == TypeKind::kNumber;
+  }
+};
+
+/// "string", "list(number)", ...
+std::string type_to_string(const Type& t);
+
+/// Maps a schema type decl ("string", "number", "int", "bool", "object",
+/// "list", "any") to a Type; unknown decls map to any (schema linting
+/// reports them separately as KN008).
+Type type_from_decl(std::string_view decl);
+
+/// Result of resolving a dotted data reference.
+struct RefInfo {
+  Type type;
+  std::string store;  // store id the reference reads (when known)
+  std::string field;  // top-level schema field accessed ("" = whole object)
+  std::string error;  // non-empty: unresolvable, with the reason
+};
+
+/// Resolves dotted reference paths (root-first segments) to types.
+class RefResolver {
+ public:
+  virtual ~RefResolver() = default;
+  [[nodiscard]] virtual RefInfo resolve(
+      const std::vector<std::string>& segments) const = 0;
+};
+
+/// Resolves a path within one store schema: the first segment is tried as
+/// a schema field; failing that, as an object key whose next segment is
+/// the field (the DXG's "objects first, fields second" addressing,
+/// flattened statically since object keys are runtime data). A single
+/// non-field segment is a whole-object read.
+RefInfo resolve_schema_ref(const de::StoreSchema& schema,
+                           const std::vector<std::string>& segments);
+
+/// Resolver for DXG mapping expressions: roots are Input aliases, `this`
+/// (the mapping's target), or `it` (the fan-out key, a string). Aliases
+/// without a registered schema resolve to `any` — KN007 warns about them
+/// once elsewhere.
+class SchemaRefResolver : public RefResolver {
+ public:
+  SchemaRefResolver(const std::map<std::string, std::string>& inputs,
+                    const de::SchemaRegistry* schemas,
+                    std::string target_alias);
+
+  [[nodiscard]] RefInfo resolve(
+      const std::vector<std::string>& segments) const override;
+
+ private:
+  const std::map<std::string, std::string>& inputs_;
+  const de::SchemaRegistry* schemas_;
+  std::string target_alias_;
+};
+
+/// Resolver for pipeline expressions: roots are record fields from a flat
+/// field→type map; anything else is an error.
+class FieldMapResolver : public RefResolver {
+ public:
+  // Takes the field map by value: callers routinely pass temporaries, and a
+  // stored reference would dangle as soon as the full expression ends.
+  explicit FieldMapResolver(std::map<std::string, Type> fields)
+      : fields_(std::move(fields)) {}
+
+  [[nodiscard]] RefInfo resolve(
+      const std::vector<std::string>& segments) const override;
+
+ private:
+  std::map<std::string, Type> fields_;
+};
+
+/// Per-context knobs: pipeline analysis re-codes reference and operand
+/// errors into the KN2xx space.
+struct ExprCheckOptions {
+  std::string code_unknown_ref = "KN106";
+  std::string code_operand = "KN105";
+};
+
+/// Walks one expression AST, reporting diagnostics into `out`. `base` is
+/// the spec-file position of the expression's anchor (its YAML key);
+/// node-level line/col (threaded by the lexer) offset from there.
+class ExprTypeChecker {
+ public:
+  ExprTypeChecker(const RefResolver& resolver, SourceLoc base,
+                  std::string context, std::vector<Diagnostic>& out,
+                  ExprCheckOptions options = {});
+
+  /// Infers the expression's type, reporting any internal errors
+  /// (unknown refs/functions, operand type conflicts) along the way.
+  Type infer(const expr::Node& node);
+
+  /// Checks the expression against an expected (assignment target) type,
+  /// descending into ternary branches and list literals so the report
+  /// points at the offending subexpression. KN101 for type mismatches,
+  /// KN102 for scalar/list cardinality mismatches.
+  void check_against(const expr::Node& node, const Type& expected,
+                     const std::string& target_desc);
+
+ private:
+  [[nodiscard]] SourceLoc loc_of(const expr::Node& node) const;
+  void report(const std::string& code, const expr::Node& node,
+              const std::string& message, const std::string& hint = {});
+  Type infer_name_or_path(const expr::Node& node);
+  Type infer_call(const expr::Node& node);
+  Type infer_binary(const expr::Node& node);
+  Type member_type(const Type& base, const std::string& member,
+                   const expr::Node& node);
+
+  const RefResolver& resolver_;
+  SourceLoc base_;
+  std::string context_;
+  std::vector<Diagnostic>& out_;
+  ExprCheckOptions options_;
+  std::map<std::string, Type> locals_;  // comprehension loop variables
+};
+
+/// True when a value of type `actual` may be assigned where `expected` is
+/// declared, under the runtime's de::type_matches semantics.
+bool assignable(const Type& expected, const Type& actual);
+
+/// Type-checks every mapping of a DXG against the target store schemas:
+/// infers each expression (reporting KN10x internally) and checks it
+/// against the declared type of the target field. `locate` maps a mapping
+/// index to its spec-file position.
+void typecheck_dxg(const core::Dxg& dxg, const de::SchemaRegistry& schemas,
+                   const std::vector<SourceLoc>& mapping_locs,
+                   std::vector<Diagnostic>& out);
+
+}  // namespace knactor::analysis

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <iterator>
 #include <set>
 
 #include "common/strings.h"
@@ -93,6 +94,7 @@ Result<Dxg> Dxg::from_value(const Value& spec) {
       mapping.target_alias = alias;
       mapping.target_object = object;
       mapping.field = field;
+      mapping.spec_label = target_label;
       // Scalar YAML values (ints, bools, floats) are literal expressions.
       if (expr_value.is_string()) {
         mapping.expr_text = expr_value.as_string();
@@ -156,16 +158,43 @@ std::vector<std::string> Dxg::written_aliases() const {
   return {out.begin(), out.end()};
 }
 
+namespace {
+
+struct IssueKindInfo {
+  const char* name;
+  const char* code;
+};
+
+// Indexed by DxgIssue::Kind. Compile-time exhaustive: the static_assert
+// below fails when a Kind is added without extending this table, and the
+// enum has no explicit values, so the count tracks the last enumerator.
+constexpr IssueKindInfo kIssueKinds[] = {
+    {"unresolved-alias", "KN001"},  // kUnresolvedAlias
+    {"cycle", "KN002"},             // kCycle
+    {"unused-input", "KN003"},      // kUnusedInput
+    {"not-external", "KN004"},      // kNotExternal
+    {"unknown-field", "KN005"},     // kUnknownField
+    {"self-dependency", "KN006"},   // kSelfDependency
+};
+static_assert(std::size(kIssueKinds) ==
+                  static_cast<std::size_t>(DxgIssue::Kind::kSelfDependency) + 1,
+              "kIssueKinds must cover every DxgIssue::Kind");
+
+const IssueKindInfo& issue_kind_info(DxgIssue::Kind kind) {
+  auto index = static_cast<std::size_t>(kind);
+  static_assert(std::size(kIssueKinds) > 0);
+  if (index >= std::size(kIssueKinds)) index = 0;  // unreachable by contract
+  return kIssueKinds[index];
+}
+
+}  // namespace
+
 const char* issue_kind_name(DxgIssue::Kind kind) {
-  switch (kind) {
-    case DxgIssue::Kind::kUnresolvedAlias: return "unresolved-alias";
-    case DxgIssue::Kind::kCycle: return "cycle";
-    case DxgIssue::Kind::kUnusedInput: return "unused-input";
-    case DxgIssue::Kind::kNotExternal: return "not-external";
-    case DxgIssue::Kind::kUnknownField: return "unknown-field";
-    case DxgIssue::Kind::kSelfDependency: return "self-dependency";
-  }
-  return "?";
+  return issue_kind_info(kind).name;
+}
+
+const char* issue_kind_code(DxgIssue::Kind kind) {
+  return issue_kind_info(kind).code;
 }
 
 namespace {
@@ -196,7 +225,8 @@ std::vector<DxgIssue> analyze(const Dxg& dxg,
   const auto& mappings = dxg.mappings();
 
   // Unresolved aliases + self-dependencies.
-  for (const auto& m : mappings) {
+  for (std::size_t i = 0; i < mappings.size(); ++i) {
+    const auto& m = mappings[i];
     for (const auto& ref : m.refs) {
       auto dot = ref.find('.');
       std::string alias = dot == std::string::npos ? ref : ref.substr(0, dot);
@@ -205,12 +235,14 @@ std::vector<DxgIssue> analyze(const Dxg& dxg,
         issues.push_back(
             {DxgIssue::Kind::kUnresolvedAlias,
              "mapping " + m.target_path() + " references undeclared alias '" +
-                 alias + "' (via " + ref + ")"});
+                 alias + "' (via " + ref + ")",
+             static_cast<int>(i), alias});
       }
       if (ref_hits_target(ref, m)) {
         issues.push_back({DxgIssue::Kind::kSelfDependency,
                           "mapping " + m.target_path() +
-                              " reads the field it writes (" + ref + ")"});
+                              " reads the field it writes (" + ref + ")",
+                          static_cast<int>(i), std::string()});
       }
     }
   }
@@ -242,7 +274,8 @@ std::vector<DxgIssue> analyze(const Dxg& dxg,
           path += mappings[*it].target_path() + " -> ";
         }
         path += mappings[j].target_path();
-        issues.push_back({DxgIssue::Kind::kCycle, path});
+        issues.push_back({DxgIssue::Kind::kCycle, path,
+                          static_cast<int>(j), std::string()});
         stack.pop_back();
         state[i] = 2;
         return true;
@@ -269,13 +302,15 @@ std::vector<DxgIssue> analyze(const Dxg& dxg,
     if (!used) {
       issues.push_back({DxgIssue::Kind::kUnusedInput,
                         "Input alias '" + alias + "' (" + store_id +
-                            ") is never read or written"});
+                            ") is never read or written",
+                        -1, alias});
     }
   }
 
   // Schema conformance.
   if (schemas != nullptr) {
-    for (const auto& m : mappings) {
+    for (std::size_t i = 0; i < mappings.size(); ++i) {
+      const auto& m = mappings[i];
       auto it = dxg.inputs().find(m.target_alias);
       if (it == dxg.inputs().end()) continue;
       const de::StoreSchema* schema = schemas->find(it->second);
@@ -284,12 +319,14 @@ std::vector<DxgIssue> analyze(const Dxg& dxg,
       if (field == nullptr) {
         issues.push_back({DxgIssue::Kind::kUnknownField,
                           "mapping " + m.target_path() + ": field '" +
-                              m.field + "' not in schema " + schema->id});
+                              m.field + "' not in schema " + schema->id,
+                          static_cast<int>(i), std::string()});
       } else if (!field->external) {
         issues.push_back(
             {DxgIssue::Kind::kNotExternal,
              "mapping " + m.target_path() + ": field '" + m.field +
-                 "' is not annotated '+kr: external' in " + schema->id});
+                 "' is not annotated '+kr: external' in " + schema->id,
+             static_cast<int>(i), std::string()});
       }
     }
   }

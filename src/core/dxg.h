@@ -49,6 +49,9 @@ struct DxgMapping {
   std::string target_alias;   // e.g. "C"
   std::string target_object;  // e.g. "order" ("state" by default)
   std::string field;          // e.g. "shippingCost"
+  /// Target node label exactly as written in the spec ("C", "C.order",
+  /// "S.*"); the analyzer uses it to look up YAML source positions.
+  std::string spec_label;
   std::string expr_text;
   std::shared_ptr<const expr::Node> compiled;
   /// Cross-store references the expression reads (from collect_refs, with
@@ -104,9 +107,20 @@ struct DxgIssue {
   };
   Kind kind;
   std::string detail;
+  /// Index into Dxg::mappings() of the mapping the issue is about, or -1
+  /// when the issue has no single mapping (e.g. unused input).
+  int mapping_index = -1;
+  /// The Input alias concerned, for alias-level issues (kUnusedInput).
+  std::string subject;
 };
 
+/// Human-readable kind name ("unresolved-alias"). The name and code tables
+/// are compile-time exhaustive: adding a Kind without extending them is a
+/// build error.
 const char* issue_kind_name(DxgIssue::Kind kind);
+/// Stable machine-readable diagnostic code ("KN001"–"KN006"); the legacy
+/// kinds are aliased onto the unified KN### space of src/analysis.
+const char* issue_kind_code(DxgIssue::Kind kind);
 
 /// Static analyzer for DXGs (§5: loop and unused-state detection; schema
 /// conformance when a registry is supplied). `schemas` may be null.

@@ -77,6 +77,11 @@ void Rbac::unbind(const std::string& principal, const std::string& role) {
   });
 }
 
+bool Rbac::bound(const std::string& principal) const {
+  return std::any_of(bindings_.begin(), bindings_.end(),
+                     [&](const auto& b) { return b.first == principal; });
+}
+
 Decision Rbac::check(const std::string& principal, const std::string& store,
                      const std::string& key, Verb verb,
                      sim::SimTime now) const {

@@ -76,6 +76,10 @@ class Rbac {
   common::Status add_role(Role role);
   common::Status bind(const std::string& principal, const std::string& role);
   void unbind(const std::string& principal, const std::string& role);
+  /// True when the principal has at least one role binding — the static
+  /// analyzer's pre-flight uses this to distinguish "no policy applies"
+  /// from "denied".
+  [[nodiscard]] bool bound(const std::string& principal) const;
 
   [[nodiscard]] Decision check(const std::string& principal,
                                const std::string& store,

@@ -52,6 +52,14 @@ struct Node {
   std::vector<NodePtr> args;
   std::vector<std::string> dict_keys;
 
+  // Source position of the construct within the expression text (byte
+  // offset plus 1-based line/col), threaded from the lexer so static
+  // analysis can point at the offending subexpression. Operator nodes
+  // carry the position of their leftmost operand.
+  std::size_t offset = 0;
+  int line = 1;
+  int col = 1;
+
   explicit Node(NodeKind k) : kind(k) {}
 };
 

@@ -46,6 +46,22 @@ class Parser {
                         std::to_string(cur().offset));
   }
 
+  /// Stamps a node with a token's source position.
+  static NodePtr node_at(NodeKind kind, const Token& tok) {
+    auto node = std::make_unique<Node>(kind);
+    node->offset = tok.offset;
+    node->line = tok.line;
+    node->col = tok.col;
+    return node;
+  }
+
+  /// Stamps an operator node with its leftmost operand's position.
+  static void inherit_pos(Node& node, const Node& from) {
+    node.offset = from.offset;
+    node.line = from.line;
+    node.col = from.col;
+  }
+
   /// RAII depth guard: pathological nesting ("((((..." ) must fail with a
   /// parse error, not exhaust the stack. Each paren level costs a few
   /// guarded frames (expr/not/unary), so this bounds real nesting to
@@ -73,6 +89,7 @@ class Parser {
       node->a = std::move(cond);
       node->b = std::move(body);
       node->c = std::move(other);
+      inherit_pos(*node, *node->b);
       return node;
     }
     return body;
@@ -86,6 +103,7 @@ class Parser {
       node->op = "or";
       node->a = std::move(lhs);
       node->b = std::move(rhs);
+      inherit_pos(*node, *node->a);
       lhs = std::move(node);
     }
     return lhs;
@@ -99,6 +117,7 @@ class Parser {
       node->op = "and";
       node->a = std::move(lhs);
       node->b = std::move(rhs);
+      inherit_pos(*node, *node->a);
       lhs = std::move(node);
     }
     return lhs;
@@ -107,9 +126,10 @@ class Parser {
   Result<NodePtr> parse_not() {
     if (depth_ >= kMaxDepth) return fail("expression nested too deeply");
     DepthGuard guard(*this);
+    const Token& not_tok = cur();
     if (eat_keyword("not")) {
       KN_ASSIGN_OR_RETURN(NodePtr operand, parse_not());
-      auto node = std::make_unique<Node>(NodeKind::kUnary);
+      auto node = node_at(NodeKind::kUnary, not_tok);
       node->op = "not";
       node->a = std::move(operand);
       return node;
@@ -138,6 +158,7 @@ class Parser {
       node->op = op;
       node->a = std::move(lhs);
       node->b = std::move(rhs);
+      inherit_pos(*node, *node->a);
       lhs = std::move(node);
     }
     return lhs;
@@ -152,6 +173,7 @@ class Parser {
       node->op = op;
       node->a = std::move(lhs);
       node->b = std::move(rhs);
+      inherit_pos(*node, *node->a);
       lhs = std::move(node);
     }
     return lhs;
@@ -167,6 +189,7 @@ class Parser {
       node->op = op;
       node->a = std::move(lhs);
       node->b = std::move(rhs);
+      inherit_pos(*node, *node->a);
       lhs = std::move(node);
     }
     return lhs;
@@ -180,9 +203,10 @@ class Parser {
     if (depth_ >= kMaxDepth) return fail("expression nested too deeply");
     DepthGuard guard(*this);
     if (cur().is_op("-") || cur().is_op("+")) {
+      const Token& sign_tok = cur();
       std::string op = advance().text;
       KN_ASSIGN_OR_RETURN(NodePtr operand, parse_unary());
-      auto node = std::make_unique<Node>(NodeKind::kUnary);
+      auto node = node_at(NodeKind::kUnary, sign_tok);
       node->op = op;
       node->a = std::move(operand);
       return Result<NodePtr>(std::move(node));
@@ -199,6 +223,7 @@ class Parser {
       node->op = "**";
       node->a = std::move(lhs);
       node->b = std::move(rhs);
+      inherit_pos(*node, *node->a);
       return Result<NodePtr>(std::move(node));
     }
     return lhs;
@@ -215,6 +240,7 @@ class Parser {
         auto attr = std::make_unique<Node>(NodeKind::kAttribute);
         attr->name = advance().text;
         attr->a = std::move(node);
+        inherit_pos(*attr, *attr->a);
         node = std::move(attr);
       } else if (cur().is_op("(")) {
         if (node->kind != NodeKind::kName) {
@@ -223,6 +249,7 @@ class Parser {
         ++pos_;
         auto call = std::make_unique<Node>(NodeKind::kCall);
         call->name = node->name;
+        inherit_pos(*call, *node);
         if (!eat_op(")")) {
           while (true) {
             KN_ASSIGN_OR_RETURN(NodePtr arg, parse_expr());
@@ -239,6 +266,7 @@ class Parser {
         auto idx = std::make_unique<Node>(NodeKind::kIndex);
         idx->a = std::move(node);
         idx->b = std::move(sub);
+        inherit_pos(*idx, *idx->a);
         node = std::move(idx);
       } else {
         break;
@@ -251,13 +279,13 @@ class Parser {
     const Token& tok = cur();
     switch (tok.type) {
       case TokenType::kNumber: {
-        auto node = std::make_unique<Node>(NodeKind::kLiteral);
+        auto node = node_at(NodeKind::kLiteral, tok);
         node->literal = tok.is_int ? Value(tok.int_value) : Value(tok.number);
         ++pos_;
         return Result<NodePtr>(std::move(node));
       }
       case TokenType::kString: {
-        auto node = std::make_unique<Node>(NodeKind::kLiteral);
+        auto node = node_at(NodeKind::kLiteral, tok);
         node->literal = Value(tok.text);
         ++pos_;
         return Result<NodePtr>(std::move(node));
@@ -265,26 +293,26 @@ class Parser {
       case TokenType::kKeyword: {
         if (tok.text == "True" || tok.text == "true") {
           ++pos_;
-          auto node = std::make_unique<Node>(NodeKind::kLiteral);
+          auto node = node_at(NodeKind::kLiteral, tok);
           node->literal = Value(true);
           return Result<NodePtr>(std::move(node));
         }
         if (tok.text == "False" || tok.text == "false") {
           ++pos_;
-          auto node = std::make_unique<Node>(NodeKind::kLiteral);
+          auto node = node_at(NodeKind::kLiteral, tok);
           node->literal = Value(false);
           return Result<NodePtr>(std::move(node));
         }
         if (tok.text == "None" || tok.text == "null") {
           ++pos_;
-          auto node = std::make_unique<Node>(NodeKind::kLiteral);
+          auto node = node_at(NodeKind::kLiteral, tok);
           node->literal = Value(nullptr);
           return Result<NodePtr>(std::move(node));
         }
         return fail("unexpected keyword '" + tok.text + "'");
       }
       case TokenType::kIdent: {
-        auto node = std::make_unique<Node>(NodeKind::kName);
+        auto node = node_at(NodeKind::kName, tok);
         node->name = tok.text;
         ++pos_;
         return Result<NodePtr>(std::move(node));
@@ -307,9 +335,10 @@ class Parser {
   }
 
   Result<NodePtr> parse_list() {
+    const Token& open_tok = cur();
     eat_op("[");
     if (eat_op("]")) {
-      return Result<NodePtr>(std::make_unique<Node>(NodeKind::kList));
+      return Result<NodePtr>(node_at(NodeKind::kList, open_tok));
     }
     KN_ASSIGN_OR_RETURN(NodePtr first, parse_expr());
     if (eat_keyword("for")) {
@@ -317,7 +346,7 @@ class Parser {
       if (cur().type != TokenType::kIdent) {
         return fail("expected loop variable");
       }
-      auto comp = std::make_unique<Node>(NodeKind::kListComp);
+      auto comp = node_at(NodeKind::kListComp, open_tok);
       comp->name = advance().text;
       if (!eat_keyword("in")) return fail("expected 'in'");
       KN_ASSIGN_OR_RETURN(NodePtr iter, parse_or());
@@ -330,7 +359,7 @@ class Parser {
       if (!eat_op("]")) return fail("expected ']'");
       return Result<NodePtr>(std::move(comp));
     }
-    auto list = std::make_unique<Node>(NodeKind::kList);
+    auto list = node_at(NodeKind::kList, open_tok);
     list->args.push_back(std::move(first));
     while (eat_op(",")) {
       if (cur().is_op("]")) break;  // trailing comma
@@ -342,8 +371,9 @@ class Parser {
   }
 
   Result<NodePtr> parse_dict() {
+    const Token& open_tok = cur();
     eat_op("{");
-    auto dict = std::make_unique<Node>(NodeKind::kDict);
+    auto dict = node_at(NodeKind::kDict, open_tok);
     if (eat_op("}")) return Result<NodePtr>(std::move(dict));
     while (true) {
       std::string key;

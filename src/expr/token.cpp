@@ -148,7 +148,41 @@ Result<std::vector<Token>> tokenize(std::string_view text) {
   end.type = TokenType::kEnd;
   end.offset = text.size();
   out.push_back(std::move(end));
+  // Stamp 1-based line/col in one incremental pass (tokens are already in
+  // offset order).
+  {
+    int line = 1;
+    int col = 1;
+    std::size_t i = 0;
+    for (Token& tok : out) {
+      while (i < tok.offset && i < text.size()) {
+        if (text[i] == '\n') {
+          ++line;
+          col = 1;
+        } else {
+          ++col;
+        }
+        ++i;
+      }
+      tok.line = line;
+      tok.col = col;
+    }
+  }
   return out;
+}
+
+std::pair<int, int> line_col_at(std::string_view text, std::size_t offset) {
+  int line = 1;
+  int col = 1;
+  for (std::size_t i = 0; i < offset && i < text.size(); ++i) {
+    if (text[i] == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+  }
+  return {line, col};
 }
 
 }  // namespace knactor::expr

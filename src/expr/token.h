@@ -30,6 +30,8 @@ struct Token {
   bool is_int = false;     // number had no '.'/'e'
   std::int64_t int_value = 0;
   std::size_t offset = 0;  // for error messages
+  int line = 1;            // 1-based position within the expression text,
+  int col = 1;             // threaded into AST nodes for located diagnostics
 
   [[nodiscard]] bool is(TokenType t, std::string_view s) const {
     return type == t && text == s;
@@ -45,5 +47,11 @@ struct Token {
 /// Tokenizes an expression. Keywords: if, else, for, in, and, or, not,
 /// True, False, None (plus lowercase true/false/null aliases).
 common::Result<std::vector<Token>> tokenize(std::string_view text);
+
+/// Converts a byte offset within `text` to a 1-based (line, col) pair —
+/// the inverse bookkeeping tokenize() performs, exposed for callers that
+/// only have an offset (e.g. parse-error messages over folded YAML
+/// scalars).
+std::pair<int, int> line_col_at(std::string_view text, std::size_t offset);
 
 }  // namespace knactor::expr

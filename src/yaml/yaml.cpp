@@ -122,6 +122,7 @@ class Parser {
       return doc;
     }
     comments_ = &doc.comments;
+    positions_ = &doc.positions;
     KN_ASSIGN_OR_RETURN(doc.root, parse_block(0, ""));
     if (pos_ != lines_.size()) {
       return fail("unexpected content (bad indentation?)");
@@ -211,6 +212,9 @@ class Parser {
       if (!line.comment.empty() && comments_ != nullptr) {
         (*comments_)[child_path] = line.comment;
       }
+      if (positions_ != nullptr) {
+        (*positions_)[child_path] = Pos{line.number, line.indent + 1};
+      }
       ++pos_;
       if (rest.empty()) {
         // Nested block (or null if nothing more-indented follows). YAML
@@ -248,6 +252,9 @@ class Parser {
       const Line line = cur();
       std::string rest(common::trim(std::string_view(line.content).substr(1)));
       std::string child_path = path + "/" + std::to_string(arr.size());
+      if (positions_ != nullptr) {
+        (*positions_)[child_path] = Pos{line.number, line.indent + 1};
+      }
       if (rest.empty()) {
         ++pos_;
         if (!at_end() && cur().indent > indent) {
@@ -471,6 +478,7 @@ class Parser {
   std::vector<Line> blanks_;
   std::size_t pos_ = 0;
   std::map<std::string, std::string>* comments_ = nullptr;
+  std::map<std::string, Pos>* positions_ = nullptr;
 };
 
 void dump_value(const Value& v, std::string& out, int depth) {

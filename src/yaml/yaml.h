@@ -23,12 +23,22 @@
 
 namespace knactor::yaml {
 
+/// 1-based source position of a node in the parsed text.
+struct Pos {
+  int line = 0;  // 0 = unknown
+  int col = 0;
+};
+
 /// A parsed document: the root value plus trailing comments keyed by
 /// node path ("/"-joined keys; sequence elements use their index).
 struct Document {
   common::Value root;
   /// e.g. {"shippingCost": "+kr: external"} for Fig. 5-style schemas.
   std::map<std::string, std::string> comments;
+  /// Source position of each node, keyed like `comments` (mapping entries
+  /// point at their key, sequence entries at the '-'). The static analyzer
+  /// (src/analysis) uses these to locate diagnostics in spec files.
+  std::map<std::string, Pos> positions;
 };
 
 /// Parses a YAML document. Returns a parse error with line number on

@@ -1,0 +1,38 @@
+# Lints every spec shipped under specs/ and requires a clean bill of health.
+# Schema files are linted standalone; composition specs are linted with every
+# *_schema.yaml supplied, so cross-schema checks fully engage.
+#
+# Usage: cmake -DKNCTL=<path> -DSPECS=<dir> -P lint_clean_specs.cmake
+cmake_minimum_required(VERSION 3.16)
+foreach(var KNCTL SPECS)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=...")
+  endif()
+endforeach()
+
+file(GLOB schema_files ${SPECS}/*_schema.yaml)
+set(schema_args)
+foreach(s ${schema_files})
+  list(APPEND schema_args --schema ${s})
+endforeach()
+
+file(GLOB all_specs ${SPECS}/*.yaml)
+if(all_specs STREQUAL "")
+  message(FATAL_ERROR "no specs found under ${SPECS}")
+endif()
+
+foreach(spec ${all_specs})
+  if(spec IN_LIST schema_files)
+    execute_process(COMMAND ${KNCTL} lint ${spec}
+                    OUTPUT_VARIABLE out ERROR_VARIABLE out
+                    RESULT_VARIABLE rc)
+  else()
+    execute_process(COMMAND ${KNCTL} lint ${spec} ${schema_args}
+                    OUTPUT_VARIABLE out ERROR_VARIABLE out
+                    RESULT_VARIABLE rc)
+  endif()
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "expected ${spec} to lint clean, exit ${rc}:\n${out}")
+  endif()
+  message(STATUS "clean: ${spec}")
+endforeach()

@@ -1,0 +1,54 @@
+# Golden test for `knctl lint`: the deliberately broken fixture must produce
+# byte-identical diagnostics (stable codes, file:line:col, hints) and exit 1.
+#
+# Usage: cmake -DKNCTL=<path> -DFIXTURES=<dir> -DSPECS=<dir> -P lint_golden.cmake
+cmake_minimum_required(VERSION 3.16)
+foreach(var KNCTL FIXTURES SPECS)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=...")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${KNCTL} lint broken_dxg.yaml
+          --schema ${SPECS}/checkout_schema.yaml
+          --schema ${SPECS}/shipping_schema.yaml
+          --schema ${SPECS}/payment_schema.yaml
+          --schema ${SPECS}/motion_schema.yaml
+          --schema ${SPECS}/house_schema.yaml
+          --rbac policy.yaml
+  WORKING_DIRECTORY ${FIXTURES}
+  OUTPUT_VARIABLE actual
+  ERROR_VARIABLE err
+  RESULT_VARIABLE rc)
+
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "expected exit 1 (findings), got ${rc}\n${actual}${err}")
+endif()
+
+file(READ ${FIXTURES}/broken_dxg.txt expected)
+if(NOT actual STREQUAL expected)
+  message(FATAL_ERROR "lint output drifted from golden broken_dxg.txt\n"
+                      "--- expected ---\n${expected}\n--- actual ---\n${actual}")
+endif()
+
+# JSON mode must agree on the totals and stay machine-parseable.
+execute_process(
+  COMMAND ${KNCTL} lint broken_dxg.yaml
+          --schema ${SPECS}/checkout_schema.yaml
+          --schema ${SPECS}/shipping_schema.yaml
+          --schema ${SPECS}/payment_schema.yaml
+          --schema ${SPECS}/motion_schema.yaml
+          --schema ${SPECS}/house_schema.yaml
+          --rbac policy.yaml --format json
+  WORKING_DIRECTORY ${FIXTURES}
+  OUTPUT_VARIABLE json_out
+  RESULT_VARIABLE json_rc)
+if(NOT json_rc EQUAL 1)
+  message(FATAL_ERROR "json mode: expected exit 1, got ${json_rc}")
+endif()
+if(NOT json_out MATCHES "\"errors\": 5" OR NOT json_out MATCHES "\"KN302\"")
+  message(FATAL_ERROR "json mode lost findings:\n${json_out}")
+endif()
+
+message(STATUS "lint golden OK")

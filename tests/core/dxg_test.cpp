@@ -231,5 +231,59 @@ TEST(Dxg, FromValueProgrammaticConstruction) {
   EXPECT_EQ(dxg.value().size(), 1u);
 }
 
+TEST(DxgIssueKinds, EveryKindHasNameAndStableCode) {
+  // Pairs must stay in sync with the DxgIssue::Kind enum; the analysis
+  // catalog (docs/ANALYSIS.md) documents the same codes.
+  const std::pair<DxgIssue::Kind, std::pair<const char*, const char*>>
+      expected[] = {
+          {DxgIssue::Kind::kUnresolvedAlias, {"unresolved-alias", "KN001"}},
+          {DxgIssue::Kind::kCycle, {"cycle", "KN002"}},
+          {DxgIssue::Kind::kUnusedInput, {"unused-input", "KN003"}},
+          {DxgIssue::Kind::kNotExternal, {"not-external", "KN004"}},
+          {DxgIssue::Kind::kUnknownField, {"unknown-field", "KN005"}},
+          {DxgIssue::Kind::kSelfDependency, {"self-dependency", "KN006"}},
+      };
+  // Exhaustive: the last enumerator bounds the enum (same invariant the
+  // compile-time assert in dxg.cpp enforces).
+  EXPECT_EQ(static_cast<std::size_t>(DxgIssue::Kind::kSelfDependency) + 1,
+            std::size(expected));
+  for (const auto& [kind, names] : expected) {
+    EXPECT_STREQ(issue_kind_name(kind), names.first);
+    EXPECT_STREQ(issue_kind_code(kind), names.second);
+  }
+}
+
+TEST(DxgIssueKinds, AnalyzeTagsIssuesWithMappingIndexAndSubject) {
+  auto dxg = Dxg::parse(
+                 "Input:\n  C: store/c\n  U: store/u\n"
+                 "DXG:\n  C:\n    a: Z.b\n    b: C.b\n")
+                 .value();
+  auto issues = analyze(dxg, nullptr);
+  bool saw_unresolved = false, saw_self = false, saw_unused = false;
+  for (const auto& issue : issues) {
+    switch (issue.kind) {
+      case DxgIssue::Kind::kUnresolvedAlias:
+        saw_unresolved = true;
+        EXPECT_EQ(issue.mapping_index, 0);  // first mapping (a: Z.b)
+        EXPECT_EQ(issue.subject, "Z");
+        break;
+      case DxgIssue::Kind::kSelfDependency:
+        saw_self = true;
+        EXPECT_EQ(issue.mapping_index, 1);
+        break;
+      case DxgIssue::Kind::kUnusedInput:
+        saw_unused = true;
+        EXPECT_EQ(issue.mapping_index, -1);  // not tied to a mapping
+        EXPECT_EQ(issue.subject, "U");
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_TRUE(saw_unresolved);
+  EXPECT_TRUE(saw_self);
+  EXPECT_TRUE(saw_unused);
+}
+
 }  // namespace
 }  // namespace knactor::core

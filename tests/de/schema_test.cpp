@@ -158,5 +158,42 @@ TEST(Schema, AllTypeKeywords) {
   EXPECT_TRUE(s.validate(Value::object({{"a", 42}})).ok());
 }
 
+TEST(SchemaRegistry, RejectedDuplicateLeavesOriginalIntact) {
+  SchemaRegistry registry;
+  ASSERT_TRUE(registry.add_yaml(kFig5).ok());
+  // Same id, different shape: the add must fail and the original survive.
+  EXPECT_FALSE(
+      registry.add_yaml("schema: OnlineRetail/v1/Checkout/Order\nx: int\n")
+          .ok());
+  const StoreSchema* s = registry.find("OnlineRetail/v1/Checkout/Order");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->fields.size(), 8u);
+  EXPECT_EQ(registry.ids().size(), 1u);
+}
+
+TEST(SchemaRegistry, UnknownTypeDeclRejectsWholeDocument) {
+  SchemaRegistry registry;
+  // One good field, one unknown decl: nothing may be registered.
+  EXPECT_FALSE(
+      registry.add_yaml("schema: T/v1/A/B\nname: string\nage: years\n").ok());
+  EXPECT_TRUE(registry.ids().empty());
+}
+
+TEST(Schema, ValidateNestedStructures) {
+  auto s = parse_schema("schema: T/v1/Nested/Doc\nitems: list\nmeta: object\n")
+               .value();
+  // Nested values inside list/object fields are opaque to validation.
+  Value deep = Value::object(
+      {{"items", Value::array({Value::object({{"name", "kb"}, {"qty", 2}}),
+                               Value::object({{"name", "mouse"}})})},
+       {"meta", Value::object({{"tags", Value::array({"a", "b"})}})}});
+  EXPECT_TRUE(s.validate(deep).ok());
+  // Runtime tolerance: an array satisfies an `object` decl (and vice versa
+  // is not symmetric — a scalar satisfies neither).
+  EXPECT_TRUE(s.validate(Value::object({{"meta", Value::array({})}})).ok());
+  EXPECT_FALSE(s.validate(Value::object({{"items", "many"}})).ok());
+  EXPECT_FALSE(s.validate(Value::object({{"meta", 7}})).ok());
+}
+
 }  // namespace
 }  // namespace knactor::de

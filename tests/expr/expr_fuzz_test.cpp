@@ -1,13 +1,17 @@
 // Fuzz tests for the expression front end: tokenize/parse/evaluate must
 // return errors — never crash, hang, or corrupt memory — on arbitrary
-// input. Three generators: raw random bytes, token soup (valid lexemes in
-// random order), and mutations of known-good expressions. Seeded, so any
-// failure is a one-line repro.
+// input, and the static type checker must hold to the same bar. Four
+// generators: raw random bytes, token soup (valid lexemes in random
+// order), mutations of known-good expressions, and random schemas driving
+// the type checker. Seeded, so any failure is a one-line repro.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostic.h"
+#include "analysis/typecheck.h"
 #include "expr/eval.h"
 #include "expr/parser.h"
 #include "expr/token.h"
@@ -18,13 +22,36 @@ namespace {
 
 using common::Value;
 
+/// Type-checks a parsed expression against a field map mirroring the eval
+/// env below, plus a check_against pass for each cardinality class. The
+/// checker may emit any diagnostics it likes; it may not crash or hang.
+void typecheck_sweep(const Node& root) {
+  using analysis::Type;
+  using analysis::TypeKind;
+  analysis::FieldMapResolver resolver({
+      {"C", Type::of(TypeKind::kObject)},
+      {"S", Type::of(TypeKind::kObject)},
+      {"this", Type::of(TypeKind::kObject)},
+      {"cost", Type::of(TypeKind::kNumber)},
+      {"item", Type::of(TypeKind::kString)},
+      {"items", Type::list_of(Type::of(TypeKind::kString))},
+  });
+  std::vector<analysis::Diagnostic> out;
+  analysis::ExprTypeChecker checker(resolver, {}, "fuzz", out);
+  (void)checker.infer(root);
+  checker.check_against(root, Type::of(TypeKind::kString), "scalar field");
+  checker.check_against(root, Type::list_of(Type::of(TypeKind::kNumber)),
+                        "list field");
+}
+
 /// Full front-end sweep over one input: tokenize, parse, and (when the
-/// parse succeeds) evaluate against a small env. Every stage may fail; no
-/// stage may crash.
+/// parse succeeds) type-check and evaluate against a small env. Every
+/// stage may fail; no stage may crash.
 void sweep(const std::string& input) {
   (void)tokenize(input);
   auto parsed = parse(input);
   if (!parsed.ok()) return;
+  typecheck_sweep(*parsed.value());
   MapEnv env;
   env.bind("C", Value::object({{"cost", 120.0}, {"item", "keyboard"}}));
   env.bind("S", Value::object({{"id", "track-1"}}));
@@ -98,6 +125,56 @@ TEST_P(ExprFuzz, MutatedValidExpressionsNeverCrash) {
       }
     }
     sweep(input);
+  }
+}
+
+TEST_P(ExprFuzz, RandomSchemasNeverCrashTypeChecker) {
+  using analysis::Type;
+  using analysis::TypeKind;
+  static const char* kFieldNames[] = {"C", "S", "this", "it",   "cost",
+                                      "items", "addr", "x",    "y",
+                                      "name",  "qty",  "deep.odd", ""};
+  static const TypeKind kKinds[] = {
+      TypeKind::kAny,    TypeKind::kNull,   TypeKind::kBool,
+      TypeKind::kInt,    TypeKind::kNumber, TypeKind::kString,
+      TypeKind::kList,   TypeKind::kObject};
+  static const char* kExprs[] = {
+      "C.cost + 10",      "x.y.name",          "sum(items)",
+      "[n for n in items]", "this.addr if x else y", "qty * cost",
+      "get(C, name)",     "len(deep)",          "items[0].name",
+      "x in items",       "upper(addr) + str(qty)",
+  };
+  sim::Rng rng(static_cast<std::uint64_t>(GetParam()) * 52021);
+  for (int i = 0; i < 200; ++i) {
+    // A random schema: 0–8 fields with arbitrary names and types.
+    std::map<std::string, Type> fields;
+    std::size_t n = rng.next_below(9);
+    for (std::size_t f = 0; f < n; ++f) {
+      std::string name = kFieldNames[rng.next_below(
+          static_cast<std::uint32_t>(std::size(kFieldNames)))];
+      Type t = Type::of(kKinds[rng.next_below(
+          static_cast<std::uint32_t>(std::size(kKinds)))]);
+      if (t.kind == TypeKind::kList && rng.next_below(2) == 0) {
+        t = Type::list_of(Type::of(kKinds[rng.next_below(
+            static_cast<std::uint32_t>(std::size(kKinds)))]));
+      }
+      fields[name] = t;
+    }
+    std::string input = kExprs[rng.next_below(
+        static_cast<std::uint32_t>(std::size(kExprs)))];
+    if (rng.next_below(2) == 0 && !input.empty()) {  // light mutation
+      input[rng.next_below(static_cast<std::uint32_t>(input.size()))] =
+          static_cast<char>(rng.next_below(256));
+    }
+    auto parsed = parse(input);
+    if (!parsed.ok()) continue;
+    analysis::FieldMapResolver resolver(std::move(fields));
+    std::vector<analysis::Diagnostic> out;
+    analysis::ExprTypeChecker checker(resolver, {}, "fuzz", out);
+    (void)checker.infer(*parsed.value());
+    Type expected = Type::of(kKinds[rng.next_below(
+        static_cast<std::uint32_t>(std::size(kKinds)))]);
+    checker.check_against(*parsed.value(), expected, "field");
   }
 }
 

@@ -1,6 +1,11 @@
 // knctl — the operator CLI the paper's prototype ships ("a CLI for
 // operating knactors", §4). Works on spec files:
 //
+//   knctl lint <spec.yaml>              unified static analyzer: graph
+//                                       checks, expression type inference,
+//                                       Sync pipeline schema flow, RBAC
+//                                       pre-flight — located diagnostics
+//                                       with stable KN### codes
 //   knctl analyze <dxg.yaml>            static analysis (cycles, unused
 //                                       inputs, unresolved aliases, schema
 //                                       conformance with --schema files)
@@ -19,6 +24,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/lint.h"
+#include "analysis/rbac_preflight.h"
 #include "apps/retail_specs.h"
 #include "common/json.h"
 #include "common/strings.h"
@@ -42,8 +49,13 @@ Result<std::string> read_file(const std::string& path) {
   return ss.str();
 }
 
+/// Exit codes shared by `analyze` and `lint`: 0 clean (warnings only),
+/// 1 findings, 2 unusable input — so CI can distinguish "fix your spec"
+/// from "fix your invocation".
 int cmd_analyze(const std::string& text,
-                const std::vector<std::string>& schema_texts) {
+                const std::vector<std::string>& schema_texts,
+                const std::string& format) {
+  bool json = format == "json";
   knactor::de::SchemaRegistry schemas;
   for (const auto& schema_text : schema_texts) {
     auto added = schemas.add_yaml(schema_text);
@@ -58,19 +70,83 @@ int cmd_analyze(const std::string& text,
                  dxg.error().to_string().c_str());
     return 2;
   }
-  std::printf("inputs:   %zu\nmappings: %zu\n", dxg.value().inputs().size(),
-              dxg.value().size());
   auto issues = knactor::core::analyze(
       dxg.value(), schema_texts.empty() ? nullptr : &schemas);
+  if (json) {
+    knactor::common::Value::Array list;
+    for (const auto& issue : issues) {
+      knactor::common::Value::Object obj;
+      obj.set("kind",
+              knactor::common::Value(std::string(
+                  knactor::core::issue_kind_name(issue.kind))));
+      obj.set("code",
+              knactor::common::Value(std::string(
+                  knactor::core::issue_kind_code(issue.kind))));
+      obj.set("detail", knactor::common::Value(issue.detail));
+      list.push_back(knactor::common::Value(std::move(obj)));
+    }
+    knactor::common::Value::Object root;
+    root.set("inputs", knactor::common::Value(static_cast<std::int64_t>(
+                           dxg.value().inputs().size())));
+    root.set("mappings", knactor::common::Value(
+                             static_cast<std::int64_t>(dxg.value().size())));
+    root.set("issues", knactor::common::Value(std::move(list)));
+    std::printf("%s\n", knactor::common::to_json_pretty(
+                            knactor::common::Value(std::move(root)))
+                            .c_str());
+    return issues.empty() ? 0 : 1;
+  }
+  std::printf("inputs:   %zu\nmappings: %zu\n", dxg.value().inputs().size(),
+              dxg.value().size());
   if (issues.empty()) {
     std::printf("analysis: clean\n");
     return 0;
   }
   for (const auto& issue : issues) {
-    std::printf("%-18s %s\n", knactor::core::issue_kind_name(issue.kind),
+    std::printf("%-18s [%s] %s\n", knactor::core::issue_kind_name(issue.kind),
+                knactor::core::issue_kind_code(issue.kind),
                 issue.detail.c_str());
   }
   return 1;
+}
+
+int cmd_lint(const std::string& file, const std::string& text,
+             const std::vector<std::string>& schema_texts,
+             const std::string& rbac_text, const std::string& principal,
+             const std::string& format) {
+  namespace analysis = knactor::analysis;
+  knactor::de::SchemaRegistry schemas;
+  for (const auto& schema_text : schema_texts) {
+    auto added = schemas.add_yaml(schema_text);
+    if (!added.ok()) {
+      std::fprintf(stderr, "schema: %s\n", added.error().to_string().c_str());
+      return 2;
+    }
+  }
+  analysis::RbacSpec rbac;
+  analysis::LintOptions options;
+  options.file = file;
+  options.schemas = schema_texts.empty() ? nullptr : &schemas;
+  options.principal = principal;
+  if (!rbac_text.empty()) {
+    auto parsed = analysis::parse_rbac(rbac_text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "rbac: %s\n", parsed.error().to_string().c_str());
+      return 2;
+    }
+    rbac = parsed.take();
+    options.rbac = &rbac;
+  }
+  auto diags = analysis::lint_spec(text, options);
+  if (format == "json") {
+    std::fputs(analysis::render_json(diags).c_str(), stdout);
+  } else if (diags.empty()) {
+    std::printf("%s: clean\n", file.c_str());
+  } else {
+    std::fputs(analysis::render_text(diags).c_str(), stdout);
+  }
+  if (analysis::has_parse_failure(diags)) return 2;
+  return analysis::has_errors(diags) ? 1 : 0;
 }
 
 int cmd_schema(const std::string& text) {
@@ -159,7 +235,7 @@ int cmd_demo() {
   std::printf("== knctl schema (Fig. 5, Checkout) ==\n");
   (void)cmd_schema(knactor::apps::kCheckoutSchema);
   std::printf("\n== knctl analyze (Fig. 6 DXG) ==\n");
-  int rc = cmd_analyze(knactor::apps::kRetailDxg, {});
+  int rc = cmd_analyze(knactor::apps::kRetailDxg, {}, "text");
   std::printf("\n== knctl gen dxg (from the Shipping schema) ==\n");
   (void)cmd_gen("dxg", knactor::apps::kShippingSchema);
   return rc;
@@ -169,12 +245,62 @@ void usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  knctl analyze <dxg.yaml> [--schema <schema.yaml>]...\n"
+      "  knctl lint <spec.yaml> [--schema <schema.yaml>]... "
+      "[--rbac <policy.yaml>]\n"
+      "             [--as <principal>] [--format text|json]\n"
+      "  knctl analyze <dxg.yaml> [--schema <schema.yaml>]... "
+      "[--format text|json]\n"
       "  knctl schema <schema.yaml>\n"
       "  knctl gen (reconciler|accessors|dxg) <schema.yaml>\n"
       "  knctl fmt <file.yaml>\n"
       "  knctl query '<pipeline>' <records.jsonl>\n"
-      "  knctl demo\n");
+      "  knctl demo\n"
+      "exit codes for lint/analyze: 0 clean, 1 findings, 2 unusable input\n");
+}
+
+/// Flags shared by `lint` and `analyze`.
+struct SpecFlags {
+  std::vector<std::string> schema_texts;
+  std::string rbac_text;
+  std::string principal;
+  std::string format = "text";
+};
+
+/// Parses [--schema f]... [--rbac f] [--as p] [--format text|json] from
+/// args[start..]; returns false (after printing usage) on bad flags.
+bool parse_spec_flags(const std::vector<std::string>& args, std::size_t start,
+                      bool allow_rbac, SpecFlags& flags) {
+  for (std::size_t i = start; i < args.size(); i += 2) {
+    if (i + 1 >= args.size()) {
+      usage();
+      return false;
+    }
+    const std::string& flag = args[i];
+    const std::string& value = args[i + 1];
+    if (flag == "--schema") {
+      auto text = read_file(value);
+      if (!text.ok()) {
+        std::fprintf(stderr, "%s\n", text.error().to_string().c_str());
+        return false;
+      }
+      flags.schema_texts.push_back(text.take());
+    } else if (flag == "--rbac" && allow_rbac) {
+      auto text = read_file(value);
+      if (!text.ok()) {
+        std::fprintf(stderr, "%s\n", text.error().to_string().c_str());
+        return false;
+      }
+      flags.rbac_text = text.take();
+    } else if (flag == "--as" && allow_rbac) {
+      flags.principal = value;
+    } else if (flag == "--format" && (value == "text" || value == "json")) {
+      flags.format = value;
+    } else {
+      usage();
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -193,20 +319,20 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", text.error().to_string().c_str());
       return 2;
     }
-    std::vector<std::string> schema_texts;
-    for (std::size_t i = 2; i + 1 < args.size(); i += 2) {
-      if (args[i] != "--schema") {
-        usage();
-        return 2;
-      }
-      auto schema_text = read_file(args[i + 1]);
-      if (!schema_text.ok()) {
-        std::fprintf(stderr, "%s\n", schema_text.error().to_string().c_str());
-        return 2;
-      }
-      schema_texts.push_back(schema_text.take());
+    SpecFlags flags;
+    if (!parse_spec_flags(args, 2, /*allow_rbac=*/false, flags)) return 2;
+    return cmd_analyze(text.value(), flags.schema_texts, flags.format);
+  }
+  if (command == "lint" && args.size() >= 2) {
+    auto text = read_file(args[1]);
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s\n", text.error().to_string().c_str());
+      return 2;
     }
-    return cmd_analyze(text.value(), schema_texts);
+    SpecFlags flags;
+    if (!parse_spec_flags(args, 2, /*allow_rbac=*/true, flags)) return 2;
+    return cmd_lint(args[1], text.value(), flags.schema_texts, flags.rbac_text,
+                    flags.principal, flags.format);
   }
   if (command == "schema" && args.size() == 2) {
     auto text = read_file(args[1]);

@@ -1,0 +1,337 @@
+// Hot-path wall-clock bench: batched vs. unbatched watch delivery (Cast)
+// and consolidated vs. naive pipeline execution (Sync), at 1x/10x/100x
+// object counts. Unlike the virtual-clock benches (bench_table*,
+// bench_ablation), this one measures REAL elapsed time — it exists to
+// gate the batching/consolidation hot path against perf regressions.
+//
+//   bench_hotpath [--smoke] [--out PATH] [--check PATH]
+//
+//   --smoke   1x scales only (the ctest `bench`-label invocation)
+//   --out     where to write the JSON report (default BENCH_hotpath.json)
+//   --check   validate an existing report: well-formed JSON with the
+//             expected sections; exits non-zero otherwise
+//
+// Retail workload: a fan-out DXG (orders -> shipments) on a redis-profile
+// Object DE. Orders arrive spread over virtual time, so in unbatched mode
+// every commit delivers its own watch event and triggers its own
+// integrator pass (each pass snapshot-lists every object: O(n) work per
+// event, O(n^2) total). With a batch window, the DE coalesces a window of
+// commits into one WatchBatch and one pass consumes the burst.
+//
+// Smart-home workload: a Sync route (motion -> house) over a zed-profile
+// Log DE running the Fig. 4-style pipeline. Naive mode materializes deep
+// copies and runs one pass per operator; consolidated mode pulls shared
+// handles (copy-on-write) and runs the fused plan.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "core/cast.h"
+#include "core/sync.h"
+#include "de/log.h"
+#include "de/object.h"
+#include "de/plan.h"
+#include "sim/clock.h"
+
+namespace {
+
+using knactor::common::Value;
+using knactor::sim::SimTime;
+
+double wall_ms_since(std::chrono::steady_clock::time_point t0) {
+  auto dt = std::chrono::steady_clock::now() - t0;
+  return std::chrono::duration<double, std::milli>(dt).count();
+}
+
+// ---------------------------------------------------------------------------
+// Retail: Cast watch batching.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kRetailSpec = R"(Input:
+  C: orders
+  S: shipments
+DXG:
+  S.*:
+    $for: C order/
+    item: get(C, it).item
+    cost: get(C, it).cost
+    method: '"air" if get(C, it).cost > 1000 else "ground"'
+)";
+
+struct RetailRun {
+  double wall_ms = 0;
+  std::uint64_t passes = 0;
+  std::uint64_t batches = 0;
+  double orders_per_s = 0;
+  bool converged = false;
+};
+
+RetailRun run_retail(std::size_t orders, SimTime batch_window) {
+  using namespace knactor;
+  sim::VirtualClock clock;
+  de::ObjectDe de(clock, de::ObjectDeProfile::redis());
+  de::ObjectStore& order_store = de.create_store("orders");
+  de::ObjectStore& ship_store = de.create_store("shipments");
+
+  auto dxg = core::Dxg::parse(kRetailSpec);
+  core::CastIntegrator::Options copts;
+  copts.batch_window = batch_window;
+  core::CastIntegrator cast("retail-hotpath", de, dxg.take(),
+                            {{"C", &order_store}, {"S", &ship_store}}, copts);
+  if (!cast.start().ok()) return {};
+
+  // Orders arrive spread over virtual time (one every 4ms — wider than a
+  // pass), so unbatched mode genuinely runs one pass per commit.
+  constexpr SimTime kSpacing = 4 * sim::kMillisecond;
+  for (std::size_t i = 0; i < orders; ++i) {
+    char key[32];
+    std::snprintf(key, sizeof(key), "order/%05zu", i);
+    Value order = Value::object();
+    order.set("item", Value("item-" + std::to_string(i)));
+    order.set("cost", Value(static_cast<std::int64_t>((i * 37) % 2000)));
+    clock.schedule_at(static_cast<SimTime>(i) * kSpacing,
+                      [&order_store, k = std::string(key),
+                       order = std::move(order)]() mutable {
+                        order_store.put("svc", k, std::move(order),
+                                        [](common::Result<std::uint64_t>) {});
+                      });
+  }
+
+  auto t0 = std::chrono::steady_clock::now();
+  clock.run_all();
+  RetailRun out;
+  out.wall_ms = wall_ms_since(t0);
+  out.passes = cast.stats().passes;
+  out.batches = cast.stats().batches_consumed;
+  out.converged = ship_store.size() == orders;
+  out.orders_per_s =
+      out.wall_ms > 0 ? static_cast<double>(orders) / (out.wall_ms / 1000.0)
+                      : 0;
+  cast.stop();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Smart home: Sync operator consolidation + zero-copy exchange.
+// ---------------------------------------------------------------------------
+
+struct SyncRun {
+  double wall_ms = 0;
+  std::uint64_t records_processed = 0;
+  std::size_t moved = 0;
+  double records_per_s = 0;
+};
+
+SyncRun run_smart_home(std::size_t records, bool consolidate) {
+  using namespace knactor;
+  sim::VirtualClock clock;
+  de::LogDe log(clock, de::LogDeProfile::zed());
+  de::LogPool& motion = log.create_pool("motion");
+  de::LogPool& house = log.create_pool("house");
+
+  std::vector<Value> batch;
+  batch.reserve(records);
+  for (std::size_t i = 0; i < records; ++i) {
+    Value rec = Value::object();
+    rec.set("room", Value("room-" + std::to_string(i % 8)));
+    rec.set("triggered", Value(i % 3 != 0));
+    rec.set("brightness", Value(static_cast<std::int64_t>(i % 100)));
+    batch.push_back(std::move(rec));
+  }
+  if (!motion.append_batch_sync("svc", std::move(batch)).ok()) return {};
+
+  // Fig. 4-style pipeline: record-local ops that fuse into one pass, then
+  // a sort barrier.
+  de::LogQuery pipeline;
+  pipeline.push_back(de::LogOp::filter("triggered == true").value());
+  pipeline.push_back(de::LogOp::rename({{"triggered", "motion"}}));
+  pipeline.push_back(de::LogOp::map("lux", "brightness * 10").value());
+  pipeline.push_back(de::LogOp::project({"room", "motion", "lux"}));
+  pipeline.push_back(de::LogOp::sort("lux", true));
+
+  core::SyncIntegrator::Options sopts;
+  sopts.consolidate = consolidate;
+  core::SyncIntegrator sync("home-hotpath", log, sopts);
+  core::SyncRoute route;
+  route.name = "motion-to-house";
+  route.source = &motion;
+  route.target = &house;
+  route.pipeline = std::move(pipeline);
+  if (!sync.add_route(std::move(route)).ok()) return {};
+  if (!sync.start().ok()) return {};
+
+  auto t0 = std::chrono::steady_clock::now();
+  auto moved = sync.run_round_sync();
+  SyncRun out;
+  out.wall_ms = wall_ms_since(t0);
+  out.records_processed = sync.stats().records_processed;
+  out.moved = moved.ok() ? moved.value() : 0;
+  out.records_per_s =
+      out.wall_ms > 0 ? static_cast<double>(records) / (out.wall_ms / 1000.0)
+                      : 0;
+  sync.stop();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Report assembly / validation.
+// ---------------------------------------------------------------------------
+
+Value retail_run_value(const RetailRun& r) {
+  Value v = Value::object();
+  v.set("wall_ms", Value(r.wall_ms));
+  v.set("passes", Value(static_cast<std::int64_t>(r.passes)));
+  v.set("batches", Value(static_cast<std::int64_t>(r.batches)));
+  v.set("orders_per_s", Value(r.orders_per_s));
+  v.set("converged", Value(r.converged));
+  return v;
+}
+
+Value sync_run_value(const SyncRun& r) {
+  Value v = Value::object();
+  v.set("wall_ms", Value(r.wall_ms));
+  v.set("records_processed",
+        Value(static_cast<std::int64_t>(r.records_processed)));
+  v.set("moved", Value(static_cast<std::int64_t>(r.moved)));
+  v.set("records_per_s", Value(r.records_per_s));
+  return v;
+}
+
+int check_report(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_hotpath: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto parsed = knactor::common::parse_json(buf.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "bench_hotpath: %s is not valid JSON: %s\n",
+                 path.c_str(), parsed.error().to_string().c_str());
+    return 1;
+  }
+  const Value& report = parsed.value();
+  for (const char* key : {"retail", "smart_home"}) {
+    const Value* section = report.get(key);
+    if (section == nullptr || !section->is_array() ||
+        section->as_array().empty()) {
+      std::fprintf(stderr,
+                   "bench_hotpath: %s: missing/empty section '%s'\n",
+                   path.c_str(), key);
+      return 1;
+    }
+  }
+  std::printf("bench_hotpath: %s OK\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_hotpath.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      return check_report(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_hotpath [--smoke] [--out PATH] "
+                   "[--check PATH]\n");
+      return 2;
+    }
+  }
+
+  // A batch window of 40ms over 4ms-spaced commits coalesces ~10 events
+  // per delivery.
+  constexpr SimTime kWindow = 40 * knactor::sim::kMillisecond;
+  const std::vector<std::pair<std::string, std::size_t>> retail_scales =
+      smoke ? std::vector<std::pair<std::string, std::size_t>>{{"1x", 4}}
+            : std::vector<std::pair<std::string, std::size_t>>{
+                  {"1x", 4}, {"10x", 40}, {"100x", 400}};
+  const std::vector<std::pair<std::string, std::size_t>> home_scales =
+      smoke ? std::vector<std::pair<std::string, std::size_t>>{{"1x", 500}}
+            : std::vector<std::pair<std::string, std::size_t>>{
+                  {"1x", 500}, {"10x", 5000}, {"100x", 50000}};
+
+  Value report = Value::object();
+  Value retail = Value::array();
+  double retail_100x_speedup = 0;
+  for (const auto& [label, orders] : retail_scales) {
+    RetailRun unbatched = run_retail(orders, 0);
+    RetailRun batched = run_retail(orders, kWindow);
+    double speedup = unbatched.wall_ms > 0 && batched.wall_ms > 0
+                         ? unbatched.wall_ms / batched.wall_ms
+                         : 0;
+    if (label == "100x") retail_100x_speedup = speedup;
+    Value row = Value::object();
+    row.set("scale", Value(label));
+    row.set("orders", Value(static_cast<std::int64_t>(orders)));
+    row.set("unbatched", retail_run_value(unbatched));
+    row.set("batched", retail_run_value(batched));
+    row.set("speedup", Value(speedup));
+    std::printf(
+        "retail %-4s %5zu orders: unbatched %8.1fms (%5llu passes)  "
+        "batched %8.1fms (%5llu passes, %llu batches)  speedup %.2fx\n",
+        label.c_str(), orders, unbatched.wall_ms,
+        static_cast<unsigned long long>(unbatched.passes), batched.wall_ms,
+        static_cast<unsigned long long>(batched.passes),
+        static_cast<unsigned long long>(batched.batches), speedup);
+    retail.as_array().push_back(std::move(row));
+  }
+  report.set("retail", std::move(retail));
+
+  Value home = Value::array();
+  for (const auto& [label, records] : home_scales) {
+    SyncRun naive = run_smart_home(records, false);
+    SyncRun fused = run_smart_home(records, true);
+    double speedup = naive.wall_ms > 0 && fused.wall_ms > 0
+                         ? naive.wall_ms / fused.wall_ms
+                         : 0;
+    Value row = Value::object();
+    row.set("scale", Value(label));
+    row.set("records", Value(static_cast<std::int64_t>(records)));
+    row.set("naive", sync_run_value(naive));
+    row.set("consolidated", sync_run_value(fused));
+    row.set("speedup", Value(speedup));
+    std::printf(
+        "home   %-4s %5zu records: naive %8.1fms (%7llu processed)  "
+        "consolidated %8.1fms (%7llu processed)  speedup %.2fx\n",
+        label.c_str(), records, naive.wall_ms,
+        static_cast<unsigned long long>(naive.records_processed),
+        fused.wall_ms, static_cast<unsigned long long>(fused.records_processed),
+        speedup);
+    home.as_array().push_back(std::move(row));
+  }
+  report.set("smart_home", std::move(home));
+
+  Value gate = Value::object();
+  gate.set("retail_100x_speedup", Value(retail_100x_speedup));
+  gate.set("required_speedup", Value(2.0));
+  gate.set("pass", Value(smoke || retail_100x_speedup >= 2.0));
+  report.set("gate", std::move(gate));
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "bench_hotpath: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << knactor::common::to_json_pretty(report) << "\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  if (!smoke && retail_100x_speedup < 2.0) {
+    std::fprintf(stderr,
+                 "bench_hotpath: FAIL: retail 100x speedup %.2fx < 2.0x\n",
+                 retail_100x_speedup);
+    return 1;
+  }
+  return 0;
+}

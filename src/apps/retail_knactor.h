@@ -36,6 +36,9 @@ struct RetailKnactorOptions {
   /// Exchange-pass retry policy for the Cast integrator (chaos resilience;
   /// disabled by default).
   sim::RetryPolicy integrator_retry;
+  /// Server-side watch-batch window for the Cast integrator (0 = one pass
+  /// per watch event; see CastIntegrator::Options::batch_window).
+  sim::SimTime batch_window = 0;
   /// Optional counters sink passed through to the integrator.
   core::Metrics* metrics = nullptr;
 };

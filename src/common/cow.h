@@ -1,0 +1,79 @@
+// Copy-on-write value handle for zero-copy batch exchange (§3.3): a batch
+// of records travels through the hot path (Log query -> Sync pipeline ->
+// Log append, DE watch -> integrator) as shared immutable buffers; the
+// buffer is cloned only at the first mutation point, so read-only stages
+// (filter, sort, head/tail) and pass-through records move handles instead
+// of deep copies.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "common/value.h"
+
+namespace knactor::common {
+
+/// A Value handle with copy-on-write semantics. Copying a CowValue shares
+/// the underlying buffer; `mut()` clones it first if any other handle (or
+/// an external SharedValue snapshot) still references it. A mutation after
+/// sharing therefore never leaks into other consumers of the same buffer.
+class CowValue {
+ public:
+  /// Null value.
+  CowValue() = default;
+  /// Borrows an immutable shared snapshot (e.g. a stored record's buffer).
+  explicit CowValue(SharedValue v) : borrowed_(std::move(v)) {}
+  /// Takes ownership of a freshly built value (no sharing yet).
+  explicit CowValue(Value v) : owned_(std::make_shared<Value>(std::move(v))) {}
+
+  /// Read-only view. Never copies.
+  [[nodiscard]] const Value& operator*() const { return value(); }
+  [[nodiscard]] const Value* operator->() const { return &value(); }
+  [[nodiscard]] const Value& value() const {
+    if (borrowed_) return *borrowed_;
+    if (owned_) return *owned_;
+    return null_;
+  }
+
+  /// Mutable view; clones the buffer iff it is shared (with another
+  /// CowValue or an external SharedValue holder). This is the only
+  /// mutation point on the zero-copy path.
+  [[nodiscard]] Value& mut() {
+    if (owned_ && owned_.use_count() == 1) return *owned_;
+    owned_ = std::make_shared<Value>(value());
+    borrowed_.reset();
+    return *owned_;
+  }
+
+  /// Shares the current buffer as an immutable snapshot (zero-copy). A
+  /// later mut() on this handle clones first, so the returned snapshot
+  /// stays stable.
+  [[nodiscard]] SharedValue share() const {
+    if (borrowed_) return borrowed_;
+    if (owned_) return owned_;
+    return std::make_shared<const Value>();
+  }
+
+  /// Extracts the value, moving the buffer when this handle owns it
+  /// exclusively and deep-copying otherwise.
+  [[nodiscard]] Value take() {
+    if (owned_ && owned_.use_count() == 1) return std::move(*owned_);
+    return value();
+  }
+
+  /// True when mut() would have to clone (buffer visible elsewhere).
+  [[nodiscard]] bool shared() const {
+    if (borrowed_) return true;
+    return owned_ && owned_.use_count() > 1;
+  }
+
+ private:
+  static const Value null_;
+  SharedValue borrowed_;          // immutable buffer owned elsewhere
+  std::shared_ptr<Value> owned_;  // buffer this handle may mutate when unique
+};
+
+inline const Value CowValue::null_{};
+
+}  // namespace knactor::common

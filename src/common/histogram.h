@@ -1,0 +1,77 @@
+// Power-of-two size histogram for batch observability: watch-batch sizes
+// on the Object DE and append/query batch sizes on the Log DE record how
+// well the hot path amortizes per-event work. Counters-only (no floats),
+// so it exports losslessly into core::Metrics.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace knactor::common {
+
+/// Histogram over sizes with buckets le_1, le_2, le_4, ..., le_1024, inf,
+/// plus count / sum / max. add() is O(buckets) worst case and allocation-
+/// free, so it is safe on the data path.
+class SizeHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 12;  // le_1 .. le_1024, inf
+
+  void add(std::size_t n) {
+    ++count_;
+    sum_ += n;
+    if (n > max_) max_ = n;
+    std::size_t bound = 1;
+    for (std::size_t i = 0; i < kBuckets - 1; ++i, bound <<= 1) {
+      if (n <= bound) {
+        ++buckets_[i];
+        return;
+      }
+    }
+    ++buckets_[kBuckets - 1];
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  [[nodiscard]] const std::array<std::uint64_t, kBuckets>& buckets() const {
+    return buckets_;
+  }
+
+  /// Upper bound of bucket `i` as a label ("le_1", ..., "le_1024", "inf").
+  static std::string bucket_label(std::size_t i) {
+    if (i >= kBuckets - 1) return "inf";
+    return "le_" + std::to_string(std::size_t{1} << i);
+  }
+
+  /// Surfaces the histogram as monotonic counters ("<prefix>.count",
+  /// "<prefix>.sum", "<prefix>.max", "<prefix>.le_8", ...). The emit
+  /// callback decouples this header from core::Metrics (common must not
+  /// depend on core); core::export_histogram adapts it.
+  void export_counters(
+      const std::string& prefix,
+      const std::function<void(const std::string&, std::uint64_t)>& emit)
+      const {
+    emit(prefix + ".count", count_);
+    emit(prefix + ".sum", sum_);
+    emit(prefix + ".max", max_);
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      emit(prefix + "." + bucket_label(i), buckets_[i]);
+    }
+  }
+
+  void clear() { *this = SizeHistogram{}; }
+
+ private:
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+  std::array<std::uint64_t, kBuckets> buckets_{};
+};
+
+}  // namespace knactor::common

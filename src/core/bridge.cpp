@@ -114,10 +114,21 @@ RpcEgressBridge::RpcEgressBridge(net::SimNetwork& network, std::string node,
 
 Status RpcEgressBridge::start() {
   if (watch_id_ != 0) return Status::success();
-  watch_id_ = store_.watch(principal(), options_.key_prefix,
-                           [this](const de::WatchEvent& event) {
-                             on_event(event);
-                           });
+  if (options_.batch_window > 0) {
+    watch_id_ = store_.watch_batch(principal(), options_.key_prefix,
+                                   options_.batch_window,
+                                   [this](const de::WatchBatch& batch) {
+                                     ++batches_;
+                                     for (const auto& event : batch.events) {
+                                       on_event(event);
+                                     }
+                                   });
+  } else {
+    watch_id_ = store_.watch(principal(), options_.key_prefix,
+                             [this](const de::WatchEvent& event) {
+                               on_event(event);
+                             });
+  }
   if (watch_id_ == 0) {
     return Error::permission_denied("egress-bridge: watch denied");
   }

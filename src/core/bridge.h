@@ -74,6 +74,10 @@ class RpcEgressBridge {
     std::string response_field = "response";
     /// Field of the request object naming the method (absent => `method`).
     std::string method = "";
+    /// When > 0, subscribe via ObjectStore::watch_batch with this window:
+    /// a burst of request writes arrives as one coalesced WatchBatch (one
+    /// notification) and the bridge issues the RPCs from the batch.
+    sim::SimTime batch_window = 0;
   };
 
   RpcEgressBridge(net::SimNetwork& network, std::string node,
@@ -89,6 +93,7 @@ class RpcEgressBridge {
 
   [[nodiscard]] std::string principal() const { return "bridge:" + node_; }
   [[nodiscard]] std::uint64_t calls_issued() const { return issued_; }
+  [[nodiscard]] std::uint64_t batches_consumed() const { return batches_; }
 
  private:
   void on_event(const de::WatchEvent& event);
@@ -100,6 +105,7 @@ class RpcEgressBridge {
   std::unique_ptr<net::RpcChannel> channel_;
   std::uint64_t watch_id_ = 0;
   std::uint64_t issued_ = 0;
+  std::uint64_t batches_ = 0;
 };
 
 }  // namespace knactor::core

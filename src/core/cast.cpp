@@ -146,6 +146,25 @@ void CastIntegrator::install_watches() {
   // only write out-of-sync fields.
   for (const auto& [alias, store] : stores_) {
     if (dxg_.inputs().find(alias) == dxg_.inputs().end()) continue;
+    if (options_.batch_window > 0) {
+      // Server-side coalescing: the DE buffers a window of commits and
+      // delivers one batch; one pass consumes the whole burst.
+      std::uint64_t id = store->watch_batch(
+          principal(), "", options_.batch_window,
+          [this](const de::WatchBatch& batch) {
+            if (!running_ || pushdown_) return;
+            ++stats_.batches_consumed;
+            stats_.batched_events += batch.events.size();
+            run_pass_async(options_.max_rounds_per_event);
+          });
+      if (id == 0) {
+        KN_WARN << "cast " << name_ << ": watch denied on store '"
+                << store->name() << "'";
+      } else {
+        watches_.emplace_back(store, id);
+      }
+      continue;
+    }
     std::uint64_t id =
         store->watch(principal(), "", [this](const de::WatchEvent&) {
           if (!running_ || pushdown_) return;

@@ -39,6 +39,8 @@ struct CastStats {
   std::uint64_t reconfigurations = 0;
   std::uint64_t failed_passes = 0;  // snapshot read or write failed
   std::uint64_t retries = 0;        // passes re-run by the retry policy
+  std::uint64_t batches_consumed = 0;  // WatchBatch deliveries (batched mode)
+  std::uint64_t batched_events = 0;    // events carried by those batches
 };
 
 class CastIntegrator : public Integrator {
@@ -65,6 +67,14 @@ class CastIntegrator : public Integrator {
     /// (trades propagation latency for fewer snapshot/evaluate cycles —
     /// §3.3 "consolidate the state processing logic", applied in time).
     sim::SimTime debounce = 0;
+    /// Server-side watch coalescing (tentpole of the hot-path batching
+    /// work): when > 0, watches register via ObjectStore::watch_batch with
+    /// this window — the DE buffers a burst of commits and delivers one
+    /// WatchBatch, and the integrator runs one pass per batch. Unlike
+    /// `debounce` (client-side: every event still crosses the wire), the
+    /// coalescing happens inside the DE, so one notification is delivered
+    /// per window regardless of burst size.
+    sim::SimTime batch_window = 0;
     /// Exchange-pass retry: when a pass's snapshot read or patch write
     /// fails (e.g. the DE is crashed), re-run the whole pass after backoff.
     /// Passes are idempotent (desired-state patches), so replays are safe.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "de/plan.h"
 
 namespace knactor::core {
 
@@ -93,23 +94,9 @@ std::size_t SyncIntegrator::count_passes(const de::LogQuery& pipeline,
                                          bool consolidated) {
   if (pipeline.empty()) return 0;
   if (!consolidated) return pipeline.size();
-  auto is_barrier = [](const de::LogOp& op) {
-    using K = de::LogOp::Kind;
-    return op.kind == K::kSort || op.kind == K::kAggregate ||
-           op.kind == K::kHead || op.kind == K::kTail;
-  };
-  std::size_t passes = 0;
-  bool in_segment = false;
-  for (const auto& op : pipeline) {
-    if (is_barrier(op)) {
-      ++passes;  // barrier costs its own pass
-      in_segment = false;
-    } else if (!in_segment) {
-      ++passes;  // start of a fused record-local segment
-      in_segment = true;
-    }
-  }
-  return passes;
+  // The planner is the single source of truth for what fuses: one pass per
+  // plan stage (fused record-local segment or barrier).
+  return de::plan_query(pipeline).passes();
 }
 
 Result<std::size_t> SyncIntegrator::run_route(SyncRoute& route) {
@@ -120,28 +107,57 @@ Result<std::size_t> SyncIntegrator::run_route(SyncRoute& route) {
   // Pull raw records after the cursor; the source query itself charges the
   // DE's scan cost once.
   std::uint64_t latest = route.source->latest_seq();
-  KN_ASSIGN_OR_RETURN(
-      std::vector<Value> batch,
-      route.source->query_sync(principal(), {}, route.cursor));
-
-  // Charge pipeline execution: one per-record scan per pass (this is the
-  // operator-consolidation ablation surface).
-  std::size_t passes = count_passes(route.pipeline, options_.consolidate);
   sim::SimTime per_record = de_.profile().per_record.mean();
-  de_.clock().advance(static_cast<sim::SimTime>(passes * batch.size()) *
-                      per_record);
+  std::size_t moved = 0;
+  if (options_.consolidate) {
+    // Consolidated round (§3.3): records move as copy-on-write handles
+    // (no deep copy until a pipeline stage mutates one), the fused plan
+    // runs record-local segments as single passes, and execution cost is
+    // charged on the records each stage actually processed.
+    KN_ASSIGN_OR_RETURN(
+        std::vector<common::CowValue> batch,
+        route.source->query_shared_sync(principal(), {}, route.cursor));
+    de::QueryPlan plan = de::plan_query(route.pipeline);
+    de::PlanRunStats prs;
+    KN_ASSIGN_OR_RETURN(std::vector<common::CowValue> transformed,
+                        de::run_plan(plan, std::move(batch), &prs));
+    stats_.records_processed += prs.total_processed();
+    de_.clock().advance(
+        static_cast<sim::SimTime>(prs.total_processed()) * per_record);
+    moved = transformed.size();
+    if (!transformed.empty()) {
+      auto appended = route.target->append_batch_shared_sync(
+          principal(), std::move(transformed));
+      if (!appended.ok()) {
+        ++stats_.pipeline_errors;
+        if (tracer_ != nullptr && span != 0) tracer_->end(span);
+        return appended.error();
+      }
+    }
+  } else {
+    KN_ASSIGN_OR_RETURN(
+        std::vector<Value> batch,
+        route.source->query_sync(principal(), {}, route.cursor));
 
-  KN_ASSIGN_OR_RETURN(std::vector<Value> transformed,
-                      de::run_pipeline(route.pipeline, std::move(batch)));
+    // Charge pipeline execution: one per-record scan per operator (this is
+    // the operator-consolidation ablation surface).
+    std::size_t passes = count_passes(route.pipeline, /*consolidated=*/false);
+    stats_.records_processed += passes * batch.size();
+    de_.clock().advance(static_cast<sim::SimTime>(passes * batch.size()) *
+                        per_record);
 
-  std::size_t moved = transformed.size();
-  if (!transformed.empty()) {
-    auto appended =
-        route.target->append_batch_sync(principal(), std::move(transformed));
-    if (!appended.ok()) {
-      ++stats_.pipeline_errors;
-      if (tracer_ != nullptr && span != 0) tracer_->end(span);
-      return appended.error();
+    KN_ASSIGN_OR_RETURN(std::vector<Value> transformed,
+                        de::run_pipeline(route.pipeline, std::move(batch)));
+
+    moved = transformed.size();
+    if (!transformed.empty()) {
+      auto appended =
+          route.target->append_batch_sync(principal(), std::move(transformed));
+      if (!appended.ok()) {
+        ++stats_.pipeline_errors;
+        if (tracer_ != nullptr && span != 0) tracer_->end(span);
+        return appended.error();
+      }
     }
   }
   route.cursor = latest;

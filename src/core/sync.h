@@ -42,6 +42,9 @@ struct SyncStats {
   std::uint64_t reconfigurations = 0;
   std::uint64_t route_failures = 0;  // route errors within rounds
   std::uint64_t retries = 0;         // rounds re-run by the retry policy
+  /// Records entering pipeline passes, summed over rounds — the cost the
+  /// consolidation ablation measures (fused plans process fewer).
+  std::uint64_t records_processed = 0;
 };
 
 class SyncIntegrator : public Integrator {

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/histogram.h"
 #include "sim/clock.h"
 
 namespace knactor::core {
@@ -68,5 +69,17 @@ class Metrics {
  private:
   std::map<std::string, std::uint64_t> counters_;
 };
+
+/// Snapshots a batch-size histogram into Metrics counters
+/// ("<prefix>.count", "<prefix>.sum", "<prefix>.max", "<prefix>.le_8",
+/// ...). Overwrites rather than accumulates, so it is safe to call
+/// repeatedly (e.g. per scrape) with a monotonically growing histogram.
+inline void export_histogram(Metrics& metrics, const std::string& prefix,
+                             const common::SizeHistogram& hist) {
+  hist.export_counters(prefix,
+                       [&](const std::string& name, std::uint64_t value) {
+                         metrics.inc(name, value - metrics.get(name));
+                       });
+}
 
 }  // namespace knactor::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/json.h"
+#include "de/plan.h"
 #include "expr/parser.h"
 
 namespace knactor::de {
@@ -89,230 +90,8 @@ Result<LogOp> LogOp::map(std::string target_field,
   return op;
 }
 
-// ---------------------------------------------------------------------------
-// Pipeline execution.
-// ---------------------------------------------------------------------------
-
-namespace {
-
-/// Env exposing a record's fields as top-level names plus `this`. Fields a
-/// record lacks resolve to null (not an error): heterogeneous pools are
-/// normal — a filter like "energy > 0" must simply not match records
-/// without the field.
-class RecordEnv : public expr::Env {
- public:
-  explicit RecordEnv(const Value& record) : record_(record) {}
-
-  [[nodiscard]] const Value* resolve(const std::string& name) const override {
-    if (name == "this") return &record_;
-    if (record_.is_object()) {
-      const Value* v = record_.get(name);
-      return v != nullptr ? v : &null_;
-    }
-    return &null_;
-  }
-
- private:
-  static const Value null_;
-  const Value& record_;
-};
-
-const Value RecordEnv::null_{};
-
-Result<Value> aggregate_column(const std::string& fn,
-                               const std::vector<Value>& column) {
-  if (fn == "count") {
-    return Value(static_cast<std::int64_t>(column.size()));
-  }
-  if (fn == "first") {
-    return column.empty() ? Value(nullptr) : column.front();
-  }
-  if (fn == "last") {
-    return column.empty() ? Value(nullptr) : column.back();
-  }
-  // Numeric reductions ignore null/missing values.
-  std::vector<double> nums;
-  bool all_int = true;
-  for (const auto& v : column) {
-    if (v.is_null()) continue;
-    auto n = v.try_number();
-    if (!n) {
-      return Error::eval("aggregate " + fn + ": non-numeric value");
-    }
-    if (!v.is_int()) all_int = false;
-    nums.push_back(*n);
-  }
-  if (nums.empty()) return Value(nullptr);
-  double out = 0;
-  if (fn == "sum") {
-    for (double n : nums) out += n;
-  } else if (fn == "min") {
-    out = *std::min_element(nums.begin(), nums.end());
-  } else if (fn == "max") {
-    out = *std::max_element(nums.begin(), nums.end());
-  } else if (fn == "avg") {
-    for (double n : nums) out += n;
-    out /= static_cast<double>(nums.size());
-    return Value(out);
-  } else {
-    return Error::invalid_argument("unknown aggregate function '" + fn + "'");
-  }
-  if (all_int && fn != "avg") return Value(static_cast<std::int64_t>(out));
-  return Value(out);
-}
-
-Result<std::vector<Value>> apply_op(const LogOp& op,
-                                    std::vector<Value> records) {
-  const auto& functions = expr::FunctionRegistry::builtins();
-  switch (op.kind) {
-    case LogOp::Kind::kFilter: {
-      std::vector<Value> out;
-      for (auto& r : records) {
-        RecordEnv env(r);
-        KN_ASSIGN_OR_RETURN(Value keep,
-                            expr::evaluate(*op.compiled, env, functions));
-        if (keep.truthy()) out.push_back(std::move(r));
-      }
-      return out;
-    }
-    case LogOp::Kind::kRename: {
-      for (auto& r : records) {
-        if (!r.is_object()) continue;
-        Value out = Value::object();
-        for (const auto& [k, v] : r.as_object()) {
-          auto it = op.renames.find(k);
-          out.set(it == op.renames.end() ? k : it->second, v);
-        }
-        r = std::move(out);
-      }
-      return records;
-    }
-    case LogOp::Kind::kProject: {
-      for (auto& r : records) {
-        if (!r.is_object()) continue;
-        Value out = Value::object();
-        for (const auto& f : op.fields) {
-          const Value* v = r.get(f);
-          if (v != nullptr) out.set(f, *v);
-        }
-        r = std::move(out);
-      }
-      return records;
-    }
-    case LogOp::Kind::kDrop: {
-      for (auto& r : records) {
-        if (!r.is_object()) continue;
-        for (const auto& f : op.fields) {
-          r.as_object().erase(f);
-        }
-      }
-      return records;
-    }
-    case LogOp::Kind::kSort: {
-      bool type_error = false;
-      auto three_way = [&](const Value& a, const Value& b) -> int {
-        const Value* fa = a.get(op.field);
-        const Value* fb = b.get(op.field);
-        if (fa == nullptr && fb == nullptr) return 0;
-        // Missing values sort last regardless of direction.
-        if (fa == nullptr) return op.descending ? -1 : 1;
-        if (fb == nullptr) return op.descending ? 1 : -1;
-        if (fa->is_number() && fb->is_number()) {
-          if (fa->as_number() < fb->as_number()) return -1;
-          if (fa->as_number() > fb->as_number()) return 1;
-          return 0;
-        }
-        if (fa->is_string() && fb->is_string()) {
-          return fa->as_string().compare(fb->as_string());
-        }
-        type_error = true;
-        return 0;
-      };
-      std::stable_sort(records.begin(), records.end(),
-                       [&](const Value& a, const Value& b) {
-                         int c = three_way(a, b);
-                         return op.descending ? c > 0 : c < 0;
-                       });
-      if (type_error) {
-        return Error::eval("sort: unorderable values in field '" + op.field +
-                           "'");
-      }
-      return records;
-    }
-    case LogOp::Kind::kHead: {
-      if (records.size() > op.n) records.resize(op.n);
-      return records;
-    }
-    case LogOp::Kind::kTail: {
-      if (records.size() > op.n) {
-        records.erase(records.begin(),
-                      records.end() - static_cast<std::ptrdiff_t>(op.n));
-      }
-      return records;
-    }
-    case LogOp::Kind::kMap: {
-      for (auto& r : records) {
-        RecordEnv env(r);
-        KN_ASSIGN_OR_RETURN(Value v,
-                            expr::evaluate(*op.compiled, env, functions));
-        if (!r.is_object()) r = Value::object();
-        r.set(op.field, std::move(v));
-      }
-      return records;
-    }
-    case LogOp::Kind::kAggregate: {
-      // Group rows by the group_by key tuple, preserving first-seen order.
-      std::vector<std::pair<std::string, std::vector<Value>>> groups;
-      std::map<std::string, std::size_t> index;
-      for (auto& r : records) {
-        std::string key;
-        for (const auto& f : op.fields) {
-          const Value* v = r.get(f);
-          key += (v != nullptr ? common::to_json(*v) : "null") + "\x1f";
-        }
-        auto it = index.find(key);
-        if (it == index.end()) {
-          index[key] = groups.size();
-          groups.push_back({key, {}});
-          groups.back().second.push_back(std::move(r));
-        } else {
-          groups[it->second].second.push_back(std::move(r));
-        }
-      }
-      std::vector<Value> out;
-      for (auto& [key, rows] : groups) {
-        Value row = Value::object();
-        for (const auto& f : op.fields) {
-          const Value* v = rows.front().get(f);
-          row.set(f, v != nullptr ? *v : Value(nullptr));
-        }
-        for (const auto& [out_field, agg] : op.aggs) {
-          const auto& [fn, in_field] = agg;
-          std::vector<Value> column;
-          for (const auto& r : rows) {
-            const Value* v = r.get(in_field);
-            column.push_back(v != nullptr ? *v : Value(nullptr));
-          }
-          KN_ASSIGN_OR_RETURN(Value agg_value, aggregate_column(fn, column));
-          row.set(out_field, std::move(agg_value));
-        }
-        out.push_back(std::move(row));
-      }
-      return out;
-    }
-  }
-  return Error::internal("unhandled log op");
-}
-
-}  // namespace
-
-Result<std::vector<Value>> run_pipeline(const LogQuery& q,
-                                        std::vector<Value> records) {
-  for (const auto& op : q) {
-    KN_ASSIGN_OR_RETURN(records, apply_op(op, std::move(records)));
-  }
-  return records;
-}
+// run_pipeline (the naive one-pass-per-operator executor) and the fused
+// planner both live in de/plan.cpp, sharing per-operator primitives.
 
 // ---------------------------------------------------------------------------
 // Profiles.
@@ -355,7 +134,7 @@ void LogPool::append(const std::string& principal, Value record,
         LogRecord rec;
         rec.seq = de_.next_seq_++;
         rec.ingested_at = de_.clock_.now();
-        rec.data = std::move(record);
+        rec.data = std::make_shared<const Value>(std::move(record));
         records_.push_back(std::move(rec));
         done(records_.back().seq);
       });
@@ -363,6 +142,15 @@ void LogPool::append(const std::string& principal, Value record,
 
 void LogPool::append_batch(const std::string& principal,
                            std::vector<Value> records, AppendCallback done) {
+  std::vector<common::CowValue> wrapped;
+  wrapped.reserve(records.size());
+  for (auto& r : records) wrapped.emplace_back(std::move(r));
+  append_batch_shared(principal, std::move(wrapped), std::move(done));
+}
+
+void LogPool::append_batch_shared(const std::string& principal,
+                                  std::vector<common::CowValue> records,
+                                  AppendCallback done) {
   sim::SimTime rt = de_.profile_.append_rt.sample(de_.rng_);
   rt += static_cast<sim::SimTime>(records.size()) *
         de_.profile_.per_record.sample(de_.rng_);
@@ -377,13 +165,14 @@ void LogPool::append_batch(const std::string& principal,
                                         " cannot append to " + name_));
           return;
         }
+        de_.stats_.append_batch_sizes.add(records.size());
         std::uint64_t last = latest_seq();
         for (auto& record : records) {
           ++de_.stats_.appends;
           LogRecord rec;
           rec.seq = de_.next_seq_++;
           rec.ingested_at = de_.clock_.now();
-          rec.data = std::move(record);
+          rec.data = record.share();  // zero-copy: store the handle
           last = rec.seq;
           records_.push_back(std::move(rec));
         }
@@ -400,21 +189,50 @@ Result<std::uint64_t> LogPool::append_batch_sync(const std::string& principal,
   return std::move(*result);
 }
 
-void LogPool::query(const std::string& principal, const LogQuery& q,
-                    std::uint64_t after_seq, QueryCallback done) {
-  // Collect matching records now; charge base + per-record latency.
-  std::vector<Value> batch;
-  for (const auto& rec : records_) {
-    if (rec.seq > after_seq) batch.push_back(rec.data);
+Result<std::uint64_t> LogPool::append_batch_shared_sync(
+    const std::string& principal, std::vector<common::CowValue> records) {
+  std::optional<Result<std::uint64_t>> result;
+  append_batch_shared(principal, std::move(records),
+                      [&](Result<std::uint64_t> r) { result = std::move(r); });
+  de_.run_sync([&] { return result.has_value(); });
+  return std::move(*result);
+}
+
+void LogPool::query_shared(const std::string& principal, const LogQuery& q,
+                           std::uint64_t after_seq, SharedQueryCallback done) {
+  // Plan first: a leading head/tail bounds how many records the scan must
+  // materialize (and pay per-record latency for).
+  QueryPlan plan = plan_query(q);
+  std::size_t candidates = 0;
+  std::vector<common::CowValue> batch;
+  if (plan.scan_tail != kNoLimit) {
+    // Only the last N records can survive a leading tail: walk backwards.
+    for (auto it = records_.rbegin();
+         it != records_.rend() && batch.size() < plan.scan_tail; ++it) {
+      if (it->seq <= after_seq) break;
+      batch.emplace_back(it->data);
+    }
+    std::reverse(batch.begin(), batch.end());
+    for (const auto& rec : records_) {
+      if (rec.seq > after_seq) ++candidates;
+    }
+  } else {
+    for (const auto& rec : records_) {
+      if (rec.seq <= after_seq) continue;
+      ++candidates;
+      if (batch.size() < plan.scan_head) batch.emplace_back(rec.data);
+    }
   }
+  de_.stats_.records_scan_saved += candidates - batch.size();
   sim::SimTime rt = de_.profile_.query_base_rt.sample(de_.rng_);
   rt += static_cast<sim::SimTime>(batch.size()) *
         de_.profile_.per_record.sample(de_.rng_);
   de_.clock_.schedule_after(
-      rt, [this, principal, q, batch = std::move(batch),
+      rt, [this, principal, plan = std::move(plan), batch = std::move(batch),
            done = std::move(done)]() mutable {
         ++de_.stats_.queries;
         de_.stats_.records_scanned += batch.size();
+        de_.stats_.query_batch_sizes.add(batch.size());
         Decision d = de_.rbac_.check(principal, name_, "", Verb::kList,
                                      de_.clock_.now());
         if (!d.allowed) {
@@ -425,11 +243,27 @@ void LogPool::query(const std::string& principal, const LogQuery& q,
         }
         if (!d.fields.unrestricted()) {
           for (auto& r : batch) {
-            r = Rbac::filter_fields(r, d.fields);
+            r = common::CowValue(Rbac::filter_fields(*r, d.fields));
           }
         }
-        done(run_pipeline(q, std::move(batch)));
+        done(run_plan(plan, std::move(batch)));
       });
+}
+
+void LogPool::query(const std::string& principal, const LogQuery& q,
+                    std::uint64_t after_seq, QueryCallback done) {
+  query_shared(principal, q, after_seq,
+               [done = std::move(done)](
+                   Result<std::vector<common::CowValue>> r) mutable {
+                 if (!r.ok()) {
+                   done(r.error());
+                   return;
+                 }
+                 std::vector<Value> out;
+                 out.reserve(r.value().size());
+                 for (auto& cow : r.value()) out.push_back(cow.take());
+                 done(std::move(out));
+               });
 }
 
 Result<std::uint64_t> LogPool::append_sync(const std::string& principal,
@@ -447,6 +281,17 @@ Result<std::vector<Value>> LogPool::query_sync(const std::string& principal,
   std::optional<Result<std::vector<Value>>> result;
   query(principal, q, after_seq,
         [&](Result<std::vector<Value>> r) { result = std::move(r); });
+  de_.run_sync([&] { return result.has_value(); });
+  return std::move(*result);
+}
+
+Result<std::vector<common::CowValue>> LogPool::query_shared_sync(
+    const std::string& principal, const LogQuery& q, std::uint64_t after_seq) {
+  std::optional<Result<std::vector<common::CowValue>>> result;
+  query_shared(principal, q, after_seq,
+               [&](Result<std::vector<common::CowValue>> r) {
+                 result = std::move(r);
+               });
   de_.run_sync([&] { return result.has_value(); });
   return std::move(*result);
 }

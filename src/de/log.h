@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "common/cow.h"
+#include "common/histogram.h"
 #include "common/result.h"
 #include "common/value.h"
 #include "de/rbac.h"
@@ -26,11 +28,13 @@
 
 namespace knactor::de {
 
-/// A stored log record.
+/// A stored log record. The payload is an immutable shared buffer so
+/// query/sync batches can carry it zero-copy (§3.3); consumers mutate
+/// through common::CowValue, which clones on first write.
 struct LogRecord {
   std::uint64_t seq = 0;
   sim::SimTime ingested_at = 0;
-  common::Value data;
+  common::SharedValue data;
 };
 
 /// One dataflow operator in a query pipeline.
@@ -92,7 +96,12 @@ struct LogDeStats {
   std::uint64_t appends = 0;
   std::uint64_t queries = 0;
   std::uint64_t records_scanned = 0;
+  std::uint64_t records_scan_saved = 0;  // skipped via head/tail push-down
   std::uint64_t permission_denials = 0;
+  /// Batch-size distributions on the hot path (export via
+  /// SizeHistogram::export_counters, e.g. into core::Metrics).
+  common::SizeHistogram append_batch_sizes;
+  common::SizeHistogram query_batch_sizes;
 };
 
 class LogDe;
@@ -103,6 +112,8 @@ class LogPool {
   using AppendCallback = std::function<void(common::Result<std::uint64_t>)>;
   using QueryCallback =
       std::function<void(common::Result<std::vector<common::Value>>)>;
+  using SharedQueryCallback =
+      std::function<void(common::Result<std::vector<common::CowValue>>)>;
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] std::size_t size() const { return records_.size(); }
@@ -115,15 +126,32 @@ class LogPool {
   /// loaders (the Sync integrator) ingest.
   void append_batch(const std::string& principal,
                     std::vector<common::Value> records, AppendCallback done);
-  /// Runs a query over records with seq > after_seq (0 = all).
+  /// Appends a batch of shared buffers zero-copy: the pool stores the
+  /// handles directly (no deep copy of untouched records). This is the
+  /// consolidated Sync integrator's ingest path.
+  void append_batch_shared(const std::string& principal,
+                           std::vector<common::CowValue> records,
+                           AppendCallback done);
+  /// Runs a query over records with seq > after_seq (0 = all). Executed
+  /// through the query planner: adjacent record-local operators run as one
+  /// fused pass and leading head/tail limits bound the scan itself.
   void query(const std::string& principal, const LogQuery& q,
              std::uint64_t after_seq, QueryCallback done);
+  /// Zero-copy query: results are copy-on-write handles onto the stored
+  /// buffers (records the pipeline never mutated are not copied).
+  void query_shared(const std::string& principal, const LogQuery& q,
+                    std::uint64_t after_seq, SharedQueryCallback done);
 
   common::Result<std::uint64_t> append_sync(const std::string& principal,
                                             common::Value record);
   common::Result<std::uint64_t> append_batch_sync(
       const std::string& principal, std::vector<common::Value> records);
+  common::Result<std::uint64_t> append_batch_shared_sync(
+      const std::string& principal, std::vector<common::CowValue> records);
   common::Result<std::vector<common::Value>> query_sync(
+      const std::string& principal, const LogQuery& q,
+      std::uint64_t after_seq = 0);
+  common::Result<std::vector<common::CowValue>> query_shared_sync(
       const std::string& principal, const LogQuery& q,
       std::uint64_t after_seq = 0);
 

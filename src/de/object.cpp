@@ -1,5 +1,7 @@
 #include "de/object.h"
 
+#include <algorithm>
+
 #include "common/json.h"
 #include "common/logging.h"
 #include "common/strings.h"
@@ -214,14 +216,42 @@ std::uint64_t ObjectStore::watch(const std::string& principal,
     return 0;
   }
   std::uint64_t id = de_.next_watch_id_++;
-  de_.watches_.push_back(
-      ObjectDe::Watch{id, name_, prefix, principal, std::move(callback)});
+  ObjectDe::Watch w;
+  w.id = id;
+  w.store = name_;
+  w.prefix = prefix;
+  w.principal = principal;
+  w.callback = std::move(callback);
+  de_.watches_.push_back(std::move(w));
+  return id;
+}
+
+std::uint64_t ObjectStore::watch_batch(const std::string& principal,
+                                       const std::string& prefix,
+                                       sim::SimTime window,
+                                       WatchBatchCallback callback) {
+  Decision d = de_.check_access(principal, name_, prefix, Verb::kWatch);
+  if (!d.allowed) {
+    ++de_.stats_.permission_denials;
+    return 0;
+  }
+  std::uint64_t id = de_.next_watch_id_++;
+  ObjectDe::Watch w;
+  w.id = id;
+  w.store = name_;
+  w.prefix = prefix;
+  w.principal = principal;
+  w.batch_callback = std::move(callback);
+  w.window = window;
+  w.batched = true;
+  de_.watches_.push_back(std::move(w));
   return id;
 }
 
 void ObjectStore::unwatch(std::uint64_t watch_id) {
   std::erase_if(de_.watches_,
                 [watch_id](const auto& w) { return w.id == watch_id; });
+  de_.watch_buffers_.erase(watch_id);
 }
 
 // Synchronous wrappers.
@@ -647,11 +677,16 @@ void ObjectDe::fire_watches(const std::string& store_name, WatchEventType type,
     pending_notifications_.push_back({store_name, type, obj});
     return;
   }
-  for (const auto& w : watches_) {
+  ++notify_seq_;
+  for (auto& w : watches_) {
     if (w.store != store_name) continue;
     if (!common::starts_with(obj.key, w.prefix)) continue;
     Decision d = check_access(w.principal, store_name, obj.key, Verb::kWatch);
     if (!d.allowed) continue;
+    if (w.batched) {
+      enqueue_batched(w, type, obj, d);
+      continue;
+    }
     WatchEvent event;
     event.type = type;
     event.store = store_name;
@@ -675,6 +710,79 @@ void ObjectDe::fire_watches(const std::string& store_name, WatchEventType type,
       }
     });
   }
+}
+
+void ObjectDe::enqueue_batched(Watch& w, WatchEventType type,
+                               const StateObject& obj, const Decision& d) {
+  WatchEvent event;
+  event.type = type;
+  event.store = w.store;
+  event.object = obj;  // payload stays a shared snapshot (zero-copy)
+  if (!d.fields.unrestricted() && event.object.data) {
+    event.object.data = std::make_shared<const Value>(
+        Rbac::filter_fields(*event.object.data, d.fields));
+  }
+  WatchBuffer& buf = watch_buffers_[w.id];
+  ++buf.commits;
+  auto slot = buf.slots.find(obj.key);
+  if (slot == buf.slots.end()) {
+    buf.slots.emplace(obj.key, buf.events.size());
+    buf.events.push_back(BufferedEvent{std::move(event), notify_seq_});
+  } else {
+    // Coalesce into the key's slot. The slot takes the new payload and the
+    // new commit sequence (flush orders by it, so a delete superseding a
+    // modify keeps its temporal position). Type merge: an object the
+    // watcher has never seen stays kAdded through modifies; a delete
+    // always survives as kDeleted; a re-create after an unseen delete
+    // nets out to kModified (the object still exists, with new data).
+    ++stats_.watch_events_coalesced;
+    BufferedEvent& be = buf.events[slot->second];
+    WatchEventType merged = type;
+    if (type != WatchEventType::kDeleted) {
+      if (be.event.type == WatchEventType::kAdded) {
+        merged = WatchEventType::kAdded;
+      } else if (be.event.type == WatchEventType::kDeleted) {
+        merged = WatchEventType::kModified;
+      }
+    }
+    be.event.type = merged;
+    be.event.object = std::move(event.object);
+    be.seq = notify_seq_;
+  }
+  if (!buf.flush_scheduled) {
+    buf.flush_scheduled = true;
+    sim::SimTime delay = w.window + profile_.watch_notify.sample(rng_);
+    std::uint64_t id = w.id;
+    clock_.schedule_after(delay, [this, id]() { flush_watch_batch(id); });
+  }
+}
+
+void ObjectDe::flush_watch_batch(std::uint64_t watch_id) {
+  auto it = watch_buffers_.find(watch_id);
+  if (it == watch_buffers_.end()) return;  // unwatched while buffering
+  WatchBuffer buf = std::move(it->second);
+  watch_buffers_.erase(it);
+  const Watch* live = nullptr;
+  for (const auto& w : watches_) {
+    if (w.id == watch_id) {
+      live = &w;
+      break;
+    }
+  }
+  if (live == nullptr || buf.events.empty()) return;
+  std::stable_sort(
+      buf.events.begin(), buf.events.end(),
+      [](const BufferedEvent& a, const BufferedEvent& b) { return a.seq < b.seq; });
+  WatchBatch batch;
+  batch.store = live->store;
+  batch.commits = buf.commits;
+  batch.events.reserve(buf.events.size());
+  for (auto& be : buf.events) batch.events.push_back(std::move(be.event));
+  ++stats_.watch_batches;
+  stats_.watch_events += batch.events.size();
+  stats_.watch_batch_sizes.add(batch.events.size());
+  auto callback = live->batch_callback;  // copy: callback may unwatch
+  callback(batch);
 }
 
 void ObjectDe::fire_triggers(const std::string& store_name,

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/histogram.h"
 #include "common/result.h"
 #include "common/value.h"
 #include "de/profile.h"
@@ -53,6 +54,18 @@ struct WatchEvent {
   StateObject object;
 };
 
+/// A coalesced window of watch events (see ObjectStore::watch_batch).
+/// Events are in commit order; successive updates to the same key within
+/// the window are coalesced into the key's latest event. Payloads are
+/// shared snapshots (StateObject::data), so a batch moves zero-copy.
+struct WatchBatch {
+  std::string store;
+  std::vector<WatchEvent> events;
+  /// Commits folded into this batch (>= events.size(); the difference is
+  /// how many per-key updates the window coalesced away).
+  std::uint64_t commits = 0;
+};
+
 struct ObjectDeStats {
   std::uint64_t reads = 0;
   std::uint64_t writes = 0;
@@ -64,6 +77,11 @@ struct ObjectDeStats {
   std::uint64_t permission_denials = 0;
   std::uint64_t version_conflicts = 0;
   std::uint64_t unavailable_rejections = 0;  // ops failed while crashed
+  std::uint64_t watch_batches = 0;           // coalesced deliveries
+  std::uint64_t watch_events_coalesced = 0;  // commits folded into a slot
+  /// Events per delivered WatchBatch (batching effectiveness on the hot
+  /// path; export via SizeHistogram::export_counters).
+  common::SizeHistogram watch_batch_sizes;
 };
 
 class ObjectDe;
@@ -79,6 +97,7 @@ class ObjectStore {
   using ListCallback =
       std::function<void(common::Result<std::vector<StateObject>>)>;
   using WatchCallback = std::function<void(const WatchEvent&)>;
+  using WatchBatchCallback = std::function<void(const WatchBatch&)>;
 
   [[nodiscard]] const std::string& name() const { return name_; }
 
@@ -110,6 +129,17 @@ class ObjectStore {
   /// denial). RBAC field filtering applies to delivered objects.
   std::uint64_t watch(const std::string& principal, const std::string& prefix,
                       WatchCallback callback);
+  /// Coalesced watch: instead of one delivery per commit, events buffer
+  /// for `window` (virtual time) after the first commit and arrive as a
+  /// single WatchBatch. Within a window, successive events for the same
+  /// key coalesce into that key's slot (modify-after-add stays added;
+  /// delete always survives), and the flush emits slots ordered by each
+  /// key's *latest* commit — a delete that followed a modify is never
+  /// reordered before it or dropped. window == 0 degenerates to one
+  /// single-event batch per commit.
+  std::uint64_t watch_batch(const std::string& principal,
+                            const std::string& prefix, sim::SimTime window,
+                            WatchBatchCallback callback);
   void unwatch(std::uint64_t watch_id);
 
   // Synchronous wrappers (drive the clock until the callback fires).
@@ -298,11 +328,30 @@ class ObjectDe {
   friend class UdfContext;
 
   struct Watch {
-    std::uint64_t id;
+    std::uint64_t id = 0;
     std::string store;
     std::string prefix;
     std::string principal;
-    ObjectStore::WatchCallback callback;
+    ObjectStore::WatchCallback callback;  // per-event mode
+    // Batched mode (watch_batch): callback is empty, batch_callback set.
+    ObjectStore::WatchBatchCallback batch_callback;
+    sim::SimTime window = 0;
+    bool batched = false;
+  };
+
+  /// Per-watch coalescing buffer for batched watches. `slots` maps a key
+  /// to its event slot; `seq` on each slot is the DE-wide commit sequence
+  /// of the *latest* commit folded in, which orders the flush (so a delete
+  /// that superseded a modify lands at its true temporal position).
+  struct BufferedEvent {
+    WatchEvent event;
+    std::uint64_t seq = 0;
+  };
+  struct WatchBuffer {
+    std::map<std::string, std::size_t> slots;
+    std::vector<BufferedEvent> events;
+    std::uint64_t commits = 0;
+    bool flush_scheduled = false;
   };
 
   struct Trigger {
@@ -326,6 +375,9 @@ class ObjectDe {
   common::Status commit_delete(ObjectStore& store, const std::string& key);
   void fire_watches(const std::string& store_name, WatchEventType type,
                     const StateObject& obj);
+  void enqueue_batched(Watch& w, WatchEventType type, const StateObject& obj,
+                       const Decision& d);
+  void flush_watch_batch(std::uint64_t watch_id);
   void fire_triggers(const std::string& store_name, WatchEventType type,
                      const StateObject& obj);
 
@@ -348,10 +400,12 @@ class ObjectDe {
   std::map<std::string, std::unique_ptr<ObjectStore>> stores_;
   std::map<std::string, std::pair<std::string, Udf>> udfs_;  // name -> (owner, fn)
   std::vector<Watch> watches_;
+  std::map<std::uint64_t, WatchBuffer> watch_buffers_;  // batched watches
   std::vector<Trigger> triggers_;
   std::vector<WalEntry> wal_;
   std::uint64_t next_watch_id_ = 1;
   std::uint64_t next_version_ = 1;
+  std::uint64_t notify_seq_ = 1;  // commit order stamp for coalescing
   bool recovering_ = false;
   bool available_ = true;
   /// When set, watch/trigger notifications queue instead of firing

@@ -1,0 +1,120 @@
+// Aliasing semantics of the copy-on-write handle behind zero-copy batch
+// exchange: mutation through one handle must never leak into any other
+// holder of the same buffer, and handles that are never mutated must never
+// copy. Exercised under the sanitize preset (KNACTOR_SANITIZE=ON) to catch
+// lifetime bugs on the shared-buffer path.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "common/cow.h"
+#include "common/value.h"
+
+namespace knactor::common {
+namespace {
+
+Value make_record(int id) {
+  Value v = Value::object();
+  v.set("id", Value(static_cast<std::int64_t>(id)));
+  v.set("name", Value("rec-" + std::to_string(id)));
+  return v;
+}
+
+TEST(CowValueTest, DefaultIsNull) {
+  CowValue v;
+  EXPECT_TRUE(v->is_null());
+  EXPECT_FALSE(v.shared());
+}
+
+TEST(CowValueTest, OwnedValueReadsBack) {
+  CowValue v{make_record(1)};
+  EXPECT_EQ(v->get("id")->as_int(), 1);
+  EXPECT_FALSE(v.shared());  // sole owner: mut() would not clone
+}
+
+TEST(CowValueTest, BorrowedSnapshotIsShared) {
+  auto snap = std::make_shared<const Value>(make_record(2));
+  CowValue v{snap};
+  EXPECT_TRUE(v.shared());
+  EXPECT_EQ(&v.value(), snap.get());  // reads alias the snapshot, no copy
+}
+
+TEST(CowValueTest, MutOnBorrowedClonesAndDetaches) {
+  auto snap = std::make_shared<const Value>(make_record(3));
+  CowValue v{snap};
+  v.mut().set("name", Value("changed"));
+  // The external snapshot must be untouched.
+  EXPECT_EQ(snap->get("name")->as_string(), "rec-3");
+  EXPECT_EQ(v->get("name")->as_string(), "changed");
+  EXPECT_FALSE(v.shared());
+}
+
+TEST(CowValueTest, CopiedHandlesShareUntilMutation) {
+  CowValue a{make_record(4)};
+  CowValue b = a;  // handle copy: same buffer
+  EXPECT_TRUE(a.shared());
+  EXPECT_TRUE(b.shared());
+  EXPECT_EQ(&a.value(), &b.value());
+
+  b.mut().set("name", Value("b-only"));
+  EXPECT_EQ(a->get("name")->as_string(), "rec-4");
+  EXPECT_EQ(b->get("name")->as_string(), "b-only");
+  // a is the buffer's sole owner again.
+  EXPECT_FALSE(a.shared());
+}
+
+TEST(CowValueTest, MutTwiceClonesOnlyOnce) {
+  CowValue a{make_record(5)};
+  CowValue b = a;
+  Value* first = &b.mut();
+  Value* second = &b.mut();
+  EXPECT_EQ(first, second);  // second mut() hits the sole-owner fast path
+}
+
+TEST(CowValueTest, ShareStaysStableAcrossLaterMutation) {
+  CowValue v{make_record(6)};
+  SharedValue snap = v.share();
+  v.mut().set("id", Value(static_cast<std::int64_t>(99)));
+  EXPECT_EQ(snap->get("id")->as_int(), 6);
+  EXPECT_EQ(v->get("id")->as_int(), 99);
+}
+
+TEST(CowValueTest, TakeMovesWhenUnique) {
+  CowValue v{make_record(7)};
+  Value out = v.take();
+  EXPECT_EQ(out.get("id")->as_int(), 7);
+}
+
+TEST(CowValueTest, TakeCopiesWhenShared) {
+  auto snap = std::make_shared<const Value>(make_record(8));
+  CowValue v{snap};
+  Value out = v.take();
+  out.set("id", Value(static_cast<std::int64_t>(-1)));
+  EXPECT_EQ(snap->get("id")->as_int(), 8);  // snapshot unaffected
+}
+
+TEST(CowValueTest, VectorOfHandlesMovesWithoutCopying) {
+  auto snap = std::make_shared<const Value>(make_record(9));
+  std::vector<CowValue> batch;
+  for (int i = 0; i < 100; ++i) batch.emplace_back(snap);
+  std::vector<CowValue> moved = std::move(batch);
+  // Every element still aliases the single buffer.
+  for (auto& h : moved) EXPECT_EQ(&h.value(), snap.get());
+}
+
+TEST(CowValueTest, IndependentMutationsOfFannedOutBatch) {
+  auto snap = std::make_shared<const Value>(make_record(10));
+  std::vector<CowValue> batch(8, CowValue{snap});
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    batch[i].mut().set("slot", Value(static_cast<std::int64_t>(i)));
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(batch[i]->get("slot")->as_int(), static_cast<std::int64_t>(i));
+    EXPECT_EQ(batch[i]->get("id")->as_int(), 10);
+  }
+  EXPECT_EQ(snap->get("slot"), nullptr);
+}
+
+}  // namespace
+}  // namespace knactor::common

@@ -53,13 +53,15 @@ sim::FaultPlan retail_plan(std::uint64_t seed) {
   return sim::FaultPlan::random(seed, opts);
 }
 
-RetailTrialResult run_retail_trial(std::uint64_t seed, bool inject) {
+RetailTrialResult run_retail_trial(std::uint64_t seed, bool inject,
+                                   sim::SimTime batch_window = 0) {
   core::Runtime runtime;
   apps::RetailKnactorOptions options;
   options.de_profile = de::ObjectDeProfile::apiserver();  // durable: WAL
   options.shipment_processing = sim::LatencyModel::constant_ms(10.0);
   options.payment_processing = sim::LatencyModel::constant_ms(1.0);
   options.integrator_retry = sim::RetryPolicy::standard(5);
+  options.batch_window = batch_window;  // coalesced watch delivery
   auto app = apps::build_retail_knactor_app(runtime, options);
 
   chaos::ChaosHooks hooks;
@@ -187,6 +189,30 @@ TEST(ChaosRetail, HundredSeedsAllConvergeToOracle) {
   EXPECT_GT(completed_during_chaos, kSeeds / 2);
   EXPECT_GT(total_failed_passes, 0u);
   EXPECT_GT(total_cast_retries, 0u);
+}
+
+TEST(ChaosRetailBatched, HundredSeedsConvergeWithCoalescedWatch) {
+  // Satellite to the watch-batching tentpole: the integrator now consumes a
+  // coalesced WatchBatch per window instead of one pass per event. Batching
+  // must not change what state the composition converges to — every seed of
+  // the same 120-seed fault corpus still reaches the (unbatched) oracle.
+  const int kSeeds = 120;
+  int completed_during_chaos = 0;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    auto result =
+        run_retail_trial(seed, /*inject=*/true, 25 * sim::kMillisecond);
+    ASSERT_TRUE(result.converged)
+        << "batched seed " << seed << " diverged from oracle.\nSchedule:\n"
+        << result.schedule << "Plan: " << retail_plan(seed).describe();
+    if (result.completed) ++completed_during_chaos;
+  }
+  EXPECT_GT(completed_during_chaos, kSeeds / 2);
+}
+
+TEST(ChaosRetailBatched, FaultFreeBatchedTrialMatchesOracle) {
+  auto result = run_retail_trial(0, /*inject=*/false, 25 * sim::kMillisecond);
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(result.converged);
 }
 
 TEST(ChaosRetail, FaultFreeTrialMatchesOracleExactly) {

@@ -1,0 +1,285 @@
+// Differential equivalence suite for operator consolidation: the fused
+// planner (de/plan.h) must produce bit-identical results to the naive
+// one-pass-per-operator executor, over
+//   (a) 100+ seeded random logs x random pipelines,
+//   (b) the same pipelines executed through LogPool::query (which adds
+//       head/tail scan push-down and early-stop), and
+//   (c) every Sync pipeline declared in specs/, with records shaped by
+//       the schemas' field types (sync_analysis schema flow).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "analysis/sync_analysis.h"
+#include "common/json.h"
+#include "de/log.h"
+#include "de/plan.h"
+#include "de/query.h"
+#include "de/schema.h"
+#include "sim/clock.h"
+
+namespace knactor::de {
+namespace {
+
+using common::Value;
+
+// ---------------------------------------------------------------------------
+// Random log + pipeline generation. Expressions are drawn from a total
+// pool (they evaluate without error on every generated record), because
+// head push-down may legitimately skip records whose evaluation would
+// error — equivalence is only promised for total pipelines.
+// ---------------------------------------------------------------------------
+
+Value random_record(std::mt19937& rng) {
+  std::uniform_int_distribution<int> coin(0, 9);
+  if (coin(rng) == 0) {
+    // Non-object records exercise the skip semantics of rename/project/...
+    return coin(rng) < 5 ? Value(static_cast<std::int64_t>(coin(rng)))
+                         : Value("scalar");
+  }
+  Value v = Value::object();
+  std::uniform_int_distribution<std::int64_t> num(0, 20);
+  if (coin(rng) < 8) v.set("a", Value(num(rng)));
+  if (coin(rng) < 8) v.set("b", Value(num(rng)));
+  if (coin(rng) < 7) {
+    static const char* kStrings[] = {"x", "y", "z", "w"};
+    v.set("s", Value(kStrings[coin(rng) % 4]));
+  }
+  if (coin(rng) < 5) v.set("flag", Value(coin(rng) % 2 == 0));
+  if (coin(rng) < 4) v.set("c", Value(static_cast<double>(num(rng)) / 3.0));
+  return v;
+}
+
+LogOp random_op(std::mt19937& rng) {
+  std::uniform_int_distribution<int> pick(0, 8);
+  std::uniform_int_distribution<std::size_t> n(0, 10);
+  switch (pick(rng)) {
+    case 0: {
+      static const char* kFilters[] = {"a != null", "b == 1", "flag == true",
+                                       "s == \"x\"", "a != b"};
+      return LogOp::filter(kFilters[n(rng) % 5]).value();
+    }
+    case 1:
+      return n(rng) % 2 == 0 ? LogOp::rename({{"a", "x"}})
+                             : LogOp::rename({{"b", "y"}, {"s", "t"}});
+    case 2:
+      return n(rng) % 2 == 0 ? LogOp::project({"a", "b", "s"})
+                             : LogOp::project({"x", "b", "flag"});
+    case 3:
+      return n(rng) % 2 == 0 ? LogOp::drop({"c"}) : LogOp::drop({"a", "flag"});
+    case 4:
+      return LogOp::sort(n(rng) % 2 == 0 ? "b" : "s", n(rng) % 2 == 0);
+    case 5:
+      return LogOp::head(n(rng));
+    case 6:
+      return LogOp::tail(n(rng));
+    case 7:
+      return LogOp::aggregate({"s"}, {{"cnt", {"count", ""}},
+                                      {"mx", {"max", "b"}}});
+    default: {
+      static const char* kMaps[] = {"b", "1 + 1", "s"};
+      return LogOp::map("m", kMaps[n(rng) % 3]).value();
+    }
+  }
+}
+
+LogQuery random_pipeline(std::mt19937& rng) {
+  std::uniform_int_distribution<int> len(0, 6);
+  LogQuery q;
+  int ops = len(rng);
+  for (int i = 0; i < ops; ++i) q.push_back(random_op(rng));
+  return q;
+}
+
+void expect_equivalent(const LogQuery& q, const std::vector<Value>& records,
+                       const char* what, std::uint64_t seed) {
+  auto naive = run_pipeline(q, records);
+  auto fused = run_plan(plan_query(q), records);
+  ASSERT_EQ(naive.ok(), fused.ok())
+      << what << " seed " << seed << ": one executor errored ("
+      << (naive.ok() ? fused.error().to_string() : naive.error().to_string())
+      << ")";
+  if (!naive.ok()) return;
+  ASSERT_EQ(naive.value().size(), fused.value().size())
+      << what << " seed " << seed;
+  for (std::size_t i = 0; i < naive.value().size(); ++i) {
+    ASSERT_EQ(naive.value()[i], fused.value()[i])
+        << what << " seed " << seed << " record " << i << ": naive="
+        << common::to_json(naive.value()[i])
+        << " fused=" << common::to_json(fused.value()[i]);
+  }
+}
+
+TEST(ConsolidationEquivalence, RandomLogsInMemory) {
+  for (std::uint64_t seed = 0; seed < 120; ++seed) {
+    std::mt19937 rng(static_cast<unsigned>(seed * 2654435761u + 17));
+    std::uniform_int_distribution<std::size_t> count(0, 60);
+    std::vector<Value> records;
+    std::size_t n = count(rng);
+    for (std::size_t i = 0; i < n; ++i) records.push_back(random_record(rng));
+    LogQuery q = random_pipeline(rng);
+    expect_equivalent(q, records, "in-memory", seed);
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST(ConsolidationEquivalence, RandomLogsThroughPoolQuery) {
+  // The pool's query path adds scan push-down (head/tail bounds the scan,
+  // early-stop ends it once enough records survive the fused head stage) —
+  // results must still match the naive executor over the full log.
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    std::mt19937 rng(static_cast<unsigned>(seed * 40503u + 5));
+    sim::VirtualClock clock;
+    LogDe de(clock, LogDeProfile::instant());
+    LogPool& pool = de.create_pool("p");
+    std::uniform_int_distribution<std::size_t> count(0, 60);
+    std::vector<Value> records;
+    std::size_t n = count(rng);
+    for (std::size_t i = 0; i < n; ++i) records.push_back(random_record(rng));
+    ASSERT_TRUE(pool.append_batch_sync("svc", records).ok());
+    for (int trial = 0; trial < 4; ++trial) {
+      LogQuery q = random_pipeline(rng);
+      auto naive = run_pipeline(q, records);
+      auto via_pool = pool.query_sync("svc", q);
+      ASSERT_EQ(naive.ok(), via_pool.ok()) << "pool seed " << seed;
+      if (!naive.ok()) continue;
+      ASSERT_EQ(naive.value().size(), via_pool.value().size())
+          << "pool seed " << seed;
+      for (std::size_t i = 0; i < naive.value().size(); ++i) {
+        ASSERT_EQ(naive.value()[i], via_pool.value()[i])
+            << "pool seed " << seed << " record " << i;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Spec-driven: every pipeline declared in specs/, over records shaped by
+// the registered schemas (schema_field_types / analyze_pipeline from
+// analysis/sync_analysis supply the shapes the static checker reasons
+// about — the differential suite confirms the executors agree on them).
+// ---------------------------------------------------------------------------
+
+Value value_for_type(const analysis::Type& t, std::mt19937& rng) {
+  std::uniform_int_distribution<std::int64_t> num(0, 50);
+  switch (t.kind) {
+    case analysis::TypeKind::kBool:
+      return Value(num(rng) % 2 == 0);
+    case analysis::TypeKind::kInt:
+      return Value(num(rng));
+    case analysis::TypeKind::kNumber:
+      return num(rng) % 2 == 0
+                 ? Value(num(rng))
+                 : Value(static_cast<double>(num(rng)) / 4.0);
+    case analysis::TypeKind::kString: {
+      static const char* kRooms[] = {"kitchen", "hall", "garage", "attic"};
+      return Value(kRooms[num(rng) % 4]);
+    }
+    case analysis::TypeKind::kList:
+      return Value::array({Value(num(rng))});
+    case analysis::TypeKind::kObject: {
+      Value o = Value::object();
+      o.set("k", Value(num(rng)));
+      return o;
+    }
+    default:
+      return Value(num(rng));
+  }
+}
+
+TEST(ConsolidationEquivalence, EverySpecPipeline) {
+  namespace fs = std::filesystem;
+  const fs::path specs_dir{KNACTOR_SPECS_DIR};
+  ASSERT_TRUE(fs::exists(specs_dir)) << specs_dir;
+
+  // Gather schema field types (the record shape pool) and pipelines.
+  std::map<std::string, analysis::Type> shape;
+  std::vector<std::pair<std::string, std::string>> pipelines;  // (file, text)
+  std::size_t spec_files = 0;
+  for (const auto& entry : fs::directory_iterator(specs_dir)) {
+    if (entry.path().extension() != ".yaml") continue;
+    ++spec_files;
+    std::ifstream in(entry.path());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string text = buf.str();
+    if (text.find("schema:") != std::string::npos) {
+      auto schema = parse_schema(text);
+      if (schema.ok()) {
+        for (auto& [field, type] :
+             analysis::schema_field_types(schema.value())) {
+          shape.emplace(field, type);
+        }
+      }
+    }
+    // Extract `pipeline: <text>` lines (Sync route declarations).
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+      auto pos = line.find("pipeline:");
+      if (pos == std::string::npos) continue;
+      if (line.find('#') != std::string::npos &&
+          line.find('#') < pos) {
+        continue;  // commented-out example
+      }
+      std::string pipeline = line.substr(pos + 9);
+      pipeline.erase(0, pipeline.find_first_not_of(" \t"));
+      if (!pipeline.empty()) {
+        pipelines.emplace_back(entry.path().filename().string(), pipeline);
+      }
+    }
+  }
+  ASSERT_GT(spec_files, 0u);
+  ASSERT_FALSE(pipelines.empty()) << "no Sync pipelines found in specs/";
+  ASSERT_FALSE(shape.empty());
+
+  for (const auto& [file, text] : pipelines) {
+    auto parsed = parse_query(text);
+    ASSERT_TRUE(parsed.ok()) << file << ": " << parsed.error().to_string();
+    const LogQuery& q = parsed.value();
+
+    // The static schema flow for this pipeline: fused output fields must
+    // stay within what the checker derives.
+    std::vector<analysis::Diagnostic> diags;
+    auto outgoing = analysis::analyze_pipeline(text, shape, {file, 0, 0},
+                                               "equivalence", diags);
+
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+      std::mt19937 rng(static_cast<unsigned>(seed * 7919u + 3));
+      std::uniform_int_distribution<int> coin(0, 9);
+      std::vector<Value> records;
+      for (int i = 0; i < 50; ++i) {
+        Value rec = Value::object();
+        for (const auto& [field, type] : shape) {
+          if (coin(rng) < 8) rec.set(field, value_for_type(type, rng));
+        }
+        records.push_back(std::move(rec));
+      }
+      expect_equivalent(q, records, file.c_str(), seed);
+      if (HasFatalFailure()) return;
+
+      auto fused = run_plan(plan_query(q), records);
+      ASSERT_TRUE(fused.ok());
+      if (!outgoing.empty()) {
+        for (const auto& out_rec : fused.value()) {
+          if (!out_rec.is_object()) continue;
+          for (const auto& [field, value] : out_rec.as_object()) {
+            EXPECT_TRUE(outgoing.count(field) > 0)
+                << file << ": output field '" << field
+                << "' outside the schema flow";
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace knactor::de

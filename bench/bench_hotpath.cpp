@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/json.h"
+#include "common/worker_pool.h"
 #include "core/cast.h"
 #include "core/sync.h"
 #include "de/log.h"
@@ -71,10 +72,14 @@ struct RetailRun {
   bool converged = false;
 };
 
-RetailRun run_retail(std::size_t orders, SimTime batch_window) {
+RetailRun run_retail(std::size_t orders, SimTime batch_window,
+                     std::size_t shards = 1, int workers = 1) {
   using namespace knactor;
   sim::VirtualClock clock;
   de::ObjectDe de(clock, de::ObjectDeProfile::redis());
+  common::WorkerPool pool(workers);
+  de.set_shards(shards);
+  de.set_worker_pool(&pool);
   de::ObjectStore& order_store = de.create_store("orders");
   de::ObjectStore& ship_store = de.create_store("shipments");
 
@@ -114,6 +119,18 @@ RetailRun run_retail(std::size_t orders, SimTime batch_window) {
                       : 0;
   cast.stop();
   return out;
+}
+
+// Best-of-N wrapper: the shard-scaling gate compares absolute wall times,
+// so dampen scheduler noise by keeping the fastest repeat.
+RetailRun run_retail_best(std::size_t orders, SimTime batch_window,
+                          std::size_t shards, int workers, int repeats) {
+  RetailRun best = run_retail(orders, batch_window, shards, workers);
+  for (int i = 1; i < repeats; ++i) {
+    RetailRun r = run_retail(orders, batch_window, shards, workers);
+    if (r.wall_ms < best.wall_ms) best = r;
+  }
+  return best;
 }
 
 // ---------------------------------------------------------------------------
@@ -217,7 +234,7 @@ int check_report(const std::string& path) {
     return 1;
   }
   const Value& report = parsed.value();
-  for (const char* key : {"retail", "smart_home"}) {
+  for (const char* key : {"retail", "retail_shards", "smart_home"}) {
     const Value* section = report.get(key);
     if (section == nullptr || !section->is_array() ||
         section->as_array().empty()) {
@@ -290,6 +307,54 @@ int main(int argc, char** argv) {
   }
   report.set("retail", std::move(retail));
 
+  // Shard scaling on the batched 100x retail fan-out. Sharding exists for
+  // determinism-preserving parallelism, so the gate is "no regression vs
+  // the 1-shard serial run" (lenient: the CI box may have a single core,
+  // where extra workers can only add overhead), plus hard byte-equality of
+  // the observable outcome (passes/batches/convergence must not move).
+  const std::size_t shard_orders = smoke ? 4 : 400;
+  const int shard_repeats = smoke ? 1 : 3;
+  struct ShardPoint {
+    const char* label;
+    std::size_t shards;
+    int workers;
+  };
+  const ShardPoint shard_points[] = {
+      {"1s/1w", 1, 1}, {"2s/4w", 2, 4}, {"8s/4w", 8, 4}};
+  Value retail_shards = Value::array();
+  RetailRun shard_serial;
+  double shard_worst_ratio = 0;
+  bool shard_deterministic = true;
+  for (const ShardPoint& p : shard_points) {
+    RetailRun r = run_retail_best(shard_orders, kWindow, p.shards, p.workers,
+                                  shard_repeats);
+    if (p.shards == 1) shard_serial = r;
+    bool same_outcome = r.converged && r.passes == shard_serial.passes &&
+                        r.batches == shard_serial.batches;
+    shard_deterministic = shard_deterministic && same_outcome;
+    double ratio = shard_serial.wall_ms > 0 && r.wall_ms > 0
+                       ? r.wall_ms / shard_serial.wall_ms
+                       : 0;
+    if (ratio > shard_worst_ratio) shard_worst_ratio = ratio;
+    Value row = Value::object();
+    row.set("config", Value(p.label));
+    row.set("shards", Value(static_cast<std::int64_t>(p.shards)));
+    row.set("workers", Value(static_cast<std::int64_t>(p.workers)));
+    row.set("orders", Value(static_cast<std::int64_t>(shard_orders)));
+    row.set("run", retail_run_value(r));
+    row.set("wall_vs_serial", Value(ratio));
+    row.set("same_outcome", Value(same_outcome));
+    std::printf(
+        "shards %-5s %5zu orders: batched %8.1fms (%5llu passes, "
+        "%llu batches)  vs serial %.2fx  outcome %s\n",
+        p.label, shard_orders, r.wall_ms,
+        static_cast<unsigned long long>(r.passes),
+        static_cast<unsigned long long>(r.batches), ratio,
+        same_outcome ? "identical" : "DIVERGED");
+    retail_shards.as_array().push_back(std::move(row));
+  }
+  report.set("retail_shards", std::move(retail_shards));
+
   Value home = Value::array();
   for (const auto& [label, records] : home_scales) {
     SyncRun naive = run_smart_home(records, false);
@@ -314,10 +379,19 @@ int main(int argc, char** argv) {
   }
   report.set("smart_home", std::move(home));
 
+  // Lenient ceiling: on a single-core CI box sharded runs can only lose a
+  // little to pool overhead; a blowup past this means a real regression.
+  constexpr double kMaxShardRatio = 2.0;
+  bool shard_gate_ok =
+      shard_deterministic && (smoke || shard_worst_ratio <= kMaxShardRatio);
   Value gate = Value::object();
   gate.set("retail_100x_speedup", Value(retail_100x_speedup));
   gate.set("required_speedup", Value(2.0));
-  gate.set("pass", Value(smoke || retail_100x_speedup >= 2.0));
+  gate.set("retail_shards_worst_ratio", Value(shard_worst_ratio));
+  gate.set("retail_shards_max_ratio", Value(kMaxShardRatio));
+  gate.set("retail_shards_deterministic", Value(shard_deterministic));
+  gate.set("pass",
+           Value((smoke || retail_100x_speedup >= 2.0) && shard_gate_ok));
   report.set("gate", std::move(gate));
 
   std::ofstream out(out_path);
@@ -331,6 +405,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "bench_hotpath: FAIL: retail 100x speedup %.2fx < 2.0x\n",
                  retail_100x_speedup);
+    return 1;
+  }
+  if (!shard_gate_ok) {
+    std::fprintf(stderr,
+                 "bench_hotpath: FAIL: shard scaling %s (worst ratio %.2fx, "
+                 "limit %.2fx)\n",
+                 shard_deterministic ? "regressed vs serial"
+                                     : "diverged from serial outcome",
+                 shard_worst_ratio, kMaxShardRatio);
     return 1;
   }
   return 0;

@@ -31,6 +31,10 @@ struct SmartHomeOptions {
   /// access-control example); disabled when from==to.
   sim::SimTime sleep_from = 0;
   sim::SimTime sleep_to = 0;
+  /// Key-space shards / worker parallelism for the runtime's DEs
+  /// (deterministic; see docs/ARCHITECTURE.md).
+  std::size_t shards = 1;
+  int workers = 1;
 };
 
 struct SmartHomeKnactorApp {

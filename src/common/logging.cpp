@@ -1,5 +1,6 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <mutex>
 
@@ -7,7 +8,10 @@ namespace knactor::common {
 
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
+// Atomic: shard workers read the level through the KN_* macros while the
+// main thread may reconfigure it. The sink stays mutex-guarded (write()
+// already serializes output through g_mutex).
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 Log::Sink g_sink;
 std::mutex g_mutex;
 
@@ -24,9 +28,11 @@ const char* level_name(LogLevel level) {
 
 }  // namespace
 
-LogLevel Log::level() { return g_level; }
+LogLevel Log::level() { return g_level.load(std::memory_order_relaxed); }
 
-void Log::set_level(LogLevel level) { g_level = level; }
+void Log::set_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
 void Log::set_sink(Sink sink) {
   std::lock_guard lock(g_mutex);

@@ -1,0 +1,106 @@
+#include "common/worker_pool.h"
+
+namespace knactor::common {
+
+WorkerPool::WorkerPool(int workers) : workers_(workers < 1 ? 1 : workers) {
+  spawn();
+}
+
+WorkerPool::~WorkerPool() { join_all(); }
+
+void WorkerPool::set_workers(int workers) {
+  if (workers < 1) workers = 1;
+  if (workers == workers_) return;
+  join_all();
+  workers_ = workers;
+  shutdown_ = false;
+  spawn();
+}
+
+void WorkerPool::spawn() {
+  threads_.reserve(static_cast<std::size_t>(workers_ - 1));
+  for (int i = 1; i < workers_; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void WorkerPool::join_all() {
+  {
+    std::lock_guard lock(mutex_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+}
+
+void WorkerPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    const std::vector<std::function<void()>>* batch = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      work_ready_.wait(lock, [&] {
+        return shutdown_ ||
+               (batch_ != nullptr && generation_ != seen_generation);
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      // Register as draining *before* taking the batch pointer: run()
+      // cannot retire the batch while draining_ > 0, so the pointer stays
+      // valid for the whole claim loop.
+      ++draining_;
+      batch = batch_;
+    }
+    drain_batch(batch);
+    {
+      std::lock_guard lock(mutex_);
+      --draining_;
+    }
+    batch_done_.notify_all();
+  }
+}
+
+void WorkerPool::drain_batch(const std::vector<std::function<void()>>* batch) {
+  if (batch == nullptr) return;
+  while (true) {
+    std::size_t index = next_task_.fetch_add(1, std::memory_order_relaxed);
+    if (index >= batch->size()) break;
+    (*batch)[index]();
+    remaining_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+void WorkerPool::run(const std::vector<std::function<void()>>& tasks) {
+  if (tasks.empty()) return;
+  stats_.tasks += tasks.size();
+  if (workers_ <= 1 || tasks.size() <= 1) {
+    ++stats_.inline_runs;
+    for (const auto& task : tasks) task();
+    return;
+  }
+  ++stats_.barriers;
+  {
+    std::lock_guard lock(mutex_);
+    batch_ = &tasks;
+    next_task_.store(0, std::memory_order_relaxed);
+    remaining_.store(tasks.size(), std::memory_order_relaxed);
+    ++generation_;
+  }
+  work_ready_.notify_all();
+  // The caller participates in the barrier too.
+  drain_batch(&tasks);
+  {
+    // The barrier completes when every task ran AND no worker still holds
+    // the batch pointer (a late waker that saw the generation but claimed
+    // nothing must exit its claim loop before the vector can die).
+    std::unique_lock lock(mutex_);
+    batch_done_.wait(lock, [&] {
+      return remaining_.load(std::memory_order_acquire) == 0 &&
+             draining_ == 0;
+    });
+    batch_ = nullptr;
+  }
+}
+
+}  // namespace knactor::common

@@ -1,0 +1,74 @@
+// A small barrier-style worker pool: run a batch of independent tasks to
+// completion, possibly on several OS threads, and return only when every
+// task has finished. This is the mechanism underneath the shard-aware
+// scheduler (core::Scheduler): shard-local work runs concurrently between
+// deterministic merge barriers, so the pool never needs futures, queues
+// that outlive a call, or task priorities.
+//
+// Determinism contract: callers must only submit batches whose tasks are
+// mutually independent (each task touches only its own shard's state).
+// Under that contract the observable result of run() is identical for any
+// worker count, including the inline single-worker path.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace knactor::common {
+
+struct WorkerPoolStats {
+  std::uint64_t barriers = 0;  // run() calls that dispatched to threads
+  std::uint64_t inline_runs = 0;  // run() calls executed inline
+  std::uint64_t tasks = 0;        // total tasks executed
+};
+
+class WorkerPool {
+ public:
+  /// `workers` is the total parallelism of a barrier (the calling thread
+  /// participates, so N workers spawn N-1 threads). Clamped to >= 1.
+  explicit WorkerPool(int workers = 1);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  [[nodiscard]] int workers() const { return workers_; }
+  /// Re-sizes the pool (joins and re-spawns threads). Must not be called
+  /// from inside a running task.
+  void set_workers(int workers);
+
+  /// Runs every task to completion (a barrier). With one worker — or one
+  /// task — tasks run inline on the calling thread in index order.
+  void run(const std::vector<std::function<void()>>& tasks);
+
+  [[nodiscard]] const WorkerPoolStats& stats() const { return stats_; }
+
+ private:
+  void spawn();
+  void join_all();
+  void worker_loop();
+  /// Claims and runs tasks from `batch` until it is exhausted.
+  void drain_batch(const std::vector<std::function<void()>>* batch);
+
+  int workers_ = 1;
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable batch_done_;
+  const std::vector<std::function<void()>>* batch_ = nullptr;
+  std::atomic<std::size_t> next_task_{0};
+  std::atomic<std::size_t> remaining_{0};
+  int draining_ = 0;  // workers currently holding the batch pointer
+  std::uint64_t generation_ = 0;
+  bool shutdown_ = false;
+
+  WorkerPoolStats stats_;
+};
+
+}  // namespace knactor::common

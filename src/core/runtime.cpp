@@ -1,5 +1,7 @@
 #include "core/runtime.h"
 
+#include "common/logging.h"
+
 namespace knactor::core {
 
 using common::Status;
@@ -10,6 +12,8 @@ de::ObjectDe& Runtime::add_object_de(const std::string& name,
   if (it != object_des_.end()) return *it->second;
   auto de = std::make_unique<de::ObjectDe>(clock_, std::move(profile));
   de::ObjectDe& ref = *de;
+  ref.set_shards(shards_);
+  ref.set_worker_pool(&scheduler_.pool());
   object_des_[name] = std::move(de);
   return ref;
 }
@@ -25,8 +29,18 @@ de::LogDe& Runtime::add_log_de(const std::string& name,
   if (it != log_des_.end()) return *it->second;
   auto de = std::make_unique<de::LogDe>(clock_, std::move(profile));
   de::LogDe& ref = *de;
+  ref.set_worker_pool(&scheduler_.pool());
   log_des_[name] = std::move(de);
   return ref;
+}
+
+void Runtime::set_shards(std::size_t n) {
+  if (n == 0) n = 1;
+  shards_ = n;
+  scheduler_.set_shards(n);
+  for (auto& [name, de] : object_des_) {
+    de->set_shards(n);
+  }
 }
 
 de::LogDe* Runtime::log_de(const std::string& name) {
@@ -109,12 +123,19 @@ void Runtime::stop_all() {
   for (auto& k : knactors_) k->stop();
 }
 
-std::size_t Runtime::run_until_idle(std::size_t max_events) {
-  std::size_t executed = 0;
-  while (executed < max_events && clock_.step()) {
-    ++executed;
+RunResult Runtime::run_until_idle(std::size_t max_events) {
+  RunResult result;
+  while (result.executed < max_events && clock_.step()) {
+    ++result.executed;
   }
-  return executed;
+  if (result.executed >= max_events && clock_.pending() > 0) {
+    result.capped = true;
+    metrics_.inc("runtime.run_capped");
+    KN_WARN << "runtime: run_until_idle stopped at max_events=" << max_events
+            << " with " << clock_.pending()
+            << " events still pending (simulation may be incomplete)";
+  }
+  return result;
 }
 
 void Runtime::run_for(sim::SimTime duration) {

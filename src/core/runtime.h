@@ -11,6 +11,7 @@
 #include "core/cast.h"
 #include "core/integrator.h"
 #include "core/knactor.h"
+#include "core/scheduler.h"
 #include "core/sync.h"
 #include "core/trace.h"
 #include "de/log.h"
@@ -30,6 +31,16 @@ namespace knactor::core {
 void attach_fault_observer(net::SimNetwork& network, Tracer* tracer,
                            Metrics* metrics);
 
+/// Result of Runtime::run_until_idle. Converts to the executed count so
+/// existing `std::size_t n = rt.run_until_idle()` callers keep working;
+/// `capped` surfaces whether the max_events safety cap stopped the run
+/// with events still pending (previously indistinguishable from idle).
+struct RunResult {
+  std::size_t executed = 0;
+  bool capped = false;
+  operator std::size_t() const { return executed; }
+};
+
 class Runtime {
  public:
   Runtime() : tracer_(clock_) {}
@@ -40,6 +51,16 @@ class Runtime {
   [[nodiscard]] sim::VirtualClock& clock() { return clock_; }
   [[nodiscard]] Tracer& tracer() { return tracer_; }
   [[nodiscard]] Metrics& metrics() { return metrics_; }
+
+  /// The shard-aware scheduler: configures how many shards each hosted
+  /// DE's key space partitions into and how many workers drive shard-local
+  /// work between merge barriers. Deterministic: observable behavior is
+  /// identical for every shards/workers setting (fixed seed).
+  [[nodiscard]] Scheduler& scheduler() { return scheduler_; }
+  /// Re-partitions every hosted DE (current and future) into `n` shards.
+  void set_shards(std::size_t n);
+  /// Sets worker-pool parallelism for shard-local work.
+  void set_workers(int n) { scheduler_.set_workers(n); }
 
   /// Creates a named Object DE with the given profile.
   de::ObjectDe& add_object_de(const std::string& name,
@@ -69,8 +90,10 @@ class Runtime {
   common::Status start_all();
   void stop_all();
 
-  /// Drives the clock until no events remain (or max_events safety cap).
-  std::size_t run_until_idle(std::size_t max_events = 1'000'000);
+  /// Drives the clock until no events remain or the max_events safety cap
+  /// hits. A capped run logs a warning, bumps the `runtime.run_capped`
+  /// metric, and reports `capped = true` on the result.
+  RunResult run_until_idle(std::size_t max_events = 1'000'000);
   /// Drives the clock for a fixed sim duration.
   void run_for(sim::SimTime duration);
 
@@ -78,6 +101,8 @@ class Runtime {
   sim::VirtualClock clock_;
   Tracer tracer_;
   Metrics metrics_;
+  Scheduler scheduler_;
+  std::size_t shards_ = 1;
   de::SchemaRegistry schemas_;
   std::map<std::string, std::unique_ptr<de::ObjectDe>> object_des_;
   std::map<std::string, std::unique_ptr<de::LogDe>> log_des_;

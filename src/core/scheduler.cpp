@@ -1,0 +1,24 @@
+#include "core/scheduler.h"
+
+namespace knactor::core {
+
+Scheduler::Scheduler(int workers, std::size_t shards)
+    : pool_(workers), shards_(shards == 0 ? 1 : shards) {}
+
+void Scheduler::set_workers(int workers) { pool_.set_workers(workers); }
+
+void Scheduler::set_shards(std::size_t shards) {
+  shards_ = shards == 0 ? 1 : shards;
+}
+
+SchedulerStats Scheduler::stats() const {
+  SchedulerStats s;
+  s.shards = shards_;
+  s.workers = pool_.workers();
+  s.barriers = pool_.stats().barriers;
+  s.inline_runs = pool_.stats().inline_runs;
+  s.tasks = pool_.stats().tasks;
+  return s;
+}
+
+}  // namespace knactor::core

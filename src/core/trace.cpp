@@ -3,6 +3,7 @@
 namespace knactor::core {
 
 std::uint64_t Tracer::begin(const std::string& name, std::uint64_t parent) {
+  std::lock_guard lock(mutex_);
   Span span;
   span.id = next_id_++;
   span.parent = parent;
@@ -15,6 +16,7 @@ std::uint64_t Tracer::begin(const std::string& name, std::uint64_t parent) {
 
 void Tracer::annotate(std::uint64_t span_id, const std::string& key,
                       const std::string& value) {
+  std::lock_guard lock(mutex_);
   for (auto& span : spans_) {
     if (span.id == span_id) {
       span.attributes[key] = value;
@@ -24,6 +26,7 @@ void Tracer::annotate(std::uint64_t span_id, const std::string& key,
 }
 
 void Tracer::end(std::uint64_t span_id) {
+  std::lock_guard lock(mutex_);
   for (auto& span : spans_) {
     if (span.id == span_id) {
       span.end = clock_.now();
@@ -33,6 +36,7 @@ void Tracer::end(std::uint64_t span_id) {
 }
 
 std::vector<Span> Tracer::by_name(const std::string& name) const {
+  std::lock_guard lock(mutex_);
   std::vector<Span> out;
   for (const auto& span : spans_) {
     if (span.name == name && span.end >= span.start) out.push_back(span);
@@ -41,6 +45,7 @@ std::vector<Span> Tracer::by_name(const std::string& name) const {
 }
 
 sim::SimTime Tracer::total_duration(const std::string& name) const {
+  std::lock_guard lock(mutex_);
   sim::SimTime total = 0;
   for (const auto& span : spans_) {
     if (span.name == name && span.end >= span.start) {

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -27,7 +28,10 @@ struct Span {
   [[nodiscard]] sim::SimTime duration() const { return end - start; }
 };
 
-/// Collects spans; thread-free (the simulation is single-threaded).
+/// Collects spans. Mutations are serialized by a mutex so shard workers
+/// may emit spans concurrently; `spans()` hands out the underlying vector
+/// by reference and must only be read between barriers (the main-thread
+/// quiescent state — see docs/ARCHITECTURE.md).
 class Tracer {
  public:
   explicit Tracer(sim::VirtualClock& clock) : clock_(clock) {}
@@ -43,30 +47,42 @@ class Tracer {
   [[nodiscard]] std::vector<Span> by_name(const std::string& name) const;
   /// Sum of durations of finished spans with the given name.
   [[nodiscard]] sim::SimTime total_duration(const std::string& name) const;
-  void clear() { spans_.clear(); }
+  void clear() {
+    std::lock_guard lock(mutex_);
+    spans_.clear();
+  }
 
  private:
   sim::VirtualClock& clock_;
+  mutable std::mutex mutex_;
   std::vector<Span> spans_;
   std::uint64_t next_id_ = 1;
 };
 
-/// Monotonic counters + gauges for framework internals.
+/// Monotonic counters + gauges for framework internals. inc/get/clear are
+/// mutex-serialized (safe from shard workers); `all()` returns the map by
+/// reference and must only be read between barriers.
 class Metrics {
  public:
   void inc(const std::string& name, std::uint64_t delta = 1) {
+    std::lock_guard lock(mutex_);
     counters_[name] += delta;
   }
   [[nodiscard]] std::uint64_t get(const std::string& name) const {
+    std::lock_guard lock(mutex_);
     auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second;
   }
   [[nodiscard]] const std::map<std::string, std::uint64_t>& all() const {
     return counters_;
   }
-  void clear() { counters_.clear(); }
+  void clear() {
+    std::lock_guard lock(mutex_);
+    counters_.clear();
+  }
 
  private:
+  mutable std::mutex mutex_;
   std::map<std::string, std::uint64_t> counters_;
 };
 

@@ -118,13 +118,17 @@ LogDeProfile LogDeProfile::instant() {
 
 void LogPool::append(const std::string& principal, Value record,
                      AppendCallback done) {
-  sim::SimTime rt = de_.profile_.append_rt.sample(de_.rng_);
-  de_.clock_.schedule_after(
+  sim::SimTime rt = de_.profile_.append_rt.sample(de_.kernel_.rng());
+  de_.clock().schedule_after(
       rt, [this, principal, record = std::move(record),
            done = std::move(done)]() mutable {
+        if (!de_.kernel_.guard_available()) {
+          done(Error::unavailable("log: de unavailable (crashed)"));
+          return;
+        }
         ++de_.stats_.appends;
-        Decision d = de_.rbac_.check(principal, name_, "", Verb::kCreate,
-                                     de_.clock_.now());
+        Decision d = de_.kernel_.check_access(principal, name_, "",
+                                              Verb::kCreate);
         if (!d.allowed) {
           ++de_.stats_.permission_denials;
           done(Error::permission_denied("log: " + principal +
@@ -132,8 +136,8 @@ void LogPool::append(const std::string& principal, Value record,
           return;
         }
         LogRecord rec;
-        rec.seq = de_.next_seq_++;
-        rec.ingested_at = de_.clock_.now();
+        rec.seq = de_.kernel_.next_revision();
+        rec.ingested_at = de_.clock().now();
         rec.data = std::make_shared<const Value>(std::move(record));
         records_.push_back(std::move(rec));
         done(records_.back().seq);
@@ -151,14 +155,18 @@ void LogPool::append_batch(const std::string& principal,
 void LogPool::append_batch_shared(const std::string& principal,
                                   std::vector<common::CowValue> records,
                                   AppendCallback done) {
-  sim::SimTime rt = de_.profile_.append_rt.sample(de_.rng_);
+  sim::SimTime rt = de_.profile_.append_rt.sample(de_.kernel_.rng());
   rt += static_cast<sim::SimTime>(records.size()) *
-        de_.profile_.per_record.sample(de_.rng_);
-  de_.clock_.schedule_after(
+        de_.profile_.per_record.sample(de_.kernel_.rng());
+  de_.clock().schedule_after(
       rt, [this, principal, records = std::move(records),
            done = std::move(done)]() mutable {
-        Decision d = de_.rbac_.check(principal, name_, "", Verb::kCreate,
-                                     de_.clock_.now());
+        if (!de_.kernel_.guard_available()) {
+          done(Error::unavailable("log: de unavailable (crashed)"));
+          return;
+        }
+        Decision d = de_.kernel_.check_access(principal, name_, "",
+                                              Verb::kCreate);
         if (!d.allowed) {
           ++de_.stats_.permission_denials;
           done(Error::permission_denied("log: " + principal +
@@ -170,8 +178,8 @@ void LogPool::append_batch_shared(const std::string& principal,
         for (auto& record : records) {
           ++de_.stats_.appends;
           LogRecord rec;
-          rec.seq = de_.next_seq_++;
-          rec.ingested_at = de_.clock_.now();
+          rec.seq = de_.kernel_.next_revision();
+          rec.ingested_at = de_.clock().now();
           rec.data = record.share();  // zero-copy: store the handle
           last = rec.seq;
           records_.push_back(std::move(rec));
@@ -224,17 +232,21 @@ void LogPool::query_shared(const std::string& principal, const LogQuery& q,
     }
   }
   de_.stats_.records_scan_saved += candidates - batch.size();
-  sim::SimTime rt = de_.profile_.query_base_rt.sample(de_.rng_);
+  sim::SimTime rt = de_.profile_.query_base_rt.sample(de_.kernel_.rng());
   rt += static_cast<sim::SimTime>(batch.size()) *
-        de_.profile_.per_record.sample(de_.rng_);
-  de_.clock_.schedule_after(
+        de_.profile_.per_record.sample(de_.kernel_.rng());
+  de_.clock().schedule_after(
       rt, [this, principal, plan = std::move(plan), batch = std::move(batch),
            done = std::move(done)]() mutable {
+        if (!de_.kernel_.guard_available()) {
+          done(Error::unavailable("log: de unavailable (crashed)"));
+          return;
+        }
         ++de_.stats_.queries;
         de_.stats_.records_scanned += batch.size();
         de_.stats_.query_batch_sizes.add(batch.size());
-        Decision d = de_.rbac_.check(principal, name_, "", Verb::kList,
-                                     de_.clock_.now());
+        Decision d = de_.kernel_.check_access(principal, name_, "",
+                                              Verb::kList);
         if (!d.allowed) {
           ++de_.stats_.permission_denials;
           done(Error::permission_denied("log: " + principal +
@@ -306,7 +318,18 @@ std::size_t LogPool::compact(std::uint64_t up_to) {
 }
 
 LogDe::LogDe(sim::VirtualClock& clock, LogDeProfile profile, std::uint64_t seed)
-    : clock_(clock), profile_(std::move(profile)), rng_(seed) {}
+    : kernel_(clock, seed), profile_(std::move(profile)) {
+  kernel_.set_hooks(Kernel::Hooks{&stats_.unavailable_rejections});
+  kernel_.set_restart_hook([this] { restart(); });
+}
+
+void LogDe::restart() {
+  // Pools are not durable: a crash loses all records (consumers re-sync
+  // from seq 0; sequence numbers keep advancing, never reused).
+  for (auto& [name, pool] : pools_) {
+    pool->records_.clear();
+  }
+}
 
 LogPool& LogDe::create_pool(const std::string& name) {
   auto it = pools_.find(name);
@@ -320,11 +343,6 @@ LogPool& LogDe::create_pool(const std::string& name) {
 LogPool* LogDe::pool(const std::string& name) {
   auto it = pools_.find(name);
   return it == pools_.end() ? nullptr : it->second.get();
-}
-
-void LogDe::run_sync(const std::function<bool()>& done) {
-  while (!done() && clock_.step()) {
-  }
 }
 
 }  // namespace knactor::de

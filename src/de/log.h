@@ -19,6 +19,7 @@
 #include "common/histogram.h"
 #include "common/result.h"
 #include "common/value.h"
+#include "de/kernel.h"
 #include "de/rbac.h"
 #include "expr/ast.h"
 #include "expr/eval.h"
@@ -98,6 +99,7 @@ struct LogDeStats {
   std::uint64_t records_scanned = 0;
   std::uint64_t records_scan_saved = 0;  // skipped via head/tail push-down
   std::uint64_t permission_denials = 0;
+  std::uint64_t unavailable_rejections = 0;  // ops failed while crashed
   /// Batch-size distributions on the hot path (export via
   /// SizeHistogram::export_counters, e.g. into core::Metrics).
   common::SizeHistogram append_batch_sizes;
@@ -177,8 +179,13 @@ class LogPool {
 common::Result<std::vector<common::Value>> run_pipeline(
     const LogQuery& q, std::vector<common::Value> records);
 
+/// One deployed Log data exchange: a typed facade over de::Kernel (record
+/// sequencing via the kernel's revision counter, RBAC enforcement + audit,
+/// availability simulation, retention GC hooks).
 class LogDe {
  public:
+  using AuditEntry = de::AuditEntry;
+
   LogDe(sim::VirtualClock& clock, LogDeProfile profile, std::uint64_t seed = 11);
 
   LogDe(const LogDe&) = delete;
@@ -187,21 +194,47 @@ class LogDe {
   LogPool& create_pool(const std::string& name);
   [[nodiscard]] LogPool* pool(const std::string& name);
 
-  [[nodiscard]] Rbac& rbac() { return rbac_; }
+  /// The shared DE substrate this facade runs on.
+  [[nodiscard]] Kernel& kernel() { return kernel_; }
+  /// Binds the runtime's worker pool (nullptr = inline serial execution).
+  void set_worker_pool(common::WorkerPool* pool) {
+    kernel_.set_worker_pool(pool);
+  }
+
+  /// Availability simulation for chaos testing. Log pools are not durable:
+  /// recover() wipes all records (consumers re-sync from seq 0).
+  void set_available(bool available) { kernel_.set_available(available); }
+  [[nodiscard]] bool available() const { return kernel_.available(); }
+  void crash() { kernel_.crash(); }
+  void recover() { kernel_.recover(); }
+
+  /// Access auditing (bounded ring, off by default) — same enforcement
+  /// point as ObjectDe, owned by the kernel.
+  void enable_audit(std::size_t capacity = 1024) {
+    kernel_.enable_audit(capacity);
+  }
+  void disable_audit() { kernel_.disable_audit(); }
+  [[nodiscard]] const std::deque<AuditEntry>& audit_log() const {
+    return kernel_.audit_log();
+  }
+
+  /// Retention sweep: runs every registered GC hook (pool compaction
+  /// registered by retention managers) once; returns records collected.
+  std::size_t run_gc() { return kernel_.run_gc(); }
+
+  [[nodiscard]] Rbac& rbac() { return kernel_.rbac(); }
   [[nodiscard]] const LogDeProfile& profile() const { return profile_; }
   [[nodiscard]] const LogDeStats& stats() const { return stats_; }
-  [[nodiscard]] sim::VirtualClock& clock() { return clock_; }
+  [[nodiscard]] sim::VirtualClock& clock() { return kernel_.clock(); }
 
  private:
   friend class LogPool;
-  void run_sync(const std::function<bool()>& done);
+  void restart();
+  void run_sync(const std::function<bool()>& done) { kernel_.run_sync(done); }
 
-  sim::VirtualClock& clock_;
+  Kernel kernel_;
   LogDeProfile profile_;
-  sim::Rng rng_;
-  Rbac rbac_;
   std::map<std::string, std::unique_ptr<LogPool>> pools_;
-  std::uint64_t next_seq_ = 1;
   LogDeStats stats_;
 };
 

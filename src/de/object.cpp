@@ -21,10 +21,10 @@ using common::Value;
 
 void ObjectStore::get(const std::string& principal, const std::string& key,
                       GetCallback done) {
-  sim::SimTime rt = de_.profile_.read_rt.sample(de_.rng_);
-  de_.clock_.schedule_after(rt, [this, principal, key, done = std::move(done)] {
-    if (!de_.available_) {
-      ++de_.stats_.unavailable_rejections;
+  sim::SimTime rt = de_.profile_.read_rt.sample(de_.kernel_.rng());
+  de_.clock().schedule_after(rt, [this, principal, key,
+                                  done = std::move(done)] {
+    if (!de_.kernel_.guard_available()) {
       done(Error::unavailable("object: de unavailable (crashed)"));
       return;
     }
@@ -36,12 +36,12 @@ void ObjectStore::get(const std::string& principal, const std::string& key,
                                     " cannot get " + name_ + "/" + key));
       return;
     }
-    auto it = objects_.find(key);
-    if (it == objects_.end()) {
+    const StateObject* found = objects_.find(key);
+    if (found == nullptr) {
       done(Error::not_found("object: " + name_ + "/" + key + " not found"));
       return;
     }
-    StateObject obj = it->second;
+    StateObject obj = *found;
     if (!d.fields.unrestricted() && obj.data) {
       obj.data = std::make_shared<const Value>(
           Rbac::filter_fields(*obj.data, d.fields));
@@ -64,12 +64,11 @@ void ObjectStore::get_shared(
 
 void ObjectStore::put(const std::string& principal, const std::string& key,
                       Value data, PutCallback done) {
-  sim::SimTime rt = de_.profile_.write_rt.sample(de_.rng_);
-  de_.clock_.schedule_after(
+  sim::SimTime rt = de_.profile_.write_rt.sample(de_.kernel_.rng());
+  de_.clock().schedule_after(
       rt, [this, principal, key, data = std::move(data),
            done = std::move(done)]() mutable {
-        if (!de_.available_) {
-          ++de_.stats_.unavailable_rejections;
+        if (!de_.kernel_.guard_available()) {
           done(Error::unavailable("object: de unavailable (crashed)"));
           return;
         }
@@ -95,12 +94,11 @@ void ObjectStore::put_versioned(const std::string& principal,
                                 const std::string& key, Value data,
                                 std::uint64_t expected_version,
                                 PutCallback done) {
-  sim::SimTime rt = de_.profile_.write_rt.sample(de_.rng_);
-  de_.clock_.schedule_after(
+  sim::SimTime rt = de_.profile_.write_rt.sample(de_.kernel_.rng());
+  de_.clock().schedule_after(
       rt, [this, principal, key, data = std::move(data), expected_version,
            done = std::move(done)]() mutable {
-        if (!de_.available_) {
-          ++de_.stats_.unavailable_rejections;
+        if (!de_.kernel_.guard_available()) {
           done(Error::unavailable("object: de unavailable (crashed)"));
           return;
         }
@@ -124,12 +122,11 @@ void ObjectStore::put_versioned(const std::string& principal,
 
 void ObjectStore::patch(const std::string& principal, const std::string& key,
                         Value fields, PutCallback done) {
-  sim::SimTime rt = de_.profile_.write_rt.sample(de_.rng_);
-  de_.clock_.schedule_after(
+  sim::SimTime rt = de_.profile_.write_rt.sample(de_.kernel_.rng());
+  de_.clock().schedule_after(
       rt, [this, principal, key, fields = std::move(fields),
            done = std::move(done)]() mutable {
-        if (!de_.available_) {
-          ++de_.stats_.unavailable_rejections;
+        if (!de_.kernel_.guard_available()) {
           done(Error::unavailable("object: de unavailable (crashed)"));
           return;
         }
@@ -154,11 +151,10 @@ void ObjectStore::patch(const std::string& principal, const std::string& key,
 
 void ObjectStore::remove(const std::string& principal, const std::string& key,
                          DelCallback done) {
-  sim::SimTime rt = de_.profile_.write_rt.sample(de_.rng_);
-  de_.clock_.schedule_after(rt, [this, principal, key,
-                                 done = std::move(done)] {
-    if (!de_.available_) {
-      ++de_.stats_.unavailable_rejections;
+  sim::SimTime rt = de_.profile_.write_rt.sample(de_.kernel_.rng());
+  de_.clock().schedule_after(rt, [this, principal, key,
+                                  done = std::move(done)] {
+    if (!de_.kernel_.guard_available()) {
       done(Error::unavailable("object: de unavailable (crashed)"));
       return;
     }
@@ -176,11 +172,10 @@ void ObjectStore::remove(const std::string& principal, const std::string& key,
 
 void ObjectStore::list(const std::string& principal, const std::string& prefix,
                        ListCallback done) {
-  sim::SimTime rt = de_.profile_.list_rt.sample(de_.rng_);
-  de_.clock_.schedule_after(rt, [this, principal, prefix,
-                                 done = std::move(done)] {
-    if (!de_.available_) {
-      ++de_.stats_.unavailable_rejections;
+  sim::SimTime rt = de_.profile_.list_rt.sample(de_.kernel_.rng());
+  de_.clock().schedule_after(rt, [this, principal, prefix,
+                                  done = std::move(done)] {
+    if (!de_.kernel_.guard_available()) {
       done(Error::unavailable("object: de unavailable (crashed)"));
       return;
     }
@@ -192,16 +187,36 @@ void ObjectStore::list(const std::string& principal, const std::string& prefix,
                                     name_));
       return;
     }
-    std::vector<StateObject> out;
-    for (const auto& [key, obj] : objects_) {
-      if (!common::starts_with(key, prefix)) continue;
-      StateObject copy = obj;
-      if (!d.fields.unrestricted() && copy.data) {
-        copy.data = std::make_shared<const Value>(
-            Rbac::filter_fields(*copy.data, d.fields));
-      }
-      out.push_back(std::move(copy));
+    // Shard-parallel prefix scan: each shard collects and RBAC-filters its
+    // own matches (pure per-shard work), then the merge sorts by key —
+    // byte-identical to the 1-shard in-order scan.
+    const std::size_t shard_count = objects_.shard_count();
+    std::vector<std::vector<StateObject>> per_shard(shard_count);
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(shard_count);
+    for (std::size_t i = 0; i < shard_count; ++i) {
+      tasks.push_back([this, i, &per_shard, &prefix, &d] {
+        std::vector<StateObject>& out = per_shard[i];
+        for (const auto& [key, obj] : objects_.shard(i)) {
+          if (!common::starts_with(key, prefix)) continue;
+          StateObject copy = obj;
+          if (!d.fields.unrestricted() && copy.data) {
+            copy.data = std::make_shared<const Value>(
+                Rbac::filter_fields(*copy.data, d.fields));
+          }
+          out.push_back(std::move(copy));
+        }
+      });
     }
+    de_.kernel_.run_shard_tasks(tasks);
+    std::vector<StateObject> out;
+    for (auto& shard : per_shard) {
+      for (auto& obj : shard) out.push_back(std::move(obj));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const StateObject& a, const StateObject& b) {
+                return a.key < b.key;
+              });
     done(std::move(out));
   });
 }
@@ -215,7 +230,7 @@ std::uint64_t ObjectStore::watch(const std::string& principal,
     ++de_.stats_.permission_denials;
     return 0;
   }
-  std::uint64_t id = de_.next_watch_id_++;
+  std::uint64_t id = de_.kernel_.allocate_watch_id();
   ObjectDe::Watch w;
   w.id = id;
   w.store = name_;
@@ -235,7 +250,7 @@ std::uint64_t ObjectStore::watch_batch(const std::string& principal,
     ++de_.stats_.permission_denials;
     return 0;
   }
-  std::uint64_t id = de_.next_watch_id_++;
+  std::uint64_t id = de_.kernel_.allocate_watch_id();
   ObjectDe::Watch w;
   w.id = id;
   w.store = name_;
@@ -337,14 +352,14 @@ Result<std::vector<StateObject>> ObjectStore::list_sync(
 
 Result<StateObject> UdfContext::get(const std::string& store,
                                     const std::string& key) {
-  de_.clock_.advance(de_.profile_.engine_read.sample(de_.rng_));
+  de_.clock().advance(de_.profile_.engine_read.sample(de_.kernel_.rng()));
   ++de_.stats_.engine_ops;
   return de_.engine_get(store, key, principal_);
 }
 
 Result<std::uint64_t> UdfContext::put(const std::string& store,
                                       const std::string& key, Value data) {
-  de_.clock_.advance(de_.profile_.engine_write.sample(de_.rng_));
+  de_.clock().advance(de_.profile_.engine_write.sample(de_.kernel_.rng()));
   ++de_.stats_.engine_ops;
   ObjectStore* s = de_.store(store);
   if (s == nullptr) {
@@ -364,7 +379,7 @@ Result<std::uint64_t> UdfContext::put(const std::string& store,
 
 Result<std::uint64_t> UdfContext::patch(const std::string& store,
                                         const std::string& key, Value fields) {
-  de_.clock_.advance(de_.profile_.engine_write.sample(de_.rng_));
+  de_.clock().advance(de_.profile_.engine_write.sample(de_.kernel_.rng()));
   ++de_.stats_.engine_ops;
   ObjectStore* s = de_.store(store);
   if (s == nullptr) {
@@ -384,7 +399,7 @@ Result<std::uint64_t> UdfContext::patch(const std::string& store,
 
 Result<std::vector<StateObject>> UdfContext::list(const std::string& store,
                                                   const std::string& prefix) {
-  de_.clock_.advance(de_.profile_.engine_read.sample(de_.rng_));
+  de_.clock().advance(de_.profile_.engine_read.sample(de_.kernel_.rng()));
   ++de_.stats_.engine_ops;
   ObjectStore* s = de_.store(store);
   if (s == nullptr) {
@@ -398,15 +413,23 @@ Result<std::vector<StateObject>> UdfContext::list(const std::string& store,
                                     store);
   }
   std::vector<StateObject> out;
-  for (const auto& [key, obj] : s->objects_) {
-    if (common::starts_with(key, prefix)) out.push_back(obj);
+  for (std::size_t i = 0; i < s->objects_.shard_count(); ++i) {
+    for (const auto& [key, obj] : s->objects_.shard(i)) {
+      if (common::starts_with(key, prefix)) out.push_back(obj);
+    }
   }
+  std::sort(out.begin(), out.end(),
+            [](const StateObject& a, const StateObject& b) {
+              return a.key < b.key;
+            });
   return out;
 }
 
-sim::SimTime UdfContext::now() const { return de_.clock_.now(); }
+sim::SimTime UdfContext::now() const { return de_.kernel_.clock().now(); }
 
-void UdfContext::charge(sim::SimTime duration) { de_.clock_.advance(duration); }
+void UdfContext::charge(sim::SimTime duration) {
+  de_.clock().advance(duration);
+}
 
 // ---------------------------------------------------------------------------
 // ObjectDe.
@@ -414,12 +437,16 @@ void UdfContext::charge(sim::SimTime duration) { de_.clock_.advance(duration); }
 
 ObjectDe::ObjectDe(sim::VirtualClock& clock, ObjectDeProfile profile,
                    std::uint64_t seed)
-    : clock_(clock), profile_(std::move(profile)), rng_(seed) {}
+    : kernel_(clock, seed), profile_(std::move(profile)) {
+  kernel_.set_hooks(Kernel::Hooks{&stats_.unavailable_rejections});
+  kernel_.set_restart_hook([this] { restart(); });
+}
 
 ObjectStore& ObjectDe::create_store(const std::string& name) {
   auto it = stores_.find(name);
   if (it != stores_.end()) return *it->second;
-  auto store = std::unique_ptr<ObjectStore>(new ObjectStore(*this, name));
+  auto store =
+      std::unique_ptr<ObjectStore>(new ObjectStore(*this, name, shards_));
   ObjectStore& ref = *store;
   stores_[name] = std::move(store);
   return ref;
@@ -428,6 +455,16 @@ ObjectStore& ObjectDe::create_store(const std::string& name) {
 ObjectStore* ObjectDe::store(const std::string& name) {
   auto it = stores_.find(name);
   return it == stores_.end() ? nullptr : it->second.get();
+}
+
+void ObjectDe::set_shards(std::size_t n) {
+  if (n == 0) n = 1;
+  shards_ = n;
+  for (auto& [name, store] : stores_) {
+    store->objects_.set_shard_count(n);
+  }
+  // In-flight watch buffers keep their original partitioning; they flush
+  // through buf.shards.size(), so no repartition is needed.
 }
 
 Status ObjectDe::register_udf(const std::string& principal,
@@ -442,11 +479,10 @@ Status ObjectDe::register_udf(const std::string& principal,
 
 void ObjectDe::call_udf(const std::string& principal, const std::string& name,
                         Value args, UdfCallback done) {
-  sim::SimTime rt = profile_.udf_invoke.sample(rng_);
-  clock_.schedule_after(rt, [this, principal, name, args = std::move(args),
-                             done = std::move(done)]() mutable {
-    if (!available_) {
-      ++stats_.unavailable_rejections;
+  sim::SimTime rt = profile_.udf_invoke.sample(kernel_.rng());
+  clock().schedule_after(rt, [this, principal, name, args = std::move(args),
+                              done = std::move(done)]() mutable {
+    if (!kernel_.guard_available()) {
       done(Error::unavailable("object: de unavailable (crashed)"));
       return;
     }
@@ -501,11 +537,10 @@ void ObjectDe::remove_trigger(const std::string& store,
 
 void ObjectDe::transact(const std::string& principal, std::vector<TxnOp> ops,
                         UdfCallback done) {
-  sim::SimTime rt = profile_.write_rt.sample(rng_);
-  clock_.schedule_after(rt, [this, principal, ops = std::move(ops),
-                             done = std::move(done)]() mutable {
-    if (!available_) {
-      ++stats_.unavailable_rejections;
+  sim::SimTime rt = profile_.write_rt.sample(kernel_.rng());
+  clock().schedule_after(rt, [this, principal, ops = std::move(ops),
+                              done = std::move(done)]() mutable {
+    if (!kernel_.guard_available()) {
       done(Error::unavailable("object: de unavailable (crashed)"));
       return;
     }
@@ -531,9 +566,8 @@ void ObjectDe::transact(const std::string& principal, std::vector<TxnOp> ops,
         return;
       }
       if (op.expected_version.has_value()) {
-        auto it = store->objects_.find(op.key);
-        std::uint64_t current =
-            it == store->objects_.end() ? 0 : it->second.version;
+        const StateObject* cur = store->objects_.find(op.key);
+        std::uint64_t current = cur == nullptr ? 0 : cur->version;
         if (current != *op.expected_version) {
           ++stats_.version_conflicts;
           done(Error::failed_precondition(
@@ -606,10 +640,10 @@ void ObjectDe::restart() {
 Result<std::uint64_t> ObjectDe::commit_put(
     ObjectStore& store, const std::string& key, Value data, bool merge,
     std::optional<std::uint64_t> expected) {
-  auto it = store.objects_.find(key);
-  bool existed = it != store.objects_.end();
+  StateObject* existing = store.objects_.find(key);
+  bool existed = existing != nullptr;
   if (expected.has_value()) {
-    std::uint64_t current = existed ? it->second.version : 0;
+    std::uint64_t current = existed ? existing->version : 0;
     if (current != *expected) {
       ++stats_.version_conflicts;
       return Error::failed_precondition(
@@ -620,9 +654,9 @@ Result<std::uint64_t> ObjectDe::commit_put(
   }
 
   Value final_data;
-  if (merge && existed && it->second.data && it->second.data->is_object() &&
+  if (merge && existed && existing->data && existing->data->is_object() &&
       data.is_object()) {
-    final_data = *it->second.data;
+    final_data = *existing->data;
     for (const auto& [k, v] : data.as_object()) {
       final_data.set(k, v);
     }
@@ -633,9 +667,9 @@ Result<std::uint64_t> ObjectDe::commit_put(
   StateObject obj;
   obj.key = key;
   obj.data = std::make_shared<const Value>(std::move(final_data));
-  obj.version = next_version_++;
-  obj.created_at = existed ? it->second.created_at : clock_.now();
-  obj.updated_at = clock_.now();
+  obj.version = kernel_.next_revision();
+  obj.created_at = existed ? existing->created_at : clock().now();
+  obj.updated_at = clock().now();
   store.objects_[key] = obj;
 
   if (profile_.durable) {
@@ -654,13 +688,13 @@ Result<std::uint64_t> ObjectDe::commit_put(
 }
 
 Status ObjectDe::commit_delete(ObjectStore& store, const std::string& key) {
-  auto it = store.objects_.find(key);
-  if (it == store.objects_.end()) {
+  StateObject* existing = store.objects_.find(key);
+  if (existing == nullptr) {
     return Error::not_found("object: " + store.name_ + "/" + key +
                             " not found");
   }
-  StateObject obj = it->second;
-  store.objects_.erase(it);
+  StateObject obj = *existing;
+  store.objects_.erase(key);
   if (profile_.durable) {
     wal_.push_back(WalEntry{store.name_, key, ""});
   }
@@ -677,14 +711,14 @@ void ObjectDe::fire_watches(const std::string& store_name, WatchEventType type,
     pending_notifications_.push_back({store_name, type, obj});
     return;
   }
-  ++notify_seq_;
+  std::uint64_t seq = kernel_.next_commit_seq();
   for (auto& w : watches_) {
     if (w.store != store_name) continue;
     if (!common::starts_with(obj.key, w.prefix)) continue;
     Decision d = check_access(w.principal, store_name, obj.key, Verb::kWatch);
     if (!d.allowed) continue;
     if (w.batched) {
-      enqueue_batched(w, type, obj, d);
+      enqueue_batched(w, type, obj, d, seq);
       continue;
     }
     WatchEvent event;
@@ -695,11 +729,11 @@ void ObjectDe::fire_watches(const std::string& store_name, WatchEventType type,
       event.object.data = std::make_shared<const Value>(
           Rbac::filter_fields(*event.object.data, d.fields));
     }
-    sim::SimTime delay = profile_.watch_notify.sample(rng_);
+    sim::SimTime delay = profile_.watch_notify.sample(kernel_.rng());
     auto callback = w.callback;
     std::uint64_t id = w.id;
-    clock_.schedule_after(delay, [this, callback, event = std::move(event),
-                                  id]() {
+    clock().schedule_after(delay, [this, callback, event = std::move(event),
+                                   id]() {
       // The watch may have been cancelled while the event was in flight.
       for (const auto& live : watches_) {
         if (live.id == id) {
@@ -713,21 +747,20 @@ void ObjectDe::fire_watches(const std::string& store_name, WatchEventType type,
 }
 
 void ObjectDe::enqueue_batched(Watch& w, WatchEventType type,
-                               const StateObject& obj, const Decision& d) {
+                               const StateObject& obj, const Decision& d,
+                               std::uint64_t seq) {
   WatchEvent event;
   event.type = type;
   event.store = w.store;
   event.object = obj;  // payload stays a shared snapshot (zero-copy)
-  if (!d.fields.unrestricted() && event.object.data) {
-    event.object.data = std::make_shared<const Value>(
-        Rbac::filter_fields(*event.object.data, d.fields));
-  }
   WatchBuffer& buf = watch_buffers_[w.id];
+  if (buf.shards.empty()) buf.shards.resize(shards_);
+  ShardQueue& queue = buf.shards[shard_of(obj.key, buf.shards.size())];
   ++buf.commits;
-  auto slot = buf.slots.find(obj.key);
-  if (slot == buf.slots.end()) {
-    buf.slots.emplace(obj.key, buf.events.size());
-    buf.events.push_back(BufferedEvent{std::move(event), notify_seq_});
+  auto slot = queue.slots.find(obj.key);
+  if (slot == queue.slots.end()) {
+    queue.slots.emplace(obj.key, queue.events.size());
+    queue.events.push_back(BufferedEvent{std::move(event), seq, d.fields});
   } else {
     // Coalesce into the key's slot. The slot takes the new payload and the
     // new commit sequence (flush orders by it, so a delete superseding a
@@ -736,7 +769,7 @@ void ObjectDe::enqueue_batched(Watch& w, WatchEventType type,
     // always survives as kDeleted; a re-create after an unseen delete
     // nets out to kModified (the object still exists, with new data).
     ++stats_.watch_events_coalesced;
-    BufferedEvent& be = buf.events[slot->second];
+    BufferedEvent& be = queue.events[slot->second];
     WatchEventType merged = type;
     if (type != WatchEventType::kDeleted) {
       if (be.event.type == WatchEventType::kAdded) {
@@ -747,13 +780,14 @@ void ObjectDe::enqueue_batched(Watch& w, WatchEventType type,
     }
     be.event.type = merged;
     be.event.object = std::move(event.object);
-    be.seq = notify_seq_;
+    be.seq = seq;
+    be.fields = d.fields;
   }
   if (!buf.flush_scheduled) {
     buf.flush_scheduled = true;
-    sim::SimTime delay = w.window + profile_.watch_notify.sample(rng_);
+    sim::SimTime delay = w.window + profile_.watch_notify.sample(kernel_.rng());
     std::uint64_t id = w.id;
-    clock_.schedule_after(delay, [this, id]() { flush_watch_batch(id); });
+    clock().schedule_after(delay, [this, id]() { flush_watch_batch(id); });
   }
 }
 
@@ -769,15 +803,55 @@ void ObjectDe::flush_watch_batch(std::uint64_t watch_id) {
       break;
     }
   }
-  if (live == nullptr || buf.events.empty()) return;
-  std::stable_sort(
-      buf.events.begin(), buf.events.end(),
-      [](const BufferedEvent& a, const BufferedEvent& b) { return a.seq < b.seq; });
+  std::size_t total = 0;
+  for (const auto& queue : buf.shards) total += queue.events.size();
+  if (live == nullptr || total == 0) return;
+
+  // Revision-window barrier: each shard's commit queue sorts itself by
+  // DE-wide commit seq and applies RBAC field filtering — pure shard-local
+  // work that runs on the worker pool.
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(buf.shards.size());
+  for (auto& queue : buf.shards) {
+    if (queue.events.empty()) continue;
+    tasks.push_back([&queue] {
+      std::stable_sort(queue.events.begin(), queue.events.end(),
+                       [](const BufferedEvent& a, const BufferedEvent& b) {
+                         return a.seq < b.seq;
+                       });
+      for (BufferedEvent& be : queue.events) {
+        if (!be.fields.unrestricted() && be.event.object.data) {
+          be.event.object.data = std::make_shared<const Value>(
+              Rbac::filter_fields(*be.event.object.data, be.fields));
+        }
+      }
+    });
+  }
+  kernel_.run_shard_tasks(tasks);
+
+  // Cross-shard stable merge by commit seq: reproduces the exact event
+  // order of the single-shard serial flush, for any shard/worker count.
   WatchBatch batch;
   batch.store = live->store;
   batch.commits = buf.commits;
-  batch.events.reserve(buf.events.size());
-  for (auto& be : buf.events) batch.events.push_back(std::move(be.event));
+  batch.events.reserve(total);
+  std::vector<std::size_t> cursor(buf.shards.size(), 0);
+  while (batch.events.size() < total) {
+    std::size_t best = buf.shards.size();
+    std::uint64_t best_seq = 0;
+    for (std::size_t i = 0; i < buf.shards.size(); ++i) {
+      const ShardQueue& queue = buf.shards[i];
+      if (cursor[i] >= queue.events.size()) continue;
+      std::uint64_t seq = queue.events[cursor[i]].seq;
+      if (best == buf.shards.size() || seq < best_seq) {
+        best = i;
+        best_seq = seq;
+      }
+    }
+    if (best == buf.shards.size()) break;  // defensive; total bounds us
+    batch.events.push_back(
+        std::move(buf.shards[best].events[cursor[best]++].event));
+  }
   ++stats_.watch_batches;
   stats_.watch_events += batch.events.size();
   stats_.watch_batch_sizes.add(batch.events.size());
@@ -805,8 +879,8 @@ void ObjectDe::fire_triggers(const std::string& store_name,
                                        ? "added"
                                        : "modified")));
     std::string udf_name = t.udf_name;
-    clock_.schedule_after(
-        profile_.engine_read.sample(rng_),
+    clock().schedule_after(
+        profile_.engine_read.sample(kernel_.rng()),
         [this, udf_name, args = std::move(args)]() {
           auto uit = udfs_.find(udf_name);
           if (uit == udfs_.end()) return;
@@ -834,33 +908,16 @@ Result<StateObject> ObjectDe::engine_get(const std::string& store,
     return Error::permission_denied("udf: " + principal + " cannot get " +
                                     store + "/" + key);
   }
-  auto it = s->objects_.find(key);
-  if (it == s->objects_.end()) {
+  const StateObject* found = s->objects_.find(key);
+  if (found == nullptr) {
     return Error::not_found("object: " + store + "/" + key + " not found");
   }
-  StateObject obj = it->second;
+  StateObject obj = *found;
   if (!d.fields.unrestricted() && obj.data) {
     obj.data =
         std::make_shared<const Value>(Rbac::filter_fields(*obj.data, d.fields));
   }
   return obj;
-}
-
-Decision ObjectDe::check_access(const std::string& principal,
-                                const std::string& store,
-                                const std::string& key, Verb verb) {
-  Decision d = rbac_.check(principal, store, key, verb, clock_.now());
-  if (audit_enabled_) {
-    audit_.push_back(
-        AuditEntry{clock_.now(), principal, verb, store, key, d.allowed});
-    while (audit_.size() > audit_capacity_) audit_.pop_front();
-  }
-  return d;
-}
-
-void ObjectDe::run_sync(const std::function<bool()>& done) {
-  while (!done() && clock_.step()) {
-  }
 }
 
 }  // namespace knactor::de

@@ -9,6 +9,14 @@
 // inside the DE and touches stores at engine latency — that collapse of
 // client round-trips into engine-local operations *is* the paper's
 // integrator push-down optimization (§3.3, Table 2 K-redis-udf row).
+//
+// ObjectDe is a typed facade over de::Kernel (commit sequencing, RBAC
+// enforcement + audit, availability, GC hooks, shard execution). The key
+// space of every store is hash-partitioned into N shards (set_shards);
+// shard-local work — batched-watch flush preparation, list scans — runs on
+// the runtime's worker pool between deterministic commit-seq merge
+// barriers, so an N-shard/N-worker run is observably identical to the
+// 1-shard serial run (see docs/ARCHITECTURE.md).
 #pragma once
 
 #include <cstdint>
@@ -23,6 +31,7 @@
 #include "common/histogram.h"
 #include "common/result.h"
 #include "common/value.h"
+#include "de/kernel.h"
 #include "de/profile.h"
 #include "de/rbac.h"
 #include "sim/clock.h"
@@ -170,25 +179,23 @@ class ObjectStore {
   /// Latency-free, ACL-free inspection for tooling, tests, and benches —
   /// not part of the data path.
   [[nodiscard]] const StateObject* peek(const std::string& key) const {
-    auto it = objects_.find(key);
-    return it == objects_.end() ? nullptr : &it->second;
+    return objects_.find(key);
   }
+  /// All keys, sorted (identical across shard configurations).
   [[nodiscard]] std::vector<std::string> keys() const {
-    std::vector<std::string> out;
-    out.reserve(objects_.size());
-    for (const auto& [k, v] : objects_) out.push_back(k);
-    return out;
+    return objects_.sorted_keys();
   }
 
  private:
   friend class ObjectDe;
   friend class UdfContext;
 
-  ObjectStore(ObjectDe& de, std::string name) : de_(de), name_(std::move(name)) {}
+  ObjectStore(ObjectDe& de, std::string name, std::size_t shards)
+      : de_(de), name_(std::move(name)), objects_(shards) {}
 
   ObjectDe& de_;
   std::string name_;
-  std::map<std::string, StateObject> objects_;
+  ShardedMap<StateObject> objects_;
 };
 
 /// Engine-level view handed to UDFs: operations run inside the DE at
@@ -225,6 +232,7 @@ class ObjectDe {
   using Udf =
       std::function<common::Result<common::Value>(UdfContext&, const common::Value&)>;
   using UdfCallback = std::function<void(common::Result<common::Value>)>;
+  using AuditEntry = de::AuditEntry;
 
   ObjectDe(sim::VirtualClock& clock, ObjectDeProfile profile,
            std::uint64_t seed = 7);
@@ -235,6 +243,20 @@ class ObjectDe {
   /// Creates (or returns the existing) named store.
   ObjectStore& create_store(const std::string& name);
   [[nodiscard]] ObjectStore* store(const std::string& name);
+
+  /// Hash-partitions every store's key space into `n` shards. Shard-local
+  /// work (batched-watch flush preparation, list scans) then runs on the
+  /// bound worker pool between commit-seq merge barriers. Observable
+  /// behavior is identical for every n (the determinism contract).
+  void set_shards(std::size_t n);
+  [[nodiscard]] std::size_t shards() const { return shards_; }
+  /// Binds the runtime's worker pool (nullptr = inline serial execution).
+  void set_worker_pool(common::WorkerPool* pool) {
+    kernel_.set_worker_pool(pool);
+  }
+
+  /// The shared DE substrate this facade runs on.
+  [[nodiscard]] Kernel& kernel() { return kernel_; }
 
   /// Registers a server-side function owned by `principal`. Rejected when
   /// the profile does not support UDFs (e.g. apiserver).
@@ -287,41 +309,28 @@ class ObjectDe {
   /// time (in-flight operations fail too, like a real process dying).
   /// `crash()` marks the DE down; `recover()` restarts it (WAL replay for
   /// durable profiles, wipe for non-durable) and marks it up again.
-  void set_available(bool available) { available_ = available; }
-  [[nodiscard]] bool available() const { return available_; }
-  void crash() { available_ = false; }
-  void recover() {
-    restart();
-    available_ = true;
-  }
+  void set_available(bool available) { kernel_.set_available(available); }
+  [[nodiscard]] bool available() const { return kernel_.available(); }
+  void crash() { kernel_.crash(); }
+  void recover() { kernel_.recover(); }
 
   /// RBAC policy engine for this DE (disabled by default).
-  [[nodiscard]] Rbac& rbac() { return rbac_; }
+  [[nodiscard]] Rbac& rbac() { return kernel_.rbac(); }
 
   /// Access auditing: when enabled, every access decision (allowed or
   /// denied) is recorded in a bounded ring — the security-observability
   /// counterpart of §3.3's access control. Off by default.
-  struct AuditEntry {
-    sim::SimTime time = 0;
-    std::string principal;
-    Verb verb = Verb::kGet;
-    std::string store;
-    std::string key;
-    bool allowed = true;
-  };
   void enable_audit(std::size_t capacity = 1024) {
-    audit_capacity_ = capacity;
-    audit_enabled_ = capacity > 0;
-    if (audit_.size() > audit_capacity_) audit_.clear();
+    kernel_.enable_audit(capacity);
   }
-  void disable_audit() { audit_enabled_ = false; }
+  void disable_audit() { kernel_.disable_audit(); }
   [[nodiscard]] const std::deque<AuditEntry>& audit_log() const {
-    return audit_;
+    return kernel_.audit_log();
   }
 
   [[nodiscard]] const ObjectDeProfile& profile() const { return profile_; }
   [[nodiscard]] const ObjectDeStats& stats() const { return stats_; }
-  [[nodiscard]] sim::VirtualClock& clock() { return clock_; }
+  [[nodiscard]] sim::VirtualClock& clock() { return kernel_.clock(); }
 
  private:
   friend class ObjectStore;
@@ -339,17 +348,23 @@ class ObjectDe {
     bool batched = false;
   };
 
-  /// Per-watch coalescing buffer for batched watches. `slots` maps a key
-  /// to its event slot; `seq` on each slot is the DE-wide commit sequence
-  /// of the *latest* commit folded in, which orders the flush (so a delete
-  /// that superseded a modify lands at its true temporal position).
+  /// Per-watch coalescing buffer for batched watches, partitioned into
+  /// per-shard commit queues. `seq` on each slot is the DE-wide commit
+  /// sequence of the *latest* commit folded in. At flush (the revision-
+  /// window barrier) each shard sorts and RBAC-filters its queue on the
+  /// worker pool, then a cross-shard stable merge by `seq` reproduces the
+  /// exact single-shard event order.
   struct BufferedEvent {
     WatchEvent event;
     std::uint64_t seq = 0;
+    FieldRule fields;  // RBAC filter to apply at flush (shard-local)
+  };
+  struct ShardQueue {
+    std::map<std::string, std::size_t> slots;  // key -> index in events
+    std::vector<BufferedEvent> events;
   };
   struct WatchBuffer {
-    std::map<std::string, std::size_t> slots;
-    std::vector<BufferedEvent> events;
+    std::vector<ShardQueue> shards;
     std::uint64_t commits = 0;
     bool flush_scheduled = false;
   };
@@ -376,7 +391,7 @@ class ObjectDe {
   void fire_watches(const std::string& store_name, WatchEventType type,
                     const StateObject& obj);
   void enqueue_batched(Watch& w, WatchEventType type, const StateObject& obj,
-                       const Decision& d);
+                       const Decision& d, std::uint64_t seq);
   void flush_watch_batch(std::uint64_t watch_id);
   void fire_triggers(const std::string& store_name, WatchEventType type,
                      const StateObject& obj);
@@ -387,27 +402,25 @@ class ObjectDe {
                                          const std::string& key,
                                          const std::string& principal);
 
-  /// RBAC check + audit-trail recording. All access paths route here.
+  /// RBAC check + audit-trail recording. All access paths route through
+  /// the kernel's enforcement point.
   Decision check_access(const std::string& principal, const std::string& store,
-                        const std::string& key, Verb verb);
+                        const std::string& key, Verb verb) {
+    return kernel_.check_access(principal, store, key, verb);
+  }
 
-  void run_sync(const std::function<bool()>& done);
+  void run_sync(const std::function<bool()>& done) { kernel_.run_sync(done); }
 
-  sim::VirtualClock& clock_;
+  Kernel kernel_;
   ObjectDeProfile profile_;
-  sim::Rng rng_;
-  Rbac rbac_;
+  std::size_t shards_ = 1;
   std::map<std::string, std::unique_ptr<ObjectStore>> stores_;
   std::map<std::string, std::pair<std::string, Udf>> udfs_;  // name -> (owner, fn)
   std::vector<Watch> watches_;
   std::map<std::uint64_t, WatchBuffer> watch_buffers_;  // batched watches
   std::vector<Trigger> triggers_;
   std::vector<WalEntry> wal_;
-  std::uint64_t next_watch_id_ = 1;
-  std::uint64_t next_version_ = 1;
-  std::uint64_t notify_seq_ = 1;  // commit order stamp for coalescing
   bool recovering_ = false;
-  bool available_ = true;
   /// When set, watch/trigger notifications queue instead of firing
   /// (transactions drain the queue after the full commit).
   bool defer_notifications_ = false;
@@ -417,9 +430,6 @@ class ObjectDe {
     StateObject object;
   };
   std::vector<PendingNotification> pending_notifications_;
-  bool audit_enabled_ = false;
-  std::size_t audit_capacity_ = 0;
-  std::deque<AuditEntry> audit_;
   ObjectDeStats stats_;
 };
 

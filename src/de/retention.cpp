@@ -79,6 +79,10 @@ std::size_t RetentionManager::sweep(const std::string& principal) {
   return collected;
 }
 
+void RetentionManager::register_with_kernel(const std::string& principal) {
+  de_.kernel().add_gc_hook([this, principal] { return sweep(principal); });
+}
+
 void RetentionManager::start_periodic_sweep(const std::string& principal,
                                             sim::SimTime interval) {
   periodic_ = true;

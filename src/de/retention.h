@@ -71,6 +71,11 @@ class RetentionManager {
                             sim::SimTime interval);
   void stop_periodic_sweep() { periodic_ = false; }
 
+  /// Registers this manager's sweep as a GC hook on the DE's kernel, so
+  /// `kernel().run_gc()` drives retention alongside any other registered
+  /// collectors (log-pool compaction, ...).
+  void register_with_kernel(const std::string& principal);
+
   [[nodiscard]] const RetentionStats& stats() const { return stats_; }
 
  private:

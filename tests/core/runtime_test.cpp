@@ -114,6 +114,40 @@ TEST(Runtime, RunUntilIdleRespectsCap) {
   EXPECT_EQ(executed, 100u);
 }
 
+TEST(Runtime, RunUntilIdleSurfacesCapHit) {
+  Runtime rt;
+  std::function<void()> loop = [&rt, &loop]() {
+    rt.clock().schedule_after(1, loop);
+  };
+  rt.clock().schedule_after(1, loop);
+  RunResult capped = rt.run_until_idle(100);
+  EXPECT_EQ(capped.executed, 100u);
+  EXPECT_TRUE(capped.capped);
+  EXPECT_EQ(rt.metrics().get("runtime.run_capped"), 1u);
+
+  // A run that drains naturally is not capped — even when it executes
+  // exactly zero events.
+  Runtime idle;
+  RunResult drained = idle.run_until_idle(100);
+  EXPECT_EQ(drained.executed, 0u);
+  EXPECT_FALSE(drained.capped);
+  EXPECT_EQ(idle.metrics().get("runtime.run_capped"), 0u);
+}
+
+TEST(Runtime, SchedulerConfiguresHostedDes) {
+  Runtime rt;
+  de::ObjectDe& before = rt.add_object_de("a", de::ObjectDeProfile::instant());
+  rt.set_shards(4);
+  rt.set_workers(2);
+  de::ObjectDe& after = rt.add_object_de("b", de::ObjectDeProfile::instant());
+  // set_shards repartitions existing DEs and configures future ones.
+  EXPECT_EQ(before.shards(), 4u);
+  EXPECT_EQ(after.shards(), 4u);
+  EXPECT_EQ(rt.scheduler().shards(), 4u);
+  EXPECT_EQ(rt.scheduler().workers(), 2);
+  EXPECT_EQ(before.kernel().worker_pool(), &rt.scheduler().pool());
+}
+
 TEST(Runtime, NetworkLazyInit) {
   Runtime rt;
   net::SimNetwork& n1 = rt.network();

@@ -54,7 +54,8 @@ sim::FaultPlan retail_plan(std::uint64_t seed) {
 }
 
 RetailTrialResult run_retail_trial(std::uint64_t seed, bool inject,
-                                   sim::SimTime batch_window = 0) {
+                                   sim::SimTime batch_window = 0,
+                                   std::size_t shards = 1, int workers = 1) {
   core::Runtime runtime;
   apps::RetailKnactorOptions options;
   options.de_profile = de::ObjectDeProfile::apiserver();  // durable: WAL
@@ -62,6 +63,8 @@ RetailTrialResult run_retail_trial(std::uint64_t seed, bool inject,
   options.payment_processing = sim::LatencyModel::constant_ms(1.0);
   options.integrator_retry = sim::RetryPolicy::standard(5);
   options.batch_window = batch_window;  // coalesced watch delivery
+  options.shards = shards;
+  options.workers = workers;
   auto app = apps::build_retail_knactor_app(runtime, options);
 
   chaos::ChaosHooks hooks;
@@ -213,6 +216,29 @@ TEST(ChaosRetailBatched, FaultFreeBatchedTrialMatchesOracle) {
   auto result = run_retail_trial(0, /*inject=*/false, 25 * sim::kMillisecond);
   EXPECT_TRUE(result.completed);
   EXPECT_TRUE(result.converged);
+}
+
+TEST(ChaosRetailSharded, ShardedRunsAreBitIdenticalToSerialUnderChaos) {
+  // Shard-aware scheduler satellite: the same seeded fault corpus, run with
+  // 8 shards on 4 workers, must produce byte-identical fault schedules and
+  // converged fingerprints to the 1-shard serial trial — chaos recovery
+  // (WAL replay, retries, resync) included.
+  const int kSeeds = 40;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    auto serial = run_retail_trial(seed, /*inject=*/true,
+                                   25 * sim::kMillisecond);
+    auto sharded = run_retail_trial(seed, /*inject=*/true,
+                                    25 * sim::kMillisecond, /*shards=*/8,
+                                    /*workers=*/4);
+    ASSERT_TRUE(sharded.converged)
+        << "sharded seed " << seed << " diverged from oracle.\nSchedule:\n"
+        << sharded.schedule;
+    EXPECT_EQ(sharded.schedule, serial.schedule) << "seed " << seed;
+    EXPECT_EQ(sharded.fingerprint, serial.fingerprint) << "seed " << seed;
+    EXPECT_EQ(sharded.completed, serial.completed) << "seed " << seed;
+    EXPECT_EQ(sharded.failed_passes, serial.failed_passes) << "seed " << seed;
+    EXPECT_EQ(sharded.cast_retries, serial.cast_retries) << "seed " << seed;
+  }
 }
 
 TEST(ChaosRetail, FaultFreeTrialMatchesOracleExactly) {

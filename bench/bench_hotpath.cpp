@@ -34,6 +34,8 @@
 #include "common/worker_pool.h"
 #include "core/cast.h"
 #include "core/sync.h"
+#include "core/trace.h"
+#include "core/trace_export.h"
 #include "de/log.h"
 #include "de/object.h"
 #include "de/plan.h"
@@ -195,6 +197,53 @@ SyncRun run_smart_home(std::size_t records, bool consolidate) {
   return out;
 }
 
+// Separate traced run for per-stage attribution (C-I / I / I-S, virtual-
+// clock µs). Tracing is kept out of the timed runs above so the gate
+// measures the untraced hot path; this run only feeds the
+// "stage_attribution" report section (and docs/OBSERVABILITY.md).
+Value stage_attribution_value(std::size_t orders, SimTime batch_window) {
+  using namespace knactor;
+  sim::VirtualClock clock;
+  core::Tracer tracer(clock);
+  de::ObjectDe de(clock, de::ObjectDeProfile::redis());
+  de::ObjectStore& order_store = de.create_store("orders");
+  de::ObjectStore& ship_store = de.create_store("shipments");
+  auto dxg = core::Dxg::parse(kRetailSpec);
+  core::CastIntegrator::Options copts;
+  copts.batch_window = batch_window;
+  core::CastIntegrator cast("retail-hotpath", de, dxg.take(),
+                            {{"C", &order_store}, {"S", &ship_store}}, copts,
+                            nullptr, &tracer);
+  Value rows = Value::array();
+  if (!cast.start().ok()) return rows;
+  constexpr SimTime kSpacing = 4 * sim::kMillisecond;
+  for (std::size_t i = 0; i < orders; ++i) {
+    char key[32];
+    std::snprintf(key, sizeof(key), "order/%05zu", i);
+    Value order = Value::object();
+    order.set("item", Value("item-" + std::to_string(i)));
+    order.set("cost", Value(static_cast<std::int64_t>((i * 37) % 2000)));
+    clock.schedule_at(static_cast<SimTime>(i) * kSpacing,
+                      [&order_store, k = std::string(key),
+                       order = std::move(order)]() mutable {
+                        order_store.put("svc", k, std::move(order),
+                                        [](common::Result<std::uint64_t>) {});
+                      });
+  }
+  clock.run_all();
+  cast.stop();
+  for (const auto& [stage, stat] : core::stage_breakdown(tracer.spans())) {
+    if (stage == "-") continue;  // unattributed helper spans
+    Value row = Value::object();
+    row.set("stage", Value(stage));
+    row.set("count", Value(static_cast<std::int64_t>(stat.count)));
+    row.set("total_us", Value(static_cast<std::int64_t>(stat.total)));
+    row.set("mean_us", Value(stat.mean()));
+    rows.as_array().push_back(std::move(row));
+  }
+  return rows;
+}
+
 // ---------------------------------------------------------------------------
 // Report assembly / validation.
 // ---------------------------------------------------------------------------
@@ -234,7 +283,8 @@ int check_report(const std::string& path) {
     return 1;
   }
   const Value& report = parsed.value();
-  for (const char* key : {"retail", "retail_shards", "smart_home"}) {
+  for (const char* key :
+       {"retail", "retail_shards", "smart_home", "stage_attribution"}) {
     const Value* section = report.get(key);
     if (section == nullptr || !section->is_array() ||
         section->as_array().empty()) {
@@ -378,6 +428,17 @@ int main(int argc, char** argv) {
     home.as_array().push_back(std::move(row));
   }
   report.set("smart_home", std::move(home));
+
+  Value stages =
+      stage_attribution_value(smoke ? 4 : 400, kWindow);
+  for (const Value& row : stages.as_array()) {
+    std::printf("stage  %-4s %6lld spans  total %8lld us  mean %8.1f us\n",
+                row.get("stage")->as_string().c_str(),
+                static_cast<long long>(row.get("count")->as_int()),
+                static_cast<long long>(row.get("total_us")->as_int()),
+                row.get("mean_us")->as_double());
+  }
+  report.set("stage_attribution", std::move(stages));
 
   // Lenient ceiling: on a single-core CI box sharded runs can only lose a
   // little to pool overhead; a blowup past this means a real regression.

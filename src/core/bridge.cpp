@@ -177,23 +177,76 @@ void RpcEgressBridge::on_event(const de::WatchEvent& event) {
   }
   ++issued_;
   std::string key = event.object.key;
-  channel_->call(stub_, method, std::move(request),
-                 [this, key](Result<Value> response) {
-                   Value patch = Value::object();
-                   if (response.ok()) {
-                     patch.set(options_.response_field, response.take());
-                   } else {
-                     patch.set("bridge_error",
-                               Value(response.error().to_string()));
-                   }
-                   store_.patch(principal(), key, std::move(patch),
-                                [](Result<std::uint64_t> r) {
-                                  if (!r.ok()) {
-                                    KN_WARN << "egress-bridge: patch failed: "
-                                            << r.error().to_string();
-                                  }
-                                });
-                 });
+  // Causal propagation: the response patch inherits the request write's
+  // trace, and (when tracing) the whole RPC round trip is one span.
+  const TraceContext req_ctx = event.ctx;
+  const std::uint64_t req_version = event.object.version;
+  common::SharedValue req_data = event.object.data;
+  std::uint64_t span = 0;
+  if (options_.tracer != nullptr) {
+    span = options_.tracer->begin("bridge.call." + method,
+                                  req_ctx.parent_span);
+    options_.tracer->annotate(span, "stage", "I-S");
+    if (req_ctx.active()) {
+      options_.tracer->annotate(span, "trace",
+                                std::to_string(req_ctx.trace_id));
+    }
+  }
+  channel_->call(
+      stub_, method, std::move(request),
+      [this, key, req_ctx, req_version, req_data,
+       span](Result<Value> response) {
+        Value patch = Value::object();
+        if (response.ok()) {
+          patch.set(options_.response_field, response.take());
+        } else {
+          patch.set("bridge_error", Value(response.error().to_string()));
+        }
+        auto& kernel = store_.exchange().kernel();
+        TraceContext write_ctx;
+        write_ctx.trace_id = req_ctx.trace_id;
+        write_ctx.parent_span = span != 0 ? span : req_ctx.parent_span;
+        kernel.set_trace_context(write_ctx);
+        store_.patch(
+            principal(), key, std::move(patch),
+            [this, key, req_version, req_data, write_ctx,
+             span](Result<std::uint64_t> r) {
+              if (!r.ok()) {
+                KN_WARN << "egress-bridge: patch failed: "
+                        << r.error().to_string();
+              } else {
+                auto& ring = store_.exchange().kernel().provenance();
+                if (ring.enabled()) {
+                  LineageRecord rec;
+                  rec.output.store = store_.name();
+                  rec.output.key = key;
+                  rec.output.version = r.value();
+                  // Byte-exact payload at the committed version (the live
+                  // object may already have moved on).
+                  if (const LineageRecord* committed =
+                          ring.find(store_.name(), key, r.value());
+                      committed != nullptr) {
+                    rec.output.data = committed->output.data;
+                  } else if (const de::StateObject* obj = store_.peek(key);
+                             obj != nullptr) {
+                    rec.output.data = obj->data;
+                  }
+                  rec.inputs.push_back(
+                      {store_.name(), key, req_version, req_data});
+                  rec.op = "bridge:" + node_;
+                  rec.stage = "I-S";
+                  rec.trace_id = write_ctx.trace_id;
+                  rec.span_id = span;
+                  rec.time = store_.exchange().clock().now();
+                  ring.record(std::move(rec));
+                }
+              }
+              if (options_.tracer != nullptr && span != 0) {
+                options_.tracer->end(span);
+              }
+            });
+        kernel.clear_trace_context();
+      });
 }
 
 }  // namespace knactor::core

@@ -20,6 +20,8 @@
 #include <string>
 
 #include "common/result.h"
+#include "core/causality.h"
+#include "core/trace.h"
 #include "de/object.h"
 #include "net/rpc.h"
 
@@ -78,6 +80,9 @@ class RpcEgressBridge {
     /// a burst of request writes arrives as one coalesced WatchBatch (one
     /// notification) and the bridge issues the RPCs from the batch.
     sim::SimTime batch_window = 0;
+    /// Optional: each bridged call gets a span parented under the request
+    /// write's causal context, and the response patch inherits its trace.
+    Tracer* tracer = nullptr;
   };
 
   RpcEgressBridge(net::SimNetwork& network, std::string node,

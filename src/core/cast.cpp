@@ -1,5 +1,6 @@
 #include "core/cast.h"
 
+#include <algorithm>
 #include <memory>
 #include <set>
 
@@ -155,6 +156,10 @@ void CastIntegrator::install_watches() {
             if (!running_ || pushdown_) return;
             ++stats_.batches_consumed;
             stats_.batched_events += batch.events.size();
+            // The earliest commit of the batch is the causal trigger (the
+            // front event after the commit-seq merge); the whole pass runs
+            // under its trace.
+            if (!batch.events.empty()) trigger_ctx_ = batch.events.front().ctx;
             run_pass_async(options_.max_rounds_per_event);
           });
       if (id == 0) {
@@ -166,14 +171,16 @@ void CastIntegrator::install_watches() {
       continue;
     }
     std::uint64_t id =
-        store->watch(principal(), "", [this](const de::WatchEvent&) {
+        store->watch(principal(), "", [this](const de::WatchEvent& event) {
           if (!running_ || pushdown_) return;
+          trigger_ctx_ = event.ctx;
           if (options_.debounce <= 0) {
             run_pass_async(options_.max_rounds_per_event);
             return;
           }
           // Debounce: the first event of a burst arms one delayed pass;
-          // later events within the window ride along.
+          // later events within the window ride along (the pass runs
+          // under the latest event's trace).
           if (debounce_pending_) return;
           debounce_pending_ = true;
           de_.clock().schedule_after(options_.debounce, [this]() {
@@ -226,8 +233,122 @@ Value CastIntegrator::build_alias_value(
   return out;
 }
 
+void CastIntegrator::add_input(const std::string& alias,
+                               const std::string& key,
+                               const Snapshot& snapshot,
+                               std::vector<LineageRef>& out) {
+  auto sit = stores_.find(alias);
+  if (sit == stores_.end()) return;
+  const std::string& store = sit->second->name();
+  for (const auto& existing : out) {
+    if (existing.store == store && existing.key == key) return;
+  }
+  LineageRef ref;
+  ref.store = store;
+  ref.key = key;
+  if (auto vit = snapshot.versions.find(alias);
+      vit != snapshot.versions.end()) {
+    if (auto kv = vit->second.find(key); kv != vit->second.end()) {
+      ref.version = kv->second;
+    }
+  }
+  if (auto valit = snapshot.values.find(alias);
+      valit != snapshot.values.end()) {
+    const Value* obj = valit->second.get(key);
+    if (obj != nullptr) ref.data = std::make_shared<const Value>(*obj);
+  }
+  out.push_back(std::move(ref));
+}
+
+void CastIntegrator::resolve_inputs(const DxgMapping& mapping,
+                                    const std::string* it_key,
+                                    const Snapshot& snapshot,
+                                    std::vector<LineageRef>& out) {
+  auto add = [&](const std::string& alias, const std::string& key) {
+    add_input(alias, key, snapshot, out);
+  };
+  for (const auto& ref : mapping.refs) {
+    auto dot = ref.find('.');
+    std::string alias = dot == std::string::npos ? ref : ref.substr(0, dot);
+    if (stores_.find(alias) == stores_.end()) continue;
+    if (mapping.fan_out && it_key != nullptr && alias == mapping.driver_alias) {
+      add(alias, *it_key);
+      continue;
+    }
+    auto kit = snapshot.keys.find(alias);
+    if (kit == snapshot.keys.end()) continue;
+    const auto& keys = kit->second;
+    auto has = [&keys](const std::string& k) {
+      return std::find(keys.begin(), keys.end(), k) != keys.end();
+    };
+    // "ALIAS.x.y": x is the object key when such an object exists;
+    // otherwise the ref reads through the default object's top-level
+    // merge. A ref that can't be pinned contributes every object of the
+    // alias — completeness beats minimality for replay.
+    std::string first;
+    if (dot != std::string::npos) {
+      std::string rest = ref.substr(dot + 1);
+      auto dot2 = rest.find('.');
+      first = dot2 == std::string::npos ? rest : rest.substr(0, dot2);
+    }
+    if (!first.empty() && has(first)) {
+      add(alias, first);
+    } else if (has(kDefaultObject)) {
+      add(alias, kDefaultObject);
+    } else {
+      for (const auto& k : keys) add(alias, k);
+    }
+  }
+}
+
+void CastIntegrator::record_lineage(const std::string& alias,
+                                    const std::string& object,
+                                    std::uint64_t version,
+                                    std::vector<LineageRef> inputs,
+                                    const TraceContext& ctx,
+                                    std::uint64_t span_id) {
+  auto& ring = de_.kernel().provenance();
+  if (!ring.enabled()) return;
+  auto sit = stores_.find(alias);
+  if (sit == stores_.end()) return;
+  de::ObjectStore* store = sit->second;
+  LineageRecord rec;
+  rec.output.store = store->name();
+  rec.output.key = object;
+  rec.output.version = version;
+  // Resolve the committed payload at exactly `version` from the kernel's
+  // version-chain record: later commits may already have landed by the
+  // time this callback runs, so peeking the live object could record the
+  // wrong bytes (and the wrong pre-state — the snapshot the pass read may
+  // be older than the version the patch actually merged into).
+  if (const LineageRecord* committed =
+          ring.find(store->name(), object, version);
+      committed != nullptr) {
+    rec.output.data = committed->output.data;
+    if (!committed->inputs.empty()) {
+      for (auto& input : inputs) {
+        if (input.store == store->name() && input.key == object) {
+          input = committed->inputs.front();
+        }
+      }
+    }
+  } else if (const de::StateObject* live = store->peek(object);
+             live != nullptr) {
+    rec.output.data = live->data;
+    if (version == 0) rec.output.version = live->version;
+  }
+  rec.inputs = std::move(inputs);
+  rec.op = "cast:" + name_;
+  rec.stage = "I-S";
+  rec.trace_id = ctx.trace_id;
+  rec.span_id = span_id;
+  rec.time = de_.clock().now();
+  ring.record(std::move(rec));
+}
+
 CastIntegrator::PatchSet CastIntegrator::evaluate(const Snapshot& snapshot) {
   PatchSet result;
+  const bool lineage = de_.kernel().provenance().enabled();
   const auto& functions = expr::FunctionRegistry::builtins();
   // Work on a mutable copy so later mappings see earlier mappings' writes
   // within the same pass (operation ordering via state dependencies).
@@ -270,18 +391,30 @@ CastIntegrator::PatchSet CastIntegrator::evaluate(const Snapshot& snapshot) {
 
     // Record the patch, grouped by (alias, object).
     auto key = std::make_pair(mapping.target_alias, target_object);
-    Value* group = nullptr;
-    for (auto& [k, fields] : result.patches) {
-      if (k == key) {
-        group = &fields;
+    std::size_t gi = result.patches.size();
+    for (std::size_t i = 0; i < result.patches.size(); ++i) {
+      if (result.patches[i].first == key) {
+        gi = i;
         break;
       }
     }
-    if (group == nullptr) {
+    if (gi == result.patches.size()) {
       result.patches.emplace_back(key, Value::object());
-      group = &result.patches.back().second;
+      if (lineage) {
+        result.inputs.emplace_back();
+        // The target's own pre-state is always an input: the committed
+        // output is the merge of this patch over it, so replaying the
+        // inputs alone must be able to rebuild the record byte-for-byte.
+        auto vit = snapshot.values.find(mapping.target_alias);
+        if (vit != snapshot.values.end() &&
+            vit->second.get(target_object) != nullptr) {
+          add_input(mapping.target_alias, target_object, snapshot,
+                    result.inputs.back());
+        }
+      }
     }
-    group->set(mapping.field, desired);
+    result.patches[gi].second.set(mapping.field, desired);
+    if (lineage) resolve_inputs(mapping, it_key, snapshot, result.inputs[gi]);
 
     // Reflect the write into the working snapshot for later mappings.
     auto& alias_value = working[mapping.target_alias];
@@ -324,11 +457,19 @@ void CastIntegrator::run_pass_async(int rounds_left) {
   }
   pass_in_flight_ = true;
 
+  // The pass runs under the trace of the watch event/batch that triggered
+  // it: the pass span parents under the causing write's span, and the
+  // C-I / I / I-S child spans carry the paper's stage attribution.
+  const TraceContext trigger = trigger_ctx_;
   std::uint64_t span = 0;
   std::uint64_t snap_span = 0;
   if (tracer_ != nullptr) {
-    span = tracer_->begin("cast.pass." + name_);
+    span = tracer_->begin("cast.pass." + name_, trigger.parent_span);
+    if (trigger.active()) {
+      tracer_->annotate(span, "trace", std::to_string(trigger.trace_id));
+    }
     snap_span = tracer_->begin("cast.snapshot." + name_, span);
+    tracer_->annotate(snap_span, "stage", "C-I");
   }
 
   // Gather a snapshot of every aliased store via async lists.
@@ -341,16 +482,18 @@ void CastIntegrator::run_pass_async(int rounds_left) {
   }
   *remaining = targets.size();
 
-  auto finish_snapshot = [this, snapshot, rounds_left, span, snap_span]() {
+  auto finish_snapshot = [this, snapshot, rounds_left, span, snap_span,
+                          trigger]() {
     std::uint64_t compute_span = 0;
     if (tracer_ != nullptr) {
       if (snap_span != 0) tracer_->end(snap_span);
       compute_span = tracer_->begin("cast.compute." + name_, span);
+      tracer_->annotate(compute_span, "stage", "I");
     }
     // Charge integrator compute, then evaluate + write.
     de_.clock().schedule_after(
         options_.compute.sample(rng_),
-        [this, snapshot, rounds_left, span, compute_span]() {
+        [this, snapshot, rounds_left, span, compute_span, trigger]() {
           ++stats_.passes;
           PatchSet ps = evaluate(*snapshot);
           stats_.fields_skipped_not_ready += ps.not_ready;
@@ -359,8 +502,15 @@ void CastIntegrator::run_pass_async(int rounds_left) {
             if (compute_span != 0) tracer_->end(compute_span);
             if (!ps.patches.empty()) {
               write_span = tracer_->begin("cast.write." + name_, span);
+              tracer_->annotate(write_span, "stage", "I-S");
             }
           }
+          // Derived writes inherit the triggering trace and parent under
+          // the write (or pass) span; the DE captures this context at the
+          // patch call below.
+          TraceContext write_ctx;
+          write_ctx.trace_id = trigger.trace_id;
+          write_ctx.parent_span = write_span != 0 ? write_span : span;
 
           auto writes_left = std::make_shared<std::size_t>(ps.patches.size());
           auto wrote = std::make_shared<std::size_t>(0);
@@ -415,11 +565,17 @@ void CastIntegrator::run_pass_async(int rounds_left) {
             complete();
             return;
           }
+          const bool lineage = !ps.inputs.empty();
           if (options_.atomic_writes) {
             *writes_left = 1;
             std::vector<de::ObjectDe::TxnOp> ops;
+            auto targets = std::make_shared<
+                std::vector<std::pair<std::string, std::string>>>();
+            auto inputs = std::make_shared<
+                std::vector<std::vector<LineageRef>>>();
             std::size_t n = 0;
-            for (auto& [key, fields] : ps.patches) {
+            for (std::size_t pi = 0; pi < ps.patches.size(); ++pi) {
+              auto& [key, fields] = ps.patches[pi];
               const auto& [alias, object] = key;
               de::ObjectDe::TxnOp op;
               op.store = stores_[alias]->name();
@@ -428,14 +584,25 @@ void CastIntegrator::run_pass_async(int rounds_left) {
               op.data = std::move(fields);
               op.merge = true;
               ops.push_back(std::move(op));
+              if (lineage) {
+                targets->emplace_back(alias, object);
+                inputs->push_back(std::move(ps.inputs[pi]));
+              }
             }
+            de_.kernel().set_trace_context(write_ctx);
             de_.transact(principal(), std::move(ops),
-                         [this, writes_left, wrote, write_failed, complete,
-                          n](Result<Value> r) {
+                         [this, writes_left, wrote, write_failed, complete, n,
+                          targets, inputs, write_ctx, span](Result<Value> r) {
                            --*writes_left;
                            if (r.ok()) {
                              *wrote += n;
                              stats_.fields_written += n;
+                             for (std::size_t i = 0; i < targets->size(); ++i) {
+                               record_lineage((*targets)[i].first,
+                                              (*targets)[i].second, 0,
+                                              std::move((*inputs)[i]),
+                                              write_ctx, span);
+                             }
                            } else {
                              ++stats_.eval_errors;
                              *write_failed = true;
@@ -445,19 +612,30 @@ void CastIntegrator::run_pass_async(int rounds_left) {
                            }
                            complete();
                          });
+            de_.kernel().clear_trace_context();
             return;
           }
-          for (auto& [key, fields] : ps.patches) {
-            const auto& [alias, object] = key;
+          de_.kernel().set_trace_context(write_ctx);
+          for (std::size_t pi = 0; pi < ps.patches.size(); ++pi) {
+            auto& [key, fields] = ps.patches[pi];
+            const std::string alias = key.first;
+            const std::string object = key.second;
             de::ObjectStore* store = stores_[alias];
             std::size_t n = fields.is_object() ? fields.as_object().size() : 0;
+            std::vector<LineageRef> in;
+            if (lineage) in = std::move(ps.inputs[pi]);
             store->patch(principal(), object, std::move(fields),
-                         [this, writes_left, wrote, write_failed, complete,
-                          n](Result<std::uint64_t> r) {
+                         [this, writes_left, wrote, write_failed, complete, n,
+                          alias, object, in = std::move(in), lineage, write_ctx,
+                          span](Result<std::uint64_t> r) mutable {
                            --*writes_left;
                            if (r.ok()) {
                              *wrote += n;
                              stats_.fields_written += n;
+                             if (lineage) {
+                               record_lineage(alias, object, r.value(),
+                                              std::move(in), write_ctx, span);
+                             }
                            } else {
                              ++stats_.eval_errors;
                              *write_failed = true;
@@ -467,6 +645,7 @@ void CastIntegrator::run_pass_async(int rounds_left) {
                            complete();
                          });
           }
+          de_.kernel().clear_trace_context();
         });
   };
 
@@ -482,8 +661,10 @@ void CastIntegrator::run_pass_async(int rounds_left) {
                   if (r.ok()) {
                     snapshot->values[alias_copy] = build_alias_value(r.value());
                     auto& keys = snapshot->keys[alias_copy];
+                    auto& versions = snapshot->versions[alias_copy];
                     for (const auto& obj : r.value()) {
                       keys.push_back(obj.key);
+                      versions[obj.key] = obj.version;
                     }
                   } else {
                     snapshot->values[alias_copy] = Value::object();
@@ -533,11 +714,20 @@ Status CastIntegrator::enable_pushdown() {
       principal(), udf_name_,
       [self, alias_to_store](de::UdfContext& ctx,
                              const Value&) -> Result<Value> {
+        // The triggering commit's context is ambient during the UDF body
+        // (installed by the DE's trigger dispatch).
+        const TraceContext in_ctx = self->de_.kernel().trace_context();
         std::uint64_t span = 0;
         std::uint64_t snap_span = 0;
         if (self->tracer_ != nullptr) {
-          span = self->tracer_->begin("cast.udf." + self->name_);
+          span = self->tracer_->begin("cast.udf." + self->name_,
+                                      in_ctx.parent_span);
+          if (in_ctx.active()) {
+            self->tracer_->annotate(span, "trace",
+                                    std::to_string(in_ctx.trace_id));
+          }
           snap_span = self->tracer_->begin("cast.snapshot." + self->name_, span);
+          self->tracer_->annotate(snap_span, "stage", "C-I");
         }
         auto close_spans = [self, span](std::uint64_t inner) {
           if (self->tracer_ != nullptr) {
@@ -557,14 +747,17 @@ Status CastIntegrator::enable_pushdown() {
           }
           snapshot.values[alias] = build_alias_value(objs.value());
           auto& keys = snapshot.keys[alias];
+          auto& versions = snapshot.versions[alias];
           for (const auto& obj : objs.value()) {
             keys.push_back(obj.key);
+            versions[obj.key] = obj.version;
           }
         }
         std::uint64_t compute_span = 0;
         if (self->tracer_ != nullptr) {
           self->tracer_->end(snap_span);
           compute_span = self->tracer_->begin("cast.compute." + self->name_, span);
+          self->tracer_->annotate(compute_span, "stage", "I");
         }
         // Function execution overhead inside the engine.
         ctx.charge(self->options_.compute.sample(self->rng_));
@@ -575,21 +768,34 @@ Status CastIntegrator::enable_pushdown() {
         if (self->tracer_ != nullptr) {
           self->tracer_->end(compute_span);
           write_span = self->tracer_->begin("cast.write." + self->name_, span);
+          self->tracer_->annotate(write_span, "stage", "I-S");
         }
+        const bool lineage = !ps.inputs.empty();
+        TraceContext write_ctx;
+        write_ctx.trace_id = in_ctx.trace_id;
+        write_ctx.parent_span = write_span != 0 ? write_span : span;
+        self->de_.kernel().set_trace_context(write_ctx);
         std::size_t written = 0;
-        for (auto& [key, fields] : ps.patches) {
+        for (std::size_t pi = 0; pi < ps.patches.size(); ++pi) {
+          auto& [key, fields] = ps.patches[pi];
           const auto& [alias, object] = key;
           auto it = alias_to_store.find(alias);
           if (it == alias_to_store.end()) continue;
           std::size_t n = fields.is_object() ? fields.as_object().size() : 0;
           auto patched = ctx.patch(it->second, object, std::move(fields));
           if (!patched.ok()) {
+            self->de_.kernel().set_trace_context(in_ctx);
             close_spans(write_span);
             return patched.error();
           }
           written += n;
           self->stats_.fields_written += n;
+          if (lineage) {
+            self->record_lineage(alias, object, patched.value(),
+                                 std::move(ps.inputs[pi]), write_ctx, span);
+          }
         }
+        self->de_.kernel().set_trace_context(in_ctx);
         close_spans(write_span);
         return Value(static_cast<std::int64_t>(written));
       }));

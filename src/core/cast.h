@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "core/causality.h"
 #include "core/dxg.h"
 #include "core/integrator.h"
 #include "core/trace.h"
@@ -134,17 +135,38 @@ class CastIntegrator : public Integrator {
     // (alias, object key) -> fields to patch
     std::vector<std::pair<std::pair<std::string, std::string>, common::Value>>
         patches;
+    /// Parallel to `patches` when lineage is enabled (empty otherwise):
+    /// the deduplicated set of snapshot records each patch was computed
+    /// from, resolved from the contributing mappings' refs.
+    std::vector<std::vector<LineageRef>> inputs;
     std::size_t not_ready = 0;
     std::size_t errors = 0;
   };
   /// Per-pass view of the aliased stores: expression environment values
-  /// plus the raw object-key lists (fan-out iterates these).
+  /// plus the raw object-key lists (fan-out iterates these) and, when
+  /// lineage is enabled, the per-key versions the snapshot read.
   struct Snapshot {
     std::map<std::string, common::Value> values;
     std::map<std::string, std::vector<std::string>> keys;
+    std::map<std::string, std::map<std::string, std::uint64_t>> versions;
     bool failed = false;  // at least one alias list errored
   };
   PatchSet evaluate(const Snapshot& snapshot);
+  /// Resolves a mapping instance's refs against a snapshot into the
+  /// (store, key, version, payload) records it read. Conservative: a ref
+  /// whose key can't be pinned statically contributes every key of its
+  /// alias (lineage completeness beats minimality — the differential test
+  /// replays exactly this set).
+  void resolve_inputs(const DxgMapping& mapping, const std::string* it_key,
+                      const Snapshot& snapshot, std::vector<LineageRef>& out);
+  /// Appends one (store, key) snapshot record to `out` (dedup by store+key;
+  /// version and payload resolved from the snapshot).
+  void add_input(const std::string& alias, const std::string& key,
+                 const Snapshot& snapshot, std::vector<LineageRef>& out);
+  /// Records one derived-write lineage entry on the DE's provenance ring.
+  void record_lineage(const std::string& alias, const std::string& object,
+                      std::uint64_t version, std::vector<LineageRef> inputs,
+                      const TraceContext& ctx, std::uint64_t span_id);
 
   /// Builds the expression environment value for one alias from a list of
   /// that store's objects (objects keyed by name; default object's fields
@@ -171,6 +193,10 @@ class CastIntegrator : public Integrator {
   int pass_attempt_ = 0;  // consecutive failed passes (retry bookkeeping)
   sim::SimTime pass_first_attempt_ = 0;
   std::string udf_name_;
+  /// Causal context of the watch event/batch that triggered the pending
+  /// pass (Dapper-style propagation): pass spans parent under it and
+  /// derived writes inherit its trace id. Zero for the initial pass.
+  TraceContext trigger_ctx_;
   std::vector<std::pair<de::ObjectStore*, std::uint64_t>> watches_;
   sim::Rng rng_{0xCA57};
   CastStats stats_;

@@ -1,0 +1,63 @@
+#include "core/causality.h"
+
+#include <set>
+#include <sstream>
+
+namespace knactor::core {
+
+namespace {
+
+void walk(const ProvenanceRing& ring, const LineageRef& ref,
+          const LineageRecord* producer, std::size_t depth,
+          std::set<std::string>& visited, std::vector<LineageDagNode>& out) {
+  std::string id =
+      ref.store + "\x1f" + ref.key + "\x1f" + std::to_string(ref.version);
+  out.push_back({ref, producer, depth});
+  if (producer == nullptr) return;
+  if (!visited.insert(std::move(id)).second) return;  // cycle / revisit
+  for (const auto& input : producer->inputs) {
+    const LineageRecord* parent =
+        ring.find(input.store, input.key, input.version);
+    // Only fall back to "newest for key" when the input's version is
+    // unknown: matching a *different* version would misattribute the hop
+    // (and can fabricate cycles when a newer derivation exists).
+    if (parent == nullptr && input.version == 0) {
+      parent = ring.latest_for(input.store, input.key);
+    }
+    walk(ring, input, parent, depth + 1, visited, out);
+  }
+}
+
+}  // namespace
+
+std::vector<LineageDagNode> lineage_dag(const ProvenanceRing& ring,
+                                        const std::string& store,
+                                        const std::string& key) {
+  std::vector<LineageDagNode> out;
+  const LineageRecord* rec = ring.latest_for(store, key);
+  if (rec == nullptr) return out;
+  std::set<std::string> visited;
+  walk(ring, rec->output, rec, 0, visited, out);
+  return out;
+}
+
+std::string format_lineage(const std::vector<LineageDagNode>& dag) {
+  std::ostringstream os;
+  for (const auto& node : dag) {
+    for (std::size_t i = 0; i < node.depth; ++i) os << "  ";
+    if (node.depth > 0) os << "<- ";
+    os << node.ref.store << "/" << node.ref.key << "@" << node.ref.version;
+    if (node.producer != nullptr) {
+      os << "  [" << node.producer->op << " " << node.producer->stage << "]";
+      if (node.producer->trace_id != 0) {
+        os << " trace=" << node.producer->trace_id;
+      }
+    } else {
+      os << "  (source)";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace knactor::core

@@ -14,6 +14,7 @@ de::ObjectDe& Runtime::add_object_de(const std::string& name,
   de::ObjectDe& ref = *de;
   ref.set_shards(shards_);
   ref.set_worker_pool(&scheduler_.pool());
+  ref.kernel().enable_provenance(lineage_capacity_);
   object_des_[name] = std::move(de);
   return ref;
 }
@@ -30,6 +31,7 @@ de::LogDe& Runtime::add_log_de(const std::string& name,
   auto de = std::make_unique<de::LogDe>(clock_, std::move(profile));
   de::LogDe& ref = *de;
   ref.set_worker_pool(&scheduler_.pool());
+  ref.kernel().enable_provenance(lineage_capacity_);
   log_des_[name] = std::move(de);
   return ref;
 }
@@ -40,6 +42,16 @@ void Runtime::set_shards(std::size_t n) {
   scheduler_.set_shards(n);
   for (auto& [name, de] : object_des_) {
     de->set_shards(n);
+  }
+}
+
+void Runtime::enable_lineage(std::size_t capacity) {
+  lineage_capacity_ = capacity;
+  for (auto& [name, de] : object_des_) {
+    de->kernel().enable_provenance(capacity);
+  }
+  for (auto& [name, de] : log_des_) {
+    de->kernel().enable_provenance(capacity);
   }
 }
 

@@ -62,6 +62,15 @@ class Runtime {
   /// Sets worker-pool parallelism for shard-local work.
   void set_workers(int n) { scheduler_.set_workers(n); }
 
+  /// Enables record-level lineage on every hosted DE (current and future):
+  /// each DE kernel's provenance ring retains up to `capacity` derived-write
+  /// records, and integrators start snapshotting the inputs of each write
+  /// (see core/causality.h). Capacity 0 disables recording again.
+  void enable_lineage(std::size_t capacity = 1024);
+  [[nodiscard]] std::size_t lineage_capacity() const {
+    return lineage_capacity_;
+  }
+
   /// Creates a named Object DE with the given profile.
   de::ObjectDe& add_object_de(const std::string& name,
                               de::ObjectDeProfile profile);
@@ -103,6 +112,7 @@ class Runtime {
   Metrics metrics_;
   Scheduler scheduler_;
   std::size_t shards_ = 1;
+  std::size_t lineage_capacity_ = 0;  // 0 = lineage off
   de::SchemaRegistry schemas_;
   std::map<std::string, std::unique_ptr<de::ObjectDe>> object_des_;
   std::map<std::string, std::unique_ptr<de::LogDe>> log_des_;

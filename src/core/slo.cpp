@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string_view>
 
 namespace knactor::core {
 
@@ -22,8 +23,16 @@ SloReport SloMonitor::evaluate(const Slo& slo) const {
   report.target = slo.target;
   report.percentile = slo.percentile;
 
+  constexpr std::string_view kStagePrefix = "stage:";
+  std::vector<Span> population;
+  if (slo.span_name.rfind(kStagePrefix, 0) == 0) {
+    population = tracer_.by_attribute(
+        "stage", slo.span_name.substr(kStagePrefix.size()));
+  } else {
+    population = tracer_.by_name(slo.span_name);
+  }
   std::vector<sim::SimTime> durations;
-  for (const auto& span : tracer_.by_name(slo.span_name)) {
+  for (const auto& span : population) {
     durations.push_back(span.duration());
     if (span.duration() > slo.target) ++report.violations;
   }

@@ -15,7 +15,10 @@
 namespace knactor::core {
 
 struct Slo {
-  /// Span name this objective applies to (e.g. "cast.pass.retail").
+  /// Span name this objective applies to (e.g. "cast.pass.retail"), or a
+  /// paper-stage selector "stage:<S>" (e.g. "stage:I-S"), which matches
+  /// every finished span annotated with that "stage" attribute — a direct
+  /// SLO over the C-I / I / I-S attribution the tracing layer emits.
   std::string span_name;
   /// Latency target for the percentile below.
   sim::SimTime target;

@@ -101,6 +101,16 @@ std::size_t SyncIntegrator::count_passes(const de::LogQuery& pipeline,
 
 Result<std::size_t> SyncIntegrator::run_route(SyncRoute& route) {
   std::uint64_t span = 0;
+  auto open_stage = [this, &span](const char* what, const SyncRoute& r,
+                                  const char* stage) -> std::uint64_t {
+    if (tracer_ == nullptr) return 0;
+    std::uint64_t s = tracer_->begin(std::string(what) + r.name, span);
+    tracer_->annotate(s, "stage", stage);
+    return s;
+  };
+  auto end_span = [this](std::uint64_t s) {
+    if (tracer_ != nullptr && s != 0) tracer_->end(s);
+  };
   if (tracer_ != nullptr) {
     span = tracer_->begin("sync.route." + route.name);
   }
@@ -109,61 +119,177 @@ Result<std::size_t> SyncIntegrator::run_route(SyncRoute& route) {
   std::uint64_t latest = route.source->latest_seq();
   sim::SimTime per_record = de_.profile().per_record.mean();
   std::size_t moved = 0;
+  // Lineage: snapshot the consumed window (seq + shared payload) before
+  // the pipeline consumes it. Zero-copy; only taken when recording is on.
+  const bool lineage = de_.kernel().provenance().enabled();
+  std::vector<de::LogRecord> raw;
+  if (lineage) raw = route.source->records_after(route.cursor);
   if (options_.consolidate) {
     // Consolidated round (§3.3): records move as copy-on-write handles
     // (no deep copy until a pipeline stage mutates one), the fused plan
     // runs record-local segments as single passes, and execution cost is
     // charged on the records each stage actually processed.
-    KN_ASSIGN_OR_RETURN(
-        std::vector<common::CowValue> batch,
-        route.source->query_shared_sync(principal(), {}, route.cursor));
+    std::uint64_t q_span = open_stage("sync.query.", route, "C-I");
+    auto batch_r =
+        route.source->query_shared_sync(principal(), {}, route.cursor);
+    end_span(q_span);
+    if (!batch_r.ok()) {
+      end_span(span);
+      return batch_r.error();
+    }
+    std::uint64_t p_span = open_stage("sync.pipeline.", route, "I");
     de::QueryPlan plan = de::plan_query(route.pipeline);
     de::PlanRunStats prs;
-    KN_ASSIGN_OR_RETURN(std::vector<common::CowValue> transformed,
-                        de::run_plan(plan, std::move(batch), &prs));
+    auto transformed_r = de::run_plan(plan, batch_r.take(), &prs);
+    if (!transformed_r.ok()) {
+      end_span(p_span);
+      end_span(span);
+      return transformed_r.error();
+    }
+    std::vector<common::CowValue> transformed = transformed_r.take();
     stats_.records_processed += prs.total_processed();
     de_.clock().advance(
         static_cast<sim::SimTime>(prs.total_processed()) * per_record);
+    end_span(p_span);
     moved = transformed.size();
     if (!transformed.empty()) {
+      std::uint64_t a_span = open_stage("sync.append.", route, "I-S");
       auto appended = route.target->append_batch_shared_sync(
           principal(), std::move(transformed));
+      end_span(a_span);
       if (!appended.ok()) {
         ++stats_.pipeline_errors;
-        if (tracer_ != nullptr && span != 0) tracer_->end(span);
+        end_span(span);
         return appended.error();
+      }
+      if (lineage) {
+        record_route_lineage(route, raw, appended.value(), moved, span);
       }
     }
   } else {
-    KN_ASSIGN_OR_RETURN(
-        std::vector<Value> batch,
-        route.source->query_sync(principal(), {}, route.cursor));
+    std::uint64_t q_span = open_stage("sync.query.", route, "C-I");
+    auto batch_r = route.source->query_sync(principal(), {}, route.cursor);
+    end_span(q_span);
+    if (!batch_r.ok()) {
+      end_span(span);
+      return batch_r.error();
+    }
+    std::vector<Value> batch = batch_r.take();
 
     // Charge pipeline execution: one per-record scan per operator (this is
     // the operator-consolidation ablation surface).
+    std::uint64_t p_span = open_stage("sync.pipeline.", route, "I");
     std::size_t passes = count_passes(route.pipeline, /*consolidated=*/false);
     stats_.records_processed += passes * batch.size();
     de_.clock().advance(static_cast<sim::SimTime>(passes * batch.size()) *
                         per_record);
 
-    KN_ASSIGN_OR_RETURN(std::vector<Value> transformed,
-                        de::run_pipeline(route.pipeline, std::move(batch)));
+    auto transformed_r = de::run_pipeline(route.pipeline, std::move(batch));
+    end_span(p_span);
+    if (!transformed_r.ok()) {
+      end_span(span);
+      return transformed_r.error();
+    }
+    std::vector<Value> transformed = transformed_r.take();
 
     moved = transformed.size();
     if (!transformed.empty()) {
+      std::uint64_t a_span = open_stage("sync.append.", route, "I-S");
       auto appended =
           route.target->append_batch_sync(principal(), std::move(transformed));
+      end_span(a_span);
       if (!appended.ok()) {
         ++stats_.pipeline_errors;
-        if (tracer_ != nullptr && span != 0) tracer_->end(span);
+        end_span(span);
         return appended.error();
+      }
+      if (lineage) {
+        record_route_lineage(route, raw, appended.value(), moved, span);
       }
     }
   }
   route.cursor = latest;
   stats_.records_moved += moved;
-  if (tracer_ != nullptr && span != 0) tracer_->end(span);
+  end_span(span);
   return moved;
+}
+
+void SyncIntegrator::record_route_lineage(const SyncRoute& route,
+                                          const std::vector<de::LogRecord>& raw,
+                                          std::uint64_t last_seq,
+                                          std::size_t appended,
+                                          std::uint64_t span_id) {
+  auto& ring = de_.kernel().provenance();
+  if (!ring.enabled() || appended == 0) return;
+  auto make_ref = [&](const de::LogRecord& r) {
+    LineageRef ref;
+    ref.store = route.source->name();
+    ref.key = std::to_string(r.seq);
+    ref.version = r.seq;
+    ref.data = r.data;
+    return ref;
+  };
+  bool barrier = false;
+  for (const auto& op : route.pipeline) {
+    if (op.kind == de::LogOp::Kind::kSort ||
+        op.kind == de::LogOp::Kind::kHead ||
+        op.kind == de::LogOp::Kind::kTail ||
+        op.kind == de::LogOp::Kind::kAggregate) {
+      barrier = true;
+      break;
+    }
+  }
+  // Per-output input attribution. Record-local pipelines map each output
+  // to exactly one source record; confirm by singleton replay (each input
+  // alone produces 0 or 1 outputs, survivors line up with the batch
+  // output). Anything else falls back to whole-window attribution.
+  std::vector<std::vector<LineageRef>> per_out(appended);
+  bool exact = false;
+  if (!barrier) {
+    std::vector<const de::LogRecord*> survivors;
+    bool ok = true;
+    for (const auto& r : raw) {
+      auto one = de::run_pipeline(
+          route.pipeline, {r.data ? *r.data : Value(nullptr)});
+      if (!one.ok() || one.value().size() > 1) {
+        ok = false;
+        break;
+      }
+      if (one.value().size() == 1) survivors.push_back(&r);
+    }
+    if (ok && survivors.size() == appended) {
+      for (std::size_t i = 0; i < appended; ++i) {
+        per_out[i].push_back(make_ref(*survivors[i]));
+      }
+      exact = true;
+    }
+  }
+  if (!exact) {
+    std::vector<LineageRef> all;
+    all.reserve(raw.size());
+    for (const auto& r : raw) all.push_back(make_ref(r));
+    for (auto& inputs : per_out) inputs = all;
+  }
+  // Batch appends allocate consecutive revisions in one synchronous
+  // commit, so this append covers [last_seq - appended + 1, last_seq].
+  const std::uint64_t first_seq = last_seq - appended + 1;
+  for (std::size_t i = 0; i < appended; ++i) {
+    const std::uint64_t seq = first_seq + i;
+    LineageRecord rec;
+    rec.output.store = route.target->name();
+    rec.output.key = std::to_string(seq);
+    rec.output.version = seq;
+    if (const de::LogRecord* stored = route.target->peek(seq);
+        stored != nullptr) {
+      rec.output.data = stored->data;  // the committed buffer, byte-exact
+    }
+    rec.inputs = std::move(per_out[i]);
+    rec.op = "sync:" + name_ + "/" + route.name;
+    rec.stage = "I-S";
+    rec.span_id = span_id;
+    rec.time = de_.clock().now();
+    ring.record(std::move(rec));
+  }
 }
 
 Result<std::size_t> SyncIntegrator::run_round_sync() {

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "core/causality.h"
 #include "core/integrator.h"
 #include "core/trace.h"
 #include "de/log.h"
@@ -96,6 +97,17 @@ class SyncIntegrator : public Integrator {
 
  private:
   common::Result<std::size_t> run_route(SyncRoute& route);
+  /// Records lineage for the records a route just appended: `raw` is the
+  /// consumed source window, `appended` the target seqs of this append.
+  /// Record-local pipelines attribute each output to exactly the one
+  /// source record that produced it (verified by singleton replay);
+  /// barrier pipelines (sort/head/tail/aggregate) attribute each output
+  /// to the whole consumed window — the minimal correct input set, since
+  /// a barrier output depends on every record in the batch.
+  void record_route_lineage(const SyncRoute& route,
+                            const std::vector<de::LogRecord>& raw,
+                            std::uint64_t last_seq, std::size_t appended,
+                            std::uint64_t span_id);
   void schedule_tick();
   void maybe_schedule_retry();
 

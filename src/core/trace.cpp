@@ -44,6 +44,20 @@ std::vector<Span> Tracer::by_name(const std::string& name) const {
   return out;
 }
 
+std::vector<Span> Tracer::by_attribute(const std::string& key,
+                                       const std::string& value) const {
+  std::lock_guard lock(mutex_);
+  std::vector<Span> out;
+  for (const auto& span : spans_) {
+    if (span.end < span.start) continue;
+    auto it = span.attributes.find(key);
+    if (it != span.attributes.end() && it->second == value) {
+      out.push_back(span);
+    }
+  }
+  return out;
+}
+
 sim::SimTime Tracer::total_duration(const std::string& name) const {
   std::lock_guard lock(mutex_);
   sim::SimTime total = 0;

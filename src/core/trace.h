@@ -28,10 +28,14 @@ struct Span {
   [[nodiscard]] sim::SimTime duration() const { return end - start; }
 };
 
-/// Collects spans. Mutations are serialized by a mutex so shard workers
-/// may emit spans concurrently; `spans()` hands out the underlying vector
-/// by reference and must only be read between barriers (the main-thread
-/// quiescent state — see docs/ARCHITECTURE.md).
+/// Collects spans. Every accessor is safe to call at any time, including
+/// while shard workers are emitting spans: mutations are serialized by a
+/// mutex, and `spans()` returns a *snapshot copy* taken under that mutex
+/// — never a reference into the live vector. The snapshot is immutable
+/// and self-contained; spans opened or finished after the call do not
+/// appear in it. (Framework code that wants stable span ordering should
+/// still read between barriers, but that is a determinism concern, not a
+/// memory-safety one — see docs/OBSERVABILITY.md.)
 class Tracer {
  public:
   explicit Tracer(sim::VirtualClock& clock) : clock_(clock) {}
@@ -42,9 +46,17 @@ class Tracer {
                 const std::string& value);
   void end(std::uint64_t span_id);
 
-  [[nodiscard]] const std::vector<Span>& spans() const { return spans_; }
+  /// Snapshot of all spans recorded so far, in emission order.
+  [[nodiscard]] std::vector<Span> spans() const {
+    std::lock_guard lock(mutex_);
+    return spans_;
+  }
   /// All finished spans with the given name.
   [[nodiscard]] std::vector<Span> by_name(const std::string& name) const;
+  /// All finished spans carrying attribute `key` == `value` (e.g.
+  /// stage="I" for the paper's integrator-compute stage).
+  [[nodiscard]] std::vector<Span> by_attribute(const std::string& key,
+                                               const std::string& value) const;
   /// Sum of durations of finished spans with the given name.
   [[nodiscard]] sim::SimTime total_duration(const std::string& name) const;
   void clear() {

@@ -1,0 +1,192 @@
+#include "core/trace_export.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/json.h"
+#include "common/value.h"
+
+namespace knactor::core {
+
+using common::Value;
+
+std::map<std::string, StageStat> stage_breakdown(
+    const std::vector<Span>& spans) {
+  std::map<std::string, StageStat> out;
+  for (const auto& span : spans) {
+    if (span.end < span.start) continue;  // still open
+    auto it = span.attributes.find("stage");
+    const std::string stage = it == span.attributes.end() ? "-" : it->second;
+    auto& stat = out[stage];
+    ++stat.count;
+    stat.total += span.duration();
+  }
+  return out;
+}
+
+std::string export_chrome_trace(const std::vector<Span>& spans) {
+  Value events = Value::array();
+  for (const auto& span : spans) {
+    Value ev = Value::object();
+    ev.set("name", Value(span.name));
+    ev.set("cat", Value("knactor"));
+    ev.set("pid", Value(1));
+    ev.set("tid", Value(1));
+    ev.set("ts", Value(static_cast<std::int64_t>(span.start)));
+    if (span.end >= span.start) {
+      ev.set("ph", Value("X"));
+      ev.set("dur", Value(static_cast<std::int64_t>(span.duration())));
+    } else {
+      ev.set("ph", Value("B"));  // never closed
+    }
+    Value args = Value::object();
+    args.set("span", Value(static_cast<std::int64_t>(span.id)));
+    if (span.parent != 0) {
+      args.set("parent", Value(static_cast<std::int64_t>(span.parent)));
+    }
+    for (const auto& [k, v] : span.attributes) {
+      args.set(k, Value(v));
+    }
+    ev.set("args", std::move(args));
+    events.as_array().push_back(std::move(ev));
+  }
+  Value doc = Value::object();
+  doc.set("traceEvents", std::move(events));
+  doc.set("displayTimeUnit", Value("ms"));
+  return common::to_json_pretty(doc);
+}
+
+namespace {
+
+/// Children of each span, in emission order.
+std::map<std::uint64_t, std::vector<const Span*>> child_index(
+    const std::vector<Span>& spans) {
+  std::map<std::uint64_t, std::vector<const Span*>> children;
+  for (const auto& span : spans) {
+    if (span.parent != 0) children[span.parent].push_back(&span);
+  }
+  return children;
+}
+
+/// The nested-span chain under `span` with the largest summed duration.
+std::vector<const Span*> critical_chain(
+    const Span& span,
+    const std::map<std::uint64_t, std::vector<const Span*>>& children) {
+  std::vector<const Span*> best;
+  sim::SimTime best_total = -1;
+  auto it = children.find(span.id);
+  if (it != children.end()) {
+    for (const Span* child : it->second) {
+      if (child->end < child->start) continue;
+      auto chain = critical_chain(*child, children);
+      sim::SimTime total = 0;
+      for (const Span* s : chain) total += s->duration();
+      if (total > best_total) {
+        best_total = total;
+        best = std::move(chain);
+      }
+    }
+  }
+  best.insert(best.begin(), &span);
+  return best;
+}
+
+}  // namespace
+
+std::string export_text_summary(const std::vector<Span>& spans) {
+  std::ostringstream os;
+
+  // Flame table: spans aggregated by name.
+  struct NameStat {
+    std::uint64_t count = 0;
+    sim::SimTime total = 0;
+  };
+  std::map<std::string, NameStat> by_name;
+  for (const auto& span : spans) {
+    if (span.end < span.start) continue;
+    auto& stat = by_name[span.name];
+    ++stat.count;
+    stat.total += span.duration();
+  }
+  os << "spans by name (count, total us, mean us):\n";
+  for (const auto& [name, stat] : by_name) {
+    os << "  " << name << "  " << stat.count << "  " << stat.total << "  "
+       << (stat.count == 0 ? 0 : stat.total / static_cast<sim::SimTime>(
+                                                  stat.count))
+       << "\n";
+  }
+
+  // Per-stage attribution (the paper's Table 2 columns).
+  os << "stage breakdown (count, total us, mean us):\n";
+  for (const auto& [stage, stat] : stage_breakdown(spans)) {
+    os << "  " << stage << "  " << stat.count << "  " << stat.total << "  "
+       << static_cast<sim::SimTime>(stat.mean()) << "\n";
+  }
+
+  // Critical path: the heaviest nested chain under the heaviest root.
+  auto children = child_index(spans);
+  const Span* root = nullptr;
+  sim::SimTime root_total = -1;
+  for (const auto& span : spans) {
+    if (span.parent != 0 || span.end < span.start) continue;
+    sim::SimTime total = 0;
+    for (const Span* s : critical_chain(span, children)) total += s->duration();
+    if (total > root_total) {
+      root_total = total;
+      root = &span;
+    }
+  }
+  if (root != nullptr) {
+    os << "critical path:\n";
+    for (const Span* s : critical_chain(*root, children)) {
+      os << "  " << s->name << " (" << s->duration() << "us)";
+      auto it = s->attributes.find("stage");
+      if (it != s->attributes.end()) os << " [" << it->second << "]";
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string explain(const ProvenanceRing& ring, const std::vector<Span>& spans,
+                    const std::string& store, const std::string& key) {
+  auto dag = lineage_dag(ring, store, key);
+  if (dag.empty()) {
+    return "no lineage recorded for " + store + "/" + key +
+           " (is provenance enabled?)\n";
+  }
+  std::ostringstream os;
+  os << "derivation of " << store << "/" << key << ":\n";
+  os << format_lineage(dag);
+
+  // Per-stage latencies of each producing pass, once per distinct span.
+  auto children = child_index(spans);
+  std::map<std::uint64_t, const Span*> by_id;
+  for (const auto& span : spans) by_id[span.id] = &span;
+  std::vector<std::uint64_t> seen;
+  for (const auto& node : dag) {
+    if (node.producer == nullptr || node.producer->span_id == 0) continue;
+    const std::uint64_t id = node.producer->span_id;
+    if (std::find(seen.begin(), seen.end(), id) != seen.end()) continue;
+    seen.push_back(id);
+    auto it = by_id.find(id);
+    if (it == by_id.end()) continue;
+    const Span& pass = *it->second;
+    os << "stage latencies of " << pass.name << " (span " << pass.id;
+    if (pass.end >= pass.start) os << ", " << pass.duration() << "us";
+    os << "):\n";
+    auto cit = children.find(pass.id);
+    if (cit != children.end()) {
+      for (const Span* child : cit->second) {
+        if (child->end < child->start) continue;
+        auto sit = child->attributes.find("stage");
+        os << "  " << (sit == child->attributes.end() ? "-" : sit->second)
+           << "  " << child->name << "  " << child->duration() << "us\n";
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace knactor::core

@@ -26,6 +26,7 @@
 
 #include "common/value.h"
 #include "common/worker_pool.h"
+#include "core/causality.h"
 #include "de/rbac.h"
 #include "sim/clock.h"
 #include "sim/random.h"
@@ -214,6 +215,30 @@ class Kernel {
     return audit_;
   }
 
+  // --- causal trace context + provenance ---------------------------------
+  // The ambient TraceContext is the Dapper-style propagation point: a
+  // client (integrator, bridge) sets it immediately before issuing writes
+  // and clears it after; the facades capture it synchronously at call
+  // time, so it rides into the commit and out on the watch events the
+  // commit fires. The provenance ring is the lineage half: integrators
+  // record one entry per derived write (capacity 0 = disabled, the
+  // default — the hot path then skips input snapshotting entirely).
+
+  void set_trace_context(const core::TraceContext& ctx) { trace_ctx_ = ctx; }
+  void clear_trace_context() { trace_ctx_ = core::TraceContext{}; }
+  [[nodiscard]] const core::TraceContext& trace_context() const {
+    return trace_ctx_;
+  }
+
+  /// Enables lineage recording with a bounded ring (capacity 0 disables).
+  void enable_provenance(std::size_t capacity = 1024) {
+    provenance_.set_capacity(capacity);
+  }
+  [[nodiscard]] core::ProvenanceRing& provenance() { return provenance_; }
+  [[nodiscard]] const core::ProvenanceRing& provenance() const {
+    return provenance_;
+  }
+
   // --- retention / GC hooks ----------------------------------------------
 
   /// Registers a sweep callback (retention manager, pool compaction, ...).
@@ -265,6 +290,8 @@ class Kernel {
   std::uint64_t next_revision_ = 1;
   std::uint64_t commit_seq_ = 1;  // pre-increment preserves legacy stamps
   std::uint64_t next_watch_id_ = 1;
+  core::TraceContext trace_ctx_;
+  core::ProvenanceRing provenance_;
   bool audit_enabled_ = false;
   std::size_t audit_capacity_ = 0;
   std::deque<AuditEntry> audit_;

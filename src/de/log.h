@@ -162,6 +162,28 @@ class LogPool {
     return records_.empty() ? 0 : records_.back().seq;
   }
 
+  /// Latency-free, ACL-free inspection for tooling and lineage recording
+  /// — not part of the data path. Record seqs share the DE-wide revision
+  /// counter, so they are monotonic but NOT consecutive per pool; this is
+  /// how consumers learn exactly which seqs a cursor window covered.
+  [[nodiscard]] std::vector<LogRecord> records_after(
+      std::uint64_t after_seq) const {
+    std::vector<LogRecord> out;
+    for (const auto& r : records_) {
+      if (r.seq > after_seq) out.push_back(r);  // payload stays shared
+    }
+    return out;
+  }
+  /// The stored record with the given seq, or nullptr.
+  [[nodiscard]] const LogRecord* peek(std::uint64_t seq) const {
+    for (const auto& r : records_) {
+      if (r.seq == seq) return &r;
+    }
+    return nullptr;
+  }
+  /// The exchange this pool lives on.
+  [[nodiscard]] LogDe& exchange() { return de_; }
+
   /// Drops records with seq <= up_to (retention/GC hook).
   std::size_t compact(std::uint64_t up_to);
 

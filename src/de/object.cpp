@@ -65,8 +65,12 @@ void ObjectStore::get_shared(
 void ObjectStore::put(const std::string& principal, const std::string& key,
                       Value data, PutCallback done) {
   sim::SimTime rt = de_.profile_.write_rt.sample(de_.kernel_.rng());
+  // The ambient trace context is captured synchronously at the client
+  // call (the writer's causal moment), not at the commit's scheduled
+  // execution — by then the writer has cleared it.
+  core::TraceContext ctx = de_.kernel_.trace_context();
   de_.clock().schedule_after(
-      rt, [this, principal, key, data = std::move(data),
+      rt, [this, principal, key, ctx, data = std::move(data),
            done = std::move(done)]() mutable {
         if (!de_.kernel_.guard_available()) {
           done(Error::unavailable("object: de unavailable (crashed)"));
@@ -85,8 +89,12 @@ void ObjectStore::put(const std::string& principal, const std::string& key,
           done(status.error());
           return;
         }
-        done(de_.commit_put(*this, key, std::move(data), /*merge=*/false,
-                            std::nullopt));
+        de_.commit_ctx_ = ctx;
+        auto committed = de_.commit_put(*this, key, std::move(data),
+                                        /*merge=*/false, std::nullopt,
+                                        principal);
+        de_.commit_ctx_ = {};
+        done(std::move(committed));
       });
 }
 
@@ -95,8 +103,9 @@ void ObjectStore::put_versioned(const std::string& principal,
                                 std::uint64_t expected_version,
                                 PutCallback done) {
   sim::SimTime rt = de_.profile_.write_rt.sample(de_.kernel_.rng());
+  core::TraceContext ctx = de_.kernel_.trace_context();
   de_.clock().schedule_after(
-      rt, [this, principal, key, data = std::move(data), expected_version,
+      rt, [this, principal, key, ctx, data = std::move(data), expected_version,
            done = std::move(done)]() mutable {
         if (!de_.kernel_.guard_available()) {
           done(Error::unavailable("object: de unavailable (crashed)"));
@@ -115,16 +124,21 @@ void ObjectStore::put_versioned(const std::string& principal,
           done(status.error());
           return;
         }
-        done(de_.commit_put(*this, key, std::move(data), /*merge=*/false,
-                            expected_version));
+        de_.commit_ctx_ = ctx;
+        auto committed = de_.commit_put(*this, key, std::move(data),
+                                        /*merge=*/false, expected_version,
+                                        principal);
+        de_.commit_ctx_ = {};
+        done(std::move(committed));
       });
 }
 
 void ObjectStore::patch(const std::string& principal, const std::string& key,
                         Value fields, PutCallback done) {
   sim::SimTime rt = de_.profile_.write_rt.sample(de_.kernel_.rng());
+  core::TraceContext ctx = de_.kernel_.trace_context();
   de_.clock().schedule_after(
-      rt, [this, principal, key, fields = std::move(fields),
+      rt, [this, principal, key, ctx, fields = std::move(fields),
            done = std::move(done)]() mutable {
         if (!de_.kernel_.guard_available()) {
           done(Error::unavailable("object: de unavailable (crashed)"));
@@ -144,15 +158,20 @@ void ObjectStore::patch(const std::string& principal, const std::string& key,
           done(status.error());
           return;
         }
-        done(de_.commit_put(*this, key, std::move(fields), /*merge=*/true,
-                            std::nullopt));
+        de_.commit_ctx_ = ctx;
+        auto committed = de_.commit_put(*this, key, std::move(fields),
+                                        /*merge=*/true, std::nullopt,
+                                        principal);
+        de_.commit_ctx_ = {};
+        done(std::move(committed));
       });
 }
 
 void ObjectStore::remove(const std::string& principal, const std::string& key,
                          DelCallback done) {
   sim::SimTime rt = de_.profile_.write_rt.sample(de_.kernel_.rng());
-  de_.clock().schedule_after(rt, [this, principal, key,
+  core::TraceContext ctx = de_.kernel_.trace_context();
+  de_.clock().schedule_after(rt, [this, principal, key, ctx,
                                   done = std::move(done)] {
     if (!de_.kernel_.guard_available()) {
       done(Error::unavailable("object: de unavailable (crashed)"));
@@ -166,7 +185,10 @@ void ObjectStore::remove(const std::string& principal, const std::string& key,
                                     " cannot delete " + name_ + "/" + key));
       return;
     }
-    done(de_.commit_delete(*this, key));
+    de_.commit_ctx_ = ctx;
+    auto committed = de_.commit_delete(*this, key);
+    de_.commit_ctx_ = {};
+    done(std::move(committed));
   });
 }
 
@@ -373,8 +395,11 @@ Result<std::uint64_t> UdfContext::put(const std::string& store,
                                     store + "/" + key);
   }
   KN_TRY(Rbac::validate_write(data, d.fields));
-  return de_.commit_put(*s, key, std::move(data), /*merge=*/false,
-                        std::nullopt);
+  de_.commit_ctx_ = de_.kernel_.trace_context();
+  auto committed = de_.commit_put(*s, key, std::move(data), /*merge=*/false,
+                                  std::nullopt, principal_);
+  de_.commit_ctx_ = {};
+  return committed;
 }
 
 Result<std::uint64_t> UdfContext::patch(const std::string& store,
@@ -393,8 +418,11 @@ Result<std::uint64_t> UdfContext::patch(const std::string& store,
                                     store + "/" + key);
   }
   KN_TRY(Rbac::validate_write(fields, d.fields));
-  return de_.commit_put(*s, key, std::move(fields), /*merge=*/true,
-                        std::nullopt);
+  de_.commit_ctx_ = de_.kernel_.trace_context();
+  auto committed = de_.commit_put(*s, key, std::move(fields), /*merge=*/true,
+                                  std::nullopt, principal_);
+  de_.commit_ctx_ = {};
+  return committed;
 }
 
 Result<std::vector<StateObject>> UdfContext::list(const std::string& store,
@@ -538,7 +566,8 @@ void ObjectDe::remove_trigger(const std::string& store,
 void ObjectDe::transact(const std::string& principal, std::vector<TxnOp> ops,
                         UdfCallback done) {
   sim::SimTime rt = profile_.write_rt.sample(kernel_.rng());
-  clock().schedule_after(rt, [this, principal, ops = std::move(ops),
+  core::TraceContext ctx = kernel_.trace_context();
+  clock().schedule_after(rt, [this, principal, ctx, ops = std::move(ops),
                               done = std::move(done)]() mutable {
     if (!kernel_.guard_available()) {
       done(Error::unavailable("object: de unavailable (crashed)"));
@@ -579,6 +608,7 @@ void ObjectDe::transact(const std::string& principal, std::vector<TxnOp> ops,
     // Apply with notifications deferred so observers see the exchange as
     // one atomic step.
     defer_notifications_ = true;
+    commit_ctx_ = ctx;
     std::uint64_t last_version = 0;
     for (auto& op : ops) {
       ObjectStore* store = this->store(op.store);
@@ -591,9 +621,11 @@ void ObjectDe::transact(const std::string& principal, std::vector<TxnOp> ops,
         std::move(pending_notifications_);
     pending_notifications_.clear();
     for (auto& n : pending) {
+      commit_ctx_ = n.ctx;
       fire_watches(n.store, n.type, n.object);
       fire_triggers(n.store, n.type, n.object);
     }
+    commit_ctx_ = {};
     done(Value(static_cast<std::int64_t>(last_version)));
   });
 }
@@ -639,7 +671,7 @@ void ObjectDe::restart() {
 
 Result<std::uint64_t> ObjectDe::commit_put(
     ObjectStore& store, const std::string& key, Value data, bool merge,
-    std::optional<std::uint64_t> expected) {
+    std::optional<std::uint64_t> expected, const std::string& principal) {
   StateObject* existing = store.objects_.find(key);
   bool existed = existing != nullptr;
   if (expected.has_value()) {
@@ -664,6 +696,14 @@ Result<std::uint64_t> ObjectDe::commit_put(
     final_data = std::move(data);
   }
 
+  // Version-chain lineage: snapshot the previous version before the
+  // overwrite invalidates `existing`.
+  const bool lineage = kernel_.provenance().enabled() && !recovering_;
+  core::LineageRef prev;
+  if (lineage && existed) {
+    prev = {store.name_, key, existing->version, existing->data};
+  }
+
   StateObject obj;
   obj.key = key;
   obj.data = std::make_shared<const Value>(std::move(final_data));
@@ -671,6 +711,18 @@ Result<std::uint64_t> ObjectDe::commit_put(
   obj.created_at = existed ? existing->created_at : clock().now();
   obj.updated_at = clock().now();
   store.objects_[key] = obj;
+
+  if (lineage) {
+    core::LineageRecord rec;
+    rec.output = {store.name_, key, obj.version, obj.data};
+    if (existed) rec.inputs.push_back(std::move(prev));
+    rec.op = "write:" + principal;
+    rec.stage = "S";  // service-side write (richer integrator records for
+                      // the same version are recorded after the commit)
+    rec.trace_id = commit_ctx_.trace_id;
+    rec.time = clock().now();
+    kernel_.provenance().record(std::move(rec));
+  }
 
   if (profile_.durable) {
     wal_.push_back(WalEntry{store.name_, key, common::to_json(*obj.data)});
@@ -708,23 +760,31 @@ Status ObjectDe::commit_delete(ObjectStore& store, const std::string& key) {
 void ObjectDe::fire_watches(const std::string& store_name, WatchEventType type,
                             const StateObject& obj) {
   if (defer_notifications_) {
-    pending_notifications_.push_back({store_name, type, obj});
+    pending_notifications_.push_back({store_name, type, obj, commit_ctx_});
     return;
   }
   std::uint64_t seq = kernel_.next_commit_seq();
+  // Stamp the commit's causal context: a commit with no trace yet becomes
+  // a trace root and adopts its own commit seq as the trace id (commit
+  // seqs are allocated on the main loop, so ids are deterministic across
+  // shard/worker configurations).
+  core::TraceContext ctx = commit_ctx_;
+  ctx.commit_seq = seq;
+  if (ctx.trace_id == 0) ctx.trace_id = seq;
   for (auto& w : watches_) {
     if (w.store != store_name) continue;
     if (!common::starts_with(obj.key, w.prefix)) continue;
     Decision d = check_access(w.principal, store_name, obj.key, Verb::kWatch);
     if (!d.allowed) continue;
     if (w.batched) {
-      enqueue_batched(w, type, obj, d, seq);
+      enqueue_batched(w, type, obj, d, seq, ctx);
       continue;
     }
     WatchEvent event;
     event.type = type;
     event.store = store_name;
     event.object = obj;
+    event.ctx = ctx;
     if (!d.fields.unrestricted() && event.object.data) {
       event.object.data = std::make_shared<const Value>(
           Rbac::filter_fields(*event.object.data, d.fields));
@@ -748,11 +808,13 @@ void ObjectDe::fire_watches(const std::string& store_name, WatchEventType type,
 
 void ObjectDe::enqueue_batched(Watch& w, WatchEventType type,
                                const StateObject& obj, const Decision& d,
-                               std::uint64_t seq) {
+                               std::uint64_t seq,
+                               const core::TraceContext& ctx) {
   WatchEvent event;
   event.type = type;
   event.store = w.store;
   event.object = obj;  // payload stays a shared snapshot (zero-copy)
+  event.ctx = ctx;
   WatchBuffer& buf = watch_buffers_[w.id];
   if (buf.shards.empty()) buf.shards.resize(shards_);
   ShardQueue& queue = buf.shards[shard_of(obj.key, buf.shards.size())];
@@ -780,6 +842,7 @@ void ObjectDe::enqueue_batched(Watch& w, WatchEventType type,
     }
     be.event.type = merged;
     be.event.object = std::move(event.object);
+    be.event.ctx = ctx;  // the slot carries its latest commit's context
     be.seq = seq;
     be.fields = d.fields;
   }
@@ -864,6 +927,12 @@ void ObjectDe::fire_triggers(const std::string& store_name,
   // During a transaction the event was queued once by fire_watches; the
   // drain loop re-invokes both paths.
   if (defer_notifications_) return;
+  // fire_watches ran first for this commit and allocated its seq, so the
+  // kernel's current commit seq is this commit's — use it to root the
+  // trace exactly like the watch path does.
+  core::TraceContext ctx = commit_ctx_;
+  ctx.commit_seq = kernel_.commit_seq();
+  if (ctx.trace_id == 0) ctx.trace_id = ctx.commit_seq;
   for (const auto& t : triggers_) {
     if (t.store != store_name) continue;
     if (!common::starts_with(obj.key, t.prefix)) continue;
@@ -881,12 +950,16 @@ void ObjectDe::fire_triggers(const std::string& store_name,
     std::string udf_name = t.udf_name;
     clock().schedule_after(
         profile_.engine_read.sample(kernel_.rng()),
-        [this, udf_name, args = std::move(args)]() {
+        [this, udf_name, ctx, args = std::move(args)]() {
           auto uit = udfs_.find(udf_name);
           if (uit == udfs_.end()) return;
           ++stats_.udf_calls;
-          UdfContext ctx(*this, uit->second.first);
-          auto result = uit->second.second(ctx, args);
+          // The triggering commit's context is ambient for the UDF body,
+          // so a pushed-down integrator pass inherits the trace.
+          kernel_.set_trace_context(ctx);
+          UdfContext udf_ctx(*this, uit->second.first);
+          auto result = uit->second.second(udf_ctx, args);
+          kernel_.clear_trace_context();
           if (!result.ok()) {
             KN_WARN << "trigger udf '" << udf_name
                     << "' failed: " << result.error().to_string();

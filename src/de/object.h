@@ -61,6 +61,11 @@ struct WatchEvent {
   WatchEventType type = WatchEventType::kAdded;
   std::string store;
   StateObject object;
+  /// Causal context of the commit that fired this event: trace id (the
+  /// commit's own seq if the write was a trace root), the span that
+  /// caused the write, and the DE-wide commit seq. Integrators propagate
+  /// it into the spans and derived writes of the passes they trigger.
+  core::TraceContext ctx;
 };
 
 /// A coalesced window of watch events (see ObjectStore::watch_batch).
@@ -181,6 +186,9 @@ class ObjectStore {
   [[nodiscard]] const StateObject* peek(const std::string& key) const {
     return objects_.find(key);
   }
+  /// The exchange this store lives on (e.g. to reach its kernel's trace
+  /// context and provenance ring).
+  [[nodiscard]] ObjectDe& exchange() { return de_; }
   /// All keys, sorted (identical across shard configurations).
   [[nodiscard]] std::vector<std::string> keys() const {
     return objects_.sorted_keys();
@@ -382,16 +390,21 @@ class ObjectDe {
   };
 
   /// Commits a write at engine level (no latency charging) and fires
-  /// watches/triggers. Returns the new version.
-  common::Result<std::uint64_t> commit_put(ObjectStore& store,
-                                           const std::string& key,
-                                           common::Value data, bool merge,
-                                           std::optional<std::uint64_t> expected);
+  /// watches/triggers. Returns the new version. When the provenance ring
+  /// is enabled, every commit also records a version-chain lineage entry
+  /// (op "write:<principal>", input = the key's previous version) so
+  /// lineage walks continue through service writes; integrator records
+  /// for the same version are recorded later and win reverse lookups.
+  common::Result<std::uint64_t> commit_put(
+      ObjectStore& store, const std::string& key, common::Value data,
+      bool merge, std::optional<std::uint64_t> expected,
+      const std::string& principal = "service");
   common::Status commit_delete(ObjectStore& store, const std::string& key);
   void fire_watches(const std::string& store_name, WatchEventType type,
                     const StateObject& obj);
   void enqueue_batched(Watch& w, WatchEventType type, const StateObject& obj,
-                       const Decision& d, std::uint64_t seq);
+                       const Decision& d, std::uint64_t seq,
+                       const core::TraceContext& ctx);
   void flush_watch_batch(std::uint64_t watch_id);
   void fire_triggers(const std::string& store_name, WatchEventType type,
                      const StateObject& obj);
@@ -428,8 +441,13 @@ class ObjectDe {
     std::string store;
     WatchEventType type;
     StateObject object;
+    core::TraceContext ctx;  // ambient context captured at commit time
   };
   std::vector<PendingNotification> pending_notifications_;
+  /// Causal context of the commit currently executing (captured from the
+  /// kernel's ambient context at the client call, installed around
+  /// commit_put/commit_delete so fire_watches can stamp it onto events).
+  core::TraceContext commit_ctx_;
   ObjectDeStats stats_;
 };
 

@@ -1,0 +1,111 @@
+// Docs hygiene suite (`ctest -L docs`): every relative markdown link and
+// every backticked repo path (`src/...`, `tests/...`, ...) in README.md
+// and docs/ must resolve to a real file or directory in the source tree.
+// Keeps the docs index and cross-references from rotting as files move.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+const fs::path kRoot = KNACTOR_SOURCE_DIR;
+
+std::vector<fs::path> doc_files() {
+  std::vector<fs::path> files;
+  for (const char* top : {"README.md", "DESIGN.md", "ROADMAP.md",
+                          "EXPERIMENTS.md", "CONTRIBUTING.md", "CHANGES.md"}) {
+    if (fs::exists(kRoot / top)) files.push_back(kRoot / top);
+  }
+  for (const auto& entry : fs::directory_iterator(kRoot / "docs")) {
+    if (entry.path().extension() == ".md") files.push_back(entry.path());
+  }
+  return files;
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// True when `target`, resolved against the doc's directory, exists
+// (trailing #fragment stripped; a path with a '*' checks its parent;
+// an extensionless path may name a module/binary — its .cpp/.h source
+// counts).
+bool resolves(const fs::path& doc_dir, std::string target) {
+  auto hash = target.find('#');
+  if (hash != std::string::npos) target = target.substr(0, hash);
+  if (target.empty()) return true;  // pure in-page anchor
+  if (target.find('*') != std::string::npos) {
+    return fs::exists(doc_dir / fs::path(target).parent_path());
+  }
+  return fs::exists(doc_dir / target) ||
+         fs::exists(doc_dir / (target + ".cpp")) ||
+         fs::exists(doc_dir / (target + ".h"));
+}
+
+TEST(DocsLinks, RelativeMarkdownLinksResolve) {
+  const std::regex link(R"(\]\(([^)\s]+)\))");
+  std::size_t checked = 0;
+  for (const auto& doc : doc_files()) {
+    const std::string text = slurp(doc);
+    for (std::sregex_iterator it(text.begin(), text.end(), link), end;
+         it != end; ++it) {
+      std::string target = (*it)[1].str();
+      if (target.rfind("http://", 0) == 0 ||
+          target.rfind("https://", 0) == 0 ||
+          target.rfind("mailto:", 0) == 0) {
+        continue;
+      }
+      EXPECT_TRUE(resolves(doc.parent_path(), target))
+          << doc.filename().string() << " links to missing \"" << target
+          << "\"";
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(DocsLinks, BacktickedRepoPathsResolve) {
+  // `src/core/cast.h`, `tests/...`, `specs/...`, `tools/...`, `bench/...`,
+  // `docs/...` — the path forms docs use to point into the tree. Paths are
+  // repo-root-relative regardless of which doc mentions them.
+  const std::regex path_ref(
+      R"(`((?:src|tests|specs|tools|bench|docs)/[A-Za-z0-9_\-./*]+)`)");
+  std::size_t checked = 0;
+  for (const auto& doc : doc_files()) {
+    const std::string text = slurp(doc);
+    for (std::sregex_iterator it(text.begin(), text.end(), path_ref), end;
+         it != end; ++it) {
+      std::string target = (*it)[1].str();
+      EXPECT_TRUE(resolves(kRoot, target))
+          << doc.filename().string() << " references missing `" << target
+          << "`";
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+// The docs index must exist and list every file in docs/.
+TEST(DocsLinks, IndexCoversEveryDoc) {
+  const fs::path index = kRoot / "docs" / "README.md";
+  ASSERT_TRUE(fs::exists(index));
+  const std::string text = slurp(index);
+  for (const auto& entry : fs::directory_iterator(kRoot / "docs")) {
+    if (entry.path().extension() != ".md") continue;
+    if (entry.path().filename() == "README.md") continue;
+    EXPECT_NE(text.find(entry.path().filename().string()), std::string::npos)
+        << "docs/README.md does not list " << entry.path().filename();
+  }
+}
+
+}  // namespace

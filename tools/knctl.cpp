@@ -16,21 +16,32 @@
 //   knctl query '<pipeline>' <records.jsonl>
 //                                       run a Log-DE query over JSONL
 //                                       records (one JSON object per line)
+//   knctl trace (retail|<dxg.yaml>)     run a composition with causal
+//                                       tracing on and export the trace
+//                                       (--format chrome loads into
+//                                       chrome://tracing / Perfetto)
+//   knctl explain <store>/<key>         print a derived record's lineage
+//                                       DAG with per-stage latencies
 //   knctl demo                          run all of the above on the
 //                                       paper's Fig. 5 / Fig. 6 specs
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "analysis/lint.h"
 #include "analysis/rbac_preflight.h"
+#include "apps/retail_knactor.h"
 #include "apps/retail_specs.h"
 #include "common/json.h"
 #include "common/strings.h"
+#include "core/cast.h"
 #include "core/codegen.h"
 #include "core/dxg.h"
+#include "core/runtime.h"
+#include "core/trace_export.h"
 #include "de/query.h"
 #include "de/schema.h"
 #include "yaml/yaml.h"
@@ -231,6 +242,133 @@ int cmd_query(const std::string& pipeline_text, const std::string& jsonl) {
   return 0;
 }
 
+/// Runs a composition with causal tracing + lineage enabled. `spec` is
+/// either the built-in "retail" app (one sample order through the Fig. 6
+/// DXG) or a DXG YAML file; for the file form, `data_text` optionally
+/// seeds stores before the pass: a JSON/YAML object of shape
+/// {alias: {key: object, ...}, ...}. On success fills `de_out` with the
+/// DE hosting the composed stores (its kernel holds the provenance ring).
+int run_traced_composition(const std::string& spec,
+                           const std::string& data_text,
+                           knactor::core::Runtime& rt,
+                           knactor::de::ObjectDe** de_out) {
+  namespace core = knactor::core;
+  namespace de = knactor::de;
+  rt.enable_lineage();
+  if (spec == "retail") {
+    auto app = knactor::apps::build_retail_knactor_app(rt);
+    *de_out = app.de;
+    auto started = rt.start_all();
+    if (!started.ok()) {
+      std::fprintf(stderr, "start: %s\n", started.error().to_string().c_str());
+      return 2;
+    }
+    auto order = app.place_order_sync(knactor::apps::sample_order());
+    if (!order.ok()) {
+      std::fprintf(stderr, "order: %s\n", order.error().to_string().c_str());
+      return 2;
+    }
+    return 0;
+  }
+  auto text = read_file(spec);
+  if (!text.ok()) {
+    std::fprintf(stderr, "%s\n", text.error().to_string().c_str());
+    return 2;
+  }
+  auto dxg = core::Dxg::parse(text.value());
+  if (!dxg.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 dxg.error().to_string().c_str());
+    return 2;
+  }
+  de::ObjectDe& dex = rt.add_object_de("object", de::ObjectDeProfile::redis());
+  *de_out = &dex;
+  std::map<std::string, de::ObjectStore*> bindings;
+  for (const auto& [alias, store_id] : dxg.value().inputs()) {
+    // Store ids are paths ("OnlineRetail/v1/Checkout/knactor-checkout");
+    // the store name is the last segment.
+    auto slash = store_id.rfind('/');
+    std::string store_name =
+        slash == std::string::npos ? store_id : store_id.substr(slash + 1);
+    bindings[alias] = &dex.create_store(store_name);
+  }
+  rt.add_integrator(std::make_unique<core::CastIntegrator>(
+      "trace", dex, dxg.take(), bindings, core::CastIntegrator::Options{},
+      nullptr, &rt.tracer()));
+  auto started = rt.start_all();
+  if (!started.ok()) {
+    std::fprintf(stderr, "start: %s\n", started.error().to_string().c_str());
+    return 2;
+  }
+  if (!data_text.empty()) {
+    auto seed = knactor::common::parse_json(data_text);
+    if (!seed.ok()) {
+      auto yaml_seed = knactor::yaml::parse(data_text);
+      if (!yaml_seed.ok()) {
+        std::fprintf(stderr, "data: %s\n",
+                     seed.error().to_string().c_str());
+        return 2;
+      }
+      seed = yaml_seed.take();
+    }
+    if (!seed.value().is_object()) {
+      std::fprintf(stderr, "data: expected {alias: {key: object}}\n");
+      return 2;
+    }
+    for (const auto& [alias, objects] : seed.value().as_object()) {
+      auto it = bindings.find(alias);
+      de::ObjectStore* store =
+          it != bindings.end() ? it->second : dex.store(alias);
+      if (store == nullptr || !objects.is_object()) {
+        std::fprintf(stderr, "data: unknown alias '%s'\n", alias.c_str());
+        return 2;
+      }
+      for (const auto& [key, object] : objects.as_object()) {
+        store->put("knctl", key, object,
+                   [](knactor::common::Result<std::uint64_t>) {});
+      }
+    }
+  }
+  rt.run_until_idle();
+  return 0;
+}
+
+int cmd_trace(const std::string& spec, const std::string& format,
+              const std::string& data_text) {
+  knactor::core::Runtime rt;
+  knactor::de::ObjectDe* dex = nullptr;
+  int rc = run_traced_composition(spec, data_text, rt, &dex);
+  if (rc != 0) return rc;
+  auto spans = rt.tracer().spans();
+  if (format == "chrome") {
+    std::fputs(knactor::core::export_chrome_trace(spans).c_str(), stdout);
+    std::fputs("\n", stdout);
+  } else {
+    std::fputs(knactor::core::export_text_summary(spans).c_str(), stdout);
+  }
+  return 0;
+}
+
+int cmd_explain(const std::string& target, const std::string& spec,
+                const std::string& data_text) {
+  auto slash = target.find('/');
+  if (slash == std::string::npos) {
+    std::fprintf(stderr, "explain: target must be <store>/<key>\n");
+    return 2;
+  }
+  const std::string store = target.substr(0, slash);
+  const std::string key = target.substr(slash + 1);
+  knactor::core::Runtime rt;
+  knactor::de::ObjectDe* dex = nullptr;
+  int rc = run_traced_composition(spec, data_text, rt, &dex);
+  if (rc != 0) return rc;
+  std::string out = knactor::core::explain(
+      dex->kernel().provenance(), rt.tracer().spans(), store, key);
+  std::fputs(out.c_str(), stdout);
+  // "no lineage" is a findings-style outcome (exit 1), like lint.
+  return out.rfind("no lineage", 0) == 0 ? 1 : 0;
+}
+
 int cmd_demo() {
   std::printf("== knctl schema (Fig. 5, Checkout) ==\n");
   (void)cmd_schema(knactor::apps::kCheckoutSchema);
@@ -254,6 +392,10 @@ void usage() {
       "  knctl gen (reconciler|accessors|dxg) <schema.yaml>\n"
       "  knctl fmt <file.yaml>\n"
       "  knctl query '<pipeline>' <records.jsonl>\n"
+      "  knctl trace (retail|<dxg.yaml>) [--format text|chrome] "
+      "[--data <seed.json|yaml>]\n"
+      "  knctl explain <store>/<key> [--spec retail|<dxg.yaml>] "
+      "[--data <seed.json|yaml>]\n"
       "  knctl demo\n"
       "exit codes for lint/analyze: 0 clean, 1 findings, 2 unusable input\n");
 }
@@ -358,6 +500,36 @@ int main(int argc, char** argv) {
       return 2;
     }
     return cmd_fmt(text.value());
+  }
+  if ((command == "trace" || command == "explain") && args.size() >= 2) {
+    std::string format = "text";
+    std::string spec = command == "trace" ? args[1] : "retail";
+    std::string data_text;
+    for (std::size_t i = 2; i < args.size(); i += 2) {
+      if (i + 1 >= args.size()) {
+        usage();
+        return 2;
+      }
+      const std::string& flag = args[i];
+      const std::string& value = args[i + 1];
+      if (flag == "--format" && (value == "text" || value == "chrome")) {
+        format = value;
+      } else if (flag == "--data") {
+        auto text = read_file(value);
+        if (!text.ok()) {
+          std::fprintf(stderr, "%s\n", text.error().to_string().c_str());
+          return 2;
+        }
+        data_text = text.take();
+      } else if (flag == "--spec" && command == "explain") {
+        spec = value;
+      } else {
+        usage();
+        return 2;
+      }
+    }
+    return command == "trace" ? cmd_trace(spec, format, data_text)
+                              : cmd_explain(args[1], spec, data_text);
   }
   if (command == "query" && args.size() == 3) {
     auto jsonl = read_file(args[2]);

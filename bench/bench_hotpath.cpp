@@ -4,12 +4,17 @@
 // bench_ablation), this one measures REAL elapsed time — it exists to
 // gate the batching/consolidation hot path against perf regressions.
 //
-//   bench_hotpath [--smoke] [--out PATH] [--check PATH]
+//   bench_hotpath [--smoke] [--out PATH] [--check PATH] [--section NAME]
 //
 //   --smoke   1x scales only (the ctest `bench`-label invocation)
 //   --out     where to write the JSON report (default BENCH_hotpath.json)
 //   --check   validate an existing report: well-formed JSON with the
 //             expected sections; exits non-zero otherwise
+//   --section run one section standalone (retail | shards | home | stages |
+//             scaling | commit_seq) and skip the JSON report unless --out
+//             is given explicitly; gates attached to the section still
+//             apply (e.g. `--section scaling` enforces the 8-shard
+//             speedup)
 //
 // Retail workload: a fan-out DXG (orders -> shipments) on a redis-profile
 // Object DE. Orders arrive spread over virtual time, so in unbatched mode
@@ -22,9 +27,11 @@
 // Log DE running the Fig. 4-style pipeline. Naive mode materializes deep
 // copies and runs one pass per operator; consolidated mode pulls shared
 // handles (copy-on-write) and runs the fused plan.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -197,6 +204,177 @@ SyncRun run_smart_home(std::size_t records, bool consolidate) {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Commit scaling: the parallel commit pipeline vs the per-op path.
+// ---------------------------------------------------------------------------
+
+// CPU-bound open-loop commit workload. Latencies are virtual (the redis
+// profile's sampled commit times cost zero wall time), so every measured
+// microsecond is framework CPU: scheduler traffic, per-op closures,
+// RBAC/watch matching, WAL and buffer staging, map commits. The whole
+// workload is admitted up front and then drained to convergence — the
+// load a service sees when writes arrive faster than they commit. Under
+// that load the per-op path keeps one scheduled commit (with its
+// completion closure and sampled deadline) per in-flight write — `ops`
+// scheduler entries sifting through the event heap — while the epoch
+// pipeline keeps one per in-flight epoch (`ops / epoch_size` entries,
+// stamps pre-assigned, shards committed via the phase-B/phase-C
+// pipeline). Both modes run the same batched watcher and durable WAL and
+// must converge to the identical store and delivery outcome. Inputs
+// (keys, payloads, epoch batches) are pre-built outside the timed region
+// so the interval isolates commit machinery, not Value construction.
+struct ScalingRun {
+  double wall_ms = 0;
+  double kops_per_s = 0;
+  bool converged = false;
+};
+
+ScalingRun run_commit_scaling(std::size_t ops, std::size_t epoch_size,
+                              std::size_t shards, int workers,
+                              bool use_epoch) {
+  using namespace knactor;
+  sim::VirtualClock clock;
+  de::ObjectDeProfile profile = de::ObjectDeProfile::redis();
+  profile.durable = true;  // WAL staging is part of the measured commit
+  de::ObjectDe de(clock, profile);
+  common::WorkerPool pool(workers);
+  de.set_shards(shards);
+  de.set_worker_pool(&pool);
+  de::ObjectStore& store = de.create_store("events");
+  std::uint64_t batches = 0;
+  (void)store.watch_batch("observer", "", 5 * sim::kMillisecond,
+                          [&batches](const de::WatchBatch&) { ++batches; });
+
+  // Load-generator exclusion: all keys and payloads (and, for the epoch
+  // mode, the assembled write batches) are built before the timed region
+  // starts; both modes receive identical ready-made inputs.
+  std::vector<std::string> keys(ops);
+  std::vector<Value> payloads(ops);
+  for (std::size_t i = 0; i < ops; ++i) {
+    char key[24];
+    std::snprintf(key, sizeof(key), "e-%04zu", i % 1024);
+    keys[i] = key;
+    Value v = Value::object();
+    v.set("seq", Value(static_cast<std::int64_t>(i)));
+    v.set("source", Value("svc-" + std::to_string(i % 7)));
+    v.set("level", Value(static_cast<std::int64_t>(i % 5)));
+    payloads[i] = std::move(v);
+  }
+  std::size_t committed = 0;
+  double wall_ms = 0;
+  if (use_epoch) {
+    std::vector<std::vector<de::EpochWrite>> epochs;
+    epochs.reserve((ops + epoch_size - 1) / epoch_size);
+    for (std::size_t base = 0; base < ops; base += epoch_size) {
+      const std::size_t end = std::min(ops, base + epoch_size);
+      std::vector<de::EpochWrite> writes;
+      writes.reserve(end - base);
+      for (std::size_t i = base; i < end; ++i) {
+        de::EpochWrite w;
+        w.key = std::move(keys[i]);
+        w.data = std::move(payloads[i]);
+        writes.push_back(std::move(w));
+      }
+      epochs.push_back(std::move(writes));
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    for (auto& writes : epochs) {
+      store.put_epoch(
+          "svc", std::move(writes),
+          [&committed](std::vector<common::Result<std::uint64_t>> results) {
+            for (const auto& r : results) {
+              if (r.ok()) ++committed;
+            }
+          });
+    }
+    clock.run_all();
+    wall_ms = wall_ms_since(t0);
+  } else {
+    auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < ops; ++i) {
+      store.put("svc", keys[i], std::move(payloads[i]),
+                [&committed](common::Result<std::uint64_t> r) {
+                  if (r.ok()) ++committed;
+                });
+    }
+    clock.run_all();
+    wall_ms = wall_ms_since(t0);
+  }
+  ScalingRun out;
+  out.wall_ms = wall_ms;
+  out.converged = committed == ops && batches > 0 &&
+                  store.size() == std::min<std::size_t>(ops, 1024);
+  out.kops_per_s = out.wall_ms > 0
+                       ? static_cast<double>(ops) / out.wall_ms
+                       : 0;
+  return out;
+}
+
+ScalingRun run_commit_scaling_best(std::size_t ops, std::size_t epoch_size,
+                                   std::size_t shards, int workers,
+                                   bool use_epoch, int repeats) {
+  ScalingRun best = run_commit_scaling(ops, epoch_size, shards, workers,
+                                       use_epoch);
+  for (int i = 1; i < repeats; ++i) {
+    ScalingRun r = run_commit_scaling(ops, epoch_size, shards, workers,
+                                      use_epoch);
+    if (r.wall_ms < best.wall_ms) best = r;
+  }
+  return best;
+}
+
+Value scaling_run_value(const ScalingRun& r) {
+  Value v = Value::object();
+  v.set("wall_ms", Value(r.wall_ms));
+  v.set("kops_per_s", Value(r.kops_per_s));
+  v.set("converged", Value(r.converged));
+  return v;
+}
+
+// Commit-seq allocation: the old design bumped the kernel-global counter
+// once per op from wherever the op committed; the epoch pipeline reserves
+// a whole per-epoch domain in one serial bump and hands each op its seq as
+// base + index. Measures both allocation disciplines (same totals, so the
+// counters land in the same place).
+Value commit_seq_section(bool smoke) {
+  using namespace knactor;
+  sim::VirtualClock clock;
+  de::ObjectDe de(clock, de::ObjectDeProfile::instant());
+  const std::size_t total = smoke ? 1'000'000 : 20'000'000;
+  const std::size_t domain = 256;
+
+  // Both loops fold their stamps into a volatile-published sink so the
+  // allocation work itself stays observable to the optimizer.
+  auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t sink = 0;
+  for (std::size_t i = 0; i < total; ++i) {
+    sink += de.kernel().reserve_commit_seqs(1);  // per-op global bump
+  }
+  const double per_op_ms = wall_ms_since(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  for (std::size_t base = 0; base < total; base += domain) {
+    const std::uint64_t seq_base = de.kernel().reserve_commit_seqs(domain);
+    for (std::size_t i = 0; i < domain; ++i) sink += seq_base + i;
+  }
+  const double reserved_ms = wall_ms_since(t0);
+
+  Value v = Value::object();
+  v.set("allocations", Value(static_cast<std::int64_t>(total)));
+  v.set("domain", Value(static_cast<std::int64_t>(domain)));
+  v.set("per_op_ms", Value(per_op_ms));
+  v.set("reserved_ms", Value(reserved_ms));
+  v.set("per_op_mops_per_s",
+        Value(per_op_ms > 0 ? total / per_op_ms / 1000.0 : 0));
+  v.set("reserved_mops_per_s",
+        Value(reserved_ms > 0 ? total / reserved_ms / 1000.0 : 0));
+  v.set("sink", Value(static_cast<std::int64_t>(sink % 97)));  // keep the loop
+  std::printf(
+      "commit_seq %zu allocs: per-op %8.1fms  domain-reserved %8.1fms\n",
+      total, per_op_ms, reserved_ms);
+  return v;
+}
+
 // Separate traced run for per-stage attribution (C-I / I / I-S, virtual-
 // clock µs). Tracing is kept out of the timed runs above so the gate
 // measures the untraced hot path; this run only feeds the
@@ -284,7 +462,8 @@ int check_report(const std::string& path) {
   }
   const Value& report = parsed.value();
   for (const char* key :
-       {"retail", "retail_shards", "smart_home", "stage_attribution"}) {
+       {"retail", "retail_shards", "smart_home", "stage_attribution",
+        "scaling"}) {
     const Value* section = report.get(key);
     if (section == nullptr || !section->is_array() ||
         section->as_array().empty()) {
@@ -294,6 +473,12 @@ int check_report(const std::string& path) {
       return 1;
     }
   }
+  const Value* commit_seq = report.get("commit_seq");
+  if (commit_seq == nullptr || !commit_seq->is_object()) {
+    std::fprintf(stderr, "bench_hotpath: %s: missing section 'commit_seq'\n",
+                 path.c_str());
+    return 1;
+  }
   std::printf("bench_hotpath: %s OK\n", path.c_str());
   return 0;
 }
@@ -302,20 +487,36 @@ int check_report(const std::string& path) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool out_explicit = false;
   std::string out_path = "BENCH_hotpath.json";
+  std::string section;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+      out_explicit = true;
     } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
       return check_report(argv[++i]);
+    } else if (std::strcmp(argv[i], "--section") == 0 && i + 1 < argc) {
+      section = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: bench_hotpath [--smoke] [--out PATH] "
-                   "[--check PATH]\n");
+                   "[--check PATH] [--section retail|shards|home|stages|"
+                   "scaling|commit_seq]\n");
       return 2;
     }
+  }
+  const bool all_sections = section.empty();
+  auto want = [&](const char* name) {
+    return all_sections || section == name;
+  };
+  if (!all_sections && !want("retail") && !want("shards") && !want("home") &&
+      !want("stages") && !want("scaling") && !want("commit_seq")) {
+    std::fprintf(stderr, "bench_hotpath: unknown section '%s'\n",
+                 section.c_str());
+    return 2;
   }
 
   // A batch window of 40ms over 4ms-spaced commits coalesces ~10 events
@@ -333,7 +534,7 @@ int main(int argc, char** argv) {
   Value report = Value::object();
   Value retail = Value::array();
   double retail_100x_speedup = 0;
-  for (const auto& [label, orders] : retail_scales) {
+  if (want("retail")) for (const auto& [label, orders] : retail_scales) {
     RetailRun unbatched = run_retail(orders, 0);
     RetailRun batched = run_retail(orders, kWindow);
     double speedup = unbatched.wall_ms > 0 && batched.wall_ms > 0
@@ -375,7 +576,7 @@ int main(int argc, char** argv) {
   RetailRun shard_serial;
   double shard_worst_ratio = 0;
   bool shard_deterministic = true;
-  for (const ShardPoint& p : shard_points) {
+  if (want("shards")) for (const ShardPoint& p : shard_points) {
     RetailRun r = run_retail_best(shard_orders, kWindow, p.shards, p.workers,
                                   shard_repeats);
     if (p.shards == 1) shard_serial = r;
@@ -406,7 +607,7 @@ int main(int argc, char** argv) {
   report.set("retail_shards", std::move(retail_shards));
 
   Value home = Value::array();
-  for (const auto& [label, records] : home_scales) {
+  if (want("home")) for (const auto& [label, records] : home_scales) {
     SyncRun naive = run_smart_home(records, false);
     SyncRun fused = run_smart_home(records, true);
     double speedup = naive.wall_ms > 0 && fused.wall_ms > 0
@@ -429,52 +630,131 @@ int main(int argc, char** argv) {
   }
   report.set("smart_home", std::move(home));
 
-  Value stages =
-      stage_attribution_value(smoke ? 4 : 400, kWindow);
-  for (const Value& row : stages.as_array()) {
-    std::printf("stage  %-4s %6lld spans  total %8lld us  mean %8.1f us\n",
-                row.get("stage")->as_string().c_str(),
-                static_cast<long long>(row.get("count")->as_int()),
-                static_cast<long long>(row.get("total_us")->as_int()),
-                row.get("mean_us")->as_double());
+  if (want("stages")) {
+    Value stages = stage_attribution_value(smoke ? 4 : 400, kWindow);
+    for (const Value& row : stages.as_array()) {
+      std::printf("stage  %-4s %6lld spans  total %8lld us  mean %8.1f us\n",
+                  row.get("stage")->as_string().c_str(),
+                  static_cast<long long>(row.get("count")->as_int()),
+                  static_cast<long long>(row.get("total_us")->as_int()),
+                  row.get("mean_us")->as_double());
+    }
+    report.set("stage_attribution", std::move(stages));
   }
-  report.set("stage_attribution", std::move(stages));
+
+  // CPU-bound commit scaling: the epoch pipeline at {1,2,8} shards against
+  // the legacy per-op path, both under open-loop load (the full workload
+  // in flight at once). The gate is on the 8-shard point: the pipeline
+  // restructure (one scheduler entry + one stamp reservation per epoch
+  // instead of per op) must at least double commit throughput — on a
+  // multi-core box phase-B shard parallelism stacks on top.
+  double scaling_8s_speedup = 0;
+  bool scaling_converged = true;
+  if (want("scaling")) {
+    const std::size_t scaling_ops = smoke ? 2000 : 20000;
+    const std::size_t epoch_size = 250;
+    // Single-core CI boxes show ±25% run-to-run wall noise; best-of-5
+    // keeps the gate comparing steady-state machinery, not scheduler luck.
+    const int repeats = smoke ? 1 : 5;
+    const int scaling_workers = static_cast<int>(std::min<unsigned>(
+        4, std::max(1u, std::thread::hardware_concurrency())));
+    ScalingRun legacy = run_commit_scaling_best(
+        scaling_ops, epoch_size, 1, 1, /*use_epoch=*/false, repeats);
+    scaling_converged = scaling_converged && legacy.converged;
+    std::printf(
+        "scaling legacy 1s/1w %6zu ops: %8.1fms (%7.1f kops/s)%s\n",
+        scaling_ops, legacy.wall_ms, legacy.kops_per_s,
+        legacy.converged ? "" : "  DIVERGED");
+    Value scaling = Value::array();
+    for (std::size_t shards : {std::size_t{1}, std::size_t{2},
+                               std::size_t{8}}) {
+      const int workers = shards == 1 ? 1 : scaling_workers;
+      ScalingRun r = run_commit_scaling_best(scaling_ops, epoch_size, shards,
+                                             workers, /*use_epoch=*/true,
+                                             repeats);
+      scaling_converged = scaling_converged && r.converged;
+      const double speedup = legacy.wall_ms > 0 && r.wall_ms > 0
+                                 ? legacy.wall_ms / r.wall_ms
+                                 : 0;
+      if (shards == 8) scaling_8s_speedup = speedup;
+      Value row = Value::object();
+      row.set("shards", Value(static_cast<std::int64_t>(shards)));
+      row.set("workers", Value(static_cast<std::int64_t>(workers)));
+      row.set("ops", Value(static_cast<std::int64_t>(scaling_ops)));
+      row.set("epoch_size", Value(static_cast<std::int64_t>(epoch_size)));
+      row.set("legacy", scaling_run_value(legacy));
+      row.set("epoch", scaling_run_value(r));
+      row.set("speedup_vs_legacy", Value(speedup));
+      std::printf(
+          "scaling epoch %zus/%dw %6zu ops: %8.1fms (%7.1f kops/s)  "
+          "vs legacy %.2fx%s\n",
+          shards, workers, scaling_ops, r.wall_ms, r.kops_per_s, speedup,
+          r.converged ? "" : "  DIVERGED");
+      scaling.as_array().push_back(std::move(row));
+    }
+    report.set("scaling", std::move(scaling));
+  }
+
+  if (want("commit_seq")) {
+    report.set("commit_seq", commit_seq_section(smoke));
+  }
 
   // Lenient ceiling: on a single-core CI box sharded runs can only lose a
   // little to pool overhead; a blowup past this means a real regression.
   constexpr double kMaxShardRatio = 2.0;
+  constexpr double kRequiredScalingSpeedup = 2.0;
   bool shard_gate_ok =
       shard_deterministic && (smoke || shard_worst_ratio <= kMaxShardRatio);
-  Value gate = Value::object();
-  gate.set("retail_100x_speedup", Value(retail_100x_speedup));
-  gate.set("required_speedup", Value(2.0));
-  gate.set("retail_shards_worst_ratio", Value(shard_worst_ratio));
-  gate.set("retail_shards_max_ratio", Value(kMaxShardRatio));
-  gate.set("retail_shards_deterministic", Value(shard_deterministic));
-  gate.set("pass",
-           Value((smoke || retail_100x_speedup >= 2.0) && shard_gate_ok));
-  report.set("gate", std::move(gate));
-
-  std::ofstream out(out_path);
-  if (!out) {
-    std::fprintf(stderr, "bench_hotpath: cannot write %s\n", out_path.c_str());
-    return 1;
+  bool scaling_gate_ok =
+      scaling_converged &&
+      (smoke || !want("scaling") ||
+       scaling_8s_speedup >= kRequiredScalingSpeedup);
+  if (all_sections) {
+    Value gate = Value::object();
+    gate.set("retail_100x_speedup", Value(retail_100x_speedup));
+    gate.set("required_speedup", Value(2.0));
+    gate.set("retail_shards_worst_ratio", Value(shard_worst_ratio));
+    gate.set("retail_shards_max_ratio", Value(kMaxShardRatio));
+    gate.set("retail_shards_deterministic", Value(shard_deterministic));
+    gate.set("scaling_8s_speedup", Value(scaling_8s_speedup));
+    gate.set("required_scaling_speedup", Value(kRequiredScalingSpeedup));
+    gate.set("scaling_converged", Value(scaling_converged));
+    gate.set("pass", Value((smoke || retail_100x_speedup >= 2.0) &&
+                           shard_gate_ok && scaling_gate_ok));
+    report.set("gate", std::move(gate));
   }
-  out << knactor::common::to_json_pretty(report) << "\n";
-  std::printf("wrote %s\n", out_path.c_str());
-  if (!smoke && retail_100x_speedup < 2.0) {
+
+  if (all_sections || out_explicit) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "bench_hotpath: cannot write %s\n",
+                   out_path.c_str());
+      return 1;
+    }
+    out << knactor::common::to_json_pretty(report) << "\n";
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  if (want("retail") && !smoke && retail_100x_speedup < 2.0) {
     std::fprintf(stderr,
                  "bench_hotpath: FAIL: retail 100x speedup %.2fx < 2.0x\n",
                  retail_100x_speedup);
     return 1;
   }
-  if (!shard_gate_ok) {
+  if (want("shards") && !shard_gate_ok) {
     std::fprintf(stderr,
                  "bench_hotpath: FAIL: shard scaling %s (worst ratio %.2fx, "
                  "limit %.2fx)\n",
                  shard_deterministic ? "regressed vs serial"
                                      : "diverged from serial outcome",
                  shard_worst_ratio, kMaxShardRatio);
+    return 1;
+  }
+  if (want("scaling") && !scaling_gate_ok) {
+    std::fprintf(stderr,
+                 "bench_hotpath: FAIL: commit scaling %s (8-shard speedup "
+                 "%.2fx, required %.2fx)\n",
+                 scaling_converged ? "below the gate" : "diverged",
+                 scaling_8s_speedup, kRequiredScalingSpeedup);
     return 1;
   }
   return 0;

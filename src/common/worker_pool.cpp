@@ -80,6 +80,42 @@ void WorkerPool::run(const std::vector<std::function<void()>>& tasks) {
     return;
   }
   ++stats_.barriers;
+  dispatch(tasks);
+}
+
+void WorkerPool::run_epoch(
+    const std::vector<std::vector<std::function<void()>>>& queues) {
+  std::size_t total = 0;
+  std::size_t busy_queues = 0;
+  for (const auto& queue : queues) {
+    total += queue.size();
+    if (!queue.empty()) ++busy_queues;
+  }
+  if (total == 0) return;
+  ++stats_.epochs;
+  stats_.epoch_tasks += total;
+  if (workers_ <= 1 || busy_queues <= 1) {
+    // Inline path: queue order, then index order — exactly the order a
+    // threaded run produces per queue, so observers cannot tell them apart.
+    for (const auto& queue : queues) {
+      for (const auto& task : queue) task();
+    }
+    return;
+  }
+  // Each non-empty queue becomes one claimable unit; a worker that claims
+  // it drains the whole queue in index order.
+  std::vector<std::function<void()>> units;
+  units.reserve(busy_queues);
+  for (const auto& queue : queues) {
+    if (queue.empty()) continue;
+    units.push_back([&queue] {
+      for (const auto& task : queue) task();
+    });
+  }
+  dispatch(units);
+}
+
+void WorkerPool::dispatch(const std::vector<std::function<void()>>& tasks) {
   {
     std::lock_guard lock(mutex_);
     batch_ = &tasks;

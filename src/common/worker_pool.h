@@ -25,6 +25,8 @@ struct WorkerPoolStats {
   std::uint64_t barriers = 0;  // run() calls that dispatched to threads
   std::uint64_t inline_runs = 0;  // run() calls executed inline
   std::uint64_t tasks = 0;        // total tasks executed
+  std::uint64_t epochs = 0;       // run_epoch() calls
+  std::uint64_t epoch_tasks = 0;  // tasks executed inside epochs
 };
 
 class WorkerPool {
@@ -46,6 +48,16 @@ class WorkerPool {
   /// task — tasks run inline on the calling thread in index order.
   void run(const std::vector<std::function<void()>>& tasks);
 
+  /// Runs one epoch of per-shard queues: queue `i` holds shard i's tasks in
+  /// commit order, a worker claims a whole queue and drains it in-order, and
+  /// the call returns once every queue is empty. Unlike per-task run(), an
+  /// epoch pays exactly one wakeup + one join for the whole batch, so the
+  /// per-commit synchronization cost amortizes across the epoch. Ordering
+  /// guarantee: within a queue, tasks run sequentially in index order on a
+  /// single worker; across queues there is no ordering (callers merge
+  /// deterministically afterwards).
+  void run_epoch(const std::vector<std::vector<std::function<void()>>>& queues);
+
   [[nodiscard]] const WorkerPoolStats& stats() const { return stats_; }
 
  private:
@@ -54,6 +66,9 @@ class WorkerPool {
   void worker_loop();
   /// Claims and runs tasks from `batch` until it is exhausted.
   void drain_batch(const std::vector<std::function<void()>>* batch);
+  /// The threaded barrier core shared by run() and run_epoch(): publishes
+  /// `tasks`, participates in the drain, and waits for full completion.
+  void dispatch(const std::vector<std::function<void()>>& tasks);
 
   int workers_ = 1;
   std::vector<std::thread> threads_;

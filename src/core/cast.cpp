@@ -615,6 +615,80 @@ void CastIntegrator::run_pass_async(int rounds_left) {
             de_.kernel().clear_trace_context();
             return;
           }
+          if (options_.epoch_commit) {
+            // Epoch mode: group the pass's patches per target store
+            // (first-appearance order) and commit each group as one epoch
+            // — one write round trip per store, shard-parallel commit work
+            // behind the DE's deterministic merge. Results map back to the
+            // same per-patch bookkeeping as the per-patch path.
+            struct EpochGroup {
+              de::ObjectStore* store = nullptr;
+              std::vector<de::EpochWrite> writes;
+              std::vector<std::string> aliases;
+              std::vector<std::string> objects;
+              std::vector<std::size_t> field_counts;
+              std::vector<std::vector<LineageRef>> inputs;
+            };
+            auto groups = std::make_shared<std::vector<EpochGroup>>();
+            std::map<std::string, std::size_t> group_of;
+            for (std::size_t pi = 0; pi < ps.patches.size(); ++pi) {
+              auto& [key, fields] = ps.patches[pi];
+              const std::string& alias = key.first;
+              const std::string& object = key.second;
+              auto [it, inserted] =
+                  group_of.emplace(alias, groups->size());
+              if (inserted) {
+                groups->push_back(EpochGroup{});
+                groups->back().store = stores_[alias];
+              }
+              EpochGroup& g = (*groups)[it->second];
+              g.field_counts.push_back(
+                  fields.is_object() ? fields.as_object().size() : 0);
+              de::EpochWrite w;
+              w.key = object;
+              w.data = std::move(fields);
+              w.merge = true;
+              g.writes.push_back(std::move(w));
+              g.aliases.push_back(alias);
+              g.objects.push_back(object);
+              g.inputs.push_back(lineage ? std::move(ps.inputs[pi])
+                                         : std::vector<LineageRef>{});
+            }
+            *writes_left = groups->size();
+            de_.kernel().set_trace_context(write_ctx);
+            for (std::size_t gi = 0; gi < groups->size(); ++gi) {
+              EpochGroup& g = (*groups)[gi];
+              auto writes = std::move(g.writes);
+              g.store->put_epoch(
+                  principal(), std::move(writes),
+                  [this, writes_left, wrote, write_failed, complete, groups,
+                   gi, lineage, write_ctx,
+                   span](std::vector<Result<std::uint64_t>> results) {
+                    EpochGroup& g = (*groups)[gi];
+                    for (std::size_t j = 0; j < results.size(); ++j) {
+                      if (results[j].ok()) {
+                        *wrote += g.field_counts[j];
+                        stats_.fields_written += g.field_counts[j];
+                        if (lineage) {
+                          record_lineage(g.aliases[j], g.objects[j],
+                                         results[j].value(),
+                                         std::move(g.inputs[j]), write_ctx,
+                                         span);
+                        }
+                      } else {
+                        ++stats_.eval_errors;
+                        *write_failed = true;
+                        KN_DEBUG << "cast " << name_ << ": epoch write failed: "
+                                 << results[j].error().to_string();
+                      }
+                    }
+                    --*writes_left;
+                    complete();
+                  });
+            }
+            de_.kernel().clear_trace_context();
+            return;
+          }
           de_.kernel().set_trace_context(write_ctx);
           for (std::size_t pi = 0; pi < ps.patches.size(); ++pi) {
             auto& [key, fields] = ps.patches[pi];

@@ -76,6 +76,15 @@ class CastIntegrator : public Integrator {
     /// coalescing happens inside the DE, so one notification is delivered
     /// per window regardless of burst size.
     sim::SimTime batch_window = 0;
+    /// Commit each pass's writes through the DE's epoch pipeline
+    /// (ObjectStore::put_epoch): the pass's patches are grouped per target
+    /// store and committed as one epoch each — one write round trip per
+    /// store instead of one per patch, with the commit work running
+    /// shard-parallel behind a deterministic merge. Unlike atomic_writes
+    /// (which takes precedence when both are set), an epoch is not
+    /// all-or-nothing: each patch succeeds or fails individually, exactly
+    /// like the per-patch path.
+    bool epoch_commit = false;
     /// Exchange-pass retry: when a pass's snapshot read or patch write
     /// fails (e.g. the DE is crashed), re-run the whole pass after backoff.
     /// Passes are idempotent (desired-state patches), so replays are safe.

@@ -18,6 +18,8 @@ SchedulerStats Scheduler::stats() const {
   s.barriers = pool_.stats().barriers;
   s.inline_runs = pool_.stats().inline_runs;
   s.tasks = pool_.stats().tasks;
+  s.epochs = pool_.stats().epochs;
+  s.epoch_tasks = pool_.stats().epoch_tasks;
   return s;
 }
 

@@ -24,6 +24,8 @@ struct SchedulerStats {
   std::uint64_t barriers = 0;     // threaded barrier dispatches
   std::uint64_t inline_runs = 0;  // batches executed inline
   std::uint64_t tasks = 0;        // shard tasks executed
+  std::uint64_t epochs = 0;       // epoch dispatches (run_epoch)
+  std::uint64_t epoch_tasks = 0;  // shard tasks executed inside epochs
 };
 
 class Scheduler {

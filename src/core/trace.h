@@ -64,12 +64,83 @@ class Tracer {
     spans_.clear();
   }
 
+  class SpanBuffer;
+  /// Merges a worker-local span buffer: re-stamps every buffered span with
+  /// globally sequential ids (preserving the buffer's parent links) and
+  /// appends them in buffer order. Callers merge buffers in a
+  /// deterministic order (e.g. shard index at an epoch boundary), which
+  /// makes the resulting span log identical to a serial emission — same
+  /// count, same names, same stage attributes. The buffer is drained.
+  void merge(SpanBuffer& buffer);
+
+  /// A worker-local span sink: begin/annotate/end with zero shared-state
+  /// contention (no mutex, no shared id counter — ids are local until
+  /// merge re-stamps them). Workers emitting spans on the epoch hot path
+  /// fill one buffer each; the epoch merge folds them into the Tracer at
+  /// the boundary.
+  class SpanBuffer {
+   public:
+    std::uint64_t begin(const std::string& name, sim::SimTime now,
+                        std::uint64_t parent = 0) {
+      Span span;
+      span.id = next_local_id_++;
+      span.parent = parent;
+      span.name = name;
+      span.start = now;
+      spans_.push_back(std::move(span));
+      return spans_.back().id;
+    }
+    void annotate(std::uint64_t span_id, const std::string& key,
+                  const std::string& value) {
+      if (Span* s = find(span_id)) s->attributes[key] = value;
+    }
+    void end(std::uint64_t span_id, sim::SimTime now) {
+      if (Span* s = find(span_id)) s->end = now;
+    }
+    [[nodiscard]] std::size_t size() const { return spans_.size(); }
+    [[nodiscard]] bool empty() const { return spans_.empty(); }
+
+   private:
+    friend class Tracer;
+    Span* find(std::uint64_t span_id) {
+      for (auto it = spans_.rbegin(); it != spans_.rend(); ++it) {
+        if (it->id == span_id) return &*it;
+      }
+      return nullptr;
+    }
+    std::vector<Span> spans_;
+    std::uint64_t next_local_id_ = 1;
+  };
+
  private:
   sim::VirtualClock& clock_;
   mutable std::mutex mutex_;
   std::vector<Span> spans_;
   std::uint64_t next_id_ = 1;
 };
+
+inline void Tracer::merge(SpanBuffer& buffer) {
+  std::lock_guard lock(mutex_);
+  // Local id -> global id, so parent links survive the re-stamp.
+  std::map<std::uint64_t, std::uint64_t> remap;
+  for (Span& span : buffer.spans_) {
+    const std::uint64_t global = next_id_++;
+    remap[span.id] = global;
+    span.id = global;
+  }
+  for (Span& span : buffer.spans_) {
+    if (span.parent == 0) continue;
+    // Parent links must reference spans in the same buffer (or 0): local
+    // ids only have meaning within their buffer.
+    auto it = remap.find(span.parent);
+    if (it != remap.end()) span.parent = it->second;
+  }
+  spans_.insert(spans_.end(),
+                std::make_move_iterator(buffer.spans_.begin()),
+                std::make_move_iterator(buffer.spans_.end()));
+  buffer.spans_.clear();
+  buffer.next_local_id_ = 1;
+}
 
 /// Monotonic counters + gauges for framework internals. inc/get/clear are
 /// mutex-serialized (safe from shard workers); `all()` returns the map by
@@ -91,6 +162,34 @@ class Metrics {
   void clear() {
     std::lock_guard lock(mutex_);
     counters_.clear();
+  }
+
+  /// A worker-local counter sink: inc() touches no shared state (no mutex
+  /// acquisition per bump). Workers on the epoch hot path fill one Delta
+  /// each; merge() folds them into the shared counters at the epoch
+  /// boundary under a single lock. Counter addition commutes, so any merge
+  /// order yields the same totals as serial inc() calls.
+  class Delta {
+   public:
+    void inc(const std::string& name, std::uint64_t delta = 1) {
+      counters_[name] += delta;
+    }
+    [[nodiscard]] bool empty() const { return counters_.empty(); }
+
+   private:
+    friend class Metrics;
+    std::map<std::string, std::uint64_t> counters_;
+  };
+
+  /// Folds a worker-local Delta into the shared counters (one lock for the
+  /// whole batch) and drains it.
+  void merge(Delta& delta) {
+    if (delta.counters_.empty()) return;
+    std::lock_guard lock(mutex_);
+    for (const auto& [name, value] : delta.counters_) {
+      counters_[name] += value;
+    }
+    delta.counters_.clear();
   }
 
  private:

@@ -166,6 +166,33 @@ class Kernel {
   [[nodiscard]] std::uint64_t commit_seq() const { return commit_seq_; }
   std::uint64_t allocate_watch_id() { return next_watch_id_++; }
 
+  // --- epoch sequencing (per-shard commit-seq domains) --------------------
+  // The epoch pipeline pre-assigns stamps: one serial reservation up front
+  // replaces one shared-counter bump per commit, and each op's stamp is a
+  // pure function of its position in the epoch (base + index). Shards then
+  // stamp their ops from disjoint slices of the reservation without ever
+  // touching the shared counters — the parallel run is byte-identical to
+  // the serial one by construction. Ops that fail validation leave holes in
+  // the sequence; both domains only need to be strictly increasing, and the
+  // serial oracle runs the same reservation path, so the holes match too.
+
+  /// Reserves `n` revision numbers; returns the first. Epoch op `i` commits
+  /// with revision `base + i` (matching what n serial next_revision() calls
+  /// would have handed out).
+  std::uint64_t reserve_revisions(std::uint64_t n) {
+    const std::uint64_t base = next_revision_;
+    next_revision_ += n;
+    return base;
+  }
+  /// Reserves `n` commit seqs; returns the first assigned value (what the
+  /// next next_commit_seq() call would have returned). Op `i` stamps with
+  /// `base + i`.
+  std::uint64_t reserve_commit_seqs(std::uint64_t n) {
+    const std::uint64_t base = commit_seq_ + 1;
+    commit_seq_ += n;
+    return base;
+  }
+
   // --- availability (chaos) ----------------------------------------------
 
   void set_available(bool available) { available_ = available; }
@@ -203,6 +230,35 @@ class Kernel {
       while (audit_.size() > audit_capacity_) audit_.pop_front();
     }
     return d;
+  }
+
+  /// Thread-safe access check for epoch shard tasks: consults the policy
+  /// engine (Rbac::check is const — safe to call from several shards at
+  /// once) and buffers the decision into a caller-owned sink instead of
+  /// pushing to the shared audit deque. `now` is captured serially before
+  /// the epoch is dispatched so shard tasks never read the clock. The
+  /// caller splices the sinks back in global commit order via
+  /// append_audit() at the epoch merge.
+  Decision check_access_buffered(const std::string& principal,
+                                 const std::string& resource,
+                                 const std::string& key, Verb verb,
+                                 sim::SimTime now,
+                                 std::vector<AuditEntry>* sink) const {
+    Decision d = rbac_.check(principal, resource, key, verb, now);
+    if (audit_enabled_ && sink != nullptr) {
+      sink->push_back(
+          AuditEntry{now, principal, verb, resource, key, d.allowed});
+    }
+    return d;
+  }
+
+  /// Merge half of check_access_buffered: appends buffered entries to the
+  /// audit trail. Callers present the sinks in global commit order, so the
+  /// trail reads exactly as if every check had run serially.
+  void append_audit(const std::vector<AuditEntry>& entries) {
+    if (!audit_enabled_) return;
+    for (const auto& e : entries) audit_.push_back(e);
+    while (audit_.size() > audit_capacity_) audit_.pop_front();
   }
 
   void enable_audit(std::size_t capacity = 1024) {
@@ -269,6 +325,22 @@ class Kernel {
       return;
     }
     for (const auto& task : tasks) task();
+  }
+
+  /// Epoch dispatch: per-shard ordered task queues with a single
+  /// synchronization point for the whole batch (WorkerPool::run_epoch).
+  /// Queue `i` is shard i's commits in epoch order; within a queue tasks
+  /// run sequentially, across queues concurrently. Unbound kernels run
+  /// inline in queue order (the serial oracle path).
+  void run_epoch_tasks(
+      const std::vector<std::vector<std::function<void()>>>& queues) {
+    if (pool_ != nullptr) {
+      pool_->run_epoch(queues);
+      return;
+    }
+    for (const auto& queue : queues) {
+      for (const auto& task : queue) task();
+    }
   }
 
   // --- synchronous driving ------------------------------------------------

@@ -243,6 +243,31 @@ void ObjectStore::list(const std::string& principal, const std::string& prefix,
   });
 }
 
+void ObjectStore::put_epoch(const std::string& principal,
+                            std::vector<EpochWrite> writes,
+                            EpochCallback done) {
+  // One write round trip for the whole epoch: batching the exchange is the
+  // point of the pipeline (the per-op path pays the round trip per write).
+  sim::SimTime rt = de_.profile_.write_rt.sample(de_.kernel_.rng());
+  core::TraceContext ctx = de_.kernel_.trace_context();
+  de_.clock().schedule_after(
+      rt, [this, principal, ctx, writes = std::move(writes),
+           done = std::move(done)]() mutable {
+        done(de_.commit_epoch(*this, principal, ctx, std::move(writes)));
+      });
+}
+
+std::vector<Result<std::uint64_t>> ObjectStore::put_epoch_sync(
+    const std::string& principal, std::vector<EpochWrite> writes) {
+  std::optional<std::vector<Result<std::uint64_t>>> results;
+  put_epoch(principal, std::move(writes),
+            [&](std::vector<Result<std::uint64_t>> r) {
+              results = std::move(r);
+            });
+  de_.run_sync([&] { return results.has_value(); });
+  return std::move(*results);
+}
+
 std::uint64_t ObjectStore::watch(const std::string& principal,
                                  const std::string& prefix,
                                  WatchCallback callback) {
@@ -656,14 +681,11 @@ void ObjectDe::restart() {
   recovering_ = true;
   for (const auto& entry : wal) {
     ObjectStore& store = create_store(entry.store);
-    if (entry.data_json.empty()) {
+    if (entry.data == nullptr) {
       (void)commit_delete(store, entry.key);
     } else {
-      auto data = common::parse_json(entry.data_json);
-      if (data.ok()) {
-        (void)commit_put(store, entry.key, data.take(), /*merge=*/false,
-                         std::nullopt);
-      }
+      (void)commit_put(store, entry.key, *entry.data, /*merge=*/false,
+                       std::nullopt);
     }
   }
   recovering_ = saved;
@@ -710,7 +732,11 @@ Result<std::uint64_t> ObjectDe::commit_put(
   obj.version = kernel_.next_revision();
   obj.created_at = existed ? existing->created_at : clock().now();
   obj.updated_at = clock().now();
-  store.objects_[key] = obj;
+  if (existed) {
+    *existing = obj;  // in place: the find above already walked the shard
+  } else {
+    store.objects_[key] = obj;
+  }
 
   if (lineage) {
     core::LineageRecord rec;
@@ -725,7 +751,7 @@ Result<std::uint64_t> ObjectDe::commit_put(
   }
 
   if (profile_.durable) {
-    wal_.push_back(WalEntry{store.name_, key, common::to_json(*obj.data)});
+    wal_.push_back(WalEntry{store.name_, key, obj.data});
   }
 
   if (!recovering_) {
@@ -748,13 +774,424 @@ Status ObjectDe::commit_delete(ObjectStore& store, const std::string& key) {
   StateObject obj = *existing;
   store.objects_.erase(key);
   if (profile_.durable) {
-    wal_.push_back(WalEntry{store.name_, key, ""});
+    wal_.push_back(WalEntry{store.name_, key, nullptr});
   }
   if (!recovering_) {
     fire_watches(store.name_, WatchEventType::kDeleted, obj);
     fire_triggers(store.name_, WatchEventType::kDeleted, obj);
   }
   return Status::success();
+}
+
+// ---------------------------------------------------------------------------
+// Epoch commit pipeline (ObjectStore::put_epoch).
+//
+// Phase A (serial): availability gate, receipt stats, one clock read, stamp
+//   pre-assignment (versions and commit seqs reserved up front — op i's
+//   stamps are base + index, independent of execution order), partition by
+//   key shard.
+// Phase B (parallel, one ordered queue per shard): RBAC with buffered
+//   audit, write validation, version check, merge compute, state insert,
+//   WAL JSON staging, lineage snapshot, watch matching + field filtering.
+//   No clock reads, no RNG draws, no shared-counter bumps — each op's
+//   scratch (EpochOp) is owned by exactly one shard task.
+// Phase C (serial merge, global op order): audit splice, lineage records,
+//   all-or-nothing WAL splice, stats, watch enqueue/delivery scheduling and
+//   trigger fan-out through the same code the per-op path uses (so RNG
+//   draws happen in exactly the serial order). The chaos fault hook runs
+//   between B and C: a crash there rolls the whole epoch back, so recovery
+//   never replays a half-merged epoch.
+// ---------------------------------------------------------------------------
+
+std::vector<Result<std::uint64_t>> ObjectDe::commit_epoch(
+    ObjectStore& store, const std::string& principal,
+    const core::TraceContext& client_ctx, std::vector<EpochWrite> writes) {
+  const std::size_t n = writes.size();
+  std::vector<Result<std::uint64_t>> results;
+  results.reserve(n);
+  if (n == 0) return results;
+
+  // --- Phase A: serial prep ------------------------------------------------
+  if (!kernel_.available()) {
+    stats_.unavailable_rejections += n;
+    for (std::size_t i = 0; i < n; ++i) {
+      results.push_back(Error::unavailable("object: de unavailable (crashed)"));
+    }
+    return results;
+  }
+  for (const auto& w : writes) {
+    if (w.remove) {
+      ++stats_.deletes;
+    } else {
+      ++stats_.writes;
+    }
+  }
+  const sim::SimTime now = clock().now();
+
+  // Pre-assign stamps: versions go to puts only (a delete never consumed a
+  // revision on the per-op path), commit seqs to every op (every successful
+  // commit consumed one). Failed ops leave holes; the serial oracle runs
+  // this same reservation, so the holes are configuration-independent.
+  std::vector<std::uint64_t> rev_for(n, 0);
+  std::uint64_t puts = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!writes[i].remove) rev_for[i] = puts++;
+  }
+  const std::uint64_t rev_base = kernel_.reserve_revisions(puts);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!writes[i].remove) rev_for[i] += rev_base;
+  }
+  const std::uint64_t seq_base = kernel_.reserve_commit_seqs(n);
+
+  std::vector<std::size_t> store_watchers;
+  for (std::size_t w = 0; w < watches_.size(); ++w) {
+    if (watches_[w].store == store.name_) store_watchers.push_back(w);
+  }
+
+  const std::size_t shard_count = store.objects_.shard_count();
+  std::vector<std::vector<std::size_t>> shard_ops(shard_count);
+  for (std::size_t i = 0; i < n; ++i) {
+    shard_ops[shard_of(writes[i].key, shard_count)].push_back(i);
+  }
+
+  // Per-shard watch queues: batched store watchers commit straight into
+  // their buffers from the shard tasks. A buffer's shard queue `s` holds
+  // only shard-`s` keys and is touched by exactly one task, so no locks —
+  // and no per-op buffer lookups in the serial merge. The shared-counter
+  // side (`buf.commits`, coalesce stats, flush scheduling with its RNG
+  // draw) is staged per shard and folded serially in Phase C. A buffer
+  // whose shard layout predates a set_shards() call falls back to the
+  // serial per-op enqueue.
+  struct BatchTarget {
+    std::size_t watch_index = 0;
+    WatchBuffer* buffer = nullptr;
+    std::vector<BatchStageUndo> undo;          // per shard; crash rollback
+    std::vector<std::uint64_t> commits;        // per shard; folded serially
+    std::vector<std::uint64_t> coalesced;
+  };
+  std::vector<BatchTarget> batch_targets;
+  std::vector<int> batch_target_of(watches_.size(), -1);
+  for (std::size_t widx : store_watchers) {
+    const Watch& w = watches_[widx];
+    if (!w.batched) continue;
+    WatchBuffer& buf = watch_buffers_[w.id];
+    if (buf.shards.empty()) buf.shards.resize(shards_);
+    if (buf.shards.size() != shard_count) continue;  // serial fallback
+    BatchTarget target;
+    target.watch_index = widx;
+    target.buffer = &buf;
+    target.undo.resize(shard_count);
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      target.undo[s].base_events = buf.shards[s].events.size();
+      // Upper bound (every shard op may match): keeps the shard tasks from
+      // reallocating the queue mid-epoch.
+      buf.shards[s].events.reserve(buf.shards[s].events.size() +
+                                   shard_ops[s].size());
+    }
+    target.commits.assign(shard_count, 0);
+    target.coalesced.assign(shard_count, 0);
+    batch_target_of[widx] = static_cast<int>(batch_targets.size());
+    batch_targets.push_back(std::move(target));
+  }
+
+  // --- Phase B: parallel per-shard commit ---------------------------------
+  // Worker-local observability sinks (one per shard): spans and counters
+  // are emitted with zero shared-state contention and folded into the
+  // shared Tracer/Metrics at the epoch boundary — or dropped whole if the
+  // epoch rolls back.
+  std::vector<core::Tracer::SpanBuffer> span_buffers(
+      tracer_ != nullptr ? shard_count : 0);
+  std::vector<core::Metrics::Delta> metric_deltas(
+      epoch_metrics_ != nullptr ? shard_count : 0);
+  std::vector<EpochOp> ops(n);
+  // Rollback staging (pre-image copies, watch-buffer undo logs) is only
+  // consumed by the mid-epoch crash hook; without one installed the epoch
+  // cannot roll back, so the hot path skips the copies entirely.
+  const bool stage_undo = static_cast<bool>(epoch_fault_hook_);
+  auto process_op = [&](std::size_t i, std::size_t shard) {
+    EpochWrite& w = writes[i];
+    EpochOp& op = ops[i];
+    op.ctx = client_ctx;
+    op.ctx.commit_seq = seq_base + i;
+    if (op.ctx.trace_id == 0) op.ctx.trace_id = op.ctx.commit_seq;
+    const Verb verb = w.remove ? Verb::kDelete : Verb::kUpdate;
+    Decision d = kernel_.check_access_buffered(principal, store.name_, w.key,
+                                               verb, now, &op.audit);
+    if (!d.allowed) {
+      op.fail = EpochOp::Fail::kDenied;
+      op.error = Error::permission_denied(
+          "object: " + principal + " cannot " +
+          (w.remove ? std::string("delete ") : std::string("write ")) +
+          store.name_ + "/" + w.key);
+      return;
+    }
+    if (!w.remove) {
+      if (auto status = Rbac::validate_write(w.data, d.fields); !status.ok()) {
+        op.fail = EpochOp::Fail::kInvalid;
+        op.error = status.error();
+        return;
+      }
+    }
+    StateObject* existing = store.objects_.find(w.key);
+    const bool existed = existing != nullptr;
+    if (w.expected_version.has_value()) {
+      std::uint64_t current = existed ? existing->version : 0;
+      if (current != *w.expected_version) {
+        op.fail = EpochOp::Fail::kConflict;
+        op.error = Error::failed_precondition(
+            "object: version conflict on " + store.name_ + "/" + w.key +
+            " (expected " + std::to_string(*w.expected_version) + ", have " +
+            std::to_string(current) + ")");
+        return;
+      }
+    }
+    if (w.remove) {
+      if (!existed) {
+        op.fail = EpochOp::Fail::kNotFound;
+        op.error =
+            Error::not_found("object: " + store.name_ + "/" + w.key +
+                             " not found");
+        return;
+      }
+      op.undo_existed = true;
+      if (stage_undo) op.undo_obj = *existing;
+      op.obj = *existing;
+      store.objects_.erase(w.key);
+      op.type = WatchEventType::kDeleted;
+      if (profile_.durable) {
+        op.has_wal = true;
+        op.wal = WalEntry{store.name_, op.obj.key, nullptr};
+      }
+    } else {
+      Value final_data;
+      if (w.merge && existed && existing->data && existing->data->is_object() &&
+          w.data.is_object()) {
+        final_data = *existing->data;
+        for (const auto& [k, v] : w.data.as_object()) {
+          final_data.set(k, v);
+        }
+      } else {
+        final_data = std::move(w.data);
+      }
+      const bool lineage = kernel_.provenance().enabled() && !recovering_;
+      core::LineageRef prev;
+      if (lineage && existed) {
+        prev = {store.name_, w.key, existing->version, existing->data};
+      }
+      if (existed) {
+        op.undo_existed = true;
+        if (stage_undo) op.undo_obj = *existing;
+      }
+      op.obj.key = std::move(w.key);  // rollback/merge read op.obj.key now
+      op.obj.data = std::make_shared<const Value>(std::move(final_data));
+      op.obj.version = rev_for[i];
+      op.obj.created_at = existed ? existing->created_at : now;
+      op.obj.updated_at = now;
+      if (existed) {
+        *existing = op.obj;  // in place: one shard walk per op, not two
+      } else {
+        store.objects_[op.obj.key] = op.obj;
+      }
+      if (lineage) {
+        op.has_lineage = true;
+        op.lineage.output = {store.name_, op.obj.key, op.obj.version,
+                             op.obj.data};
+        if (existed) op.lineage.inputs.push_back(std::move(prev));
+        op.lineage.op = "write:" + principal;
+        op.lineage.stage = "S";
+        // Matches the per-op path: the version-chain record carries the
+        // *client* trace id (the commit-seq root is stamped on events only).
+        op.lineage.trace_id = client_ctx.trace_id;
+        op.lineage.time = now;
+      }
+      if (profile_.durable) {
+        op.has_wal = true;
+        op.wal = WalEntry{store.name_, op.obj.key, op.obj.data};
+      }
+      op.type = existed ? WatchEventType::kModified : WatchEventType::kAdded;
+    }
+    op.committed = true;
+    // Watch matching: prefix + RBAC (audited into the op's sink, in watcher
+    // registration order — same audit shape as the per-op path). Batched
+    // watchers with a shard-aligned buffer take the direct path: the event
+    // coalesces into the buffer's shard queue right here (shard-local, so
+    // lock-free), leaving only counter folding for Phase C. Per-event
+    // watchers and fallback buffers stage a WatchHit for the serial merge.
+    const std::string& key = op.obj.key;
+    for (std::size_t widx : store_watchers) {
+      const Watch& watch = watches_[widx];
+      if (!common::starts_with(key, watch.prefix)) continue;
+      Decision wd = kernel_.check_access_buffered(
+          watch.principal, store.name_, key, Verb::kWatch, now, &op.audit);
+      if (!wd.allowed) continue;
+      const int bt = batch_target_of[widx];
+      if (bt >= 0) {
+        BatchTarget& target = batch_targets[static_cast<std::size_t>(bt)];
+        WatchEvent event;
+        event.type = op.type;
+        event.store = store.name_;
+        event.object = op.obj;
+        event.ctx = op.ctx;
+        ++target.commits[shard];
+        if (coalesce_into(target.buffer->shards[shard], std::move(event),
+                          op.ctx.commit_seq, wd.fields,
+                          stage_undo ? &target.undo[shard] : nullptr)) {
+          ++target.coalesced[shard];
+        }
+        continue;
+      }
+      EpochOp::WatchHit hit;
+      hit.watch_index = widx;
+      if (watch.batched) {
+        hit.batched = true;
+        hit.fields = wd.fields;
+      } else {
+        hit.event.type = op.type;
+        hit.event.store = store.name_;
+        hit.event.object = op.obj;
+        hit.event.ctx = op.ctx;
+        if (!wd.fields.unrestricted() && hit.event.object.data) {
+          hit.event.object.data = std::make_shared<const Value>(
+              Rbac::filter_fields(*hit.event.object.data, wd.fields));
+        }
+      }
+      op.hits.push_back(std::move(hit));
+    }
+  };
+  auto process = [&](std::size_t i, std::size_t shard,
+                     core::Tracer::SpanBuffer* spans,
+                     core::Metrics::Delta* delta) {
+    process_op(i, shard);
+    if (spans != nullptr) {
+      const std::uint64_t sid = spans->begin("de.epoch.op", now);
+      spans->annotate(sid, "stage", "S");
+      spans->annotate(sid, "store", store.name_);
+      spans->end(sid, now);
+    }
+    if (delta != nullptr) {
+      delta->inc(ops[i].committed ? "de.epoch.committed" : "de.epoch.failed");
+    }
+  };
+  std::vector<std::vector<std::function<void()>>> queues(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    if (shard_ops[s].empty()) continue;
+    queues[s].push_back([&, s] {
+      core::Tracer::SpanBuffer* spans =
+          span_buffers.empty() ? nullptr : &span_buffers[s];
+      core::Metrics::Delta* delta =
+          metric_deltas.empty() ? nullptr : &metric_deltas[s];
+      for (std::size_t i : shard_ops[s]) process(i, s, spans, delta);
+    });
+  }
+  kernel_.run_epoch_tasks(queues);
+
+  // --- mid-epoch crash? ----------------------------------------------------
+  if (epoch_fault_hook_ && epoch_fault_hook_()) {
+    // The process died between commit and merge: roll the whole epoch back
+    // (reverse order restores within-epoch overwrite chains correctly) so
+    // neither state, WAL, audit, lineage, nor any notification leaks.
+    for (std::size_t i = n; i-- > 0;) {
+      if (!ops[i].committed) continue;
+      // op.obj.key owns the key now (writes[i].key was moved for puts).
+      if (ops[i].undo_existed) {
+        store.objects_[ops[i].obj.key] = std::move(ops[i].undo_obj);
+      } else {
+        store.objects_.erase(ops[i].obj.key);
+      }
+    }
+    // Un-stage the watch events the shard tasks coalesced directly into
+    // batched watchers' buffers: restore overwritten pre-epoch slots, then
+    // truncate this epoch's appends and their slot-index entries. Without
+    // this, a crashed epoch would leak half-merged notifications on the
+    // next flush.
+    for (BatchTarget& target : batch_targets) {
+      for (std::size_t s = 0; s < shard_count; ++s) {
+        BatchStageUndo& u = target.undo[s];
+        ShardQueue& queue = target.buffer->shards[s];
+        for (auto& [idx, prev] : u.saved) {
+          queue.events[idx] = std::move(prev);
+        }
+        queue.events.resize(u.base_events);
+        std::erase_if(queue.slots, [&](const auto& kv) {
+          return kv.second >= u.base_events;
+        });
+      }
+    }
+    kernel_.crash();
+    stats_.unavailable_rejections += n;
+    for (std::size_t i = 0; i < n; ++i) {
+      results.push_back(Error::unavailable("object: de crashed mid-epoch"));
+    }
+    return results;
+  }
+
+  // --- Phase C: serial deterministic merge --------------------------------
+  // Fold the worker-local observability sinks first, in shard-index order
+  // (a crashed epoch never reaches this point — its buffers are dropped
+  // with the stack frame).
+  for (auto& buffer : span_buffers) tracer_->merge(buffer);
+  if (epoch_metrics_ != nullptr) {
+    epoch_metrics_->inc("de.epoch.epochs");
+    for (auto& delta : metric_deltas) epoch_metrics_->merge(delta);
+  }
+  // Fold the direct-staged batch watchers' shard-local counters and draw
+  // the flush delay (one RNG sample per watcher, registration order — the
+  // same draw enqueue_batched would have made on the first matching op).
+  for (BatchTarget& target : batch_targets) {
+    std::uint64_t commits = 0;
+    std::uint64_t coalesced = 0;
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      commits += target.commits[s];
+      coalesced += target.coalesced[s];
+    }
+    if (commits == 0) continue;
+    WatchBuffer& buf = *target.buffer;
+    buf.commits += commits;
+    stats_.watch_events_coalesced += coalesced;
+    if (!buf.flush_scheduled) {
+      buf.flush_scheduled = true;
+      Watch& w = watches_[target.watch_index];
+      sim::SimTime delay =
+          w.window + profile_.watch_notify.sample(kernel_.rng());
+      std::uint64_t id = w.id;
+      clock().schedule_after(delay, [this, id]() { flush_watch_batch(id); });
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    EpochOp& op = ops[i];
+    kernel_.append_audit(op.audit);
+    if (op.fail != EpochOp::Fail::kNone) {
+      switch (op.fail) {
+        case EpochOp::Fail::kDenied:
+        case EpochOp::Fail::kInvalid:
+          ++stats_.permission_denials;
+          break;
+        case EpochOp::Fail::kConflict:
+          ++stats_.version_conflicts;
+          break;
+        default:
+          break;
+      }
+      results.push_back(op.error);
+      continue;
+    }
+    if (op.has_lineage) kernel_.provenance().record(std::move(op.lineage));
+    if (op.has_wal) wal_.push_back(std::move(op.wal));
+    for (EpochOp::WatchHit& hit : op.hits) {
+      Watch& watch = watches_[hit.watch_index];
+      if (hit.batched) {
+        Decision d;
+        d.allowed = true;
+        d.fields = hit.fields;
+        enqueue_batched(watch, op.type, op.obj, d, op.ctx.commit_seq, op.ctx);
+      } else {
+        schedule_event_delivery(watch, std::move(hit.event));
+      }
+    }
+    fire_triggers_with(store.name_, op.type, op.obj, op.ctx);
+    results.push_back(writes[i].remove ? std::uint64_t{0} : op.obj.version);
+  }
+  return results;
 }
 
 void ObjectDe::fire_watches(const std::string& store_name, WatchEventType type,
@@ -789,21 +1226,67 @@ void ObjectDe::fire_watches(const std::string& store_name, WatchEventType type,
       event.object.data = std::make_shared<const Value>(
           Rbac::filter_fields(*event.object.data, d.fields));
     }
-    sim::SimTime delay = profile_.watch_notify.sample(kernel_.rng());
-    auto callback = w.callback;
-    std::uint64_t id = w.id;
-    clock().schedule_after(delay, [this, callback, event = std::move(event),
-                                   id]() {
-      // The watch may have been cancelled while the event was in flight.
-      for (const auto& live : watches_) {
-        if (live.id == id) {
-          ++stats_.watch_events;
-          callback(event);
-          return;
-        }
-      }
-    });
+    schedule_event_delivery(w, std::move(event));
   }
+}
+
+void ObjectDe::schedule_event_delivery(const Watch& w, WatchEvent event) {
+  sim::SimTime delay = profile_.watch_notify.sample(kernel_.rng());
+  auto callback = w.callback;
+  std::uint64_t id = w.id;
+  clock().schedule_after(delay, [this, callback, event = std::move(event),
+                                 id]() {
+    // The watch may have been cancelled while the event was in flight.
+    for (const auto& live : watches_) {
+      if (live.id == id) {
+        ++stats_.watch_events;
+        callback(event);
+        return;
+      }
+    }
+  });
+}
+
+bool ObjectDe::coalesce_into(ShardQueue& queue, WatchEvent&& event,
+                             std::uint64_t seq, const FieldRule& fields,
+                             BatchStageUndo* undo) {
+  auto slot = queue.slots.find(event.object.key);
+  if (slot == queue.slots.end()) {
+    queue.slots.emplace(event.object.key, queue.events.size());
+    queue.events.push_back(BufferedEvent{std::move(event), seq, fields});
+    return false;
+  }
+  // Coalesce into the key's slot. The slot takes the new payload and the
+  // new commit sequence (flush orders by it, so a delete superseding a
+  // modify keeps its temporal position). Type merge: an object the
+  // watcher has never seen stays kAdded through modifies; a delete
+  // always survives as kDeleted; a re-create after an unseen delete
+  // nets out to kModified (the object still exists, with new data).
+  BufferedEvent& be = queue.events[slot->second];
+  if (undo != nullptr && slot->second < undo->base_events) {
+    bool saved = false;
+    for (const auto& [idx, prev] : undo->saved) {
+      if (idx == slot->second) {
+        saved = true;
+        break;
+      }
+    }
+    if (!saved) undo->saved.emplace_back(slot->second, be);
+  }
+  WatchEventType merged = event.type;
+  if (event.type != WatchEventType::kDeleted) {
+    if (be.event.type == WatchEventType::kAdded) {
+      merged = WatchEventType::kAdded;
+    } else if (be.event.type == WatchEventType::kDeleted) {
+      merged = WatchEventType::kModified;
+    }
+  }
+  be.event.type = merged;
+  be.event.ctx = event.ctx;  // the slot carries its latest commit's context
+  be.event.object = std::move(event.object);
+  be.seq = seq;
+  be.fields = fields;
+  return true;
 }
 
 void ObjectDe::enqueue_batched(Watch& w, WatchEventType type,
@@ -819,32 +1302,8 @@ void ObjectDe::enqueue_batched(Watch& w, WatchEventType type,
   if (buf.shards.empty()) buf.shards.resize(shards_);
   ShardQueue& queue = buf.shards[shard_of(obj.key, buf.shards.size())];
   ++buf.commits;
-  auto slot = queue.slots.find(obj.key);
-  if (slot == queue.slots.end()) {
-    queue.slots.emplace(obj.key, queue.events.size());
-    queue.events.push_back(BufferedEvent{std::move(event), seq, d.fields});
-  } else {
-    // Coalesce into the key's slot. The slot takes the new payload and the
-    // new commit sequence (flush orders by it, so a delete superseding a
-    // modify keeps its temporal position). Type merge: an object the
-    // watcher has never seen stays kAdded through modifies; a delete
-    // always survives as kDeleted; a re-create after an unseen delete
-    // nets out to kModified (the object still exists, with new data).
+  if (coalesce_into(queue, std::move(event), seq, d.fields, nullptr)) {
     ++stats_.watch_events_coalesced;
-    BufferedEvent& be = queue.events[slot->second];
-    WatchEventType merged = type;
-    if (type != WatchEventType::kDeleted) {
-      if (be.event.type == WatchEventType::kAdded) {
-        merged = WatchEventType::kAdded;
-      } else if (be.event.type == WatchEventType::kDeleted) {
-        merged = WatchEventType::kModified;
-      }
-    }
-    be.event.type = merged;
-    be.event.object = std::move(event.object);
-    be.event.ctx = ctx;  // the slot carries its latest commit's context
-    be.seq = seq;
-    be.fields = d.fields;
   }
   if (!buf.flush_scheduled) {
     buf.flush_scheduled = true;
@@ -933,6 +1392,12 @@ void ObjectDe::fire_triggers(const std::string& store_name,
   core::TraceContext ctx = commit_ctx_;
   ctx.commit_seq = kernel_.commit_seq();
   if (ctx.trace_id == 0) ctx.trace_id = ctx.commit_seq;
+  fire_triggers_with(store_name, type, obj, ctx);
+}
+
+void ObjectDe::fire_triggers_with(const std::string& store_name,
+                                  WatchEventType type, const StateObject& obj,
+                                  const core::TraceContext& ctx) {
   for (const auto& t : triggers_) {
     if (t.store != store_name) continue;
     if (!common::starts_with(obj.key, t.prefix)) continue;

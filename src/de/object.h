@@ -31,6 +31,7 @@
 #include "common/histogram.h"
 #include "common/result.h"
 #include "common/value.h"
+#include "core/trace.h"
 #include "de/kernel.h"
 #include "de/profile.h"
 #include "de/rbac.h"
@@ -100,6 +101,18 @@ struct ObjectDeStats {
 
 class ObjectDe;
 
+/// One operation inside an epoch commit (ObjectStore::put_epoch): an
+/// upsert (merge=false), a patch (merge=true), or a delete (remove=true;
+/// `data` ignored). `expected_version` adds the optimistic-concurrency
+/// check of put_versioned.
+struct EpochWrite {
+  std::string key;
+  common::Value data;
+  bool merge = false;
+  bool remove = false;
+  std::optional<std::uint64_t> expected_version;
+};
+
 /// A named data store (namespace) on an Object DE. All operations are
 /// asynchronous — completion callbacks fire after the profile's latency on
 /// the DE's clock — with `_sync` convenience wrappers that drive the clock.
@@ -112,6 +125,10 @@ class ObjectStore {
       std::function<void(common::Result<std::vector<StateObject>>)>;
   using WatchCallback = std::function<void(const WatchEvent&)>;
   using WatchBatchCallback = std::function<void(const WatchBatch&)>;
+  /// One Result per EpochWrite, in submission order. A delete completes
+  /// with value 0; everything else with the committed version.
+  using EpochCallback =
+      std::function<void(std::vector<common::Result<std::uint64_t>>)>;
 
   [[nodiscard]] const std::string& name() const { return name_; }
 
@@ -137,6 +154,23 @@ class ObjectStore {
               DelCallback done);
   void list(const std::string& principal, const std::string& prefix,
             ListCallback done);
+
+  /// Epoch commit: applies a whole batch of independent writes in one
+  /// client round trip through the parallel commit pipeline. The batch is
+  /// partitioned by key shard, stamps (version + commit seq) are
+  /// pre-assigned serially so every op's identity is a pure function of
+  /// its position in the epoch, shards commit concurrently on the bound
+  /// worker pool, and a serial epoch merge replays audit entries, lineage,
+  /// WAL appends, and watch/trigger notifications in exact submission
+  /// order. Observable behavior is byte-identical for every shard/worker
+  /// configuration, and — on failure-free epochs — identical to issuing
+  /// the same ops through put/patch/remove one by one (failed ops leave
+  /// holes in the version/commit-seq domains that the per-op path would
+  /// not). See docs/ARCHITECTURE.md "Epoch commit pipeline".
+  void put_epoch(const std::string& principal, std::vector<EpochWrite> writes,
+                 EpochCallback done);
+  std::vector<common::Result<std::uint64_t>> put_epoch_sync(
+      const std::string& principal, std::vector<EpochWrite> writes);
 
   /// Registers a watch on a key prefix. Events are delivered after the
   /// profile's watch-notify latency. Returns a watch id (0 on permission
@@ -322,6 +356,30 @@ class ObjectDe {
   void crash() { kernel_.crash(); }
   void recover() { kernel_.recover(); }
 
+  /// Chaos hook for the epoch pipeline: invoked after every epoch's
+  /// parallel phase, before the serial merge. Returning true simulates the
+  /// process dying mid-epoch — the whole epoch rolls back (state restored,
+  /// no WAL entries, no notifications, every op fails Unavailable) and the
+  /// DE is marked crashed, so recovery replays a WAL that never saw a
+  /// half-merged epoch.
+  void set_epoch_fault_hook(std::function<bool()> hook) {
+    epoch_fault_hook_ = std::move(hook);
+  }
+
+  /// Optional epoch-pipeline observability. When set, each Phase-B shard
+  /// worker emits one "de.epoch.op" span per op (stage "S") into a
+  /// worker-local Tracer::SpanBuffer and bumps worker-local Metrics::Delta
+  /// counters ("de.epoch.committed" / "de.epoch.failed") — zero shared
+  /// state on the parallel path. The serial merge folds the buffers in
+  /// shard-index order at the epoch boundary, so span *counts* and stage
+  /// attribution are identical for every shard/worker configuration (span
+  /// order groups by shard; see docs/OBSERVABILITY.md). A mid-epoch crash
+  /// drops the buffers: no span or counter from a rolled-back epoch leaks.
+  void set_observability(core::Tracer* tracer, core::Metrics* metrics) {
+    tracer_ = tracer;
+    epoch_metrics_ = metrics;
+  }
+
   /// RBAC policy engine for this DE (disabled by default).
   [[nodiscard]] Rbac& rbac() { return kernel_.rbac(); }
 
@@ -371,6 +429,15 @@ class ObjectDe {
     std::map<std::string, std::size_t> slots;  // key -> index in events
     std::vector<BufferedEvent> events;
   };
+  /// Rollback bookkeeping for epoch shard tasks that stage batched watch
+  /// events straight into a buffer's shard queue: everything past
+  /// `base_events` is this epoch's, and `saved` holds the pre-epoch value
+  /// of every slot the epoch coalesced into, so a mid-epoch crash can
+  /// restore the queue exactly.
+  struct BatchStageUndo {
+    std::size_t base_events = 0;
+    std::vector<std::pair<std::size_t, BufferedEvent>> saved;
+  };
   struct WatchBuffer {
     std::vector<ShardQueue> shards;
     std::uint64_t commits = 0;
@@ -386,7 +453,11 @@ class ObjectDe {
   struct WalEntry {
     std::string store;
     std::string key;
-    std::string data_json;  // empty => delete
+    // Shared snapshot of the committed payload (null => delete). Committed
+    // values are immutable behind shared_ptr<const Value>, so the WAL can
+    // reference them zero-copy instead of serializing per commit; replay
+    // copies the value back through commit_put.
+    std::shared_ptr<const common::Value> data;
   };
 
   /// Commits a write at engine level (no latency charging) and fires
@@ -400,14 +471,67 @@ class ObjectDe {
       bool merge, std::optional<std::uint64_t> expected,
       const std::string& principal = "service");
   common::Status commit_delete(ObjectStore& store, const std::string& key);
+
+  /// Per-op scratch the epoch pipeline's parallel phase fills and the
+  /// serial merge phase drains. Everything here is owned by exactly one
+  /// shard task during the parallel phase (ops are partitioned by key
+  /// shard), so no synchronization is needed.
+  struct EpochOp {
+    bool committed = false;
+    StateObject obj;           // committed object (pre-delete copy on remove)
+    WatchEventType type = WatchEventType::kAdded;
+    core::TraceContext ctx;    // stamped with the pre-assigned commit seq
+    std::vector<AuditEntry> audit;  // buffered access decisions, op order
+    bool has_lineage = false;
+    core::LineageRecord lineage;
+    bool has_wal = false;
+    WalEntry wal;              // staged; spliced at merge (all-or-nothing)
+    bool undo_existed = false; // rollback state for mid-epoch crashes
+    StateObject undo_obj;
+    struct WatchHit {
+      std::size_t watch_index = 0;
+      bool batched = false;
+      FieldRule fields;        // batched: RBAC filter applied at flush
+      WatchEvent event;        // per-event mode: RBAC-filtered, ready to ship
+    };
+    std::vector<WatchHit> hits;
+    enum class Fail { kNone, kDenied, kInvalid, kConflict, kNotFound };
+    Fail fail = Fail::kNone;
+    common::Error error;
+  };
+
+  /// The three-phase epoch pipeline behind ObjectStore::put_epoch.
+  std::vector<common::Result<std::uint64_t>> commit_epoch(
+      ObjectStore& store, const std::string& principal,
+      const core::TraceContext& client_ctx, std::vector<EpochWrite> writes);
+
   void fire_watches(const std::string& store_name, WatchEventType type,
                     const StateObject& obj);
   void enqueue_batched(Watch& w, WatchEventType type, const StateObject& obj,
                        const Decision& d, std::uint64_t seq,
                        const core::TraceContext& ctx);
+  /// The one coalescing rule set for batched watches, shared by the per-op
+  /// path (enqueue_batched) and the epoch pipeline's shard tasks so the
+  /// two cannot drift. Inserts or coalesces one event into a shard queue;
+  /// returns true when it coalesced into an existing slot. With `undo`,
+  /// the first overwrite of any pre-epoch slot saves the previous entry
+  /// for mid-epoch rollback.
+  static bool coalesce_into(ShardQueue& queue, WatchEvent&& event,
+                            std::uint64_t seq, const FieldRule& fields,
+                            BatchStageUndo* undo);
+  /// Samples the notify latency and schedules one per-event delivery (with
+  /// the cancellation liveness check). Shared by the per-op and epoch
+  /// paths so delivery semantics cannot drift.
+  void schedule_event_delivery(const Watch& w, WatchEvent event);
   void flush_watch_batch(std::uint64_t watch_id);
   void fire_triggers(const std::string& store_name, WatchEventType type,
                      const StateObject& obj);
+  /// Trigger fan-out with an explicit causal context (the epoch merge
+  /// stamps pre-assigned seqs; the per-op path derives the context from
+  /// the kernel's current seq in fire_triggers).
+  void fire_triggers_with(const std::string& store_name, WatchEventType type,
+                          const StateObject& obj,
+                          const core::TraceContext& ctx);
 
   /// Engine-level reads used by UDFContext (charges engine latency
   /// synchronously on the clock).
@@ -433,6 +557,8 @@ class ObjectDe {
   std::map<std::uint64_t, WatchBuffer> watch_buffers_;  // batched watches
   std::vector<Trigger> triggers_;
   std::vector<WalEntry> wal_;
+  core::Tracer* tracer_ = nullptr;          // epoch-pipeline span sink
+  core::Metrics* epoch_metrics_ = nullptr;  // epoch-pipeline counter sink
   bool recovering_ = false;
   /// When set, watch/trigger notifications queue instead of firing
   /// (transactions drain the queue after the full commit).
@@ -448,6 +574,7 @@ class ObjectDe {
   /// kernel's ambient context at the client call, installed around
   /// commit_put/commit_delete so fire_watches can stamp it onto events).
   core::TraceContext commit_ctx_;
+  std::function<bool()> epoch_fault_hook_;
   ObjectDeStats stats_;
 };
 

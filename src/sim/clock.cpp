@@ -35,7 +35,11 @@ std::size_t VirtualClock::run_until(SimTime deadline) {
 bool VirtualClock::step() {
   if (queue_.empty()) return false;
   // Move the event out before running: the callback may schedule new events.
-  Event ev = queue_.top();
+  // top() only exposes a const ref; moving through it is safe because pop()
+  // removes the moved-from element immediately and the heap comparator only
+  // reads the (untouched) when/seq fields. Copying here would deep-copy the
+  // callback closure — including any captured payload — on every dispatch.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
   queue_.pop();
   now_ = std::max(now_, ev.when);
   ev.cb();

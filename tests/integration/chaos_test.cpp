@@ -55,7 +55,8 @@ sim::FaultPlan retail_plan(std::uint64_t seed) {
 
 RetailTrialResult run_retail_trial(std::uint64_t seed, bool inject,
                                    sim::SimTime batch_window = 0,
-                                   std::size_t shards = 1, int workers = 1) {
+                                   std::size_t shards = 1, int workers = 1,
+                                   bool epoch_commit = false) {
   core::Runtime runtime;
   apps::RetailKnactorOptions options;
   options.de_profile = de::ObjectDeProfile::apiserver();  // durable: WAL
@@ -65,6 +66,7 @@ RetailTrialResult run_retail_trial(std::uint64_t seed, bool inject,
   options.batch_window = batch_window;  // coalesced watch delivery
   options.shards = shards;
   options.workers = workers;
+  options.epoch_commit = epoch_commit;  // integrator writes via put_epoch
   auto app = apps::build_retail_knactor_app(runtime, options);
 
   chaos::ChaosHooks hooks;
@@ -239,6 +241,171 @@ TEST(ChaosRetailSharded, ShardedRunsAreBitIdenticalToSerialUnderChaos) {
     EXPECT_EQ(sharded.failed_passes, serial.failed_passes) << "seed " << seed;
     EXPECT_EQ(sharded.cast_retries, serial.cast_retries) << "seed " << seed;
   }
+}
+
+TEST(ChaosRetailEpoch, FortySeedsConvergeWithParallelCommitPipeline) {
+  // Parallel-commit-pipeline satellite: the integrator now writes each pass
+  // through put_epoch (grouped per store, committed shard-parallel behind
+  // the deterministic epoch merge) while the same seeded fault corpus
+  // crashes the DE and the pipeline knactors mid-run — including mid-epoch:
+  // an epoch that lands in a crash window fails whole (every op
+  // Unavailable) and the integrator's retry replays the pass. Every seed
+  // must still converge to the fault-free *per-patch* oracle: the epoch
+  // path changes how writes commit, never what state they converge to.
+  const int kSeeds = 40;
+  int completed_during_chaos = 0;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    auto result = run_retail_trial(seed, /*inject=*/true,
+                                   25 * sim::kMillisecond, /*shards=*/8,
+                                   /*workers=*/4, /*epoch_commit=*/true);
+    ASSERT_TRUE(result.converged)
+        << "epoch seed " << seed << " diverged from oracle.\nSchedule:\n"
+        << result.schedule << "Plan: " << retail_plan(seed).describe();
+    if (result.completed) ++completed_during_chaos;
+  }
+  EXPECT_GT(completed_during_chaos, kSeeds / 2);
+}
+
+TEST(ChaosRetailEpoch, EpochTrialsAreBitIdenticalToSerialUnderChaos) {
+  // And the epoch pipeline keeps the shard-determinism contract under
+  // chaos: 8 shards / 4 workers replay the 1-shard serial epoch trial
+  // byte-for-byte (schedule, fingerprint, retry counts).
+  const int kSeeds = 12;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    auto serial = run_retail_trial(seed, /*inject=*/true,
+                                   25 * sim::kMillisecond, /*shards=*/1,
+                                   /*workers=*/1, /*epoch_commit=*/true);
+    auto sharded = run_retail_trial(seed, /*inject=*/true,
+                                    25 * sim::kMillisecond, /*shards=*/8,
+                                    /*workers=*/4, /*epoch_commit=*/true);
+    EXPECT_EQ(sharded.schedule, serial.schedule) << "seed " << seed;
+    EXPECT_EQ(sharded.fingerprint, serial.fingerprint) << "seed " << seed;
+    EXPECT_EQ(sharded.completed, serial.completed) << "seed " << seed;
+    EXPECT_EQ(sharded.failed_passes, serial.failed_passes) << "seed " << seed;
+    EXPECT_EQ(sharded.cast_retries, serial.cast_retries) << "seed " << seed;
+  }
+}
+
+TEST(ChaosRetailEpoch, FaultFreeEpochTrialMatchesOracle) {
+  auto result = run_retail_trial(0, /*inject=*/false, 25 * sim::kMillisecond,
+                                 /*shards=*/8, /*workers=*/4,
+                                 /*epoch_commit=*/true);
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(result.converged);
+}
+
+// ---------------------------------------------------------------------------
+// Mid-epoch crash atomicity: a worker dying between the parallel commit and
+// the serial merge must not leak a half-merged epoch anywhere — state, WAL,
+// audit, lineage, watches, or triggers.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosEpochAtomicity, MidEpochCrashLeaksNothing) {
+  sim::VirtualClock clock;
+  de::ObjectDe de(clock, de::ObjectDeProfile::apiserver());  // durable: WAL
+  de.enable_audit(1024);
+  de.kernel().enable_provenance(1024);
+  de.set_shards(8);
+  de::ObjectStore& store = de.create_store("orders");
+
+  int watch_events = 0;
+  (void)store.watch("observer", "",
+                    [&](const de::WatchEvent&) { ++watch_events; });
+  std::vector<de::WatchBatch> batches;
+  (void)store.watch_batch("observer", "", 200 * sim::kMillisecond,
+                          [&](const de::WatchBatch& b) { batches.push_back(b); });
+
+  // Baseline state committed through a healthy epoch.
+  ASSERT_TRUE(store.put_sync("writer", "a", Value::object({{"v", 1}})).ok());
+  ASSERT_TRUE(store.put_sync("writer", "b", Value::object({{"v", 2}})).ok());
+  ASSERT_TRUE(store.put_sync("writer", "c", Value::object({{"v", 3}})).ok());
+  while (clock.step()) {
+  }
+
+  // Leave one event pending in the batched watcher's buffer: commit a put
+  // but stop the clock before its flush window expires. The crashing epoch
+  // below coalesces into this event's slot, so rollback must restore the
+  // slot's pre-epoch payload — not just truncate the epoch's appends.
+  bool staged = false;
+  store.put("writer", "a", Value::object({{"v", 5}}),
+            [&](common::Result<std::uint64_t> r) { staged = r.ok(); });
+  clock.run_until(clock.now() + 50 * sim::kMillisecond);
+  ASSERT_TRUE(staged);
+
+  const std::string before = chaos::fingerprint_stores({&store});
+  const int events_before = watch_events;
+  const std::size_t batches_before = batches.size();
+  const std::size_t audit_before = de.audit_log().size();
+  const std::size_t lineage_before = de.kernel().provenance().records().size();
+
+  // Arm a one-shot mid-epoch crash: the hook fires after the parallel phase
+  // has mutated shard state but before the serial merge publishes anything.
+  bool crash_next = true;
+  de.set_epoch_fault_hook([&crash_next] {
+    bool fire = crash_next;
+    crash_next = false;
+    return fire;
+  });
+
+  std::vector<de::EpochWrite> writes;
+  de::EpochWrite w1;
+  w1.key = "a";
+  w1.data = Value::object({{"v", 10}});
+  de::EpochWrite w2;
+  w2.key = "b";
+  w2.remove = true;
+  de::EpochWrite w3;
+  w3.key = "d";
+  w3.data = Value::object({{"v", 4}});
+  writes.push_back(std::move(w1));
+  writes.push_back(std::move(w2));
+  writes.push_back(std::move(w3));
+  auto results = store.put_epoch_sync("writer", std::move(writes));
+
+  // Every op failed Unavailable; nothing about the epoch is observable.
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& r : results) {
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, common::Error::Code::kUnavailable);
+  }
+  EXPECT_FALSE(de.available());
+  EXPECT_EQ(chaos::fingerprint_stores({&store}), before);
+  EXPECT_EQ(watch_events, events_before);
+  EXPECT_EQ(batches.size(), batches_before);
+  EXPECT_EQ(de.audit_log().size(), audit_before);
+  EXPECT_EQ(de.kernel().provenance().records().size(), lineage_before);
+
+  // Recovery replays the WAL — which never saw the half-merged epoch, so
+  // the replayed state is exactly the pre-epoch state.
+  de.recover();
+  while (clock.step()) {
+  }
+  EXPECT_EQ(chaos::fingerprint_stores({&store}), before);
+
+  // The pending watch buffer flushed after recovery with exactly its
+  // pre-epoch content: one event for "a" carrying the pre-crash payload.
+  // The crashed epoch's coalesce into that slot and its appended events
+  // ("b" delete, "d" add) were all rolled back.
+  ASSERT_EQ(batches.size(), batches_before + 1);
+  const de::WatchBatch& flushed = batches.back();
+  ASSERT_EQ(flushed.events.size(), 1u);
+  const de::WatchEvent& pending = flushed.events[0];
+  EXPECT_EQ(pending.object.key, "a");
+  EXPECT_EQ(pending.type, de::WatchEventType::kModified);
+  ASSERT_TRUE(pending.object.data);
+  ASSERT_NE(pending.object.data->get("v"), nullptr);
+  EXPECT_EQ(pending.object.data->get("v")->as_int(), 5);
+
+  // And the pipeline is healthy again: the retried epoch commits whole.
+  de::EpochWrite retry;
+  retry.key = "a";
+  retry.data = Value::object({{"v", 10}});
+  std::vector<de::EpochWrite> retry_writes;
+  retry_writes.push_back(std::move(retry));
+  auto retried = store.put_epoch_sync("writer", std::move(retry_writes));
+  ASSERT_EQ(retried.size(), 1u);
+  EXPECT_TRUE(retried[0].ok());
+  EXPECT_NE(chaos::fingerprint_stores({&store}), before);
 }
 
 TEST(ChaosRetail, FaultFreeTrialMatchesOracleExactly) {

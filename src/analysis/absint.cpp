@@ -1,0 +1,841 @@
+#include "analysis/absint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "common/json.h"
+#include "expr/eval.h"
+
+namespace knactor::analysis {
+
+using common::Value;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Python-style equality, mirroring the evaluator: numbers compare by
+/// value across int/double, everything else by type+structure.
+bool values_equal(const Value& a, const Value& b) {
+  if (a.is_number() && b.is_number()) return a.as_number() == b.as_number();
+  return a == b;
+}
+
+std::string common_prefix(const std::string& a, const std::string& b) {
+  std::size_t n = std::min(a.size(), b.size());
+  std::size_t i = 0;
+  while (i < n && a[i] == b[i]) ++i;
+  return a.substr(0, i);
+}
+
+/// Recomputes the coarse facts of a set-backed value from its members.
+void derive_from_set(AbsValue& v) {
+  v.may_null = v.may_number = v.may_string = v.may_other = false;
+  v.may_truthy = v.may_falsy = false;
+  v.lo = kInf;
+  v.hi = -kInf;
+  bool first_string = true;
+  v.prefix.clear();
+  for (const Value& m : v.values) {
+    (m.truthy() ? v.may_truthy : v.may_falsy) = true;
+    if (m.is_null()) {
+      v.may_null = true;
+    } else if (m.is_number()) {
+      v.may_number = true;
+      v.lo = std::min(v.lo, m.as_number());
+      v.hi = std::max(v.hi, m.as_number());
+    } else if (m.is_string()) {
+      v.may_string = true;
+      v.prefix = first_string ? m.as_string()
+                              : common_prefix(v.prefix, m.as_string());
+      first_string = false;
+    } else {
+      v.may_other = true;
+    }
+  }
+  if (!v.may_number) {
+    v.lo = -kInf;
+    v.hi = kInf;
+  }
+}
+
+/// Coarse result whose truthiness has not been narrowed: derives
+/// may_truthy/may_falsy from the domain facts.
+void derive_truthiness(AbsValue& v) {
+  v.may_truthy = v.may_other ||
+                 (v.may_string) ||  // a non-empty string may exist
+                 (v.may_number && !(v.lo == 0 && v.hi == 0));
+  v.may_falsy = v.may_null || v.may_other ||
+                (v.may_string && v.prefix.empty()) ||
+                (v.may_number && v.lo <= 0 && 0 <= v.hi);
+}
+
+/// A coarse value carrying only the given domains (set facts dropped).
+AbsValue coarse(bool null_ok, bool num_ok, bool str_ok, bool other_ok,
+                double lo = -kInf, double hi = kInf,
+                std::string prefix = {}) {
+  AbsValue v;
+  v.has_set = false;
+  v.may_null = null_ok;
+  v.may_number = num_ok;
+  v.may_string = str_ok;
+  v.may_other = other_ok;
+  v.lo = num_ok ? lo : -kInf;
+  v.hi = num_ok ? hi : kInf;
+  v.prefix = str_ok ? std::move(prefix) : std::string();
+  derive_truthiness(v);
+  return v;
+}
+
+/// Restricts a value to its falsy (or truthy) members; used by the
+/// short-circuit and/or transfer functions. The domain facts stay as a
+/// sound superset; only the set and truthiness narrow.
+AbsValue restrict_truthiness(const AbsValue& v, bool keep_truthy) {
+  AbsValue out = v;
+  if (out.has_set) {
+    std::vector<Value> kept;
+    for (const Value& m : out.values) {
+      if (m.truthy() == keep_truthy) kept.push_back(m);
+    }
+    out.values = std::move(kept);
+    derive_from_set(out);
+    return out;
+  }
+  if (keep_truthy) {
+    out.may_falsy = false;
+    out.may_null = false;  // null is always falsy
+  } else {
+    out.may_truthy = false;
+  }
+  return out;
+}
+
+bool set_contains(const std::vector<Value>& vs, const Value& v) {
+  return std::any_of(vs.begin(), vs.end(),
+                     [&](const Value& m) { return values_equal(m, v); });
+}
+
+}  // namespace
+
+AbsValue AbsValue::top() {
+  AbsValue v;
+  v.lo = -kInf;
+  v.hi = kInf;
+  return v;
+}
+
+AbsValue AbsValue::constant(Value v) {
+  return from_set({std::move(v)});
+}
+
+AbsValue AbsValue::from_set(std::vector<Value> vs) {
+  AbsValue v;
+  v.has_set = true;
+  for (Value& m : vs) {
+    if (!set_contains(v.values, m)) v.values.push_back(std::move(m));
+  }
+  if (v.values.size() > kAbsSetCap) v.has_set = false;
+  derive_from_set(v);
+  if (!v.has_set) v.values.clear();
+  return v;
+}
+
+bool AbsValue::is_bottom() const {
+  return !may_null && !may_number && !may_string && !may_other;
+}
+
+AbsValue abs_join(const AbsValue& a, const AbsValue& b) {
+  if (a.is_bottom()) return b;
+  if (b.is_bottom()) return a;
+  if (a.has_set && b.has_set &&
+      a.values.size() + b.values.size() <= 2 * kAbsSetCap) {
+    std::vector<Value> merged = a.values;
+    for (const Value& m : b.values) merged.push_back(m);
+    AbsValue joined = AbsValue::from_set(std::move(merged));
+    if (joined.has_set) return joined;
+  }
+  AbsValue v;
+  v.has_set = false;
+  v.may_null = a.may_null || b.may_null;
+  v.may_number = a.may_number || b.may_number;
+  v.may_string = a.may_string || b.may_string;
+  v.may_other = a.may_other || b.may_other;
+  v.may_truthy = a.may_truthy || b.may_truthy;
+  v.may_falsy = a.may_falsy || b.may_falsy;
+  if (a.may_number && b.may_number) {
+    v.lo = std::min(a.lo, b.lo);
+    v.hi = std::max(a.hi, b.hi);
+  } else {
+    const AbsValue& num = a.may_number ? a : b;
+    v.lo = num.lo;
+    v.hi = num.hi;
+  }
+  if (a.may_string && b.may_string) {
+    v.prefix = common_prefix(a.prefix, b.prefix);
+  } else {
+    v.prefix = a.may_string ? a.prefix : b.prefix;
+  }
+  return v;
+}
+
+AbsValue abs_from_type(const Type& t) {
+  switch (t.kind) {
+    case TypeKind::kInt:
+    case TypeKind::kNumber:
+      return coarse(true, true, false, false);
+    case TypeKind::kString:
+      return coarse(true, false, true, false);
+    case TypeKind::kBool:
+      return AbsValue::from_set(
+          {Value(nullptr), Value(true), Value(false)});
+    case TypeKind::kList:
+    case TypeKind::kObject:
+      return coarse(true, false, false, true);
+    case TypeKind::kNull:
+      return AbsValue::constant(Value(nullptr));
+    case TypeKind::kAny:
+      break;
+  }
+  return AbsValue::top();
+}
+
+void AbsEnv::bind(std::string path, AbsValue v) {
+  vars_[std::move(path)] = std::move(v);
+}
+
+void AbsEnv::shadow(const std::string& name, AbsValue v) {
+  auto it = vars_.lower_bound(name);
+  while (it != vars_.end()) {
+    const std::string& key = it->first;
+    if (key != name &&
+        (key.size() <= name.size() || key.compare(0, name.size(), name) != 0 ||
+         key[name.size()] != '.')) {
+      break;
+    }
+    it = vars_.erase(it);
+  }
+  bind(name, std::move(v));
+}
+
+const AbsValue* AbsEnv::find(const std::string& path) const {
+  auto it = vars_.find(path);
+  return it != vars_.end() ? &it->second : nullptr;
+}
+
+AbsEnv abs_env_from_fields(const std::map<std::string, Type>& fields) {
+  AbsEnv env;
+  for (const auto& [name, type] : fields) env.bind(name, abs_from_type(type));
+  return env;
+}
+
+namespace {
+
+/// Dotted path of a pure name/attribute chain ("C.order.cost"); empty
+/// when the node is anything else.
+std::string path_of(const expr::Node& node) {
+  if (node.kind == expr::NodeKind::kName) return node.name;
+  if (node.kind == expr::NodeKind::kAttribute && node.a != nullptr) {
+    std::string base = path_of(*node.a);
+    if (!base.empty()) return base + "." + node.name;
+  }
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// Constant folding.
+
+/// True when the expression's value cannot depend on the environment:
+/// every name is comprehension-bound and every call is a pure builtin
+/// (currency_convert reads a mutable rate table, so it never folds).
+bool is_closed(const expr::Node& node, std::vector<std::string>& bound) {
+  using expr::NodeKind;
+  switch (node.kind) {
+    case NodeKind::kLiteral:
+      return true;
+    case NodeKind::kName:
+      return std::find(bound.begin(), bound.end(), node.name) != bound.end();
+    case NodeKind::kAttribute:
+    case NodeKind::kUnary:
+      return node.a != nullptr && is_closed(*node.a, bound);
+    case NodeKind::kIndex:
+    case NodeKind::kBinary:
+      return node.a != nullptr && is_closed(*node.a, bound) &&
+             node.b != nullptr && is_closed(*node.b, bound);
+    case NodeKind::kTernary:
+      return node.a != nullptr && is_closed(*node.a, bound) &&
+             node.b != nullptr && is_closed(*node.b, bound) &&
+             node.c != nullptr && is_closed(*node.c, bound);
+    case NodeKind::kCall: {
+      if (node.name == "currency_convert") return false;
+      for (const auto& arg : node.args) {
+        if (arg == nullptr || !is_closed(*arg, bound)) return false;
+      }
+      return true;
+    }
+    case NodeKind::kList:
+    case NodeKind::kDict: {
+      for (const auto& arg : node.args) {
+        if (arg == nullptr || !is_closed(*arg, bound)) return false;
+      }
+      return true;
+    }
+    case NodeKind::kListComp: {
+      if (node.a == nullptr || !is_closed(*node.a, bound)) return false;
+      bound.push_back(node.name);
+      bool ok = node.b != nullptr && is_closed(*node.b, bound) &&
+                (node.c == nullptr || is_closed(*node.c, bound));
+      bound.pop_back();
+      return ok;
+    }
+  }
+  return false;
+}
+
+std::optional<Value> fold_closed(const expr::Node& node) {
+  std::vector<std::string> bound;
+  if (!is_closed(node, bound)) return std::nullopt;
+  expr::MapEnv empty;
+  auto result =
+      expr::evaluate(node, empty, expr::FunctionRegistry::builtins());
+  if (!result.ok()) return std::nullopt;
+  return result.take();
+}
+
+}  // namespace
+
+std::optional<Value> fold(const expr::Node& node) {
+  using expr::NodeKind;
+  if (node.kind == NodeKind::kLiteral) return node.literal;
+  if (node.kind == NodeKind::kBinary &&
+      (node.op == "and" || node.op == "or") && node.a != nullptr &&
+      node.b != nullptr) {
+    // Short-circuit folding: a constant lhs decides which operand the
+    // runtime returns even when the other side is not constant.
+    if (auto lhs = fold(*node.a)) {
+      bool take_rhs = node.op == "and" ? lhs->truthy() : !lhs->truthy();
+      return take_rhs ? fold(*node.b) : lhs;
+    }
+    return fold_closed(node);
+  }
+  if (node.kind == NodeKind::kTernary && node.a != nullptr &&
+      node.b != nullptr && node.c != nullptr) {
+    if (auto cond = fold(*node.a)) {
+      if (cond->is_null()) return Value(nullptr);  // neither branch taken
+      return cond->truthy() ? fold(*node.b) : fold(*node.c);
+    }
+    return fold_closed(node);
+  }
+  return fold_closed(node);
+}
+
+// ---------------------------------------------------------------------------
+// Abstract evaluation.
+
+namespace {
+
+class AbsInterp {
+ public:
+  explicit AbsInterp(const AbsEnv& env) : env_(env) {}
+
+  AbsValue eval(const expr::Node& node) {
+    using expr::NodeKind;
+    switch (node.kind) {
+      case NodeKind::kLiteral:
+        return AbsValue::constant(node.literal);
+      case NodeKind::kName:
+      case NodeKind::kAttribute: {
+        std::string path = path_of(node);
+        if (!path.empty()) {
+          if (const AbsValue* v = env_.find(path)) return *v;
+        }
+        return AbsValue::top();
+      }
+      case NodeKind::kUnary:
+        return node.a != nullptr ? eval_unary(node) : AbsValue::top();
+      case NodeKind::kBinary:
+        return node.a != nullptr && node.b != nullptr ? eval_binary(node)
+                                                      : AbsValue::top();
+      case NodeKind::kTernary:
+        return node.a != nullptr && node.b != nullptr && node.c != nullptr
+                   ? eval_ternary(node)
+                   : AbsValue::top();
+      case NodeKind::kList:
+      case NodeKind::kDict: {
+        // A literal container is never null; emptiness decides truthiness.
+        AbsValue v = coarse(false, false, false, true);
+        v.may_truthy = !node.args.empty();
+        v.may_falsy = node.args.empty();
+        return v;
+      }
+      case NodeKind::kListComp: {
+        AbsValue iter = node.a != nullptr ? eval(*node.a) : AbsValue::top();
+        AbsValue v = coarse(iter.may_null, false, false, true);
+        return v;
+      }
+      case NodeKind::kIndex:
+      case NodeKind::kCall:
+        return AbsValue::top();
+    }
+    return AbsValue::top();
+  }
+
+ private:
+  AbsValue eval_unary(const expr::Node& node) {
+    AbsValue a = eval(*node.a);
+    if (node.op == "not") {
+      // not x == !truthy(x); null is falsy, so `not null` is true.
+      AbsValue v = coarse(false, false, false, true);
+      v.may_truthy = a.may_falsy;
+      v.may_falsy = a.may_truthy;
+      return v;
+    }
+    // Unary +/- error on non-numbers (no null propagation): any value the
+    // result takes is numeric.
+    if (!a.may_number) return coarse(false, false, false, false);
+    double lo = node.op == "-" ? -a.hi : a.lo;
+    double hi = node.op == "-" ? -a.lo : a.hi;
+    return coarse(false, true, false, false, lo, hi);
+  }
+
+  AbsValue eval_ternary(const expr::Node& node) {
+    AbsValue cond = eval(*node.a);
+    AbsValue out = coarse(false, false, false, false);  // bottom
+    if (cond.may_null) {
+      out = abs_join(out, AbsValue::constant(Value(nullptr)));
+    }
+    if (cond.may_truthy) out = abs_join(out, eval(*node.b));
+    if (cond.may_falsy && !(cond.has_set && !set_contains_nonnull_falsy(cond)))
+      out = abs_join(out, eval(*node.c));
+    return out.is_bottom() ? AbsValue::top() : out;
+  }
+
+  /// True when the set holds a falsy member that is not null (ternary
+  /// takes the else branch only for non-null falsy conditions).
+  static bool set_contains_nonnull_falsy(const AbsValue& v) {
+    return std::any_of(v.values.begin(), v.values.end(), [](const Value& m) {
+      return !m.is_null() && !m.truthy();
+    });
+  }
+
+  AbsValue eval_binary(const expr::Node& node) {
+    const std::string& op = node.op;
+    AbsValue a = eval(*node.a);
+    if (op == "and" || op == "or") {
+      AbsValue b = eval(*node.b);
+      bool want_truthy = op == "or";
+      // `a and b` returns a when a is falsy, else b (symmetric for or).
+      if (!(want_truthy ? a.may_falsy : a.may_truthy)) {
+        return restrict_truthiness(a, want_truthy);
+      }
+      if (!(want_truthy ? a.may_truthy : a.may_falsy)) return b;
+      return abs_join(restrict_truthiness(a, want_truthy), b);
+    }
+    AbsValue b = eval(*node.b);
+
+    // Exact path: small sets on both sides evaluate every combination
+    // through the real evaluator's semantics.
+    if (a.has_set && b.has_set &&
+        a.values.size() * b.values.size() <= kAbsSetCap * kAbsSetCap) {
+      if (auto exact = eval_set_pairs(op, a, b)) return *exact;
+    }
+
+    if (op == "==" || op == "!=") return eval_equality(op, a, b);
+    if (op == "<" || op == "<=" || op == ">" || op == ">=") {
+      return eval_comparison(op, a, b);
+    }
+    if (op == "in" || op == "not in") {
+      // Membership yields a bool; 'in' over a non-container errors.
+      return coarse(false, false, false, true);
+    }
+    return eval_arithmetic(op, a, b);
+  }
+
+  /// Evaluates op over every member pair with the concrete evaluator.
+  /// Any erroring pair degrades to nullopt (errors are not values, but we
+  /// only track value sets here, so give up on exactness).
+  std::optional<AbsValue> eval_set_pairs(const std::string& op,
+                                         const AbsValue& a,
+                                         const AbsValue& b) {
+    std::vector<Value> results;
+    expr::Node expr(expr::NodeKind::kBinary);
+    expr.op = op;
+    expr.a = std::make_unique<expr::Node>(expr::NodeKind::kLiteral);
+    expr.b = std::make_unique<expr::Node>(expr::NodeKind::kLiteral);
+    expr::MapEnv empty;
+    for (const Value& x : a.values) {
+      for (const Value& y : b.values) {
+        expr.a->literal = x;
+        expr.b->literal = y;
+        auto r =
+            expr::evaluate(expr, empty, expr::FunctionRegistry::builtins());
+        if (!r.ok()) return std::nullopt;
+        results.push_back(r.take());
+      }
+    }
+    return AbsValue::from_set(std::move(results));
+  }
+
+  AbsValue eval_equality(const std::string& op, const AbsValue& a,
+                         const AbsValue& b) {
+    // values_equal never errors and never returns null.
+    bool can_equal = (a.may_null && b.may_null) ||
+                     (a.may_number && b.may_number &&
+                      a.lo <= b.hi && b.lo <= a.hi) ||
+                     (a.may_string && b.may_string &&
+                      prefixes_compatible(a.prefix, b.prefix)) ||
+                     (a.may_other && b.may_other);
+    bool can_differ = true;
+    if (a.has_set && a.values.size() == 1 && b.has_set &&
+        b.values.size() == 1) {
+      can_differ = !values_equal(a.values[0], b.values[0]);
+      can_equal = !can_differ;
+    }
+    bool t = op == "==" ? can_equal : can_differ;
+    bool f = op == "==" ? can_differ : can_equal;
+    AbsValue v = coarse(false, false, false, true);
+    v.may_truthy = t;
+    v.may_falsy = f;
+    return v;
+  }
+
+  static bool prefixes_compatible(const std::string& a, const std::string& b) {
+    return a.compare(0, b.size(), b, 0, std::min(a.size(), b.size())) == 0;
+  }
+
+  AbsValue eval_comparison(const std::string& op, const AbsValue& a,
+                           const AbsValue& b) {
+    // A null operand propagates (result null, which is falsy); a true or
+    // false result needs a numeric pair or a string pair.
+    bool may_null = a.may_null || b.may_null;
+    bool num_pair = a.may_number && b.may_number;
+    bool str_pair = a.may_string && b.may_string;
+    bool t = str_pair;
+    bool f = str_pair;
+    if (num_pair) {
+      if (op == "<") {
+        t = t || a.lo < b.hi;
+        f = f || a.hi >= b.lo;
+      } else if (op == "<=") {
+        t = t || a.lo <= b.hi;
+        f = f || a.hi > b.lo;
+      } else if (op == ">") {
+        t = t || a.hi > b.lo;
+        f = f || a.lo <= b.hi;
+      } else {  // >=
+        t = t || a.hi >= b.lo;
+        f = f || a.lo < b.hi;
+      }
+    }
+    AbsValue v = coarse(may_null, false, false, true);
+    v.may_truthy = t;
+    v.may_falsy = f || may_null;
+    return v;
+  }
+
+  AbsValue eval_arithmetic(const std::string& op, const AbsValue& a,
+                           const AbsValue& b) {
+    bool may_null = a.may_null || b.may_null;  // null propagates
+    if (op == "+") {
+      AbsValue v = coarse(may_null,
+                          a.may_number && b.may_number,
+                          a.may_string && b.may_string,
+                          a.may_other && b.may_other);  // list concat
+      if (v.may_number) {
+        v.lo = add_bound(a.lo, b.lo);
+        v.hi = add_bound(a.hi, b.hi);
+      }
+      if (v.may_string) {
+        // The result starts with the full lhs, hence with its prefix; a
+        // constant lhs extends the prefix into the rhs's.
+        if (a.has_set && a.values.size() == 1 && a.values[0].is_string()) {
+          v.prefix = a.values[0].as_string() + b.prefix;
+        } else {
+          v.prefix = a.prefix;
+        }
+      }
+      derive_truthiness(v);
+      return v;
+    }
+    if (!a.may_number || !b.may_number) {
+      // Only null (propagated) can come out; anything else errors.
+      return coarse(may_null, false, false, false);
+    }
+    double lo = -kInf;
+    double hi = kInf;
+    if (op == "-") {
+      lo = add_bound(a.lo, -b.hi);
+      hi = add_bound(a.hi, -b.lo);
+    } else if (op == "*") {
+      if (std::isfinite(a.lo) && std::isfinite(a.hi) && std::isfinite(b.lo) &&
+          std::isfinite(b.hi)) {
+        double p1 = a.lo * b.lo;
+        double p2 = a.lo * b.hi;
+        double p3 = a.hi * b.lo;
+        double p4 = a.hi * b.hi;
+        lo = std::min(std::min(p1, p2), std::min(p3, p4));
+        hi = std::max(std::max(p1, p2), std::max(p3, p4));
+      }
+    }
+    // "/", "//", "%", "**" keep the full hull: division by small values
+    // explodes the range, and the divisor may be zero (an error).
+    return coarse(may_null, true, false, false, lo, hi);
+  }
+
+  /// Interval-bound addition that cannot produce NaN: opposite infinities
+  /// never meet because each side's hull satisfies lo <= hi.
+  static double add_bound(double x, double y) {
+    if (std::isinf(x)) return x;
+    if (std::isinf(y)) return y;
+    return x + y;
+  }
+
+  const AbsEnv& env_;
+};
+
+}  // namespace
+
+AbsValue abs_eval(const expr::Node& node, const AbsEnv& env) {
+  return AbsInterp(env).eval(node);
+}
+
+// ---------------------------------------------------------------------------
+// Satisfiability: abstract truthiness + conjunction refinement.
+
+namespace {
+
+/// Per-path constraints accumulated from positive `and`-conjuncts of the
+/// forms `path OP literal` / `literal OP path`.
+struct PathConstraint {
+  double lo = -kInf;
+  bool lo_strict = false;
+  double hi = kInf;
+  bool hi_strict = false;
+  bool has_eq = false;
+  Value eq;
+  bool needs_number = false;  // truth requires the path to be numeric
+  bool needs_string = false;  // truth requires the path to be a string
+  bool contradiction = false;
+};
+
+void tighten_lo(PathConstraint& c, double v, bool strict) {
+  if (v > c.lo) {
+    c.lo = v;
+    c.lo_strict = strict;
+  } else if (v == c.lo) {
+    c.lo_strict = c.lo_strict || strict;
+  }
+}
+
+void tighten_hi(PathConstraint& c, double v, bool strict) {
+  if (v < c.hi) {
+    c.hi = v;
+    c.hi_strict = strict;
+  } else if (v == c.hi) {
+    c.hi_strict = c.hi_strict || strict;
+  }
+}
+
+void apply_conjunct(std::map<std::string, PathConstraint>& constraints,
+                    const std::string& path, const std::string& op,
+                    const Value& lit) {
+  PathConstraint& c = constraints[path];
+  if (op == "==") {
+    if (c.has_eq && !values_equal(c.eq, lit)) c.contradiction = true;
+    c.has_eq = true;
+    c.eq = lit;
+    if (lit.is_number()) {
+      c.needs_number = true;
+      tighten_lo(c, lit.as_number(), false);
+      tighten_hi(c, lit.as_number(), false);
+    } else if (lit.is_string()) {
+      c.needs_string = true;
+    }
+    return;
+  }
+  if (lit.is_number()) {
+    c.needs_number = true;
+    double v = lit.as_number();
+    if (op == "<") tighten_hi(c, v, true);
+    else if (op == "<=") tighten_hi(c, v, false);
+    else if (op == ">") tighten_lo(c, v, true);
+    else if (op == ">=") tighten_lo(c, v, false);
+  } else if (lit.is_string()) {
+    c.needs_string = true;  // string comparisons need a string pair
+  }
+}
+
+/// Flattens the positive `and`-tree of `pred` and records every
+/// `path OP literal` conjunct. Negations are never descended into:
+/// `not (x > 1)` is true for null x, so refuting its operand proves
+/// nothing about the whole.
+void collect_conjuncts(const expr::Node& pred,
+                       std::map<std::string, PathConstraint>& constraints) {
+  if (pred.kind != expr::NodeKind::kBinary || pred.a == nullptr ||
+      pred.b == nullptr) {
+    return;
+  }
+  if (pred.op == "and") {
+    collect_conjuncts(*pred.a, constraints);
+    collect_conjuncts(*pred.b, constraints);
+    return;
+  }
+  static const std::set<std::string> kRelOps = {"==", "<", "<=", ">", ">="};
+  if (kRelOps.count(pred.op) == 0) return;
+  std::string lpath = path_of(*pred.a);
+  std::string rpath = path_of(*pred.b);
+  if (!lpath.empty() && pred.b->kind == expr::NodeKind::kLiteral) {
+    apply_conjunct(constraints, lpath, pred.op, pred.b->literal);
+  } else if (!rpath.empty() && pred.a->kind == expr::NodeKind::kLiteral) {
+    // Flip: `5 < x` is `x > 5`.
+    std::string flipped = pred.op;
+    if (pred.op == "<") flipped = ">";
+    else if (pred.op == "<=") flipped = ">=";
+    else if (pred.op == ">") flipped = "<";
+    else if (pred.op == ">=") flipped = "<=";
+    apply_conjunct(constraints, rpath, flipped, pred.a->literal);
+  }
+}
+
+/// True when some concrete value could satisfy the constraint, given the
+/// environment's description of the path.
+bool constraint_satisfiable(const PathConstraint& c, const AbsValue* env_v) {
+  if (c.contradiction) return false;
+  if (c.needs_number && c.needs_string) return false;
+  if (c.lo > c.hi || (c.lo == c.hi && (c.lo_strict || c.hi_strict))) {
+    if (c.needs_number) return false;
+  }
+  if (c.has_eq && c.needs_number && !c.eq.is_number()) return false;
+  if (c.has_eq && c.eq.is_number() && c.needs_number) {
+    double v = c.eq.as_number();
+    if (v < c.lo || v > c.hi || (v == c.lo && c.lo_strict) ||
+        (v == c.hi && c.hi_strict)) {
+      return false;
+    }
+  }
+  if (env_v == nullptr) return true;
+  if (env_v->has_set) {
+    // The value is exactly one of the members: check each concretely.
+    for (const Value& m : env_v->values) {
+      if (c.needs_number && !m.is_number()) continue;
+      if (c.needs_string && !m.is_string()) continue;
+      if (c.has_eq && !values_equal(m, c.eq)) continue;
+      if (m.is_number()) {
+        double v = m.as_number();
+        if (v < c.lo || v > c.hi || (v == c.lo && c.lo_strict) ||
+            (v == c.hi && c.hi_strict)) {
+          continue;
+        }
+      }
+      return true;
+    }
+    return false;
+  }
+  if (c.needs_number) {
+    if (!env_v->may_number) return false;
+    // Every numeric value the env allows lies in [env.lo, env.hi].
+    if (env_v->lo > c.hi || env_v->hi < c.lo) return false;
+    if (env_v->lo == c.hi && c.hi_strict) return false;
+    if (env_v->hi == c.lo && c.lo_strict) return false;
+  }
+  if (c.needs_string) {
+    if (!env_v->may_string) return false;
+    if (c.has_eq && c.eq.is_string() && !env_v->prefix.empty()) {
+      const std::string& s = c.eq.as_string();
+      if (s.compare(0, env_v->prefix.size(), env_v->prefix) != 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool satisfiable(const expr::Node& pred, const AbsEnv& env) {
+  AbsValue v = abs_eval(pred, env);
+  if (!v.may_truthy) return false;
+  std::map<std::string, PathConstraint> constraints;
+  collect_conjuncts(pred, constraints);
+  for (const auto& [path, c] : constraints) {
+    if (!constraint_satisfiable(c, env.find(path))) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// KN5xx pass.
+
+namespace {
+
+void walk_semantics(const expr::Node& node, const SourceLoc& loc,
+                    const std::string& context,
+                    std::vector<Diagnostic>& out) {
+  using expr::NodeKind;
+  if (node.kind == NodeKind::kBinary &&
+      (node.op == "/" || node.op == "//" || node.op == "%") &&
+      node.b != nullptr) {
+    if (auto rhs = fold(*node.b); rhs && rhs->is_number() &&
+        rhs->as_number() == 0.0) {
+      out.push_back(make_diag(
+          "KN504", loc,
+          context + ": right operand of '" + node.op +
+              "' is always zero — evaluation fails every round",
+          "expression: " + expr::to_string(node)));
+    }
+  }
+  if (node.kind == NodeKind::kTernary && node.a != nullptr) {
+    if (auto cond = fold(*node.a); cond && !cond->is_null()) {
+      out.push_back(make_diag(
+          "KN505", loc,
+          context + ": ternary condition '" + expr::to_string(*node.a) +
+              "' is always " + (cond->truthy() ? "true" : "false") +
+              " — the " + (cond->truthy() ? "else" : "then") +
+              " branch is dead",
+          "remove the branch, or reference live state in the condition"));
+    }
+  }
+  if (node.kind == NodeKind::kListComp && node.c != nullptr) {
+    if (auto filter = fold(*node.c)) {
+      if (!filter->truthy()) {
+        out.push_back(make_diag(
+            "KN505", loc,
+            context + ": comprehension filter '" + expr::to_string(*node.c) +
+                "' is never true — the result is always empty",
+            "fix the filter, or drop the comprehension"));
+      } else {
+        out.push_back(make_diag(
+            "KN505", loc,
+            context + ": comprehension filter '" + expr::to_string(*node.c) +
+                "' is always true — the filter is dead",
+            "drop the redundant filter"));
+      }
+    }
+  }
+  for (const expr::NodePtr* child : {&node.a, &node.b, &node.c}) {
+    if (*child != nullptr) walk_semantics(**child, loc, context, out);
+  }
+  for (const auto& arg : node.args) {
+    if (arg != nullptr) walk_semantics(*arg, loc, context, out);
+  }
+}
+
+}  // namespace
+
+void check_expr_semantics(const expr::Node& root, const SourceLoc& loc,
+                          const std::string& context,
+                          std::vector<Diagnostic>& out,
+                          bool report_constant) {
+  if (report_constant && root.kind != expr::NodeKind::kLiteral) {
+    if (auto v = fold(root)) {
+      out.push_back(make_diag(
+          "KN503", loc,
+          context + ": expression always evaluates to " + common::to_json(*v),
+          "replace it with the literal, or reference live state"));
+    }
+  }
+  walk_semantics(root, loc, context, out);
+}
+
+}  // namespace knactor::analysis

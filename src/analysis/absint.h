@@ -1,0 +1,120 @@
+// Abstract interpreter for the DXG expression language (the KN5xx
+// semantic pass): evaluates an expression over *descriptions* of values
+// instead of values, so the analyzer can prove facts like "this filter can
+// never be true" or "this divisor is always zero" at development time —
+// the paper's §5 composition checking pushed below types into semantics.
+//
+// The abstract domain is a product of small, sound approximations:
+//
+//   * value set    — the value is one of ≤ kAbsSetCap known constants
+//                    (exact; drives equality and membership reasoning)
+//   * null-ness    — may the value be null ("dependency not ready")?
+//   * interval     — every numeric value lies in [lo, hi]
+//   * string prefix— every string value starts with `prefix`
+//   * truthiness   — may the value be truthy / falsy?
+//
+// Soundness contract (the differential fuzz gate enforces both):
+//   * fold(e) == v      =>  evaluate(e, env) == v for every env
+//   * !satisfiable(p,E) =>  evaluate(p, env) is never truthy for any env
+//                           whose bindings are described by E
+// Everything the interpreter cannot prove degrades to "top" (all facts
+// possible), never to a wrong claim.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "analysis/typecheck.h"
+#include "common/value.h"
+#include "expr/ast.h"
+
+namespace knactor::analysis {
+
+/// Values kept exactly before a set degrades to its coarse facts.
+inline constexpr std::size_t kAbsSetCap = 8;
+
+/// Abstract description of an expression's possible values.
+struct AbsValue {
+  /// Exact domain: when has_set, the concrete value is one of `values`.
+  /// The coarse facts below are always consistent with the set.
+  bool has_set = false;
+  std::vector<common::Value> values;
+
+  bool may_null = true;    // null possible
+  bool may_number = true;  // some numeric value possible
+  bool may_string = true;  // some string value possible
+  bool may_other = true;   // bool / list / object possible
+  bool may_truthy = true;  // some truthy value possible
+  bool may_falsy = true;   // some falsy value possible (null is falsy)
+
+  /// Hull of the numeric values (meaningful only when may_number).
+  double lo = 0;
+  double hi = 0;
+  /// Every string value starts with this (meaningful when may_string).
+  std::string prefix;
+
+  /// Top: nothing known.
+  static AbsValue top();
+  /// Exactly one known value.
+  static AbsValue constant(common::Value v);
+  /// One of the given values (degrades to coarse facts past kAbsSetCap).
+  static AbsValue from_set(std::vector<common::Value> vs);
+
+  /// True when no concrete value is possible (e.g. a joined-empty set).
+  [[nodiscard]] bool is_bottom() const;
+};
+
+/// Least upper bound: describes every value either side describes.
+AbsValue abs_join(const AbsValue& a, const AbsValue& b);
+
+/// The abstract description of a schema-declared field of type `t`. Always
+/// may_null: a field can be absent ("not ready") regardless of its decl.
+AbsValue abs_from_type(const Type& t);
+
+/// Binds dotted reference paths ("qty", "C.order.cost") to abstract
+/// values; unbound paths evaluate to top.
+class AbsEnv {
+ public:
+  void bind(std::string path, AbsValue v);
+  /// Removes `name` and every "name.suffix" binding, then rebinds `name`
+  /// (comprehension loop variables shadow outer paths).
+  void shadow(const std::string& name, AbsValue v);
+  [[nodiscard]] const AbsValue* find(const std::string& path) const;
+  [[nodiscard]] bool empty() const { return vars_.empty(); }
+
+ private:
+  std::map<std::string, AbsValue> vars_;
+};
+
+/// Field→type map lifted to an abstract environment (pipeline records).
+AbsEnv abs_env_from_fields(const std::map<std::string, Type>& fields);
+
+/// Abstractly evaluates `node` under `env`. Never errors: unprovable
+/// subtrees evaluate to top.
+AbsValue abs_eval(const expr::Node& node, const AbsEnv& env);
+
+/// Constant-folds `node`: returns its value when the expression provably
+/// evaluates to the same value under *every* environment (closed subtrees
+/// are run through the real evaluator; and/or/ternary fold around a
+/// constant condition). nullopt when not provably constant.
+std::optional<common::Value> fold(const expr::Node& node);
+
+/// False only when `pred` is provably never truthy under any environment
+/// described by `env`: abstract evaluation plus refinement over positive
+/// `and`-conjuncts (interval intersection, equality contradiction).
+bool satisfiable(const expr::Node& pred, const AbsEnv& env);
+
+/// KN5xx expression-semantics pass over one mapping/stage expression:
+/// KN503 constant-foldable mapping (skipped for bare literals, which are
+/// intentional constants), KN504 division by provably zero, KN505 dead
+/// ternary/comprehension branch. `context` names the expression for the
+/// message ("mapping S.state.method").
+void check_expr_semantics(const expr::Node& root, const SourceLoc& loc,
+                          const std::string& context,
+                          std::vector<Diagnostic>& out,
+                          bool report_constant = true);
+
+}  // namespace knactor::analysis

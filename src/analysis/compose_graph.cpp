@@ -1,0 +1,581 @@
+#include "analysis/compose_graph.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "analysis/absint.h"
+#include "analysis/lint.h"
+#include "analysis/typecheck.h"
+#include "common/json.h"
+#include "common/strings.h"
+#include "de/plan.h"
+#include "de/query.h"
+
+namespace knactor::analysis {
+
+using common::Value;
+
+namespace {
+
+SourceLoc loc_at(const yaml::Document& doc, const std::string& path,
+                 const std::string& file) {
+  SourceLoc loc;
+  loc.file = file;
+  auto it = doc.positions.find(path);
+  if (it != doc.positions.end()) {
+    loc.line = it->second.line;
+    loc.col = it->second.col;
+  }
+  return loc;
+}
+
+bool loc_before(const SourceLoc& a, const SourceLoc& b) {
+  return std::tie(a.file, a.line, a.col) < std::tie(b.file, b.line, b.col);
+}
+
+}  // namespace
+
+Project Project::load_dir(const std::string& dir) {
+  Project project;
+  std::error_code ec;
+  std::filesystem::directory_iterator dir_it(dir, ec);
+  if (ec) {
+    project.load_diags.push_back(make_diag(
+        "KN400", SourceLoc{dir, 0, 0},
+        "cannot read directory: " + ec.message()));
+    return project;
+  }
+  std::vector<std::filesystem::path> entries;
+  for (const auto& entry : dir_it) {
+    if (!entry.is_regular_file()) continue;
+    std::string ext = entry.path().extension().string();
+    if (ext == ".yaml" || ext == ".yml") entries.push_back(entry.path());
+  }
+  std::sort(entries.begin(), entries.end());
+  std::vector<std::pair<std::string, std::string>> named_texts;
+  for (const auto& path : entries) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      project.load_diags.push_back(make_diag(
+          "KN400", SourceLoc{path.string(), 0, 0}, "cannot read file"));
+      continue;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    named_texts.emplace_back(path.string(), text.str());
+  }
+  Project loaded = from_files(named_texts);
+  loaded.load_diags.insert(loaded.load_diags.begin(),
+                           project.load_diags.begin(),
+                           project.load_diags.end());
+  return loaded;
+}
+
+Project Project::from_files(
+    const std::vector<std::pair<std::string, std::string>>& named_texts) {
+  Project project;
+  for (const auto& [path, text] : named_texts) {
+    ProjectFile file;
+    file.path = path;
+    file.text = text;
+    auto parsed = yaml::parse_document(text);
+    if (parsed.ok() && parsed.value().root.is_object()) {
+      file.doc = parsed.take();
+      file.parsed = true;
+      if (file.doc.root.get("schema") != nullptr) {
+        file.is_schema = true;
+        // Malformed schemas are reported by the per-file lint (KN008).
+        (void)project.schemas.add_yaml(text);
+      } else if (file.doc.root.get("Input") != nullptr ||
+                 file.doc.root.get("DXG") != nullptr) {
+        auto dxg = core::Dxg::from_value(file.doc.root);
+        if (dxg.ok()) file.dxg = dxg.take();  // else: per-file KN400
+      }
+      file.routes = collect_sync_routes(file.doc, path);
+    }
+    project.files.push_back(std::move(file));
+  }
+  return project;
+}
+
+ComposeGraph ComposeGraph::build(const Project& project) {
+  ComposeGraph graph;
+  for (std::size_t fi = 0; fi < project.files.size(); ++fi) {
+    const ProjectFile& file = project.files[fi];
+    if (file.dxg.has_value()) {
+      const core::Dxg& dxg = *file.dxg;
+      for (const auto& [alias, store] : dxg.inputs()) {
+        SourceLoc loc = loc_at(file.doc, "Input/" + alias, file.path);
+        auto it = graph.declared_inputs.find(store);
+        if (it == graph.declared_inputs.end() ||
+            loc_before(loc, it->second)) {
+          graph.declared_inputs[store] = loc;
+        }
+      }
+      for (const core::DxgMapping& m : dxg.mappings()) {
+        auto target = dxg.inputs().find(m.target_alias);
+        if (target == dxg.inputs().end()) continue;  // KN001 covers this
+        FieldWrite write;
+        write.file_index = fi;
+        write.store = target->second;
+        write.object = m.target_object;
+        write.field = m.field;
+        write.loc = locate_mapping(file.doc, m, file.path);
+        write.desc = "mapping " + m.target_path();
+        write.mapping = &m;
+        write.fan_out = m.fan_out;
+        if (m.fan_out) {
+          auto driver = dxg.inputs().find(m.driver_alias);
+          if (driver != dxg.inputs().end()) write.driver_store = driver->second;
+        }
+        std::size_t writer_index = graph.writes.size();
+        graph.writes.push_back(write);
+
+        SchemaRefResolver resolver(dxg.inputs(), &project.schemas,
+                                   m.target_alias);
+        for (const std::string& ref : m.refs) {
+          auto segments = common::split(ref, '.');
+          std::vector<std::string> parts(segments.begin(), segments.end());
+          RefInfo info = resolver.resolve(parts);
+          if (info.store.empty()) continue;  // unresolved alias: KN001
+          // Reading its own target field is the write itself.
+          if (info.store == write.store && info.field == write.field) continue;
+          FieldRead read;
+          read.file_index = fi;
+          read.store = info.store;
+          read.field = info.field;
+          read.loc = write.loc;
+          read.desc = write.desc + " reads " + ref;
+          read.writer_index = writer_index;
+          graph.reads.push_back(std::move(read));
+        }
+      }
+    }
+    for (const SyncRouteSpec& route : file.routes) {
+      graph.route_sources.push_back(route.source_schema);
+      if (!route.target_schema.empty()) {
+        FieldWrite write;
+        write.file_index = fi;
+        write.store = route.target_schema;
+        write.loc = route.loc;
+        write.desc = "route '" + route.name + "'";
+        graph.route_writes.push_back(std::move(write));
+      }
+    }
+  }
+  return graph;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// KN601 dead exchange.
+
+void check_dead_exchanges(const ComposeGraph& graph,
+                          std::vector<Diagnostic>& out) {
+  std::set<std::string> read_stores;
+  for (const FieldRead& r : graph.reads) read_stores.insert(r.store);
+  for (const std::string& s : graph.route_sources) read_stores.insert(s);
+
+  std::map<std::string, const FieldWrite*> first_write;
+  for (const auto* writes : {&graph.writes, &graph.route_writes}) {
+    for (const FieldWrite& w : *writes) {
+      auto it = first_write.find(w.store);
+      if (it == first_write.end() || loc_before(w.loc, it->second->loc)) {
+        first_write[w.store] = &w;
+      }
+    }
+  }
+  for (const auto& [store, write] : first_write) {
+    if (read_stores.count(store) != 0) continue;
+    auto declared = graph.declared_inputs.find(store);
+    if (declared == graph.declared_inputs.end()) continue;
+    Diagnostic d = make_diag(
+        "KN601", write->loc,
+        "store '" + store + "' is written (" + write->desc +
+            ") but nothing in the project reads or routes it — the "
+            "exchange is dead",
+        "consume the store somewhere, or drop the writes");
+    d.related = declared->second;
+    d.related_note = "declared as an Input here";
+    out.push_back(std::move(d));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// KN602 shadowed write.
+
+void check_shadowed_writes(const ComposeGraph& graph,
+                           std::vector<Diagnostic>& out) {
+  std::map<std::string, std::vector<const FieldWrite*>> slots;
+  for (const FieldWrite& w : graph.writes) {
+    slots[w.store + "\x1f" + w.object + "\x1f" + w.field].push_back(&w);
+  }
+  for (auto& [slot, writers] : slots) {
+    if (writers.size() < 2) continue;
+    std::sort(writers.begin(), writers.end(),
+              [](const FieldWrite* a, const FieldWrite* b) {
+                return loc_before(a->loc, b->loc);
+              });
+    const FieldWrite* first = writers.front();
+    for (std::size_t i = 1; i < writers.size(); ++i) {
+      const FieldWrite* w = writers[i];
+      Diagnostic d = make_diag(
+          "KN602", w->loc,
+          w->desc + " writes store '" + w->store + "' field '" + w->object +
+              "." + w->field + "', which " + first->desc +
+              " also writes — the two writes race with no ordering",
+          "give one mapping a different target field, or merge them");
+      d.related = first->loc;
+      d.related_note = "the other write, " + first->desc;
+      out.push_back(std::move(d));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// KN603 cross-file cycle (field-level SCCs over mapping-write nodes).
+
+std::vector<std::vector<std::size_t>> strongly_connected(
+    std::size_t n, const std::vector<std::set<std::size_t>>& adj) {
+  // Iterative Kosaraju: DFS finish order on adj, then DFS on the
+  // transpose in reverse finish order.
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  std::vector<char> seen(n, 0);
+  for (std::size_t start = 0; start < n; ++start) {
+    if (seen[start]) continue;
+    // Stack of (node, iterator position via index into a snapshot).
+    std::vector<std::pair<std::size_t, std::vector<std::size_t>>> stack;
+    stack.push_back({start, {adj[start].begin(), adj[start].end()}});
+    seen[start] = 1;
+    while (!stack.empty()) {
+      auto& [node, todo] = stack.back();
+      if (todo.empty()) {
+        order.push_back(node);
+        stack.pop_back();
+        continue;
+      }
+      std::size_t next = todo.back();
+      todo.pop_back();
+      if (!seen[next]) {
+        seen[next] = 1;
+        stack.push_back({next, {adj[next].begin(), adj[next].end()}});
+      }
+    }
+  }
+  std::vector<std::set<std::size_t>> radj(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v : adj[u]) radj[v].insert(u);
+  }
+  std::vector<std::vector<std::size_t>> components;
+  std::vector<char> assigned(n, 0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if (assigned[*it]) continue;
+    components.emplace_back();
+    std::vector<std::size_t> stack = {*it};
+    assigned[*it] = 1;
+    while (!stack.empty()) {
+      std::size_t node = stack.back();
+      stack.pop_back();
+      components.back().push_back(node);
+      for (std::size_t next : radj[node]) {
+        if (!assigned[next]) {
+          assigned[next] = 1;
+          stack.push_back(next);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+void check_cross_file_cycles(const ComposeGraph& graph,
+                             std::size_t assumed_records,
+                             std::vector<Diagnostic>& out) {
+  const std::size_t n = graph.writes.size();
+  std::vector<std::set<std::size_t>> adj(n);
+  for (const FieldRead& r : graph.reads) {
+    for (std::size_t wi = 0; wi < n; ++wi) {
+      const FieldWrite& w = graph.writes[wi];
+      if (w.store != r.store) continue;
+      if (!r.field.empty() && w.field != r.field) continue;
+      if (wi != r.writer_index) adj[r.writer_index].insert(wi);
+    }
+  }
+  for (std::vector<std::size_t>& comp : strongly_connected(n, adj)) {
+    if (comp.size() < 2) continue;  // self-cycles are per-file KN006
+    std::sort(comp.begin(), comp.end(), [&](std::size_t a, std::size_t b) {
+      return loc_before(graph.writes[a].loc, graph.writes[b].loc);
+    });
+    std::set<std::size_t> files;
+    bool has_fan_out = false;
+    std::size_t evals = 0;
+    std::string chain;
+    for (std::size_t wi : comp) {
+      const FieldWrite& w = graph.writes[wi];
+      files.insert(w.file_index);
+      has_fan_out = has_fan_out || w.fan_out;
+      evals += w.fan_out ? assumed_records : 1;
+      if (!chain.empty()) chain += " -> ";
+      chain += w.desc;
+    }
+    if (files.size() < 2) continue;  // same-file cycles stay KN002
+    std::string amplification =
+        has_fan_out
+            ? "a fan-out inside the cycle amplifies record growth "
+              "without bound"
+            : "estimated amplification: " + std::to_string(evals) +
+                  " re-evaluations per reconciliation round at " +
+                  std::to_string(assumed_records) + " records/store";
+    const FieldWrite& first = graph.writes[comp[0]];
+    const FieldWrite& second = graph.writes[comp[1]];
+    Diagnostic d = make_diag(
+        "KN603", first.loc,
+        "cross-file dependency cycle: " + chain + " -> back; " +
+            amplification,
+        "break the cycle, or gate one edge on a condition that converges");
+    d.related = second.loc;
+    d.related_note = "the cycle continues through " + second.desc;
+    out.push_back(std::move(d));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// KN604 chained fan-out.
+
+void check_fanout_amplification(const ComposeGraph& graph,
+                                std::size_t assumed_records,
+                                std::vector<Diagnostic>& out) {
+  for (const FieldWrite& w : graph.writes) {
+    if (!w.fan_out || w.driver_store.empty()) continue;
+    const FieldWrite* upstream = nullptr;
+    for (const FieldWrite& w2 : graph.writes) {
+      if (&w2 == &w || !w2.fan_out || w2.store != w.driver_store) continue;
+      if (upstream == nullptr || loc_before(w2.loc, upstream->loc)) {
+        upstream = &w2;
+      }
+    }
+    if (upstream == nullptr) continue;
+    Diagnostic d = make_diag(
+        "KN604", w.loc,
+        w.desc + " fans out over store '" + w.driver_store +
+            "', which is itself a fan-out target (" + upstream->desc +
+            ") — record growth compounds (~" +
+            std::to_string(assumed_records) + "x" +
+            std::to_string(assumed_records) +
+            " instantiations at " + std::to_string(assumed_records) +
+            " records/store)",
+        "key the second fan-out off the original driver store instead");
+    d.related = upstream->loc;
+    d.related_note = "the upstream fan-out, " + upstream->desc;
+    out.push_back(std::move(d));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Produced-env KN501/KN502 refinement.
+
+/// Abstract value a mapping's expression can produce, from its reference
+/// types alone.
+AbsValue mapping_abs_value(const core::DxgMapping& m, const core::Dxg& dxg,
+                           const de::SchemaRegistry& schemas) {
+  if (m.compiled == nullptr) return AbsValue::top();
+  SchemaRefResolver resolver(dxg.inputs(), &schemas, m.target_alias);
+  AbsEnv env;
+  for (const std::string& ref : m.refs) {
+    auto segments = common::split(ref, '.');
+    std::vector<std::string> parts(segments.begin(), segments.end());
+    RefInfo info = resolver.resolve(parts);
+    if (!info.error.empty()) continue;
+    env.bind(ref, abs_from_type(info.type));
+  }
+  return abs_eval(*m.compiled, env);
+}
+
+/// What the project's mappings write into `store`'s external fields. Empty
+/// when nothing is known (no mapping writes the store, or a Sync route
+/// also writes it, so the mappings are not the only producers).
+ProducedFieldMap produced_fields_for(const Project& project,
+                                     const ComposeGraph& graph,
+                                     const std::string& store) {
+  ProducedFieldMap produced;
+  const de::StoreSchema* schema = project.schemas.find(store);
+  if (schema == nullptr) return produced;
+  for (const FieldWrite& rw : graph.route_writes) {
+    if (rw.store == store) return produced;  // routes also write: unknown
+  }
+  const FieldWrite* first_store_write = nullptr;
+  for (const FieldWrite& w : graph.writes) {
+    if (w.store != store) continue;
+    if (first_store_write == nullptr ||
+        loc_before(w.loc, first_store_write->loc)) {
+      first_store_write = &w;
+    }
+  }
+  if (first_store_write == nullptr) return produced;  // producer elsewhere
+  for (const std::string& field : schema->external_fields()) {
+    // A mapping whose expression evaluates to null writes nothing, and a
+    // never-written field stays absent — null is always a member.
+    ProducedField pf;
+    pf.value = AbsValue::constant(Value(nullptr));
+    bool found = false;
+    for (const FieldWrite& w : graph.writes) {
+      if (w.store != store || w.field != field || w.mapping == nullptr) {
+        continue;
+      }
+      const ProjectFile& file = project.files[w.file_index];
+      if (!file.dxg.has_value()) continue;
+      pf.value = abs_join(pf.value, mapping_abs_value(*w.mapping, *file.dxg,
+                                                      project.schemas));
+      if (!found) {
+        pf.loc = w.loc;
+        pf.desc = w.desc + " produces this field";
+        found = true;
+      }
+    }
+    if (!found) {
+      pf.loc = first_store_write->loc;
+      pf.desc = "no mapping in the project writes '" + field +
+                "' — it is always absent";
+    }
+    produced[field] = std::move(pf);
+  }
+  return produced;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> lint_project(const Project& project,
+                                     const ProjectLintOptions& options) {
+  std::vector<Diagnostic> out = project.load_diags;
+  for (const ProjectFile& file : project.files) {
+    LintOptions per_file;
+    per_file.file = file.path;
+    per_file.schemas = &project.schemas;
+    per_file.rbac = options.rbac;
+    per_file.principal = options.principal;
+    auto diags = lint_spec(file.text, per_file);
+    out.insert(out.end(), diags.begin(), diags.end());
+  }
+
+  ComposeGraph graph = ComposeGraph::build(project);
+  check_dead_exchanges(graph, out);
+  check_shadowed_writes(graph, out);
+  check_cross_file_cycles(graph, options.assumed_records, out);
+  check_fanout_amplification(graph, options.assumed_records, out);
+
+  // Cross-spec filter refinement: re-run each Sync route with the abstract
+  // values the project's mappings write into its source store. Type-level
+  // findings are byte-identical to the per-file run and deduplicate away;
+  // produced-env findings are new and carry the producing endpoint.
+  for (const ProjectFile& file : project.files) {
+    for (const SyncRouteSpec& route : file.routes) {
+      ProducedFieldMap produced =
+          produced_fields_for(project, graph, route.source_schema);
+      if (produced.empty()) continue;
+      std::vector<Diagnostic> rerun;
+      analyze_sync_route(route, project.schemas, rerun, &produced);
+      out.insert(out.end(), rerun.begin(), rerun.end());
+    }
+  }
+
+  dedupe_diagnostics(out);
+  return out;
+}
+
+CostReport estimate_project_cost(const Project& project,
+                                 std::size_t assumed_records) {
+  CostReport report;
+  report.assumed_records = assumed_records;
+  for (const ProjectFile& file : project.files) {
+    if (file.dxg.has_value()) {
+      for (const core::DxgMapping& m : file.dxg->mappings()) {
+        CostReport::MappingCost cost;
+        cost.target = m.target_path();
+        cost.file = file.path;
+        cost.fan_out = m.fan_out;
+        cost.evals = m.fan_out ? assumed_records : 1;
+        report.total_mapping_evals += cost.evals;
+        report.mappings.push_back(std::move(cost));
+      }
+    }
+    for (const SyncRouteSpec& route : file.routes) {
+      CostReport::RouteCost cost;
+      cost.name = route.name;
+      cost.file = file.path;
+      auto query = de::parse_query(route.pipeline_text);
+      if (route.pipeline_text.empty()) {
+        cost.stage_records = {assumed_records};
+      } else if (query.ok()) {
+        de::QueryPlan plan = de::plan_query(query.value());
+        cost.stage_records = de::estimate_stage_inputs(plan, assumed_records);
+      }
+      report.routes.push_back(std::move(cost));
+    }
+  }
+  return report;
+}
+
+std::string CostReport::to_text() const {
+  std::string out = "composition cost at " + std::to_string(assumed_records) +
+                    " records/store\n";
+  out += "mappings: " + std::to_string(total_mapping_evals) +
+         " expression evaluation(s) per reconciliation round\n";
+  for (const MappingCost& m : mappings) {
+    out += "  " + m.target + " (" + m.file + "): " + std::to_string(m.evals) +
+           " eval(s)" + (m.fan_out ? " [fan-out]" : "") + "\n";
+  }
+  for (const RouteCost& r : routes) {
+    out += "  route '" + r.name + "' (" + r.file + "): records/stage ";
+    if (r.stage_records.empty()) {
+      out += "unknown (pipeline does not parse)";
+    } else {
+      for (std::size_t i = 0; i < r.stage_records.size(); ++i) {
+        if (i > 0) out += " -> ";
+        out += std::to_string(r.stage_records[i]);
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Value CostReport::to_value() const {
+  Value::Object obj;
+  obj.set("assumed_records",
+          Value(static_cast<std::int64_t>(assumed_records)));
+  Value::Array mapping_list;
+  for (const MappingCost& m : mappings) {
+    Value::Object entry;
+    entry.set("target", Value(m.target));
+    entry.set("file", Value(m.file));
+    entry.set("fan_out", Value(m.fan_out));
+    entry.set("evals", Value(static_cast<std::int64_t>(m.evals)));
+    mapping_list.push_back(Value(std::move(entry)));
+  }
+  obj.set("mappings", Value(std::move(mapping_list)));
+  obj.set("total_mapping_evals",
+          Value(static_cast<std::int64_t>(total_mapping_evals)));
+  Value::Array route_list;
+  for (const RouteCost& r : routes) {
+    Value::Object entry;
+    entry.set("route", Value(r.name));
+    entry.set("file", Value(r.file));
+    Value::Array stages;
+    for (std::size_t n : r.stage_records) {
+      stages.push_back(Value(static_cast<std::int64_t>(n)));
+    }
+    entry.set("stage_records", Value(std::move(stages)));
+    route_list.push_back(Value(std::move(entry)));
+  }
+  obj.set("routes", Value(std::move(route_list)));
+  return Value(std::move(obj));
+}
+
+}  // namespace knactor::analysis

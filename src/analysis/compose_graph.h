@@ -1,0 +1,151 @@
+// Whole-composition analysis (the paper's §5 carried across spec files):
+// loads every spec in a directory, resolves stores by name across files,
+// and materializes a field-level producer/consumer graph over which the
+// KN6xx cross-spec passes run —
+//
+//   KN601 dead-exchange     store written and declared as an Input, but
+//                           never read anywhere in the project
+//   KN602 shadowed-write    two mappings write the same field of the same
+//                           store with no ordering between them
+//   KN603 cross-file-cycle  field-level dependency cycle spanning specs
+//                           (per-file cycles stay KN002), with an
+//                           amplification estimate
+//   KN604 fanout-amplification  a fan-out mapping whose driver store is
+//                           itself a fan-out target (chained set-to-set
+//                           growth)
+//
+// plus a cross-spec refinement of the KN501/KN502 filter pass: Sync-route
+// predicates are re-checked against what the project's mappings actually
+// write into the source store's external fields.
+//
+// `estimate_project_cost` is the companion cost model: per-round mapping
+// evaluation counts and per-stage Sync record counts from the planner's
+// estimate_stage_inputs (de/plan.h).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "analysis/rbac_preflight.h"
+#include "analysis/sync_analysis.h"
+#include "common/value.h"
+#include "core/dxg.h"
+#include "de/schema.h"
+#include "yaml/yaml.h"
+
+namespace knactor::analysis {
+
+/// One spec file loaded into a project.
+struct ProjectFile {
+  std::string path;  // display path (as the user would spell it)
+  std::string text;
+  yaml::Document doc;  // meaningful only when parsed
+  bool parsed = false;
+  bool is_schema = false;
+  std::optional<core::Dxg> dxg;       // set when the spec has Input:/DXG:
+  std::vector<SyncRouteSpec> routes;  // set when the spec has Sync:
+};
+
+/// All specs of one composition, with schemas auto-registered from the
+/// project's own schema files (no --schema flags needed).
+struct Project {
+  std::vector<ProjectFile> files;
+  de::SchemaRegistry schemas;
+  /// Load-time failures (unreadable directory/file, YAML that does not
+  /// parse) as KN400 diagnostics; lint_project prepends them.
+  std::vector<Diagnostic> load_diags;
+
+  /// Loads every *.yaml / *.yml directly in `dir` (sorted by name).
+  static Project load_dir(const std::string& dir);
+  /// Builds a project from (display name, text) pairs — the multi-arg
+  /// `knctl lint a.yaml b.yaml` path, and unit tests.
+  static Project from_files(
+      const std::vector<std::pair<std::string, std::string>>& named_texts);
+};
+
+/// One field-level write into a store (a DXG mapping's target).
+struct FieldWrite {
+  std::size_t file_index = 0;
+  std::string store;   // store id written
+  std::string object;  // target object key ("*" for fan-out)
+  std::string field;
+  SourceLoc loc;
+  std::string desc;  // "mapping S.state.method"
+  const core::DxgMapping* mapping = nullptr;
+  bool fan_out = false;
+  std::string driver_store;  // fan-out driver's store id ("" otherwise)
+};
+
+/// One field-level read of a store (a mapping expression reference).
+struct FieldRead {
+  std::size_t file_index = 0;
+  std::string store;
+  std::string field;  // "" = whole-object read
+  SourceLoc loc;
+  std::string desc;
+  /// Index into ComposeGraph::writes of the reading mapping's own write
+  /// node (the edge source for cycle detection).
+  std::size_t writer_index = 0;
+};
+
+/// The project-wide producer/consumer graph.
+struct ComposeGraph {
+  std::vector<FieldWrite> writes;
+  std::vector<FieldRead> reads;
+  /// Store-level writes by Sync routes (route target schemas).
+  std::vector<FieldWrite> route_writes;
+  /// Store ids Sync routes read from (source schemas).
+  std::vector<std::string> route_sources;
+  /// Store id -> first `Input:` declaration that binds it.
+  std::map<std::string, SourceLoc> declared_inputs;
+
+  static ComposeGraph build(const Project& project);
+};
+
+struct ProjectLintOptions {
+  const RbacSpec* rbac = nullptr;
+  std::string principal;
+  /// Records assumed per store for the KN603 amplification estimate.
+  std::size_t assumed_records = 100;
+};
+
+/// Runs the per-file lint over every spec (with the project's schema
+/// registry), then the KN6xx cross-spec passes and the produced-env
+/// KN501/KN502 refinement; result is deduplicated in stable order.
+std::vector<Diagnostic> lint_project(const Project& project,
+                                     const ProjectLintOptions& options = {});
+
+/// Per-round cost estimate for the whole composition.
+struct CostReport {
+  std::size_t assumed_records = 0;
+
+  struct MappingCost {
+    std::string target;  // "S.state.method"
+    std::string file;
+    bool fan_out = false;
+    std::size_t evals = 0;  // expression evaluations per round
+  };
+  struct RouteCost {
+    std::string name;
+    std::string file;
+    /// Per-stage record-count upper bounds (last entry = output), from
+    /// de::estimate_stage_inputs; empty when the pipeline does not parse.
+    std::vector<std::size_t> stage_records;
+  };
+
+  std::vector<MappingCost> mappings;
+  std::vector<RouteCost> routes;
+  std::size_t total_mapping_evals = 0;
+
+  [[nodiscard]] std::string to_text() const;
+  [[nodiscard]] common::Value to_value() const;
+};
+
+CostReport estimate_project_cost(const Project& project,
+                                 std::size_t assumed_records = 100);
+
+}  // namespace knactor::analysis

@@ -13,16 +13,28 @@ const char* severity_name(Severity s) {
   return s == Severity::kWarning ? "warning" : "error";
 }
 
-std::string Diagnostic::to_text() const {
+namespace {
+
+std::string loc_text(const SourceLoc& loc) {
   std::string out = loc.file.empty() ? "<input>" : loc.file;
   if (loc.line > 0) {
     out += ":" + std::to_string(loc.line);
     if (loc.col > 0) out += ":" + std::to_string(loc.col);
   }
+  return out;
+}
+
+}  // namespace
+
+std::string Diagnostic::to_text() const {
+  std::string out = loc_text(loc);
   out += ": ";
   out += severity_name(severity);
   out += ": " + message + " [" + code + "]";
   if (!hint.empty()) out += "\n  hint: " + hint;
+  if (!related.file.empty()) {
+    out += "\n  note: " + related_note + " (" + loc_text(related) + ")";
+  }
   return out;
 }
 
@@ -35,6 +47,14 @@ Value Diagnostic::to_value() const {
   obj.set("col", Value(static_cast<std::int64_t>(loc.col)));
   obj.set("message", Value(message));
   if (!hint.empty()) obj.set("hint", Value(hint));
+  if (!related.file.empty()) {
+    Value::Object rel;
+    rel.set("file", Value(related.file));
+    rel.set("line", Value(static_cast<std::int64_t>(related.line)));
+    rel.set("col", Value(static_cast<std::int64_t>(related.col)));
+    if (!related_note.empty()) rel.set("note", Value(related_note));
+    obj.set("related", Value(std::move(rel)));
+  }
   return Value(std::move(obj));
 }
 
@@ -75,6 +95,17 @@ const std::vector<DiagnosticInfo>& diagnostic_catalog() {
       {"KN305", Severity::kWarning, "unbound-principal"},
       // KN4xx — input failures.
       {"KN400", Severity::kError, "parse-error"},
+      // KN5xx — expression semantics (abstract interpretation).
+      {"KN501", Severity::kError, "unsatisfiable-filter"},
+      {"KN502", Severity::kWarning, "always-true-filter"},
+      {"KN503", Severity::kWarning, "constant-mapping"},
+      {"KN504", Severity::kError, "division-by-zero"},
+      {"KN505", Severity::kWarning, "dead-branch"},
+      // KN6xx — cross-spec composition (project graph).
+      {"KN601", Severity::kWarning, "dead-exchange"},
+      {"KN602", Severity::kError, "shadowed-write"},
+      {"KN603", Severity::kError, "cross-file-cycle"},
+      {"KN604", Severity::kWarning, "fanout-amplification"},
   };
   return kCatalog;
 }
@@ -106,6 +137,19 @@ void sort_diagnostics(std::vector<Diagnostic>& diags) {
                             std::tie(b.loc.file, b.loc.line, b.loc.col, b.code,
                                      b.message);
                    });
+}
+
+void dedupe_diagnostics(std::vector<Diagnostic>& diags) {
+  sort_diagnostics(diags);
+  auto key = [](const Diagnostic& d) {
+    return std::tie(d.loc.file, d.loc.line, d.loc.col, d.code, d.message,
+                    d.related.file, d.related.line, d.related.col);
+  };
+  diags.erase(std::unique(diags.begin(), diags.end(),
+                          [&](const Diagnostic& a, const Diagnostic& b) {
+                            return key(a) == key(b);
+                          }),
+              diags.end());
 }
 
 bool has_errors(const std::vector<Diagnostic>& diags) {

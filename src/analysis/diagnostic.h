@@ -11,6 +11,8 @@
 //   KN2xx  Sync pipeline schema flow
 //   KN3xx  RBAC pre-flight
 //   KN4xx  input/parse failures
+//   KN5xx  expression semantics (abstract interpretation, analysis/absint.h)
+//   KN6xx  cross-spec composition (project graph, analysis/compose_graph.h)
 //
 // The catalog below is the single source of truth for code -> severity;
 // docs/ANALYSIS.md documents every code with a minimal trigger example.
@@ -45,11 +47,18 @@ struct Diagnostic {
   std::string message;
   std::string hint;  // optional fix suggestion
 
+  /// Second endpoint of a cross-spec finding (KN6xx): e.g. the other
+  /// writer of a shadowed field. Empty file means "no related endpoint".
+  SourceLoc related;
+  std::string related_note;  // what the related endpoint is
+
   /// "file:line:col: error: message [KN###]" (position elided when
-  /// unknown; "  hint: ..." appended on its own line when present).
+  /// unknown; "  hint: ..." appended on its own line when present;
+  /// "  note: <related_note> (<file>:<line>:<col>)" when a related
+  /// endpoint is set).
   [[nodiscard]] std::string to_text() const;
   /// Object form for --format json: {code, severity, file, line, col,
-  /// message, hint}.
+  /// message, hint, related?}.
   [[nodiscard]] common::Value to_value() const;
 };
 
@@ -73,6 +82,12 @@ Diagnostic make_diag(std::string code, SourceLoc loc, std::string message,
 
 /// Stable output order: (file, line, col, code, message).
 void sort_diagnostics(std::vector<Diagnostic>& diags);
+
+/// Sorts and removes exact duplicates (same code, location, message, and
+/// related endpoint) — the shared aggregation path for multi-file and
+/// `--project` lint runs, where per-file and cross-spec passes can emit
+/// the same finding twice.
+void dedupe_diagnostics(std::vector<Diagnostic>& diags);
 
 /// True when any diagnostic is error severity.
 bool has_errors(const std::vector<Diagnostic>& diags);

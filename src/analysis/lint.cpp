@@ -4,6 +4,7 @@
 #include <set>
 #include <utility>
 
+#include "analysis/absint.h"
 #include "analysis/sync_analysis.h"
 #include "analysis/typecheck.h"
 #include "common/strings.h"
@@ -62,21 +63,6 @@ void lint_schema(const yaml::Document& doc, const LintOptions& options,
 // ---------------------------------------------------------------------------
 // DXG lint: graph checks (via core::analyze), KN007, type inference, RBAC.
 
-/// Position of mapping i: its field key under "DXG/<label>", falling back
-/// to the target label, then the DXG section.
-SourceLoc mapping_loc(const yaml::Document& doc, const core::DxgMapping& m,
-                      const std::string& file) {
-  for (const std::string& path :
-       {"DXG/" + m.spec_label + "/" + m.field, "DXG/" + m.spec_label,
-        std::string("DXG")}) {
-    auto it = doc.positions.find(path);
-    if (it != doc.positions.end()) {
-      return SourceLoc{file, it->second.line, it->second.col};
-    }
-  }
-  return SourceLoc{file, 0, 0};
-}
-
 void lint_dxg(const yaml::Document& doc, const LintOptions& options,
               std::vector<Diagnostic>& out) {
   auto parsed = core::Dxg::from_value(doc.root);
@@ -89,7 +75,7 @@ void lint_dxg(const yaml::Document& doc, const LintOptions& options,
   std::vector<SourceLoc> mapping_locs;
   mapping_locs.reserve(dxg.mappings().size());
   for (const auto& m : dxg.mappings()) {
-    mapping_locs.push_back(mapping_loc(doc, m, options.file));
+    mapping_locs.push_back(locate_mapping(doc, m, options.file));
   }
 
   // Graph checks: the legacy analyzer's kinds are already aliased onto
@@ -123,6 +109,16 @@ void lint_dxg(const yaml::Document& doc, const LintOptions& options,
     // Without schemas we can still catch unknown functions and arity.
     de::SchemaRegistry empty;
     typecheck_dxg(dxg, empty, mapping_locs, out);
+  }
+
+  // KN5xx expression semantics: constant mappings, provable division by
+  // zero, dead ternary/comprehension branches.
+  for (std::size_t i = 0; i < dxg.mappings().size(); ++i) {
+    const core::DxgMapping& m = dxg.mappings()[i];
+    if (m.compiled != nullptr) {
+      check_expr_semantics(*m.compiled, mapping_locs[i],
+                           "mapping " + m.target_path(), out);
+    }
   }
 
   // RBAC pre-flight: each mapping writes its target field (update) and
@@ -276,18 +272,23 @@ std::vector<Diagnostic> lint_spec(std::string_view text,
   for (Diagnostic& d : out) {
     if (d.loc.file.empty()) d.loc.file = options.file;
   }
-  sort_diagnostics(out);
   // A file with both a DXG and a Sync section runs the RBAC pre-flight
   // twice; collapse byte-identical findings (e.g. a repeated KN305).
-  out.erase(std::unique(out.begin(), out.end(),
-                        [](const Diagnostic& a, const Diagnostic& b) {
-                          return a.code == b.code && a.message == b.message &&
-                                 a.loc.file == b.loc.file &&
-                                 a.loc.line == b.loc.line &&
-                                 a.loc.col == b.loc.col;
-                        }),
-            out.end());
+  dedupe_diagnostics(out);
   return out;
+}
+
+SourceLoc locate_mapping(const yaml::Document& doc, const core::DxgMapping& m,
+                         const std::string& file) {
+  for (const std::string& path :
+       {"DXG/" + m.spec_label + "/" + m.field, "DXG/" + m.spec_label,
+        std::string("DXG")}) {
+    auto it = doc.positions.find(path);
+    if (it != doc.positions.end()) {
+      return SourceLoc{file, it->second.line, it->second.col};
+    }
+  }
+  return SourceLoc{file, 0, 0};
 }
 
 bool has_parse_failure(const std::vector<Diagnostic>& diags) {

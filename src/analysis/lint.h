@@ -10,7 +10,9 @@
 
 #include "analysis/diagnostic.h"
 #include "analysis/rbac_preflight.h"
+#include "core/dxg.h"
 #include "de/schema.h"
+#include "yaml/yaml.h"
 
 namespace knactor::analysis {
 
@@ -41,5 +43,12 @@ std::vector<Diagnostic> lint_spec(std::string_view text,
 /// True when any diagnostic is a KN400 — `knctl lint` exits 2 for these
 /// (input unusable) vs 1 for ordinary findings.
 bool has_parse_failure(const std::vector<Diagnostic>& diags);
+
+/// Position of a DXG mapping's field key in its spec document (tries
+/// "DXG/<label>/<field>", then the target label, then the DXG section).
+/// Shared with the project-level composition graph, whose cross-spec
+/// diagnostics cite mapping endpoints in *other* files.
+SourceLoc locate_mapping(const yaml::Document& doc, const core::DxgMapping& m,
+                         const std::string& file);
 
 }  // namespace knactor::analysis

@@ -37,6 +37,81 @@ Type check_stage_expr(const expr::Node& node, const FieldMap& fields,
   return checker.infer(node);
 }
 
+/// Produced field (by first path segment) the predicate reads, if any —
+/// the related endpoint for a cross-spec KN501/KN502.
+const ProducedField* produced_witness(const expr::Node& pred,
+                                      const ProducedFieldMap& produced) {
+  for (const std::string& ref : expr::collect_refs(pred)) {
+    std::string root = ref.substr(0, ref.find('.'));
+    auto it = produced.find(root);
+    if (it != produced.end()) return &it->second;
+  }
+  return nullptr;
+}
+
+/// KN501/KN502: the filter's predicate is provably never / always true.
+/// The type-level env (field decls only) is checked first; the produced
+/// env (what this composition's mappings actually write) catches the
+/// cross-spec cases and names the producing endpoint.
+void check_filter_semantics(const expr::Node& pred, const FieldMap& fields,
+                            const SourceLoc& loc, const std::string& context,
+                            const ProducedFieldMap* produced,
+                            bool shape_untouched,
+                            std::vector<Diagnostic>& out) {
+  std::string text = expr::to_string(pred);
+  AbsEnv type_env = abs_env_from_fields(fields);
+  if (!satisfiable(pred, type_env)) {
+    out.push_back(make_diag(
+        "KN501", loc,
+        context + " (where): filter '" + text +
+            "' can never be true — no record ever passes",
+        "fix the predicate, or delete the stage"));
+    return;
+  }
+  if (!abs_eval(pred, type_env).may_falsy) {
+    out.push_back(make_diag(
+        "KN502", loc,
+        context + " (where): filter '" + text +
+            "' is always true — it never drops a record",
+        "drop the redundant where stage"));
+    return;
+  }
+  // The produced env only describes the record as it leaves the source
+  // store; once a stage reshapes it, field values are no longer the
+  // producers' values.
+  if (produced == nullptr || produced->empty() || !shape_untouched) return;
+  AbsEnv env = abs_env_from_fields(fields);
+  for (const auto& [name, pf] : *produced) {
+    if (fields.count(name) != 0) env.bind(name, pf.value);
+  }
+  const ProducedField* witness = produced_witness(pred, *produced);
+  if (!satisfiable(pred, env)) {
+    Diagnostic d = make_diag(
+        "KN501", loc,
+        context + " (where): filter '" + text +
+            "' can never match a record this composition produces",
+        "the producing mapping constrains the field's values");
+    if (witness != nullptr) {
+      d.related = witness->loc;
+      d.related_note = witness->desc;
+    }
+    out.push_back(std::move(d));
+    return;
+  }
+  if (!abs_eval(pred, env).may_falsy) {
+    Diagnostic d = make_diag(
+        "KN502", loc,
+        context + " (where): filter '" + text +
+            "' is always true for every record this composition produces",
+        "drop the redundant where stage");
+    if (witness != nullptr) {
+      d.related = witness->loc;
+      d.related_note = witness->desc;
+    }
+    out.push_back(std::move(d));
+  }
+}
+
 void missing_field(const std::string& field, const FieldMap& fields,
                    const SourceLoc& loc, const std::string& context,
                    std::vector<Diagnostic>& out) {
@@ -56,7 +131,8 @@ void missing_field(const std::string& field, const FieldMap& fields,
 
 FieldMap analyze_pipeline(const std::string& pipeline_text, FieldMap fields,
                           const SourceLoc& loc, const std::string& route_name,
-                          std::vector<Diagnostic>& out) {
+                          std::vector<Diagnostic>& out,
+                          const ProducedFieldMap* produced) {
   if (pipeline_text.empty()) return fields;  // identity route
   auto parsed = de::parse_query(pipeline_text);
   if (!parsed.ok()) {
@@ -67,6 +143,7 @@ FieldMap analyze_pipeline(const std::string& pipeline_text, FieldMap fields,
   }
   const de::LogQuery& query = parsed.value();
   int stage = 0;
+  bool shape_untouched = true;  // no stage has rewritten field values yet
   for (const auto& op : query) {
     ++stage;
     std::string context =
@@ -76,10 +153,13 @@ FieldMap analyze_pipeline(const std::string& pipeline_text, FieldMap fields,
         if (op.compiled != nullptr) {
           check_stage_expr(*op.compiled, fields, loc,
                            context + " (where)", out);
+          check_filter_semantics(*op.compiled, fields, loc, context, produced,
+                                 shape_untouched, out);
         }
         break;
       }
       case de::LogOp::Kind::kRename: {
+        shape_untouched = false;  // names move; produced values would alias
         // renames: old -> new. All renames apply to the incoming shape
         // simultaneously, but a new name colliding with a surviving field
         // silently overwrites it at runtime — flag it.
@@ -142,6 +222,7 @@ FieldMap analyze_pipeline(const std::string& pipeline_text, FieldMap fields,
       case de::LogOp::Kind::kTail:
         break;  // shape-preserving
       case de::LogOp::Kind::kMap: {
+        shape_untouched = false;  // put may overwrite a produced field
         Type t = Type::any();
         if (op.compiled != nullptr) {
           t = check_stage_expr(*op.compiled, fields, loc,
@@ -151,6 +232,7 @@ FieldMap analyze_pipeline(const std::string& pipeline_text, FieldMap fields,
         break;
       }
       case de::LogOp::Kind::kAggregate: {
+        shape_untouched = false;  // grouped output is a new record shape
         FieldMap next;
         for (const auto& field : op.fields) {  // group_by keys
           auto it = fields.find(field);
@@ -200,7 +282,8 @@ FieldMap analyze_pipeline(const std::string& pipeline_text, FieldMap fields,
 
 FieldMap analyze_sync_route(const SyncRouteSpec& route,
                             const de::SchemaRegistry& schemas,
-                            std::vector<Diagnostic>& out) {
+                            std::vector<Diagnostic>& out,
+                            const ProducedFieldMap* produced) {
   const de::StoreSchema* source = schemas.find(route.source_schema);
   if (source == nullptr) {
     out.push_back(make_diag(
@@ -212,7 +295,7 @@ FieldMap analyze_sync_route(const SyncRouteSpec& route,
   }
   FieldMap flow = analyze_pipeline(route.pipeline_text,
                                    schema_field_types(*source), route.loc,
-                                   route.name, out);
+                                   route.name, out, produced);
   const de::StoreSchema* target = schemas.find(route.target_schema);
   if (target == nullptr) {
     if (!route.target_schema.empty()) {
@@ -245,6 +328,45 @@ FieldMap analyze_sync_route(const SyncRouteSpec& route,
     }
   }
   return flow;
+}
+
+std::vector<SyncRouteSpec> collect_sync_routes(const yaml::Document& doc,
+                                               const std::string& file) {
+  std::vector<SyncRouteSpec> routes;
+  if (!doc.root.is_object()) return routes;
+  const common::Value* sync = doc.root.get("Sync");
+  if (sync == nullptr || !sync->is_object()) return routes;
+  auto loc_at = [&](const std::string& path) {
+    SourceLoc loc;
+    loc.file = file;
+    auto it = doc.positions.find(path);
+    if (it != doc.positions.end()) {
+      loc.line = it->second.line;
+      loc.col = it->second.col;
+    }
+    return loc;
+  };
+  for (const auto& [name, route_value] : sync->as_object()) {
+    if (!route_value.is_object()) continue;  // lint_spec reports KN208
+    const common::Value* source = route_value.get("source");
+    if (source == nullptr || !source->is_string()) continue;
+    SyncRouteSpec route;
+    route.name = name;
+    route.loc = loc_at("Sync/" + name);
+    route.source_schema = source->as_string();
+    if (const common::Value* target = route_value.get("target")) {
+      if (target->is_string()) route.target_schema = target->as_string();
+    }
+    if (const common::Value* pipeline = route_value.get("pipeline")) {
+      if (pipeline->is_string()) {
+        route.pipeline_text = pipeline->as_string();
+        SourceLoc ploc = loc_at("Sync/" + name + "/pipeline");
+        if (ploc.line > 0) route.loc = ploc;
+      }
+    }
+    routes.push_back(std::move(route));
+  }
+  return routes;
 }
 
 }  // namespace knactor::analysis

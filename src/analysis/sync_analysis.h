@@ -18,9 +18,11 @@
 #include <string>
 #include <vector>
 
+#include "analysis/absint.h"
 #include "analysis/diagnostic.h"
 #include "analysis/typecheck.h"
 #include "de/schema.h"
+#include "yaml/yaml.h"
 
 namespace knactor::analysis {
 
@@ -33,6 +35,23 @@ struct SyncRouteSpec {
   SourceLoc loc;              // position of the route's key in the spec
 };
 
+/// Extracts every well-formed route of a spec's `Sync:` section (for the
+/// project-wide composition graph); malformed routes are skipped here —
+/// lint_spec reports them.
+std::vector<SyncRouteSpec> collect_sync_routes(const yaml::Document& doc,
+                                               const std::string& file);
+
+/// What the composition is known to write into a source-record field: the
+/// join of every producing mapping's abstract value (plus null, since a
+/// mapping that evaluates to null writes nothing). Keyed by field name;
+/// `loc`/`desc` name one producing endpoint for cross-spec diagnostics.
+struct ProducedField {
+  AbsValue value;
+  SourceLoc loc;
+  std::string desc;
+};
+using ProducedFieldMap = std::map<std::string, ProducedField>;
+
 /// The source schema's fields as a flat field→type map (the record shape
 /// entering a pipeline).
 std::map<std::string, Type> schema_field_types(const de::StoreSchema& schema);
@@ -40,19 +59,22 @@ std::map<std::string, Type> schema_field_types(const de::StoreSchema& schema);
 /// Propagates `fields` through the parsed pipeline, reporting KN2xx
 /// diagnostics against `loc`/`route_name`; returns the outgoing shape.
 /// Unknown stages never abort the flow — each stage degrades to its best
-/// approximation so later stages still get checked.
+/// approximation so later stages still get checked. Filter stages also run
+/// the KN501/KN502 satisfiability pass; `produced`, when given, refines
+/// source-field values with what the composition's mappings actually write
+/// (cross-spec findings then carry the producing endpoint).
 std::map<std::string, Type> analyze_pipeline(
     const std::string& pipeline_text, std::map<std::string, Type> fields,
     const SourceLoc& loc, const std::string& route_name,
-    std::vector<Diagnostic>& out);
+    std::vector<Diagnostic>& out, const ProducedFieldMap* produced = nullptr);
 
 /// Analyzes one route end to end: source lookup (KN207 when unknown),
-/// pipeline flow (KN201-KN205, KN208), and output-vs-target-schema
-/// conformance (KN206). Returns the route's outgoing record shape (empty
-/// when the source schema is unknown) — the RBAC pre-flight checks write
-/// permission for exactly these fields.
-std::map<std::string, Type> analyze_sync_route(const SyncRouteSpec& route,
-                                               const de::SchemaRegistry& schemas,
-                                               std::vector<Diagnostic>& out);
+/// pipeline flow (KN201-KN205, KN208, KN501/KN502), and output-vs-target-
+/// schema conformance (KN206). Returns the route's outgoing record shape
+/// (empty when the source schema is unknown) — the RBAC pre-flight checks
+/// write permission for exactly these fields.
+std::map<std::string, Type> analyze_sync_route(
+    const SyncRouteSpec& route, const de::SchemaRegistry& schemas,
+    std::vector<Diagnostic>& out, const ProducedFieldMap* produced = nullptr);
 
 }  // namespace knactor::analysis

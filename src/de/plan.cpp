@@ -431,6 +431,34 @@ Result<std::vector<CowValue>> run_plan(const QueryPlan& plan,
   return records;
 }
 
+std::vector<std::size_t> estimate_stage_inputs(const QueryPlan& plan,
+                                               std::size_t input_records) {
+  std::vector<std::size_t> estimates;
+  estimates.reserve(plan.stages.size() + 1);
+  std::size_t n = input_records;
+  if (plan.scan_head != kNoLimit) n = std::min(n, plan.scan_head);
+  if (plan.scan_tail != kNoLimit) n = std::min(n, plan.scan_tail);
+  for (std::size_t si = 0; si < plan.stages.size(); ++si) {
+    estimates.push_back(n);
+    const PlanStage& stage = plan.stages[si];
+    if (stage.is_barrier) {
+      if (stage.barrier.kind == LogOp::Kind::kHead ||
+          stage.barrier.kind == LogOp::Kind::kTail) {
+        n = std::min(n, stage.barrier.n);
+      }
+      // sort keeps the count; summarize emits at most one record per
+      // input (upper bound: every record its own group).
+    } else if (si == 0 && plan.early_stop != kNoLimit) {
+      // The scan stops once early_stop records survive the fused stage.
+      n = std::min(n, plan.early_stop);
+    }
+    // Fused segments filter (upper bound: everything passes) and map —
+    // neither grows the record count.
+  }
+  estimates.push_back(n);
+  return estimates;
+}
+
 Result<std::vector<Value>> run_plan(const QueryPlan& plan,
                                     std::vector<Value> records,
                                     PlanRunStats* stats) {

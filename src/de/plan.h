@@ -59,6 +59,15 @@ struct QueryPlan {
 /// round (ops are copied by value, compiled expressions are shared).
 QueryPlan plan_query(const LogQuery& q);
 
+/// Static per-stage record-count upper bounds for `input_records` entering
+/// the plan: entry i is the worst-case number of records entering stage i,
+/// and the final extra entry is the output estimate. Mirrors the clamping
+/// run_plan actually performs (scan_head/scan_tail/early_stop, head/tail
+/// barriers); filters and aggregates keep the upper bound. This is the
+/// cost model behind `knctl analyze --cost`.
+std::vector<std::size_t> estimate_stage_inputs(const QueryPlan& plan,
+                                               std::size_t input_records);
+
 /// Executes a plan over copy-on-write record handles. `stats`, when given,
 /// receives the per-stage record counts actually processed (the charging
 /// basis for consolidated Sync rounds) and how many input records the

@@ -1,0 +1,109 @@
+# Golden + contract tests for whole-composition lint:
+#   * `knctl lint --project project_broken` reproduces project_broken.txt
+#     byte-for-byte (KN5xx/KN6xx findings with two-endpoint locations), exit 1
+#   * JSON mode keeps the findings, the related endpoints, and the totals
+#   * multi-arg `knctl lint a.yaml b.yaml ...` shares the aggregation path:
+#     duplicate inputs dedupe to the same report, one summary, one exit code
+#   * `knctl lint --project specs/` is clean (exit 0)
+#   * `knctl analyze --cost` renders the per-round cost model (exit 0)
+#
+# Usage: cmake -DKNCTL=<path> -DFIXTURES=<dir> -DSPECS=<dir> -P project_lint.cmake
+cmake_minimum_required(VERSION 3.16)
+foreach(var KNCTL FIXTURES SPECS)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=...")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${KNCTL} lint --project project_broken
+  WORKING_DIRECTORY ${FIXTURES}
+  OUTPUT_VARIABLE actual
+  ERROR_VARIABLE err
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "expected exit 1 (findings), got ${rc}\n${actual}${err}")
+endif()
+file(READ ${FIXTURES}/project_broken.txt expected)
+if(NOT actual STREQUAL expected)
+  message(FATAL_ERROR "project lint drifted from golden project_broken.txt\n"
+                      "--- expected ---\n${expected}\n--- actual ---\n${actual}")
+endif()
+
+# JSON mode: same findings, machine-parseable, related endpoints preserved.
+execute_process(
+  COMMAND ${KNCTL} lint --project project_broken --format json
+  WORKING_DIRECTORY ${FIXTURES}
+  OUTPUT_VARIABLE json_out
+  RESULT_VARIABLE json_rc)
+if(NOT json_rc EQUAL 1)
+  message(FATAL_ERROR "json mode: expected exit 1, got ${json_rc}")
+endif()
+foreach(needle "\"errors\": 4" "\"KN501\"" "\"KN601\"" "\"KN602\"" "\"KN603\""
+               "\"related\"")
+  if(NOT json_out MATCHES "${needle}")
+    message(FATAL_ERROR "json mode lost ${needle}:\n${json_out}")
+  endif()
+endforeach()
+
+# Multi-arg aggregation: listing the files by hand goes through the same
+# path as --project; repeating an input must not change the report.
+set(project_files
+  project_broken/a_restock.yaml project_broken/b_billing.yaml
+  project_broken/c_telemetry.yaml project_broken/alert_schema.yaml
+  project_broken/billing_schema.yaml project_broken/inventory_schema.yaml
+  project_broken/labels_schema.yaml project_broken/restock_schema.yaml
+  project_broken/telemetry_schema.yaml)
+execute_process(
+  COMMAND ${KNCTL} lint ${project_files}
+  WORKING_DIRECTORY ${FIXTURES}
+  OUTPUT_VARIABLE multi_out
+  RESULT_VARIABLE multi_rc)
+execute_process(
+  COMMAND ${KNCTL} lint ${project_files} project_broken/a_restock.yaml
+          project_broken/c_telemetry.yaml
+  WORKING_DIRECTORY ${FIXTURES}
+  OUTPUT_VARIABLE dup_out
+  RESULT_VARIABLE dup_rc)
+if(NOT multi_rc EQUAL 1 OR NOT dup_rc EQUAL 1)
+  message(FATAL_ERROR "multi-arg lint: expected exit 1/1, got "
+                      "${multi_rc}/${dup_rc}\n${multi_out}\n${dup_out}")
+endif()
+if(NOT multi_out STREQUAL dup_out)
+  message(FATAL_ERROR "duplicate inputs changed the aggregated report\n"
+                      "--- unique ---\n${multi_out}--- duplicated ---\n${dup_out}")
+endif()
+string(REGEX MATCHALL "error\\(s\\)" summaries "${multi_out}")
+list(LENGTH summaries summary_count)
+if(NOT summary_count EQUAL 1)
+  message(FATAL_ERROR "expected exactly one summary line, got "
+                      "${summary_count}:\n${multi_out}")
+endif()
+
+# The repo's own specs must stay clean under the cross-spec passes.
+execute_process(
+  COMMAND ${KNCTL} lint --project ${SPECS}
+  OUTPUT_VARIABLE clean_out
+  RESULT_VARIABLE clean_rc)
+if(NOT clean_rc EQUAL 0 OR NOT clean_out MATCHES ": clean")
+  message(FATAL_ERROR "specs/ not clean under --project (rc ${clean_rc}):\n"
+                      "${clean_out}")
+endif()
+
+# Cost model smoke: mapping eval counts + planner per-stage record counts.
+execute_process(
+  COMMAND ${KNCTL} analyze --cost project_broken --records 20
+  WORKING_DIRECTORY ${FIXTURES}
+  OUTPUT_VARIABLE cost_out
+  RESULT_VARIABLE cost_rc)
+if(NOT cost_rc EQUAL 0)
+  message(FATAL_ERROR "analyze --cost failed (rc ${cost_rc}):\n${cost_out}")
+endif()
+foreach(needle "composition cost at 20 records/store" "records/stage"
+               "eval\\(s\\)")
+  if(NOT cost_out MATCHES "${needle}")
+    message(FATAL_ERROR "cost report missing ${needle}:\n${cost_out}")
+  endif()
+endforeach()
+
+message(STATUS "project lint OK")

@@ -1,0 +1,298 @@
+// Unit tests for whole-composition analysis (analysis/compose_graph):
+// project loading, the KN6xx cross-spec passes with two-endpoint
+// locations, the produced-env refinement of KN501, and the cost model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analysis/compose_graph.h"
+#include "analysis/diagnostic.h"
+
+namespace knactor::analysis {
+namespace {
+
+constexpr const char* kLabelsSchema = R"(schema: Demo/v1/Labels/Label
+label: string # +kr: external
+)";
+
+constexpr const char* kInventorySchema = R"(schema: Demo/v1/Inventory/Item
+name: string
+status: string # +kr: external
+)";
+
+constexpr const char* kBillingSchema = R"(schema: Demo/v1/Billing/Account
+plan: string
+discount: number # +kr: external
+)";
+
+constexpr const char* kAuditSchema = R"(schema: Demo/v1/Audit/Entry
+name: string
+status: string
+)";
+
+std::vector<Diagnostic> find_code(const std::vector<Diagnostic>& diags,
+                                  std::string_view code) {
+  std::vector<Diagnostic> out;
+  for (const auto& d : diags) {
+    if (d.code == code) out.push_back(d);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// KN602 shadowed write: the finding must name BOTH files at exact
+// line:col — the diagnostic anchors on the second write, the related
+// endpoint on the first.
+
+TEST(ProjectLint, ShadowedWriteNamesBothEndpoints) {
+  constexpr const char* kWriterA = R"(Input:
+  P: Demo/v1/Labels/Label
+DXG:
+  P:
+    label: '"a"'
+)";
+  constexpr const char* kWriterB = R"(Input:
+  P: Demo/v1/Labels/Label
+DXG:
+  P:
+    label: '"b"'
+)";
+  auto project = Project::from_files({{"a.yaml", kWriterA},
+                                      {"b.yaml", kWriterB},
+                                      {"labels_schema.yaml", kLabelsSchema}});
+  auto diags = lint_project(project);
+  auto shadowed = find_code(diags, "KN602");
+  ASSERT_EQ(shadowed.size(), 1u);
+  const Diagnostic& d = shadowed[0];
+  EXPECT_EQ(d.severity, Severity::kError);
+  EXPECT_EQ(d.loc.file, "b.yaml");
+  EXPECT_EQ(d.loc.line, 5);
+  EXPECT_EQ(d.loc.col, 5);
+  EXPECT_EQ(d.related.file, "a.yaml");
+  EXPECT_EQ(d.related.line, 5);
+  EXPECT_EQ(d.related.col, 5);
+  EXPECT_FALSE(d.related_note.empty());
+}
+
+// ---------------------------------------------------------------------------
+// KN601 dead exchange: written, declared as an Input, read nowhere. The
+// related endpoint is the Input declaration.
+
+TEST(ProjectLint, DeadExchangePointsAtInputDeclaration) {
+  constexpr const char* kWriter = R"(Input:
+  P: Demo/v1/Labels/Label
+DXG:
+  P:
+    label: '"a"'
+)";
+  auto project = Project::from_files(
+      {{"w.yaml", kWriter}, {"labels_schema.yaml", kLabelsSchema}});
+  auto diags = lint_project(project);
+  auto dead = find_code(diags, "KN601");
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0].severity, Severity::kWarning);
+  EXPECT_EQ(dead[0].loc.file, "w.yaml");
+  EXPECT_EQ(dead[0].related.file, "w.yaml");
+  EXPECT_EQ(dead[0].related.line, 2);
+  EXPECT_NE(dead[0].message.find("Demo/v1/Labels/Label"), std::string::npos);
+}
+
+// A store that a Sync route consumes is not dead.
+
+TEST(ProjectLint, RouteSourceKeepsExchangeAlive) {
+  constexpr const char* kWriter = R"(Input:
+  I: Demo/v1/Inventory/Item
+DXG:
+  I:
+    status: '"low"'
+)";
+  constexpr const char* kRoute = R"(Sync:
+  watch:
+    source: Demo/v1/Inventory/Item
+    target: Demo/v1/Inventory/Item
+    pipeline: where status == "low"
+)";
+  auto project = Project::from_files({{"w.yaml", kWriter},
+                                      {"r.yaml", kRoute},
+                                      {"inv_schema.yaml", kInventorySchema}});
+  auto diags = lint_project(project);
+  EXPECT_TRUE(find_code(diags, "KN601").empty());
+}
+
+// ---------------------------------------------------------------------------
+// KN603 cross-file cycle: I.status depends on B.discount and vice versa,
+// each edge in its own file. Per-file lint cannot see it; the project
+// pass reports both endpoints and an amplification estimate.
+
+TEST(ProjectLint, CrossFileCycleCarriesBothEndpointsAndAmplification) {
+  constexpr const char* kRestock = R"(Input:
+  I: Demo/v1/Inventory/Item
+  B: Demo/v1/Billing/Account
+DXG:
+  I:
+    status: '"low" if B.discount > 5 else "ok"'
+)";
+  constexpr const char* kBilling = R"(Input:
+  I: Demo/v1/Inventory/Item
+  B: Demo/v1/Billing/Account
+DXG:
+  B:
+    discount: '10 if I.status == "low" else 0'
+)";
+  auto project = Project::from_files({{"a.yaml", kRestock},
+                                      {"b.yaml", kBilling},
+                                      {"inv_schema.yaml", kInventorySchema},
+                                      {"bill_schema.yaml", kBillingSchema}});
+  auto diags = lint_project(project);
+  auto cycles = find_code(diags, "KN603");
+  ASSERT_EQ(cycles.size(), 1u);
+  const Diagnostic& d = cycles[0];
+  EXPECT_EQ(d.severity, Severity::kError);
+  EXPECT_EQ(d.loc.file, "a.yaml");
+  EXPECT_EQ(d.related.file, "b.yaml");
+  EXPECT_NE(d.message.find("amplification"), std::string::npos);
+
+  // The same two specs in ONE file stay a per-file finding, not KN603.
+  constexpr const char* kBothEdges = R"(Input:
+  I: Demo/v1/Inventory/Item
+  B: Demo/v1/Billing/Account
+DXG:
+  I:
+    status: '"low" if B.discount > 5 else "ok"'
+  B:
+    discount: '10 if I.status == "low" else 0'
+)";
+  auto one_file = Project::from_files({{"ab.yaml", kBothEdges},
+                                       {"inv_schema.yaml", kInventorySchema},
+                                       {"bill_schema.yaml", kBillingSchema}});
+  EXPECT_TRUE(find_code(lint_project(one_file), "KN603").empty());
+}
+
+// ---------------------------------------------------------------------------
+// KN604 fan-out amplification: a fan-out mapping whose driver store is
+// itself the target of another fan-out write — set-to-set growth chained
+// across specs.
+
+TEST(ProjectLint, ChainedFanOutReportsAmplification) {
+  constexpr const char* kFirstHop = R"(Input:
+  C: demo/orders
+  S: demo/shipments
+DXG:
+  S.*:
+    $for: C order/
+    item: get(C, it).item
+)";
+  constexpr const char* kSecondHop = R"(Input:
+  S: demo/shipments
+  T: demo/tracking
+DXG:
+  T.*:
+    $for: S order/
+    ref: get(S, it).item
+)";
+  auto project = Project::from_files(
+      {{"hop1.yaml", kFirstHop}, {"hop2.yaml", kSecondHop}});
+  auto diags = lint_project(project);
+  auto fanout = find_code(diags, "KN604");
+  ASSERT_EQ(fanout.size(), 1u);
+  EXPECT_EQ(fanout[0].loc.file, "hop2.yaml");
+  EXPECT_EQ(fanout[0].related.file, "hop1.yaml");
+  EXPECT_NE(fanout[0].message.find("instantiations"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Produced-env KN501: the filter is satisfiable for the declared type but
+// not for what the composition's mappings actually write. The related
+// endpoint is the producing mapping in the other file.
+
+TEST(ProjectLint, ProducedEnvUnsatisfiableFilterNamesProducer) {
+  constexpr const char* kWriter = R"(Input:
+  I: Demo/v1/Inventory/Item
+DXG:
+  I:
+    status: '"low" if I.name == "x" else "ok"'
+)";
+  constexpr const char* kRoute = R"(Sync:
+  urgent:
+    source: Demo/v1/Inventory/Item
+    target: Demo/v1/Audit/Entry
+    pipeline: where status == "urgent"
+)";
+  auto project = Project::from_files({{"w.yaml", kWriter},
+                                      {"r.yaml", kRoute},
+                                      {"inv_schema.yaml", kInventorySchema},
+                                      {"audit_schema.yaml", kAuditSchema}});
+  auto diags = lint_project(project);
+  auto unsat = find_code(diags, "KN501");
+  ASSERT_EQ(unsat.size(), 1u);
+  EXPECT_EQ(unsat[0].loc.file, "r.yaml");
+  EXPECT_EQ(unsat[0].related.file, "w.yaml");
+  EXPECT_NE(unsat[0].message.find("produces"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Cost model: fan-out mappings charge one eval per assumed record, plain
+// mappings one, and routes report the planner's per-stage counts.
+
+TEST(ProjectCost, FanOutChargesPerRecord) {
+  constexpr const char* kSpec = R"(Input:
+  C: demo/orders
+  S: demo/shipments
+DXG:
+  S.*:
+    $for: C order/
+    item: get(C, it).item
+)";
+  constexpr const char* kRoute = R"(Sync:
+  hot:
+    source: Demo/v1/Inventory/Item
+    target: Demo/v1/Inventory/Item
+    pipeline: where status == "low" | head 3
+)";
+  auto project = Project::from_files({{"fan.yaml", kSpec},
+                                      {"route.yaml", kRoute},
+                                      {"inv_schema.yaml", kInventorySchema}});
+  CostReport report = estimate_project_cost(project, 40);
+  ASSERT_EQ(report.mappings.size(), 1u);
+  EXPECT_TRUE(report.mappings[0].fan_out);
+  EXPECT_EQ(report.mappings[0].evals, 40u);
+  EXPECT_EQ(report.total_mapping_evals, 40u);
+  ASSERT_EQ(report.routes.size(), 1u);
+  ASSERT_FALSE(report.routes[0].stage_records.empty());
+  EXPECT_EQ(report.routes[0].stage_records.front(), 40u);
+  // `head 3` caps the output estimate.
+  EXPECT_LE(report.routes[0].stage_records.back(), 3u);
+  EXPECT_NE(report.to_text().find("records/stage"), std::string::npos);
+  EXPECT_TRUE(report.to_value().is_object());
+}
+
+// Duplicate inputs and repeated findings collapse: linting the same file
+// list twice yields the same deduped report.
+
+TEST(ProjectLint, ReportIsDeterministicAndDeduped) {
+  constexpr const char* kWriter = R"(Input:
+  P: Demo/v1/Labels/Label
+DXG:
+  P:
+    label: '"a"'
+)";
+  auto project = Project::from_files(
+      {{"w.yaml", kWriter}, {"labels_schema.yaml", kLabelsSchema}});
+  auto first = lint_project(project);
+  auto second = lint_project(project);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].code, second[i].code);
+    EXPECT_EQ(first[i].message, second[i].message);
+  }
+  EXPECT_TRUE(std::is_sorted(
+      first.begin(), first.end(), [](const Diagnostic& a, const Diagnostic& b) {
+        return std::tie(a.loc.file, a.loc.line, a.loc.col, a.code) <
+               std::tie(b.loc.file, b.loc.line, b.loc.col, b.code);
+      }));
+}
+
+}  // namespace
+}  // namespace knactor::analysis

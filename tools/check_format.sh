@@ -1,0 +1,28 @@
+#!/bin/sh
+# Formatting gate for src/analysis/ — the first directory held to
+# .clang-format. Checks only; never rewrites. Exits 0 with a notice when
+# clang-format is not installed (the CI image may not ship it).
+#
+# Usage: tools/check_format.sh [clang-format-binary]
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+clang_format=${1:-clang-format}
+
+if ! command -v "$clang_format" >/dev/null 2>&1; then
+  echo "check_format: $clang_format not installed; skipping (format gate is advisory here)"
+  exit 0
+fi
+
+fail=0
+for f in "$repo_root"/src/analysis/*.h "$repo_root"/src/analysis/*.cpp; do
+  if ! "$clang_format" --dry-run --Werror "$f" >/dev/null 2>&1; then
+    echo "check_format: $f needs clang-format" >&2
+    fail=1
+  fi
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "check_format: OK"
+fi
+exit "$fail"

@@ -1,0 +1,44 @@
+#!/bin/sh
+# CI lint smoke: the repo's own specs must be clean under whole-composition
+# lint, and the broken fixture must keep reproducing its golden findings.
+# Mirrors the `ctest -L lint` script tests for environments that invoke the
+# binary directly (pre-merge hooks, release pipelines).
+#
+# Usage: tools/ci_lint.sh [path/to/knctl]
+# Exit: 0 on success, 1 on any lint drift.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+knctl=${1:-"$repo_root/build/tools/knctl"}
+
+if [ ! -x "$knctl" ]; then
+  echo "ci_lint: knctl not found at $knctl (build first, or pass a path)" >&2
+  exit 1
+fi
+
+fail=0
+
+echo "== knctl lint --project specs/ =="
+if ! "$knctl" lint --project "$repo_root/specs"; then
+  echo "ci_lint: specs/ must lint clean" >&2
+  fail=1
+fi
+
+echo "== knctl lint --project tests/analysis/fixtures/project_broken =="
+cd "$repo_root/tests/analysis/fixtures"
+actual=$("$knctl" lint --project project_broken) && rc=0 || rc=$?
+if [ "$rc" -ne 1 ]; then
+  echo "ci_lint: expected exit 1 from the broken fixture, got $rc" >&2
+  fail=1
+fi
+expected=$(cat project_broken.txt)
+if [ "$actual" != "$expected" ]; then
+  echo "ci_lint: project_broken output drifted from golden:" >&2
+  echo "$actual" >&2
+  fail=1
+fi
+
+if [ "$fail" -eq 0 ]; then
+  echo "ci_lint: OK"
+fi
+exit "$fail"

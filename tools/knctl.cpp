@@ -1,14 +1,27 @@
 // knctl — the operator CLI the paper's prototype ships ("a CLI for
 // operating knactors", §4). Works on spec files:
 //
-//   knctl lint <spec.yaml>              unified static analyzer: graph
+//   knctl lint <spec.yaml>...           unified static analyzer: graph
 //                                       checks, expression type inference,
-//                                       Sync pipeline schema flow, RBAC
+//                                       expression semantics (KN5xx), Sync
+//                                       pipeline schema flow, RBAC
 //                                       pre-flight — located diagnostics
-//                                       with stable KN### codes
+//                                       with stable KN### codes; several
+//                                       specs aggregate into one deduped,
+//                                       sorted report with one exit code
+//   knctl lint --project <dir>          whole-composition lint: loads every
+//                                       spec in the directory, auto-
+//                                       registers its schemas, and adds the
+//                                       cross-spec KN6xx passes (dead
+//                                       exchange, shadowed write, cross-
+//                                       file cycle, fan-out amplification)
 //   knctl analyze <dxg.yaml>            static analysis (cycles, unused
 //                                       inputs, unresolved aliases, schema
 //                                       conformance with --schema files)
+//   knctl analyze --cost <dir>          per-round cost model for a project:
+//                                       mapping evaluation counts and the
+//                                       planner's per-stage record counts
+//                                       for every Sync route
 //   knctl schema  <schema.yaml>         inspect a data-store schema
 //   knctl gen (reconciler|accessors|dxg) <schema.yaml>
 //                                       code generation to stdout
@@ -24,13 +37,16 @@
 //                                       DAG with per-stage latencies
 //   knctl demo                          run all of the above on the
 //                                       paper's Fig. 5 / Fig. 6 specs
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "analysis/compose_graph.h"
 #include "analysis/lint.h"
 #include "analysis/rbac_preflight.h"
 #include "apps/retail_knactor.h"
@@ -59,6 +75,14 @@ Result<std::string> read_file(const std::string& path) {
   ss << in.rdbuf();
   return ss.str();
 }
+
+/// Flags shared by `lint` and `analyze`.
+struct SpecFlags {
+  std::vector<std::string> schema_texts;
+  std::string rbac_text;
+  std::string principal;
+  std::string format = "text";
+};
 
 /// Exit codes shared by `analyze` and `lint`: 0 clean (warnings only),
 /// 1 findings, 2 unusable input — so CI can distinguish "fix your spec"
@@ -121,6 +145,24 @@ int cmd_analyze(const std::string& text,
   return 1;
 }
 
+/// Shared lint finish path (single file, multi-arg, --project): dedupe +
+/// stable sort, render once, one summary line, one exit code.
+int finish_lint(const std::string& label,
+                std::vector<knactor::analysis::Diagnostic> diags,
+                const std::string& format) {
+  namespace analysis = knactor::analysis;
+  analysis::dedupe_diagnostics(diags);
+  if (format == "json") {
+    std::fputs(analysis::render_json(diags).c_str(), stdout);
+  } else if (diags.empty()) {
+    std::printf("%s: clean\n", label.c_str());
+  } else {
+    std::fputs(analysis::render_text(diags).c_str(), stdout);
+  }
+  if (analysis::has_parse_failure(diags)) return 2;
+  return analysis::has_errors(diags) ? 1 : 0;
+}
+
 int cmd_lint(const std::string& file, const std::string& text,
              const std::vector<std::string>& schema_texts,
              const std::string& rbac_text, const std::string& principal,
@@ -148,16 +190,54 @@ int cmd_lint(const std::string& file, const std::string& text,
     rbac = parsed.take();
     options.rbac = &rbac;
   }
-  auto diags = analysis::lint_spec(text, options);
-  if (format == "json") {
-    std::fputs(analysis::render_json(diags).c_str(), stdout);
-  } else if (diags.empty()) {
-    std::printf("%s: clean\n", file.c_str());
-  } else {
-    std::fputs(analysis::render_text(diags).c_str(), stdout);
+  return finish_lint(file, analysis::lint_spec(text, options), format);
+}
+
+/// Whole-composition lint over an already-loaded project; `label` names
+/// the input in the clean message (the directory, or the spec list).
+int cmd_lint_project(knactor::analysis::Project& project,
+                     const std::string& label, const SpecFlags& flags) {
+  namespace analysis = knactor::analysis;
+  for (const auto& schema_text : flags.schema_texts) {
+    auto added = project.schemas.add_yaml(schema_text);
+    if (!added.ok()) {
+      std::fprintf(stderr, "schema: %s\n", added.error().to_string().c_str());
+      return 2;
+    }
   }
-  if (analysis::has_parse_failure(diags)) return 2;
-  return analysis::has_errors(diags) ? 1 : 0;
+  analysis::RbacSpec rbac;
+  analysis::ProjectLintOptions options;
+  options.principal = flags.principal;
+  if (!flags.rbac_text.empty()) {
+    auto parsed = analysis::parse_rbac(flags.rbac_text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "rbac: %s\n", parsed.error().to_string().c_str());
+      return 2;
+    }
+    rbac = parsed.take();
+    options.rbac = &rbac;
+  }
+  return finish_lint(label, analysis::lint_project(project, options),
+                     flags.format);
+}
+
+/// `knctl analyze --cost <dir>` — per-round cost model for the project.
+int cmd_analyze_cost(const std::string& dir, std::size_t records,
+                     const std::string& format) {
+  namespace analysis = knactor::analysis;
+  auto project = analysis::Project::load_dir(dir);
+  if (!project.load_diags.empty()) {
+    std::fputs(analysis::render_text(project.load_diags).c_str(), stderr);
+    return 2;
+  }
+  auto report = analysis::estimate_project_cost(project, records);
+  if (format == "json") {
+    std::printf("%s\n",
+                knactor::common::to_json_pretty(report.to_value()).c_str());
+  } else {
+    std::fputs(report.to_text().c_str(), stdout);
+  }
+  return 0;
 }
 
 int cmd_schema(const std::string& text) {
@@ -383,11 +463,15 @@ void usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  knctl lint <spec.yaml> [--schema <schema.yaml>]... "
+      "  knctl lint <spec.yaml>... [--schema <schema.yaml>]... "
+      "[--rbac <policy.yaml>]\n"
+      "             [--as <principal>] [--format text|json]\n"
+      "  knctl lint --project <dir> [--schema <schema.yaml>]... "
       "[--rbac <policy.yaml>]\n"
       "             [--as <principal>] [--format text|json]\n"
       "  knctl analyze <dxg.yaml> [--schema <schema.yaml>]... "
       "[--format text|json]\n"
+      "  knctl analyze --cost <dir> [--records <n>] [--format text|json]\n"
       "  knctl schema <schema.yaml>\n"
       "  knctl gen (reconciler|accessors|dxg) <schema.yaml>\n"
       "  knctl fmt <file.yaml>\n"
@@ -399,14 +483,6 @@ void usage() {
       "  knctl demo\n"
       "exit codes for lint/analyze: 0 clean, 1 findings, 2 unusable input\n");
 }
-
-/// Flags shared by `lint` and `analyze`.
-struct SpecFlags {
-  std::vector<std::string> schema_texts;
-  std::string rbac_text;
-  std::string principal;
-  std::string format = "text";
-};
 
 /// Parses [--schema f]... [--rbac f] [--as p] [--format text|json] from
 /// args[start..]; returns false (after printing usage) on bad flags.
@@ -455,6 +531,33 @@ int main(int argc, char** argv) {
   }
   const std::string& command = args[0];
   if (command == "demo") return cmd_demo();
+  if (command == "analyze" && args.size() >= 3 && args[1] == "--cost") {
+    std::size_t records = 100;
+    std::string format = "text";
+    for (std::size_t i = 3; i < args.size(); i += 2) {
+      if (i + 1 >= args.size()) {
+        usage();
+        return 2;
+      }
+      const std::string& flag = args[i];
+      const std::string& value = args[i + 1];
+      if (flag == "--records" && !value.empty()) {
+        char* end = nullptr;
+        unsigned long long n = std::strtoull(value.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0') {
+          usage();
+          return 2;
+        }
+        records = static_cast<std::size_t>(n);
+      } else if (flag == "--format" && (value == "text" || value == "json")) {
+        format = value;
+      } else {
+        usage();
+        return 2;
+      }
+    }
+    return cmd_analyze_cost(args[2], records, format);
+  }
   if (command == "analyze" && args.size() >= 2) {
     auto text = read_file(args[1]);
     if (!text.ok()) {
@@ -466,15 +569,65 @@ int main(int argc, char** argv) {
     return cmd_analyze(text.value(), flags.schema_texts, flags.format);
   }
   if (command == "lint" && args.size() >= 2) {
-    auto text = read_file(args[1]);
-    if (!text.ok()) {
-      std::fprintf(stderr, "%s\n", text.error().to_string().c_str());
+    if (args[1] == "--project") {
+      if (args.size() < 3) {
+        usage();
+        return 2;
+      }
+      SpecFlags flags;
+      if (!parse_spec_flags(args, 3, /*allow_rbac=*/true, flags)) return 2;
+      auto project = knactor::analysis::Project::load_dir(args[2]);
+      return cmd_lint_project(project, args[2], flags);
+    }
+    // Leading positionals are spec files; the first `--` flag ends them.
+    std::vector<std::string> files;
+    std::size_t next = 1;
+    while (next < args.size() && args[next].rfind("--", 0) != 0) {
+      files.push_back(args[next++]);
+    }
+    if (files.empty()) {
+      usage();
       return 2;
     }
     SpecFlags flags;
-    if (!parse_spec_flags(args, 2, /*allow_rbac=*/true, flags)) return 2;
-    return cmd_lint(args[1], text.value(), flags.schema_texts, flags.rbac_text,
-                    flags.principal, flags.format);
+    if (!parse_spec_flags(args, next, /*allow_rbac=*/true, flags)) return 2;
+    if (files.size() == 1) {
+      auto text = read_file(files[0]);
+      if (!text.ok()) {
+        std::fprintf(stderr, "%s\n", text.error().to_string().c_str());
+        return 2;
+      }
+      return cmd_lint(files[0], text.value(), flags.schema_texts,
+                      flags.rbac_text, flags.principal, flags.format);
+    }
+    // Several specs aggregate through the project path: duplicates are
+    // linted once, findings dedupe + sort, one summary, one exit code.
+    std::vector<std::string> unique_files;
+    for (const auto& file : files) {
+      if (std::find(unique_files.begin(), unique_files.end(), file) ==
+          unique_files.end()) {
+        unique_files.push_back(file);
+      }
+    }
+    std::vector<std::pair<std::string, std::string>> named;
+    std::vector<knactor::analysis::Diagnostic> io_diags;
+    std::string label;
+    for (const auto& file : unique_files) {
+      if (!label.empty()) label += ", ";
+      label += file;
+      auto text = read_file(file);
+      if (text.ok()) {
+        named.emplace_back(file, text.take());
+      } else {
+        io_diags.push_back(knactor::analysis::make_diag(
+            "KN400", {file, 0, 0},
+            "cannot read file: " + text.error().to_string()));
+      }
+    }
+    auto project = knactor::analysis::Project::from_files(named);
+    project.load_diags.insert(project.load_diags.end(), io_diags.begin(),
+                              io_diags.end());
+    return cmd_lint_project(project, label, flags);
   }
   if (command == "schema" && args.size() == 2) {
     auto text = read_file(args[1]);

@@ -31,6 +31,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <thread>
 #include <fstream>
 #include <sstream>
@@ -45,6 +46,7 @@
 #include "core/trace_export.h"
 #include "de/log.h"
 #include "de/object.h"
+#include "de/persist/engine.h"
 #include "de/plan.h"
 #include "sim/clock.h"
 
@@ -375,6 +377,138 @@ Value commit_seq_section(bool smoke) {
   return v;
 }
 
+// ---------------------------------------------------------------------------
+// Recovery: snapshot+delta vs full-WAL replay (de/persist).
+// ---------------------------------------------------------------------------
+
+// Durable-recovery cost at a deep history. The same op stream is journaled
+// through the persistence tier twice: once with snapshots disabled, so
+// recovery must replay the entire WAL, and once with the periodic snapshot
+// cadence, so recovery loads the newest snapshot and replays only the
+// journal suffix. Keys wrap (1024 live objects), which is the regime the
+// snapshot design targets: live state stays small while the WAL grows
+// without bound. The gate asserts the design's point — at a 100k-op
+// history, snapshot+delta recovery is >=5x faster than full replay — and
+// both recoveries must land on the bit-identical image.
+struct RecoverTiming {
+  bool ok = false;
+  double wall_ms = 0;
+  std::uint64_t frames = 0;
+  std::string image_bytes;  // canonical serialization of the result
+};
+
+double build_recovery_history(const std::string& dir, std::size_t ops,
+                              std::uint64_t snapshot_every,
+                              std::uint64_t* snapshots_out) {
+  using namespace knactor;
+  std::filesystem::remove_all(dir);
+  sim::VirtualClock clock;
+  de::ObjectDeProfile profile = de::ObjectDeProfile::instant();
+  profile.durable = true;
+  de::ObjectDe de(clock, profile);
+  de::persist::Engine engine(de::persist::EngineOptions{dir, snapshot_every});
+  if (!de.enable_persistence(&engine).ok()) return -1;
+  de::ObjectStore& store = de.create_store("events");
+  auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < ops; ++i) {
+    char key[24];
+    std::snprintf(key, sizeof(key), "e-%05zu", i % 1024);
+    Value v = Value::object();
+    v.set("seq", Value(static_cast<std::int64_t>(i)));
+    v.set("level", Value(static_cast<std::int64_t>(i % 5)));
+    if (!store.put_sync("svc", key, std::move(v)).ok()) return -1;
+  }
+  *snapshots_out = engine.stats().snapshots;
+  return wall_ms_since(t0);
+}
+
+RecoverTiming time_recovery(const std::string& dir, int repeats) {
+  using namespace knactor::de::persist;
+  RecoverTiming out;
+  for (int i = 0; i < repeats; ++i) {
+    Engine engine(EngineOptions{dir, 0});
+    auto t0 = std::chrono::steady_clock::now();
+    auto image = engine.recover();
+    const double ms = wall_ms_since(t0);
+    if (!image.ok()) return out;
+    if (i == 0) {
+      out.wall_ms = ms;
+      out.frames = engine.stats().frames_replayed;
+      out.image_bytes = encode_snapshot(image.value(), 0);
+    } else if (ms < out.wall_ms) {
+      out.wall_ms = ms;
+    }
+  }
+  out.ok = true;
+  return out;
+}
+
+Value recovery_section(bool smoke, double* speedup_out,
+                       bool* converged_out) {
+  const std::size_t ops = smoke ? 3000 : 100000;
+  // Deliberately does not divide the op count: the history must end
+  // mid-generation so the timed recovery includes a real journal-suffix
+  // replay, not just the snapshot load.
+  const std::uint64_t cadence = smoke ? 128 : 4096;
+  const int repeats = smoke ? 1 : 3;
+  const std::string base =
+      std::filesystem::temp_directory_path().string() + "/kn_bench_recovery";
+  const std::string full_dir = base + "_full";
+  const std::string delta_dir = base + "_delta";
+
+  std::uint64_t full_snaps = 0;
+  std::uint64_t delta_snaps = 0;
+  const double full_build_ms =
+      build_recovery_history(full_dir, ops, /*snapshot_every=*/0,
+                             &full_snaps);
+  const double delta_build_ms =
+      build_recovery_history(delta_dir, ops, cadence, &delta_snaps);
+  Value v = Value::object();
+  if (full_build_ms < 0 || delta_build_ms < 0) {
+    *converged_out = false;
+    return v;
+  }
+  const RecoverTiming full = time_recovery(full_dir, repeats);
+  const RecoverTiming delta = time_recovery(delta_dir, repeats);
+  std::filesystem::remove_all(full_dir);
+  std::filesystem::remove_all(delta_dir);
+  const double speedup = full.ok && delta.ok && full.wall_ms > 0 &&
+                                 delta.wall_ms > 0
+                             ? full.wall_ms / delta.wall_ms
+                             : 0;
+  const bool converged = full.ok && delta.ok &&
+                         !full.image_bytes.empty() &&
+                         full.image_bytes == delta.image_bytes;
+  *speedup_out = speedup;
+  *converged_out = converged;
+
+  v.set("ops", Value(static_cast<std::int64_t>(ops)));
+  v.set("snapshot_cadence", Value(static_cast<std::int64_t>(cadence)));
+  Value full_v = Value::object();
+  full_v.set("build_ms", Value(full_build_ms));
+  full_v.set("recover_ms", Value(full.wall_ms));
+  full_v.set("frames_replayed", Value(static_cast<std::int64_t>(full.frames)));
+  v.set("full_replay", std::move(full_v));
+  Value delta_v = Value::object();
+  delta_v.set("build_ms", Value(delta_build_ms));
+  delta_v.set("recover_ms", Value(delta.wall_ms));
+  delta_v.set("frames_replayed",
+              Value(static_cast<std::int64_t>(delta.frames)));
+  delta_v.set("snapshots", Value(static_cast<std::int64_t>(delta_snaps)));
+  v.set("snapshot_delta", std::move(delta_v));
+  v.set("speedup", Value(speedup));
+  v.set("converged", Value(converged));
+  std::printf(
+      "recovery %6zu ops: full-replay %8.1fms (%6llu frames)  "
+      "snapshot+delta %8.1fms (%5llu frames, %llu snapshots)  "
+      "speedup %.2fx%s\n",
+      ops, full.wall_ms, static_cast<unsigned long long>(full.frames),
+      delta.wall_ms, static_cast<unsigned long long>(delta.frames),
+      static_cast<unsigned long long>(delta_snaps), speedup,
+      converged ? "" : "  DIVERGED");
+  return v;
+}
+
 // Separate traced run for per-stage attribution (C-I / I / I-S, virtual-
 // clock µs). Tracing is kept out of the timed runs above so the gate
 // measures the untraced hot path; this run only feeds the
@@ -473,11 +607,13 @@ int check_report(const std::string& path) {
       return 1;
     }
   }
-  const Value* commit_seq = report.get("commit_seq");
-  if (commit_seq == nullptr || !commit_seq->is_object()) {
-    std::fprintf(stderr, "bench_hotpath: %s: missing section 'commit_seq'\n",
-                 path.c_str());
-    return 1;
+  for (const char* key : {"commit_seq", "recovery"}) {
+    const Value* section = report.get(key);
+    if (section == nullptr || !section->is_object()) {
+      std::fprintf(stderr, "bench_hotpath: %s: missing section '%s'\n",
+                   path.c_str(), key);
+      return 1;
+    }
   }
   std::printf("bench_hotpath: %s OK\n", path.c_str());
   return 0;
@@ -504,7 +640,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: bench_hotpath [--smoke] [--out PATH] "
                    "[--check PATH] [--section retail|shards|home|stages|"
-                   "scaling|commit_seq]\n");
+                   "scaling|commit_seq|recovery]\n");
       return 2;
     }
   }
@@ -513,7 +649,8 @@ int main(int argc, char** argv) {
     return all_sections || section == name;
   };
   if (!all_sections && !want("retail") && !want("shards") && !want("home") &&
-      !want("stages") && !want("scaling") && !want("commit_seq")) {
+      !want("stages") && !want("scaling") && !want("commit_seq") &&
+      !want("recovery")) {
     std::fprintf(stderr, "bench_hotpath: unknown section '%s'\n",
                  section.c_str());
     return 2;
@@ -699,16 +836,33 @@ int main(int argc, char** argv) {
     report.set("commit_seq", commit_seq_section(smoke));
   }
 
+  // Durable-recovery gate: snapshot+delta must beat full-WAL replay by 5x
+  // at the deep-history scale (smoke runs exercise the path but skip the
+  // wall-clock gate; convergence — bit-identical recovered images — is
+  // enforced everywhere).
+  double recovery_speedup = 0;
+  bool recovery_converged = true;
+  if (want("recovery")) {
+    report.set("recovery",
+               recovery_section(smoke, &recovery_speedup,
+                                &recovery_converged));
+  }
+
   // Lenient ceiling: on a single-core CI box sharded runs can only lose a
   // little to pool overhead; a blowup past this means a real regression.
   constexpr double kMaxShardRatio = 2.0;
   constexpr double kRequiredScalingSpeedup = 2.0;
+  constexpr double kRequiredRecoverySpeedup = 5.0;
   bool shard_gate_ok =
       shard_deterministic && (smoke || shard_worst_ratio <= kMaxShardRatio);
   bool scaling_gate_ok =
       scaling_converged &&
       (smoke || !want("scaling") ||
        scaling_8s_speedup >= kRequiredScalingSpeedup);
+  bool recovery_gate_ok =
+      recovery_converged &&
+      (smoke || !want("recovery") ||
+       recovery_speedup >= kRequiredRecoverySpeedup);
   if (all_sections) {
     Value gate = Value::object();
     gate.set("retail_100x_speedup", Value(retail_100x_speedup));
@@ -719,8 +873,12 @@ int main(int argc, char** argv) {
     gate.set("scaling_8s_speedup", Value(scaling_8s_speedup));
     gate.set("required_scaling_speedup", Value(kRequiredScalingSpeedup));
     gate.set("scaling_converged", Value(scaling_converged));
+    gate.set("recovery_speedup", Value(recovery_speedup));
+    gate.set("required_recovery_speedup", Value(kRequiredRecoverySpeedup));
+    gate.set("recovery_converged", Value(recovery_converged));
     gate.set("pass", Value((smoke || retail_100x_speedup >= 2.0) &&
-                           shard_gate_ok && scaling_gate_ok));
+                           shard_gate_ok && scaling_gate_ok &&
+                           recovery_gate_ok));
     report.set("gate", std::move(gate));
   }
 
@@ -755,6 +913,15 @@ int main(int argc, char** argv) {
                  "%.2fx, required %.2fx)\n",
                  scaling_converged ? "below the gate" : "diverged",
                  scaling_8s_speedup, kRequiredScalingSpeedup);
+    return 1;
+  }
+  if (want("recovery") && !recovery_gate_ok) {
+    std::fprintf(stderr,
+                 "bench_hotpath: FAIL: durable recovery %s (snapshot+delta "
+                 "speedup %.2fx, required %.2fx)\n",
+                 recovery_converged ? "below the gate"
+                                    : "diverged from full replay",
+                 recovery_speedup, kRequiredRecoverySpeedup);
     return 1;
   }
   return 0;

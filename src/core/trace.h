@@ -142,6 +142,34 @@ inline void Tracer::merge(SpanBuffer& buffer) {
   buffer.next_local_id_ = 1;
 }
 
+/// RAII span: opens on construction, closes when the scope exits — so a
+/// span around a multi-exit operation (e.g. persistence snapshot/recovery)
+/// always closes, including on early error returns. Null-tracer tolerant:
+/// with `tracer == nullptr` every call is a no-op, which lets optional
+/// observability sinks stay optional at the call site.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, const std::string& name,
+             std::uint64_t parent = 0)
+      : tracer_(tracer) {
+    if (tracer_ != nullptr) id_ = tracer_->begin(name, parent);
+  }
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) tracer_->end(id_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void annotate(const std::string& key, const std::string& value) {
+    if (tracer_ != nullptr) tracer_->annotate(id_, key, value);
+  }
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  std::uint64_t id_ = 0;
+};
+
 /// Monotonic counters + gauges for framework internals. inc/get/clear are
 /// mutex-serialized (safe from shard workers); `all()` returns the map by
 /// reference and must only be read between barriers.

@@ -164,6 +164,20 @@ class Kernel {
   std::uint64_t next_revision() { return next_revision_++; }
   std::uint64_t next_commit_seq() { return ++commit_seq_; }
   [[nodiscard]] std::uint64_t commit_seq() const { return commit_seq_; }
+  /// The revision the next next_revision() call will hand out, without
+  /// consuming it. The persistence tier journals this alongside commit_seq
+  /// so recovery can restore both stamp domains exactly.
+  [[nodiscard]] std::uint64_t peek_next_revision() const {
+    return next_revision_;
+  }
+  /// Restores both sequence domains to a recovered durable point, so ops
+  /// committed after recovery get the same stamps they would have gotten
+  /// had the crash never happened.
+  void restore_sequences(std::uint64_t next_revision,
+                         std::uint64_t commit_seq) {
+    next_revision_ = next_revision;
+    commit_seq_ = commit_seq;
+  }
   std::uint64_t allocate_watch_id() { return next_watch_id_++; }
 
   // --- epoch sequencing (per-shard commit-seq domains) --------------------

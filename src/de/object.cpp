@@ -5,6 +5,7 @@
 #include "common/json.h"
 #include "common/logging.h"
 #include "common/strings.h"
+#include "de/persist/engine.h"
 
 namespace knactor::de {
 
@@ -641,6 +642,28 @@ void ObjectDe::transact(const std::string& principal, std::vector<TxnOp> ops,
                                   std::nullopt);
       if (committed.ok()) last_version = committed.value();
     }
+    if (persist_ != nullptr && !txn_records_.empty()) {
+      // One atomic frame for the whole transaction; the drain below
+      // allocates one commit seq per pending notification, so the frame's
+      // counter footer is the post-drain state.
+      std::vector<std::string_view> records(txn_records_.begin(),
+                                            txn_records_.end());
+      auto st = persist_->append_batch(
+          records, static_cast<std::uint32_t>(records.size()),
+          kernel_.peek_next_revision(),
+          kernel_.commit_seq() + pending_notifications_.size());
+      txn_records_.clear();
+      if (!st.ok()) {
+        // Torn mid-transaction: nothing of it is durable (one checksum
+        // covers the frame) and no observer saw it (notifications were
+        // still deferred). The client retries after recovery.
+        kernel_.crash();
+        defer_notifications_ = false;
+        pending_notifications_.clear();
+        done(st.error());
+        return;
+      }
+    }
     defer_notifications_ = false;
     std::vector<PendingNotification> pending =
         std::move(pending_notifications_);
@@ -665,6 +688,13 @@ Result<Value> ObjectDe::transact_sync(const std::string& principal,
 }
 
 void ObjectDe::restart() {
+  if (persist_ != nullptr) {
+    // On-disk recovery: newest valid snapshot + journal suffix. A failed
+    // recovery (e.g. unreadable directory) leaves the DE empty — same as
+    // a non-durable restart — rather than half-recovered.
+    (void)recover_from_disk();
+    return;
+  }
   for (auto& [name, store] : stores_) {
     store->objects_.clear();
   }
@@ -689,6 +719,99 @@ void ObjectDe::restart() {
     }
   }
   recovering_ = saved;
+}
+
+Status ObjectDe::enable_persistence(persist::Engine* engine) {
+  if (engine == nullptr) {
+    return Error::invalid_argument("persist: null engine");
+  }
+  persist_ = engine;
+  auto st = recover_from_disk();
+  if (!st.ok()) {
+    persist_ = nullptr;
+    return st;
+  }
+  // The on-disk journal supersedes the in-memory WAL from here on.
+  wal_.clear();
+  kernel_.add_gc_hook([engine] { return engine->gc(); });
+  return Status::success();
+}
+
+Status ObjectDe::recover_from_disk() {
+  for (auto& [name, store] : stores_) {
+    store->objects_.clear();
+  }
+  auto recovered = persist_->recover();
+  if (!recovered.ok()) return recovered.error();
+  const persist::Image& image = recovered.value();
+  core::ScopedSpan span(tracer_, "de.persist.recover");
+  for (const auto& store_image : image.stores) {
+    ObjectStore& store = create_store(store_image.name);
+    for (const auto& obj : store_image.objects) {
+      StateObject state;
+      state.key = obj.key;
+      state.data = obj.data;
+      state.version = obj.version;
+      state.created_at = obj.created_at;
+      state.updated_at = obj.updated_at;
+      store.objects_[state.key] = std::move(state);
+    }
+  }
+  // Counters resume at the recovered durable point: retried ops get the
+  // same stamps they would have gotten had the crash never happened.
+  kernel_.restore_sequences(image.next_revision, image.commit_seq);
+  const persist::EngineStats& pstats = persist_->stats();
+  span.annotate("frames_replayed", std::to_string(pstats.frames_replayed));
+  span.annotate("records_replayed", std::to_string(pstats.records_replayed));
+  span.annotate("objects", std::to_string(image.object_count()));
+  if (epoch_metrics_ != nullptr) {
+    epoch_metrics_->inc("de.persist.recoveries");
+    epoch_metrics_->inc("de.persist.records_replayed",
+                        pstats.records_replayed);
+  }
+  return Status::success();
+}
+
+Status ObjectDe::snapshot_now() {
+  if (persist_ == nullptr) {
+    return Error::failed_precondition("persist: no engine attached");
+  }
+  persist::Image image;
+  image.next_revision = kernel_.peek_next_revision();
+  image.commit_seq = kernel_.commit_seq();
+  for (const auto& [name, store] : stores_) {  // stores_ is name-sorted
+    persist::StoreImage store_image;
+    store_image.name = name;
+    for (const auto& key : store->objects_.sorted_keys()) {
+      const StateObject* obj = store->objects_.find(key);
+      persist::ObjectImage object_image;
+      object_image.key = obj->key;
+      object_image.version = obj->version;
+      object_image.created_at = obj->created_at;
+      object_image.updated_at = obj->updated_at;
+      object_image.data = obj->data;  // shared handle, zero-copy
+      store_image.objects.push_back(std::move(object_image));
+    }
+    image.stores.push_back(std::move(store_image));
+  }
+  core::ScopedSpan span(tracer_, "de.persist.snapshot");
+  span.annotate("objects", std::to_string(image.object_count()));
+  auto st = persist_->snapshot(image);
+  if (!st.ok()) {
+    kernel_.crash();
+    return st;
+  }
+  if (epoch_metrics_ != nullptr) epoch_metrics_->inc("de.persist.snapshots");
+  return Status::success();
+}
+
+void ObjectDe::maybe_auto_snapshot() {
+  if (persist_ == nullptr || persist_->failed()) return;
+  const std::uint64_t cadence = persist_->options().snapshot_every;
+  if (cadence == 0 || persist_->records_since_snapshot() < cadence) return;
+  // Best effort: the triggering commit is already durable and acked; a
+  // snapshot crash only takes the DE down, it never un-acks the commit.
+  (void)snapshot_now();
 }
 
 Result<std::uint64_t> ObjectDe::commit_put(
@@ -750,7 +873,31 @@ Result<std::uint64_t> ObjectDe::commit_put(
     kernel_.provenance().record(std::move(rec));
   }
 
-  if (profile_.durable) {
+  if (persist_ != nullptr) {
+    if (!recovering_) {
+      std::string rec;
+      persist::encode_put(rec, store.name_, key, obj.version, obj.created_at,
+                          obj.updated_at, *obj.data);
+      if (defer_notifications_) {
+        // Transaction: stage; transact() flushes every staged record as
+        // one atomic frame before the notification drain.
+        txn_records_.push_back(std::move(rec));
+      } else {
+        // Journal before notifications, carrying this commit's post-state
+        // counters (fire_watches below allocates exactly one commit seq).
+        auto st = persist_->append_batch({rec}, 1,
+                                         kernel_.peek_next_revision(),
+                                         kernel_.commit_seq() + 1);
+        if (!st.ok()) {
+          // Torn append: the op is not durable, so it must not ack or
+          // notify. Recovery reloads the journal's valid prefix; the
+          // client retries against the recovered state.
+          kernel_.crash();
+          return st.error();
+        }
+      }
+    }
+  } else if (profile_.durable) {
     wal_.push_back(WalEntry{store.name_, key, obj.data});
   }
 
@@ -761,6 +908,7 @@ Result<std::uint64_t> ObjectDe::commit_put(
     fire_triggers(store.name_,
                   existed ? WatchEventType::kModified : WatchEventType::kAdded,
                   obj);
+    if (!defer_notifications_) maybe_auto_snapshot();
   }
   return obj.version;
 }
@@ -773,12 +921,29 @@ Status ObjectDe::commit_delete(ObjectStore& store, const std::string& key) {
   }
   StateObject obj = *existing;
   store.objects_.erase(key);
-  if (profile_.durable) {
+  if (persist_ != nullptr) {
+    if (!recovering_) {
+      std::string rec;
+      persist::encode_delete(rec, store.name_, key);
+      if (defer_notifications_) {
+        txn_records_.push_back(std::move(rec));
+      } else {
+        auto st = persist_->append_batch({rec}, 1,
+                                         kernel_.peek_next_revision(),
+                                         kernel_.commit_seq() + 1);
+        if (!st.ok()) {
+          kernel_.crash();
+          return st.error();
+        }
+      }
+    }
+  } else if (profile_.durable) {
     wal_.push_back(WalEntry{store.name_, key, nullptr});
   }
   if (!recovering_) {
     fire_watches(store.name_, WatchEventType::kDeleted, obj);
     fire_triggers(store.name_, WatchEventType::kDeleted, obj);
+    if (!defer_notifications_) maybe_auto_snapshot();
   }
   return Status::success();
 }
@@ -905,9 +1070,12 @@ std::vector<Result<std::uint64_t>> ObjectDe::commit_epoch(
       epoch_metrics_ != nullptr ? shard_count : 0);
   std::vector<EpochOp> ops(n);
   // Rollback staging (pre-image copies, watch-buffer undo logs) is only
-  // consumed by the mid-epoch crash hook; without one installed the epoch
-  // cannot roll back, so the hot path skips the copies entirely.
-  const bool stage_undo = static_cast<bool>(epoch_fault_hook_);
+  // consumed by the mid-epoch crash paths — the chaos fault hook and a
+  // torn journal append; with neither armed the epoch cannot roll back,
+  // so the hot path skips the copies entirely.
+  const bool stage_undo =
+      static_cast<bool>(epoch_fault_hook_) ||
+      (persist_ != nullptr && persist_->fault_armed());
   auto process_op = [&](std::size_t i, std::size_t shard) {
     EpochWrite& w = writes[i];
     EpochOp& op = ops[i];
@@ -958,7 +1126,9 @@ std::vector<Result<std::uint64_t>> ObjectDe::commit_epoch(
       op.obj = *existing;
       store.objects_.erase(w.key);
       op.type = WatchEventType::kDeleted;
-      if (profile_.durable) {
+      if (persist_ != nullptr) {
+        persist::encode_delete(op.persist_rec, store.name_, op.obj.key);
+      } else if (profile_.durable) {
         op.has_wal = true;
         op.wal = WalEntry{store.name_, op.obj.key, nullptr};
       }
@@ -1004,7 +1174,14 @@ std::vector<Result<std::uint64_t>> ObjectDe::commit_epoch(
         op.lineage.trace_id = client_ctx.trace_id;
         op.lineage.time = now;
       }
-      if (profile_.durable) {
+      if (persist_ != nullptr) {
+        // Serialized in the shard task, reading straight through the
+        // committed object's shared payload handle — no Value copy, and
+        // the serial merge is left with a pure concatenation.
+        persist::encode_put(op.persist_rec, store.name_, op.obj.key,
+                            op.obj.version, op.obj.created_at,
+                            op.obj.updated_at, *op.obj.data);
+      } else if (profile_.durable) {
         op.has_wal = true;
         op.wal = WalEntry{store.name_, op.obj.key, op.obj.data};
       }
@@ -1085,42 +1262,72 @@ std::vector<Result<std::uint64_t>> ObjectDe::commit_epoch(
   }
   kernel_.run_epoch_tasks(queues);
 
-  // --- mid-epoch crash? ----------------------------------------------------
-  if (epoch_fault_hook_ && epoch_fault_hook_()) {
-    // The process died between commit and merge: roll the whole epoch back
-    // (reverse order restores within-epoch overwrite chains correctly) so
-    // neither state, WAL, audit, lineage, nor any notification leaks.
-    for (std::size_t i = n; i-- > 0;) {
-      if (!ops[i].committed) continue;
-      // op.obj.key owns the key now (writes[i].key was moved for puts).
-      if (ops[i].undo_existed) {
-        store.objects_[ops[i].obj.key] = std::move(ops[i].undo_obj);
-      } else {
-        store.objects_.erase(ops[i].obj.key);
-      }
+  // --- mid-epoch crash / journal append -----------------------------------
+  // The journal append sits between the parallel phase and the serial
+  // merge, in the same all-or-nothing position as the chaos fault hook:
+  // one frame carries every committed record in global op order plus the
+  // post-reservation counters. It is appended even when every op failed —
+  // the reservation holes are part of the durable sequence state. The hook
+  // runs first (a process that died between commit and merge never reached
+  // the append); either way a crash here rolls the whole epoch back so
+  // neither state, journal, audit, lineage, nor any notification leaks.
+  bool crashed = epoch_fault_hook_ && epoch_fault_hook_();
+  Error crash_error = Error::unavailable("object: de crashed mid-epoch");
+  if (!crashed && persist_ != nullptr) {
+    std::vector<std::string_view> records;
+    records.reserve(n);
+    std::uint32_t record_count = 0;
+    for (const EpochOp& op : ops) {
+      if (!op.committed || op.persist_rec.empty()) continue;
+      records.push_back(op.persist_rec);
+      ++record_count;
     }
-    // Un-stage the watch events the shard tasks coalesced directly into
-    // batched watchers' buffers: restore overwritten pre-epoch slots, then
-    // truncate this epoch's appends and their slot-index entries. Without
-    // this, a crashed epoch would leak half-merged notifications on the
-    // next flush.
-    for (BatchTarget& target : batch_targets) {
-      for (std::size_t s = 0; s < shard_count; ++s) {
-        BatchStageUndo& u = target.undo[s];
-        ShardQueue& queue = target.buffer->shards[s];
-        for (auto& [idx, prev] : u.saved) {
-          queue.events[idx] = std::move(prev);
+    auto st = persist_->append_batch(records, record_count,
+                                     kernel_.peek_next_revision(),
+                                     kernel_.commit_seq());
+    if (!st.ok()) {
+      crashed = true;
+      crash_error = st.error();
+    }
+  }
+  if (crashed) {
+    // Reverse order restores within-epoch overwrite chains correctly. The
+    // pre-images are only there when a crash path was armed (stage_undo);
+    // an unexpected real I/O failure skips the restore — recovery reloads
+    // state from disk anyway.
+    if (stage_undo) {
+      for (std::size_t i = n; i-- > 0;) {
+        if (!ops[i].committed) continue;
+        // op.obj.key owns the key now (writes[i].key was moved for puts).
+        if (ops[i].undo_existed) {
+          store.objects_[ops[i].obj.key] = std::move(ops[i].undo_obj);
+        } else {
+          store.objects_.erase(ops[i].obj.key);
         }
-        queue.events.resize(u.base_events);
-        std::erase_if(queue.slots, [&](const auto& kv) {
-          return kv.second >= u.base_events;
-        });
+      }
+      // Un-stage the watch events the shard tasks coalesced directly into
+      // batched watchers' buffers: restore overwritten pre-epoch slots,
+      // then truncate this epoch's appends and their slot-index entries.
+      // Without this, a crashed epoch would leak half-merged notifications
+      // on the next flush.
+      for (BatchTarget& target : batch_targets) {
+        for (std::size_t s = 0; s < shard_count; ++s) {
+          BatchStageUndo& u = target.undo[s];
+          ShardQueue& queue = target.buffer->shards[s];
+          for (auto& [idx, prev] : u.saved) {
+            queue.events[idx] = std::move(prev);
+          }
+          queue.events.resize(u.base_events);
+          std::erase_if(queue.slots, [&](const auto& kv) {
+            return kv.second >= u.base_events;
+          });
+        }
       }
     }
     kernel_.crash();
     stats_.unavailable_rejections += n;
     for (std::size_t i = 0; i < n; ++i) {
-      results.push_back(Error::unavailable("object: de crashed mid-epoch"));
+      results.push_back(crash_error);
     }
     return results;
   }
@@ -1191,6 +1398,7 @@ std::vector<Result<std::uint64_t>> ObjectDe::commit_epoch(
     fire_triggers_with(store.name_, op.type, op.obj, op.ctx);
     results.push_back(writes[i].remove ? std::uint64_t{0} : op.obj.version);
   }
+  maybe_auto_snapshot();
   return results;
 }
 

@@ -38,6 +38,10 @@
 #include "sim/clock.h"
 #include "sim/random.h"
 
+namespace knactor::de::persist {
+class Engine;
+}  // namespace knactor::de::persist
+
 namespace knactor::de {
 
 /// A versioned state object. `version` is the store's resource version at
@@ -344,7 +348,26 @@ class ObjectDe {
   /// Durability simulation: a durable DE (apiserver profile) replays its
   /// write-ahead log on restart(); a non-durable one (redis) loses all
   /// state. Watches and UDFs survive (they are client/config state).
+  /// With a persistence engine attached (enable_persistence) the in-memory
+  /// WAL is replaced by the on-disk journal: restart recovers from the
+  /// newest valid snapshot plus the journal suffix.
   void restart();
+
+  /// Attaches a file-backed persistence engine (owned by the caller, must
+  /// outlive the DE): every commit batch is journaled before its
+  /// notifications fire, restart() recovers from disk, and the engine's
+  /// generation GC joins the kernel's GC hooks (so RetentionManager-driven
+  /// `run_gc()` reclaims old snapshot/journal generations too). Any state
+  /// already on disk is recovered immediately — attach before serving
+  /// traffic. See docs/PERSISTENCE.md.
+  common::Status enable_persistence(persist::Engine* engine);
+  /// Snapshots the full store state at the current commit-seq boundary and
+  /// rotates the journal. Automatic snapshots honor the engine's
+  /// `snapshot_every` cadence; this forces one now. A failed snapshot
+  /// crashes the DE (already-acked commits stay acked — they are in the
+  /// journal) but never corrupts the previous generation.
+  common::Status snapshot_now();
+  [[nodiscard]] persist::Engine* persistence() { return persist_; }
 
   /// Availability simulation for chaos testing. While unavailable, every
   /// client operation fails with Unavailable at its scheduled execution
@@ -486,6 +509,10 @@ class ObjectDe {
     core::LineageRecord lineage;
     bool has_wal = false;
     WalEntry wal;              // staged; spliced at merge (all-or-nothing)
+    /// Serialized journal record, encoded in Phase B straight from the
+    /// committed object's shared payload handle (zero-copy read); Phase C
+    /// concatenates them in global op order into one atomic frame.
+    std::string persist_rec;
     bool undo_existed = false; // rollback state for mid-epoch crashes
     StateObject undo_obj;
     struct WatchHit {
@@ -548,6 +575,15 @@ class ObjectDe {
 
   void run_sync(const std::function<bool()>& done) { kernel_.run_sync(done); }
 
+  /// Wipes in-memory store state and reloads it from the persistence
+  /// engine (newest valid snapshot + journal suffix), restoring the
+  /// kernel's sequence domains to the recovered durable point.
+  common::Status recover_from_disk();
+  /// Snapshots when the journal delta reached the engine's cadence. Runs
+  /// after a commit is fully acked: a snapshot failure crashes the DE but
+  /// never fails the commit that triggered it.
+  void maybe_auto_snapshot();
+
   Kernel kernel_;
   ObjectDeProfile profile_;
   std::size_t shards_ = 1;
@@ -557,6 +593,10 @@ class ObjectDe {
   std::map<std::uint64_t, WatchBuffer> watch_buffers_;  // batched watches
   std::vector<Trigger> triggers_;
   std::vector<WalEntry> wal_;
+  persist::Engine* persist_ = nullptr;  // not owned; see enable_persistence
+  /// Journal records staged by commits inside a transaction; flushed as
+  /// one atomic frame before the transaction's notifications drain.
+  std::vector<std::string> txn_records_;
   core::Tracer* tracer_ = nullptr;          // epoch-pipeline span sink
   core::Metrics* epoch_metrics_ = nullptr;  // epoch-pipeline counter sink
   bool recovering_ = false;

@@ -1,0 +1,464 @@
+#include "de/persist/engine.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <system_error>
+
+namespace knactor::de::persist {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return std::nullopt;
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) return std::nullopt;
+  return bytes;
+}
+
+/// Parses "<prefix><number><suffix>"; nullopt for anything else.
+std::optional<std::uint64_t> parse_generation(const std::string& name,
+                                              std::string_view prefix,
+                                              std::string_view suffix) {
+  if (name.size() <= prefix.size() + suffix.size()) return std::nullopt;
+  if (name.compare(0, prefix.size(), prefix) != 0) return std::nullopt;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return std::nullopt;
+  }
+  const std::string digits =
+      name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+  if (digits.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+/// Mutable replay image: stores/objects as maps while folding records, then
+/// rebuilt into the sorted Image layout at the end.
+using ReplayState = std::map<std::string, std::map<std::string, ObjectImage>>;
+
+ReplayState to_replay_state(const Image& image) {
+  ReplayState state;
+  for (const auto& store : image.stores) {
+    auto& objects = state[store.name];
+    for (const auto& obj : store.objects) objects[obj.key] = obj;
+  }
+  return state;
+}
+
+Image to_image(const ReplayState& state, std::uint64_t next_revision,
+               std::uint64_t commit_seq) {
+  Image image;
+  image.next_revision = next_revision;
+  image.commit_seq = commit_seq;
+  for (const auto& [name, objects] : state) {
+    StoreImage store;
+    store.name = name;
+    store.objects.reserve(objects.size());
+    for (const auto& [key, obj] : objects) store.objects.push_back(obj);
+    image.stores.push_back(std::move(store));
+  }
+  return image;
+}
+
+/// Filename-only view of one generation: which artifacts exist, with no
+/// file contents read. recover() and gc() work from this listing and only
+/// open the files they actually need (snapshots newest-first until one
+/// validates, journals from the base up), so their cost scales with the
+/// delta since the last snapshot — not with the total history on disk.
+/// The exhaustive content scan lives in Engine::inspect() for tooling.
+struct GenerationFiles {
+  std::uint64_t generation = 0;
+  bool has_journal = false;
+  bool has_snapshot = false;
+};
+
+std::vector<GenerationFiles> list_generation_files(const std::string& dir) {
+  std::map<std::uint64_t, GenerationFiles> by_gen;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (auto g = parse_generation(name, "journal-", ".kjnl")) {
+      by_gen[*g].generation = *g;
+      by_gen[*g].has_journal = true;
+    } else if (auto s = parse_generation(name, "snapshot-", ".ksnp")) {
+      by_gen[*s].generation = *s;
+      by_gen[*s].has_snapshot = true;
+    }
+  }
+  std::vector<GenerationFiles> out;
+  out.reserve(by_gen.size());
+  for (const auto& [g, info] : by_gen) out.push_back(info);
+  return out;
+}
+
+void apply_record(ReplayState& state, const Record& rec) {
+  if (rec.op == Record::Op::kDelete) {
+    auto it = state.find(rec.store);
+    if (it != state.end()) {
+      it->second.erase(rec.key);
+      // A store that exists (even empty) is part of the image: the DE
+      // creates stores explicitly, so keep the entry.
+    }
+    return;
+  }
+  ObjectImage obj;
+  obj.key = rec.key;
+  obj.version = rec.version;
+  obj.created_at = rec.created_at;
+  obj.updated_at = rec.updated_at;
+  obj.data = rec.data;
+  state[rec.store][rec.key] = std::move(obj);
+}
+
+}  // namespace
+
+const char* crash_point_name(CrashPoint point) {
+  switch (point) {
+    case CrashPoint::kJournalAppend: return "journal_append";
+    case CrashPoint::kSnapshotWrite: return "snapshot_write";
+    case CrashPoint::kTruncate: return "truncate";
+  }
+  return "unknown";
+}
+
+std::string Engine::journal_path(std::uint64_t generation) const {
+  return options_.dir + "/journal-" + std::to_string(generation) + ".kjnl";
+}
+
+std::string Engine::snapshot_path(std::uint64_t generation) const {
+  return options_.dir + "/snapshot-" + std::to_string(generation) + ".ksnp";
+}
+
+common::Status Engine::open() {
+  if (options_.dir.empty()) {
+    return common::Error::invalid_argument("persist: empty directory");
+  }
+  std::error_code ec;
+  fs::create_directories(options_.dir, ec);
+  if (ec) {
+    return common::Error::unavailable("persist: cannot create " +
+                                      options_.dir + ": " + ec.message());
+  }
+  generation_ = 0;
+  for (const auto& entry : fs::directory_iterator(options_.dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (auto g = parse_generation(name, "journal-", ".kjnl")) {
+      generation_ = std::max(generation_, *g);
+    } else if (auto s = parse_generation(name, "snapshot-", ".ksnp")) {
+      generation_ = std::max(generation_, *s);
+    }
+  }
+  if (ec) {
+    return common::Error::unavailable("persist: cannot scan " + options_.dir +
+                                      ": " + ec.message());
+  }
+  opened_ = true;
+  return common::Status::success();
+}
+
+common::Status Engine::ensure_journal_open() {
+  if (!opened_) {
+    return common::Error::failed_precondition("persist: engine not opened");
+  }
+  if (journal_out_.is_open()) return common::Status::success();
+  const std::string path = journal_path(generation_);
+  std::error_code ec;
+  const bool fresh = !fs::exists(path, ec) || fs::file_size(path, ec) == 0;
+  journal_out_.open(path, std::ios::binary | std::ios::app);
+  if (!journal_out_.is_open()) {
+    return common::Error::unavailable("persist: cannot open " + path);
+  }
+  if (fresh) {
+    return write_journal_bytes(build_journal_header(generation_));
+  }
+  return common::Status::success();
+}
+
+common::Status Engine::write_journal_bytes(const std::string& bytes) {
+  journal_out_.write(bytes.data(),
+                     static_cast<std::streamsize>(bytes.size()));
+  journal_out_.flush();
+  if (!journal_out_.good()) {
+    return common::Error::unavailable("persist: journal write failed");
+  }
+  return common::Status::success();
+}
+
+common::Status Engine::append_batch(
+    const std::vector<std::string_view>& records, std::uint32_t record_count,
+    std::uint64_t next_revision, std::uint64_t commit_seq) {
+  if (failed_) {
+    return common::Error::unavailable("persist: engine crashed");
+  }
+  KN_TRY(ensure_journal_open());
+  const std::string frame =
+      build_frame(records, record_count, next_revision, commit_seq);
+  if (fault_fires(CrashPoint::kJournalAppend)) {
+    // Simulated crash mid-append: a torn prefix of the frame reaches disk.
+    (void)write_journal_bytes(frame.substr(0, frame.size() / 2));
+    failed_ = true;
+    return common::Error::unavailable("persist: crashed during append");
+  }
+  KN_TRY(write_journal_bytes(frame));
+  stats_.appends += 1;
+  stats_.records_appended += record_count;
+  records_since_snapshot_ += record_count;
+  return common::Status::success();
+}
+
+common::Status Engine::snapshot(const Image& image) {
+  if (failed_) {
+    return common::Error::unavailable("persist: engine crashed");
+  }
+  if (!opened_) {
+    return common::Error::failed_precondition("persist: engine not opened");
+  }
+  const std::uint64_t next_gen = generation_ + 1;
+  const std::string bytes = encode_snapshot(image, next_gen);
+  const std::string path = snapshot_path(next_gen);
+  const bool torn = fault_fires(CrashPoint::kSnapshotWrite);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) {
+      return common::Error::unavailable("persist: cannot write " + path);
+    }
+    // Simulated crash mid-snapshot: half the file reaches disk; the journal
+    // of the current generation is untouched, so recovery falls back to the
+    // previous snapshot plus the full journal chain.
+    const std::string_view view =
+        torn ? std::string_view(bytes).substr(0, bytes.size() / 2)
+             : std::string_view(bytes);
+    out.write(view.data(), static_cast<std::streamsize>(view.size()));
+    out.flush();
+    if (!torn && !out.good()) {
+      return common::Error::unavailable("persist: snapshot write failed");
+    }
+  }
+  if (torn) {
+    failed_ = true;
+    return common::Error::unavailable("persist: crashed during snapshot");
+  }
+  // Snapshot is durable — rotate the journal. The old generation stays on
+  // disk until gc() so an in-flight recovery can still use it.
+  if (journal_out_.is_open()) journal_out_.close();
+  generation_ = next_gen;
+  records_since_snapshot_ = 0;
+  stats_.snapshots += 1;
+  return ensure_journal_open();
+}
+
+common::Result<Image> Engine::recover() {
+  if (!opened_) {
+    KN_TRY(open());
+  }
+  if (journal_out_.is_open()) journal_out_.close();
+  stats_.recoveries += 1;
+  stats_.frames_replayed = 0;
+  stats_.records_replayed = 0;
+
+  const std::vector<GenerationFiles> gens =
+      list_generation_files(options_.dir);
+
+  // Base: the newest checksum-valid snapshot; otherwise the empty image at
+  // the oldest generation still on disk (generation 0 on a fresh dir).
+  // Snapshots are decoded newest-first and the walk stops at the first
+  // valid one, so old generations awaiting gc cost recovery nothing.
+  Image base;
+  std::uint64_t base_gen = gens.empty() ? 0 : gens.front().generation;
+  for (auto it = gens.rbegin(); it != gens.rend(); ++it) {
+    if (!it->has_snapshot) continue;
+    const auto bytes = read_file(snapshot_path(it->generation));
+    if (!bytes) {
+      stats_.snapshots_skipped += 1;
+      continue;
+    }
+    auto image = decode_snapshot(*bytes);
+    if (!image) {
+      stats_.snapshots_skipped += 1;
+      continue;
+    }
+    base = std::move(*image);
+    base_gen = it->generation;
+    break;
+  }
+
+  ReplayState state = to_replay_state(base);
+  std::uint64_t next_revision = base.next_revision;
+  std::uint64_t commit_seq = base.commit_seq;
+
+  // Chain-replay journals from the base generation up. Each journal
+  // contributes its longest checksum-valid frame prefix; the chain stops at
+  // the first torn or missing journal (anything after it predates the torn
+  // write and can only exist if the torn journal was mid-rotation, which
+  // the generation protocol makes impossible — so stopping is exact).
+  std::uint64_t current_gen = base_gen;
+  std::uint64_t last_journal_gen = base_gen;
+  std::size_t last_valid_bytes = kJournalHeaderBytes;
+  bool last_torn = false;
+  for (std::uint64_t g = base_gen;; ++g) {
+    const std::string path = journal_path(g);
+    const auto bytes = read_file(path);
+    if (!bytes) {
+      // No journal for this generation: crash happened after the snapshot
+      // was written but before the journal rotation completed. Appends
+      // resume here with a fresh journal.
+      current_gen = g;
+      last_journal_gen = g;
+      last_valid_bytes = 0;
+      last_torn = false;
+      break;
+    }
+    const JournalScan scan = scan_journal(*bytes);
+    if (scan.header_valid) {
+      for (const auto& frame : scan.frames) {
+        for (const auto& rec : frame.records) apply_record(state, rec);
+        next_revision = frame.next_revision;
+        commit_seq = frame.commit_seq;
+        stats_.frames_replayed += 1;
+        stats_.records_replayed += frame.records.size();
+      }
+    }
+    current_gen = g;
+    last_journal_gen = g;
+    last_valid_bytes = scan.header_valid ? scan.valid_bytes : 0;
+    last_torn = scan.torn || !scan.header_valid;
+    if (last_torn) break;
+    // A clean journal ends the chain unless the next generation exists.
+    std::error_code ec;
+    if (!fs::exists(journal_path(g + 1), ec) &&
+        !fs::exists(snapshot_path(g + 1), ec)) {
+      break;
+    }
+  }
+
+  // Truncate the torn tail (or recreate a missing/corrupt-header journal)
+  // so subsequent appends continue from the exact durable prefix.
+  {
+    const std::string path = journal_path(last_journal_gen);
+    if (last_valid_bytes < kJournalHeaderBytes) {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      if (!out.is_open()) {
+        return common::Error::unavailable("persist: cannot reset " + path);
+      }
+      const std::string header = build_journal_header(last_journal_gen);
+      out.write(header.data(), static_cast<std::streamsize>(header.size()));
+      if (!out.good()) {
+        return common::Error::unavailable("persist: cannot reset " + path);
+      }
+    } else if (last_torn) {
+      std::error_code ec;
+      fs::resize_file(path, last_valid_bytes, ec);
+      if (ec) {
+        return common::Error::unavailable("persist: cannot truncate " + path +
+                                          ": " + ec.message());
+      }
+      stats_.torn_frames_dropped += 1;
+    }
+  }
+
+  generation_ = current_gen;
+  // Everything replayed postdates the snapshot base, so it all counts
+  // toward the next auto-snapshot.
+  records_since_snapshot_ = stats_.records_replayed;
+  failed_ = false;
+  KN_TRY(ensure_journal_open());
+  return to_image(state, next_revision, commit_seq);
+}
+
+std::size_t Engine::gc() {
+  if (!opened_ || failed_) return 0;
+  const std::vector<GenerationFiles> gens =
+      list_generation_files(options_.dir);
+  // The reclamation floor is the newest checksum-valid snapshot — the same
+  // base recover() would load. Decoded newest-first, stopping at the first
+  // valid one, so gc (like recovery) never pays for the history it is
+  // about to reclaim.
+  std::optional<std::uint64_t> base;
+  for (auto it = gens.rbegin(); it != gens.rend(); ++it) {
+    if (!it->has_snapshot) continue;
+    const auto bytes = read_file(snapshot_path(it->generation));
+    if (bytes && decode_snapshot(*bytes)) {
+      base = it->generation;
+      break;
+    }
+  }
+  if (!base) return 0;
+  std::size_t reclaimed = 0;
+  for (const auto& gen : gens) {
+    if (gen.generation >= *base) continue;
+    if (fault_fires(CrashPoint::kTruncate)) {
+      // Simulated crash mid-reclamation: the snapshot went away but the
+      // journal survived. Recovery must still work off generation *base.
+      std::error_code ec;
+      fs::remove(snapshot_path(gen.generation), ec);
+      failed_ = true;
+      return reclaimed;
+    }
+    std::error_code ec;
+    const bool removed_snapshot = fs::remove(snapshot_path(gen.generation), ec);
+    const bool removed_journal = fs::remove(journal_path(gen.generation), ec);
+    if (removed_snapshot || removed_journal) {
+      reclaimed += 1;
+      stats_.generations_reclaimed += 1;
+    }
+  }
+  return reclaimed;
+}
+
+std::vector<GenerationInfo> Engine::inspect(const std::string& dir) {
+  std::map<std::uint64_t, GenerationInfo> by_gen;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (auto g = parse_generation(name, "journal-", ".kjnl")) {
+      auto& info = by_gen[*g];
+      info.generation = *g;
+      info.has_journal = true;
+      if (const auto bytes = read_file(entry.path().string())) {
+        info.journal_bytes = bytes->size();
+        const JournalScan scan = scan_journal(*bytes);
+        info.journal_valid_bytes = scan.header_valid ? scan.valid_bytes : 0;
+        info.journal_frames = scan.frames.size();
+        for (const auto& frame : scan.frames) {
+          info.journal_records += frame.records.size();
+        }
+        info.journal_torn = scan.torn || !scan.header_valid;
+      } else {
+        info.journal_torn = true;
+      }
+    } else if (auto s = parse_generation(name, "snapshot-", ".ksnp")) {
+      auto& info = by_gen[*s];
+      info.generation = *s;
+      info.has_snapshot = true;
+      if (const auto bytes = read_file(entry.path().string())) {
+        info.snapshot_bytes = bytes->size();
+        if (const auto image = decode_snapshot(*bytes)) {
+          info.snapshot_valid = true;
+          info.snapshot_objects = image->object_count();
+        }
+      }
+    }
+  }
+  std::vector<GenerationInfo> out;
+  out.reserve(by_gen.size());
+  for (auto& [g, info] : by_gen) out.push_back(std::move(info));
+  return out;
+}
+
+std::optional<std::uint64_t> Engine::recovery_base(
+    const std::vector<GenerationInfo>& generations) {
+  for (auto it = generations.rbegin(); it != generations.rend(); ++it) {
+    if (it->has_snapshot && it->snapshot_valid) return it->generation;
+  }
+  return std::nullopt;
+}
+
+}  // namespace knactor::de::persist

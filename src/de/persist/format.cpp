@@ -1,0 +1,460 @@
+#include "de/persist/format.h"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+namespace knactor::de::persist {
+
+using common::Value;
+
+namespace {
+
+constexpr std::array<char, 4> kJournalMagic = {'K', 'J', 'N', 'L'};
+constexpr std::array<char, 4> kSnapshotMagic = {'K', 'S', 'N', 'P'};
+
+// Nesting bound for the Value decoder. CRC validation means decode only
+// ever sees bytes we wrote, but the checksum is 32 bits — a colliding
+// corruption must degrade to a decode error, never to unbounded recursion.
+constexpr int kMaxValueDepth = 128;
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+constexpr std::array<std::uint32_t, 256> kCrcTable = make_crc_table();
+
+// Value type tags. Bool splits into two tags so the payload is tag-only.
+enum : std::uint8_t {
+  kTagNull = 0,
+  kTagFalse = 1,
+  kTagTrue = 2,
+  kTagInt = 3,
+  kTagDouble = 4,
+  kTagString = 5,
+  kTagArray = 6,
+  kTagObject = 7,
+};
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view bytes) {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (unsigned char byte : bytes) {
+    c = kCrcTable[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void put_i64(std::string& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+void put_string(std::string& out, std::string_view s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+void put_value(std::string& out, const Value& v) {
+  switch (v.type()) {
+    case Value::Type::kNull:
+      out.push_back(static_cast<char>(kTagNull));
+      break;
+    case Value::Type::kBool:
+      out.push_back(static_cast<char>(v.as_bool() ? kTagTrue : kTagFalse));
+      break;
+    case Value::Type::kInt:
+      out.push_back(static_cast<char>(kTagInt));
+      put_i64(out, v.as_int());
+      break;
+    case Value::Type::kDouble:
+      out.push_back(static_cast<char>(kTagDouble));
+      put_u64(out, std::bit_cast<std::uint64_t>(v.as_double()));
+      break;
+    case Value::Type::kString:
+      out.push_back(static_cast<char>(kTagString));
+      put_string(out, v.as_string());
+      break;
+    case Value::Type::kArray: {
+      out.push_back(static_cast<char>(kTagArray));
+      put_u32(out, static_cast<std::uint32_t>(v.as_array().size()));
+      for (const Value& item : v.as_array()) put_value(out, item);
+      break;
+    }
+    case Value::Type::kObject: {
+      out.push_back(static_cast<char>(kTagObject));
+      put_u32(out, static_cast<std::uint32_t>(v.as_object().size()));
+      for (const auto& [key, field] : v.as_object()) {
+        put_string(out, key);
+        put_value(out, field);
+      }
+      break;
+    }
+  }
+}
+
+bool Cursor::get_u8(std::uint8_t* out) {
+  if (remaining() < 1) return false;
+  *out = static_cast<std::uint8_t>(static_cast<unsigned char>(bytes_[offset_]));
+  ++offset_;
+  return true;
+}
+
+bool Cursor::get_u32(std::uint32_t* out) {
+  if (remaining() < 4) return false;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(
+             static_cast<unsigned char>(bytes_[offset_ + i]))
+         << (8 * i);
+  }
+  offset_ += 4;
+  *out = v;
+  return true;
+}
+
+bool Cursor::get_u64(std::uint64_t* out) {
+  if (remaining() < 8) return false;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(
+             static_cast<unsigned char>(bytes_[offset_ + i]))
+         << (8 * i);
+  }
+  offset_ += 8;
+  *out = v;
+  return true;
+}
+
+bool Cursor::get_i64(std::int64_t* out) {
+  std::uint64_t v = 0;
+  if (!get_u64(&v)) return false;
+  *out = static_cast<std::int64_t>(v);
+  return true;
+}
+
+bool Cursor::get_string(std::string* out) {
+  std::uint32_t len = 0;
+  if (!get_u32(&len)) return false;
+  if (remaining() < len) return false;
+  out->assign(bytes_.data() + offset_, len);
+  offset_ += len;
+  return true;
+}
+
+bool Cursor::get_value(Value* out, int depth) {
+  if (depth > kMaxValueDepth) return false;
+  if (remaining() < 1) return false;
+  const auto tag = static_cast<unsigned char>(bytes_[offset_++]);
+  switch (tag) {
+    case kTagNull:
+      *out = Value(nullptr);
+      return true;
+    case kTagFalse:
+      *out = Value(false);
+      return true;
+    case kTagTrue:
+      *out = Value(true);
+      return true;
+    case kTagInt: {
+      std::int64_t v = 0;
+      if (!get_i64(&v)) return false;
+      *out = Value(v);
+      return true;
+    }
+    case kTagDouble: {
+      std::uint64_t bits = 0;
+      if (!get_u64(&bits)) return false;
+      *out = Value(std::bit_cast<double>(bits));
+      return true;
+    }
+    case kTagString: {
+      std::string s;
+      if (!get_string(&s)) return false;
+      *out = Value(std::move(s));
+      return true;
+    }
+    case kTagArray: {
+      std::uint32_t count = 0;
+      if (!get_u32(&count)) return false;
+      if (count > remaining()) return false;  // every item is >= 1 byte
+      Value::Array items;
+      items.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        Value item;
+        if (!get_value(&item, depth + 1)) return false;
+        items.push_back(std::move(item));
+      }
+      *out = Value(std::move(items));
+      return true;
+    }
+    case kTagObject: {
+      std::uint32_t count = 0;
+      if (!get_u32(&count)) return false;
+      if (count > remaining()) return false;  // every entry is >= 5 bytes
+      Value obj = Value::object();
+      for (std::uint32_t i = 0; i < count; ++i) {
+        std::string key;
+        Value field;
+        if (!get_string(&key)) return false;
+        if (!get_value(&field, depth + 1)) return false;
+        obj.set(std::move(key), std::move(field));
+      }
+      *out = std::move(obj);
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+bool Cursor::skip(std::size_t n) {
+  if (remaining() < n) return false;
+  offset_ += n;
+  return true;
+}
+
+void encode_put(std::string& out, const std::string& store,
+                const std::string& key, std::uint64_t version,
+                std::int64_t created_at, std::int64_t updated_at,
+                const Value& data) {
+  out.push_back(static_cast<char>(Record::Op::kPut));
+  put_string(out, store);
+  put_string(out, key);
+  put_u64(out, version);
+  put_i64(out, created_at);
+  put_i64(out, updated_at);
+  put_value(out, data);
+}
+
+void encode_delete(std::string& out, const std::string& store,
+                   const std::string& key) {
+  out.push_back(static_cast<char>(Record::Op::kDelete));
+  put_string(out, store);
+  put_string(out, key);
+}
+
+bool decode_record(Cursor& in, Record* out) {
+  std::uint8_t op = 0;
+  if (!in.get_u8(&op)) return false;
+  if (op != static_cast<std::uint8_t>(Record::Op::kPut) &&
+      op != static_cast<std::uint8_t>(Record::Op::kDelete)) {
+    return false;
+  }
+  out->op = static_cast<Record::Op>(op);
+  if (!in.get_string(&out->store)) return false;
+  if (!in.get_string(&out->key)) return false;
+  if (out->op == Record::Op::kDelete) {
+    out->version = 0;
+    out->created_at = 0;
+    out->updated_at = 0;
+    out->data = nullptr;
+    return true;
+  }
+  if (!in.get_u64(&out->version)) return false;
+  if (!in.get_i64(&out->created_at)) return false;
+  if (!in.get_i64(&out->updated_at)) return false;
+  Value data;
+  if (!in.get_value(&data)) return false;
+  out->data = std::make_shared<const Value>(std::move(data));
+  return true;
+}
+
+std::string build_frame(const std::vector<std::string_view>& records,
+                        std::uint32_t record_count,
+                        std::uint64_t next_revision,
+                        std::uint64_t commit_seq) {
+  std::string payload;
+  std::size_t bytes = 4 + 16;
+  for (std::string_view rec : records) bytes += rec.size();
+  payload.reserve(bytes);
+  put_u32(payload, record_count);
+  for (std::string_view rec : records) payload.append(rec);
+  put_u64(payload, next_revision);
+  put_u64(payload, commit_seq);
+
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  put_u32(frame, crc32(payload));
+  frame.append(payload);
+  return frame;
+}
+
+std::string build_journal_header(std::uint64_t generation) {
+  std::string header;
+  header.reserve(kJournalHeaderBytes);
+  header.append(kJournalMagic.data(), kJournalMagic.size());
+  put_u32(header, kFormatVersion);
+  put_u64(header, generation);
+  return header;
+}
+
+std::optional<std::uint64_t> read_journal_header(std::string_view bytes) {
+  if (bytes.size() < kJournalHeaderBytes) return std::nullopt;
+  if (bytes.compare(0, 4, kJournalMagic.data(), 4) != 0) return std::nullopt;
+  Cursor in(bytes.substr(4));
+  std::uint32_t version = 0;
+  std::uint64_t generation = 0;
+  if (!in.get_u32(&version) || version != kFormatVersion) return std::nullopt;
+  if (!in.get_u64(&generation)) return std::nullopt;
+  return generation;
+}
+
+JournalScan scan_journal(std::string_view bytes) {
+  JournalScan scan;
+  auto generation = read_journal_header(bytes);
+  if (!generation.has_value()) {
+    scan.torn = !bytes.empty();
+    return scan;
+  }
+  scan.header_valid = true;
+  scan.generation = *generation;
+  std::size_t offset = kJournalHeaderBytes;
+  while (offset < bytes.size()) {
+    Cursor header(bytes.substr(offset));
+    std::uint32_t payload_len = 0;
+    std::uint32_t payload_crc = 0;
+    if (!header.get_u32(&payload_len) || !header.get_u32(&payload_crc)) break;
+    if (bytes.size() - offset - kFrameHeaderBytes < payload_len) break;
+    std::string_view payload =
+        bytes.substr(offset + kFrameHeaderBytes, payload_len);
+    if (crc32(payload) != payload_crc) break;
+    Frame frame;
+    Cursor in(payload);
+    std::uint32_t count = 0;
+    bool ok = in.get_u32(&count) && count <= payload.size();
+    if (ok) {
+      frame.records.reserve(count);
+      for (std::uint32_t i = 0; i < count && ok; ++i) {
+        Record rec;
+        ok = decode_record(in, &rec);
+        if (ok) frame.records.push_back(std::move(rec));
+      }
+    }
+    ok = ok && in.get_u64(&frame.next_revision) &&
+         in.get_u64(&frame.commit_seq) && in.done();
+    if (!ok) break;  // checksum collided with a malformed payload
+    offset += kFrameHeaderBytes + payload_len;
+    frame.end_offset = offset;
+    scan.frames.push_back(std::move(frame));
+  }
+  scan.valid_bytes = scan.frames.empty() ? kJournalHeaderBytes
+                                         : scan.frames.back().end_offset;
+  scan.torn = scan.valid_bytes < bytes.size();
+  return scan;
+}
+
+std::uint64_t Image::object_count() const {
+  std::uint64_t n = 0;
+  for (const StoreImage& store : stores) n += store.objects.size();
+  return n;
+}
+
+std::string encode_snapshot(const Image& image, std::uint64_t generation) {
+  std::string payload;
+  put_u64(payload, image.next_revision);
+  put_u64(payload, image.commit_seq);
+  put_u32(payload, static_cast<std::uint32_t>(image.stores.size()));
+  for (const StoreImage& store : image.stores) {
+    put_string(payload, store.name);
+    put_u32(payload, static_cast<std::uint32_t>(store.objects.size()));
+    for (const ObjectImage& obj : store.objects) {
+      put_string(payload, obj.key);
+      put_u64(payload, obj.version);
+      put_i64(payload, obj.created_at);
+      put_i64(payload, obj.updated_at);
+      put_value(payload, obj.data ? *obj.data : Value(nullptr));
+    }
+  }
+
+  std::string out;
+  out.reserve(4 + 4 + 8 + 8 + 4 + payload.size());
+  out.append(kSnapshotMagic.data(), kSnapshotMagic.size());
+  put_u32(out, kFormatVersion);
+  put_u64(out, generation);
+  put_u64(out, payload.size());
+  put_u32(out, crc32(payload));
+  out.append(payload);
+  return out;
+}
+
+SnapshotInfo probe_snapshot(std::string_view bytes) {
+  SnapshotInfo info;
+  if (bytes.size() < 28) return info;
+  if (bytes.compare(0, 4, kSnapshotMagic.data(), 4) != 0) return info;
+  Cursor in(bytes.substr(4));
+  std::uint32_t version = 0;
+  std::uint32_t crc = 0;
+  if (!in.get_u32(&version) || version != kFormatVersion) return info;
+  if (!in.get_u64(&info.generation)) return info;
+  if (!in.get_u64(&info.payload_len)) return info;
+  if (!in.get_u32(&crc)) return info;
+  info.header_valid = true;
+  info.complete = bytes.size() - 28 >= info.payload_len;
+  return info;
+}
+
+std::optional<Image> decode_snapshot(std::string_view bytes) {
+  SnapshotInfo info = probe_snapshot(bytes);
+  if (!info.header_valid || !info.complete) return std::nullopt;
+  std::string_view payload = bytes.substr(28, info.payload_len);
+  Cursor crc_check(bytes.substr(24));
+  std::uint32_t expected_crc = 0;
+  if (!crc_check.get_u32(&expected_crc)) return std::nullopt;
+  if (crc32(payload) != expected_crc) return std::nullopt;
+
+  Image image;
+  Cursor in(payload);
+  std::uint32_t store_count = 0;
+  if (!in.get_u64(&image.next_revision)) return std::nullopt;
+  if (!in.get_u64(&image.commit_seq)) return std::nullopt;
+  if (!in.get_u32(&store_count) || store_count > payload.size()) {
+    return std::nullopt;
+  }
+  image.stores.reserve(store_count);
+  for (std::uint32_t s = 0; s < store_count; ++s) {
+    StoreImage store;
+    std::uint32_t object_count = 0;
+    if (!in.get_string(&store.name)) return std::nullopt;
+    if (!in.get_u32(&object_count) || object_count > in.remaining()) {
+      return std::nullopt;
+    }
+    store.objects.reserve(object_count);
+    for (std::uint32_t i = 0; i < object_count; ++i) {
+      ObjectImage obj;
+      Value data;
+      if (!in.get_string(&obj.key)) return std::nullopt;
+      if (!in.get_u64(&obj.version)) return std::nullopt;
+      if (!in.get_i64(&obj.created_at)) return std::nullopt;
+      if (!in.get_i64(&obj.updated_at)) return std::nullopt;
+      if (!in.get_value(&data)) return std::nullopt;
+      obj.data = std::make_shared<const Value>(std::move(data));
+      store.objects.push_back(std::move(obj));
+    }
+    image.stores.push_back(std::move(store));
+  }
+  if (!in.done()) return std::nullopt;
+  return image;
+}
+
+}  // namespace knactor::de::persist

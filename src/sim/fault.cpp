@@ -178,4 +178,36 @@ std::string FaultPlan::describe() const {
   return out.str();
 }
 
+bool CrashPointPlan::fires(std::string_view point,
+                           std::uint64_t occurrence) const {
+  // FNV-1a over (seed, point, occurrence) — platform-stable, so a seed's
+  // crash schedule is identical everywhere (the same property shard_of
+  // relies on).
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFFu;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(seed_);
+  for (char c : point) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  mix(occurrence);
+  // Top 53 bits → [0, 1): double-exact, no modulo bias worth caring about.
+  const double u =
+      static_cast<double>(h >> 11) / static_cast<double>(1ull << 53);
+  return u < probability_;
+}
+
+bool CrashPointPlan::next(std::string_view point) {
+  auto it = counts_.find(point);
+  if (it == counts_.end()) {
+    it = counts_.emplace(std::string(point), 0).first;
+  }
+  return fires(point, it->second++);
+}
+
 }  // namespace knactor::sim

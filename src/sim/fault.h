@@ -7,7 +7,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/value.h"
@@ -120,6 +122,36 @@ class FaultPlan {
   /// Structured dump (used by docs tooling and failure repro messages).
   [[nodiscard]] common::Value to_value() const;
   [[nodiscard]] std::string describe() const;
+};
+
+/// Deterministic crash-point schedule for the durable persistence tier
+/// (de::persist): decides, per named crash point, which occurrence fires a
+/// simulated crash. The decision is a pure hash of (seed, point,
+/// occurrence index), so a plan is replayable data just like FaultPlan —
+/// the same seed always crashes the same write. Wire `fires` into
+/// persist::Engine::set_fault_hook via a per-point occurrence counter
+/// (see tests/property/persist_recovery_test.cpp).
+class CrashPointPlan {
+ public:
+  CrashPointPlan(std::uint64_t seed, double probability)
+      : seed_(seed), probability_(probability) {}
+
+  /// True when occurrence `occurrence` of crash point `point` should
+  /// crash. Pure: no internal state, any call order yields the same
+  /// schedule.
+  [[nodiscard]] bool fires(std::string_view point,
+                           std::uint64_t occurrence) const;
+
+  /// Counting helper: bumps the per-point occurrence counter and reports
+  /// whether this occurrence fires.
+  [[nodiscard]] bool next(std::string_view point);
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_ = 0;
+  double probability_ = 0.0;
+  std::map<std::string, std::uint64_t, std::less<>> counts_;
 };
 
 }  // namespace knactor::sim

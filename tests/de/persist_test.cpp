@@ -1,0 +1,584 @@
+// Unit tests for the durable persistence tier: the binary format layer
+// (CRC framing, value codec, journal scan, snapshot codec), the
+// generation-based Engine (append/snapshot/recover/gc/inspect), and the
+// ObjectDe integration (journal-before-notify, counter restoration,
+// transaction/epoch frames, auto-snapshot cadence, GC safety). The
+// crash-seed differential and torn-tail fuzz suites live under
+// tests/property/ with the `durable` label.
+#include "de/persist/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "de/object.h"
+#include "de/persist/format.h"
+#include "de/retention.h"
+
+namespace knactor::de::persist {
+namespace {
+
+using common::Value;
+
+std::string test_dir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "kn_persist_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// --- format layer ----------------------------------------------------------
+
+TEST(PersistFormat, Crc32KnownVector) {
+  // The IEEE CRC-32 check value ("123456789" -> 0xCBF43926).
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0u);
+}
+
+TEST(PersistFormat, ValueCodecRoundTripIsByteFaithful) {
+  Value v = Value::object({
+      {"null", Value(nullptr)},
+      {"t", Value(true)},
+      {"f", Value(false)},
+      {"int", Value(static_cast<std::int64_t>(-42))},
+      {"dbl", Value(3.25)},
+      {"str", Value("hello")},
+  });
+  Value arr = Value::array();
+  arr.as_array().push_back(Value(1));
+  arr.as_array().push_back(Value("two"));
+  arr.as_array().push_back(Value::object({{"nested", Value(3)}}));
+  v.set("arr", std::move(arr));
+
+  std::string bytes;
+  put_value(bytes, v);
+  Cursor in(bytes);
+  Value decoded;
+  ASSERT_TRUE(in.get_value(&decoded));
+  EXPECT_TRUE(in.done());
+
+  std::string again;
+  put_value(again, decoded);
+  EXPECT_EQ(bytes, again);  // byte-faithful: field order survives
+}
+
+TEST(PersistFormat, RecordRoundTrip) {
+  std::string bytes;
+  encode_put(bytes, "orders", "o-1", 17, 100, 200,
+             Value::object({{"qty", Value(3)}}));
+  encode_delete(bytes, "orders", "o-2");
+
+  Cursor in(bytes);
+  Record put;
+  ASSERT_TRUE(decode_record(in, &put));
+  EXPECT_EQ(put.op, Record::Op::kPut);
+  EXPECT_EQ(put.store, "orders");
+  EXPECT_EQ(put.key, "o-1");
+  EXPECT_EQ(put.version, 17u);
+  EXPECT_EQ(put.created_at, 100);
+  EXPECT_EQ(put.updated_at, 200);
+  ASSERT_NE(put.data, nullptr);
+  EXPECT_EQ(put.data->as_object().find("qty")->as_int(), 3);
+
+  Record del;
+  ASSERT_TRUE(decode_record(in, &del));
+  EXPECT_EQ(del.op, Record::Op::kDelete);
+  EXPECT_EQ(del.key, "o-2");
+  EXPECT_EQ(del.data, nullptr);
+  EXPECT_TRUE(in.done());
+}
+
+TEST(PersistFormat, JournalScanWalksFrames) {
+  std::string rec1;
+  encode_put(rec1, "s", "a", 1, 0, 0, Value(1));
+  std::string rec2;
+  encode_delete(rec2, "s", "a");
+
+  std::string journal = build_journal_header(3);
+  journal += build_frame({rec1}, 1, 2, 2);
+  journal += build_frame({rec2}, 1, 2, 3);
+
+  JournalScan scan = scan_journal(journal);
+  EXPECT_TRUE(scan.header_valid);
+  EXPECT_EQ(scan.generation, 3u);
+  ASSERT_EQ(scan.frames.size(), 2u);
+  EXPECT_FALSE(scan.torn);
+  EXPECT_EQ(scan.valid_bytes, journal.size());
+  EXPECT_EQ(scan.frames[0].records.size(), 1u);
+  EXPECT_EQ(scan.frames[1].records[0].op, Record::Op::kDelete);
+  EXPECT_EQ(scan.frames[1].next_revision, 2u);
+  EXPECT_EQ(scan.frames[1].commit_seq, 3u);
+}
+
+TEST(PersistFormat, TornTailStopsAtLastValidFrame) {
+  std::string rec;
+  encode_put(rec, "s", "a", 1, 0, 0, Value(1));
+  std::string journal = build_journal_header(0);
+  journal += build_frame({rec}, 1, 2, 2);
+  const std::size_t valid = journal.size();
+  std::string torn_frame = build_frame({rec}, 1, 3, 3);
+  journal += torn_frame.substr(0, torn_frame.size() / 2);
+
+  JournalScan scan = scan_journal(journal);
+  ASSERT_EQ(scan.frames.size(), 1u);
+  EXPECT_TRUE(scan.torn);
+  EXPECT_EQ(scan.valid_bytes, valid);
+}
+
+TEST(PersistFormat, BitFlipInvalidatesExactlyTheHitFrame) {
+  std::string rec;
+  encode_put(rec, "s", "a", 1, 0, 0, Value(1));
+  std::string journal = build_journal_header(0);
+  journal += build_frame({rec}, 1, 2, 2);
+  const std::size_t first_end = journal.size();
+  journal += build_frame({rec}, 1, 3, 3);
+  journal[first_end + kFrameHeaderBytes + 2] ^= 0x40;  // payload of frame 2
+
+  JournalScan scan = scan_journal(journal);
+  ASSERT_EQ(scan.frames.size(), 1u);
+  EXPECT_TRUE(scan.torn);
+  EXPECT_EQ(scan.valid_bytes, first_end);
+}
+
+TEST(PersistFormat, SnapshotRoundTrip) {
+  Image image;
+  image.next_revision = 42;
+  image.commit_seq = 17;
+  StoreImage store;
+  store.name = "orders";
+  ObjectImage obj;
+  obj.key = "o-1";
+  obj.version = 7;
+  obj.created_at = 5;
+  obj.updated_at = 9;
+  obj.data = std::make_shared<const Value>(Value::object({{"x", Value(1)}}));
+  store.objects.push_back(obj);
+  image.stores.push_back(store);
+
+  const std::string bytes = encode_snapshot(image, 4);
+  SnapshotInfo info = probe_snapshot(bytes);
+  EXPECT_TRUE(info.header_valid);
+  EXPECT_TRUE(info.complete);
+  EXPECT_EQ(info.generation, 4u);
+
+  auto decoded = decode_snapshot(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->next_revision, 42u);
+  EXPECT_EQ(decoded->commit_seq, 17u);
+  ASSERT_EQ(decoded->stores.size(), 1u);
+  ASSERT_EQ(decoded->stores[0].objects.size(), 1u);
+  EXPECT_EQ(decoded->stores[0].objects[0].version, 7u);
+  // Identical state must serialize to identical bytes.
+  EXPECT_EQ(encode_snapshot(*decoded, 4), bytes);
+}
+
+TEST(PersistFormat, CorruptSnapshotRejected) {
+  Image image;
+  std::string bytes = encode_snapshot(image, 1);
+  EXPECT_TRUE(decode_snapshot(bytes).has_value());
+  // Torn tail.
+  EXPECT_FALSE(decode_snapshot(
+                   std::string_view(bytes).substr(0, bytes.size() - 1))
+                   .has_value());
+  // Bit flip in the payload.
+  std::string flipped = bytes;
+  flipped.back() = static_cast<char>(flipped.back() ^ 0x01);
+  EXPECT_FALSE(decode_snapshot(flipped).has_value());
+}
+
+// --- engine ----------------------------------------------------------------
+
+TEST(PersistEngine, AppendThenRecoverReplaysJournal) {
+  const std::string dir = test_dir("append_recover");
+  Engine engine({dir, 0});
+  ASSERT_TRUE(engine.open().ok());
+
+  std::string rec1;
+  encode_put(rec1, "s", "a", 1, 0, 0, Value(10));
+  std::string rec2;
+  encode_put(rec2, "s", "b", 2, 0, 0, Value(20));
+  ASSERT_TRUE(engine.append_batch({rec1}, 1, 2, 2).ok());
+  ASSERT_TRUE(engine.append_batch({rec2}, 1, 3, 3).ok());
+
+  Engine reader({dir, 0});
+  auto recovered = reader.recover();
+  ASSERT_TRUE(recovered.ok());
+  const Image& image = recovered.value();
+  EXPECT_EQ(image.next_revision, 3u);
+  EXPECT_EQ(image.commit_seq, 3u);
+  ASSERT_EQ(image.stores.size(), 1u);
+  ASSERT_EQ(image.stores[0].objects.size(), 2u);
+  EXPECT_EQ(image.stores[0].objects[0].key, "a");
+  EXPECT_EQ(image.stores[0].objects[1].key, "b");
+  EXPECT_EQ(reader.stats().frames_replayed, 2u);
+}
+
+TEST(PersistEngine, SnapshotRotatesGenerationAndBoundsReplay) {
+  const std::string dir = test_dir("rotate");
+  Engine engine({dir, 0});
+  ASSERT_TRUE(engine.open().ok());
+  EXPECT_EQ(engine.generation(), 0u);
+
+  std::string rec;
+  encode_put(rec, "s", "a", 1, 0, 0, Value(1));
+  ASSERT_TRUE(engine.append_batch({rec}, 1, 2, 2).ok());
+
+  Image image;
+  image.next_revision = 2;
+  image.commit_seq = 2;
+  StoreImage store;
+  store.name = "s";
+  ObjectImage obj;
+  obj.key = "a";
+  obj.version = 1;
+  obj.data = std::make_shared<const Value>(Value(1));
+  store.objects.push_back(obj);
+  image.stores.push_back(store);
+  ASSERT_TRUE(engine.snapshot(image).ok());
+  EXPECT_EQ(engine.generation(), 1u);
+  EXPECT_EQ(engine.records_since_snapshot(), 0u);
+
+  std::string rec2;
+  encode_put(rec2, "s", "b", 2, 0, 0, Value(2));
+  ASSERT_TRUE(engine.append_batch({rec2}, 1, 3, 3).ok());
+
+  // Recovery loads the snapshot and replays only the generation-1 delta.
+  Engine reader({dir, 0});
+  auto recovered = reader.recover();
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered.value().object_count(), 2u);
+  EXPECT_EQ(recovered.value().next_revision, 3u);
+  EXPECT_EQ(reader.stats().frames_replayed, 1u);  // delta only
+}
+
+TEST(PersistEngine, TornSnapshotFallsBackToPreviousGeneration) {
+  const std::string dir = test_dir("torn_snapshot");
+  Engine engine({dir, 0});
+  ASSERT_TRUE(engine.open().ok());
+  std::string rec;
+  encode_put(rec, "s", "a", 1, 0, 0, Value(1));
+  ASSERT_TRUE(engine.append_batch({rec}, 1, 2, 2).ok());
+
+  Image image;
+  image.next_revision = 2;
+  image.commit_seq = 2;
+  ASSERT_TRUE(engine.snapshot(image).ok());
+  std::string rec2;
+  encode_put(rec2, "s", "b", 2, 0, 0, Value(2));
+  ASSERT_TRUE(engine.append_batch({rec2}, 1, 3, 3).ok());
+
+  // Corrupt the newest snapshot: recovery must fall back to generation 0's
+  // chain (empty image + journal-0 + journal-1) and still see everything.
+  const std::string snap = engine.snapshot_path(1);
+  std::string bytes = slurp(snap);
+  spit(snap, bytes.substr(0, bytes.size() / 2));
+
+  Engine reader({dir, 0});
+  auto recovered = reader.recover();
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered.value().object_count(), 2u);
+  EXPECT_EQ(recovered.value().next_revision, 3u);
+  EXPECT_EQ(reader.stats().snapshots_skipped, 1u);
+  EXPECT_EQ(reader.stats().frames_replayed, 2u);  // full chain
+}
+
+TEST(PersistEngine, GcReclaimsOnlyGenerationsBelowNewestValidSnapshot) {
+  const std::string dir = test_dir("gc");
+  Engine engine({dir, 0});
+  ASSERT_TRUE(engine.open().ok());
+  std::string rec;
+  encode_put(rec, "s", "a", 1, 0, 0, Value(1));
+  ASSERT_TRUE(engine.append_batch({rec}, 1, 2, 2).ok());
+  Image image;
+  ASSERT_TRUE(engine.snapshot(image).ok());
+  ASSERT_TRUE(engine.append_batch({rec}, 1, 3, 3).ok());
+  ASSERT_TRUE(engine.snapshot(image).ok());
+
+  // Generations 0 and 1 are below snapshot-2: both reclaimable.
+  EXPECT_EQ(engine.gc(), 2u);
+  EXPECT_FALSE(std::filesystem::exists(engine.journal_path(0)));
+  EXPECT_FALSE(std::filesystem::exists(engine.snapshot_path(1)));
+  EXPECT_TRUE(std::filesystem::exists(engine.snapshot_path(2)));
+  EXPECT_TRUE(std::filesystem::exists(engine.journal_path(2)));
+  EXPECT_EQ(engine.gc(), 0u);  // idempotent
+}
+
+TEST(PersistEngine, GcNeverReclaimsTheRecoveryBaseOfATornSnapshot) {
+  // Regression for the snapshot-write/truncation race: if the newest
+  // snapshot is torn (crash between snapshot write and old-generation
+  // reclamation), the previous generation is still the recovery base and
+  // GC must keep it.
+  const std::string dir = test_dir("gc_torn");
+  Engine engine({dir, 0});
+  ASSERT_TRUE(engine.open().ok());
+  std::string rec;
+  encode_put(rec, "s", "a", 1, 0, 0, Value(1));
+  ASSERT_TRUE(engine.append_batch({rec}, 1, 2, 2).ok());
+  Image image;
+  ASSERT_TRUE(engine.snapshot(image).ok());
+
+  // Tear snapshot-1 after the fact (as a crash mid-write would have).
+  const std::string snap = engine.snapshot_path(1);
+  std::string bytes = slurp(snap);
+  spit(snap, bytes.substr(0, bytes.size() / 2));
+
+  Engine reader({dir, 0});
+  ASSERT_TRUE(reader.open().ok());
+  EXPECT_EQ(reader.gc(), 0u);  // nothing valid above generation 0
+  EXPECT_TRUE(std::filesystem::exists(reader.journal_path(0)));
+  auto recovered = reader.recover();
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered.value().object_count(), 1u);
+}
+
+TEST(PersistEngine, InspectListsGenerations) {
+  const std::string dir = test_dir("inspect");
+  Engine engine({dir, 0});
+  ASSERT_TRUE(engine.open().ok());
+  std::string rec;
+  encode_put(rec, "s", "a", 1, 0, 0, Value(1));
+  ASSERT_TRUE(engine.append_batch({rec}, 1, 2, 2).ok());
+  Image image;
+  image.next_revision = 2;
+  image.commit_seq = 2;
+  ASSERT_TRUE(engine.snapshot(image).ok());
+
+  auto gens = Engine::inspect(dir);
+  ASSERT_EQ(gens.size(), 2u);
+  EXPECT_EQ(gens[0].generation, 0u);
+  EXPECT_TRUE(gens[0].has_journal);
+  EXPECT_FALSE(gens[0].has_snapshot);
+  EXPECT_EQ(gens[0].journal_frames, 1u);
+  EXPECT_EQ(gens[0].journal_records, 1u);
+  EXPECT_FALSE(gens[0].journal_torn);
+  EXPECT_EQ(gens[1].generation, 1u);
+  EXPECT_TRUE(gens[1].snapshot_valid);
+  EXPECT_TRUE(gens[1].has_journal);
+  ASSERT_TRUE(Engine::recovery_base(gens).has_value());
+  EXPECT_EQ(*Engine::recovery_base(gens), 1u);
+}
+
+TEST(PersistEngine, SimulatedCrashTearsTheFrameAndFailsTheEngine) {
+  const std::string dir = test_dir("crash_append");
+  Engine engine({dir, 0});
+  ASSERT_TRUE(engine.open().ok());
+  std::string rec;
+  encode_put(rec, "s", "a", 1, 0, 0, Value(1));
+  ASSERT_TRUE(engine.append_batch({rec}, 1, 2, 2).ok());
+
+  engine.set_fault_hook(
+      [](CrashPoint p) { return p == CrashPoint::kJournalAppend; });
+  EXPECT_FALSE(engine.append_batch({rec}, 1, 3, 3).ok());
+  EXPECT_TRUE(engine.failed());
+  // Everything fails until recovery.
+  EXPECT_FALSE(engine.append_batch({rec}, 1, 3, 3).ok());
+
+  engine.set_fault_hook(nullptr);
+  auto recovered = engine.recover();
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_FALSE(engine.failed());
+  // Only the first (intact) frame survived; the torn tail was truncated.
+  EXPECT_EQ(engine.stats().frames_replayed, 1u);
+  EXPECT_EQ(recovered.value().next_revision, 2u);
+  // Appends continue cleanly after the truncation.
+  ASSERT_TRUE(engine.append_batch({rec}, 1, 3, 3).ok());
+  Engine reader({dir, 0});
+  auto again = reader.recover();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(reader.stats().frames_replayed, 2u);
+}
+
+// --- ObjectDe integration --------------------------------------------------
+
+ObjectDeProfile durable_instant() {
+  ObjectDeProfile p = ObjectDeProfile::instant();
+  p.durable = true;
+  return p;
+}
+
+TEST(PersistObjectDe, RestartRecoversStateVersionsAndCounters) {
+  const std::string dir = test_dir("de_restart");
+  sim::VirtualClock clock;
+  ObjectDe de(clock, durable_instant());
+  Engine engine({dir, 0});
+  ASSERT_TRUE(de.enable_persistence(&engine).ok());
+
+  ObjectStore& store = de.create_store("s");
+  auto v1 = store.put_sync("me", "a", Value::object({{"x", Value(1)}}));
+  auto v2 = store.put_sync("me", "b", Value::object({{"x", Value(2)}}));
+  ASSERT_TRUE(v1.ok());
+  ASSERT_TRUE(v2.ok());
+  ASSERT_TRUE(store.remove_sync("me", "a").ok());
+
+  de.crash();
+  de.recover();
+
+  ObjectStore* recovered = de.store("s");
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_EQ(recovered->peek("a"), nullptr);
+  const StateObject* b = recovered->peek("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->version, v2.value());  // exact version, not re-assigned
+  EXPECT_EQ(b->data->as_object().find("x")->as_int(), 2);
+
+  // Counters resume where the durable history left off: the next write
+  // gets the version a fault-free run would have assigned.
+  auto v3 = recovered->put_sync("me", "c", Value(3));
+  ASSERT_TRUE(v3.ok());
+  EXPECT_EQ(v3.value(), v2.value() + 1);
+}
+
+TEST(PersistObjectDe, AutoSnapshotHonorsCadence) {
+  const std::string dir = test_dir("de_cadence");
+  sim::VirtualClock clock;
+  ObjectDe de(clock, durable_instant());
+  Engine engine({dir, 3});
+  ASSERT_TRUE(de.enable_persistence(&engine).ok());
+
+  ObjectStore& store = de.create_store("s");
+  ASSERT_TRUE(store.put_sync("me", "a", Value(1)).ok());
+  ASSERT_TRUE(store.put_sync("me", "b", Value(2)).ok());
+  EXPECT_EQ(engine.generation(), 0u);
+  ASSERT_TRUE(store.put_sync("me", "c", Value(3)).ok());  // 3rd record
+  EXPECT_EQ(engine.generation(), 1u);
+  EXPECT_EQ(engine.records_since_snapshot(), 0u);
+  EXPECT_EQ(engine.stats().snapshots, 1u);
+
+  // Snapshot-bounded recovery: a fresh engine replays zero frames.
+  Engine reader({dir, 0});
+  auto recovered = reader.recover();
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(reader.stats().frames_replayed, 0u);
+  EXPECT_EQ(recovered.value().object_count(), 3u);
+}
+
+TEST(PersistObjectDe, TransactionJournalsAsOneAtomicFrame) {
+  const std::string dir = test_dir("de_txn");
+  sim::VirtualClock clock;
+  ObjectDe de(clock, durable_instant());
+  Engine engine({dir, 0});
+  ASSERT_TRUE(de.enable_persistence(&engine).ok());
+  de.create_store("s");
+
+  std::vector<ObjectDe::TxnOp> ops;
+  ops.push_back({"s", "a", Value(1), false, std::nullopt});
+  ops.push_back({"s", "b", Value(2), false, std::nullopt});
+  ops.push_back({"s", "c", Value(3), false, std::nullopt});
+  ASSERT_TRUE(de.transact_sync("me", std::move(ops)).ok());
+
+  auto gens = Engine::inspect(dir);
+  ASSERT_EQ(gens.size(), 1u);
+  EXPECT_EQ(gens[0].journal_frames, 1u);   // one frame...
+  EXPECT_EQ(gens[0].journal_records, 3u);  // ...carrying all three writes
+}
+
+TEST(PersistObjectDe, EpochJournalsAsOneAtomicFrame) {
+  const std::string dir = test_dir("de_epoch");
+  sim::VirtualClock clock;
+  ObjectDe de(clock, durable_instant());
+  Engine engine({dir, 0});
+  ASSERT_TRUE(de.enable_persistence(&engine).ok());
+  ObjectStore& store = de.create_store("s");
+
+  std::vector<EpochWrite> writes;
+  for (int i = 0; i < 5; ++i) {
+    EpochWrite w;
+    w.key = "k" + std::to_string(i);
+    w.data = Value(i);
+    writes.push_back(std::move(w));
+  }
+  auto results = store.put_epoch_sync("me", std::move(writes));
+  for (const auto& r : results) ASSERT_TRUE(r.ok());
+
+  auto gens = Engine::inspect(dir);
+  ASSERT_EQ(gens.size(), 1u);
+  EXPECT_EQ(gens[0].journal_frames, 1u);
+  EXPECT_EQ(gens[0].journal_records, 5u);
+
+  // The frame's counter footer carries the epoch's full reservation.
+  de.crash();
+  de.recover();
+  auto next = de.store("s")->put_sync("me", "z", Value(9));
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next.value(), 6u);  // 5 epoch revisions + 1
+}
+
+TEST(PersistObjectDe, KernelGcDrivesGenerationReclamation) {
+  // RetentionManager registers with the kernel; the persistence engine's
+  // generation GC rides the same run_gc() hook chain.
+  const std::string dir = test_dir("de_gc");
+  sim::VirtualClock clock;
+  ObjectDe de(clock, durable_instant());
+  RetentionManager retention(de);
+  retention.register_with_kernel("gc");
+  Engine engine({dir, 0});
+  ASSERT_TRUE(de.enable_persistence(&engine).ok());
+
+  ObjectStore& store = de.create_store("s");
+  ASSERT_TRUE(store.put_sync("me", "a", Value(1)).ok());
+  ASSERT_TRUE(de.snapshot_now().ok());
+  ASSERT_TRUE(store.put_sync("me", "b", Value(2)).ok());
+  ASSERT_TRUE(de.snapshot_now().ok());
+
+  ASSERT_TRUE(std::filesystem::exists(engine.journal_path(0)));
+  EXPECT_GE(de.kernel().run_gc(), 2u);  // generations 0 and 1
+  EXPECT_FALSE(std::filesystem::exists(engine.journal_path(0)));
+  EXPECT_TRUE(std::filesystem::exists(engine.snapshot_path(2)));
+
+  // Post-GC recovery still sees everything.
+  de.crash();
+  de.recover();
+  EXPECT_NE(de.store("s")->peek("a"), nullptr);
+  EXPECT_NE(de.store("s")->peek("b"), nullptr);
+}
+
+TEST(PersistObjectDe, TornAppendFailsTheOpAndRetryMatchesOracle) {
+  const std::string dir = test_dir("de_torn_append");
+  sim::VirtualClock clock;
+  ObjectDe de(clock, durable_instant());
+  Engine engine({dir, 0});
+  ASSERT_TRUE(de.enable_persistence(&engine).ok());
+  ObjectStore& store = de.create_store("s");
+  ASSERT_TRUE(store.put_sync("me", "a", Value(1)).ok());
+
+  // Crash exactly one append.
+  int fires = 0;
+  engine.set_fault_hook([&fires](CrashPoint p) {
+    return p == CrashPoint::kJournalAppend && fires++ == 0;
+  });
+  auto failed = store.put_sync("me", "b", Value(2));
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.error().code, common::Error::Code::kUnavailable);
+  EXPECT_FALSE(de.available());
+
+  de.recover();
+  EXPECT_EQ(de.store("s")->peek("b"), nullptr);  // op was not durable
+  auto retried = de.store("s")->put_sync("me", "b", Value(2));
+  ASSERT_TRUE(retried.ok());
+
+  // Oracle: the same two puts with no crash.
+  const std::string oracle_dir = test_dir("de_torn_append_oracle");
+  sim::VirtualClock oracle_clock;
+  ObjectDe oracle(oracle_clock, durable_instant());
+  Engine oracle_engine({oracle_dir, 0});
+  ASSERT_TRUE(oracle.enable_persistence(&oracle_engine).ok());
+  ObjectStore& oracle_store = oracle.create_store("s");
+  ASSERT_TRUE(oracle_store.put_sync("me", "a", Value(1)).ok());
+  auto oracle_b = oracle_store.put_sync("me", "b", Value(2));
+  ASSERT_TRUE(oracle_b.ok());
+  EXPECT_EQ(retried.value(), oracle_b.value());
+}
+
+}  // namespace
+}  // namespace knactor::de::persist

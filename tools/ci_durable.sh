@@ -1,0 +1,41 @@
+#!/bin/sh
+# CI durability smoke: the crash/recover differential and torn-tail fuzz
+# suites (`ctest -L durable`) must pass under the default build AND the
+# ASan/UBSan build — hostile bytes hit every decode path, so the sanitize
+# run is the one that proves recovery never trips undefined behavior.
+# Mirrors the `durable` / `sanitize-durable` test presets for environments
+# that drive ctest directly (pre-merge hooks, release pipelines).
+#
+# Usage: tools/ci_durable.sh [default_build_dir] [sanitize_build_dir]
+# Exit: 0 on success, 1 on any failure.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+default_dir=${1:-"$repo_root/build"}
+sanitize_dir=${2:-"$repo_root/build-sanitize"}
+
+fail=0
+
+run_label() {
+  dir=$1
+  name=$2
+  if [ ! -d "$dir" ]; then
+    echo "ci_durable: $name build dir not found at $dir (configure with" \
+      "\`cmake --preset $name\` first)" >&2
+    return 1
+  fi
+  echo "== ctest -L durable ($name: $dir) =="
+  if ! ctest --test-dir "$dir" -L durable --output-on-failure; then
+    echo "ci_durable: durable suite failed under the $name build" >&2
+    return 1
+  fi
+  return 0
+}
+
+run_label "$default_dir" default || fail=1
+run_label "$sanitize_dir" sanitize || fail=1
+
+if [ "$fail" -eq 0 ]; then
+  echo "ci_durable: OK"
+fi
+exit "$fail"

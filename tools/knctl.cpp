@@ -35,11 +35,19 @@
 //                                       chrome://tracing / Perfetto)
 //   knctl explain <store>/<key>         print a derived record's lineage
 //                                       DAG with per-stage latencies
+//   knctl recover --inspect <dir>       offline scan of a persistence
+//                                       directory (de/persist): per-
+//                                       generation snapshot/journal health,
+//                                       the recovery base recover() would
+//                                       load, and the replay delta — exit 1
+//                                       flags torn artifacts needing
+//                                       operator attention
 //   knctl demo                          run all of the above on the
 //                                       paper's Fig. 5 / Fig. 6 specs
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -58,6 +66,7 @@
 #include "core/dxg.h"
 #include "core/runtime.h"
 #include "core/trace_export.h"
+#include "de/persist/engine.h"
 #include "de/query.h"
 #include "de/schema.h"
 #include "yaml/yaml.h"
@@ -449,6 +458,117 @@ int cmd_explain(const std::string& target, const std::string& spec,
   return out.rfind("no lineage", 0) == 0 ? 1 : 0;
 }
 
+/// `knctl recover --inspect <dir>` — offline health scan of a persistence
+/// directory. Uses the same recovery-base rule as Engine::recover(), so
+/// what it prints is what a restart would actually do. Exit codes follow
+/// the lint convention: 0 healthy, 1 torn artifacts found (recovery still
+/// works — the torn suffix is simply dropped), 2 unusable directory.
+int cmd_recover_inspect(const std::string& dir, const std::string& format) {
+  namespace persist = knactor::de::persist;
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) {
+    std::fprintf(stderr, "recover: '%s' is not a directory\n", dir.c_str());
+    return 2;
+  }
+  const std::vector<persist::GenerationInfo> gens = persist::Engine::inspect(dir);
+  const auto base = persist::Engine::recovery_base(gens);
+  std::uint64_t replay_frames = 0;
+  std::uint64_t replay_records = 0;
+  bool torn = false;
+  for (const auto& gen : gens) {
+    torn = torn || gen.journal_torn || (gen.has_snapshot && !gen.snapshot_valid);
+    if (!base || gen.generation >= *base) {
+      replay_frames += gen.journal_frames;
+      replay_records += gen.journal_records;
+    }
+  }
+  if (format == "json") {
+    knactor::common::Value::Array rows;
+    for (const auto& gen : gens) {
+      knactor::common::Value::Object row;
+      row.set("generation", knactor::common::Value(
+                                static_cast<std::int64_t>(gen.generation)));
+      row.set("has_snapshot", knactor::common::Value(gen.has_snapshot));
+      row.set("snapshot_valid", knactor::common::Value(gen.snapshot_valid));
+      row.set("snapshot_bytes", knactor::common::Value(
+                                    static_cast<std::int64_t>(gen.snapshot_bytes)));
+      row.set("snapshot_objects",
+              knactor::common::Value(
+                  static_cast<std::int64_t>(gen.snapshot_objects)));
+      row.set("has_journal", knactor::common::Value(gen.has_journal));
+      row.set("journal_bytes", knactor::common::Value(
+                                   static_cast<std::int64_t>(gen.journal_bytes)));
+      row.set("journal_valid_bytes",
+              knactor::common::Value(
+                  static_cast<std::int64_t>(gen.journal_valid_bytes)));
+      row.set("journal_frames", knactor::common::Value(
+                                    static_cast<std::int64_t>(gen.journal_frames)));
+      row.set("journal_records",
+              knactor::common::Value(
+                  static_cast<std::int64_t>(gen.journal_records)));
+      row.set("journal_torn", knactor::common::Value(gen.journal_torn));
+      rows.push_back(knactor::common::Value(std::move(row)));
+    }
+    knactor::common::Value::Object root;
+    root.set("dir", knactor::common::Value(dir));
+    root.set("generations", knactor::common::Value(std::move(rows)));
+    root.set("recovery_base",
+             base ? knactor::common::Value(static_cast<std::int64_t>(*base))
+                  : knactor::common::Value());
+    root.set("replay_frames",
+             knactor::common::Value(static_cast<std::int64_t>(replay_frames)));
+    root.set("replay_records",
+             knactor::common::Value(static_cast<std::int64_t>(replay_records)));
+    root.set("torn_artifacts", knactor::common::Value(torn));
+    std::printf("%s\n", knactor::common::to_json_pretty(
+                            knactor::common::Value(std::move(root)))
+                            .c_str());
+    return torn ? 1 : 0;
+  }
+  if (gens.empty()) {
+    std::printf("%s: no persistence generations (recovery starts empty)\n",
+                dir.c_str());
+    return 0;
+  }
+  for (const auto& gen : gens) {
+    std::printf("generation %llu:",
+                static_cast<unsigned long long>(gen.generation));
+    if (gen.has_snapshot) {
+      std::printf("  snapshot %s (%llu objects, %llu bytes)",
+                  gen.snapshot_valid ? "valid" : "TORN",
+                  static_cast<unsigned long long>(gen.snapshot_objects),
+                  static_cast<unsigned long long>(gen.snapshot_bytes));
+    } else {
+      std::printf("  snapshot none");
+    }
+    if (gen.has_journal) {
+      std::printf("  journal %s (%llu frames, %llu records, %llu/%llu bytes "
+                  "valid)\n",
+                  gen.journal_torn ? "TORN" : "clean",
+                  static_cast<unsigned long long>(gen.journal_frames),
+                  static_cast<unsigned long long>(gen.journal_records),
+                  static_cast<unsigned long long>(gen.journal_valid_bytes),
+                  static_cast<unsigned long long>(gen.journal_bytes));
+    } else {
+      std::printf("  journal none\n");
+    }
+  }
+  if (base) {
+    std::printf("recovery base: generation %llu (replay %llu frames / %llu "
+                "records)\n",
+                static_cast<unsigned long long>(*base),
+                static_cast<unsigned long long>(replay_frames),
+                static_cast<unsigned long long>(replay_records));
+  } else {
+    std::printf("recovery base: none — full replay of %llu frames / %llu "
+                "records from the empty image\n",
+                static_cast<unsigned long long>(replay_frames),
+                static_cast<unsigned long long>(replay_records));
+  }
+  if (torn) std::printf("torn artifacts present: recovery will drop them\n");
+  return torn ? 1 : 0;
+}
+
 int cmd_demo() {
   std::printf("== knctl schema (Fig. 5, Checkout) ==\n");
   (void)cmd_schema(knactor::apps::kCheckoutSchema);
@@ -480,8 +600,10 @@ void usage() {
       "[--data <seed.json|yaml>]\n"
       "  knctl explain <store>/<key> [--spec retail|<dxg.yaml>] "
       "[--data <seed.json|yaml>]\n"
+      "  knctl recover --inspect <dir> [--format text|json]\n"
       "  knctl demo\n"
-      "exit codes for lint/analyze: 0 clean, 1 findings, 2 unusable input\n");
+      "exit codes for lint/analyze/recover: 0 clean, 1 findings, "
+      "2 unusable input\n");
 }
 
 /// Parses [--schema f]... [--rbac f] [--as p] [--format text|json] from
@@ -683,6 +805,23 @@ int main(int argc, char** argv) {
     }
     return command == "trace" ? cmd_trace(spec, format, data_text)
                               : cmd_explain(args[1], spec, data_text);
+  }
+  if (command == "recover" && args.size() >= 3 && args[1] == "--inspect") {
+    std::string format = "text";
+    for (std::size_t i = 3; i < args.size(); i += 2) {
+      if (i + 1 >= args.size()) {
+        usage();
+        return 2;
+      }
+      if (args[i] == "--format" &&
+          (args[i + 1] == "text" || args[i + 1] == "json")) {
+        format = args[i + 1];
+      } else {
+        usage();
+        return 2;
+      }
+    }
+    return cmd_recover_inspect(args[2], format);
   }
   if (command == "query" && args.size() == 3) {
     auto jsonl = read_file(args[2]);

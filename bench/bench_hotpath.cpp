@@ -145,6 +145,63 @@ RetailRun run_retail_best(std::size_t orders, SimTime batch_window,
 }
 
 // ---------------------------------------------------------------------------
+// Fan-out: content-filtered subscriptions vs. broadcast watches.
+// ---------------------------------------------------------------------------
+
+// The retail order stream delivered to a large subscriber population.
+// Broadcast mode registers plain watches — every commit reaches every
+// subscriber, delivered volume = commits x subscribers. Filtered mode
+// gives each subscriber a content filter matching ~1% of orders (its
+// region bucket); the predicate runs pre-enqueue inside the commit
+// pipeline, so a rejected commit never costs a delivery. The gate is on
+// delivered-record volume, not wall time — the volume ratio is exact and
+// machine-independent.
+struct FanoutRun {
+  double wall_ms = 0;
+  std::uint64_t delivered = 0;  // watch events that reached a callback
+  std::uint64_t filtered = 0;   // commits rejected pre-enqueue
+};
+
+FanoutRun run_fanout(std::size_t subscribers, std::size_t commits,
+                     bool filtered) {
+  using namespace knactor;
+  sim::VirtualClock clock;
+  de::ObjectDe de(clock, de::ObjectDeProfile::instant());
+  de::ObjectStore& orders = de.create_store("orders");
+
+  std::uint64_t delivered = 0;
+  auto count = [&delivered](const de::WatchEvent&) { ++delivered; };
+  for (std::size_t i = 0; i < subscribers; ++i) {
+    if (filtered) {
+      // 100 region buckets; each subscriber cares about exactly one, so
+      // with orders spread uniformly its selectivity is 1%.
+      de::SubscriptionSpec spec;
+      spec.filter = "bucket == " + std::to_string(i % 100);
+      (void)orders.subscribe("svc", std::move(spec), count);
+    } else {
+      (void)orders.watch("svc", "", count);
+    }
+  }
+
+  auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t c = 0; c < commits; ++c) {
+    Value order = Value::object();
+    order.set("bucket", Value(static_cast<std::int64_t>(c % 100)));
+    order.set("cost", Value(static_cast<std::int64_t>((c * 37) % 2000)));
+    orders.put("svc", "order/" + std::to_string(c), std::move(order),
+               [](knactor::common::Result<std::uint64_t>) {});
+    // Drain between commits so delivery work interleaves with commits the
+    // way a live composition's would, instead of piling up one huge queue.
+    clock.run_all();
+  }
+  FanoutRun out;
+  out.wall_ms = wall_ms_since(t0);
+  out.delivered = delivered;
+  out.filtered = de.stats().watch_events_filtered;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
 // Smart home: Sync operator consolidation + zero-copy exchange.
 // ---------------------------------------------------------------------------
 
@@ -597,7 +654,7 @@ int check_report(const std::string& path) {
   const Value& report = parsed.value();
   for (const char* key :
        {"retail", "retail_shards", "smart_home", "stage_attribution",
-        "scaling"}) {
+        "scaling", "fanout"}) {
     const Value* section = report.get(key);
     if (section == nullptr || !section->is_array() ||
         section->as_array().empty()) {
@@ -640,7 +697,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: bench_hotpath [--smoke] [--out PATH] "
                    "[--check PATH] [--section retail|shards|home|stages|"
-                   "scaling|commit_seq|recovery]\n");
+                   "scaling|commit_seq|recovery|fanout]\n");
       return 2;
     }
   }
@@ -650,7 +707,7 @@ int main(int argc, char** argv) {
   };
   if (!all_sections && !want("retail") && !want("shards") && !want("home") &&
       !want("stages") && !want("scaling") && !want("commit_seq") &&
-      !want("recovery")) {
+      !want("recovery") && !want("fanout")) {
     std::fprintf(stderr, "bench_hotpath: unknown section '%s'\n",
                  section.c_str());
     return 2;
@@ -832,6 +889,48 @@ int main(int argc, char** argv) {
     report.set("scaling", std::move(scaling));
   }
 
+  // Subscriber fan-out: 10k subscribers at 1% selectivity over the retail
+  // order stream. The content filter must cut delivered-record volume by
+  // at least 10x vs broadcast; the count is deterministic, so the gate
+  // applies in smoke mode too.
+  double fanout_volume_ratio = 0;
+  if (want("fanout")) {
+    const std::size_t fan_subscribers = smoke ? 1000 : 10000;
+    const std::size_t fan_commits = smoke ? 20 : 100;
+    FanoutRun broadcast = run_fanout(fan_subscribers, fan_commits, false);
+    FanoutRun selective = run_fanout(fan_subscribers, fan_commits, true);
+    fanout_volume_ratio =
+        selective.delivered > 0
+            ? static_cast<double>(broadcast.delivered) /
+                  static_cast<double>(selective.delivered)
+            : 0;
+    Value fanout = Value::array();
+    Value row = Value::object();
+    row.set("subscribers", Value(static_cast<std::int64_t>(fan_subscribers)));
+    row.set("commits", Value(static_cast<std::int64_t>(fan_commits)));
+    Value b = Value::object();
+    b.set("wall_ms", Value(broadcast.wall_ms));
+    b.set("delivered", Value(static_cast<std::int64_t>(broadcast.delivered)));
+    row.set("broadcast", std::move(b));
+    Value f = Value::object();
+    f.set("wall_ms", Value(selective.wall_ms));
+    f.set("delivered", Value(static_cast<std::int64_t>(selective.delivered)));
+    f.set("rejected_pre_enqueue",
+          Value(static_cast<std::int64_t>(selective.filtered)));
+    row.set("filtered", std::move(f));
+    row.set("volume_ratio", Value(fanout_volume_ratio));
+    std::printf(
+        "fanout %5zu subs %4zu commits: broadcast %8llu delivered "
+        "(%8.1fms)  filtered %8llu delivered (%8.1fms)  volume %.1fx\n",
+        fan_subscribers, fan_commits,
+        static_cast<unsigned long long>(broadcast.delivered),
+        broadcast.wall_ms,
+        static_cast<unsigned long long>(selective.delivered),
+        selective.wall_ms, fanout_volume_ratio);
+    fanout.as_array().push_back(std::move(row));
+    report.set("fanout", std::move(fanout));
+  }
+
   if (want("commit_seq")) {
     report.set("commit_seq", commit_seq_section(smoke));
   }
@@ -853,6 +952,9 @@ int main(int argc, char** argv) {
   constexpr double kMaxShardRatio = 2.0;
   constexpr double kRequiredScalingSpeedup = 2.0;
   constexpr double kRequiredRecoverySpeedup = 5.0;
+  constexpr double kRequiredFanoutRatio = 10.0;
+  bool fanout_gate_ok =
+      !want("fanout") || fanout_volume_ratio >= kRequiredFanoutRatio;
   bool shard_gate_ok =
       shard_deterministic && (smoke || shard_worst_ratio <= kMaxShardRatio);
   bool scaling_gate_ok =
@@ -876,9 +978,11 @@ int main(int argc, char** argv) {
     gate.set("recovery_speedup", Value(recovery_speedup));
     gate.set("required_recovery_speedup", Value(kRequiredRecoverySpeedup));
     gate.set("recovery_converged", Value(recovery_converged));
+    gate.set("fanout_volume_ratio", Value(fanout_volume_ratio));
+    gate.set("required_fanout_ratio", Value(kRequiredFanoutRatio));
     gate.set("pass", Value((smoke || retail_100x_speedup >= 2.0) &&
                            shard_gate_ok && scaling_gate_ok &&
-                           recovery_gate_ok));
+                           recovery_gate_ok && fanout_gate_ok));
     report.set("gate", std::move(gate));
   }
 
@@ -922,6 +1026,13 @@ int main(int argc, char** argv) {
                  recovery_converged ? "below the gate"
                                     : "diverged from full replay",
                  recovery_speedup, kRequiredRecoverySpeedup);
+    return 1;
+  }
+  if (!fanout_gate_ok) {
+    std::fprintf(stderr,
+                 "bench_hotpath: FAIL: fanout volume ratio %.1fx < %.1fx "
+                 "(filtered subscriptions vs broadcast)\n",
+                 fanout_volume_ratio, kRequiredFanoutRatio);
     return 1;
   }
   return 0;

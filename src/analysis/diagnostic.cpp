@@ -106,6 +106,9 @@ const std::vector<DiagnosticInfo>& diagnostic_catalog() {
       {"KN602", Severity::kError, "shadowed-write"},
       {"KN603", Severity::kError, "cross-file-cycle"},
       {"KN604", Severity::kWarning, "fanout-amplification"},
+      // KN7xx — subscription clauses (Watch: filters, analysis/absint.h).
+      {"KN701", Severity::kError, "unsatisfiable-watch-filter"},
+      {"KN702", Severity::kWarning, "always-true-watch-filter"},
   };
   return kCatalog;
 }

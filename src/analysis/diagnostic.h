@@ -13,6 +13,7 @@
 //   KN4xx  input/parse failures
 //   KN5xx  expression semantics (abstract interpretation, analysis/absint.h)
 //   KN6xx  cross-spec composition (project graph, analysis/compose_graph.h)
+//   KN7xx  subscription clauses (Watch: filter satisfiability)
 //
 // The catalog below is the single source of truth for code -> severity;
 // docs/ANALYSIS.md documents every code with a minimal trigger example.

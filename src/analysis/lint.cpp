@@ -9,6 +9,7 @@
 #include "analysis/typecheck.h"
 #include "common/strings.h"
 #include "core/dxg.h"
+#include "expr/parser.h"
 #include "yaml/yaml.h"
 
 namespace knactor::analysis {
@@ -119,6 +120,62 @@ void lint_dxg(const yaml::Document& doc, const LintOptions& options,
       check_expr_semantics(*m.compiled, mapping_locs[i],
                            "mapping " + m.target_path(), out);
     }
+  }
+
+  // KN7xx subscription clauses: abstract-interpret each Watch filter
+  // against the producer store's schema environment. An unsatisfiable
+  // predicate means the subscription can never deliver (KN701); a
+  // never-falsy one filters nothing (KN702).
+  for (const auto& w : dxg.watches()) {
+    if (w.spec.filter.empty()) continue;
+    SourceLoc loc{options.file, 0, 0};
+    for (const std::string& path :
+         {"Watch/" + w.alias + "/filter", "Watch/" + w.alias,
+          std::string("Watch")}) {
+      auto it = doc.positions.find(path);
+      if (it != doc.positions.end()) {
+        loc.line = it->second.line;
+        loc.col = it->second.col;
+        break;
+      }
+    }
+    auto pred = expr::parse(w.spec.filter);
+    if (!pred.ok()) continue;  // Dxg::from_value already rejected it
+    AbsEnv env;
+    auto input = dxg.inputs().find(w.alias);
+    const de::StoreSchema* schema =
+        options.schemas != nullptr && input != dxg.inputs().end()
+            ? options.schemas->find(input->second)
+            : nullptr;
+    if (schema != nullptr) {
+      for (const auto& field : schema->fields) {
+        env.bind(field.name, abs_from_type(type_from_decl(field.type)));
+      }
+    }
+    Diagnostic diag;
+    if (!satisfiable(*pred.value(), env)) {
+      diag = make_diag(
+          "KN701", loc,
+          "Watch filter for alias '" + w.alias + "' (" + w.spec.filter +
+              ") can never match: the subscription will never deliver",
+          "fix or remove the filter; check it against the producer schema");
+    } else if (AbsValue v = abs_eval(*pred.value(), env); !v.may_falsy) {
+      diag = make_diag(
+          "KN702", loc,
+          "Watch filter for alias '" + w.alias + "' (" + w.spec.filter +
+              ") is always true: every commit is delivered",
+          "drop the filter, or make it depend on the payload");
+    } else {
+      continue;
+    }
+    // Name the producer endpoint the filter is evaluated against.
+    if (input != dxg.inputs().end()) {
+      diag.related = loc_at(doc, "Input/" + w.alias, options.file);
+      if (diag.related.file.empty()) diag.related.file = options.file;
+      diag.related_note = "producer store '" + input->second + "' (alias " +
+                          w.alias + ")";
+    }
+    out.push_back(std::move(diag));
   }
 
   // RBAC pre-flight: each mapping writes its target field (update) and

@@ -114,30 +114,37 @@ RpcEgressBridge::RpcEgressBridge(net::SimNetwork& network, std::string node,
 
 Status RpcEgressBridge::start() {
   if (watch_id_ != 0) return Status::success();
-  if (options_.batch_window > 0) {
-    watch_id_ = store_.watch_batch(principal(), options_.key_prefix,
-                                   options_.batch_window,
-                                   [this](const de::WatchBatch& batch) {
-                                     ++batches_;
-                                     for (const auto& event : batch.events) {
-                                       on_event(event);
-                                     }
-                                   });
+  de::SubscriptionSpec spec;
+  spec.prefix = options_.key_prefix;
+  spec.filter = options_.filter;
+  spec.qos = options_.qos;
+  if (spec.qos.window == 0) spec.qos.window = options_.batch_window;
+  if (spec.qos.window > 0) {
+    auto sub = store_.subscribe_batch(principal(), std::move(spec),
+                                      [this](const de::WatchBatch& batch) {
+                                        ++batches_;
+                                        for (const auto& event :
+                                             batch.events) {
+                                          on_event(event);
+                                        }
+                                      });
+    KN_ASSIGN_OR_RETURN(watch_id_, std::move(sub));
   } else {
-    watch_id_ = store_.watch(principal(), options_.key_prefix,
-                             [this](const de::WatchEvent& event) {
-                               on_event(event);
-                             });
-  }
-  if (watch_id_ == 0) {
-    return Error::permission_denied("egress-bridge: watch denied");
+    auto sub = store_.subscribe(principal(), std::move(spec),
+                                [this](const de::WatchEvent& event) {
+                                  on_event(event);
+                                });
+    KN_ASSIGN_OR_RETURN(watch_id_, std::move(sub));
   }
   return Status::success();
 }
 
 void RpcEgressBridge::stop() {
   if (watch_id_ != 0) {
-    store_.unwatch(watch_id_);
+    // Drain: a window still buffering when the bridge stops is delivered
+    // synchronously (the pending requests get their RPCs issued) rather
+    // than silently dropped.
+    store_.unsubscribe(watch_id_, /*drain=*/true);
     watch_id_ = 0;
   }
 }

@@ -141,18 +141,25 @@ Status CastIntegrator::reconfigure_yaml(std::string_view yaml_text) {
 
 void CastIntegrator::install_watches() {
   remove_watches();
-  // Watch every aliased store the DXG reads; also watch written stores
+  // Subscribe to every aliased store the DXG reads; also written stores
   // whose objects feed `this` references. Watching all aliases is simplest
   // and matches the informer pattern; self-writes converge because passes
   // only write out-of-sync fields.
+  //
+  // The spec's per-alias `Watch:` clause supplies the subscription's
+  // content filter, projection, and QoS; a commit the filter rejects never
+  // reaches the integrator, so no pass runs for it. `batch_window`
+  // remains the programmatic default window when the clause sets none.
   for (const auto& [alias, store] : stores_) {
     if (dxg_.inputs().find(alias) == dxg_.inputs().end()) continue;
-    if (options_.batch_window > 0) {
+    de::SubscriptionSpec spec;
+    if (const DxgWatch* clause = dxg_.watch_for(alias)) spec = clause->spec;
+    if (spec.qos.window == 0) spec.qos.window = options_.batch_window;
+    if (spec.qos.window > 0) {
       // Server-side coalescing: the DE buffers a window of commits and
       // delivers one batch; one pass consumes the whole burst.
-      std::uint64_t id = store->watch_batch(
-          principal(), "", options_.batch_window,
-          [this](const de::WatchBatch& batch) {
+      auto sub = store->subscribe_batch(
+          principal(), std::move(spec), [this](const de::WatchBatch& batch) {
             if (!running_ || pushdown_) return;
             ++stats_.batches_consumed;
             stats_.batched_events += batch.events.size();
@@ -162,16 +169,16 @@ void CastIntegrator::install_watches() {
             if (!batch.events.empty()) trigger_ctx_ = batch.events.front().ctx;
             run_pass_async(options_.max_rounds_per_event);
           });
-      if (id == 0) {
-        KN_WARN << "cast " << name_ << ": watch denied on store '"
-                << store->name() << "'";
+      if (!sub.ok()) {
+        KN_WARN << "cast " << name_ << ": subscribe denied on store '"
+                << store->name() << "': " << sub.error().to_string();
       } else {
-        watches_.emplace_back(store, id);
+        watches_.emplace_back(store, sub.value());
       }
       continue;
     }
-    std::uint64_t id =
-        store->watch(principal(), "", [this](const de::WatchEvent& event) {
+    auto sub = store->subscribe(
+        principal(), std::move(spec), [this](const de::WatchEvent& event) {
           if (!running_ || pushdown_) return;
           trigger_ctx_ = event.ctx;
           if (options_.debounce <= 0) {
@@ -190,11 +197,11 @@ void CastIntegrator::install_watches() {
             }
           });
         });
-    if (id == 0) {
-      KN_WARN << "cast " << name_ << ": watch denied on store '"
-              << store->name() << "'";
+    if (!sub.ok()) {
+      KN_WARN << "cast " << name_ << ": subscribe denied on store '"
+              << store->name() << "': " << sub.error().to_string();
     } else {
-      watches_.emplace_back(store, id);
+      watches_.emplace_back(store, sub.value());
     }
   }
 }

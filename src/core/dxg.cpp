@@ -138,6 +138,96 @@ Result<Dxg> Dxg::from_value(const Value& spec) {
       dxg.mappings_.push_back(std::move(mapping));
     }
   }
+
+  // Optional `Watch:` section: per-alias subscription clauses.
+  const Value* watch = spec.get("Watch");
+  if (watch != nullptr && !watch->is_null()) {
+    if (!watch->is_object()) {
+      return Error::parse("dxg: 'Watch' section must be a mapping");
+    }
+    for (const auto& [alias, clause] : watch->as_object()) {
+      if (dxg.inputs_.find(alias) == dxg.inputs_.end()) {
+        return Error::parse("dxg: Watch alias '" + alias +
+                            "' not declared in Input");
+      }
+      if (!clause.is_object()) {
+        return Error::parse("dxg: Watch clause for '" + alias +
+                            "' must be a mapping");
+      }
+      DxgWatch w;
+      w.alias = alias;
+      if (const Value* prefix = clause.get("prefix"); prefix != nullptr) {
+        if (!prefix->is_string()) {
+          return Error::parse("dxg: Watch " + alias +
+                              ": 'prefix' must be a string");
+        }
+        w.spec.prefix = prefix->as_string();
+      }
+      if (const Value* filter = clause.get("filter"); filter != nullptr) {
+        if (!filter->is_string()) {
+          return Error::parse("dxg: Watch " + alias +
+                              ": 'filter' must be an expression string");
+        }
+        w.spec.filter = filter->as_string();
+        // Fail at parse time, not at integrator start: the filter is part
+        // of the composition program.
+        auto parsed = expr::parse(w.spec.filter);
+        if (!parsed.ok()) {
+          return Error::parse("dxg: Watch " + alias + ": bad filter: " +
+                              parsed.error().message);
+        }
+      }
+      if (const Value* project = clause.get("project"); project != nullptr) {
+        if (!project->is_array()) {
+          return Error::parse("dxg: Watch " + alias +
+                              ": 'project' must be a list of field names");
+        }
+        for (const auto& field : project->as_array()) {
+          if (!field.is_string()) {
+            return Error::parse("dxg: Watch " + alias +
+                                ": 'project' entries must be strings");
+          }
+          w.spec.project.push_back(field.as_string());
+        }
+      }
+      if (const Value* qos = clause.get("qos"); qos != nullptr) {
+        if (!qos->is_object()) {
+          return Error::parse("dxg: Watch " + alias +
+                              ": 'qos' must be a mapping");
+        }
+        auto read_time = [&](const char* key,
+                             sim::SimTime* out) -> common::Status {
+          const Value* v = qos->get(key);
+          if (v == nullptr) return common::Status::success();
+          if (!v->is_int() || v->as_int() < 0) {
+            return Error::parse("dxg: Watch " + alias + ": qos '" +
+                                std::string(key) +
+                                "' must be a non-negative integer");
+          }
+          *out = static_cast<sim::SimTime>(v->as_int());
+          return common::Status::success();
+        };
+        KN_TRY(read_time("window", &w.spec.qos.window));
+        KN_TRY(read_time("deadline", &w.spec.qos.deadline));
+        if (const Value* depth = qos->get("history"); depth != nullptr) {
+          if (!depth->is_int() || depth->as_int() < 0) {
+            return Error::parse("dxg: Watch " + alias +
+                                ": qos 'history' must be a non-negative "
+                                "integer");
+          }
+          w.spec.qos.history_depth = static_cast<std::size_t>(depth->as_int());
+        }
+        if (const Value* stage = qos->get("stage"); stage != nullptr) {
+          if (!stage->is_string()) {
+            return Error::parse("dxg: Watch " + alias +
+                                ": qos 'stage' must be a string");
+          }
+          w.spec.qos.stage = stage->as_string();
+        }
+      }
+      dxg.watches_.push_back(std::move(w));
+    }
+  }
   return dxg;
 }
 

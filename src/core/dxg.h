@@ -32,6 +32,7 @@
 #include "common/result.h"
 #include "common/value.h"
 #include "de/schema.h"
+#include "de/subscription.h"
 #include "expr/ast.h"
 
 namespace knactor::core {
@@ -68,6 +69,22 @@ struct DxgMapping {
   }
 };
 
+/// A per-alias `Watch:` clause: how the integrator should subscribe to the
+/// alias's store (content filter, projection, per-subscriber QoS). Maps
+/// 1:1 onto de::SubscriptionSpec; aliases without a clause get the default
+/// unfiltered subscription.
+///
+///   Watch:
+///     C:
+///       prefix: order/
+///       filter: cost > 100
+///       project: [items, address]
+///       qos: {window: 500, deadline: 2000, history: 8, stage: checkout}
+struct DxgWatch {
+  std::string alias;
+  de::SubscriptionSpec spec;
+};
+
 /// Parsed + compiled DXG.
 class Dxg {
  public:
@@ -83,6 +100,16 @@ class Dxg {
   [[nodiscard]] const std::vector<DxgMapping>& mappings() const {
     return mappings_;
   }
+  [[nodiscard]] const std::vector<DxgWatch>& watches() const {
+    return watches_;
+  }
+  /// The alias's `Watch:` clause, or nullptr (default subscription).
+  [[nodiscard]] const DxgWatch* watch_for(const std::string& alias) const {
+    for (const auto& w : watches_) {
+      if (w.alias == alias) return &w;
+    }
+    return nullptr;
+  }
 
   /// Aliases read (appear in expressions) and written (targets).
   [[nodiscard]] std::vector<std::string> read_aliases() const;
@@ -93,6 +120,7 @@ class Dxg {
  private:
   std::map<std::string, std::string> inputs_;
   std::vector<DxgMapping> mappings_;
+  std::vector<DxgWatch> watches_;
 };
 
 /// A static-analysis finding.

@@ -61,10 +61,55 @@ Status SyncIntegrator::start() {
   if (running_) return Status::success();
   running_ = true;
   if (options_.interval > 0) schedule_tick();
+  if (options_.push) install_subscriptions();
   return Status::success();
 }
 
-void SyncIntegrator::stop() { running_ = false; }
+void SyncIntegrator::stop() {
+  running_ = false;
+  remove_subscriptions();
+}
+
+void SyncIntegrator::install_subscriptions() {
+  remove_subscriptions();
+  for (const auto& route : routes_) {
+    de::SubscriptionSpec spec;
+    // Predicate push-down: the pipeline's leading `where` clause becomes
+    // the subscription's content filter, evaluated at the source pool's
+    // append point — a record it rejects never wakes the integrator.
+    if (!route.pipeline.empty() &&
+        route.pipeline.front().kind == de::LogOp::Kind::kFilter) {
+      spec.filter = route.pipeline.front().expr_text;
+    }
+    auto sub = route.source->subscribe(
+        principal(), std::move(spec), [this](const de::LogRecord&) {
+          if (!running_ || round_pending_) return;
+          // Coalesce a burst of matching appends into one round, scheduled
+          // after the current clock step so the append completes first.
+          round_pending_ = true;
+          de_.clock().schedule_after(0, [this]() {
+            round_pending_ = false;
+            if (!running_) return;
+            auto moved = run_round_sync();
+            if (!moved.ok()) {
+              KN_WARN << "sync " << name_ << ": push round failed: "
+                      << moved.error().to_string();
+            }
+          });
+        });
+    if (!sub.ok()) {
+      KN_WARN << "sync " << name_ << ": subscribe denied on pool '"
+              << route.source->name() << "': " << sub.error().to_string();
+      continue;
+    }
+    subscriptions_.emplace_back(route.source, sub.value());
+  }
+}
+
+void SyncIntegrator::remove_subscriptions() {
+  for (auto& [pool, id] : subscriptions_) pool->unsubscribe(id);
+  subscriptions_.clear();
+}
 
 Status SyncIntegrator::reconfigure(const Value& config) {
   const Value* consolidate = config.get("consolidate");

@@ -53,6 +53,13 @@ class SyncIntegrator : public Integrator {
   struct Options {
     /// Interval between sync rounds (0 = manual run_round_sync only).
     sim::SimTime interval = 0;
+    /// Push-driven rounds through the unified subscription layer
+    /// (de/subscription.h): subscribe to each route's source pool, and run
+    /// a round when a record is delivered. The subscription's content
+    /// filter is the route pipeline's leading `where` clause (predicate
+    /// push-down), so an append the pipeline would discard anyway never
+    /// schedules a round. Composes with `interval` (both can trigger).
+    bool push = false;
     /// Fuse adjacent record-local operators into a single pass.
     bool consolidate = true;
     /// Round retry: when any route fails (e.g. its DE is crashed), re-run
@@ -110,6 +117,9 @@ class SyncIntegrator : public Integrator {
                             std::uint64_t span_id);
   void schedule_tick();
   void maybe_schedule_retry();
+  /// Installs/removes the push-mode source subscriptions (one per route).
+  void install_subscriptions();
+  void remove_subscriptions();
 
  public:
   /// Number of record passes a pipeline costs: unconsolidated, one pass
@@ -127,7 +137,10 @@ class SyncIntegrator : public Integrator {
   Options options_;
   Tracer* tracer_;
   std::vector<SyncRoute> routes_;
+  /// Push-mode subscription ids, paired with the pool they live on.
+  std::vector<std::pair<de::LogPool*, std::uint64_t>> subscriptions_;
   bool running_ = false;
+  bool round_pending_ = false;  // push: one scheduled round per burst
   int round_attempt_ = 0;  // consecutive failed rounds (retry bookkeeping)
   sim::SimTime round_first_attempt_ = 0;
   sim::Rng retry_rng_{0x53594e43};

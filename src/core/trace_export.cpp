@@ -1,6 +1,7 @@
 #include "core/trace_export.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <map>
 #include <sstream>
 
@@ -124,6 +125,51 @@ std::string export_text_summary(const std::vector<Span>& spans) {
        << static_cast<sim::SimTime>(stat.mean()) << "\n";
   }
 
+  // Subscription deliveries: `sub.deliver` spans carry the subscription
+  // id, the delivered-event count, and the filter's observed selectivity;
+  // `sub.filter` spans count commits the predicate rejected. Grouping by
+  // id turns the span stream into a per-subscriber QoS report.
+  struct SubStat {
+    std::uint64_t deliveries = 0;
+    std::uint64_t events = 0;
+    std::uint64_t filtered = 0;
+    sim::SimTime total = 0;
+    std::string selectivity = "-";  // latest observed value wins
+  };
+  std::map<std::string, SubStat> subs;
+  for (const auto& span : spans) {
+    if (span.end < span.start) continue;
+    auto sit = span.attributes.find("subscription");
+    if (sit == span.attributes.end()) continue;
+    auto& stat = subs[sit->second];
+    if (span.name == "sub.filter") {
+      ++stat.filtered;
+      continue;
+    }
+    if (span.name != "sub.deliver") continue;
+    ++stat.deliveries;
+    stat.total += span.duration();
+    if (auto e = span.attributes.find("events"); e != span.attributes.end()) {
+      stat.events += std::strtoull(e->second.c_str(), nullptr, 10);
+    }
+    if (auto s = span.attributes.find("selectivity");
+        s != span.attributes.end()) {
+      stat.selectivity = s->second;
+    }
+  }
+  if (!subs.empty()) {
+    os << "subscriptions (deliveries, events, filtered, mean us, "
+          "selectivity):\n";
+    for (const auto& [id, stat] : subs) {
+      os << "  sub:" << id << "  " << stat.deliveries << "  " << stat.events
+         << "  " << stat.filtered << "  "
+         << (stat.deliveries == 0
+                 ? 0
+                 : stat.total / static_cast<sim::SimTime>(stat.deliveries))
+         << "  " << stat.selectivity << "\n";
+    }
+  }
+
   // Critical path: the heaviest nested chain under the heaviest root.
   auto children = child_index(spans);
   const Span* root = nullptr;
@@ -175,6 +221,16 @@ std::string explain(const ProvenanceRing& ring, const std::vector<Span>& spans,
     const Span& pass = *it->second;
     os << "stage latencies of " << pass.name << " (span " << pass.id;
     if (pass.end >= pass.start) os << ", " << pass.duration() << "us";
+    // A `sub.deliver` producer names the subscription and its observed
+    // filter selectivity — the delivery hop's identity, not a stage.
+    if (auto ait = pass.attributes.find("subscription");
+        ait != pass.attributes.end()) {
+      os << ", subscription " << ait->second;
+      if (auto sel = pass.attributes.find("selectivity");
+          sel != pass.attributes.end()) {
+        os << ", selectivity " << sel->second;
+      }
+    }
     os << "):\n";
     auto cit = children.find(pass.id);
     if (cit != children.end()) {

@@ -180,6 +180,55 @@ class Kernel {
   }
   std::uint64_t allocate_watch_id() { return next_watch_id_++; }
 
+  // --- subscription registry ----------------------------------------------
+  // Every watch on a DE facade is a subscription (de/subscription.h); the
+  // kernel owns the registry so tooling (knctl explain/trace, SLO gates)
+  // sees one uniform surface across facades. Counters are bumped only from
+  // serial phases (the per-op commit path, the epoch pipeline's Phase-C
+  // merge, flush/delivery callbacks) — never from shard tasks — so their
+  // values are byte-identical across shard/worker configurations.
+
+  /// One registered subscription: the contract (filter text, projection,
+  /// QoS) plus delivery accounting. `matched` counts commits that reached
+  /// the predicate (prefix + RBAC already passed), `filtered` the ones it
+  /// rejected pre-enqueue, `delivered` events actually handed to the
+  /// subscriber, `dropped` QoS history evictions + unsubscribe drops.
+  struct SubscriptionInfo {
+    std::uint64_t id = 0;
+    std::string store;
+    std::string principal;
+    std::string filter;        // predicate source text ("" = match-all)
+    bool projected = false;
+    bool batched = false;
+    sim::SimTime deadline = 0; // QoS latency budget (0 = none)
+    std::string stage;         // SLO stage label on delivery spans
+    std::uint64_t matched = 0;
+    std::uint64_t filtered = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped = 0;
+    /// Fraction of evaluated commits the predicate let through.
+    [[nodiscard]] double selectivity() const {
+      if (matched == 0) return 1.0;
+      return static_cast<double>(matched - filtered) /
+             static_cast<double>(matched);
+    }
+  };
+
+  SubscriptionInfo& register_subscription(std::uint64_t id) {
+    SubscriptionInfo& info = subscriptions_[id];
+    info.id = id;
+    return info;
+  }
+  void unregister_subscription(std::uint64_t id) { subscriptions_.erase(id); }
+  [[nodiscard]] SubscriptionInfo* find_subscription(std::uint64_t id) {
+    auto it = subscriptions_.find(id);
+    return it == subscriptions_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] const std::map<std::uint64_t, SubscriptionInfo>&
+  subscriptions() const {
+    return subscriptions_;
+  }
+
   // --- epoch sequencing (per-shard commit-seq domains) --------------------
   // The epoch pipeline pre-assigns stamps: one serial reservation up front
   // replaces one shared-counter bump per commit, and each op's stamp is a
@@ -376,6 +425,7 @@ class Kernel {
   std::uint64_t next_revision_ = 1;
   std::uint64_t commit_seq_ = 1;  // pre-increment preserves legacy stamps
   std::uint64_t next_watch_id_ = 1;
+  std::map<std::uint64_t, SubscriptionInfo> subscriptions_;
   core::TraceContext trace_ctx_;
   core::ProvenanceRing provenance_;
   bool audit_enabled_ = false;

@@ -140,6 +140,7 @@ void LogPool::append(const std::string& principal, Value record,
         rec.ingested_at = de_.clock().now();
         rec.data = std::make_shared<const Value>(std::move(record));
         records_.push_back(std::move(rec));
+        notify_subscribers(records_.back());
         done(records_.back().seq);
       });
 }
@@ -183,6 +184,7 @@ void LogPool::append_batch_shared(const std::string& principal,
           rec.data = record.share();  // zero-copy: store the handle
           last = rec.seq;
           records_.push_back(std::move(rec));
+          notify_subscribers(records_.back());
         }
         done(last);
       });
@@ -306,6 +308,59 @@ Result<std::vector<common::CowValue>> LogPool::query_shared_sync(
                });
   de_.run_sync([&] { return result.has_value(); });
   return std::move(*result);
+}
+
+Result<std::uint64_t> LogPool::subscribe(const std::string& principal,
+                                         SubscriptionSpec spec,
+                                         RecordCallback callback) {
+  Decision d = de_.kernel_.check_access(principal, name_, "", Verb::kList);
+  if (!d.allowed) {
+    ++de_.stats_.permission_denials;
+    return Error::permission_denied("log: " + principal +
+                                    " cannot subscribe to " + name_);
+  }
+  auto compiled = CompiledSubscription::compile(std::move(spec));
+  if (!compiled.ok()) return compiled.error();
+  std::uint64_t id = de_.kernel_.allocate_watch_id();
+  auto sub = compiled.take();
+  Kernel::SubscriptionInfo& info = de_.kernel_.register_subscription(id);
+  info.store = name_;
+  info.principal = principal;
+  info.filter = sub->spec().filter;
+  info.projected = sub->projected();
+  info.batched = false;
+  info.deadline = sub->qos().deadline;
+  info.stage = sub->qos().stage_or_default();
+  subscribers_.push_back(
+      Subscriber{id, principal, std::move(sub), std::move(callback)});
+  return id;
+}
+
+void LogPool::unsubscribe(std::uint64_t id) {
+  std::erase_if(subscribers_, [id](const auto& s) { return s.id == id; });
+  de_.kernel_.unregister_subscription(id);
+}
+
+void LogPool::notify_subscribers(const LogRecord& rec) {
+  for (auto& s : subscribers_) {
+    Kernel::SubscriptionInfo* info = de_.kernel_.find_subscription(s.id);
+    if (info != nullptr) ++info->matched;
+    common::SharedValue payload = rec.data;
+    if (s.sub->active()) {
+      auto out = s.sub->apply(rec.data);
+      if (!out.has_value()) {
+        ++de_.stats_.records_filtered;
+        if (info != nullptr) ++info->filtered;
+        continue;
+      }
+      payload = std::move(*out);
+    }
+    if (info != nullptr) ++info->delivered;
+    ++de_.stats_.sub_deliveries;
+    LogRecord delivered = rec;
+    delivered.data = std::move(payload);
+    s.callback(delivered);
+  }
 }
 
 std::size_t LogPool::compact(std::uint64_t up_to) {

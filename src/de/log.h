@@ -21,6 +21,7 @@
 #include "common/value.h"
 #include "de/kernel.h"
 #include "de/rbac.h"
+#include "de/subscription.h"
 #include "expr/ast.h"
 #include "expr/eval.h"
 #include "sim/clock.h"
@@ -100,6 +101,9 @@ struct LogDeStats {
   std::uint64_t records_scan_saved = 0;  // skipped via head/tail push-down
   std::uint64_t permission_denials = 0;
   std::uint64_t unavailable_rejections = 0;  // ops failed while crashed
+  /// Appends a subscription's filter rejected pre-delivery / delivered.
+  std::uint64_t records_filtered = 0;
+  std::uint64_t sub_deliveries = 0;
   /// Batch-size distributions on the hot path (export via
   /// SizeHistogram::export_counters, e.g. into core::Metrics).
   common::SizeHistogram append_batch_sizes;
@@ -157,6 +161,22 @@ class LogPool {
       const std::string& principal, const LogQuery& q,
       std::uint64_t after_seq = 0);
 
+  /// Per-delivered-record callback for subscriptions. The record's payload
+  /// is the subscription's projected view (shared handle when the
+  /// projection is a pass-through).
+  using RecordCallback = std::function<void(const LogRecord&)>;
+  /// The Log facade's face of the unified subscription layer
+  /// (de/subscription.h): the compiled filter+projection runs once per
+  /// appended record, pre-delivery, and the kernel's subscription registry
+  /// tracks matched/filtered/delivered counts. `spec.prefix` is unused —
+  /// the pool itself is the scope. Fails on RBAC denial (List on the
+  /// pool) or a filter that does not parse.
+  common::Result<std::uint64_t> subscribe(const std::string& principal,
+                                          SubscriptionSpec spec,
+                                          RecordCallback callback);
+  /// Removes a subscription and its registry entry. Unknown ids no-op.
+  void unsubscribe(std::uint64_t id);
+
   /// Highest sequence number in the pool (cursor for consumers).
   [[nodiscard]] std::uint64_t latest_seq() const {
     return records_.empty() ? 0 : records_.back().seq;
@@ -191,9 +211,21 @@ class LogPool {
   friend class LogDe;
   LogPool(LogDe& de, std::string name) : de_(de), name_(std::move(name)) {}
 
+  struct Subscriber {
+    std::uint64_t id = 0;
+    std::string principal;
+    std::shared_ptr<const CompiledSubscription> sub;
+    RecordCallback callback;
+  };
+
+  /// Runs every subscriber's compiled pass over one freshly appended
+  /// record, at the append's commit point (serial, main loop).
+  void notify_subscribers(const LogRecord& rec);
+
   LogDe& de_;
   std::string name_;
   std::deque<LogRecord> records_;
+  std::vector<Subscriber> subscribers_;
 };
 
 /// Executes a query pipeline over a batch of records (shared by LogPool

@@ -1,6 +1,7 @@
 #include "de/object.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/json.h"
 #include "common/logging.h"
@@ -269,52 +270,92 @@ std::vector<Result<std::uint64_t>> ObjectStore::put_epoch_sync(
   return std::move(*results);
 }
 
+Result<std::uint64_t> ObjectStore::subscribe(const std::string& principal,
+                                             SubscriptionSpec spec,
+                                             WatchCallback callback) {
+  Decision d = de_.check_access(principal, name_, spec.prefix, Verb::kWatch);
+  if (!d.allowed) {
+    ++de_.stats_.permission_denials;
+    return Error::permission_denied("object: " + principal +
+                                    " cannot watch " + name_ + "/" +
+                                    spec.prefix);
+  }
+  auto compiled = CompiledSubscription::compile(std::move(spec));
+  if (!compiled.ok()) return compiled.error();
+  return de_.add_subscription(*this, principal, compiled.take(),
+                              std::move(callback), nullptr);
+}
+
+Result<std::uint64_t> ObjectStore::subscribe_batch(
+    const std::string& principal, SubscriptionSpec spec,
+    WatchBatchCallback callback) {
+  Decision d = de_.check_access(principal, name_, spec.prefix, Verb::kWatch);
+  if (!d.allowed) {
+    ++de_.stats_.permission_denials;
+    return Error::permission_denied("object: " + principal +
+                                    " cannot watch " + name_ + "/" +
+                                    spec.prefix);
+  }
+  auto compiled = CompiledSubscription::compile(std::move(spec));
+  if (!compiled.ok()) return compiled.error();
+  return de_.add_subscription(*this, principal, compiled.take(), nullptr,
+                              std::move(callback));
+}
+
 std::uint64_t ObjectStore::watch(const std::string& principal,
                                  const std::string& prefix,
                                  WatchCallback callback) {
-  Decision d =
-      de_.check_access(principal, name_, prefix, Verb::kWatch);
-  if (!d.allowed) {
-    ++de_.stats_.permission_denials;
-    return 0;
-  }
-  std::uint64_t id = de_.kernel_.allocate_watch_id();
-  ObjectDe::Watch w;
-  w.id = id;
-  w.store = name_;
-  w.prefix = prefix;
-  w.principal = principal;
-  w.callback = std::move(callback);
-  de_.watches_.push_back(std::move(w));
-  return id;
+  SubscriptionSpec spec;
+  spec.prefix = prefix;
+  auto sub = subscribe(principal, std::move(spec), std::move(callback));
+  return sub.ok() ? sub.value() : 0;
 }
 
 std::uint64_t ObjectStore::watch_batch(const std::string& principal,
                                        const std::string& prefix,
                                        sim::SimTime window,
                                        WatchBatchCallback callback) {
-  Decision d = de_.check_access(principal, name_, prefix, Verb::kWatch);
-  if (!d.allowed) {
-    ++de_.stats_.permission_denials;
-    return 0;
+  SubscriptionSpec spec;
+  spec.prefix = prefix;
+  spec.qos.window = window;
+  auto sub = subscribe_batch(principal, std::move(spec), std::move(callback));
+  return sub.ok() ? sub.value() : 0;
+}
+
+void ObjectStore::unsubscribe(std::uint64_t watch_id, bool drain) {
+  auto it = de_.watch_buffers_.find(watch_id);
+  if (it != de_.watch_buffers_.end()) {
+    std::size_t pending = 0;
+    for (const auto& queue : it->second.shards) pending += queue.events.size();
+    if (pending > 0) {
+      if (drain) {
+        // Deliver the half-open window now, synchronously, before the watch
+        // goes away — same shard sort + cross-shard merge a scheduled flush
+        // runs (flush_watch_batch erases the buffer itself).
+        de_.flush_watch_batch(watch_id);
+      } else {
+        de_.stats_.watch_events_dropped += pending;
+        if (auto* info = de_.kernel_.find_subscription(watch_id)) {
+          info->dropped += pending;
+        }
+        if (it->second.span_id != 0 && de_.tracer_ != nullptr) {
+          de_.tracer_->annotate(it->second.span_id, "dropped",
+                                std::to_string(pending));
+          de_.tracer_->end(it->second.span_id);
+        }
+      }
+    }
   }
-  std::uint64_t id = de_.kernel_.allocate_watch_id();
-  ObjectDe::Watch w;
-  w.id = id;
-  w.store = name_;
-  w.prefix = prefix;
-  w.principal = principal;
-  w.batch_callback = std::move(callback);
-  w.window = window;
-  w.batched = true;
-  de_.watches_.push_back(std::move(w));
-  return id;
+  std::erase_if(de_.watches_,
+                [watch_id](const auto& w) { return w.id == watch_id; });
+  // A flush scheduled for a window we just drained or dropped finds no
+  // buffer and no-ops — never a dangling coalesce slot, deterministically.
+  de_.watch_buffers_.erase(watch_id);
+  de_.kernel_.unregister_subscription(watch_id);
 }
 
 void ObjectStore::unwatch(std::uint64_t watch_id) {
-  std::erase_if(de_.watches_,
-                [watch_id](const auto& w) { return w.id == watch_id; });
-  de_.watch_buffers_.erase(watch_id);
+  unsubscribe(watch_id, /*drain=*/false);
 }
 
 // Synchronous wrappers.
@@ -1201,6 +1242,19 @@ std::vector<Result<std::uint64_t>> ObjectDe::commit_epoch(
       Decision wd = kernel_.check_access_buffered(
           watch.principal, store.name_, key, Verb::kWatch, now, &op.audit);
       if (!wd.allowed) continue;
+      // Subscription content filter + projection: apply() is pure, so it
+      // runs right here in the shard task. Accounting is staged on the op
+      // (shard-local) and folded in Phase C, like every other counter.
+      common::SharedValue payload = op.obj.data;
+      if (watch.sub != nullptr && watch.sub->active()) {
+        op.sub_matched.push_back(static_cast<std::uint32_t>(widx));
+        auto projected = watch.sub->apply(op.obj.data);
+        if (!projected.has_value()) {
+          op.sub_filtered.push_back(static_cast<std::uint32_t>(widx));
+          continue;  // rejected pre-enqueue: no slot, no RBAC filter, no hit
+        }
+        payload = std::move(*projected);
+      }
       const int bt = batch_target_of[widx];
       if (bt >= 0) {
         BatchTarget& target = batch_targets[static_cast<std::size_t>(bt)];
@@ -1208,6 +1262,7 @@ std::vector<Result<std::uint64_t>> ObjectDe::commit_epoch(
         event.type = op.type;
         event.store = store.name_;
         event.object = op.obj;
+        event.object.data = payload;
         event.ctx = op.ctx;
         ++target.commits[shard];
         if (coalesce_into(target.buffer->shards[shard], std::move(event),
@@ -1222,10 +1277,12 @@ std::vector<Result<std::uint64_t>> ObjectDe::commit_epoch(
       if (watch.batched) {
         hit.batched = true;
         hit.fields = wd.fields;
+        hit.payload = std::move(payload);
       } else {
         hit.event.type = op.type;
         hit.event.store = store.name_;
         hit.event.object = op.obj;
+        hit.event.object.data = std::move(payload);
         hit.event.ctx = op.ctx;
         if (!wd.fields.unrestricted() && hit.event.object.data) {
           hit.event.object.data = std::make_shared<const Value>(
@@ -1358,6 +1415,7 @@ std::vector<Result<std::uint64_t>> ObjectDe::commit_epoch(
     if (!buf.flush_scheduled) {
       buf.flush_scheduled = true;
       Watch& w = watches_[target.watch_index];
+      begin_batch_span(w, buf);
       sim::SimTime delay =
           w.window + profile_.watch_notify.sample(kernel_.rng());
       std::uint64_t id = w.id;
@@ -1384,13 +1442,30 @@ std::vector<Result<std::uint64_t>> ObjectDe::commit_epoch(
     }
     if (op.has_lineage) kernel_.provenance().record(std::move(op.lineage));
     if (op.has_wal) wal_.push_back(std::move(op.wal));
+    // Fold the shard-staged subscription accounting in global op order, and
+    // emit the `sub.filter` spans here on the main loop — span count and
+    // order stay independent of the shard/worker configuration.
+    for (std::uint32_t widx : op.sub_matched) {
+      if (auto* info = kernel_.find_subscription(watches_[widx].id)) {
+        ++info->matched;
+      }
+    }
+    stats_.watch_events_filtered += op.sub_filtered.size();
+    for (std::uint32_t widx : op.sub_filtered) {
+      const Watch& w = watches_[widx];
+      if (auto* info = kernel_.find_subscription(w.id)) ++info->filtered;
+      note_filtered(w, op.obj.key);
+    }
     for (EpochOp::WatchHit& hit : op.hits) {
       Watch& watch = watches_[hit.watch_index];
       if (hit.batched) {
         Decision d;
         d.allowed = true;
         d.fields = hit.fields;
-        enqueue_batched(watch, op.type, op.obj, d, op.ctx.commit_seq, op.ctx);
+        StateObject delivered = op.obj;
+        delivered.data = std::move(hit.payload);
+        enqueue_batched(watch, op.type, delivered, d, op.ctx.commit_seq,
+                        op.ctx);
       } else {
         schedule_event_delivery(watch, std::move(hit.event));
       }
@@ -1421,14 +1496,34 @@ void ObjectDe::fire_watches(const std::string& store_name, WatchEventType type,
     if (!common::starts_with(obj.key, w.prefix)) continue;
     Decision d = check_access(w.principal, store_name, obj.key, Verb::kWatch);
     if (!d.allowed) continue;
+    // Subscription content filter + projection, evaluated before any queue
+    // slot or RBAC field filter is spent on the event.
+    const StateObject* deliver = &obj;
+    StateObject projected;
+    if (w.sub != nullptr && w.sub->active()) {
+      Kernel::SubscriptionInfo* info = kernel_.find_subscription(w.id);
+      if (info != nullptr) ++info->matched;
+      auto out = w.sub->apply(obj.data);
+      if (!out.has_value()) {
+        ++stats_.watch_events_filtered;
+        if (info != nullptr) ++info->filtered;
+        note_filtered(w, obj.key);
+        continue;
+      }
+      if (out->get() != obj.data.get()) {
+        projected = obj;
+        projected.data = std::move(*out);
+        deliver = &projected;
+      }
+    }
     if (w.batched) {
-      enqueue_batched(w, type, obj, d, seq, ctx);
+      enqueue_batched(w, type, *deliver, d, seq, ctx);
       continue;
     }
     WatchEvent event;
     event.type = type;
     event.store = store_name;
-    event.object = obj;
+    event.object = *deliver;
     event.ctx = ctx;
     if (!d.fields.unrestricted() && event.object.data) {
       event.object.data = std::make_shared<const Value>(
@@ -1438,19 +1533,120 @@ void ObjectDe::fire_watches(const std::string& store_name, WatchEventType type,
   }
 }
 
+std::uint64_t ObjectDe::add_subscription(
+    ObjectStore& store, const std::string& principal,
+    std::shared_ptr<const CompiledSubscription> sub,
+    ObjectStore::WatchCallback callback,
+    ObjectStore::WatchBatchCallback batch_callback) {
+  std::uint64_t id = kernel_.allocate_watch_id();
+  Watch w;
+  w.id = id;
+  w.store = store.name_;
+  w.prefix = sub->spec().prefix;
+  w.principal = principal;
+  w.window = sub->qos().window;
+  w.batched = batch_callback != nullptr;
+  w.callback = std::move(callback);
+  w.batch_callback = std::move(batch_callback);
+  Kernel::SubscriptionInfo& info = kernel_.register_subscription(id);
+  info.store = w.store;
+  info.principal = principal;
+  info.filter = sub->spec().filter;
+  info.projected = sub->projected();
+  info.batched = w.batched;
+  info.deadline = sub->qos().deadline;
+  info.stage = sub->qos().stage_or_default();
+  w.sub = std::move(sub);
+  watches_.push_back(std::move(w));
+  return id;
+}
+
+void ObjectDe::note_filtered(const Watch& w, const std::string& key) {
+  // No "stage" attribute on purpose: a filter rejection is not a latency
+  // sample, so it must not feed `stage:` SLO selectors (de/kernel SLOs
+  // aggregate any span carrying the attribute).
+  if (tracer_ == nullptr) return;
+  core::ScopedSpan span(tracer_, "sub.filter");
+  span.annotate("subscription", std::to_string(w.id));
+  span.annotate("store", w.store);
+  span.annotate("key", key);
+}
+
+void ObjectDe::begin_batch_span(const Watch& w, WatchBuffer& buf) {
+  if (tracer_ == nullptr || w.sub == nullptr || !w.sub->active()) return;
+  if (buf.span_id != 0) return;
+  buf.span_id = tracer_->begin("sub.deliver");
+  tracer_->annotate(buf.span_id, "subscription", std::to_string(w.id));
+  tracer_->annotate(buf.span_id, "stage", w.sub->qos().stage_or_default());
+  if (w.sub->qos().deadline > 0) {
+    tracer_->annotate(buf.span_id, "deadline",
+                      std::to_string(w.sub->qos().deadline));
+  }
+}
+
+void ObjectDe::finish_subscription_delivery(const Watch& w,
+                                            std::uint64_t span_id,
+                                            std::uint64_t events,
+                                            const WatchEvent* sample) {
+  if (w.sub == nullptr || !w.sub->active()) return;
+  Kernel::SubscriptionInfo* info = kernel_.find_subscription(w.id);
+  if (info != nullptr) info->delivered += events;
+  if (span_id != 0 && tracer_ != nullptr) {
+    if (info != nullptr) {
+      char sel[32];
+      std::snprintf(sel, sizeof sel, "%.4f", info->selectivity());
+      tracer_->annotate(span_id, "selectivity", sel);
+    }
+    tracer_->annotate(span_id, "events", std::to_string(events));
+    tracer_->end(span_id);
+  }
+  // One lineage record per delivery naming the subscription: `knctl
+  // explain` walks from the delivered object back through `sub:<id>` to
+  // the committing stage.
+  if (kernel_.provenance().enabled() && sample != nullptr) {
+    core::LineageRecord rec;
+    rec.output = {sample->store, sample->object.key, sample->object.version,
+                  sample->object.data};
+    rec.op = "sub:" + std::to_string(w.id);
+    rec.stage = w.sub->qos().stage_or_default();
+    rec.trace_id = sample->ctx.trace_id;
+    rec.span_id = span_id;
+    rec.time = clock().now();
+    kernel_.provenance().record(std::move(rec));
+  }
+}
+
 void ObjectDe::schedule_event_delivery(const Watch& w, WatchEvent event) {
   sim::SimTime delay = profile_.watch_notify.sample(kernel_.rng());
   auto callback = w.callback;
   std::uint64_t id = w.id;
-  clock().schedule_after(delay, [this, callback, event = std::move(event),
-                                 id]() {
+  // Active subscriptions get a `sub.deliver` span opened here — the
+  // commit's serial moment — and closed at delivery, so its duration is
+  // the notify latency the QoS deadline budgets for.
+  std::uint64_t span_id = 0;
+  if (w.sub != nullptr && w.sub->active() && tracer_ != nullptr) {
+    span_id = tracer_->begin("sub.deliver");
+    tracer_->annotate(span_id, "subscription", std::to_string(id));
+    tracer_->annotate(span_id, "stage", w.sub->qos().stage_or_default());
+    if (w.sub->qos().deadline > 0) {
+      tracer_->annotate(span_id, "deadline",
+                        std::to_string(w.sub->qos().deadline));
+    }
+  }
+  clock().schedule_after(delay, [this, callback, event = std::move(event), id,
+                                 span_id]() {
     // The watch may have been cancelled while the event was in flight.
     for (const auto& live : watches_) {
       if (live.id == id) {
         ++stats_.watch_events;
+        finish_subscription_delivery(live, span_id, 1, &event);
         callback(event);
         return;
       }
+    }
+    if (span_id != 0 && tracer_ != nullptr) {
+      tracer_->annotate(span_id, "cancelled", "true");
+      tracer_->end(span_id);
     }
   });
 }
@@ -1515,6 +1711,7 @@ void ObjectDe::enqueue_batched(Watch& w, WatchEventType type,
   }
   if (!buf.flush_scheduled) {
     buf.flush_scheduled = true;
+    begin_batch_span(w, buf);
     sim::SimTime delay = w.window + profile_.watch_notify.sample(kernel_.rng());
     std::uint64_t id = w.id;
     clock().schedule_after(delay, [this, id]() { flush_watch_batch(id); });
@@ -1535,7 +1732,13 @@ void ObjectDe::flush_watch_batch(std::uint64_t watch_id) {
   }
   std::size_t total = 0;
   for (const auto& queue : buf.shards) total += queue.events.size();
-  if (live == nullptr || total == 0) return;
+  if (live == nullptr || total == 0) {
+    if (buf.span_id != 0 && tracer_ != nullptr) {
+      tracer_->annotate(buf.span_id, "cancelled", "true");
+      tracer_->end(buf.span_id);
+    }
+    return;
+  }
 
   // Revision-window barrier: each shard's commit queue sorts itself by
   // DE-wide commit seq and applies RBAC field filtering — pure shard-local
@@ -1582,9 +1785,27 @@ void ObjectDe::flush_watch_batch(std::uint64_t watch_id) {
     batch.events.push_back(
         std::move(buf.shards[best].events[cursor[best]++].event));
   }
+  // QoS HISTORY KEEP_LAST: drop the oldest slots past the subscriber's
+  // depth, after the merge so "newest N" is exact across shards.
+  if (live->sub != nullptr) {
+    const std::size_t depth = live->sub->qos().history_depth;
+    if (depth > 0 && batch.events.size() > depth) {
+      const std::size_t dropped = batch.events.size() - depth;
+      batch.events.erase(
+          batch.events.begin(),
+          batch.events.begin() + static_cast<std::ptrdiff_t>(dropped));
+      stats_.watch_events_dropped += dropped;
+      if (auto* info = kernel_.find_subscription(watch_id)) {
+        info->dropped += dropped;
+      }
+    }
+  }
   ++stats_.watch_batches;
   stats_.watch_events += batch.events.size();
   stats_.watch_batch_sizes.add(batch.events.size());
+  finish_subscription_delivery(*live, buf.span_id, batch.events.size(),
+                               batch.events.empty() ? nullptr
+                                                    : &batch.events.back());
   auto callback = live->batch_callback;  // copy: callback may unwatch
   callback(batch);
 }

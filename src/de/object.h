@@ -35,6 +35,7 @@
 #include "de/kernel.h"
 #include "de/profile.h"
 #include "de/rbac.h"
+#include "de/subscription.h"
 #include "sim/clock.h"
 #include "sim/random.h"
 
@@ -98,6 +99,12 @@ struct ObjectDeStats {
   std::uint64_t unavailable_rejections = 0;  // ops failed while crashed
   std::uint64_t watch_batches = 0;           // coalesced deliveries
   std::uint64_t watch_events_coalesced = 0;  // commits folded into a slot
+  /// Commits a subscription's content filter rejected pre-enqueue (the
+  /// record never cost a queue slot or a delivery).
+  std::uint64_t watch_events_filtered = 0;
+  /// Buffered events discarded deterministically: QoS history-depth
+  /// evictions at flush plus pending slots dropped by unsubscribe.
+  std::uint64_t watch_events_dropped = 0;
   /// Events per delivered WatchBatch (batching effectiveness on the hot
   /// path; export via SizeHistogram::export_counters).
   common::SizeHistogram watch_batch_sizes;
@@ -176,14 +183,42 @@ class ObjectStore {
   std::vector<common::Result<std::uint64_t>> put_epoch_sync(
       const std::string& principal, std::vector<EpochWrite> writes);
 
-  /// Registers a watch on a key prefix. Events are delivered after the
-  /// profile's watch-notify latency. Returns a watch id (0 on permission
-  /// denial). RBAC field filtering applies to delivered objects.
+  /// Registers a subscription: prefix + optional content filter +
+  /// projection (compiled once through the fused query planner) + QoS,
+  /// delivering one event per matching commit. This is the unified watch
+  /// surface — `watch` and `watch_batch` are thin wrappers over it — and
+  /// every subscription is registered with the kernel's subscription
+  /// registry (id, contract, match/filter/delivery accounting). Fails on
+  /// permission denial or an unparsable filter. The filter runs *before*
+  /// enqueue — per shard inside the epoch pipeline's parallel phase — so a
+  /// rejected commit never costs a queue slot; the projection rewrites the
+  /// delivered payload (RBAC field filtering still applies afterwards).
+  common::Result<std::uint64_t> subscribe(const std::string& principal,
+                                          SubscriptionSpec spec,
+                                          WatchCallback callback);
+  /// Batched subscription: events coalesce for qos.window (virtual time)
+  /// after the first matching commit and arrive as one WatchBatch. QoS
+  /// history_depth caps each delivered batch to the newest N slots
+  /// (deterministic drops, counted in watch_events_dropped).
+  common::Result<std::uint64_t> subscribe_batch(const std::string& principal,
+                                                SubscriptionSpec spec,
+                                                WatchBatchCallback callback);
+  /// Removes a subscription. A pending coalescing buffer is resolved
+  /// deterministically: drain=true delivers it to the callback immediately
+  /// (one final batch, same order a flush would have produced), drain=false
+  /// drops it and counts the slots in watch_events_dropped. Either way no
+  /// dangling coalesce slot survives the unsubscribe.
+  void unsubscribe(std::uint64_t watch_id, bool drain);
+
+  /// Registers a watch on a key prefix (an unfiltered subscription).
+  /// Events are delivered after the profile's watch-notify latency.
+  /// Returns a watch id (0 on permission denial). RBAC field filtering
+  /// applies to delivered objects.
   std::uint64_t watch(const std::string& principal, const std::string& prefix,
                       WatchCallback callback);
   /// Coalesced watch: instead of one delivery per commit, events buffer
   /// for `window` (virtual time) after the first commit and arrive as a
-  /// single WatchBatch. Within a window, successive events for the same
+  /// single WatchBatch. Within a window, successive updates to the same
   /// key coalesce into that key's slot (modify-after-add stays added;
   /// delete always survives), and the flush emits slots ordered by each
   /// key's *latest* commit — a delete that followed a modify is never
@@ -192,6 +227,7 @@ class ObjectStore {
   std::uint64_t watch_batch(const std::string& principal,
                             const std::string& prefix, sim::SimTime window,
                             WatchBatchCallback callback);
+  /// Equivalent to unsubscribe(watch_id, /*drain=*/false).
   void unwatch(std::uint64_t watch_id);
 
   // Synchronous wrappers (drive the clock until the callback fires).
@@ -435,6 +471,10 @@ class ObjectDe {
     ObjectStore::WatchBatchCallback batch_callback;
     sim::SimTime window = 0;
     bool batched = false;
+    /// The subscription contract (always set; pass-through when the spec
+    /// had no filter/projection). Immutable and thread-safe: Phase-B shard
+    /// tasks call sub->apply() concurrently.
+    std::shared_ptr<const CompiledSubscription> sub;
   };
 
   /// Per-watch coalescing buffer for batched watches, partitioned into
@@ -465,6 +505,11 @@ class ObjectDe {
     std::vector<ShardQueue> shards;
     std::uint64_t commits = 0;
     bool flush_scheduled = false;
+    /// Open `sub.deliver` span for the pending window (active
+    /// subscriptions only): begun when the flush is scheduled, ended at
+    /// flush — its duration is the coalescing window + notify latency the
+    /// QoS deadline budgets for. 0 = none.
+    std::uint64_t span_id = 0;
   };
 
   struct Trigger {
@@ -520,8 +565,17 @@ class ObjectDe {
       bool batched = false;
       FieldRule fields;        // batched: RBAC filter applied at flush
       WatchEvent event;        // per-event mode: RBAC-filtered, ready to ship
+      /// Batched fallback path: the (possibly projected) payload to
+      /// enqueue at merge time.
+      common::SharedValue payload;
     };
     std::vector<WatchHit> hits;
+    /// Subscription-filter accounting, staged shard-locally and folded in
+    /// the serial merge (watch indices whose predicate evaluated /
+    /// rejected this commit) — counters stay byte-identical across
+    /// shard/worker configurations.
+    std::vector<std::uint32_t> sub_matched;
+    std::vector<std::uint32_t> sub_filtered;
     enum class Fail { kNone, kDenied, kInvalid, kConflict, kNotFound };
     Fail fail = Fail::kNone;
     common::Error error;
@@ -531,6 +585,28 @@ class ObjectDe {
   std::vector<common::Result<std::uint64_t>> commit_epoch(
       ObjectStore& store, const std::string& principal,
       const core::TraceContext& client_ctx, std::vector<EpochWrite> writes);
+
+  /// Installs one subscription (the single watch-registration path behind
+  /// subscribe/subscribe_batch and the legacy wrappers): allocates the id,
+  /// registers the contract with the kernel's subscription registry, and
+  /// appends the Watch. Exactly one of the callbacks is set.
+  std::uint64_t add_subscription(
+      ObjectStore& store, const std::string& principal,
+      std::shared_ptr<const CompiledSubscription> sub,
+      ObjectStore::WatchCallback callback,
+      ObjectStore::WatchBatchCallback batch_callback);
+  /// Emits one `sub.filter` span for a commit a subscription's predicate
+  /// rejected. Serial-phase only (per-op path, epoch Phase-C fold).
+  void note_filtered(const Watch& w, const std::string& key);
+  /// Opens the pending window's `sub.deliver` span when a batched
+  /// subscription's flush gets scheduled (active subscriptions only).
+  void begin_batch_span(const Watch& w, WatchBuffer& buf);
+  /// Delivery-side subscription bookkeeping shared by the per-event and
+  /// batched paths: registry delivered count, span close with id +
+  /// selectivity, and a lineage record naming the subscription.
+  void finish_subscription_delivery(const Watch& w, std::uint64_t span_id,
+                                    std::uint64_t events,
+                                    const WatchEvent* sample);
 
   void fire_watches(const std::string& store_name, WatchEventType type,
                     const StateObject& obj);

@@ -1,0 +1,52 @@
+#include "de/subscription.h"
+
+#include <utility>
+
+#include "common/cow.h"
+#include "de/log.h"
+#include "de/plan.h"
+
+namespace knactor::de {
+
+common::Result<std::shared_ptr<const CompiledSubscription>>
+CompiledSubscription::compile(SubscriptionSpec spec) {
+  auto sub = std::shared_ptr<CompiledSubscription>(new CompiledSubscription());
+  LogQuery pipeline;
+  if (!spec.filter.empty()) {
+    auto filter = LogOp::filter(spec.filter);
+    if (!filter.ok()) {
+      return common::Error::invalid_argument(
+          "subscription: bad filter '" + spec.filter + "': " +
+          filter.error().to_string());
+    }
+    pipeline.push_back(filter.take());
+    sub->has_filter_ = true;
+  }
+  if (!spec.project.empty()) {
+    pipeline.push_back(LogOp::project(spec.project));
+    sub->has_project_ = true;
+  }
+  sub->spec_ = std::move(spec);
+  // Filter + project are both record-local, so the planner fuses them into
+  // a single stage: one pass per commit, however many clauses the spec had.
+  if (!pipeline.empty()) {
+    sub->plan_ = std::make_shared<const QueryPlan>(plan_query(pipeline));
+  }
+  return std::shared_ptr<const CompiledSubscription>(std::move(sub));
+}
+
+std::optional<common::SharedValue> CompiledSubscription::apply(
+    const common::SharedValue& payload) const {
+  if (!active()) return payload;
+  std::vector<common::CowValue> records;
+  records.emplace_back(payload ? payload
+                               : std::make_shared<const common::Value>());
+  auto out = run_plan(*plan_, std::move(records));
+  if (!out.ok() || out.value().empty()) return std::nullopt;
+  // share() hands back the borrowed buffer when the pass never mutated the
+  // record (filter-only subscriptions deliver the committed payload
+  // zero-copy); a projection clones exactly once.
+  return out.value().front().share();
+}
+
+}  // namespace knactor::de

@@ -1,0 +1,107 @@
+// Unified subscription layer (ROADMAP item 2, CycloneDDS-style data-centric
+// delivery): every watch on a data exchange is a *subscription* — a key
+// prefix, an optional content filter (`expr::` predicate) plus projection,
+// and a per-subscriber QoS contract. Filter and projection are compiled
+// ONCE, through the same fused query planner that consolidates Log
+// pipelines (de/plan.h), into a single per-record pass; the exchange
+// evaluates that pass *before* enqueueing a delivery, so a commit that a
+// subscriber did not ask for never costs a queue slot, an RBAC field
+// filter, or a callback.
+//
+// Thread-safety / determinism contract: a compiled subscription is
+// immutable and `apply()` is a pure function of the payload (no RNG, no
+// clock, no shared counters), so the epoch pipeline's Phase-B shard tasks
+// evaluate it concurrently per shard. Match/filter accounting is staged
+// per op and folded in the serial merge, which keeps N-shard/M-worker runs
+// byte-identical to the serial oracle (see docs/SUBSCRIPTIONS.md).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "sim/clock.h"
+
+namespace knactor::de {
+
+// The compiled form holds a fused de::QueryPlan (de/plan.h); kept opaque
+// here so both facade headers (object.h, log.h) can include this one
+// without an include cycle through the Log query surface.
+struct QueryPlan;
+
+/// Per-subscriber delivery contract. All knobs are optional; the zero
+/// value means "the legacy watch behavior".
+struct SubscriptionQos {
+  /// Keep only the newest N coalesced slots per delivered batch (0 =
+  /// unbounded). Older slots are dropped at flush and counted in
+  /// `watch_events_dropped` — the DDS HISTORY KEEP_LAST analog.
+  std::size_t history_depth = 0;
+  /// Coalescing window for batched delivery (virtual time; 0 = one batch
+  /// per commit). Maps onto the watch-batch revision window.
+  sim::SimTime window = 0;
+  /// Delivery latency budget (virtual time; 0 = none). Annotated on
+  /// `sub.deliver` spans so an SLO with a `stage:` selector on this
+  /// subscription's stage can gate against it.
+  sim::SimTime deadline = 0;
+  /// Stage label stamped on delivery spans (defaults to "sub"); the SLO
+  /// engine's `stage:<label>` selectors aggregate on it.
+  std::string stage;
+
+  [[nodiscard]] const std::string& stage_or_default() const {
+    static const std::string kDefault = "sub";
+    return stage.empty() ? kDefault : stage;
+  }
+};
+
+/// What a subscriber asks for: which keys (prefix), which records of those
+/// keys (filter), which fields of those records (project), and how
+/// delivery should behave (qos).
+struct SubscriptionSpec {
+  std::string prefix;
+  /// `expr::` predicate over the committed payload ("" = match all).
+  /// Deletes are evaluated against the pre-delete payload, so a subscriber
+  /// that saw an object always sees its deletion.
+  std::string filter;
+  /// Projection field list (empty = deliver the full payload zero-copy).
+  std::vector<std::string> project;
+  SubscriptionQos qos;
+};
+
+/// A subscription's filter+projection compiled into one fused plan stage.
+/// Compile once at subscribe time; `apply()` per matching commit.
+class CompiledSubscription {
+ public:
+  /// Compiles the spec. Fails iff the filter predicate does not parse.
+  static common::Result<std::shared_ptr<const CompiledSubscription>> compile(
+      SubscriptionSpec spec);
+
+  [[nodiscard]] const SubscriptionSpec& spec() const { return spec_; }
+  [[nodiscard]] const SubscriptionQos& qos() const { return spec_.qos; }
+  /// True when apply() can reject or rewrite payloads (a filter or a
+  /// projection is present). Inactive subscriptions are pure pass-through
+  /// and the exchange skips evaluation entirely.
+  [[nodiscard]] bool active() const { return has_filter_ || has_project_; }
+  [[nodiscard]] bool filtered() const { return has_filter_; }
+  [[nodiscard]] bool projected() const { return has_project_; }
+
+  /// Runs the fused filter+project pass over one committed payload.
+  /// Returns nullopt when the predicate rejects the record (an erroring
+  /// predicate never matches — deterministically), otherwise the payload
+  /// to deliver: the original shared handle when nothing rewrote it, a
+  /// projected copy otherwise. Pure and thread-safe (Phase-B safe).
+  [[nodiscard]] std::optional<common::SharedValue> apply(
+      const common::SharedValue& payload) const;
+
+ private:
+  CompiledSubscription() = default;
+
+  SubscriptionSpec spec_;
+  std::shared_ptr<const QueryPlan> plan_;
+  bool has_filter_ = false;
+  bool has_project_ = false;
+};
+
+}  // namespace knactor::de

@@ -47,7 +47,7 @@ execute_process(
 if(NOT json_rc EQUAL 1)
   message(FATAL_ERROR "json mode: expected exit 1, got ${json_rc}")
 endif()
-if(NOT json_out MATCHES "\"errors\": 5" OR NOT json_out MATCHES "\"KN302\"")
+if(NOT json_out MATCHES "\"errors\": 6" OR NOT json_out MATCHES "\"KN302\"")
   message(FATAL_ERROR "json mode lost findings:\n${json_out}")
 endif()
 

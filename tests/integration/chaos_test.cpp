@@ -36,6 +36,8 @@ struct RetailTrialResult {
   bool converged = false;       // post-heal state == oracle
   std::string fingerprint;
   std::string schedule;         // serialized crash/restart fault records
+  std::string sub_log;          // filtered-subscription deliveries, in order
+  std::uint64_t sub_filtered = 0;  // commits the predicate rejected
   std::uint64_t failed_passes = 0;
   std::uint64_t cast_retries = 0;
 };
@@ -56,7 +58,8 @@ sim::FaultPlan retail_plan(std::uint64_t seed) {
 RetailTrialResult run_retail_trial(std::uint64_t seed, bool inject,
                                    sim::SimTime batch_window = 0,
                                    std::size_t shards = 1, int workers = 1,
-                                   bool epoch_commit = false) {
+                                   bool epoch_commit = false,
+                                   bool filtered_sub = false) {
   core::Runtime runtime;
   apps::RetailKnactorOptions options;
   options.de_profile = de::ObjectDeProfile::apiserver();  // durable: WAL
@@ -68,6 +71,29 @@ RetailTrialResult run_retail_trial(std::uint64_t seed, bool inject,
   options.workers = workers;
   options.epoch_commit = epoch_commit;  // integrator writes via put_epoch
   auto app = apps::build_retail_knactor_app(runtime, options);
+
+  // Optional filtered subscription riding through the fault corpus: a
+  // coalescing content-filtered watch on the checkout store that only
+  // matches the terminal "shipped" write. Crash windows roll pending
+  // coalesce slots back with the epoch, so the delivery log is part of the
+  // deterministic observable surface (compared serial vs sharded below).
+  std::string sub_log;
+  std::uint64_t sub_id = 0;
+  if (filtered_sub) {
+    de::SubscriptionSpec spec;
+    spec.filter = "status == \"shipped\"";
+    spec.qos.window = 10 * sim::kMillisecond;
+    auto sub = app.checkout_store->subscribe_batch(
+        "knactor:checkout", spec, [&sub_log](const de::WatchBatch& b) {
+          sub_log += "[c" + std::to_string(b.commits) + "|";
+          for (const auto& e : b.events) {
+            sub_log +=
+                e.object.key + ":" + std::to_string(e.object.version) + " ";
+          }
+          sub_log += "] ";
+        });
+    if (sub.ok()) sub_id = sub.value();
+  }
 
   chaos::ChaosHooks hooks;
   hooks.add(
@@ -165,6 +191,11 @@ RetailTrialResult run_retail_trial(std::uint64_t seed, bool inject,
   result.converged = outcome.converged;
   result.fingerprint = outcome.fingerprint;
   result.schedule = chaos::serialize_schedule(scheduler.records());
+  result.sub_log = sub_log;
+  if (sub_id != 0) {
+    const auto* info = app.de->kernel().find_subscription(sub_id);
+    if (info != nullptr) result.sub_filtered = info->filtered;
+  }
   result.failed_passes = runtime.metrics().get("cast.retail.failed_passes");
   result.cast_retries = runtime.metrics().get("cast.retail.retries");
   return result;
@@ -240,6 +271,54 @@ TEST(ChaosRetailSharded, ShardedRunsAreBitIdenticalToSerialUnderChaos) {
     EXPECT_EQ(sharded.completed, serial.completed) << "seed " << seed;
     EXPECT_EQ(sharded.failed_passes, serial.failed_passes) << "seed " << seed;
     EXPECT_EQ(sharded.cast_retries, serial.cast_retries) << "seed " << seed;
+  }
+}
+
+TEST(ChaosRetailFiltered, HundredSeedsConvergeWithFilteredSubscription) {
+  // Unified-subscription satellite: the same 120-seed fault corpus with a
+  // content-filtered coalescing subscription attached to the checkout
+  // store. The filter must not perturb convergence, and across the corpus
+  // it must both deliver (the shipped write) and reject (every earlier
+  // commit) — i.e. the chaos runs genuinely exercise the filter path.
+  const int kSeeds = 120;
+  int seeds_with_delivery = 0;
+  std::uint64_t total_filtered = 0;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    auto result = run_retail_trial(seed, /*inject=*/true,
+                                   25 * sim::kMillisecond, /*shards=*/1,
+                                   /*workers=*/1, /*epoch_commit=*/false,
+                                   /*filtered_sub=*/true);
+    ASSERT_TRUE(result.converged)
+        << "filtered seed " << seed << " diverged from oracle.\nSchedule:\n"
+        << result.schedule << "Plan: " << retail_plan(seed).describe();
+    if (!result.sub_log.empty()) ++seeds_with_delivery;
+    total_filtered += result.sub_filtered;
+  }
+  EXPECT_GT(seeds_with_delivery, kSeeds / 2);
+  EXPECT_GT(total_filtered, 0u);
+}
+
+TEST(ChaosRetailFiltered, FilteredDeliveryLogBitIdenticalSerialVsSharded) {
+  // Determinism contract for filtered subscriptions under chaos: for the
+  // same seed, the 8-shard/4-worker run must produce a byte-identical
+  // filtered delivery log (and reject count) to the serial run — crash
+  // rollback of filtered coalesce slots included.
+  const int kSeeds = 40;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    auto serial = run_retail_trial(seed, /*inject=*/true,
+                                   25 * sim::kMillisecond, /*shards=*/1,
+                                   /*workers=*/1, /*epoch_commit=*/false,
+                                   /*filtered_sub=*/true);
+    auto sharded = run_retail_trial(seed, /*inject=*/true,
+                                    25 * sim::kMillisecond, /*shards=*/8,
+                                    /*workers=*/4, /*epoch_commit=*/false,
+                                    /*filtered_sub=*/true);
+    ASSERT_TRUE(sharded.converged)
+        << "filtered sharded seed " << seed << " diverged.\nSchedule:\n"
+        << sharded.schedule;
+    EXPECT_EQ(sharded.sub_log, serial.sub_log) << "seed " << seed;
+    EXPECT_EQ(sharded.sub_filtered, serial.sub_filtered) << "seed " << seed;
+    EXPECT_EQ(sharded.fingerprint, serial.fingerprint) << "seed " << seed;
   }
 }
 

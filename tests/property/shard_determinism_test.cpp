@@ -53,6 +53,8 @@ struct Observation {
   std::string state;      // canonical store fingerprint
   std::string watch_log;  // per-event watch deliveries, in delivery order
   std::string batch_log;  // batched-watch deliveries (boundaries + order)
+  std::string sub_log;    // filtered+projected subscription deliveries
+  std::string sub_batch_log;  // filtered batched subscription (QoS history)
   std::string stats;      // ObjectDeStats digest
   std::string lists;      // list() results, in result order
 };
@@ -62,7 +64,8 @@ std::string stats_digest(const de::ObjectDeStats& s) {
   out << "r=" << s.reads << " w=" << s.writes << " d=" << s.deletes
       << " l=" << s.lists << " we=" << s.watch_events << " wb=" << s.watch_batches
       << " wc=" << s.watch_events_coalesced << " pd=" << s.permission_denials
-      << " vc=" << s.version_conflicts << " ur=" << s.unavailable_rejections;
+      << " vc=" << s.version_conflicts << " ur=" << s.unavailable_rejections
+      << " wf=" << s.watch_events_filtered << " wd=" << s.watch_events_dropped;
   return out.str();
 }
 
@@ -114,6 +117,42 @@ Observation run_object_workload(std::uint32_t seed, const ShardConfig& config,
           obs.batch_log += ' ';
         }
         obs.batch_log += "] ";
+      });
+
+  // Filtered + projected subscription: the predicate runs per shard inside
+  // the parallel commit phase, so its accept/reject decisions and the
+  // projected payloads are part of the observable surface under test.
+  de::SubscriptionSpec sub_spec;
+  sub_spec.filter = "qty > 25";
+  sub_spec.project = {"qty"};
+  (void)orders.subscribe("observer", sub_spec, [&](const de::WatchEvent& e) {
+    obs.sub_log += event_char(e.type);
+    obs.sub_log += e.object.key;
+    obs.sub_log += ':';
+    obs.sub_log += std::to_string(e.object.version);
+    const Value* qty = e.object.data ? e.object.data->get("qty") : nullptr;
+    obs.sub_log += '@';
+    obs.sub_log += qty != nullptr ? std::to_string(qty->as_int()) : "-";
+    obs.sub_log += ' ';
+  });
+  // Filtered batched subscription with a KEEP_LAST history cap: coalesced
+  // slots, QoS drops, and crash-rollback of the coalesce buffer must all
+  // replay identically in every configuration.
+  de::SubscriptionSpec sub_batch_spec;
+  sub_batch_spec.filter = "qty >= 10";
+  sub_batch_spec.qos.window = 7 * sim::kMillisecond;
+  sub_batch_spec.qos.history_depth = 3;
+  (void)orders.subscribe_batch(
+      "observer", sub_batch_spec, [&](const de::WatchBatch& b) {
+        obs.sub_batch_log += "[c" + std::to_string(b.commits) + "|";
+        for (const auto& e : b.events) {
+          obs.sub_batch_log += event_char(e.type);
+          obs.sub_batch_log += e.object.key;
+          obs.sub_batch_log += ':';
+          obs.sub_batch_log += std::to_string(e.object.version);
+          obs.sub_batch_log += ' ';
+        }
+        obs.sub_batch_log += "] ";
       });
 
   std::mt19937 rng(seed);
@@ -182,11 +221,15 @@ Observation run_object_workload(std::uint32_t seed, const ShardConfig& config,
 class ShardDeterminism : public ::testing::Test {};
 
 TEST(ShardDeterminism, ObjectDeMatchesSerialOracleAcross100Seeds) {
+  int seeds_with_filtered_deliveries = 0;
   for (std::uint32_t seed = 1; seed <= 100; ++seed) {
     Observation oracle = run_object_workload(seed, kConfigs[0], false);
     // The workload must actually exercise the surfaces under test.
     ASSERT_FALSE(oracle.state.empty());
     ASSERT_FALSE(oracle.batch_log.empty()) << "seed " << seed;
+    if (!oracle.sub_log.empty() && !oracle.sub_batch_log.empty()) {
+      ++seeds_with_filtered_deliveries;
+    }
     for (std::size_t c = 1; c < std::size(kConfigs); ++c) {
       Observation got = run_object_workload(seed, kConfigs[c], false);
       const std::string where =
@@ -194,11 +237,16 @@ TEST(ShardDeterminism, ObjectDeMatchesSerialOracleAcross100Seeds) {
       EXPECT_EQ(got.state, oracle.state) << where;
       EXPECT_EQ(got.watch_log, oracle.watch_log) << where;
       EXPECT_EQ(got.batch_log, oracle.batch_log) << where;
+      EXPECT_EQ(got.sub_log, oracle.sub_log) << where;
+      EXPECT_EQ(got.sub_batch_log, oracle.sub_batch_log) << where;
       EXPECT_EQ(got.stats, oracle.stats) << where;
       EXPECT_EQ(got.lists, oracle.lists) << where;
       if (got.state != oracle.state) return;  // one dump is enough
     }
   }
+  // The corpus as a whole must exercise filtered delivery, even though an
+  // individual seed's random workload may never satisfy the predicate.
+  EXPECT_GT(seeds_with_filtered_deliveries, 50);
 }
 
 TEST(ShardDeterminism, ChaosConvergenceMatchesSerialOracle) {
@@ -211,6 +259,8 @@ TEST(ShardDeterminism, ChaosConvergenceMatchesSerialOracle) {
       EXPECT_EQ(got.state, oracle.state) << where;
       EXPECT_EQ(got.watch_log, oracle.watch_log) << where;
       EXPECT_EQ(got.batch_log, oracle.batch_log) << where;
+      EXPECT_EQ(got.sub_log, oracle.sub_log) << where;
+      EXPECT_EQ(got.sub_batch_log, oracle.sub_batch_log) << where;
       EXPECT_EQ(got.stats, oracle.stats) << where;
     }
   }
@@ -283,6 +333,8 @@ TEST(ShardDeterminism, RepeatedRunsAreBitStable) {
     EXPECT_EQ(a.state, b.state) << config_name(config);
     EXPECT_EQ(a.watch_log, b.watch_log) << config_name(config);
     EXPECT_EQ(a.batch_log, b.batch_log) << config_name(config);
+    EXPECT_EQ(a.sub_log, b.sub_log) << config_name(config);
+    EXPECT_EQ(a.sub_batch_log, b.sub_batch_log) << config_name(config);
     EXPECT_EQ(a.stats, b.stats) << config_name(config);
   }
 }

@@ -371,6 +371,10 @@ int run_traced_composition(const std::string& spec,
     return 2;
   }
   de::ObjectDe& dex = rt.add_object_de("object", de::ObjectDeProfile::redis());
+  // Route DE-side spans (epoch pipeline, `sub.filter`/`sub.deliver`) into
+  // the same tracer as the integrator passes, so `trace` and `explain`
+  // can report per-subscription delivery latency and selectivity.
+  dex.set_observability(&rt.tracer(), nullptr);
   *de_out = &dex;
   std::map<std::string, de::ObjectStore*> bindings;
   for (const auto& [alias, store_id] : dxg.value().inputs()) {

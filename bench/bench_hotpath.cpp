@@ -32,15 +32,21 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <functional>
 #include <thread>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "apps/fleet_telemetry.h"
+#include "apps/ride_hailing.h"
 #include "common/json.h"
+#include "common/percentile.h"
 #include "common/worker_pool.h"
 #include "core/cast.h"
+#include "core/runtime.h"
 #include "core/sync.h"
 #include "core/trace.h"
 #include "core/trace_export.h"
@@ -49,6 +55,7 @@
 #include "de/persist/engine.h"
 #include "de/plan.h"
 #include "sim/clock.h"
+#include "sim/openloop.h"
 
 namespace {
 
@@ -614,6 +621,267 @@ Value stage_attribution_value(std::size_t orders, SimTime batch_window) {
 }
 
 // ---------------------------------------------------------------------------
+// Open-loop traffic: saturation knees for the composition workloads.
+// ---------------------------------------------------------------------------
+
+// Open-loop runs of the two full compositions (docs/WORKLOADS.md): the
+// ride-hailing match/dispatch app (Object DE, Cast fan-out, hot zone keys)
+// and the IoT fleet-telemetry rollup (Log DE, push-mode Sync with the
+// windowed-aggregation pipeline). The generator (sim/openloop.h) fires
+// arrivals on the virtual clock per an arrival schedule and bounds
+// concurrency with an admission gate, so past capacity the arrival queue
+// grows and tail latency climbs — the saturation knee.
+//
+// Everything reported here is virtual time (SimTime microseconds) or a
+// deterministic count; no wall-clock values are allowed in this section.
+// Two runs of the same build must serialize it byte-identically — the
+// openloop determinism regression test diffs the JSON.
+
+using OpenLoopResult = knactor::sim::OpenLoopRunner::RunResult;
+using OpenLoopFn = std::function<OpenLoopResult(
+    const knactor::sim::ArrivalSchedule&, std::uint64_t, std::uint64_t)>;
+
+void set_percentiles(Value& v, const knactor::common::LatencyRecorder& rec) {
+  v.set("p50_ms", Value(static_cast<double>(rec.p50()) / 1000.0));
+  v.set("p99_ms", Value(static_cast<double>(rec.p99()) / 1000.0));
+  v.set("p999_ms", Value(static_cast<double>(rec.p999()) / 1000.0));
+}
+
+// One open-loop run against a fresh ride-hailing composition. A request is
+// "complete" when the dispatch assignment has flowed back into the ride
+// object — observed through a content-filtered subscription, the same
+// mechanism the composition itself uses.
+OpenLoopResult run_ride_openloop(const knactor::sim::ArrivalSchedule& schedule,
+                                 std::uint64_t requests,
+                                 std::uint64_t max_in_flight) {
+  using namespace knactor;
+  core::Runtime runtime;
+  apps::RideHailingOptions opts;
+  opts.batch_window = 5 * sim::kMillisecond;
+  apps::RideHailingApp app = apps::build_ride_hailing_app(runtime, opts);
+  if (app.cast == nullptr || app.rides == nullptr) return {};
+
+  std::unordered_map<std::string, std::function<void()>> waiting;
+  de::SubscriptionSpec spec;
+  spec.prefix = "ride/";
+  spec.filter = "status == \"assigned\"";
+  (void)app.rides->subscribe(
+      "bench", std::move(spec), [&waiting](const de::WatchEvent& event) {
+        auto it = waiting.find(event.object.key);
+        if (it == waiting.end()) return;
+        auto done = std::move(it->second);
+        waiting.erase(it);
+        done();
+      });
+
+  sim::OpenLoopRunner::Options lopts;
+  lopts.schedule = schedule;
+  lopts.total_requests = requests;
+  lopts.max_in_flight = max_in_flight;
+  return sim::OpenLoopRunner::run(
+      runtime.clock(), lopts,
+      [&app, &waiting](std::uint64_t index, std::function<void()> done) {
+        // 999983 is prime (coprime to the 1M key space), so distinct
+        // request indexes land on distinct ride ids spread over the space.
+        const std::uint64_t ride_id = (index * 999983ULL) % 1000000ULL;
+        waiting.emplace("ride/" + std::to_string(ride_id), std::move(done));
+        app.submit_ride(ride_id);
+      });
+}
+
+// One open-loop run against a fresh fleet-telemetry composition. The
+// request is a reading ingest (append commit == completion); rollup and
+// alert rounds ride behind the appends in push mode, inside the same
+// drained virtual-time run.
+OpenLoopResult run_fleet_openloop(
+    const knactor::sim::ArrivalSchedule& schedule, std::uint64_t requests,
+    std::uint64_t max_in_flight) {
+  using namespace knactor;
+  core::Runtime runtime;
+  apps::FleetTelemetryOptions opts;
+  opts.push = true;
+  apps::FleetTelemetryApp app = apps::build_fleet_telemetry_app(runtime, opts);
+  if (app.readings == nullptr) return {};
+
+  sim::OpenLoopRunner::Options lopts;
+  lopts.schedule = schedule;
+  lopts.total_requests = requests;
+  lopts.max_in_flight = max_in_flight;
+  return sim::OpenLoopRunner::run(
+      runtime.clock(), lopts,
+      [&app](std::uint64_t index, std::function<void()> done) {
+        app.readings->append(
+            "vehicle", app.reading_for(index),
+            [done = std::move(done)](common::Result<std::uint64_t>) {
+              done();
+            });
+      });
+}
+
+struct OpenLoopScenario {
+  Value report;
+  bool ok = true;
+  std::string why;  // first gate failure, for the FAIL message
+  double knee_rps = 0;
+};
+
+// Calibrates the scenario's capacity, sweeps constant offered loads across
+// the knee, then runs one ramp and one step schedule. Gates (deterministic,
+// so they apply in smoke mode too): every run completes, percentiles are
+// well-formed (0 < p50 <= p99 <= p999), the lowest offered load is served
+// at its offered rate, the highest is not (the knee exists), and tail
+// latency past the knee exceeds tail latency below it.
+OpenLoopScenario openloop_scenario(const char* label, const OpenLoopFn& run,
+                                   std::uint64_t requests,
+                                   std::uint64_t max_in_flight) {
+  using knactor::sim::ArrivalSchedule;
+  OpenLoopScenario out;
+  auto fail = [&out](const std::string& why) {
+    if (out.ok) out.why = why;
+    out.ok = false;
+  };
+
+  // Calibration trickle: arrivals 100ms apart dwarf any service time, so
+  // measured latency is pure service time and capacity follows from
+  // Little's law on the admission gate's slots.
+  const std::uint64_t calib_n = std::max<std::uint64_t>(16, requests / 8);
+  OpenLoopResult calib =
+      run(ArrivalSchedule::constant(10.0), calib_n, max_in_flight);
+  if (calib.completed != calib_n || calib.service_latency.empty()) {
+    fail("calibration run did not complete");
+  }
+  const double mean_service_us = calib.service_latency.mean();
+  const double capacity_rps =
+      mean_service_us > 0
+          ? static_cast<double>(max_in_flight) * 1e6 / mean_service_us
+          : 0;
+  if (capacity_rps <= 0) fail("zero capacity estimate");
+  std::printf(
+      "openloop %-16s capacity %8.1f rps (mean service %6.2fms, "
+      "%llu slots)\n",
+      label, capacity_rps, mean_service_us / 1000.0,
+      static_cast<unsigned long long>(max_in_flight));
+
+  Value v = Value::object();
+  v.set("requests", Value(static_cast<std::int64_t>(requests)));
+  v.set("max_in_flight", Value(static_cast<std::int64_t>(max_in_flight)));
+  Value base = Value::object();
+  base.set("mean_ms", Value(mean_service_us / 1000.0));
+  set_percentiles(base, calib.service_latency);
+  v.set("base_service", std::move(base));
+  v.set("capacity_rps", Value(capacity_rps));
+
+  // Require well-formed percentiles on every run this scenario makes.
+  auto check_percentiles = [&](const char* what,
+                               const knactor::common::LatencyRecorder& rec) {
+    const auto p50 = rec.p50();
+    const auto p99 = rec.p99();
+    const auto p999 = rec.p999();
+    if (p50 <= 0 || p99 < p50 || p999 < p99) {
+      fail(std::string(what) + ": malformed percentiles");
+    }
+  };
+  check_percentiles("calibration", calib.service_latency);
+
+  // Knee sweep: constant offered loads at fractions/multiples of the
+  // estimated capacity.
+  const double multipliers[] = {0.25, 0.5, 1.0, 2.0, 4.0};
+  Value sweep = Value::array();
+  double knee_x = 0;
+  double first_ratio = 0;
+  double last_ratio = 0;
+  double first_p99 = 0;
+  double last_p99 = 0;
+  for (double x : multipliers) {
+    OpenLoopResult r =
+        run(ArrivalSchedule::constant(capacity_rps * x), requests,
+            max_in_flight);
+    if (r.completed != requests) {
+      fail("sweep " + std::to_string(x) + "x lost requests");
+    }
+    check_percentiles("sweep", r.latency);
+    const double ratio =
+        r.offered_rps > 0 ? r.achieved_rps / r.offered_rps : 0;
+    if (knee_x == 0 && ratio < 0.9) knee_x = x;
+    if (x == multipliers[0]) {
+      first_ratio = ratio;
+      first_p99 = static_cast<double>(r.latency.p99());
+    }
+    last_ratio = ratio;
+    last_p99 = static_cast<double>(r.latency.p99());
+    Value row = Value::object();
+    row.set("offered_x", Value(x));
+    row.set("offered_rps", Value(r.offered_rps));
+    row.set("achieved_rps", Value(r.achieved_rps));
+    row.set("completed", Value(static_cast<std::int64_t>(r.completed)));
+    row.set("max_queue_depth",
+            Value(static_cast<std::int64_t>(r.max_queue_depth)));
+    set_percentiles(row, r.latency);
+    std::printf(
+        "openloop %-16s %4.2fx %8.1f rps -> %8.1f rps  p50 %8.2fms  "
+        "p99 %8.2fms  p999 %8.2fms  queue %llu\n",
+        label, x, r.offered_rps, r.achieved_rps,
+        static_cast<double>(r.latency.p50()) / 1000.0,
+        static_cast<double>(r.latency.p99()) / 1000.0,
+        static_cast<double>(r.latency.p999()) / 1000.0,
+        static_cast<unsigned long long>(r.max_queue_depth));
+    sweep.as_array().push_back(std::move(row));
+  }
+  v.set("sweep", std::move(sweep));
+  v.set("knee_offered_x", Value(knee_x));
+  out.knee_rps = knee_x * capacity_rps;
+  v.set("knee_rps", Value(out.knee_rps));
+  if (first_ratio < 0.9) {
+    fail("unsaturated point not served at offered rate");
+  }
+  if (last_ratio > 0.75) fail("no saturation at 4x capacity (no knee)");
+  if (knee_x <= 0) fail("knee not found in sweep");
+  if (last_p99 <= first_p99) fail("tail latency flat across the knee");
+
+  // Shaped schedules: a ramp sweeping through the knee in one run and a
+  // mid-run traffic spike. Recorded for the report; gated only on
+  // completion and percentile shape (their aggregate latency mixes the
+  // pre- and post-knee regimes).
+  auto shaped = [&](const ArrivalSchedule& s) {
+    OpenLoopResult r = run(s, requests, max_in_flight);
+    if (r.completed != requests) {
+      fail(std::string(s.kind_name()) + " run lost requests");
+    }
+    check_percentiles(s.kind_name(), r.latency);
+    Value sv = Value::object();
+    sv.set("schedule", Value(s.kind_name()));
+    sv.set("start_rps", Value(s.start_rps));
+    sv.set("end_rps", Value(s.end_rps));
+    sv.set("offered_rps", Value(r.offered_rps));
+    sv.set("achieved_rps", Value(r.achieved_rps));
+    sv.set("completed", Value(static_cast<std::int64_t>(r.completed)));
+    sv.set("max_queue_depth",
+           Value(static_cast<std::int64_t>(r.max_queue_depth)));
+    set_percentiles(sv, r.latency);
+    std::printf(
+        "openloop %-16s %-5s %8.1f..%8.1f rps -> %8.1f rps  "
+        "p99 %8.2fms  queue %llu\n",
+        label, s.kind_name(), s.start_rps, s.end_rps, r.achieved_rps,
+        static_cast<double>(r.latency.p99()) / 1000.0,
+        static_cast<unsigned long long>(r.max_queue_depth));
+    return sv;
+  };
+  v.set("ramp",
+        shaped(ArrivalSchedule::ramp(0.25 * capacity_rps,
+                                     4.0 * capacity_rps)));
+  Value step = shaped(
+      ArrivalSchedule::step(0.5 * capacity_rps, 3.0 * capacity_rps, 0.5));
+  const Value* step_queue = step.get("max_queue_depth");
+  if (step_queue == nullptr || step_queue->as_int() < 1) {
+    fail("step spike built no backlog");
+  }
+  v.set("step", std::move(step));
+
+  out.report = std::move(v);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
 // Report assembly / validation.
 // ---------------------------------------------------------------------------
 
@@ -664,12 +932,46 @@ int check_report(const std::string& path) {
       return 1;
     }
   }
-  for (const char* key : {"commit_seq", "recovery"}) {
+  for (const char* key : {"commit_seq", "recovery", "openloop"}) {
     const Value* section = report.get(key);
     if (section == nullptr || !section->is_object()) {
       std::fprintf(stderr, "bench_hotpath: %s: missing section '%s'\n",
                    path.c_str(), key);
       return 1;
+    }
+  }
+  // The openloop section carries the latency-percentile contract: both
+  // scenario subsections must be present, each with a non-empty knee sweep
+  // whose rows all carry numeric offered/achieved rates and p50/p99/p999.
+  const Value* openloop = report.get("openloop");
+  for (const char* scenario : {"ride_hailing", "fleet_telemetry"}) {
+    const Value* scen = openloop->get(scenario);
+    if (scen == nullptr || !scen->is_object()) {
+      std::fprintf(stderr,
+                   "bench_hotpath: %s: openloop missing scenario '%s'\n",
+                   path.c_str(), scenario);
+      return 1;
+    }
+    const Value* sweep = scen->get("sweep");
+    if (sweep == nullptr || !sweep->is_array() || sweep->as_array().empty()) {
+      std::fprintf(stderr,
+                   "bench_hotpath: %s: openloop.%s: missing/empty sweep\n",
+                   path.c_str(), scenario);
+      return 1;
+    }
+    for (const Value& row : sweep->as_array()) {
+      for (const char* field : {"offered_rps", "achieved_rps", "p50_ms",
+                                "p99_ms", "p999_ms"}) {
+        const Value* cell = row.get(field);
+        if (cell == nullptr || !cell->is_number()) {
+          std::fprintf(
+              stderr,
+              "bench_hotpath: %s: openloop.%s: sweep row missing numeric "
+              "'%s'\n",
+              path.c_str(), scenario, field);
+          return 1;
+        }
+      }
     }
   }
   std::printf("bench_hotpath: %s OK\n", path.c_str());
@@ -697,7 +999,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: bench_hotpath [--smoke] [--out PATH] "
                    "[--check PATH] [--section retail|shards|home|stages|"
-                   "scaling|commit_seq|recovery|fanout]\n");
+                   "scaling|commit_seq|recovery|fanout|openloop]\n");
       return 2;
     }
   }
@@ -707,7 +1009,7 @@ int main(int argc, char** argv) {
   };
   if (!all_sections && !want("retail") && !want("shards") && !want("home") &&
       !want("stages") && !want("scaling") && !want("commit_seq") &&
-      !want("recovery") && !want("fanout")) {
+      !want("recovery") && !want("fanout") && !want("openloop")) {
     std::fprintf(stderr, "bench_hotpath: unknown section '%s'\n",
                  section.c_str());
     return 2;
@@ -931,6 +1233,35 @@ int main(int argc, char** argv) {
     report.set("fanout", std::move(fanout));
   }
 
+  // Open-loop saturation knees for the two composition workloads. Scale
+  // here is requests per run, not key-space size — the compositions draw
+  // ids from their ~1M spaces either way. All metrics are virtual-time, so
+  // the gate applies in smoke mode too (it is deterministic, like fanout).
+  bool openloop_ok = true;
+  std::string openloop_why;
+  double openloop_ride_knee = 0;
+  double openloop_fleet_knee = 0;
+  if (want("openloop")) {
+    const std::uint64_t ol_requests = smoke ? 48 : 240;
+    const std::uint64_t ol_in_flight = 4;
+    OpenLoopScenario ride = openloop_scenario(
+        "ride_hailing", run_ride_openloop, ol_requests, ol_in_flight);
+    OpenLoopScenario fleet = openloop_scenario(
+        "fleet_telemetry", run_fleet_openloop, ol_requests, ol_in_flight);
+    openloop_ok = ride.ok && fleet.ok;
+    if (!ride.ok) {
+      openloop_why = "ride_hailing: " + ride.why;
+    } else if (!fleet.ok) {
+      openloop_why = "fleet_telemetry: " + fleet.why;
+    }
+    openloop_ride_knee = ride.knee_rps;
+    openloop_fleet_knee = fleet.knee_rps;
+    Value openloop = Value::object();
+    openloop.set("ride_hailing", std::move(ride.report));
+    openloop.set("fleet_telemetry", std::move(fleet.report));
+    report.set("openloop", std::move(openloop));
+  }
+
   if (want("commit_seq")) {
     report.set("commit_seq", commit_seq_section(smoke));
   }
@@ -980,9 +1311,13 @@ int main(int argc, char** argv) {
     gate.set("recovery_converged", Value(recovery_converged));
     gate.set("fanout_volume_ratio", Value(fanout_volume_ratio));
     gate.set("required_fanout_ratio", Value(kRequiredFanoutRatio));
+    gate.set("openloop_ride_knee_rps", Value(openloop_ride_knee));
+    gate.set("openloop_fleet_knee_rps", Value(openloop_fleet_knee));
+    gate.set("openloop_ok", Value(openloop_ok));
     gate.set("pass", Value((smoke || retail_100x_speedup >= 2.0) &&
                            shard_gate_ok && scaling_gate_ok &&
-                           recovery_gate_ok && fanout_gate_ok));
+                           recovery_gate_ok && fanout_gate_ok &&
+                           openloop_ok));
     report.set("gate", std::move(gate));
   }
 
@@ -1033,6 +1368,11 @@ int main(int argc, char** argv) {
                  "bench_hotpath: FAIL: fanout volume ratio %.1fx < %.1fx "
                  "(filtered subscriptions vs broadcast)\n",
                  fanout_volume_ratio, kRequiredFanoutRatio);
+    return 1;
+  }
+  if (want("openloop") && !openloop_ok) {
+    std::fprintf(stderr, "bench_hotpath: FAIL: openloop %s\n",
+                 openloop_why.c_str());
     return 1;
   }
   return 0;

@@ -357,6 +357,10 @@ void check_fanout_amplification(const ComposeGraph& graph,
     const FieldWrite* upstream = nullptr;
     for (const FieldWrite& w2 : graph.writes) {
       if (&w2 == &w || !w2.fan_out || w2.store != w.driver_store) continue;
+      // A self-keyed flow-back (fan-out over a store writing into that same
+      // store) lands on the driver's existing records — it never grows the
+      // store, so it cannot compound a downstream fan-out.
+      if (w2.store == w2.driver_store) continue;
       if (upstream == nullptr || loc_before(w2.loc, upstream->loc)) {
         upstream = &w2;
       }

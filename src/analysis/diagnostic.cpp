@@ -87,6 +87,7 @@ const std::vector<DiagnosticInfo>& diagnostic_catalog() {
       {"KN206", Severity::kError, "target-schema-mismatch"},
       {"KN207", Severity::kWarning, "unknown-pipeline-schema"},
       {"KN208", Severity::kError, "bad-pipeline"},
+      {"KN209", Severity::kError, "non-numeric-window"},
       // KN3xx — RBAC pre-flight.
       {"KN301", Severity::kError, "read-denied"},
       {"KN302", Severity::kError, "write-denied"},

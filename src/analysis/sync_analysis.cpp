@@ -231,6 +231,26 @@ FieldMap analyze_pipeline(const std::string& pipeline_text, FieldMap fields,
         fields[op.field] = t;
         break;
       }
+      case de::LogOp::Kind::kWindow: {
+        shape_untouched = false;  // the bucket field may shadow a produced one
+        auto it = fields.find(op.source_field);
+        if (it == fields.end()) {
+          missing_field(op.source_field, fields, loc, context + " (window)",
+                        out);
+          fields[op.field] = Type::any();
+        } else {
+          if (!numeric_ok(it->second)) {
+            out.push_back(make_diag(
+                "KN209", loc,
+                context + " (window): field '" + op.source_field + "' is " +
+                    type_to_string(it->second) +
+                    ", but window buckets a number",
+                "bucket a numeric field (e.g. a timestamp)"));
+          }
+          fields[op.field] = it->second;
+        }
+        break;
+      }
       case de::LogOp::Kind::kAggregate: {
         shape_untouched = false;  // grouped output is a new record shape
         FieldMap next;

@@ -90,6 +90,22 @@ Result<LogOp> LogOp::map(std::string target_field,
   return op;
 }
 
+Result<LogOp> LogOp::window(std::string target_field,
+                            std::string source_field, double width) {
+  if (target_field.empty() || source_field.empty()) {
+    return Error::invalid_argument("window: empty field name");
+  }
+  if (!(width > 0)) {
+    return Error::invalid_argument("window: width must be > 0");
+  }
+  LogOp op;
+  op.kind = Kind::kWindow;
+  op.field = std::move(target_field);
+  op.source_field = std::move(source_field);
+  op.width = width;
+  return op;
+}
+
 // run_pipeline (the naive one-pass-per-operator executor) and the fused
 // planner both live in de/plan.cpp, sharing per-operator primitives.
 

@@ -51,6 +51,7 @@ struct LogOp {
     kTail,       // last n
     kAggregate,  // group_by field(s) + aggregations
     kMap,        // computed field: name := expr over each record
+    kWindow,     // time-bucket: target := floor(source / width) * width
   };
 
   Kind kind = Kind::kFilter;
@@ -64,6 +65,8 @@ struct LogOp {
   /// kAggregate: output field -> (fn, input field). fn in
   /// {count,sum,min,max,avg,first,last}.
   std::map<std::string, std::pair<std::string, std::string>> aggs;
+  std::string source_field;  // kWindow: the numeric field being bucketed
+  double width = 0;          // kWindow: bucket width (> 0)
 
   // Convenience constructors.
   static common::Result<LogOp> filter(const std::string& expr_text);
@@ -78,6 +81,11 @@ struct LogOp {
       std::map<std::string, std::pair<std::string, std::string>> aggs);
   static common::Result<LogOp> map(std::string target_field,
                                    const std::string& expr_text);
+  /// Record-local time-bucketing: writes floor(source/width)*width into
+  /// target. Fusible (not a barrier), so `window ... | summarize ... by`
+  /// runs windowed aggregation through one fused scan + one barrier.
+  static common::Result<LogOp> window(std::string target_field,
+                                      std::string source_field, double width);
 };
 
 /// A parsed query: a pipeline of operators applied in order.

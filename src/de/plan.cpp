@@ -1,6 +1,7 @@
 #include "de/plan.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/json.h"
 #include "expr/eval.h"
@@ -66,6 +67,23 @@ Value project_record(const LogOp& op, const Value& record) {
     if (v != nullptr) out.set(f, *v);
   }
   return out;
+}
+
+/// kWindow bucket for one record: floor(source/width)*width, or null when
+/// the source field is missing or non-numeric (heterogeneous pools are
+/// normal — such records all land in the null bucket). Integer sources
+/// with an integral width stay integers so bucket keys group cleanly.
+Value window_bucket(const LogOp& op, const Value& record) {
+  const Value* v = record.get(op.source_field);
+  if (v == nullptr) return Value(nullptr);
+  auto n = v->try_number();
+  if (!n) return Value(nullptr);
+  double bucket = std::floor(*n / op.width) * op.width;
+  if (v->is_int() &&
+      op.width == static_cast<double>(static_cast<std::int64_t>(op.width))) {
+    return Value(static_cast<std::int64_t>(bucket));
+  }
+  return Value(bucket);
 }
 
 /// Three-way comparison for kSort; missing values sort last regardless of
@@ -250,6 +268,14 @@ Result<std::vector<Value>> apply_op(const LogOp& op,
       }
       return records;
     }
+    case LogOp::Kind::kWindow: {
+      for (auto& r : records) {
+        Value bucket = window_bucket(op, r);
+        if (!r.is_object()) r = Value::object();
+        r.set(op.field, std::move(bucket));
+      }
+      return records;
+    }
     case LogOp::Kind::kAggregate: {
       std::vector<const Value*> rows;
       rows.reserve(records.size());
@@ -300,6 +326,12 @@ Result<bool> run_fused_record(const std::vector<LogOp>& ops, CowValue& r) {
         KN_ASSIGN_OR_RETURN(Value v, eval_record_expr(op, *r));
         if (!r->is_object()) r = CowValue(Value::object());
         r.mut().set(op.field, std::move(v));
+        break;
+      }
+      case LogOp::Kind::kWindow: {
+        Value bucket = window_bucket(op, *r);
+        if (!r->is_object()) r = CowValue(Value::object());
+        r.mut().set(op.field, std::move(bucket));
         break;
       }
       default:

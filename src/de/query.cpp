@@ -195,6 +195,35 @@ Result<LogOp> parse_stage(const std::string& stage) {
     }
     return LogOp::map(std::move(name), expr_text);
   }
+  if (keyword == "window") {
+    // window NAME := FIELD every WIDTH
+    auto assign = rest.find(":=");
+    if (assign == std::string::npos) {
+      return Error::parse("query: window expects NAME := FIELD every WIDTH");
+    }
+    std::string name(common::trim(rest.substr(0, assign)));
+    std::string spec(common::trim(rest.substr(assign + 2)));
+    auto every = spec.find(" every ");
+    if (name.empty() || every == std::string::npos) {
+      return Error::parse("query: window expects NAME := FIELD every WIDTH");
+    }
+    std::string field(common::trim(spec.substr(0, every)));
+    std::string width_text(common::trim(spec.substr(every + 7)));
+    double width = 0;
+    try {
+      std::size_t used = 0;
+      width = std::stod(width_text, &used);
+      if (used != width_text.size()) throw std::invalid_argument(width_text);
+    } catch (...) {
+      return Error::parse("query: window width must be a number, got '" +
+                          width_text + "'");
+    }
+    if (!(width > 0)) {
+      return Error::parse("query: window width must be > 0, got '" +
+                          width_text + "'");
+    }
+    return LogOp::window(std::move(name), std::move(field), width);
+  }
   if (keyword == "summarize") {
     return parse_summarize(rest);
   }
@@ -254,6 +283,19 @@ std::string query_to_string(const LogQuery& query) {
       case LogOp::Kind::kMap:
         stages.push_back("put " + op.field + " := " + op.expr_text);
         break;
+      case LogOp::Kind::kWindow: {
+        // Integral widths render without a trailing ".000000".
+        std::string w;
+        if (op.width == static_cast<double>(
+                            static_cast<std::int64_t>(op.width))) {
+          w = std::to_string(static_cast<std::int64_t>(op.width));
+        } else {
+          w = std::to_string(op.width);
+        }
+        stages.push_back("window " + op.field + " := " + op.source_field +
+                         " every " + w);
+        break;
+      }
       case LogOp::Kind::kAggregate: {
         std::string s = "summarize ";
         bool first = true;

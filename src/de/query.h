@@ -14,6 +14,8 @@
 //   sort FIELD [desc]     order records
 //   head N / tail N       truncate
 //   put NAME := EXPR      computed field
+//   window NAME := FIELD every WIDTH
+//                         time-bucket: NAME = floor(FIELD/WIDTH)*WIDTH
 //   summarize out=fn(field), ... [by f1, f2]
 //                         aggregate (fn: count,sum,min,max,avg,first,last)
 #pragma once

@@ -1,0 +1,154 @@
+#include "sim/openloop.h"
+
+#include <cmath>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace knactor::sim {
+
+ArrivalSchedule ArrivalSchedule::constant(double rps) {
+  ArrivalSchedule s;
+  s.kind = Kind::kConstant;
+  s.start_rps = rps;
+  s.end_rps = rps;
+  return s;
+}
+
+ArrivalSchedule ArrivalSchedule::ramp(double start_rps, double end_rps) {
+  ArrivalSchedule s;
+  s.kind = Kind::kRamp;
+  s.start_rps = start_rps;
+  s.end_rps = end_rps;
+  return s;
+}
+
+ArrivalSchedule ArrivalSchedule::step(double start_rps, double end_rps,
+                                      double at) {
+  ArrivalSchedule s;
+  s.kind = Kind::kStep;
+  s.start_rps = start_rps;
+  s.end_rps = end_rps;
+  s.step_at = at;
+  return s;
+}
+
+double ArrivalSchedule::rate_at(double f) const {
+  switch (kind) {
+    case Kind::kConstant:
+      return start_rps;
+    case Kind::kRamp:
+      return start_rps + (end_rps - start_rps) * f;
+    case Kind::kStep:
+      return f < step_at ? start_rps : end_rps;
+  }
+  return start_rps;
+}
+
+const char* ArrivalSchedule::kind_name() const {
+  switch (kind) {
+    case Kind::kConstant:
+      return "constant";
+    case Kind::kRamp:
+      return "ramp";
+    case Kind::kStep:
+      return "step";
+  }
+  return "constant";
+}
+
+OpenLoopRunner::RunResult OpenLoopRunner::run(VirtualClock& clock,
+                                              const Options& opts,
+                                              const Service& service) {
+  // Shared mutable state across the scheduled arrival/completion
+  // callbacks. Heap-allocated so the closures stay valid while the clock
+  // drains; the RunResult is copied out at the end.
+  struct State {
+    Options opts;
+    Service service;
+    RunResult result;
+    SimTime first_arrival = 0;
+    SimTime last_completion = 0;
+    std::uint64_t in_flight = 0;
+    /// FIFO of arrivals waiting behind the admission gate: (index,
+    /// arrival time).
+    std::deque<std::pair<std::uint64_t, SimTime>> queue;
+    VirtualClock* clock = nullptr;
+
+    void admit(std::uint64_t index, SimTime arrived_at) {
+      ++in_flight;
+      const SimTime admitted_at = clock->now();
+      service(index, [this, arrived_at, admitted_at] {
+        const SimTime now = clock->now();
+        result.latency.record(now - arrived_at);
+        result.service_latency.record(now - admitted_at);
+        ++result.completed;
+        last_completion = now;
+        --in_flight;
+        if (!queue.empty()) {
+          auto [next_index, next_arrived] = queue.front();
+          queue.pop_front();
+          admit(next_index, next_arrived);
+        }
+      });
+    }
+
+    void arrive(std::uint64_t index) {
+      ++result.issued;
+      const SimTime now = clock->now();
+      if (result.issued == 1) first_arrival = now;
+      if (in_flight < opts.max_in_flight) {
+        admit(index, now);
+      } else {
+        queue.emplace_back(index, now);
+        if (queue.size() > result.max_queue_depth) {
+          result.max_queue_depth = queue.size();
+        }
+      }
+    }
+  };
+
+  auto state = std::make_shared<State>();
+  state->opts = opts;
+  state->service = service;
+  state->clock = &clock;
+
+  // Pre-compute every arrival time by integrating the schedule: request i
+  // arrives 1/rate_at(i/total) after request i-1. Doing this up front (as
+  // opposed to scheduling arrival i+1 from arrival i's callback) keeps the
+  // offered load a pure function of the schedule.
+  const std::uint64_t total = opts.total_requests;
+  double t_us = 0;
+  double rate_sum = 0;
+  std::vector<SimTime> arrivals;
+  arrivals.reserve(total);
+  for (std::uint64_t i = 0; i < total; ++i) {
+    const double f =
+        total == 0 ? 0.0
+                   : static_cast<double>(i) / static_cast<double>(total);
+    const double rps = state->opts.schedule.rate_at(f);
+    rate_sum += rps;
+    arrivals.push_back(clock.now() + static_cast<SimTime>(std::llround(t_us)));
+    if (rps > 0) {
+      t_us += static_cast<double>(kSecond) / rps;
+    }
+  }
+  for (std::uint64_t i = 0; i < total; ++i) {
+    clock.schedule_at(arrivals[i], [state, i] { state->arrive(i); });
+  }
+
+  clock.run_all();
+
+  RunResult out = std::move(state->result);
+  out.makespan = state->last_completion - state->first_arrival;
+  out.offered_rps =
+      total == 0 ? 0.0 : rate_sum / static_cast<double>(total);
+  out.achieved_rps =
+      out.makespan > 0
+          ? static_cast<double>(out.completed) *
+                static_cast<double>(kSecond) / static_cast<double>(out.makespan)
+          : 0.0;
+  return out;
+}
+
+}  // namespace knactor::sim

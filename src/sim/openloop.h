@@ -1,0 +1,95 @@
+// Open-loop load generation on the virtual clock (ROADMAP open item 3).
+//
+// Closed-loop benches issue the next request only after the previous one
+// completes, so they can never observe saturation: latency under a
+// closed loop is just service time. An open-loop generator instead fires
+// requests at their scheduled arrival times regardless of completions —
+// the offered load is a property of the schedule, not of the system under
+// test — which is how traffic from millions of independent users actually
+// arrives.
+//
+// The DE latency models charge each op's virtual latency independently
+// (no queueing inside the simulated backend), so the generator itself
+// owns the service station: an admission gate bounds how many requests
+// are in flight at once. Below capacity the queue stays empty and
+// latency equals service time; past capacity the arrival queue grows for
+// the rest of the run and per-request latency climbs with it — the
+// classic saturation knee, fully deterministic in virtual time.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/percentile.h"
+#include "sim/clock.h"
+
+namespace knactor::sim {
+
+/// Target arrival rate over the run, evaluated per-request at the
+/// fraction of the run already issued (0 <= f < 1). Rates are requests
+/// per virtual second.
+struct ArrivalSchedule {
+  enum class Kind { kConstant, kRamp, kStep };
+
+  Kind kind = Kind::kConstant;
+  double start_rps = 0;  // kConstant: the rate; kRamp/kStep: initial rate
+  double end_rps = 0;    // kRamp: final rate; kStep: post-step rate
+  double step_at = 0.5;  // kStep: fraction of the run where the step fires
+
+  static ArrivalSchedule constant(double rps);
+  /// Linear ramp from start_rps at the first request to end_rps at the
+  /// last — sweeps a load range in one run.
+  static ArrivalSchedule ramp(double start_rps, double end_rps);
+  /// Holds start_rps, then jumps to end_rps at fraction `at` of the run —
+  /// models a traffic spike.
+  static ArrivalSchedule step(double start_rps, double end_rps, double at);
+
+  /// The instantaneous target rate at run fraction f in [0, 1).
+  [[nodiscard]] double rate_at(double f) const;
+  [[nodiscard]] const char* kind_name() const;
+};
+
+/// One open-loop run: schedules `total_requests` arrivals on the clock per
+/// the arrival schedule, admits at most `max_in_flight` into the service
+/// at once (excess arrivals wait FIFO), and records per-request latency
+/// (arrival to completion, queueing included) in virtual time.
+class OpenLoopRunner {
+ public:
+  /// The system under test: issue request `index`, call `done` exactly
+  /// once when it completes (possibly after virtual-time delays).
+  using Service =
+      std::function<void(std::uint64_t index, std::function<void()> done)>;
+
+  struct Options {
+    ArrivalSchedule schedule;
+    std::uint64_t total_requests = 0;
+    /// Admission limit: requests concurrently inside the service. This is
+    /// the station's capacity — the knee appears where offered load
+    /// exceeds max_in_flight / mean_service_time.
+    std::uint64_t max_in_flight = 1;
+  };
+
+  struct RunResult {
+    std::uint64_t issued = 0;
+    std::uint64_t completed = 0;
+    /// Virtual time from the first arrival to the last completion.
+    SimTime makespan = 0;
+    double offered_rps = 0;   // mean target rate over the schedule
+    double achieved_rps = 0;  // completed / makespan
+    /// Arrival -> completion, queueing included (the user-visible number).
+    common::LatencyRecorder latency;
+    /// Admission -> completion (service time alone, for diagnosing where
+    /// the knee's latency growth comes from).
+    common::LatencyRecorder service_latency;
+    std::uint64_t max_queue_depth = 0;  // worst backlog behind the gate
+  };
+
+  /// Runs the generator to completion on `clock` (drains the clock's
+  /// event queue). Deterministic: same schedule + same service behavior
+  /// => identical RunResult, sample for sample.
+  static RunResult run(VirtualClock& clock, const Options& opts,
+                       const Service& service);
+};
+
+}  // namespace knactor::sim

@@ -369,6 +369,32 @@ TEST(SyncAnalysis, UnparseablePipeline) {
   EXPECT_TRUE(has_code(diags, "KN208")) << codes_of(diags);
 }
 
+TEST(SyncAnalysis, NonNumericWindowSourceIsReported) {
+  // KN209: `window` buckets a number; a string source is a spec bug.
+  auto diags = lint_sync_route("window w := room every 60 | cut room");
+  EXPECT_TRUE(has_code(diags, "KN209")) << codes_of(diags);
+}
+
+TEST(SyncAnalysis, NumericWindowSourceFlowsClean) {
+  de::SchemaRegistry schemas = smart_home_schemas();
+  auto fields = schema_field_types(
+      *schemas.find("SmartHome/v1/Motion/Event"));
+  std::vector<Diagnostic> out;
+  auto flow = analyze_pipeline(
+      "window w := ts every 60 | summarize n=count(ts) by w",
+      fields, {}, "r", out);
+  EXPECT_TRUE(out.empty()) << codes_of(out);
+  // The bucket field inherits the source's numeric type and flows on as a
+  // grouping key.
+  EXPECT_EQ(flow.at("w").kind, TypeKind::kNumber);
+  EXPECT_EQ(flow.at("n").kind, TypeKind::kInt);
+}
+
+TEST(SyncAnalysis, WindowOnMissingFieldIsReported) {
+  auto diags = lint_sync_route("window w := uptime every 60 | cut room");
+  EXPECT_TRUE(has_code(diags, "KN201")) << codes_of(diags);
+}
+
 TEST(SyncAnalysis, AggregateOutputShapeFlowsOn) {
   de::SchemaRegistry schemas = smart_home_schemas();
   auto fields = schema_field_types(

@@ -1,0 +1,114 @@
+// LatencyRecorder: exact nearest-rank percentile math and lossless merge.
+// The open-loop bench serializes these values into BENCH_hotpath.json and
+// requires byte-identical output across same-seed runs, so the math must
+// be exact — no sketches, no interpolation ambiguity.
+#include "common/percentile.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace knactor::common {
+namespace {
+
+TEST(LatencyRecorder, EmptyRecorderReturnsZeroes) {
+  LatencyRecorder rec;
+  EXPECT_TRUE(rec.empty());
+  EXPECT_EQ(rec.count(), 0u);
+  EXPECT_EQ(rec.percentile(50.0), 0);
+  EXPECT_EQ(rec.p999(), 0);
+  EXPECT_EQ(rec.min(), 0);
+  EXPECT_EQ(rec.max(), 0);
+  EXPECT_EQ(rec.mean(), 0.0);
+}
+
+TEST(LatencyRecorder, ExactRanksOnKnownStream) {
+  // 1..100 inserted out of order: nearest-rank p is exactly the value p.
+  LatencyRecorder rec;
+  for (int i = 100; i >= 1; --i) rec.record(i);
+  EXPECT_EQ(rec.count(), 100u);
+  EXPECT_EQ(rec.min(), 1);
+  EXPECT_EQ(rec.max(), 100);
+  EXPECT_EQ(rec.p50(), 50);
+  EXPECT_EQ(rec.percentile(90.0), 90);
+  EXPECT_EQ(rec.p99(), 99);
+  // ceil(99.9) = 100 — the p999 of a 100-sample stream is the maximum.
+  EXPECT_EQ(rec.p999(), 100);
+  EXPECT_EQ(rec.percentile(0.0), 1);    // clamped to rank 1
+  EXPECT_EQ(rec.percentile(100.0), 100);
+}
+
+TEST(LatencyRecorder, NearestRankRoundsUp) {
+  // With 10 samples {10,20,...,100}: p50 -> rank ceil(5) = 5 -> 50;
+  // p51 -> rank ceil(5.1) = 6 -> 60; p1 -> rank ceil(0.1) = 1 -> 10.
+  LatencyRecorder rec;
+  for (int i = 1; i <= 10; ++i) rec.record(i * 10);
+  EXPECT_EQ(rec.p50(), 50);
+  EXPECT_EQ(rec.percentile(51.0), 60);
+  EXPECT_EQ(rec.percentile(1.0), 10);
+  EXPECT_EQ(rec.p99(), 100);
+  EXPECT_EQ(rec.p999(), 100);
+}
+
+TEST(LatencyRecorder, SingleSampleIsEveryPercentile) {
+  LatencyRecorder rec;
+  rec.record(42);
+  EXPECT_EQ(rec.p50(), 42);
+  EXPECT_EQ(rec.p99(), 42);
+  EXPECT_EQ(rec.p999(), 42);
+  EXPECT_EQ(rec.mean(), 42.0);
+}
+
+TEST(LatencyRecorder, RecordAfterQueryResortsLazily) {
+  LatencyRecorder rec;
+  rec.record(30);
+  rec.record(10);
+  EXPECT_EQ(rec.p50(), 10);  // forces the lazy sort
+  rec.record(20);            // invalidates it
+  EXPECT_EQ(rec.p50(), 20);
+  EXPECT_EQ(rec.max(), 30);
+}
+
+TEST(LatencyRecorder, MergeOfPerWorkerReservoirsMatchesGlobalRecorder) {
+  // Three per-worker recorders over disjoint sample slices must merge into
+  // exactly the distribution one global recorder would have seen.
+  LatencyRecorder global;
+  LatencyRecorder workers[3];
+  for (std::int64_t i = 0; i < 999; ++i) {
+    const std::int64_t sample = (i * 7919) % 1000;  // deterministic shuffle
+    global.record(sample);
+    workers[i % 3].record(sample);
+  }
+  LatencyRecorder merged;
+  for (const auto& w : workers) merged.merge(w);
+  EXPECT_EQ(merged.count(), global.count());
+  for (double p : {0.0, 1.0, 25.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    EXPECT_EQ(merged.percentile(p), global.percentile(p)) << "p=" << p;
+  }
+  EXPECT_EQ(merged.mean(), global.mean());
+  EXPECT_EQ(merged.min(), global.min());
+  EXPECT_EQ(merged.max(), global.max());
+}
+
+TEST(LatencyRecorder, MergeIntoNonEmptyKeepsExistingSamples) {
+  LatencyRecorder a;
+  a.record(1);
+  a.record(3);
+  LatencyRecorder b;
+  b.record(2);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.p50(), 2);
+}
+
+TEST(LatencyRecorder, ClearResets) {
+  LatencyRecorder rec;
+  rec.record(5);
+  rec.clear();
+  EXPECT_TRUE(rec.empty());
+  EXPECT_EQ(rec.p50(), 0);
+}
+
+}  // namespace
+}  // namespace knactor::common

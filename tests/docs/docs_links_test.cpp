@@ -4,6 +4,7 @@
 // Keeps the docs index and cross-references from rotting as files move.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <regex>
@@ -90,6 +91,137 @@ TEST(DocsLinks, BacktickedRepoPathsResolve) {
           << doc.filename().string() << " references missing `" << target
           << "`";
       ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Fenced bash blocks: the commands docs tell readers to copy-paste must
+// reference real presets, real ctest labels, and real scripts. A renamed
+// preset or label otherwise rots silently inside a code fence, where the
+// link and backtick checks above never look.
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> fenced_bash_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  bool in_bash = false;
+  while (std::getline(in, line)) {
+    if (!in_bash && (line.rfind("```bash", 0) == 0 ||
+                     line.rfind("```sh", 0) == 0)) {
+      in_bash = true;
+      continue;
+    }
+    if (in_bash && line.rfind("```", 0) == 0) {
+      in_bash = false;
+      continue;
+    }
+    if (in_bash) lines.push_back(line);
+  }
+  return lines;
+}
+
+// Every `"name": "..."` across CMakePresets.json — configure, build, and
+// test presets alike. Membership is the rot guard; which section a preset
+// belongs to is CMake's own error to give.
+std::vector<std::string> preset_names() {
+  const std::string text = slurp(kRoot / "CMakePresets.json");
+  const std::regex name_re(R"re("name"\s*:\s*"([^"]+)")re");
+  std::vector<std::string> names;
+  for (std::sregex_iterator it(text.begin(), text.end(), name_re), end;
+       it != end; ++it) {
+    names.push_back((*it)[1].str());
+  }
+  return names;
+}
+
+// ctest labels declared in the test CMakeLists (kn_test LABEL, LABELS
+// properties) — the vocabulary `ctest -L <label>` commands may use.
+std::vector<std::string> declared_labels() {
+  std::vector<std::string> labels;
+  const std::regex label_re(R"re(LABELS?\s+"?([A-Za-z0-9_-]+)"?)re");
+  for (const char* file : {"tests/CMakeLists.txt", "bench/CMakeLists.txt"}) {
+    const std::string text = slurp(kRoot / file);
+    for (std::sregex_iterator it(text.begin(), text.end(), label_re), end;
+         it != end; ++it) {
+      labels.push_back((*it)[1].str());
+    }
+  }
+  return labels;
+}
+
+template <typename Container>
+bool contains(const Container& c, const std::string& v) {
+  return std::find(c.begin(), c.end(), v) != c.end();
+}
+
+TEST(DocsCommands, FencedBashPresetsExist) {
+  const std::vector<std::string> presets = preset_names();
+  ASSERT_FALSE(presets.empty());
+  const std::regex preset_use(R"((?:cmake|ctest)[^\n|&;]*--preset[= ](\S+))");
+  std::size_t checked = 0;
+  for (const auto& doc : doc_files()) {
+    for (const auto& line : fenced_bash_lines(slurp(doc))) {
+      for (std::sregex_iterator it(line.begin(), line.end(), preset_use), end;
+           it != end; ++it) {
+        const std::string name = (*it)[1].str();
+        EXPECT_TRUE(contains(presets, name))
+            << doc.filename().string() << " uses unknown preset \"" << name
+            << "\" in: " << line;
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(DocsCommands, FencedBashCtestLabelsExist) {
+  const std::vector<std::string> labels = declared_labels();
+  ASSERT_FALSE(labels.empty());
+  const std::regex label_use(R"(ctest[^\n|&;]*\s-L\s+(\S+))");
+  std::size_t checked = 0;
+  for (const auto& doc : doc_files()) {
+    for (const auto& line : fenced_bash_lines(slurp(doc))) {
+      for (std::sregex_iterator it(line.begin(), line.end(), label_use), end;
+           it != end; ++it) {
+        const std::string label = (*it)[1].str();
+        EXPECT_TRUE(contains(labels, label))
+            << doc.filename().string() << " uses unknown ctest label \""
+            << label << "\" in: " << line;
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(DocsCommands, FencedBashRepoPathsResolve) {
+  // Scripts and binaries invoked inside bash blocks: tools/*.sh must exist;
+  // build/<dir>/<target> paths must match a source dir that declares the
+  // target (bench/bench_hotpath -> bench/bench_hotpath.cpp).
+  const std::regex script_use(R"((?:^|[\s;(])((?:tools|specs)/[A-Za-z0-9_\-./]+))");
+  const std::regex bin_use(R"(\bbuild/((?:bench|tools)/[A-Za-z0-9_\-]+))");
+  std::size_t checked = 0;
+  for (const auto& doc : doc_files()) {
+    for (const auto& line : fenced_bash_lines(slurp(doc))) {
+      for (std::sregex_iterator it(line.begin(), line.end(), script_use), end;
+           it != end; ++it) {
+        const std::string target = (*it)[1].str();
+        EXPECT_TRUE(resolves(kRoot, target))
+            << doc.filename().string() << " runs missing \"" << target
+            << "\" in: " << line;
+        ++checked;
+      }
+      for (std::sregex_iterator it(line.begin(), line.end(), bin_use), end;
+           it != end; ++it) {
+        const std::string target = (*it)[1].str();
+        EXPECT_TRUE(resolves(kRoot, target))
+            << doc.filename().string() << " runs unbuildable \"build/"
+            << target << "\" in: " << line;
+        ++checked;
+      }
     }
   }
   EXPECT_GT(checked, 0u);

@@ -9,9 +9,12 @@
 #include <string>
 #include <vector>
 
+#include "apps/fleet_telemetry.h"
 #include "apps/retail_knactor.h"
 #include "apps/retail_rpc.h"
+#include "apps/ride_hailing.h"
 #include "core/runtime.h"
+#include "de/log.h"
 #include "net/broker.h"
 #include "sim/fault.h"
 
@@ -527,6 +530,343 @@ TEST(ChaosRetail, DifferentSeedsProduceDifferentSchedules) {
     if (schedules[i] != schedules[0]) any_differ = true;
   }
   EXPECT_TRUE(any_differ);
+}
+
+// ---------------------------------------------------------------------------
+// Ride-hailing trial (docs/WORKLOADS.md): the Cast-heavy hot-key
+// composition under the same crash-window regime. The convergence surface
+// is rides + dispatch decisions; the zone demand counters and driver
+// lastRide stamps are deliberately excluded — a retried submit legitimately
+// double-bumps a counter, and that benign divergence is exactly why the
+// workload stays far below the surge threshold (surge pins at 1.0, so
+// every quoted fare is still byte-deterministic).
+// ---------------------------------------------------------------------------
+
+struct RideTrialResult {
+  bool completed = false;
+  bool converged = false;
+  std::string fingerprint;
+  std::string schedule;
+  std::uint64_t failed_passes = 0;
+  std::uint64_t cast_retries = 0;
+};
+
+sim::FaultPlan ride_plan(std::uint64_t seed) {
+  sim::FaultPlan::RandomOptions opts;
+  opts.horizon = sim::kSecond;
+  opts.crash_targets = {"de", "ride-zones", "ride-dispatch", "ride-match"};
+  opts.max_crashes = 3;
+  opts.min_window = 20 * sim::kMillisecond;
+  opts.max_window = 250 * sim::kMillisecond;
+  return sim::FaultPlan::random(seed, opts);
+}
+
+constexpr std::uint64_t kChaosRides = 12;  // <= 5 rides/hot zone: surge 1.0
+
+// Mirrors RideHailingApp::submit_ride's payload; the trial needs its own
+// copy because a chaos client must *retry* the put until the DE is back,
+// and only bump the zone counter once the ride actually landed.
+Value chaos_ride_payload(const apps::RideHailingApp& app, std::uint64_t id) {
+  const std::string zone = app.zone_for(id);
+  Value ride = Value::object();
+  ride.set("rider", Value("rider-" + std::to_string(id)));
+  ride.set("zone", Value(zone));
+  ride.set("zoneKey", Value("zone/" + zone));
+  ride.set("fare", Value(5.0 + static_cast<double>(id % 20)));
+  ride.set("status", Value("requested"));
+  return ride;
+}
+
+RideTrialResult run_ride_trial(std::uint64_t seed, bool inject,
+                               std::size_t shards = 1, int workers = 1) {
+  core::Runtime runtime;
+  apps::RideHailingOptions options;
+  options.de_profile = de::ObjectDeProfile::apiserver();  // durable: WAL
+  options.batch_window = 5 * sim::kMillisecond;
+  options.integrator_retry = sim::RetryPolicy::standard(5);
+  options.shards = shards;
+  options.workers = workers;
+  auto app = apps::build_ride_hailing_app(runtime, options);
+
+  chaos::ChaosHooks hooks;
+  hooks.add(
+      "de", [&app]() { app.de->crash(); }, [&app]() { app.de->recover(); });
+  for (const char* name : {"ride-zones", "ride-dispatch"}) {
+    core::Knactor* kn = runtime.knactor(name);
+    hooks.add(
+        name, [kn]() { kn->stop(); }, [kn]() { (void)kn->start(); });
+  }
+  hooks.add(
+      "ride-match", [&app]() { app.cast->stop(); },
+      [&app]() { (void)app.cast->start(); });
+  chaos::CrashScheduler scheduler(runtime.clock(), hooks);
+  if (inject) scheduler.arm(ride_plan(seed));
+
+  auto run_workload = [](core::Runtime& rt, apps::RideHailingApp& a) {
+    for (std::uint64_t i = 0; i < kChaosRides; ++i) {
+      const std::string key = "ride/" + std::to_string(i);
+      bool placed = false;
+      for (int attempt = 0; attempt < 100 && !placed; ++attempt) {
+        placed = a.rides->put_sync("rider", key,
+                                   chaos_ride_payload(a, i)).ok();
+        if (!placed) rt.run_for(25 * sim::kMillisecond);
+      }
+      if (!placed) return false;
+      // Best-effort demand bump (lost if a window opens here — the
+      // counters are outside the convergence surface for that reason).
+      std::int64_t demand = 0;
+      const std::string zone_key = "zone/" + a.zone_for(i);
+      const de::StateObject* obj = a.zones->peek(zone_key);
+      if (obj != nullptr && obj->data) {
+        const Value* d = obj->data->get("demand");
+        if (d != nullptr && d->is_number()) {
+          demand = static_cast<std::int64_t>(d->as_number());
+        }
+      }
+      Value patch = Value::object();
+      patch.set("demand", Value(demand + 1));
+      a.zones->patch("rider", zone_key, std::move(patch),
+                     [](common::Result<std::uint64_t>) {});
+    }
+    rt.run_until_idle();
+    return a.assigned_count() == kChaosRides;
+  };
+
+  chaos::ChaosTrial trial;
+  trial.workload = [&runtime, &app, &run_workload]() {
+    return run_workload(runtime, app);
+  };
+  trial.heal = [&runtime, &app]() {
+    runtime.run_until_idle();
+    for (int round = 0; round < 2; ++round) {
+      for (const char* name : {"ride-zones", "ride-dispatch"}) {
+        core::Knactor* kn = runtime.knactor(name);
+        if (kn == nullptr) continue;
+        if (!kn->running()) (void)kn->start();
+        (void)kn->resync();
+      }
+      if (!app.cast->running()) (void)app.cast->start();
+      (void)app.cast->run_pass_sync();
+      runtime.run_until_idle();
+    }
+  };
+  trial.fingerprint = [&app]() {
+    return chaos::fingerprint_stores({app.rides, app.dispatch});
+  };
+
+  static const std::string oracle = [&run_workload] {
+    core::Runtime oracle_rt;
+    apps::RideHailingOptions oracle_options;
+    oracle_options.de_profile = de::ObjectDeProfile::apiserver();
+    oracle_options.batch_window = 5 * sim::kMillisecond;
+    oracle_options.integrator_retry = sim::RetryPolicy::standard(5);
+    auto oracle_app = apps::build_ride_hailing_app(oracle_rt, oracle_options);
+    if (!run_workload(oracle_rt, oracle_app)) {
+      return std::string("oracle-workload-failed");
+    }
+    (void)oracle_app.cast->run_pass_sync();
+    oracle_rt.run_until_idle();
+    return chaos::fingerprint_stores({oracle_app.rides, oracle_app.dispatch});
+  }();
+
+  auto outcome = trial.run(oracle);
+  RideTrialResult result;
+  result.completed = outcome.workload_completed;
+  result.converged = outcome.converged;
+  result.fingerprint = outcome.fingerprint;
+  result.schedule = chaos::serialize_schedule(scheduler.records());
+  result.failed_passes = app.cast->stats().failed_passes;
+  result.cast_retries = app.cast->stats().retries;
+  return result;
+}
+
+TEST(ChaosRideHailing, HundredSeedsAllConvergeToOracle) {
+  const int kSeeds = 120;
+  int completed_during_chaos = 0;
+  std::uint64_t total_failed_passes = 0;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    auto result = run_ride_trial(seed, /*inject=*/true);
+    ASSERT_TRUE(result.converged)
+        << "ride seed " << seed << " diverged from oracle.\nSchedule:\n"
+        << result.schedule << "Plan: " << ride_plan(seed).describe();
+    if (result.completed) ++completed_during_chaos;
+    total_failed_passes += result.failed_passes;
+  }
+  EXPECT_GT(completed_during_chaos, kSeeds / 2);
+  EXPECT_GT(total_failed_passes, 0u);
+}
+
+TEST(ChaosRideHailing, ShardedTrialsAreBitIdenticalToSerial) {
+  const int kSeeds = 24;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    auto serial = run_ride_trial(seed, /*inject=*/true);
+    auto sharded = run_ride_trial(seed, /*inject=*/true, /*shards=*/8,
+                                  /*workers=*/4);
+    ASSERT_TRUE(sharded.converged)
+        << "sharded ride seed " << seed << " diverged.\nSchedule:\n"
+        << sharded.schedule;
+    EXPECT_EQ(sharded.schedule, serial.schedule) << "seed " << seed;
+    EXPECT_EQ(sharded.fingerprint, serial.fingerprint) << "seed " << seed;
+    EXPECT_EQ(sharded.completed, serial.completed) << "seed " << seed;
+  }
+}
+
+TEST(ChaosRideHailing, FaultFreeTrialMatchesOracleExactly) {
+  auto result = run_ride_trial(0, /*inject=*/false);
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.schedule.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Fleet-telemetry trial: Sync-integrator crash windows only. The Log DE
+// stays up (its recover() is a cold start that wipes records — crashing it
+// would change the workload, not test convergence), so the chaos surface
+// is the integrator's availability. Cursor-based rounds make the alert
+// route exactly-once: the converged alerts pool is byte-identical to the
+// oracle no matter where the windows fell. The rollup pool is excluded —
+// its summarize barrier aggregates per round, so its contents legitimately
+// depend on where round boundaries landed.
+// ---------------------------------------------------------------------------
+
+std::string fingerprint_pools(const std::vector<const de::LogPool*>& pools) {
+  std::string out;
+  for (const de::LogPool* pool : pools) {
+    if (pool == nullptr) continue;
+    out += pool->name();
+    out += '{';
+    for (const auto& rec : pool->records_after(0)) {
+      if (!rec.data) continue;
+      out += chaos::canonical_fingerprint(*rec.data);
+      out += ';';
+    }
+    out += '}';
+  }
+  return out;
+}
+
+struct FleetTrialResult {
+  bool completed = false;
+  bool converged = false;
+  std::string fingerprint;
+  std::string schedule;
+};
+
+sim::FaultPlan fleet_plan(std::uint64_t seed) {
+  sim::FaultPlan::RandomOptions opts;
+  opts.horizon = sim::kSecond;
+  opts.crash_targets = {"sync"};
+  opts.max_crashes = 3;
+  opts.min_window = 20 * sim::kMillisecond;
+  opts.max_window = 250 * sim::kMillisecond;
+  return sim::FaultPlan::random(seed, opts);
+}
+
+constexpr std::uint64_t kFleetReadings = 120;
+
+FleetTrialResult run_fleet_trial(std::uint64_t seed, bool inject) {
+  core::Runtime runtime;
+  apps::FleetTelemetryOptions options;
+  options.push = true;  // appends schedule rounds; downtime loses the wakeup
+  options.sync_retry = sim::RetryPolicy::standard(5);
+  auto app = apps::build_fleet_telemetry_app(runtime, options);
+
+  chaos::ChaosHooks hooks;
+  hooks.add(
+      "sync", [&app]() { app.sync->stop(); },
+      [&app]() { (void)app.sync->start(); });
+  chaos::CrashScheduler scheduler(runtime.clock(), hooks);
+  if (inject) scheduler.arm(fleet_plan(seed));
+
+  // The fault-free alert count, replayed from the deterministic generator.
+  std::size_t expected_alerts = 0;
+  for (std::uint64_t i = 0; i < kFleetReadings; ++i) {
+    if (app.reading_for(i).get("temp")->as_number() > 90) ++expected_alerts;
+  }
+
+  chaos::ChaosTrial trial;
+  trial.workload = [&runtime, &app, expected_alerts]() {
+    // Spread the appends across the fault horizon so crash windows land
+    // between pushes, not after the workload finished.
+    for (std::uint64_t i = 0; i < kFleetReadings; ++i) {
+      runtime.clock().schedule_at(
+          static_cast<sim::SimTime>(i) * 4 * sim::kMillisecond,
+          [&app, i]() { app.emit_reading(i); });
+    }
+    runtime.run_until_idle();
+    return app.alert_count() == expected_alerts;
+  };
+  trial.heal = [&runtime, &app]() {
+    runtime.run_until_idle();
+    if (!app.sync->running()) (void)app.sync->start();
+    (void)app.run_rollup_round();  // the cursor drains the missed suffix
+    runtime.run_until_idle();
+  };
+  trial.fingerprint = [&app]() {
+    return fingerprint_pools({app.readings, app.alerts});
+  };
+
+  static const std::string oracle = [] {
+    core::Runtime oracle_rt;
+    apps::FleetTelemetryOptions oracle_options;
+    oracle_options.push = true;
+    oracle_options.sync_retry = sim::RetryPolicy::standard(5);
+    auto oracle_app = apps::build_fleet_telemetry_app(oracle_rt,
+                                                      oracle_options);
+    for (std::uint64_t i = 0; i < kFleetReadings; ++i) {
+      oracle_rt.clock().schedule_at(
+          static_cast<sim::SimTime>(i) * 4 * sim::kMillisecond,
+          [&oracle_app, i]() { oracle_app.emit_reading(i); });
+    }
+    oracle_rt.run_until_idle();
+    (void)oracle_app.run_rollup_round();
+    oracle_rt.run_until_idle();
+    return fingerprint_pools({oracle_app.readings, oracle_app.alerts});
+  }();
+
+  auto outcome = trial.run(oracle);
+  FleetTrialResult result;
+  result.completed = outcome.workload_completed;
+  result.converged = outcome.converged;
+  result.fingerprint = outcome.fingerprint;
+  result.schedule = chaos::serialize_schedule(scheduler.records());
+  return result;
+}
+
+TEST(ChaosFleetTelemetry, HundredSeedsAllConvergeToOracle) {
+  const int kSeeds = 120;
+  int completed_during_chaos = 0;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    auto result = run_fleet_trial(seed, /*inject=*/true);
+    ASSERT_TRUE(result.converged)
+        << "fleet seed " << seed << " diverged from oracle.\nSchedule:\n"
+        << result.schedule << "Plan: " << fleet_plan(seed).describe();
+    if (result.completed) ++completed_during_chaos;
+  }
+  EXPECT_GT(completed_during_chaos, kSeeds / 2);
+}
+
+TEST(ChaosFleetTelemetry, SameSeedIsBitIdentical) {
+  std::uint64_t seed = 0;
+  for (std::uint64_t candidate = 1; candidate <= 32; ++candidate) {
+    if (!fleet_plan(candidate).crashes.empty()) {
+      seed = candidate;
+      break;
+    }
+  }
+  ASSERT_NE(seed, 0u) << "no seed in 1..32 drew a crash window";
+  auto a = run_fleet_trial(seed, /*inject=*/true);
+  auto b = run_fleet_trial(seed, /*inject=*/true);
+  EXPECT_FALSE(a.schedule.empty());
+  EXPECT_EQ(a.schedule, b.schedule);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+}
+
+TEST(ChaosFleetTelemetry, FaultFreeTrialMatchesOracleExactly) {
+  auto result = run_fleet_trial(0, /*inject=*/false);
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.schedule.empty());
 }
 
 // ---------------------------------------------------------------------------

@@ -8,6 +8,7 @@
 // too, so every decode path is exercised ASan/UBSan-clean on hostile
 // bytes.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdint>
 #include <filesystem>
@@ -44,8 +45,12 @@ void spit(const fs::path& path, const std::string& bytes) {
 class PersistTornTail : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    template_dir_ = new std::string(::testing::TempDir() +
-                                    "kn_torn_template");
+    // Per-process template dir: ctest runs each case of this suite as its
+    // own process in parallel, and a shared path races remove_all against
+    // the sibling's directory scan.
+    template_dir_ = new std::string(
+        ::testing::TempDir() + "kn_torn_template_" +
+        std::to_string(static_cast<long>(::getpid())));
     fs::remove_all(*template_dir_);
     sim::VirtualClock clock;
     ObjectDeProfile profile = ObjectDeProfile::instant();
@@ -104,7 +109,9 @@ class PersistTornTail : public ::testing::Test {
   }
 
   static std::string copy_template(const std::string& name) {
-    std::string dir = ::testing::TempDir() + "kn_torn_" + name;
+    std::string dir = ::testing::TempDir() + "kn_torn_" +
+                      std::to_string(static_cast<long>(::getpid())) + "_" +
+                      name;
     fs::remove_all(dir);
     fs::create_directories(dir);
     for (const auto& entry : fs::directory_iterator(*template_dir_)) {

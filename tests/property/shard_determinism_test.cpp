@@ -21,9 +21,12 @@
 #include <string>
 #include <vector>
 
+#include "apps/fleet_telemetry.h"
 #include "apps/retail_knactor.h"
+#include "apps/ride_hailing.h"
 #include "common/worker_pool.h"
 #include "core/runtime.h"
+#include "de/log.h"
 #include "de/object.h"
 
 #include "../integration/chaos_harness.h"
@@ -321,6 +324,109 @@ TEST(ShardDeterminism, RetailCompositionMatchesSerialOracle) {
       EXPECT_EQ(got.traces, oracle.traces) << where;
       EXPECT_EQ(got.stats, oracle.stats) << where;
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime differential: the two docs/WORKLOADS.md scenario compositions
+// ---------------------------------------------------------------------------
+
+// Ride-hailing: Cast fan-out with hot-key zone counters. The submit cadence
+// is fixed (settle every 8 rides), so the peek+patch demand counters are a
+// pure function of the workload — every shard config must replay them, the
+// assignments, and the dispatch decisions byte-for-byte.
+RuntimeObservation run_ride_hailing(const ShardConfig& config) {
+  core::Runtime rt;
+  apps::RideHailingOptions options;
+  options.batch_window = 2 * sim::kMillisecond;
+  options.shards = config.shards;
+  options.workers = config.workers;
+  auto app = apps::build_ride_hailing_app(rt, options);
+
+  for (std::uint64_t i = 0; i < 48; ++i) {
+    app.submit_ride((i * 999983ULL) % 1000000ULL);
+    if (i % 8 == 7) app.settle();
+  }
+  app.settle();
+
+  RuntimeObservation obs;
+  obs.order = std::to_string(app.assigned_count());
+  obs.state = chaos::fingerprint_stores(
+      {app.rides, app.zones, app.dispatch, app.drivers});
+  std::ostringstream traces;
+  for (const auto& span : rt.tracer().spans()) {
+    traces << span.name << "@" << span.start << "-" << span.end << ";";
+  }
+  obs.traces = traces.str();
+  obs.stats = stats_digest(app.de->stats());
+  return obs;
+}
+
+TEST(ShardDeterminism, RideHailingCompositionMatchesSerialOracle) {
+  RuntimeObservation oracle = run_ride_hailing(kConfigs[0]);
+  ASSERT_EQ(oracle.order, "48");  // every ride assigned in the oracle
+  ASSERT_FALSE(oracle.state.empty());
+  for (std::size_t c = 1; c < std::size(kConfigs); ++c) {
+    RuntimeObservation got = run_ride_hailing(kConfigs[c]);
+    const std::string where = "config " + config_name(kConfigs[c]);
+    EXPECT_EQ(got.order, oracle.order) << where;
+    EXPECT_EQ(got.state, oracle.state) << where;
+    EXPECT_EQ(got.traces, oracle.traces) << where;
+    EXPECT_EQ(got.stats, oracle.stats) << where;
+  }
+}
+
+// Fleet telemetry: push-driven Sync rounds through the worker scheduler.
+// Pools aren't key-sharded, but round scheduling rides the same scheduler
+// the configs vary — rollup, alerts, and the readings stream must still be
+// byte-identical to the serial oracle (rollup included: the push cadence,
+// and with it every round boundary, is part of the deterministic surface).
+std::string fleet_pool_digest(const de::LogPool& pool) {
+  std::string out = pool.name() + "{";
+  for (const auto& rec : pool.records_after(0)) {
+    if (rec.data) out += chaos::canonical_fingerprint(*rec.data);
+    out += ';';
+  }
+  return out + "}";
+}
+
+RuntimeObservation run_fleet_telemetry(const ShardConfig& config) {
+  core::Runtime rt;
+  apps::FleetTelemetryOptions options;
+  options.push = true;
+  options.shards = config.shards;
+  options.workers = config.workers;
+  auto app = apps::build_fleet_telemetry_app(rt, options);
+
+  for (std::uint64_t i = 0; i < 150; ++i) {
+    app.emit_reading(i);
+    if (i % 10 == 9) app.settle();
+  }
+  app.settle();
+
+  RuntimeObservation obs;
+  obs.order = std::to_string(app.rollup_count()) + "/" +
+              std::to_string(app.alert_count());
+  obs.state = fleet_pool_digest(*app.readings) +
+              fleet_pool_digest(*app.rollup) + fleet_pool_digest(*app.alerts);
+  std::ostringstream traces;
+  for (const auto& span : rt.tracer().spans()) {
+    traces << span.name << "@" << span.start << "-" << span.end << ";";
+  }
+  obs.traces = traces.str();
+  return obs;
+}
+
+TEST(ShardDeterminism, FleetTelemetryCompositionMatchesSerialOracle) {
+  RuntimeObservation oracle = run_fleet_telemetry(kConfigs[0]);
+  ASSERT_FALSE(oracle.state.empty());
+  ASSERT_NE(oracle.order, "0/0");  // rounds actually moved data
+  for (std::size_t c = 1; c < std::size(kConfigs); ++c) {
+    RuntimeObservation got = run_fleet_telemetry(kConfigs[c]);
+    const std::string where = "config " + config_name(kConfigs[c]);
+    EXPECT_EQ(got.order, oracle.order) << where;
+    EXPECT_EQ(got.state, oracle.state) << where;
+    EXPECT_EQ(got.traces, oracle.traces) << where;
   }
 }
 

@@ -1,0 +1,201 @@
+// Open-loop load generator (sim/openloop.h): arrival schedules, the
+// admission-gate service station, the saturation knee, and the determinism
+// regression the BENCH report relies on — two identical runs must produce
+// byte-identical serialized metrics.
+#include "sim/openloop.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "common/json.h"
+#include "common/value.h"
+#include "sim/clock.h"
+
+namespace knactor::sim {
+namespace {
+
+using common::Value;
+
+// A deterministic service: every request takes exactly `service_us` of
+// virtual time.
+OpenLoopRunner::Service fixed_service(VirtualClock& clock,
+                                      SimTime service_us) {
+  return [&clock, service_us](std::uint64_t, std::function<void()> done) {
+    clock.schedule_after(service_us, [done = std::move(done)] { done(); });
+  };
+}
+
+TEST(ArrivalSchedule, ConstantRateIsFlat) {
+  auto s = ArrivalSchedule::constant(100.0);
+  EXPECT_EQ(s.rate_at(0.0), 100.0);
+  EXPECT_EQ(s.rate_at(0.5), 100.0);
+  EXPECT_EQ(s.rate_at(0.999), 100.0);
+  EXPECT_STREQ(s.kind_name(), "constant");
+}
+
+TEST(ArrivalSchedule, RampInterpolatesLinearly) {
+  auto s = ArrivalSchedule::ramp(100.0, 300.0);
+  EXPECT_EQ(s.rate_at(0.0), 100.0);
+  EXPECT_EQ(s.rate_at(0.5), 200.0);
+  EXPECT_EQ(s.rate_at(1.0), 300.0);
+  EXPECT_STREQ(s.kind_name(), "ramp");
+}
+
+TEST(ArrivalSchedule, StepJumpsAtTheConfiguredFraction) {
+  auto s = ArrivalSchedule::step(100.0, 400.0, 0.25);
+  EXPECT_EQ(s.rate_at(0.0), 100.0);
+  EXPECT_EQ(s.rate_at(0.24), 100.0);
+  EXPECT_EQ(s.rate_at(0.25), 400.0);
+  EXPECT_EQ(s.rate_at(0.9), 400.0);
+  EXPECT_STREQ(s.kind_name(), "step");
+}
+
+TEST(OpenLoopRunner, UnsaturatedRunHasNoQueueing) {
+  // 10 rps offered, 10ms service, 4 slots: capacity is 400 rps, so every
+  // arrival admits immediately and latency == service time exactly.
+  VirtualClock clock;
+  OpenLoopRunner::Options opts;
+  opts.schedule = ArrivalSchedule::constant(10.0);
+  opts.total_requests = 50;
+  opts.max_in_flight = 4;
+  auto r = OpenLoopRunner::run(clock, opts,
+                               fixed_service(clock, 10 * kMillisecond));
+  EXPECT_EQ(r.issued, 50u);
+  EXPECT_EQ(r.completed, 50u);
+  EXPECT_EQ(r.max_queue_depth, 0u);
+  EXPECT_EQ(r.latency.min(), 10 * kMillisecond);
+  EXPECT_EQ(r.latency.max(), 10 * kMillisecond);
+  EXPECT_EQ(r.latency.p999(), 10 * kMillisecond);
+  EXPECT_EQ(r.service_latency.max(), 10 * kMillisecond);
+  EXPECT_NEAR(r.offered_rps, 10.0, 1e-9);
+}
+
+TEST(OpenLoopRunner, SaturatedRunGrowsQueueAndTailLatency) {
+  // 1 slot x 10ms service = 100 rps capacity; offer 400 rps. The queue
+  // grows for the whole run and late arrivals wait far longer than early
+  // ones — the saturation knee's signature.
+  VirtualClock clock;
+  OpenLoopRunner::Options opts;
+  opts.schedule = ArrivalSchedule::constant(400.0);
+  opts.total_requests = 100;
+  opts.max_in_flight = 1;
+  auto r = OpenLoopRunner::run(clock, opts,
+                               fixed_service(clock, 10 * kMillisecond));
+  EXPECT_EQ(r.completed, 100u);
+  EXPECT_GT(r.max_queue_depth, 50u);
+  // Service time is still 10ms; queueing dominates the tail.
+  EXPECT_EQ(r.service_latency.max(), 10 * kMillisecond);
+  EXPECT_GT(r.latency.p99(), 20 * r.latency.min());
+  // Achieved throughput is pinned at capacity, not the offered rate.
+  EXPECT_NEAR(r.achieved_rps, 100.0, 5.0);
+  EXPECT_NEAR(r.offered_rps, 400.0, 1e-9);
+}
+
+TEST(OpenLoopRunner, AdmissionGateNeverExceedsMaxInFlight) {
+  VirtualClock clock;
+  std::uint64_t in_flight = 0;
+  std::uint64_t peak = 0;
+  OpenLoopRunner::Options opts;
+  opts.schedule = ArrivalSchedule::constant(1000.0);
+  opts.total_requests = 60;
+  opts.max_in_flight = 3;
+  auto r = OpenLoopRunner::run(
+      clock, opts,
+      [&](std::uint64_t, std::function<void()> done) {
+        ++in_flight;
+        if (in_flight > peak) peak = in_flight;
+        clock.schedule_after(5 * kMillisecond,
+                             [&in_flight, done = std::move(done)] {
+                               --in_flight;
+                               done();
+                             });
+      });
+  EXPECT_EQ(r.completed, 60u);
+  EXPECT_EQ(peak, 3u);
+}
+
+TEST(OpenLoopRunner, FifoOrderUnderBacklog) {
+  // With one slot, requests must enter service in arrival (index) order
+  // even when the queue is deep.
+  VirtualClock clock;
+  std::string order;
+  OpenLoopRunner::Options opts;
+  opts.schedule = ArrivalSchedule::constant(1000.0);
+  opts.total_requests = 8;
+  opts.max_in_flight = 1;
+  (void)OpenLoopRunner::run(
+      clock, opts,
+      [&](std::uint64_t index, std::function<void()> done) {
+        order += std::to_string(index);
+        clock.schedule_after(3 * kMillisecond,
+                             [done = std::move(done)] { done(); });
+      });
+  EXPECT_EQ(order, "01234567");
+}
+
+TEST(OpenLoopRunner, RampOfferedRateIsScheduleMean) {
+  VirtualClock clock;
+  OpenLoopRunner::Options opts;
+  opts.schedule = ArrivalSchedule::ramp(100.0, 300.0);
+  opts.total_requests = 200;
+  opts.max_in_flight = 100;
+  auto r = OpenLoopRunner::run(clock, opts,
+                               fixed_service(clock, 1 * kMillisecond));
+  EXPECT_EQ(r.completed, 200u);
+  // Mean of a linear ramp sampled at i/total for i in [0, total).
+  EXPECT_NEAR(r.offered_rps, 199.5, 1e-6);
+}
+
+// Serialize the deterministic (virtual-time) surface of a run the same way
+// the bench report does.
+std::string serialize_run(const OpenLoopRunner::RunResult& r) {
+  Value v = Value::object();
+  v.set("issued", Value(static_cast<std::int64_t>(r.issued)));
+  v.set("completed", Value(static_cast<std::int64_t>(r.completed)));
+  v.set("makespan_us", Value(static_cast<std::int64_t>(r.makespan)));
+  v.set("offered_rps", Value(r.offered_rps));
+  v.set("achieved_rps", Value(r.achieved_rps));
+  v.set("p50_us", Value(r.latency.p50()));
+  v.set("p99_us", Value(r.latency.p99()));
+  v.set("p999_us", Value(r.latency.p999()));
+  v.set("max_queue_depth",
+        Value(static_cast<std::int64_t>(r.max_queue_depth)));
+  return common::to_json(v);
+}
+
+TEST(OpenLoopRunner, SameConfigurationIsByteIdentical) {
+  // The determinism contract behind the BENCH `openloop` section: two runs
+  // of the same schedule against the same (virtual-time) service must
+  // serialize identically, sample for sample — across all three schedule
+  // kinds, saturated and not.
+  const ArrivalSchedule schedules[] = {
+      ArrivalSchedule::constant(50.0),
+      ArrivalSchedule::constant(500.0),
+      ArrivalSchedule::ramp(50.0, 800.0),
+      ArrivalSchedule::step(50.0, 600.0, 0.5),
+  };
+  for (const auto& schedule : schedules) {
+    auto once = [&schedule] {
+      VirtualClock clock;
+      OpenLoopRunner::Options opts;
+      opts.schedule = schedule;
+      opts.total_requests = 120;
+      opts.max_in_flight = 2;
+      // Service latency varies by index, deterministically.
+      return OpenLoopRunner::run(
+          clock, opts,
+          [&clock](std::uint64_t index, std::function<void()> done) {
+            const SimTime t = (3 + (index * 7) % 11) * kMillisecond;
+            clock.schedule_after(t, [done = std::move(done)] { done(); });
+          });
+    };
+    const std::string a = serialize_run(once());
+    const std::string b = serialize_run(once());
+    EXPECT_EQ(a, b) << schedule.kind_name();
+  }
+}
+
+}  // namespace
+}  // namespace knactor::sim

@@ -1,0 +1,49 @@
+#!/bin/sh
+# CI bench smoke: the hot-path benchmark must produce a well-formed
+# BENCH_hotpath.json (every section present, openloop percentiles sane —
+# the --check contract), and the virtual-time `openloop` section must be
+# same-seed deterministic: two standalone runs of the section have to emit
+# byte-identical reports, or the latency tables in EXPERIMENTS.md can't be
+# trusted across regenerations.
+#
+# Usage: tools/ci_bench.sh [path-to-bench_hotpath] [scratch_dir]
+# Exit: 0 on success, 1 on any failure.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+bench=${1:-"$repo_root/build/bench/bench_hotpath"}
+scratch=${2:-"${TMPDIR:-/tmp}"}
+
+if [ ! -x "$bench" ]; then
+  echo "ci_bench: bench_hotpath not found at $bench (build the repo first)" >&2
+  exit 1
+fi
+
+report="$scratch/ci_bench_smoke.json"
+ol_a="$scratch/ci_bench_openloop_a.json"
+ol_b="$scratch/ci_bench_openloop_b.json"
+
+echo "== bench_hotpath --smoke =="
+if ! "$bench" --smoke --out "$report"; then
+  echo "ci_bench: smoke run failed (gate tripped or crash)" >&2
+  exit 1
+fi
+
+echo "== bench_hotpath --check =="
+if ! "$bench" --check "$report"; then
+  echo "ci_bench: report failed the well-formedness check" >&2
+  exit 1
+fi
+
+echo "== openloop same-seed determinism =="
+"$bench" --smoke --section openloop --out "$ol_a" > /dev/null
+"$bench" --smoke --section openloop --out "$ol_b" > /dev/null
+if ! cmp -s "$ol_a" "$ol_b"; then
+  echo "ci_bench: two same-seed openloop runs differ byte-for-byte:" >&2
+  diff "$ol_a" "$ol_b" >&2 || true
+  exit 1
+fi
+
+rm -f "$report" "$ol_a" "$ol_b"
+echo "ci_bench: OK"
+exit 0
